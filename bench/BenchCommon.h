@@ -1,0 +1,93 @@
+//===- bench/BenchCommon.h - Shared experiment harness pieces ---------------===//
+///
+/// \file
+/// Common scaffolding for the paper-reproduction benchmarks: the three
+/// scaled-down stand-ins for Table 1's input graphs, argument factories for
+/// each algorithm, and small table-printing helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_BENCH_BENCHCOMMON_H
+#define GM_BENCH_BENCHCOMMON_H
+
+#include "driver/Compiler.h"
+#include "exec/IRExecutor.h"
+#include "graph/Generators.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace gm::bench {
+
+/// One Table 1 stand-in.
+struct BenchGraph {
+  std::string Name;
+  std::string Description;
+  Graph G;
+  NodeId BipartiteLeft = 0; ///< size of the proposing side (bipartite only)
+};
+
+/// Scaled-down versions of the paper's inputs (Table 1). The shapes match
+/// (power-law social graph / uniform random bipartite / high-locality web
+/// graph); the sizes fit a single machine. Pass Scale > 1 to grow them.
+inline std::vector<BenchGraph> makeTable1Graphs(unsigned Scale = 1) {
+  std::vector<BenchGraph> Out;
+  NodeId N = 1u << 16;
+  EdgeId E = (1u << 19) + (1u << 18); // ~768k edges
+  Out.push_back({"twitter-s", "RMAT power-law (Twitter stand-in)",
+                 generateRMAT(N * Scale, E * Scale, 42), 0});
+  Out.push_back({"bipartite-s", "Uniform random bipartite (synthetic)",
+                 generateBipartite((N / 2) * Scale, (N / 2 + N / 4) * Scale,
+                                   E * Scale, 43),
+                 static_cast<NodeId>((N / 2) * Scale)});
+  Out.push_back({"web-s", "High-locality web graph (sk-2005 stand-in)",
+                 generateWebLike(N * Scale, E * Scale, 44), 0});
+  return Out;
+}
+
+inline std::string algorithmPath(const std::string &Name) {
+  return std::string(GM_ALGORITHMS_DIR) + "/" + Name + ".gm";
+}
+
+inline CompileResult compileAlgorithm(const std::string &Name,
+                                      const CompileOptions &Opts = {}) {
+  CompileResult R = compileGreenMarlFile(algorithmPath(Name), Opts);
+  if (!R.ok()) {
+    std::fprintf(stderr, "failed to compile %s:\n%s", Name.c_str(),
+                 R.Diags->dump().c_str());
+    std::abort();
+  }
+  return R;
+}
+
+inline std::vector<Value> randomIntValues(size_t N, int64_t Lo, int64_t Hi,
+                                          uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<int64_t> Dist(Lo, Hi);
+  std::vector<Value> Out(N);
+  for (auto &V : Out)
+    V = Value::makeInt(Dist(Rng));
+  return Out;
+}
+
+/// Median wall time of \p Reps invocations of \p Fn (seconds).
+template <typename Fn> double medianSeconds(int Reps, Fn &&F) {
+  std::vector<double> Times;
+  for (int I = 0; I < Reps; ++I)
+    Times.push_back(F());
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+inline void hr(char C = '-') {
+  for (int I = 0; I < 78; ++I)
+    std::putchar(C);
+  std::putchar('\n');
+}
+
+} // namespace gm::bench
+
+#endif // GM_BENCH_BENCHCOMMON_H

@@ -1,0 +1,112 @@
+//===- bench/bench_ablation_merging.cpp - §4.2 optimization ablations ---------===//
+///
+/// Quantifies the two timestep-reducing optimizations of §4.2 by compiling
+/// each algorithm with (a) no optimizations, (b) state merging only, and
+/// (c) state merging + intra-loop merging, then measuring static vertex
+/// states and actual supersteps on the Twitter stand-in. Results are
+/// identical across variants (checked in the test suite); this bench
+/// reports the cost side.
+///
+//===----------------------------------------------------------------------===//
+
+#include "PairRunner.h"
+
+#include "opt/Optimizer.h"
+
+using namespace gm;
+using namespace gm::bench;
+
+int main() {
+  auto Graphs = makeTable1Graphs();
+  const BenchGraph &Twitter = Graphs[0];
+  const BenchGraph &Bip = Graphs[1];
+
+  struct Variant {
+    const char *Name;
+    CompileOptions Opts;
+  };
+  Variant Variants[3];
+  Variants[0].Name = "none";
+  Variants[0].Opts.StateMerging = false;
+  Variants[0].Opts.IntraLoopMerging = false;
+  Variants[1].Name = "+state-merge";
+  Variants[1].Opts.StateMerging = true;
+  Variants[1].Opts.IntraLoopMerging = false;
+  Variants[2].Name = "+intra-loop";
+
+  const char *Algorithms[] = {"avg_teen", "pagerank", "conductance", "sssp",
+                              "bipartite_matching", "bc_approx"};
+
+  std::printf("Ablation: state merging and intra-loop merging (§4.2)\n");
+  hr('=');
+  std::printf("%-20s %-14s %14s %12s %12s\n", "Algorithm", "Variant",
+              "vertex states", "supersteps", "wall (s)");
+  hr();
+
+  for (const char *Algo : Algorithms) {
+    const BenchGraph &BG =
+        std::string(Algo) == "bipartite_matching" ? Bip : Twitter;
+    for (const Variant &V : Variants) {
+      CompileResult C = compileGreenMarlFile(algorithmPath(Algo), V.Opts);
+      if (!C.ok()) {
+        std::fprintf(stderr, "compile failed for %s\n", Algo);
+        return 1;
+      }
+      AlgoInputs In = makeInputs(BG, 1234);
+      PairSettings S;
+      pregel::RunStats Stats = runGenerated(*C.Program, Algo, BG, In, S);
+      std::printf("%-20s %-14s %14zu %12llu %12.3f\n", Algo, V.Name,
+                  C.Program->numVertexStates(),
+                  static_cast<unsigned long long>(Stats.Supersteps),
+                  Stats.WallSeconds);
+    }
+    hr();
+  }
+  std::printf("Expected shape: each optimization strictly reduces "
+              "supersteps for the\niterative algorithms; results are "
+              "unchanged (verified by the test suite).\n");
+
+  // ---- Extension: inferred message combiners. ---------------------------
+  std::printf("\nExtension: inferred Pregel combiners (network traffic)\n");
+  hr('=');
+  std::printf("%-20s %10s | %12s %12s | %14s %14s\n", "Algorithm",
+              "combiner", "msgs (off)", "msgs (on)", "bytes (off)",
+              "bytes (on)");
+  hr();
+  for (const char *Algo : {"pagerank", "sssp"}) {
+    CompileResult C = compileAlgorithm(Algo);
+    auto Tags = inferCombinerTags(*C.Program, exec::IRExecutor::MsgTagOffset);
+    AlgoInputs In = makeInputs(Twitter, 1234);
+    PairSettings S;
+
+    pregel::RunStats Off = runGenerated(*C.Program, Algo, Twitter, In, S);
+
+    // Re-run with combiners enabled on the engine.
+    exec::ExecArgs Args;
+    if (std::string(Algo) == "pagerank") {
+      Args.Scalars["e"] = Value::makeDouble(0.0);
+      Args.Scalars["d"] = Value::makeDouble(0.85);
+      Args.Scalars["max_iter"] = Value::makeInt(S.PageRankIters);
+    } else {
+      Args.Scalars["root"] = Value::makeInt(S.SSSPRoot);
+      Args.EdgeProps["len"] = toValues(In.Len);
+    }
+    pregel::Config Cfg;
+    Cfg.NumWorkers = S.Workers;
+    Cfg.Combiners = Tags;
+    pregel::RunStats On =
+        exec::runProgram(*C.Program, Twitter.G, std::move(Args), Cfg);
+
+    std::printf("%-20s %10s | %12llu %12llu | %14llu %14llu\n", Algo,
+                Tags.empty() ? "-" : reduceKindName(Tags.begin()->second),
+                static_cast<unsigned long long>(Off.TotalMessages),
+                static_cast<unsigned long long>(On.TotalMessages),
+                static_cast<unsigned long long>(Off.NetworkBytes),
+                static_cast<unsigned long long>(On.NetworkBytes));
+  }
+  std::printf("\nExpected shape: combining collapses per-destination "
+              "message fan-in, so the\nskewed graph saves a large fraction "
+              "of messages and bytes; results are\nidentical (verified by "
+              "the test suite).\n");
+  return 0;
+}

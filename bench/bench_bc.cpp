@@ -1,0 +1,128 @@
+//===- bench/bench_bc.cpp - §5: the flagship BC compilation -------------------===//
+///
+/// Exercises the paper's headline demonstration: Approximate Betweenness
+/// Centrality — "prohibitively difficult" to write by hand in Pregel —
+/// compiles through the full transformation stack and runs correctly. We
+/// run it on each Table 1 stand-in, validate the ranking against Brandes
+/// restricted to the same random roots, and report the state-machine size
+/// (the paper's generated BC had nine vertex kernels and four message
+/// types).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "algorithms/reference/Sequential.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace gm;
+using namespace gm::bench;
+
+namespace {
+
+std::vector<NodeId> expectedRoots(NodeId NumNodes, uint64_t Seed, int K) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<NodeId> Dist(0, NumNodes - 1);
+  std::vector<NodeId> Roots(K);
+  for (auto &R : Roots)
+    R = Dist(Rng);
+  return Roots;
+}
+
+/// Pearson correlation between two BC vectors; NaN when degenerate.
+double correlation(const std::vector<double> &A, const std::vector<double> &B) {
+  double MeanA = 0, MeanB = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    MeanA += A[I];
+    MeanB += B[I];
+  }
+  MeanA /= A.size();
+  MeanB /= B.size();
+  double Cov = 0, VarA = 0, VarB = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    Cov += (A[I] - MeanA) * (B[I] - MeanB);
+    VarA += (A[I] - MeanA) * (A[I] - MeanA);
+    VarB += (B[I] - MeanB) * (B[I] - MeanB);
+  }
+  if (VarA == 0 || VarB == 0)
+    return std::numeric_limits<double>::quiet_NaN();
+  return Cov / std::sqrt(VarA * VarB);
+}
+
+} // namespace
+
+int main() {
+  CompileResult C = compileAlgorithm("bc_approx");
+  std::printf("Approximate Betweenness Centrality (algorithms/bc_approx.gm,"
+              " 21 code lines)\n");
+  hr('=');
+  std::printf("generated state machine: %zu vertex states, %zu message "
+              "types%s\n",
+              C.Program->numVertexStates(), C.Program->MsgTypes.size(),
+              C.Program->UsesInNbrs ? " (+ in-neighbor preamble)" : "");
+  std::printf("(paper: nine vertex-centric kernels, four message types)\n\n");
+
+  std::printf("%-12s %6s %10s %12s %14s %10s %10s\n", "Graph", "K", "steps",
+              "messages", "net bytes", "corr", "max |err|");
+  hr();
+
+  int K = 3;
+  uint64_t Seed = 99;
+  // Denser variants of the Table 1 stand-ins: a uniformly random root on a
+  // sparse RMAT has a ~1/3 chance of being an isolated node (BC trivially
+  // zero, as Brandes confirms), so for a *demonstrative* traversal we keep
+  // the edge count but shrink the node count, and add a symmetrized social
+  // graph whose giant component covers nearly everything.
+  std::vector<BenchGraph> Graphs;
+  Graphs.push_back({"twitter-d", "dense RMAT (Twitter stand-in)",
+                    generateRMAT(1 << 14, 1 << 19, 42), 0});
+  Graphs.push_back({"web-d", "high-locality web graph",
+                    generateWebLike(1 << 14, 1 << 19, 44), 0});
+  {
+    const Graph &T = Graphs[0].G;
+    Graph::Builder B(T.numNodes());
+    for (NodeId N = 0; N < T.numNodes(); ++N)
+      for (NodeId Dst : T.outNeighbors(N)) {
+        B.addEdge(N, Dst);
+        B.addEdge(Dst, N);
+      }
+    Graphs.push_back({"twitter-sym", "symmetrized RMAT (undirected view)",
+                      std::move(B).build(), 0});
+  }
+  bool AllAccurate = true;
+  for (const BenchGraph &BG : Graphs) {
+    exec::ExecArgs Args;
+    Args.Scalars["K"] = Value::makeInt(K);
+    pregel::Config Cfg;
+    Cfg.NumWorkers = 8;
+    Cfg.RandomSeed = Seed;
+    std::unique_ptr<exec::IRExecutor> Exec;
+    pregel::RunStats Stats =
+        exec::runProgram(*C.Program, BG.G, std::move(Args), Cfg, &Exec);
+
+    std::vector<NodeId> Roots = expectedRoots(BG.G.numNodes(), Seed, K);
+    std::vector<double> Ref = reference::betweennessCentrality(BG.G, Roots);
+    std::vector<double> Got(BG.G.numNodes());
+    for (NodeId N = 0; N < BG.G.numNodes(); ++N)
+      Got[N] = Exec->nodeProp("BC").get(N).getDouble();
+    double Corr = correlation(Got, Ref);
+    double AbsErr = 0;
+    for (NodeId N = 0; N < BG.G.numNodes(); ++N)
+      AbsErr = std::max(AbsErr, std::abs(Got[N] - Ref[N]));
+    if (!(Corr > 0.999) || AbsErr > 1e-6)
+      AllAccurate = false;
+    std::printf("%-12s %6d %10llu %12llu %14llu %9.4f %10.2e\n",
+                BG.Name.c_str(), K,
+                static_cast<unsigned long long>(Stats.Supersteps),
+                static_cast<unsigned long long>(Stats.TotalMessages),
+                static_cast<unsigned long long>(Stats.NetworkBytes), Corr,
+                AbsErr);
+  }
+  std::printf("\nExpected shape: correlation with Brandes (same roots) is "
+              "1.0 and the max\nelementwise error ~0 on every graph; the "
+              "web stand-in needs far more\nsupersteps (deep BFS) than the "
+              "social graphs.\n");
+  return AllAccurate ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+//===- bench/bench_runtime_micro.cpp - Substrate microbenchmarks --------------===//
+///
+/// google-benchmark microbenchmarks for the simulated-GPS substrate and the
+/// compiler itself: message routing throughput, superstep overhead as a
+/// function of the worker count, end-to-end PageRank iteration cost, and
+/// compilation latency per bundled algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "algorithms/manual/ManualPrograms.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gm;
+using namespace gm::bench;
+
+namespace {
+
+/// Baseline: a program that floods one message per edge per superstep.
+class FloodProgram : public pregel::VertexProgram {
+public:
+  explicit FloodProgram(uint64_t Steps) : Steps(Steps) {}
+  void init(const Graph &, pregel::MasterContext &) override {}
+  void masterCompute(pregel::MasterContext &Master) override {
+    if (Master.superstep() >= Steps)
+      Master.haltAll();
+  }
+  void compute(pregel::VertexContext &Ctx) override {
+    pregel::Message M;
+    M.push(Value::makeInt(static_cast<int64_t>(Ctx.id())));
+    Ctx.sendToAllOutNeighbors(M);
+  }
+
+private:
+  uint64_t Steps;
+};
+
+void BM_EngineMessageThroughput(benchmark::State &State) {
+  Graph G = generateUniformRandom(1 << 14, 1 << 17, 7);
+  pregel::Config Cfg;
+  Cfg.NumWorkers = static_cast<unsigned>(State.range(0));
+  uint64_t Messages = 0;
+  for (auto _ : State) {
+    FloodProgram P(4);
+    pregel::RunStats Stats = pregel::Engine(G, Cfg).run(P);
+    Messages += Stats.TotalMessages;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Messages));
+}
+BENCHMARK(BM_EngineMessageThroughput)->Arg(1)->Arg(4)->Arg(16);
+
+/// Superstep overhead: empty compute over many steps.
+class IdleProgram : public pregel::VertexProgram {
+public:
+  void init(const Graph &, pregel::MasterContext &) override {}
+  void masterCompute(pregel::MasterContext &Master) override {
+    if (Master.superstep() >= 64)
+      Master.haltAll();
+  }
+  void compute(pregel::VertexContext &) override {}
+};
+
+void BM_EngineSuperstepOverhead(benchmark::State &State) {
+  Graph G = generateUniformRandom(1 << 14, 1 << 15, 8);
+  pregel::Config Cfg;
+  Cfg.NumWorkers = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    IdleProgram P;
+    pregel::Engine(G, Cfg).run(P);
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_EngineSuperstepOverhead)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ManualPageRank(benchmark::State &State) {
+  Graph G = generateRMAT(1 << 14, 1 << 17, 9);
+  for (auto _ : State) {
+    manual::PageRankProgram P(0.85, 0.0, 5);
+    pregel::Config Cfg;
+    Cfg.NumWorkers = 8;
+    pregel::Engine(G, Cfg).run(P);
+  }
+}
+BENCHMARK(BM_ManualPageRank);
+
+void BM_GeneratedPageRank(benchmark::State &State) {
+  Graph G = generateRMAT(1 << 14, 1 << 17, 9);
+  CompileResult C = compileAlgorithm("pagerank");
+  for (auto _ : State) {
+    exec::ExecArgs Args;
+    Args.Scalars["e"] = Value::makeDouble(0.0);
+    Args.Scalars["d"] = Value::makeDouble(0.85);
+    Args.Scalars["max_iter"] = Value::makeInt(5);
+    pregel::Config Cfg;
+    Cfg.NumWorkers = 8;
+    exec::runProgram(*C.Program, G, std::move(Args), Cfg);
+  }
+}
+BENCHMARK(BM_GeneratedPageRank);
+
+void BM_CompileAlgorithm(benchmark::State &State, const char *Name) {
+  for (auto _ : State) {
+    CompileResult C = compileGreenMarlFile(algorithmPath(Name));
+    benchmark::DoNotOptimize(C.Program.get());
+    if (!C.ok())
+      State.SkipWithError("compile failed");
+  }
+}
+BENCHMARK_CAPTURE(BM_CompileAlgorithm, avg_teen, "avg_teen");
+BENCHMARK_CAPTURE(BM_CompileAlgorithm, pagerank, "pagerank");
+BENCHMARK_CAPTURE(BM_CompileAlgorithm, sssp, "sssp");
+BENCHMARK_CAPTURE(BM_CompileAlgorithm, bipartite, "bipartite_matching");
+BENCHMARK_CAPTURE(BM_CompileAlgorithm, bc, "bc_approx");
+
+} // namespace
+
+BENCHMARK_MAIN();

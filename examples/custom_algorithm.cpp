@@ -1,0 +1,104 @@
+//===- examples/custom_algorithm.cpp - Write your own Green-Marl --------------===//
+///
+/// Shows the path a user takes for an algorithm that is *not* bundled:
+/// write Green-Marl (here as an inline string), compile, inspect what the
+/// compiler did, run, and verify. The program computes BFS hop levels with
+/// the InBFS construct — the exact pattern that is painful to hand-write in
+/// Pregel (it needs frontier expansion, edge flipping and random-access
+/// lowering, all applied automatically).
+///
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/reference/Sequential.h"
+#include "driver/Compiler.h"
+#include "exec/IRExecutor.h"
+#include "graph/Generators.h"
+#include "pregelir/JavaCodegen.h"
+
+#include <cstdio>
+
+using namespace gm;
+
+// Hop levels from a root, plus the number of reachable nodes. The sigma-
+// style Min over BFS parents makes each node one hop deeper than its
+// closest parent.
+static const char *HopLevels = R"gm(
+Procedure hop_levels(G: Graph, root: Node, lev: N_P<Int>) : Long {
+  G.lev = -1;
+  root.lev = 0;
+  InBFS (v: G.Nodes From root)(v != root) {
+    v.lev = Min(w: v.UpNbrs){w.lev} + 1;
+  }
+  Long reached = Count(n: G.Nodes)(n.lev >= 0);
+  Return reached;
+}
+)gm";
+
+int main() {
+  // 1. Compile.
+  CompileResult C = compileGreenMarl(HopLevels);
+  if (!C.ok()) {
+    std::fprintf(stderr, "compilation failed:\n%s", C.Diags->dump().c_str());
+    return 1;
+  }
+  std::printf("hop_levels compiled. Transformations the compiler applied:\n");
+  for (const std::string &F : C.Features)
+    std::printf("  - %s\n", F.c_str());
+  std::printf("state machine: %zu vertex states, %zu message types\n\n",
+              C.Program->numVertexStates(), C.Program->MsgTypes.size());
+
+  // 2. Run on a web-like graph (deep BFS trees).
+  Graph G = generateWebLike(1 << 14, 1 << 17, 3);
+  NodeId Root = 12345;
+
+  exec::ExecArgs Args;
+  Args.Scalars["root"] = Value::makeInt(Root);
+  pregel::Config Cfg;
+  Cfg.NumWorkers = 8;
+  std::unique_ptr<exec::IRExecutor> Exec;
+  pregel::RunStats Stats =
+      exec::runProgram(*C.Program, G, std::move(Args), Cfg, &Exec);
+
+  // 3. Verify against a sequential BFS and print a level histogram.
+  std::vector<int64_t> Ref = reference::bfsLevels(G, Root);
+  int64_t MaxLev = 0, Reached = 0;
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    int64_t Got = Exec->nodeProp("lev").get(N).getInt();
+    if (Got != Ref[N]) {
+      std::fprintf(stderr, "MISMATCH at node %u: %lld vs %lld\n", N,
+                   static_cast<long long>(Got),
+                   static_cast<long long>(Ref[N]));
+      return 1;
+    }
+    if (Got >= 0) {
+      ++Reached;
+      MaxLev = std::max(MaxLev, Got);
+    }
+  }
+  std::printf("run: %s\n", Stats.toString().c_str());
+  std::printf("reached %lld of %u nodes (returned %s), eccentricity %lld\n",
+              static_cast<long long>(Reached), G.numNodes(),
+              Exec->returnValue()->toString().c_str(),
+              static_cast<long long>(MaxLev));
+
+  std::vector<int64_t> Histogram(MaxLev + 1, 0);
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    int64_t L = Ref[N];
+    if (L >= 0)
+      ++Histogram[L];
+  }
+  std::printf("\nnodes per hop level:\n");
+  for (int64_t L = 0; L <= MaxLev && L < 20; ++L) {
+    std::printf("  %3lld | ", static_cast<long long>(L));
+    for (int64_t I = 0; I < Histogram[L] * 60 / G.numNodes() + 1; ++I)
+      std::putchar('#');
+    std::printf(" %lld\n", static_cast<long long>(Histogram[L]));
+  }
+
+  // 4. For deployment on a real GPS cluster, emit the Java instead:
+  std::string Java = pir::emitJava(*C.Program);
+  std::printf("\n(GPS Java backend would emit %u lines; see gmpc "
+              "--emit-java)\n",
+              pir::countCodeLines(Java));
+  return 0;
+}

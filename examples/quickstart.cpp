@@ -1,0 +1,73 @@
+//===- examples/quickstart.cpp - Compile and run your first program -----------===//
+///
+/// The five-minute tour: compile the bundled PageRank written in Green-Marl,
+/// run it on a synthetic social graph with the simulated-GPS runtime, and
+/// inspect the result — no cluster required.
+///
+/// Build & run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "exec/IRExecutor.h"
+#include "graph/Generators.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace gm;
+
+int main() {
+  // 1. Compile Green-Marl to a Pregel program. The compiler runs the
+  //    paper's whole pipeline: parse, type-check, canonicalize (§4.1),
+  //    translate (§3.1), optimize (§4.2).
+  std::string Source = std::string(GM_ALGORITHMS_DIR) + "/pagerank.gm";
+  CompileResult Compiled = compileGreenMarlFile(Source);
+  if (!Compiled.ok()) {
+    std::fprintf(stderr, "compilation failed:\n%s",
+                 Compiled.Diags->dump().c_str());
+    return 1;
+  }
+  std::printf("compiled %s: %zu vertex states, %zu message type(s)\n",
+              "pagerank.gm", Compiled.Program->numVertexStates(),
+              Compiled.Program->MsgTypes.size());
+  std::printf("compiler steps applied:");
+  for (const std::string &F : Compiled.Features)
+    std::printf(" [%s]", F.c_str());
+  std::printf("\n\n");
+
+  // 2. Make a graph. Any edge list works; here, a power-law social graph.
+  Graph G = generateRMAT(1 << 14, 1 << 17, /*Seed=*/2024);
+
+  // 3. Bind the procedure's arguments and run. Scalars map by parameter
+  //    name; properties are columns you can preload and read back.
+  exec::ExecArgs Args;
+  Args.Scalars["e"] = Value::makeDouble(1e-7); // convergence threshold
+  Args.Scalars["d"] = Value::makeDouble(0.85); // damping
+  Args.Scalars["max_iter"] = Value::makeInt(50);
+
+  pregel::Config Cfg;
+  Cfg.NumWorkers = 8; // simulated GPS workers
+
+  std::unique_ptr<exec::IRExecutor> Exec;
+  pregel::RunStats Stats =
+      exec::runProgram(*Compiled.Program, G, std::move(Args), Cfg, &Exec);
+
+  std::printf("run finished: %s\n\n", Stats.toString().c_str());
+
+  // 4. Read results straight out of the property column.
+  std::vector<std::pair<double, NodeId>> Ranked;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Ranked.push_back({Exec->nodeProp("pg_rank").get(N).getDouble(), N});
+  std::sort(Ranked.rbegin(), Ranked.rend());
+
+  std::printf("top 10 nodes by PageRank:\n");
+  for (int I = 0; I < 10; ++I)
+    std::printf("  #%2d  node %-8u  rank %.6f  (in-degree %u)\n", I + 1,
+                Ranked[I].second, Ranked[I].first,
+                G.inDegree(Ranked[I].second));
+  return 0;
+}

@@ -1,0 +1,323 @@
+//===- algorithms/manual/ManualPrograms.cpp ----------------------------------===//
+
+#include "algorithms/manual/ManualPrograms.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace gm;
+using namespace gm::manual;
+using pregel::MasterContext;
+using pregel::Message;
+using pregel::VertexContext;
+
+//===----------------------------------------------------------------------===//
+// AvgTeenProgram
+//===----------------------------------------------------------------------===//
+
+void AvgTeenProgram::init(const Graph &G, MasterContext &Master) {
+  assert(Age.size() == G.numNodes() && "age property size mismatch");
+  TeenCnt.assign(G.numNodes(), 0);
+  Avg = 0.0;
+  Master.declareGlobal("S", ReduceKind::Sum, Value::makeInt(0));
+  Master.declareGlobal("C", ReduceKind::Sum, Value::makeInt(0));
+}
+
+void AvgTeenProgram::masterCompute(MasterContext &Master) {
+  if (Master.superstep() != 2)
+    return;
+  int64_t S = Master.getGlobal("S").getInt();
+  int64_t C = Master.getGlobal("C").getInt();
+  Avg = C == 0 ? 0.0 : static_cast<double>(S) / static_cast<double>(C);
+  Master.haltAll();
+}
+
+void AvgTeenProgram::compute(VertexContext &Ctx) {
+  switch (Ctx.superstep()) {
+  case 0: {
+    // Check my age; teens push a marker to everyone they follow (the count
+    // is implicit in the number of messages, so the payload stays empty).
+    int64_t MyAge = Age[Ctx.id()];
+    if (MyAge >= 13 && MyAge <= 19)
+      Ctx.sendToAllOutNeighbors(Message());
+    return;
+  }
+  case 1: {
+    int64_t Cnt = static_cast<int64_t>(Ctx.messages().size());
+    TeenCnt[Ctx.id()] = Cnt;
+    if (Age[Ctx.id()] > K) {
+      Ctx.putGlobal("S", Value::makeInt(Cnt));
+      Ctx.putGlobal("C", Value::makeInt(1));
+    }
+    Ctx.voteToHalt();
+    return;
+  }
+  default:
+    return; // unreachable: master halts at superstep 2
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// PageRankProgram
+//===----------------------------------------------------------------------===//
+
+void PageRankProgram::init(const Graph &G, MasterContext &Master) {
+  PR.assign(G.numNodes(), 1.0 / G.numNodes());
+  Iterations = 0;
+  Master.declareGlobal("diff", ReduceKind::Sum, Value::makeDouble(0.0));
+}
+
+void PageRankProgram::masterCompute(MasterContext &Master) {
+  uint64_t Step = Master.superstep();
+  if (Step < 2)
+    return;
+  // The diff visible now is from iteration Step-1; iterations completed so
+  // far = Step-1.
+  double Diff = Master.getGlobal("diff").asDouble();
+  int Done = static_cast<int>(Step) - 1;
+  if (Diff <= Epsilon || Done >= MaxIter) {
+    Iterations = Done;
+    Master.haltAll();
+  }
+}
+
+void PageRankProgram::compute(VertexContext &Ctx) {
+  const Graph &G = Ctx.graph();
+  NodeId V = Ctx.id();
+
+  if (Ctx.superstep() > 0) {
+    double Sum = 0.0;
+    for (const Message &M : Ctx.messages())
+      Sum += M[0].getDouble();
+    double Val = (1.0 - D) / G.numNodes() + D * Sum;
+    Ctx.putGlobal("diff", Value::makeDouble(std::abs(Val - PR[V])));
+    PR[V] = Val;
+  }
+
+  uint32_t Deg = G.outDegree(V);
+  if (Deg == 0)
+    return;
+  Message M;
+  M.push(Value::makeDouble(PR[V] / Deg));
+  Ctx.sendToAllOutNeighbors(M);
+}
+
+//===----------------------------------------------------------------------===//
+// ConductanceProgram
+//===----------------------------------------------------------------------===//
+
+void ConductanceProgram::init(const Graph &G, MasterContext &Master) {
+  (void)G;
+  assert(Member.size() == G.numNodes() && "member property size mismatch");
+  Result = 0.0;
+  Master.declareGlobal("Din", ReduceKind::Sum, Value::makeInt(0));
+  Master.declareGlobal("Dout", ReduceKind::Sum, Value::makeInt(0));
+  Master.declareGlobal("Cross", ReduceKind::Sum, Value::makeInt(0));
+}
+
+void ConductanceProgram::masterCompute(MasterContext &Master) {
+  if (Master.superstep() != 2)
+    return;
+  int64_t Din = Master.getGlobal("Din").getInt();
+  int64_t Dout = Master.getGlobal("Dout").getInt();
+  int64_t Cross = Master.getGlobal("Cross").getInt();
+  int64_t M = std::min(Din, Dout);
+  if (M == 0)
+    Result = Cross == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  else
+    Result = static_cast<double>(Cross) / static_cast<double>(M);
+  Master.haltAll();
+}
+
+void ConductanceProgram::compute(VertexContext &Ctx) {
+  NodeId V = Ctx.id();
+  switch (Ctx.superstep()) {
+  case 0: {
+    bool Inside = Member[V] == Num;
+    Ctx.putGlobal(Inside ? "Din" : "Dout",
+                  Value::makeInt(Ctx.numOutNeighbors()));
+    if (Inside)
+      Ctx.sendToAllOutNeighbors(Message()); // crossing-edge marker
+    Ctx.voteToHalt();
+    return;
+  }
+  case 1: {
+    // Only message receivers wake up here; outside nodes count markers.
+    if (Member[V] != Num && !Ctx.messages().empty())
+      Ctx.putGlobal("Cross",
+                    Value::makeInt(static_cast<int64_t>(Ctx.messages().size())));
+    Ctx.voteToHalt();
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SSSPProgram
+//===----------------------------------------------------------------------===//
+
+void SSSPProgram::init(const Graph &G, MasterContext &Master) {
+  assert(EdgeLen.size() == G.numEdges() && "edge length size mismatch");
+  assert(Root < G.numNodes() && "root out of range");
+  Dist.assign(G.numNodes(), std::numeric_limits<int64_t>::max());
+  Master.declareGlobal("updated", ReduceKind::Or, Value::makeBool(false));
+}
+
+void SSSPProgram::masterCompute(MasterContext &Master) {
+  if (Master.superstep() == 0)
+    return;
+  // The aggregate visible now covers the previous superstep's relaxations.
+  if (!Master.getGlobal("updated").getBool())
+    Master.haltAll();
+  Master.setGlobal("updated", Value::makeBool(false));
+}
+
+void SSSPProgram::compute(VertexContext &Ctx) {
+  const Graph &G = Ctx.graph();
+  NodeId V = Ctx.id();
+
+  int64_t Best = Dist[V];
+  if (Ctx.superstep() == 0 && V == Root)
+    Best = 0;
+  for (const Message &M : Ctx.messages())
+    Best = std::min(Best, M[0].getInt());
+
+  if (Best < Dist[V]) {
+    Dist[V] = Best;
+    Ctx.putGlobal("updated", Value::makeBool(true));
+    EdgeId E = G.outEdgeBegin(V);
+    for (NodeId Nbr : G.outNeighbors(V)) {
+      Message M;
+      M.push(Value::makeInt(Dist[V] + EdgeLen[E]));
+      Ctx.sendTo(Nbr, M);
+      ++E;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SSSPVoteToHaltProgram
+//===----------------------------------------------------------------------===//
+
+void SSSPVoteToHaltProgram::init(const Graph &G, MasterContext &Master) {
+  (void)Master;
+  assert(EdgeLen.size() == G.numEdges() && "edge length size mismatch");
+  assert(Root < G.numNodes() && "root out of range");
+  Dist.assign(G.numNodes(), std::numeric_limits<int64_t>::max());
+}
+
+void SSSPVoteToHaltProgram::masterCompute(MasterContext &Master) {
+  (void)Master; // terminates by quiescence: all halted, no messages
+}
+
+void SSSPVoteToHaltProgram::compute(VertexContext &Ctx) {
+  const Graph &G = Ctx.graph();
+  NodeId V = Ctx.id();
+
+  int64_t Best = Dist[V];
+  if (Ctx.superstep() == 0 && V == Root)
+    Best = 0;
+  for (const Message &M : Ctx.messages())
+    Best = std::min(Best, M[0].getInt());
+
+  if (Best < Dist[V]) {
+    Dist[V] = Best;
+    EdgeId E = G.outEdgeBegin(V);
+    for (NodeId Nbr : G.outNeighbors(V)) {
+      Message M;
+      M.push(Value::makeInt(Dist[V] + EdgeLen[E]));
+      Ctx.sendTo(Nbr, M);
+      ++E;
+    }
+  }
+  Ctx.voteToHalt();
+}
+
+//===----------------------------------------------------------------------===//
+// BipartiteMatchingProgram
+//===----------------------------------------------------------------------===//
+
+void BipartiteMatchingProgram::init(const Graph &G, MasterContext &Master) {
+  assert(Left.size() == G.numNodes() && "side property size mismatch");
+  Match.assign(G.numNodes(), InvalidNode);
+  Suitor.assign(G.numNodes(), InvalidNode);
+  Matched = 0;
+  Master.declareGlobal("new_matches", ReduceKind::Sum, Value::makeInt(0));
+}
+
+void BipartiteMatchingProgram::masterCompute(MasterContext &Master) {
+  uint64_t Step = Master.superstep();
+  if (Step == 0 || Step % 3 != 0)
+    return;
+  // A full round (propose / accept / finalize) just completed.
+  int64_t New = Master.getGlobal("new_matches").getInt();
+  Matched += New;
+  Master.setGlobal("new_matches", Value::makeInt(0));
+  if (New == 0)
+    Master.haltAll(); // a barren round proves the matching is maximal
+}
+
+void BipartiteMatchingProgram::compute(VertexContext &Ctx) {
+  NodeId V = Ctx.id();
+  switch (Ctx.superstep() % 3) {
+  case 0: {
+    if (!Left[V]) {
+      // Girls: absorb last round's finalize notifications.
+      for (const Message &M : Ctx.messages())
+        if (M.Type == Finalize)
+          Match[V] = static_cast<NodeId>(M[0].getInt());
+      Ctx.voteToHalt();
+      return;
+    }
+    if (Match[V] != InvalidNode) {
+      Ctx.voteToHalt(); // matched boys are done forever
+      return;
+    }
+    Message M;
+    M.Type = Propose;
+    M.push(Value::makeInt(V));
+    Ctx.sendToAllOutNeighbors(M);
+    return; // unmatched boys stay awake to propose next round
+  }
+  case 1: {
+    if (Left[V]) // boys idle through the accept phase
+      return;
+    if (Match[V] == InvalidNode) {
+      for (const Message &M : Ctx.messages()) {
+        if (M.Type != Propose)
+          continue;
+        NodeId Boy = static_cast<NodeId>(M[0].getInt());
+        Suitor[V] = Boy;
+        Message Reply;
+        Reply.Type = Accept;
+        Reply.push(Value::makeInt(V));
+        Ctx.sendTo(Boy, Reply);
+        break; // accept exactly one proposal
+      }
+    }
+    Ctx.voteToHalt();
+    return;
+  }
+  case 2: {
+    if (!Left[V] || Match[V] != InvalidNode)
+      return;
+    for (const Message &M : Ctx.messages()) {
+      if (M.Type != Accept)
+        continue;
+      NodeId Girl = static_cast<NodeId>(M[0].getInt());
+      Match[V] = Girl;
+      Message Note;
+      Note.Type = Finalize;
+      Note.push(Value::makeInt(V));
+      Ctx.sendTo(Girl, Note);
+      Ctx.putGlobal("new_matches", Value::makeInt(1));
+      break; // finalize exactly one acceptance
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}

@@ -1,0 +1,162 @@
+//===- algorithms/manual/ManualPrograms.h - Hand-written Pregel baselines --===//
+///
+/// \file
+/// The five hand-written Pregel (GPS-style) programs the paper's evaluation
+/// compares against (Table 2 / Figure 6): Average Teenage Followers,
+/// PageRank, Conductance, SSSP and Random Bipartite Matching. There is
+/// deliberately no manual Betweenness Centrality — the paper reports a
+/// manual Pregel implementation as prohibitively difficult (Table 2: "N/A").
+///
+/// Each program is written the way a GPS expert would write it: execution
+/// state tracked off the superstep number where possible, explicit message
+/// encoding, global objects for reductions, and voteToHalt() where the
+/// algorithm allows it (compiler-generated code never votes to halt, see
+/// §5.2 — that asymmetry is part of what Figure 6 measures).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_ALGORITHMS_MANUAL_MANUALPROGRAMS_H
+#define GM_ALGORITHMS_MANUAL_MANUALPROGRAMS_H
+
+#include "pregel/Runtime.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gm::manual {
+
+/// Fig. 3: number of teenage (13..19) followers per user and the average
+/// over users older than K. A follower of t is a node u with an edge u -> t.
+class AvgTeenProgram : public pregel::VertexProgram {
+public:
+  AvgTeenProgram(std::vector<int64_t> Age, int64_t K)
+      : Age(std::move(Age)), K(K) {}
+
+  void init(const Graph &G, pregel::MasterContext &Master) override;
+  void masterCompute(pregel::MasterContext &Master) override;
+  void compute(pregel::VertexContext &Ctx) override;
+
+  const std::vector<int64_t> &teenCount() const { return TeenCnt; }
+  double average() const { return Avg; }
+
+private:
+  std::vector<int64_t> Age;
+  int64_t K;
+  std::vector<int64_t> TeenCnt;
+  double Avg = 0.0;
+};
+
+/// Classic Pregel PageRank with the Green-Marl program's termination rule:
+/// stop after MaxIter iterations or when the L1 delta falls below Epsilon.
+class PageRankProgram : public pregel::VertexProgram {
+public:
+  PageRankProgram(double D, double Epsilon, int MaxIter)
+      : D(D), Epsilon(Epsilon), MaxIter(MaxIter) {}
+
+  void init(const Graph &G, pregel::MasterContext &Master) override;
+  void masterCompute(pregel::MasterContext &Master) override;
+  void compute(pregel::VertexContext &Ctx) override;
+
+  const std::vector<double> &rank() const { return PR; }
+  int iterations() const { return Iterations; }
+
+private:
+  double D, Epsilon;
+  int MaxIter;
+  std::vector<double> PR;
+  int Iterations = 0;
+};
+
+/// Conductance of the subset {u : Member[u] == Num} (Appendix B): inside
+/// nodes push a marker along their out-edges; outside nodes count received
+/// markers to obtain the crossing-edge total.
+class ConductanceProgram : public pregel::VertexProgram {
+public:
+  ConductanceProgram(std::vector<int64_t> Member, int64_t Num)
+      : Member(std::move(Member)), Num(Num) {}
+
+  void init(const Graph &G, pregel::MasterContext &Master) override;
+  void masterCompute(pregel::MasterContext &Master) override;
+  void compute(pregel::VertexContext &Ctx) override;
+
+  double conductance() const { return Result; }
+
+private:
+  std::vector<int64_t> Member;
+  int64_t Num;
+  double Result = 0.0;
+};
+
+/// SSSP with master-driven termination: relaxed vertices push dist+len and
+/// report an "updated" aggregate; the master halts after a round with no
+/// improvements. Mirrors the Green-Marl program's `Exist(n)(n.updated)`
+/// logic, so it matches the generated program timestep-for-timestep.
+class SSSPProgram : public pregel::VertexProgram {
+public:
+  SSSPProgram(NodeId Root, std::vector<int64_t> EdgeLen)
+      : Root(Root), EdgeLen(std::move(EdgeLen)) {}
+
+  void init(const Graph &G, pregel::MasterContext &Master) override;
+  void masterCompute(pregel::MasterContext &Master) override;
+  void compute(pregel::VertexContext &Ctx) override;
+
+  const std::vector<int64_t> &distance() const { return Dist; }
+
+private:
+  NodeId Root;
+  std::vector<int64_t> EdgeLen;
+  std::vector<int64_t> Dist;
+};
+
+/// The original Pregel-paper SSSP: relaxed vertices push dist+len, everyone
+/// votes to halt, message arrival reactivates. This is the hand-tuned
+/// variant of §5.2's discussion — the framework skips inactive vertices,
+/// which the compiler-generated code cannot do, and it can even terminate
+/// one superstep earlier when the final relaxations hit sink vertices.
+class SSSPVoteToHaltProgram : public pregel::VertexProgram {
+public:
+  SSSPVoteToHaltProgram(NodeId Root, std::vector<int64_t> EdgeLen)
+      : Root(Root), EdgeLen(std::move(EdgeLen)) {}
+
+  void init(const Graph &G, pregel::MasterContext &Master) override;
+  void masterCompute(pregel::MasterContext &Master) override;
+  void compute(pregel::VertexContext &Ctx) override;
+
+  const std::vector<int64_t> &distance() const { return Dist; }
+
+private:
+  NodeId Root;
+  std::vector<int64_t> EdgeLen;
+  std::vector<int64_t> Dist;
+};
+
+/// Randomized maximal bipartite matching via the appendix's three-phase
+/// handshake: boys propose to all neighbors; unmatched girls accept one
+/// proposal; boys finalize one acceptance and notify the girl. Rounds repeat
+/// until a round produces no new matches.
+class BipartiteMatchingProgram : public pregel::VertexProgram {
+public:
+  /// \p Left marks the proposing ("boy") side; edges must go left -> right.
+  explicit BipartiteMatchingProgram(std::vector<uint8_t> Left)
+      : Left(std::move(Left)) {}
+
+  void init(const Graph &G, pregel::MasterContext &Master) override;
+  void masterCompute(pregel::MasterContext &Master) override;
+  void compute(pregel::VertexContext &Ctx) override;
+
+  const std::vector<NodeId> &match() const { return Match; }
+  int64_t matchCount() const { return Matched; }
+
+  /// Message type tags.
+  enum MsgType : int32_t { Propose = 1, Accept = 2, Finalize = 3 };
+
+private:
+  std::vector<uint8_t> Left;
+  std::vector<NodeId> Match;
+  std::vector<NodeId> Suitor;
+  int64_t Matched = 0;
+};
+
+} // namespace gm::manual
+
+#endif // GM_ALGORITHMS_MANUAL_MANUALPROGRAMS_H

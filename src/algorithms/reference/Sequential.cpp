@@ -1,0 +1,297 @@
+//===- algorithms/reference/Sequential.cpp -----------------------------------===//
+
+#include "algorithms/reference/Sequential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <queue>
+
+using namespace gm;
+using namespace gm::reference;
+
+AvgTeenResult reference::avgTeenageFollowers(const Graph &G,
+                                             std::span<const int64_t> Age,
+                                             int64_t K) {
+  assert(Age.size() == G.numNodes() && "age property size mismatch");
+  AvgTeenResult Result;
+  Result.TeenCount.assign(G.numNodes(), 0);
+
+  for (NodeId U = 0; U < G.numNodes(); ++U) {
+    if (Age[U] < 13 || Age[U] > 19)
+      continue;
+    for (NodeId T : G.outNeighbors(U))
+      ++Result.TeenCount[T];
+  }
+
+  int64_t Sum = 0, Count = 0;
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    if (Age[N] <= K)
+      continue;
+    Sum += Result.TeenCount[N];
+    ++Count;
+  }
+  Result.Average = Count == 0 ? 0.0 : static_cast<double>(Sum) / Count;
+  return Result;
+}
+
+std::vector<double> reference::pageRank(const Graph &G, double D,
+                                        double Epsilon, int MaxIter) {
+  const NodeId N = G.numNodes();
+  const double InvN = 1.0 / N;
+  std::vector<double> PR(N, InvN), Next(N, 0.0);
+
+  for (int Iter = 0; Iter < MaxIter; ++Iter) {
+    std::fill(Next.begin(), Next.end(), (1.0 - D) * InvN);
+    for (NodeId U = 0; U < N; ++U) {
+      uint32_t Deg = G.outDegree(U);
+      if (Deg == 0)
+        continue;
+      double Share = D * PR[U] / Deg;
+      for (NodeId V : G.outNeighbors(U))
+        Next[V] += Share;
+    }
+    double Diff = 0.0;
+    for (NodeId V = 0; V < N; ++V)
+      Diff += std::abs(Next[V] - PR[V]);
+    PR.swap(Next);
+    if (Diff < Epsilon)
+      break;
+  }
+  return PR;
+}
+
+std::vector<int64_t> reference::sssp(const Graph &G, NodeId Root,
+                                     std::span<const int64_t> EdgeLen) {
+  assert(EdgeLen.size() == G.numEdges() && "edge length size mismatch");
+  constexpr int64_t Inf = std::numeric_limits<int64_t>::max();
+  std::vector<int64_t> Dist(G.numNodes(), Inf);
+  Dist[Root] = 0;
+
+  using Entry = std::pair<int64_t, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> Queue;
+  Queue.push({0, Root});
+
+  while (!Queue.empty()) {
+    auto [D, U] = Queue.top();
+    Queue.pop();
+    if (D != Dist[U])
+      continue;
+    EdgeId E = G.outEdgeBegin(U);
+    for (NodeId V : G.outNeighbors(U)) {
+      assert(EdgeLen[E] >= 0 && "negative edge length");
+      int64_t Cand = D + EdgeLen[E];
+      if (Cand < Dist[V]) {
+        Dist[V] = Cand;
+        Queue.push({Cand, V});
+      }
+      ++E;
+    }
+  }
+  return Dist;
+}
+
+double reference::conductance(const Graph &G, std::span<const int64_t> Member,
+                              int64_t Num) {
+  assert(Member.size() == G.numNodes() && "member property size mismatch");
+  int64_t DegIn = 0, DegOut = 0, Cross = 0;
+  for (NodeId U = 0; U < G.numNodes(); ++U) {
+    bool Inside = Member[U] == Num;
+    (Inside ? DegIn : DegOut) += G.outDegree(U);
+    if (!Inside)
+      continue;
+    for (NodeId V : G.outNeighbors(U))
+      if (Member[V] != Num)
+        ++Cross;
+  }
+  int64_t M = std::min(DegIn, DegOut);
+  if (M == 0)
+    return Cross == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return static_cast<double>(Cross) / static_cast<double>(M);
+}
+
+std::vector<NodeId> reference::maximalBipartiteMatching(
+    const Graph &G, std::span<const uint8_t> Left) {
+  assert(Left.size() == G.numNodes() && "side property size mismatch");
+  std::vector<NodeId> Match(G.numNodes(), InvalidNode);
+  for (NodeId U = 0; U < G.numNodes(); ++U) {
+    if (!Left[U] || Match[U] != InvalidNode)
+      continue;
+    for (NodeId V : G.outNeighbors(U)) {
+      assert(!Left[V] && "bipartite edge into the left side");
+      if (Match[V] != InvalidNode)
+        continue;
+      Match[U] = V;
+      Match[V] = U;
+      break;
+    }
+  }
+  return Match;
+}
+
+bool reference::isValidMatching(const Graph &G, std::span<const uint8_t> Left,
+                                std::span<const NodeId> Match) {
+  if (Match.size() != G.numNodes())
+    return false;
+  for (NodeId U = 0; U < G.numNodes(); ++U) {
+    NodeId P = Match[U];
+    if (P == InvalidNode)
+      continue;
+    if (P >= G.numNodes() || Match[P] != U || Left[U] == Left[P])
+      return false;
+    // The matched pair must actually be an edge (left -> right).
+    NodeId L = Left[U] ? U : P;
+    NodeId R = Left[U] ? P : U;
+    auto Nbrs = G.outNeighbors(L);
+    if (std::find(Nbrs.begin(), Nbrs.end(), R) == Nbrs.end())
+      return false;
+  }
+  return true;
+}
+
+bool reference::isMaximalMatching(const Graph &G,
+                                  std::span<const uint8_t> Left,
+                                  std::span<const NodeId> Match) {
+  if (!isValidMatching(G, Left, Match))
+    return false;
+  for (NodeId U = 0; U < G.numNodes(); ++U) {
+    if (!Left[U] || Match[U] != InvalidNode)
+      continue;
+    for (NodeId V : G.outNeighbors(U))
+      if (Match[V] == InvalidNode)
+        return false; // U and V could still be matched
+  }
+  return true;
+}
+
+std::vector<double> reference::betweennessCentrality(
+    const Graph &G, std::span<const NodeId> Sources) {
+  const NodeId N = G.numNodes();
+  std::vector<double> BC(N, 0.0);
+
+  // Brandes (2001), restricted to the given source set.
+  std::vector<int64_t> Dist(N);
+  std::vector<double> Sigma(N), Delta(N);
+  std::vector<NodeId> Order; // vertices in non-decreasing BFS distance
+  Order.reserve(N);
+
+  for (NodeId S : Sources) {
+    std::fill(Dist.begin(), Dist.end(), -1);
+    std::fill(Sigma.begin(), Sigma.end(), 0.0);
+    std::fill(Delta.begin(), Delta.end(), 0.0);
+    Order.clear();
+
+    Dist[S] = 0;
+    Sigma[S] = 1.0;
+    std::deque<NodeId> Queue{S};
+    while (!Queue.empty()) {
+      NodeId U = Queue.front();
+      Queue.pop_front();
+      Order.push_back(U);
+      for (NodeId V : G.outNeighbors(U)) {
+        if (Dist[V] < 0) {
+          Dist[V] = Dist[U] + 1;
+          Queue.push_back(V);
+        }
+        if (Dist[V] == Dist[U] + 1)
+          Sigma[V] += Sigma[U];
+      }
+    }
+
+    for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+      NodeId U = *It;
+      for (NodeId V : G.outNeighbors(U))
+        if (Dist[V] == Dist[U] + 1 && Sigma[V] > 0)
+          Delta[U] += Sigma[U] / Sigma[V] * (1.0 + Delta[V]);
+      if (U != S)
+        BC[U] += Delta[U];
+    }
+  }
+  return BC;
+}
+
+std::vector<double> reference::pageRankWeighted(const Graph &G, double D,
+                                                double Epsilon, int MaxIter,
+                                                std::span<const double> Weight) {
+  assert(Weight.size() == G.numEdges() && "weight size mismatch");
+  const NodeId N = G.numNodes();
+  const double InvN = 1.0 / N;
+  std::vector<double> Total(N, 0.0);
+  for (NodeId U = 0; U < N; ++U) {
+    EdgeId E = G.outEdgeBegin(U);
+    for (NodeId V : G.outNeighbors(U)) {
+      (void)V;
+      Total[U] += Weight[E++];
+    }
+  }
+
+  std::vector<double> PR(N, InvN), Next(N, 0.0);
+  for (int Iter = 0; Iter < MaxIter; ++Iter) {
+    std::fill(Next.begin(), Next.end(), (1.0 - D) * InvN);
+    for (NodeId U = 0; U < N; ++U) {
+      if (Total[U] <= 0.0)
+        continue;
+      EdgeId E = G.outEdgeBegin(U);
+      for (NodeId V : G.outNeighbors(U)) {
+        Next[V] += D * PR[U] * Weight[E] / Total[U];
+        ++E;
+      }
+    }
+    double Diff = 0.0;
+    for (NodeId V = 0; V < N; ++V)
+      Diff += std::abs(Next[V] - PR[V]);
+    PR.swap(Next);
+    if (Diff < Epsilon)
+      break;
+  }
+  return PR;
+}
+
+std::vector<NodeId> reference::weaklyConnectedComponents(const Graph &G) {
+  std::vector<NodeId> Parent(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Parent[N] = N;
+
+  std::function<NodeId(NodeId)> Find = [&](NodeId N) {
+    while (Parent[N] != N) {
+      Parent[N] = Parent[Parent[N]]; // path halving
+      N = Parent[N];
+    }
+    return N;
+  };
+  auto Union = [&](NodeId A, NodeId B) {
+    NodeId RA = Find(A), RB = Find(B);
+    if (RA != RB)
+      Parent[std::max(RA, RB)] = std::min(RA, RB);
+  };
+
+  for (NodeId U = 0; U < G.numNodes(); ++U)
+    for (NodeId V : G.outNeighbors(U))
+      Union(U, V);
+
+  // Roots keep the minimum id of their component thanks to the min-root
+  // union policy above.
+  std::vector<NodeId> Label(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Label[N] = Find(N);
+  return Label;
+}
+
+std::vector<int64_t> reference::bfsLevels(const Graph &G, NodeId Root) {
+  std::vector<int64_t> Level(G.numNodes(), -1);
+  Level[Root] = 0;
+  std::deque<NodeId> Queue{Root};
+  while (!Queue.empty()) {
+    NodeId U = Queue.front();
+    Queue.pop_front();
+    for (NodeId V : G.outNeighbors(U)) {
+      if (Level[V] >= 0)
+        continue;
+      Level[V] = Level[U] + 1;
+      Queue.push_back(V);
+    }
+  }
+  return Level;
+}

@@ -1,0 +1,90 @@
+//===- algorithms/reference/Sequential.h - Shared-memory oracles -----------===//
+///
+/// \file
+/// Straightforward single-threaded implementations of the paper's six
+/// algorithms, written directly against the CSR graph. They serve as
+/// correctness oracles for both the hand-written Pregel baselines and the
+/// compiler-generated programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_ALGORITHMS_REFERENCE_SEQUENTIAL_H
+#define GM_ALGORITHMS_REFERENCE_SEQUENTIAL_H
+
+#include "graph/Graph.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gm::reference {
+
+/// Result of the Average Teenage Followers computation (Fig. 2): per-user
+/// teenage-follower counts plus the average count over users older than K.
+struct AvgTeenResult {
+  std::vector<int64_t> TeenCount; ///< per node: followers aged 13..19
+  double Average = 0.0;           ///< mean TeenCount over nodes with age > K
+};
+
+/// A follower u of user t is an edge u -> t (u follows t), matching the
+/// paper's formulation where teenage nodes push 1 to their out-neighbors.
+AvgTeenResult avgTeenageFollowers(const Graph &G, std::span<const int64_t> Age,
+                                  int64_t K);
+
+/// PageRank with damping \p D, run for exactly \p MaxIter iterations or until
+/// the L1 change drops below \p Epsilon, whichever comes first. Uses the
+/// standard formulation PR(v) = (1-d)/N + d * sum_{u->v} PR(u)/outdeg(u).
+std::vector<double> pageRank(const Graph &G, double D, double Epsilon,
+                             int MaxIter);
+
+/// Single-source shortest paths with non-negative integer edge lengths
+/// (Dijkstra). Unreachable nodes get INT64_MAX.
+std::vector<int64_t> sssp(const Graph &G, NodeId Root,
+                          std::span<const int64_t> EdgeLen);
+
+/// Conductance of the node subset {u : Member[u] == Num}: crossing edges
+/// divided by the smaller of the inside/outside degree sums (Appendix B).
+/// Degree here is out-degree, as in Green-Marl's u.Degree().
+double conductance(const Graph &G, std::span<const int64_t> Member,
+                   int64_t Num);
+
+/// Maximal (not maximum) bipartite matching via greedy augmentation; Left
+/// marks the "boy" side. Returns per-node partner (InvalidNode if single).
+/// Any maximal matching is a 2-approximation of the maximum, so its size
+/// bounds what the randomized Pregel protocol can produce.
+std::vector<NodeId> maximalBipartiteMatching(const Graph &G,
+                                             std::span<const uint8_t> Left);
+
+/// True if \p Match is a valid matching on G restricted to left->right
+/// edges: symmetric, edge-respecting, at most one partner per node.
+bool isValidMatching(const Graph &G, std::span<const uint8_t> Left,
+                     std::span<const NodeId> Match);
+
+/// True if \p Match is maximal: no left node with an unmatched right
+/// neighbor remains unmatched.
+bool isMaximalMatching(const Graph &G, std::span<const uint8_t> Left,
+                       std::span<const NodeId> Match);
+
+/// Brandes betweenness centrality accumulated from the given \p Sources
+/// (pass all nodes for the exact value). Directed, unweighted; matches the
+/// SNAP approximation the paper's Fig. 4 implements.
+std::vector<double> betweennessCentrality(const Graph &G,
+                                          std::span<const NodeId> Sources);
+
+/// BFS hop distance from \p Root following out-edges; unreached = -1.
+std::vector<int64_t> bfsLevels(const Graph &G, NodeId Root);
+
+/// PageRank where rank flows proportionally to edge weights; nodes with a
+/// zero weight total distribute nothing (like sinks).
+std::vector<double> pageRankWeighted(const Graph &G, double D, double Epsilon,
+                                     int MaxIter,
+                                     std::span<const double> Weight);
+
+/// Weakly-connected components via union-find; each node is labeled with
+/// the smallest node id in its component (the fixpoint min-label
+/// propagation converges to).
+std::vector<NodeId> weaklyConnectedComponents(const Graph &G);
+
+} // namespace gm::reference
+
+#endif // GM_ALGORITHMS_REFERENCE_SEQUENTIAL_H

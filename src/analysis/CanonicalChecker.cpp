@@ -1,0 +1,546 @@
+//===- analysis/CanonicalChecker.cpp --------------------------------------------===//
+
+#include "analysis/CanonicalChecker.h"
+
+#include "analysis/ReadWriteSets.h"
+
+#include "frontend/ASTVisitor.h"
+
+using namespace gm;
+
+/// True if the subtree contains a Foreach or InBFS statement.
+static bool containsParallelWork(Stmt *S) {
+  if (!S)
+    return false;
+  struct Finder : ASTWalker {
+    bool Found = false;
+    bool visitStmtPre(Stmt *S) override {
+      if (isa<ForeachStmt>(S) || isa<BFSStmt>(S))
+        Found = true;
+      return !Found;
+    }
+  } F;
+  F.walk(S);
+  return F.Found;
+}
+
+void CanonicalChecker::fail(SourceLocation Loc, const std::string &Msg) {
+  Diags.error(Loc, "not Pregel-canonical: " + Msg);
+  Ok = false;
+}
+
+bool CanonicalChecker::check(ProcedureDecl *Proc) {
+  Ok = true;
+  checkStmt(Proc->body(), Context());
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Sequential-scope expressions may only touch scalars and graph-level
+/// builtins; any vertex data access at sequential scope requires the
+/// random-access transformation first.
+void CanonicalChecker::checkSequentialExpr(Expr *E) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::FloatLiteral:
+  case Expr::Kind::BoolLiteral:
+  case Expr::Kind::InfLiteral:
+  case Expr::Kind::NilLiteral:
+  case Expr::Kind::VarRef:
+    return;
+  case Expr::Kind::PropAccess:
+    fail(E->location(), "random access of a vertex property in a sequential "
+                        "phase (requires the Random Access transformation)");
+    return;
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    checkSequentialExpr(B->lhs());
+    checkSequentialExpr(B->rhs());
+    return;
+  }
+  case Expr::Kind::Unary:
+    checkSequentialExpr(cast<UnaryExpr>(E)->operand());
+    return;
+  case Expr::Kind::Ternary: {
+    auto *T = cast<TernaryExpr>(E);
+    checkSequentialExpr(T->cond());
+    checkSequentialExpr(T->thenExpr());
+    checkSequentialExpr(T->elseExpr());
+    return;
+  }
+  case Expr::Kind::Cast:
+    checkSequentialExpr(cast<CastExpr>(E)->operand());
+    return;
+  case Expr::Kind::BuiltinCall: {
+    auto *C = cast<BuiltinCallExpr>(E);
+    switch (C->builtin()) {
+    case BuiltinKind::NumNodes:
+    case BuiltinKind::NumEdges:
+    case BuiltinKind::PickRandom:
+      return; // master-side graph builtins
+    default:
+      fail(E->location(),
+           "node builtins are not available in a sequential phase");
+      return;
+    }
+  }
+  case Expr::Kind::Reduction:
+    fail(E->location(),
+         "reduction expression (requires reduction lowering)");
+    return;
+  }
+  gm_unreachable("invalid expression kind");
+}
+
+/// Vertex-scope expressions: scalars (broadcast), the loop iterator's own
+/// properties, its degree builtins, graph constants.
+void CanonicalChecker::checkVertexExpr(Expr *E, const Context &Ctx) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::FloatLiteral:
+  case Expr::Kind::BoolLiteral:
+  case Expr::Kind::InfLiteral:
+  case Expr::Kind::NilLiteral:
+  case Expr::Kind::VarRef:
+    return;
+  case Expr::Kind::PropAccess: {
+    auto *P = cast<PropAccessExpr>(E);
+    if (P->baseVar() != Ctx.VertexLoop->iterator())
+      fail(E->location(),
+           "reading a property of a vertex other than the loop iterator "
+           "(random reading is not allowed)");
+    return;
+  }
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    checkVertexExpr(B->lhs(), Ctx);
+    checkVertexExpr(B->rhs(), Ctx);
+    return;
+  }
+  case Expr::Kind::Unary:
+    checkVertexExpr(cast<UnaryExpr>(E)->operand(), Ctx);
+    return;
+  case Expr::Kind::Ternary: {
+    auto *T = cast<TernaryExpr>(E);
+    checkVertexExpr(T->cond(), Ctx);
+    checkVertexExpr(T->thenExpr(), Ctx);
+    checkVertexExpr(T->elseExpr(), Ctx);
+    return;
+  }
+  case Expr::Kind::Cast:
+    checkVertexExpr(cast<CastExpr>(E)->operand(), Ctx);
+    return;
+  case Expr::Kind::BuiltinCall: {
+    auto *C = cast<BuiltinCallExpr>(E);
+    switch (C->builtin()) {
+    case BuiltinKind::NumNodes:
+    case BuiltinKind::NumEdges:
+    case BuiltinKind::PickRandom:
+      return;
+    case BuiltinKind::Degree:
+    case BuiltinKind::OutDegree:
+    case BuiltinKind::InDegree: {
+      auto *Ref = dyn_cast<VarRefExpr>(C->base());
+      if (!Ref || Ref->decl() != Ctx.VertexLoop->iterator())
+        fail(E->location(), "degree of a vertex other than the loop iterator");
+      return;
+    }
+    case BuiltinKind::ToEdge:
+      fail(E->location(), "ToEdge outside a neighborhood loop");
+      return;
+    }
+    gm_unreachable("invalid builtin");
+  }
+  case Expr::Kind::Reduction:
+    fail(E->location(), "reduction expression (requires reduction lowering)");
+    return;
+  }
+  gm_unreachable("invalid expression kind");
+}
+
+/// Inner-loop ("receiver-computable") expression terms: constants, scalars
+/// (payload or broadcast), inner-iterator properties (receiver's own),
+/// outer-iterator properties (payload), edge properties of the current
+/// out-edge (payload), degrees of either iterator.
+void CanonicalChecker::checkInnerExprTerm(Expr *E, const Context &Ctx) {
+  if (!E)
+    return;
+  VarDecl *Outer = Ctx.VertexLoop->iterator();
+  VarDecl *Inner = Ctx.InnerLoop->iterator();
+  bool OutDirection = Ctx.InnerLoop->source().isOutDirection();
+
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::FloatLiteral:
+  case Expr::Kind::BoolLiteral:
+  case Expr::Kind::InfLiteral:
+  case Expr::Kind::NilLiteral:
+  case Expr::Kind::VarRef:
+    return;
+  case Expr::Kind::PropAccess: {
+    auto *P = cast<PropAccessExpr>(E);
+    VarDecl *Base = P->baseVar();
+    if (Base == Outer || Base == Inner)
+      return;
+    // Edge property through a bound edge variable.
+    if (Base && Base->type()->isEdge()) {
+      auto It = EdgeBindings.find(Base);
+      if (It != EdgeBindings.end() && It->second == Inner) {
+        if (!OutDirection)
+          fail(E->location(), "edge property accessed while iterating "
+                              "incoming edges (edge properties are only "
+                              "accessible from the source vertex)");
+        return;
+      }
+      fail(E->location(), "edge variable not bound to this loop's iterator");
+      return;
+    }
+    // Edge property through t.ToEdge().prop.
+    if (auto *Call = dyn_cast<BuiltinCallExpr>(P->base())) {
+      if (Call->builtin() == BuiltinKind::ToEdge) {
+        auto *Ref = dyn_cast<VarRefExpr>(Call->base());
+        if (Ref && Ref->decl() == Inner) {
+          if (!OutDirection)
+            fail(E->location(), "edge property accessed while iterating "
+                                "incoming edges");
+          return;
+        }
+      }
+    }
+    fail(E->location(), "reading a property of a vertex that is neither the "
+                        "sender nor the receiver");
+    return;
+  }
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    checkInnerExprTerm(B->lhs(), Ctx);
+    checkInnerExprTerm(B->rhs(), Ctx);
+    return;
+  }
+  case Expr::Kind::Unary:
+    checkInnerExprTerm(cast<UnaryExpr>(E)->operand(), Ctx);
+    return;
+  case Expr::Kind::Ternary: {
+    auto *T = cast<TernaryExpr>(E);
+    checkInnerExprTerm(T->cond(), Ctx);
+    checkInnerExprTerm(T->thenExpr(), Ctx);
+    checkInnerExprTerm(T->elseExpr(), Ctx);
+    return;
+  }
+  case Expr::Kind::Cast:
+    checkInnerExprTerm(cast<CastExpr>(E)->operand(), Ctx);
+    return;
+  case Expr::Kind::BuiltinCall: {
+    auto *C = cast<BuiltinCallExpr>(E);
+    switch (C->builtin()) {
+    case BuiltinKind::NumNodes:
+    case BuiltinKind::NumEdges:
+      return;
+    case BuiltinKind::Degree:
+    case BuiltinKind::OutDegree:
+    case BuiltinKind::InDegree: {
+      auto *Ref = dyn_cast<VarRefExpr>(C->base());
+      if (!Ref || (Ref->decl() != Outer && Ref->decl() != Inner))
+        fail(E->location(), "degree of a third vertex inside a "
+                            "neighborhood loop");
+      return;
+    }
+    case BuiltinKind::PickRandom:
+      fail(E->location(), "PickRandom inside a neighborhood loop");
+      return;
+    case BuiltinKind::ToEdge:
+      fail(E->location(), "bare ToEdge expression");
+      return;
+    }
+    gm_unreachable("invalid builtin");
+  }
+  case Expr::Kind::Reduction:
+    fail(E->location(), "reduction expression (requires reduction lowering)");
+    return;
+  }
+  gm_unreachable("invalid expression kind");
+}
+
+bool CanonicalChecker::isSenderComputable(Expr *E, const Context &Ctx,
+                                          bool AllowEdgeProps) {
+  (void)AllowEdgeProps;
+  // A random-write payload may use anything a vertex expression may use.
+  unsigned Before = Diags.errorCount();
+  bool SavedOk = Ok;
+  checkVertexExpr(E, Ctx);
+  bool Clean = Diags.errorCount() == Before;
+  Ok = SavedOk && Clean;
+  return Clean;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void CanonicalChecker::checkInnerStmt(Stmt *S, const Context &Ctx) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (Stmt *Child : cast<BlockStmt>(S)->statements())
+      checkInnerStmt(Child, Ctx);
+    return;
+  case Stmt::Kind::Decl: {
+    auto *D = cast<DeclStmt>(S);
+    if (D->decl()->type()->isEdge()) {
+      if (!Ctx.InnerLoop->source().isOutDirection())
+        fail(D->location(), "edge binding while iterating incoming edges");
+      return;
+    }
+    fail(D->location(), "variable declaration inside a neighborhood loop");
+    return;
+  }
+  case Stmt::Kind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    if (auto *P = dyn_cast<PropAccessExpr>(A->target())) {
+      if (P->baseVar() == Ctx.InnerLoop->iterator()) {
+        // Push: writing the neighbor's property.
+        checkInnerExprTerm(A->value(), Ctx);
+        return;
+      }
+      if (P->baseVar() == Ctx.VertexLoop->iterator()) {
+        if (Ctx.LocalEdge) {
+          // A local out-edge iteration legitimately accumulates into the
+          // owning vertex; everything it reads is sender-local.
+          checkInnerExprTerm(A->value(), Ctx);
+          return;
+        }
+        fail(A->location(),
+             "neighborhood loop modifies the outer vertex's property "
+             "(message pulling; requires the Edge Flipping transformation)");
+        return;
+      }
+      fail(A->location(), "write to a third vertex inside a neighborhood "
+                          "loop");
+      return;
+    }
+    if (auto *Ref = dyn_cast<VarRefExpr>(A->target())) {
+      // Global scalar reduction from the receiver (e.g. the BFS expansion's
+      // termination flag). Plain assignment would race.
+      if (A->reduce() == ReduceKind::None) {
+        fail(A->location(), "plain scalar assignment inside a neighborhood "
+                            "loop (use a reduction)");
+        return;
+      }
+      if (Ref->decl()->storage() != VarDecl::StorageKind::Param &&
+          Ctx.VertexLoop && LoopLocals.count(Ref->decl())) {
+        fail(A->location(),
+             "neighborhood loop modifies a loop-scoped scalar "
+             "(requires the Loop Dissection transformation)");
+        return;
+      }
+      checkInnerExprTerm(A->value(), Ctx);
+      return;
+    }
+    fail(A->location(), "invalid assignment target");
+    return;
+  }
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    checkInnerExprTerm(I->cond(), Ctx);
+    checkInnerStmt(I->thenStmt(), Ctx);
+    checkInnerStmt(I->elseStmt(), Ctx);
+    return;
+  }
+  case Stmt::Kind::Foreach:
+    fail(S->location(), "neighborhood loops may not be nested deeper than "
+                        "two levels");
+    return;
+  case Stmt::Kind::While:
+  case Stmt::Kind::BFS:
+  case Stmt::Kind::Return:
+    fail(S->location(), "control flow inside a neighborhood loop");
+    return;
+  }
+  gm_unreachable("invalid statement kind");
+}
+
+void CanonicalChecker::checkStmt(Stmt *S, Context Ctx) {
+  if (!S)
+    return;
+  switch (Ctx.S) {
+  case Scope::Sequential:
+    break;
+  case Scope::VertexLoop:
+    break;
+  case Scope::InnerLoop:
+    checkInnerStmt(S, Ctx);
+    return;
+  }
+
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (Stmt *Child : cast<BlockStmt>(S)->statements())
+      checkStmt(Child, Ctx);
+    return;
+
+  case Stmt::Kind::Decl: {
+    auto *D = cast<DeclStmt>(S);
+    if (Ctx.S == Scope::VertexLoop) {
+      if (D->decl()->isProperty()) {
+        fail(D->location(), "property declaration inside a parallel loop");
+        return;
+      }
+      LoopLocals.insert(D->decl());
+      if (D->init())
+        checkVertexExpr(D->init(), Ctx);
+      return;
+    }
+    if (D->init())
+      checkSequentialExpr(D->init());
+    return;
+  }
+
+  case Stmt::Kind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    if (Ctx.S == Scope::Sequential) {
+      if (isa<PropAccessExpr>(A->target())) {
+        fail(A->location(), "vertex property write in a sequential phase "
+                            "(requires the Random Access transformation)");
+        return;
+      }
+      checkSequentialExpr(A->value());
+      return;
+    }
+    // Vertex scope.
+    if (auto *P = dyn_cast<PropAccessExpr>(A->target())) {
+      VarDecl *Base = P->baseVar();
+      if (Base == Ctx.VertexLoop->iterator()) {
+        checkVertexExpr(A->value(), Ctx);
+        return;
+      }
+      if (Base && Base->type()->isNode()) {
+        // Random write: the payload must be computable at the writer.
+        isSenderComputable(A->value(), Ctx, /*AllowEdgeProps=*/false);
+        return;
+      }
+      fail(A->location(), "unsupported property write");
+      return;
+    }
+    if (auto *Ref = dyn_cast<VarRefExpr>(A->target())) {
+      bool IsLoopLocal = LoopLocals.count(Ref->decl()) != 0;
+      if (!IsLoopLocal && A->reduce() == ReduceKind::None) {
+        fail(A->location(), "plain assignment to a shared scalar inside a "
+                            "parallel loop (use a reduction)");
+        return;
+      }
+      checkVertexExpr(A->value(), Ctx);
+      return;
+    }
+    fail(A->location(), "invalid assignment target");
+    return;
+  }
+
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    if (Ctx.S == Scope::Sequential) {
+      checkSequentialExpr(I->cond());
+      // Parallel loops under a sequential If are not supported by the
+      // translator's CFG construction; branches must be master-only.
+      if (containsParallelWork(I->thenStmt()) ||
+          containsParallelWork(I->elseStmt())) {
+        fail(I->location(), "parallel loops under a sequential If are not "
+                            "supported");
+        return;
+      }
+      checkStmt(I->thenStmt(), Ctx);
+      checkStmt(I->elseStmt(), Ctx);
+      return;
+    }
+    checkVertexExpr(I->cond(), Ctx);
+    checkStmt(I->thenStmt(), Ctx);
+    checkStmt(I->elseStmt(), Ctx);
+    return;
+  }
+
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    if (Ctx.S != Scope::Sequential) {
+      fail(W->location(), "While inside a parallel loop");
+      return;
+    }
+    checkSequentialExpr(W->cond());
+    checkStmt(W->body(), Ctx);
+    return;
+  }
+
+  case Stmt::Kind::Foreach: {
+    auto *F = cast<ForeachStmt>(S);
+    if (!F->isParallel()) {
+      fail(F->location(), "sequential For loops over graph data are "
+                          "inherently serial; use Foreach (the paper's "
+                          "master-simulation fallback is not implemented)");
+      return;
+    }
+    if (Ctx.S == Scope::Sequential) {
+      if (F->source().K != IterSource::Kind::GraphNodes) {
+        fail(F->location(), "top-level loops must iterate over G.Nodes");
+        return;
+      }
+      Context Inner = Ctx;
+      Inner.S = Scope::VertexLoop;
+      Inner.VertexLoop = F;
+      if (F->filter())
+        checkVertexExpr(F->filter(), Inner);
+      checkStmt(F->body(), Inner);
+      return;
+    }
+    // Vertex scope: a neighborhood loop.
+    switch (F->source().K) {
+    case IterSource::Kind::OutNbrs:
+    case IterSource::Kind::InNbrs:
+      break;
+    case IterSource::Kind::GraphNodes:
+      fail(F->location(), "nested loop over all nodes (only neighborhood "
+                          "iteration may be nested)");
+      return;
+    case IterSource::Kind::UpNbrs:
+    case IterSource::Kind::DownNbrs:
+      fail(F->location(), "BFS neighbor iteration must be lowered first");
+      return;
+    }
+    if (F->source().Base != Ctx.VertexLoop->iterator()) {
+      fail(F->location(), "inner loop must iterate over the outer "
+                          "iterator's neighborhood");
+      return;
+    }
+    Context Inner = Ctx;
+    Inner.S = Scope::InnerLoop;
+    Inner.InnerLoop = F;
+    Inner.LocalEdge =
+        isLocalEdgeLoop(F, Ctx.VertexLoop->iterator(), EdgeBindings);
+    if (F->filter())
+      checkInnerExprTerm(F->filter(), Inner);
+    checkStmt(F->body(), Inner);
+    return;
+  }
+
+  case Stmt::Kind::BFS:
+    fail(S->location(), "InBFS must be lowered by the BFS transformation");
+    return;
+
+  case Stmt::Kind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (Ctx.S != Scope::Sequential) {
+      fail(R->location(), "Return inside a parallel loop");
+      return;
+    }
+    if (R->value())
+      checkSequentialExpr(R->value());
+    return;
+  }
+  }
+  gm_unreachable("invalid statement kind");
+}

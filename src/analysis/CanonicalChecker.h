@@ -1,0 +1,67 @@
+//===- analysis/CanonicalChecker.h - Pregel-canonical form check ------------===//
+///
+/// \file
+/// Implements §3.2's definition of a *Pregel-canonical* Green-Marl program:
+/// the subset that the direct translation rules of §3.1 can turn into a
+/// Pregel program. Programs that fail this check go through the §4.1
+/// transformations first; if they still fail, compilation errors out (the
+/// paper's behaviour for unknown patterns).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_ANALYSIS_CANONICALCHECKER_H
+#define GM_ANALYSIS_CANONICALCHECKER_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+#include <set>
+#include <unordered_map>
+
+namespace gm {
+
+/// Checks the canonical-form conditions. All violations are reported as
+/// diagnostics with "not Pregel-canonical" context.
+class CanonicalChecker {
+public:
+  /// \p EdgeBindings comes from Sema (Edge e = t.ToEdge() bindings).
+  CanonicalChecker(DiagnosticEngine &Diags,
+                   const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings)
+      : Diags(Diags), EdgeBindings(EdgeBindings) {}
+
+  /// Returns true if \p Proc is Pregel-canonical.
+  bool check(ProcedureDecl *Proc);
+
+private:
+  enum class Scope { Sequential, VertexLoop, InnerLoop };
+
+  struct Context {
+    Scope S = Scope::Sequential;
+    ForeachStmt *VertexLoop = nullptr; ///< enclosing loop over G.Nodes
+    ForeachStmt *InnerLoop = nullptr;  ///< enclosing neighborhood loop
+    bool LocalEdge = false; ///< inner loop is a local out-edge iteration
+  };
+
+  void checkStmt(Stmt *S, Context Ctx);
+  void checkSequentialExpr(Expr *E);
+  void checkVertexExpr(Expr *E, const Context &Ctx);
+  void checkInnerStmt(Stmt *S, const Context &Ctx);
+  void checkInnerExprTerm(Expr *E, const Context &Ctx);
+
+  /// True if \p E only references values available at the sending vertex of
+  /// \p Ctx's inner loop: the outer iterator's properties, scalars, edge
+  /// properties of the current edge (out-direction only), constants.
+  bool isSenderComputable(Expr *E, const Context &Ctx, bool AllowEdgeProps);
+
+  void fail(SourceLocation Loc, const std::string &Msg);
+
+  DiagnosticEngine &Diags;
+  const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings;
+  /// Scalars declared inside the current vertex loop (per-vertex lifetime).
+  std::set<VarDecl *> LoopLocals;
+  bool Ok = true;
+};
+
+} // namespace gm
+
+#endif // GM_ANALYSIS_CANONICALCHECKER_H

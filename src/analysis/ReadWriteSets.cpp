@@ -1,0 +1,249 @@
+//===- analysis/ReadWriteSets.cpp ----------------------------------------------===//
+
+#include "analysis/ReadWriteSets.h"
+
+#include "frontend/ASTVisitor.h"
+
+using namespace gm;
+
+void AccessSummary::merge(const AccessSummary &Other) {
+  ScalarReads.insert(Other.ScalarReads.begin(), Other.ScalarReads.end());
+  ScalarWrites.insert(Other.ScalarWrites.begin(), Other.ScalarWrites.end());
+  PropReads.insert(Other.PropReads.begin(), Other.PropReads.end());
+  PropWrites.insert(Other.PropWrites.begin(), Other.PropWrites.end());
+  HasPickRandom |= Other.HasPickRandom;
+}
+
+namespace {
+
+/// Records reads from an expression tree into a summary. Property accesses
+/// record their base variable; everything reached here is a *read* — writes
+/// are handled at the statement level.
+class ExprCollector : public ASTWalker {
+public:
+  explicit ExprCollector(AccessSummary &Out) : Out(Out) {}
+
+  bool visitExprPre(Expr *E) override {
+    if (auto *Ref = dyn_cast<VarRefExpr>(E)) {
+      VarDecl *V = Ref->decl();
+      if (!V->isIterator() && !V->type()->isProperty() &&
+          !V->type()->isGraph() && !V->type()->isEdge())
+        Out.ScalarReads.insert(V);
+      return true;
+    }
+    if (auto *P = dyn_cast<PropAccessExpr>(E)) {
+      Out.PropReads.insert({P->prop(), P->baseVar()});
+      // Do not descend into the base VarRef (it is the access path, not an
+      // independent scalar read), but do visit computed bases.
+      if (!P->baseVar())
+        walk(P->base());
+      return false;
+    }
+    if (auto *C = dyn_cast<BuiltinCallExpr>(E)) {
+      if (C->builtin() == BuiltinKind::PickRandom)
+        Out.HasPickRandom = true;
+      // Degree()/ToEdge() bases are access paths, not value reads.
+      return false;
+    }
+    return true;
+  }
+
+private:
+  AccessSummary &Out;
+};
+
+void collectExprInto(Expr *E, AccessSummary &Out) {
+  if (!E)
+    return;
+  ExprCollector C(Out);
+  C.walk(E);
+}
+
+void collectStmtInto(Stmt *S, AccessSummary &Out) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (Stmt *Child : cast<BlockStmt>(S)->statements())
+      collectStmtInto(Child, Out);
+    return;
+  case Stmt::Kind::Decl: {
+    auto *D = cast<DeclStmt>(S);
+    if (!D->decl()->type()->isProperty() && !D->decl()->type()->isEdge())
+      Out.ScalarWrites.insert(D->decl());
+    collectExprInto(D->init(), Out);
+    return;
+  }
+  case Stmt::Kind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    if (auto *Ref = dyn_cast<VarRefExpr>(A->target())) {
+      Out.ScalarWrites.insert(Ref->decl());
+      // Reducing assignment also reads the old value.
+      if (A->reduce() != ReduceKind::None)
+        Out.ScalarReads.insert(Ref->decl());
+    } else if (auto *P = dyn_cast<PropAccessExpr>(A->target())) {
+      Out.PropWrites.insert({P->prop(), P->baseVar()});
+      if (A->reduce() != ReduceKind::None)
+        Out.PropReads.insert({P->prop(), P->baseVar()});
+    }
+    collectExprInto(A->value(), Out);
+    return;
+  }
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    collectExprInto(I->cond(), Out);
+    collectStmtInto(I->thenStmt(), Out);
+    collectStmtInto(I->elseStmt(), Out);
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    collectExprInto(W->cond(), Out);
+    collectStmtInto(W->body(), Out);
+    return;
+  }
+  case Stmt::Kind::Foreach: {
+    auto *F = cast<ForeachStmt>(S);
+    collectExprInto(F->filter(), Out);
+    collectStmtInto(F->body(), Out);
+    return;
+  }
+  case Stmt::Kind::BFS: {
+    auto *B = cast<BFSStmt>(S);
+    collectExprInto(B->root(), Out);
+    collectExprInto(B->filter(), Out);
+    collectStmtInto(B->forwardBody(), Out);
+    collectExprInto(B->reverseFilter(), Out);
+    collectStmtInto(B->reverseBody(), Out);
+    return;
+  }
+  case Stmt::Kind::Return:
+    collectExprInto(cast<ReturnStmt>(S)->value(), Out);
+    return;
+  }
+  gm_unreachable("invalid statement kind");
+}
+
+} // namespace
+
+AccessSummary gm::collectAccesses(Stmt *S) {
+  AccessSummary Out;
+  collectStmtInto(S, Out);
+  return Out;
+}
+
+AccessSummary gm::collectExprAccesses(Expr *E) {
+  AccessSummary Out;
+  collectExprInto(E, Out);
+  return Out;
+}
+
+namespace {
+
+/// Does \p E reference \p Inner other than as the path of an edge-property
+/// access (`e.prop` with `Edge e = Inner.ToEdge()` or `Inner.ToEdge().prop`)?
+bool touchesInner(Expr *E, VarDecl *Inner,
+                  const std::unordered_map<VarDecl *, VarDecl *> &Bindings) {
+  if (!E)
+    return false;
+  switch (E->kind()) {
+  case Expr::Kind::VarRef: {
+    VarDecl *V = cast<VarRefExpr>(E)->decl();
+    if (V == Inner)
+      return true;
+    return false;
+  }
+  case Expr::Kind::PropAccess: {
+    auto *P = cast<PropAccessExpr>(E);
+    if (P->prop()->type()->isEdgeProp()) {
+      // e.prop with e bound to Inner: a sender-local edge read.
+      if (VarDecl *Base = P->baseVar()) {
+        auto It = Bindings.find(Base);
+        if (It != Bindings.end() && It->second == Inner)
+          return false;
+      }
+      if (auto *Call = dyn_cast<BuiltinCallExpr>(P->base()))
+        if (Call->builtin() == BuiltinKind::ToEdge)
+          if (auto *Ref = dyn_cast<VarRefExpr>(Call->base()))
+            if (Ref->decl() == Inner)
+              return false;
+    }
+    if (P->baseVar() == Inner)
+      return true;
+    return touchesInner(P->base(), Inner, Bindings);
+  }
+  case Expr::Kind::BuiltinCall: {
+    auto *C = cast<BuiltinCallExpr>(E);
+    if (C->builtin() == BuiltinKind::ToEdge)
+      return false; // handled at the PropAccess level
+    return touchesInner(C->base(), Inner, Bindings);
+  }
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    return touchesInner(B->lhs(), Inner, Bindings) ||
+           touchesInner(B->rhs(), Inner, Bindings);
+  }
+  case Expr::Kind::Unary:
+    return touchesInner(cast<UnaryExpr>(E)->operand(), Inner, Bindings);
+  case Expr::Kind::Ternary: {
+    auto *T = cast<TernaryExpr>(E);
+    return touchesInner(T->cond(), Inner, Bindings) ||
+           touchesInner(T->thenExpr(), Inner, Bindings) ||
+           touchesInner(T->elseExpr(), Inner, Bindings);
+  }
+  case Expr::Kind::Cast:
+    return touchesInner(cast<CastExpr>(E)->operand(), Inner, Bindings);
+  default:
+    return false;
+  }
+}
+
+bool localEdgeStmtOk(
+    Stmt *S, VarDecl *Outer, VarDecl *Inner,
+    const std::unordered_map<VarDecl *, VarDecl *> &Bindings) {
+  if (!S)
+    return true;
+  switch (S->kind()) {
+  case Stmt::Kind::Block: {
+    for (Stmt *C : cast<BlockStmt>(S)->statements())
+      if (!localEdgeStmtOk(C, Outer, Inner, Bindings))
+        return false;
+    return true;
+  }
+  case Stmt::Kind::Decl:
+    return cast<DeclStmt>(S)->decl()->type()->isEdge(); // edge binding only
+  case Stmt::Kind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    if (touchesInner(A->value(), Inner, Bindings))
+      return false;
+    if (auto *P = dyn_cast<PropAccessExpr>(A->target()))
+      return P->baseVar() == Outer;
+    if (auto *Ref = dyn_cast<VarRefExpr>(A->target()))
+      return !Ref->decl()->isIterator() && A->reduce() != ReduceKind::None;
+    return false;
+  }
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    return !touchesInner(I->cond(), Inner, Bindings) &&
+           localEdgeStmtOk(I->thenStmt(), Outer, Inner, Bindings) &&
+           localEdgeStmtOk(I->elseStmt(), Outer, Inner, Bindings);
+  }
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool gm::isLocalEdgeLoop(
+    ForeachStmt *Inner, VarDecl *Outer,
+    const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings) {
+  if (Inner->source().K != IterSource::Kind::OutNbrs ||
+      Inner->source().Base != Outer)
+    return false;
+  if (Inner->filter() &&
+      touchesInner(Inner->filter(), Inner->iterator(), EdgeBindings))
+    return false;
+  return localEdgeStmtOk(Inner->body(), Outer, Inner->iterator(),
+                         EdgeBindings);
+}

@@ -1,0 +1,97 @@
+//===- analysis/ReadWriteSets.h - Variable access analysis ------------------===//
+///
+/// \file
+/// Collects which scalars and properties a statement subtree reads and
+/// writes, and through which base variable each property is touched. This
+/// is the dataflow substrate for loop dissection, edge flipping, message
+/// payload inference and state merging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_ANALYSIS_READWRITESETS_H
+#define GM_ANALYSIS_READWRITESETS_H
+
+#include "frontend/AST.h"
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+namespace gm {
+
+/// Access summary of a statement or expression subtree.
+struct AccessSummary {
+  /// Non-property scalar variables (locals/params), excluding iterators.
+  std::set<VarDecl *> ScalarReads;
+  std::set<VarDecl *> ScalarWrites;
+
+  /// Property accesses as (property, base variable) pairs. The base is the
+  /// variable the property was reached through (an iterator or a Node
+  /// variable); accesses through non-VarRef bases are recorded with a null
+  /// base (these are rejected later by the canonical checker anyway).
+  std::set<std::pair<VarDecl *, VarDecl *>> PropReads;
+  std::set<std::pair<VarDecl *, VarDecl *>> PropWrites;
+
+  /// True if the subtree contains G.PickRandom().
+  bool HasPickRandom = false;
+
+  bool readsScalar(VarDecl *V) const { return ScalarReads.count(V) != 0; }
+  bool writesScalar(VarDecl *V) const { return ScalarWrites.count(V) != 0; }
+
+  bool readsPropOf(VarDecl *Base) const {
+    for (const auto &[Prop, B] : PropReads) {
+      (void)Prop;
+      if (B == Base)
+        return true;
+    }
+    return false;
+  }
+  bool writesPropOf(VarDecl *Base) const {
+    for (const auto &[Prop, B] : PropWrites) {
+      (void)Prop;
+      if (B == Base)
+        return true;
+    }
+    return false;
+  }
+  bool readsProp(VarDecl *Prop) const {
+    for (const auto &[P, B] : PropReads) {
+      (void)B;
+      if (P == Prop)
+        return true;
+    }
+    return false;
+  }
+  bool writesProp(VarDecl *Prop) const {
+    for (const auto &[P, B] : PropWrites) {
+      (void)B;
+      if (P == Prop)
+        return true;
+    }
+    return false;
+  }
+
+  void merge(const AccessSummary &Other);
+};
+
+/// Computes the access summary of \p S (recursively, including nested loops
+/// and reductions; reduction iterator reads are included).
+AccessSummary collectAccesses(Stmt *S);
+
+/// Computes the access summary of \p E alone (as a read context).
+AccessSummary collectExprAccesses(Expr *E);
+
+/// True if \p Inner (a neighborhood loop nested in a vertex loop over
+/// \p Outer) is a *local edge iteration*: it walks the outer vertex's
+/// out-edges reading only sender-local data (outer properties, edge
+/// properties of the current edge, scalars) and writes only outer
+/// properties or reduced scalars. Such loops need no communication at all —
+/// the source vertex owns its out-edges in Pregel. \p EdgeBindings comes
+/// from Sema.
+bool isLocalEdgeLoop(
+    ForeachStmt *Inner, VarDecl *Outer,
+    const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings);
+
+} // namespace gm
+
+#endif // GM_ANALYSIS_READWRITESETS_H

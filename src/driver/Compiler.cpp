@@ -1,0 +1,93 @@
+//===- driver/Compiler.cpp -------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "analysis/CanonicalChecker.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "opt/Optimizer.h"
+#include "transform/Transforms.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace gm;
+
+CompileResult gm::compileGreenMarl(const std::string &Source,
+                                   const CompileOptions &Options) {
+  CompileResult R;
+  R.Context = std::make_unique<ASTContext>();
+  R.Diags = std::make_unique<DiagnosticEngine>();
+
+  Parser P(Source, *R.Context, *R.Diags);
+  Program Prog = P.parseProgram();
+  if (R.Diags->hasErrors())
+    return R;
+  if (Prog.Procedures.empty()) {
+    R.Diags->error(SourceLocation(), "no procedure found");
+    return R;
+  }
+
+  ProcedureDecl *Proc = Options.ProcedureName.empty()
+                            ? Prog.Procedures.front()
+                            : Prog.findProcedure(Options.ProcedureName);
+  if (!Proc) {
+    R.Diags->error(SourceLocation(),
+                   "procedure '" + Options.ProcedureName + "' not found");
+    return R;
+  }
+  R.Proc = Proc;
+
+  Sema S(*R.Context, *R.Diags);
+  if (!S.check(Proc))
+    return R;
+
+  // §4.1: transform towards Pregel-canonical form.
+  if (!runTransformPipeline(Proc, *R.Context, *R.Diags, S.edgeBindings(),
+                            &R.Features))
+    if (R.Diags->hasErrors())
+      return R;
+
+  // The transformations may introduce new edge bindings? They never do,
+  // but they do rewrite loops, so re-validate shape.
+  CanonicalChecker Checker(*R.Diags, S.edgeBindings());
+  if (!Checker.check(Proc))
+    return R;
+
+  // §3.1: direct translation.
+  Translator T(*R.Diags, S.edgeBindings(), &R.Features);
+  R.Program = T.translate(Proc);
+  if (!R.Program)
+    return R;
+
+  // §4.2: optimizations.
+  if (Options.StateMerging)
+    if (mergeStates(*R.Program))
+      R.Features.insert(feature::StateMerging);
+  if (Options.IntraLoopMerging)
+    if (mergeIntraLoop(*R.Program))
+      R.Features.insert(feature::IntraLoopMerge);
+
+  std::string Problem = pir::verifyProgram(*R.Program);
+  if (!Problem.empty()) {
+    R.Diags->error(SourceLocation(),
+                   "internal error: optimized IR is invalid: " + Problem);
+    R.Program.reset();
+  }
+  return R;
+}
+
+CompileResult gm::compileGreenMarlFile(const std::string &Path,
+                                       const CompileOptions &Options) {
+  std::ifstream In(Path);
+  if (!In) {
+    CompileResult R;
+    R.Context = std::make_unique<ASTContext>();
+    R.Diags = std::make_unique<DiagnosticEngine>();
+    R.Diags->error(SourceLocation(), "cannot open " + Path);
+    return R;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return compileGreenMarl(SS.str(), Options);
+}

@@ -1,0 +1,56 @@
+//===- driver/Compiler.h - End-to-end Green-Marl -> Pregel compilation ------===//
+///
+/// \file
+/// One-call pipeline: parse -> type-check -> §4.1 transformations ->
+/// canonical-form check -> §3.1 translation -> §4.2 optimizations.
+/// Mirrors Fig. 1 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_DRIVER_COMPILER_H
+#define GM_DRIVER_COMPILER_H
+
+#include "frontend/AST.h"
+#include "pregelir/PregelIR.h"
+#include "support/Diagnostics.h"
+#include "translate/Translator.h"
+
+#include <memory>
+#include <string>
+
+namespace gm {
+
+struct CompileOptions {
+  /// §4.2 "State Merging".
+  bool StateMerging = true;
+  /// §4.2 "Intra-Loop State Merging".
+  bool IntraLoopMerging = true;
+  /// Procedure to compile; empty = the first one in the file.
+  std::string ProcedureName;
+};
+
+struct CompileResult {
+  /// Owns every AST node (the transformed procedure points into it).
+  std::unique_ptr<ASTContext> Context;
+  /// The compiled program; null if compilation failed (see Diags).
+  std::unique_ptr<pir::PregelProgram> Program;
+  /// The procedure after the §4.1 transformations (canonical form).
+  ProcedureDecl *Proc = nullptr;
+  /// Which compiler steps were applied (Table 3).
+  FeatureLog Features;
+  std::unique_ptr<DiagnosticEngine> Diags;
+
+  bool ok() const { return Program != nullptr; }
+};
+
+/// Compiles Green-Marl source into a Pregel program.
+CompileResult compileGreenMarl(const std::string &Source,
+                               const CompileOptions &Options = {});
+
+/// Convenience: reads \p Path and compiles it.
+CompileResult compileGreenMarlFile(const std::string &Path,
+                                   const CompileOptions &Options = {});
+
+} // namespace gm
+
+#endif // GM_DRIVER_COMPILER_H

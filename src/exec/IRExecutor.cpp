@@ -1,0 +1,462 @@
+//===- exec/IRExecutor.cpp -----------------------------------------------------===//
+
+#include "exec/IRExecutor.h"
+
+#include <cmath>
+#include <functional>
+
+using namespace gm;
+using namespace gm::exec;
+using namespace gm::pir;
+using pregel::MasterContext;
+using pregel::Message;
+using pregel::VertexContext;
+
+IRExecutor::IRExecutor(const PregelProgram &Prog, const Graph &G,
+                       ExecArgs Args)
+    : Prog(Prog), G(G), Args(std::move(Args)),
+      SetupPhase(Prog.UsesInNbrs ? 0 : 2) {}
+
+void IRExecutor::init(const Graph &G2, MasterContext &Master) {
+  assert(&G2 == &G && "executor bound to a different graph");
+  (void)G2;
+
+  // Node property columns, preloaded from property arguments when given.
+  Props.clear();
+  PropIndex.clear();
+  for (const PropDef &D : Prog.NodeProps) {
+    PropIndex[D.Name] = static_cast<int>(Props.size());
+    Props.emplace_back(D.Ty, G.numNodes());
+    auto It = Args.NodeProps.find(D.Name);
+    if (It == Args.NodeProps.end())
+      continue;
+    assert(It->second.size() == G.numNodes() && "node property size mismatch");
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      Props.back().set(N, It->second[N]);
+  }
+
+  // Edge property columns (always argument-supplied).
+  EdgeProps.clear();
+  for (const PropDef &D : Prog.EdgeProps) {
+    auto It = Args.EdgeProps.find(D.Name);
+    assert(It != Args.EdgeProps.end() && "missing edge property argument");
+    assert(It->second.size() == G.numEdges() && "edge property size mismatch");
+    EdgeProps.push_back(It->second);
+  }
+
+  // Globals: program-declared values, overridden by scalar arguments.
+  for (const GlobalDef &D : Prog.Globals) {
+    Value Init = D.Init;
+    auto It = Args.Scalars.find(D.Name);
+    if (It != Args.Scalars.end())
+      Init = It->second;
+    Master.declareGlobal(D.Name, D.VertexReduce, Init);
+  }
+
+  CurState = 0;
+  SetupPhase = Prog.UsesInNbrs ? 0 : 2;
+  Finished = false;
+  ReturnVal.reset();
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Value evalBinary(BinaryOpKind Op, const Value &L, const Value &R,
+                 ValueKind Ty) {
+  auto BothInt = [&] {
+    return L.kind() != ValueKind::Double && R.kind() != ValueKind::Double;
+  };
+  switch (Op) {
+  case BinaryOpKind::Add:
+    if (Ty == ValueKind::Int && BothInt())
+      return Value::makeInt(L.asInt() + R.asInt());
+    return Value::makeDouble(L.asDouble() + R.asDouble());
+  case BinaryOpKind::Sub:
+    if (Ty == ValueKind::Int && BothInt())
+      return Value::makeInt(L.asInt() - R.asInt());
+    return Value::makeDouble(L.asDouble() - R.asDouble());
+  case BinaryOpKind::Mul:
+    if (Ty == ValueKind::Int && BothInt())
+      return Value::makeInt(L.asInt() * R.asInt());
+    return Value::makeDouble(L.asDouble() * R.asDouble());
+  case BinaryOpKind::Div:
+    if (Ty == ValueKind::Int && BothInt()) {
+      assert(R.asInt() != 0 && "integer division by zero");
+      return Value::makeInt(L.asInt() / R.asInt());
+    }
+    return Value::makeDouble(L.asDouble() / R.asDouble());
+  case BinaryOpKind::Mod:
+    assert(R.asInt() != 0 && "modulo by zero");
+    return Value::makeInt(L.asInt() % R.asInt());
+  case BinaryOpKind::Eq:
+  case BinaryOpKind::Ne: {
+    bool Equal;
+    if (L.kind() == ValueKind::Bool || R.kind() == ValueKind::Bool)
+      Equal = L.asBool() == R.asBool();
+    else if (L.kind() == ValueKind::Double || R.kind() == ValueKind::Double)
+      Equal = L.asDouble() == R.asDouble();
+    else
+      Equal = L.asInt() == R.asInt();
+    return Value::makeBool(Op == BinaryOpKind::Eq ? Equal : !Equal);
+  }
+  case BinaryOpKind::Lt:
+  case BinaryOpKind::Le:
+  case BinaryOpKind::Gt:
+  case BinaryOpKind::Ge: {
+    bool Result;
+    if (L.kind() == ValueKind::Double || R.kind() == ValueKind::Double) {
+      double A = L.asDouble(), B = R.asDouble();
+      Result = Op == BinaryOpKind::Lt   ? A < B
+               : Op == BinaryOpKind::Le ? A <= B
+               : Op == BinaryOpKind::Gt ? A > B
+                                        : A >= B;
+    } else {
+      int64_t A = L.asInt(), B = R.asInt();
+      Result = Op == BinaryOpKind::Lt   ? A < B
+               : Op == BinaryOpKind::Le ? A <= B
+               : Op == BinaryOpKind::Gt ? A > B
+                                        : A >= B;
+    }
+    return Value::makeBool(Result);
+  }
+  case BinaryOpKind::And:
+  case BinaryOpKind::Or:
+    gm_unreachable("logical ops are short-circuited by the caller");
+  }
+  gm_unreachable("invalid binary op");
+}
+
+/// Deterministic per-(vertex, superstep) RNG for vertex-side randomness.
+NodeId vertexRandomNode(NodeId Id, uint64_t Step, NodeId NumNodes) {
+  uint64_t X = (uint64_t(Id) << 32) ^ (Step * 0x9E3779B97F4A7C15ull) ^
+               0xD1B54A32D192ED03ull;
+  X ^= X >> 33;
+  X *= 0xFF51AFD7ED558CCDull;
+  X ^= X >> 33;
+  X *= 0xC4CEB9FE1A85EC53ull;
+  X ^= X >> 33;
+  return static_cast<NodeId>(X % NumNodes);
+}
+
+} // namespace
+
+Value IRExecutor::eval(const PExpr *E, EvalCtx &C) {
+  switch (E->K) {
+  case PExprKind::Const:
+    return E->ConstVal;
+  case PExprKind::GlobalRead:
+    if (C.Vertex)
+      return GlobalCache[E->Index];
+    return C.Master->getGlobal(Prog.Globals[E->Index].Name);
+  case PExprKind::PropRead:
+    assert(C.Vertex && "property read outside vertex context");
+    return Props[E->Index].get(C.Vertex->id());
+  case PExprKind::MsgField:
+    assert(C.Msg && "message field outside on_message");
+    return (*C.Msg)[E->Index];
+  case PExprKind::EdgePropRead:
+    assert(C.Edge != ~EdgeId{0} && "edge property outside per-edge payload");
+    return EdgeProps[E->Index][C.Edge];
+  case PExprKind::VertexId:
+    assert(C.Vertex && "vertex id outside vertex context");
+    return Value::makeInt(C.Vertex->id());
+  case PExprKind::OutDegree:
+    return Value::makeInt(G.outDegree(C.Vertex->id()));
+  case PExprKind::InDegree:
+    return Value::makeInt(G.inDegree(C.Vertex->id()));
+  case PExprKind::NumNodes:
+    return Value::makeInt(G.numNodes());
+  case PExprKind::NumEdges:
+    return Value::makeInt(static_cast<int64_t>(G.numEdges()));
+  case PExprKind::RandomNode:
+    if (C.Master)
+      return Value::makeInt(C.Master->pickRandomNode());
+    return Value::makeInt(vertexRandomNode(
+        C.Vertex->id(), C.Vertex->superstep(), G.numNodes()));
+  case PExprKind::Binary: {
+    if (E->BinOp == BinaryOpKind::And) {
+      if (!eval(E->A, C).asBool())
+        return Value::makeBool(false);
+      return Value::makeBool(eval(E->B, C).asBool());
+    }
+    if (E->BinOp == BinaryOpKind::Or) {
+      if (eval(E->A, C).asBool())
+        return Value::makeBool(true);
+      return Value::makeBool(eval(E->B, C).asBool());
+    }
+    Value L = eval(E->A, C);
+    Value R = eval(E->B, C);
+    return evalBinary(E->BinOp, L, R, E->Ty);
+  }
+  case PExprKind::Unary: {
+    Value V = eval(E->A, C);
+    if (E->UnOp == UnaryOpKind::Not)
+      return Value::makeBool(!V.asBool());
+    if (V.kind() == ValueKind::Double)
+      return Value::makeDouble(-V.getDouble());
+    return Value::makeInt(-V.asInt());
+  }
+  case PExprKind::Ternary:
+    return eval(E->A, C).asBool() ? eval(E->B, C) : eval(E->C, C);
+  case PExprKind::Cast: {
+    Value V = eval(E->A, C);
+    switch (E->Ty) {
+    case ValueKind::Int:
+      return Value::makeInt(V.asInt());
+    case ValueKind::Double:
+      return Value::makeDouble(V.asDouble());
+    case ValueKind::Bool:
+      return Value::makeBool(V.asBool());
+    case ValueKind::Undef:
+      break;
+    }
+    gm_unreachable("invalid cast target");
+  }
+  }
+  gm_unreachable("invalid expression kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Vertex execution
+//===----------------------------------------------------------------------===//
+
+/// True if any payload expression reads an edge property (requiring
+/// per-edge evaluation of the payload).
+static bool payloadUsesEdgeProps(const std::vector<PExpr *> &Payload) {
+  std::function<bool(const PExpr *)> Scan = [&](const PExpr *E) -> bool {
+    if (!E)
+      return false;
+    if (E->K == PExprKind::EdgePropRead)
+      return true;
+    return Scan(E->A) || Scan(E->B) || Scan(E->C);
+  };
+  for (const PExpr *E : Payload)
+    if (Scan(E))
+      return true;
+  return false;
+}
+
+void IRExecutor::execVStmt(const VStmt *S, VertexContext &Ctx, EvalCtx &C) {
+  switch (S->K) {
+  case VStmtKind::Assign: {
+    Value V = eval(S->Value, C);
+    if (S->Reduce == ReduceKind::None)
+      Props[S->Index].set(Ctx.id(), V);
+    else
+      Props[S->Index].reduce(Ctx.id(), S->Reduce, V);
+    return;
+  }
+  case VStmtKind::GlobalPut:
+    Ctx.putGlobal(Prog.Globals[S->Index].Name, eval(S->Value, C));
+    return;
+  case VStmtKind::If: {
+    const auto &Body = eval(S->Cond, C).asBool() ? S->Then : S->Else;
+    for (const VStmt *Child : Body)
+      execVStmt(Child, Ctx, C);
+    return;
+  }
+  case VStmtKind::SendToOutNbrs: {
+    if (!payloadUsesEdgeProps(S->Payload)) {
+      Message M;
+      M.Type = S->Index + MsgTagOffset;
+      for (const PExpr *E : S->Payload)
+        M.push(eval(E, C));
+      Ctx.sendToAllOutNeighbors(M);
+      return;
+    }
+    // Per-edge payload (edge properties differ along each edge).
+    EdgeId E = G.outEdgeBegin(Ctx.id());
+    for (NodeId Nbr : G.outNeighbors(Ctx.id())) {
+      EvalCtx EdgeCtx = C;
+      EdgeCtx.Edge = E;
+      Message M;
+      M.Type = S->Index + MsgTagOffset;
+      for (const PExpr *PE : S->Payload)
+        M.push(eval(PE, EdgeCtx));
+      Ctx.sendTo(Nbr, M);
+      ++E;
+    }
+    return;
+  }
+  case VStmtKind::SendToInNbrs: {
+    Message M;
+    M.Type = S->Index + MsgTagOffset;
+    for (const PExpr *E : S->Payload)
+      M.push(eval(E, C));
+    for (NodeId Src : G.inNeighbors(Ctx.id()))
+      Ctx.sendTo(Src, M);
+    return;
+  }
+  case VStmtKind::SendToNode: {
+    Value Target = eval(S->Value, C);
+    int64_t T = Target.asInt();
+    if (T < 0)
+      return; // NIL target: no-op
+    Message M;
+    M.Type = S->Index + MsgTagOffset;
+    for (const PExpr *E : S->Payload)
+      M.push(eval(E, C));
+    Ctx.sendTo(static_cast<NodeId>(T), M);
+    return;
+  }
+  case VStmtKind::OnMessage: {
+    int32_t Tag = S->Index + MsgTagOffset;
+    for (const Message &M : Ctx.messages()) {
+      if (M.Type != Tag)
+        continue;
+      EvalCtx MsgCtx = C;
+      MsgCtx.Msg = &M;
+      for (const VStmt *Child : S->Then)
+        execVStmt(Child, Ctx, MsgCtx);
+    }
+    return;
+  }
+  case VStmtKind::ForEachOutEdge: {
+    EvalCtx EdgeCtx = C;
+    for (EdgeId E = G.outEdgeBegin(Ctx.id()), End = G.outEdgeEnd(Ctx.id());
+         E != End; ++E) {
+      EdgeCtx.Edge = E;
+      for (const VStmt *Child : S->Then)
+        execVStmt(Child, Ctx, EdgeCtx);
+    }
+    return;
+  }
+  }
+  gm_unreachable("invalid vertex statement");
+}
+
+void IRExecutor::compute(VertexContext &Ctx) {
+  if (SetupPhase == 0) {
+    // In-neighbor setup, step 1: broadcast own id along out-edges (§4.3).
+    Message M;
+    M.Type = SetupMsgTag;
+    M.push(Value::makeInt(Ctx.id()));
+    Ctx.sendToAllOutNeighbors(M);
+    return;
+  }
+  if (SetupPhase == 1) {
+    // Step 2: the runtime graph already indexes in-neighbors; the messages
+    // were paid for above, so nothing to materialize here.
+    return;
+  }
+
+  const PState &S = Prog.States[CurState];
+  EvalCtx C;
+  C.Vertex = &Ctx;
+  for (const VStmt *Stmt : S.VertexCode)
+    execVStmt(Stmt, Ctx, C);
+}
+
+//===----------------------------------------------------------------------===//
+// Master execution
+//===----------------------------------------------------------------------===//
+
+void IRExecutor::execMStmt(const MStmt *S, MasterContext &Master,
+                           std::optional<int> &Jump) {
+  if (Jump)
+    return; // after a goto, remaining master code is dead
+  switch (S->K) {
+  case MStmtKind::Set: {
+    EvalCtx C;
+    C.Master = &Master;
+    Master.setGlobal(Prog.Globals[S->Index].Name, eval(S->Value, C));
+    return;
+  }
+  case MStmtKind::If: {
+    EvalCtx C;
+    C.Master = &Master;
+    const auto &Body = eval(S->Cond, C).asBool() ? S->Then : S->Else;
+    for (const MStmt *Child : Body)
+      execMStmt(Child, Master, Jump);
+    return;
+  }
+  case MStmtKind::Goto:
+    Jump = S->Index;
+    return;
+  }
+  gm_unreachable("invalid master statement");
+}
+
+void IRExecutor::runTransition(MasterContext &Master) {
+  const PState &Prev = Prog.States[CurState];
+  std::optional<int> Jump;
+  for (const MStmt *S : Prev.TransCode)
+    execMStmt(S, Master, Jump);
+  assert(Jump && "transition program did not reach a goto");
+  int Target = *Jump;
+
+  if (Target == EndState) {
+    Finished = true;
+    if (!Prog.ReturnGlobal.empty())
+      ReturnVal = Master.getGlobal(Prog.ReturnGlobal);
+    for (const GlobalDef &D : Prog.Globals)
+      FinalGlobals[D.Name] = Master.getGlobal(D.Name);
+    Master.haltAll();
+    return;
+  }
+  CurState = Target;
+}
+
+void IRExecutor::masterCompute(MasterContext &Master) {
+  // Snapshot globals for this superstep's vertex phase (after the state
+  // transition below runs, values may change; refresh afterwards).
+  auto Refresh = [&] {
+    GlobalCache.resize(Prog.Globals.size());
+    for (size_t I = 0; I < Prog.Globals.size(); ++I)
+      GlobalCache[I] = Master.getGlobal(Prog.Globals[I].Name);
+  };
+  struct Snap {
+    decltype(Refresh) &R;
+    ~Snap() { R(); }
+  } AtExit{Refresh};
+
+  if (Prog.UsesInNbrs) {
+    // §4.3 preamble: superstep 0 broadcasts ids, superstep 1 collects them;
+    // the program's own state machine starts at superstep 2.
+    if (Master.superstep() == 0) {
+      SetupPhase = 0;
+      return;
+    }
+    if (Master.superstep() == 1) {
+      SetupPhase = 1;
+      return;
+    }
+    SetupPhase = 2;
+  }
+  runTransition(Master);
+}
+
+//===----------------------------------------------------------------------===//
+// Accessors and helpers
+//===----------------------------------------------------------------------===//
+
+const Column &IRExecutor::nodeProp(const std::string &Name) const {
+  auto It = PropIndex.find(Name);
+  assert(It != PropIndex.end() && "unknown node property");
+  return Props[It->second];
+}
+
+Value IRExecutor::globalValue(const std::string &Name) const {
+  auto It = FinalGlobals.find(Name);
+  assert(It != FinalGlobals.end() &&
+         "global snapshot only available after the program halted itself");
+  return It->second;
+}
+
+pregel::RunStats exec::runProgram(const PregelProgram &Prog, const Graph &G,
+                                  ExecArgs Args, pregel::Config Cfg,
+                                  std::unique_ptr<IRExecutor> *OutExec) {
+  unsigned TagCount =
+      static_cast<unsigned>(Prog.MsgTypes.size()) + (Prog.UsesInNbrs ? 1 : 0);
+  Cfg.TaggedMessages = TagCount > 1;
+  auto Exec = std::make_unique<IRExecutor>(Prog, G, std::move(Args));
+  pregel::Engine Engine(G, Cfg);
+  pregel::RunStats Stats = Engine.run(*Exec);
+  if (OutExec)
+    *OutExec = std::move(Exec);
+  return Stats;
+}

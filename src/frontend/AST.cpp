@@ -1,0 +1,111 @@
+//===- frontend/AST.cpp -------------------------------------------------------===//
+
+#include "frontend/AST.h"
+
+using namespace gm;
+
+const char *IterSource::spelling() const {
+  switch (K) {
+  case Kind::GraphNodes:
+    return "Nodes";
+  case Kind::OutNbrs:
+    return "Nbrs";
+  case Kind::InNbrs:
+    return "InNbrs";
+  case Kind::UpNbrs:
+    return "UpNbrs";
+  case Kind::DownNbrs:
+    return "DownNbrs";
+  }
+  gm_unreachable("invalid iteration source");
+}
+
+VarDecl *PropAccessExpr::baseVar() const {
+  if (auto *Ref = dyn_cast<VarRefExpr>(Base))
+    return Ref->decl();
+  return nullptr;
+}
+
+IntLiteralExpr *ASTContext::makeIntLit(int64_t V) {
+  auto *E = create<IntLiteralExpr>(V, SourceLocation());
+  E->setType(Type::getInt());
+  return E;
+}
+
+FloatLiteralExpr *ASTContext::makeFloatLit(double V) {
+  auto *E = create<FloatLiteralExpr>(V, SourceLocation());
+  E->setType(Type::getDouble());
+  return E;
+}
+
+BoolLiteralExpr *ASTContext::makeBoolLit(bool V) {
+  auto *E = create<BoolLiteralExpr>(V, SourceLocation());
+  E->setType(Type::getBool());
+  return E;
+}
+
+VarRefExpr *ASTContext::makeRef(VarDecl *V) {
+  auto *E = create<VarRefExpr>(V, SourceLocation());
+  E->setType(V->type());
+  return E;
+}
+
+PropAccessExpr *ASTContext::makeAccess(VarDecl *Base, VarDecl *Prop) {
+  auto *E = create<PropAccessExpr>(makeRef(Base), Prop, SourceLocation());
+  E->setType(Prop->type()->element());
+  return E;
+}
+
+const char *gm::binaryOpSpelling(BinaryOpKind K) {
+  switch (K) {
+  case BinaryOpKind::Add:
+    return "+";
+  case BinaryOpKind::Sub:
+    return "-";
+  case BinaryOpKind::Mul:
+    return "*";
+  case BinaryOpKind::Div:
+    return "/";
+  case BinaryOpKind::Mod:
+    return "%";
+  case BinaryOpKind::Eq:
+    return "==";
+  case BinaryOpKind::Ne:
+    return "!=";
+  case BinaryOpKind::Lt:
+    return "<";
+  case BinaryOpKind::Le:
+    return "<=";
+  case BinaryOpKind::Gt:
+    return ">";
+  case BinaryOpKind::Ge:
+    return ">=";
+  case BinaryOpKind::And:
+    return "&&";
+  case BinaryOpKind::Or:
+    return "||";
+  }
+  gm_unreachable("invalid binary operator");
+}
+
+const char *gm::reductionKindSpelling(ReductionKind K) {
+  switch (K) {
+  case ReductionKind::Sum:
+    return "Sum";
+  case ReductionKind::Product:
+    return "Product";
+  case ReductionKind::Count:
+    return "Count";
+  case ReductionKind::Max:
+    return "Max";
+  case ReductionKind::Min:
+    return "Min";
+  case ReductionKind::Exist:
+    return "Exist";
+  case ReductionKind::All:
+    return "All";
+  case ReductionKind::Avg:
+    return "Avg";
+  }
+  gm_unreachable("invalid reduction kind");
+}

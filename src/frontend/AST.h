@@ -1,0 +1,594 @@
+//===- frontend/AST.h - Green-Marl abstract syntax tree --------------------===//
+///
+/// \file
+/// AST node hierarchy for the Green-Marl subset used by the paper, with
+/// LLVM-style Kind discriminators and classof predicates. Nodes are
+/// allocated in and owned by an ASTContext arena; transformation passes
+/// mutate the tree in place and create fresh nodes through the context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_FRONTEND_AST_H
+#define GM_FRONTEND_AST_H
+
+#include "frontend/Type.h"
+#include "support/Casting.h"
+#include "support/SourceLocation.h"
+#include "support/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gm {
+
+class Expr;
+class Stmt;
+class BlockStmt;
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A named variable: procedure parameter, local scalar, local property or
+/// loop iterator. Referenced (not owned) by VarRefExpr and property
+/// accesses; identity is the pointer.
+class VarDecl {
+public:
+  enum class StorageKind {
+    Param,     ///< procedure parameter
+    Local,     ///< locally declared scalar or property
+    Iterator,  ///< Foreach / InBFS / reduction iterator
+    Temporary, ///< compiler-introduced (transformations)
+  };
+
+  VarDecl(std::string Name, const Type *Ty, StorageKind Storage,
+          SourceLocation Loc)
+      : Name(std::move(Name)), Ty(Ty), Storage(Storage), Loc(Loc) {}
+
+  const std::string &name() const { return Name; }
+  const Type *type() const { return Ty; }
+  StorageKind storage() const { return Storage; }
+  SourceLocation location() const { return Loc; }
+
+  bool isProperty() const { return Ty->isProperty(); }
+  bool isIterator() const { return Storage == StorageKind::Iterator; }
+  bool isCompilerTemp() const { return Storage == StorageKind::Temporary; }
+
+private:
+  std::string Name;
+  const Type *Ty;
+  StorageKind Storage;
+  SourceLocation Loc;
+};
+
+/// Where a Foreach/InBFS/reduction iterator draws its elements from.
+struct IterSource {
+  enum class Kind {
+    GraphNodes, ///< G.Nodes
+    OutNbrs,    ///< n.Nbrs / n.OutNbrs
+    InNbrs,     ///< n.InNbrs
+    UpNbrs,     ///< n.UpNbrs   (BFS parents; valid inside InBFS)
+    DownNbrs,   ///< n.DownNbrs (BFS children; valid inside InBFS)
+  };
+
+  Kind K = Kind::GraphNodes;
+  VarDecl *Base = nullptr; ///< the graph (GraphNodes) or node variable
+
+  bool isNeighborIteration() const { return K != Kind::GraphNodes; }
+  /// True if iterating this source *sends along out-edges* after the push
+  /// translation (OutNbrs/DownNbrs), false for in-direction sources.
+  bool isOutDirection() const {
+    return K == Kind::OutNbrs || K == Kind::DownNbrs;
+  }
+  const char *spelling() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class BinaryOpKind {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or
+};
+
+enum class UnaryOpKind { Neg, Not };
+
+/// Builtin method calls on graph/node expressions.
+enum class BuiltinKind {
+  NumNodes, ///< G.NumNodes()
+  NumEdges, ///< G.NumEdges()
+  PickRandom, ///< G.PickRandom()
+  Degree,    ///< n.Degree()  (out-degree, Green-Marl convention)
+  OutDegree, ///< n.OutDegree()
+  InDegree,  ///< n.InDegree()
+  ToEdge     ///< t.ToEdge()  (edge of the current neighbor iteration)
+};
+
+/// Reduction-expression kinds (Sum/Count/... comprehensions).
+enum class ReductionKind { Sum, Product, Count, Max, Min, Exist, All, Avg };
+
+class Expr {
+public:
+  enum class Kind {
+    IntLiteral,
+    FloatLiteral,
+    BoolLiteral,
+    InfLiteral,
+    NilLiteral,
+    VarRef,
+    PropAccess,
+    Binary,
+    Unary,
+    Ternary,
+    Cast,
+    BuiltinCall,
+    Reduction
+  };
+
+  Kind kind() const { return K; }
+  SourceLocation location() const { return Loc; }
+
+  /// Type assigned by Sema (null before type checking).
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(Kind K, SourceLocation Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLocation Loc;
+  const Type *Ty = nullptr;
+};
+
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(int64_t V, SourceLocation Loc)
+      : Expr(Kind::IntLiteral, Loc), V(V) {}
+  int64_t value() const { return V; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLiteral; }
+
+private:
+  int64_t V;
+};
+
+class FloatLiteralExpr : public Expr {
+public:
+  FloatLiteralExpr(double V, SourceLocation Loc)
+      : Expr(Kind::FloatLiteral, Loc), V(V) {}
+  double value() const { return V; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::FloatLiteral; }
+
+private:
+  double V;
+};
+
+class BoolLiteralExpr : public Expr {
+public:
+  BoolLiteralExpr(bool V, SourceLocation Loc)
+      : Expr(Kind::BoolLiteral, Loc), V(V) {}
+  bool value() const { return V; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::BoolLiteral; }
+
+private:
+  bool V;
+};
+
+/// Green-Marl's INF / +INF literal (the maximum of its inferred type).
+class InfLiteralExpr : public Expr {
+public:
+  explicit InfLiteralExpr(SourceLocation Loc) : Expr(Kind::InfLiteral, Loc) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::InfLiteral; }
+};
+
+/// NIL: the null Node value.
+class NilLiteralExpr : public Expr {
+public:
+  explicit NilLiteralExpr(SourceLocation Loc) : Expr(Kind::NilLiteral, Loc) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::NilLiteral; }
+};
+
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(VarDecl *Var, SourceLocation Loc)
+      : Expr(Kind::VarRef, Loc), Var(Var) {}
+  VarDecl *decl() const { return Var; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  VarDecl *Var;
+};
+
+/// base.prop where base is a Node-valued (or Edge-valued) expression and
+/// prop a property variable.
+class PropAccessExpr : public Expr {
+public:
+  PropAccessExpr(Expr *Base, VarDecl *Prop, SourceLocation Loc)
+      : Expr(Kind::PropAccess, Loc), Base(Base), Prop(Prop) {}
+  Expr *base() const { return Base; }
+  void setBase(Expr *E) { Base = E; }
+  VarDecl *prop() const { return Prop; }
+  void setProp(VarDecl *P) { Prop = P; }
+
+  /// The base variable when the base is a simple variable reference (the
+  /// common, canonical case); null otherwise.
+  VarDecl *baseVar() const;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::PropAccess; }
+
+private:
+  Expr *Base;
+  VarDecl *Prop;
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOpKind Op, Expr *LHS, Expr *RHS, SourceLocation Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+  BinaryOpKind op() const { return Op; }
+  Expr *lhs() const { return LHS; }
+  Expr *rhs() const { return RHS; }
+  void setLHS(Expr *E) { LHS = E; }
+  void setRHS(Expr *E) { RHS = E; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOpKind Op;
+  Expr *LHS, *RHS;
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOpKind Op, Expr *Operand, SourceLocation Loc)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(Operand) {}
+  UnaryOpKind op() const { return Op; }
+  Expr *operand() const { return Operand; }
+  void setOperand(Expr *E) { Operand = E; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOpKind Op;
+  Expr *Operand;
+};
+
+class TernaryExpr : public Expr {
+public:
+  TernaryExpr(Expr *Cond, Expr *Then, Expr *Else, SourceLocation Loc)
+      : Expr(Kind::Ternary, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *cond() const { return Cond; }
+  Expr *thenExpr() const { return Then; }
+  Expr *elseExpr() const { return Else; }
+  void setCond(Expr *E) { Cond = E; }
+  void setThen(Expr *E) { Then = E; }
+  void setElse(Expr *E) { Else = E; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Ternary; }
+
+private:
+  Expr *Cond, *Then, *Else;
+};
+
+/// (Float) expr style explicit conversion.
+class CastExpr : public Expr {
+public:
+  CastExpr(const Type *Target, Expr *Operand, SourceLocation Loc)
+      : Expr(Kind::Cast, Loc), Target(Target), Operand(Operand) {}
+  const Type *target() const { return Target; }
+  Expr *operand() const { return Operand; }
+  void setOperand(Expr *E) { Operand = E; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Cast; }
+
+private:
+  const Type *Target;
+  Expr *Operand;
+};
+
+class BuiltinCallExpr : public Expr {
+public:
+  BuiltinCallExpr(BuiltinKind Builtin, Expr *Base, SourceLocation Loc)
+      : Expr(Kind::BuiltinCall, Loc), Builtin(Builtin), Base(Base) {}
+  BuiltinKind builtin() const { return Builtin; }
+  Expr *base() const { return Base; }
+  void setBase(Expr *E) { Base = E; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::BuiltinCall; }
+
+private:
+  BuiltinKind Builtin;
+  Expr *Base;
+};
+
+/// Sum/Count/Max/Min/Exist/All comprehension over an iteration source, e.g.
+/// Sum(w: v.UpNbrs){w.sigma} or Count(t: n.InNbrs)(t.age >= 13).
+class ReductionExpr : public Expr {
+public:
+  ReductionExpr(ReductionKind RK, VarDecl *Iter, IterSource Source,
+                Expr *Filter, Expr *Body, SourceLocation Loc)
+      : Expr(Kind::Reduction, Loc), RK(RK), Iter(Iter), Source(Source),
+        Filter(Filter), Body(Body) {}
+  ReductionKind reductionKind() const { return RK; }
+  VarDecl *iterator() const { return Iter; }
+  const IterSource &source() const { return Source; }
+  IterSource &source() { return Source; }
+  Expr *filter() const { return Filter; }
+  Expr *body() const { return Body; }
+  void setFilter(Expr *E) { Filter = E; }
+  void setBody(Expr *E) { Body = E; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Reduction; }
+
+private:
+  ReductionKind RK;
+  VarDecl *Iter;
+  IterSource Source;
+  Expr *Filter; ///< optional
+  Expr *Body;   ///< required for Sum/Product/Max/Min/Avg; optional otherwise
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind {
+    Block,
+    Decl,
+    Assign,
+    If,
+    While,
+    Foreach,
+    BFS,
+    Return
+  };
+
+  Kind kind() const { return K; }
+  SourceLocation location() const { return Loc; }
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind K, SourceLocation Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLocation Loc;
+};
+
+class BlockStmt : public Stmt {
+public:
+  explicit BlockStmt(SourceLocation Loc) : Stmt(Kind::Block, Loc) {}
+  std::vector<Stmt *> &statements() { return Stmts; }
+  const std::vector<Stmt *> &statements() const { return Stmts; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Block; }
+
+private:
+  std::vector<Stmt *> Stmts;
+};
+
+/// Declaration of a local scalar or property, with optional initializer
+/// (scalars only).
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(VarDecl *Var, Expr *Init, SourceLocation Loc)
+      : Stmt(Kind::Decl, Loc), Var(Var), Init(Init) {}
+  VarDecl *decl() const { return Var; }
+  Expr *init() const { return Init; }
+  void setInit(Expr *E) { Init = E; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Decl; }
+
+private:
+  VarDecl *Var;
+  Expr *Init; ///< may be null
+};
+
+/// Plain or reducing assignment: target = value, target += value,
+/// target min= value, ...
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(Expr *Target, ReduceKind Reduce, Expr *Value, SourceLocation Loc)
+      : Stmt(Kind::Assign, Loc), Target(Target), Reduce(Reduce), Value(Value) {}
+  Expr *target() const { return Target; }
+  ReduceKind reduce() const { return Reduce; }
+  Expr *value() const { return Value; }
+  void setTarget(Expr *E) { Target = E; }
+  void setValue(Expr *E) { Value = E; }
+  void setReduce(ReduceKind K) { Reduce = K; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  Expr *Target;
+  ReduceKind Reduce;
+  Expr *Value;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(Expr *Cond, Stmt *Then, Stmt *Else, SourceLocation Loc)
+      : Stmt(Kind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *cond() const { return Cond; }
+  Stmt *thenStmt() const { return Then; }
+  Stmt *elseStmt() const { return Else; }
+  void setCond(Expr *E) { Cond = E; }
+  void setThen(Stmt *S) { Then = S; }
+  void setElse(Stmt *S) { Else = S; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else; ///< may be null
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(Expr *Cond, Stmt *Body, bool IsDoWhile, SourceLocation Loc)
+      : Stmt(Kind::While, Loc), Cond(Cond), Body(Body), IsDoWhile(IsDoWhile) {}
+  Expr *cond() const { return Cond; }
+  Stmt *body() const { return Body; }
+  bool isDoWhile() const { return IsDoWhile; }
+  void setCond(Expr *E) { Cond = E; }
+  void setBody(Stmt *S) { Body = S; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+  bool IsDoWhile;
+};
+
+/// Parallel Foreach (or sequential For) over graph nodes or a neighborhood.
+class ForeachStmt : public Stmt {
+public:
+  ForeachStmt(VarDecl *Iter, IterSource Source, Expr *Filter, Stmt *Body,
+              bool Parallel, SourceLocation Loc)
+      : Stmt(Kind::Foreach, Loc), Iter(Iter), Source(Source), Filter(Filter),
+        Body(Body), Parallel(Parallel) {}
+  VarDecl *iterator() const { return Iter; }
+  const IterSource &source() const { return Source; }
+  IterSource &source() { return Source; }
+  void setSource(IterSource S) { Source = S; }
+  void setIterator(VarDecl *V) { Iter = V; }
+  Expr *filter() const { return Filter; }
+  Stmt *body() const { return Body; }
+  bool isParallel() const { return Parallel; }
+  void setFilter(Expr *E) { Filter = E; }
+  void setBody(Stmt *S) { Body = S; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Foreach; }
+
+private:
+  VarDecl *Iter;
+  IterSource Source;
+  Expr *Filter; ///< may be null
+  Stmt *Body;
+  bool Parallel;
+};
+
+/// InBFS(it: G.Nodes From root)(filter) { ... } [InReverse(filter) { ... }]
+class BFSStmt : public Stmt {
+public:
+  BFSStmt(VarDecl *Iter, VarDecl *GraphVar, Expr *Root, Expr *Filter,
+          BlockStmt *Forward, Expr *ReverseFilter, BlockStmt *Reverse,
+          SourceLocation Loc)
+      : Stmt(Kind::BFS, Loc), Iter(Iter), GraphVar(GraphVar), Root(Root),
+        Filter(Filter), Forward(Forward), ReverseFilter(ReverseFilter),
+        Reverse(Reverse) {}
+  VarDecl *iterator() const { return Iter; }
+  VarDecl *graphVar() const { return GraphVar; }
+  Expr *root() const { return Root; }
+  Expr *filter() const { return Filter; }
+  BlockStmt *forwardBody() const { return Forward; }
+  Expr *reverseFilter() const { return ReverseFilter; }
+  BlockStmt *reverseBody() const { return Reverse; }
+  void setRoot(Expr *E) { Root = E; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::BFS; }
+
+private:
+  VarDecl *Iter;
+  VarDecl *GraphVar;
+  Expr *Root;
+  Expr *Filter;        ///< may be null
+  BlockStmt *Forward;
+  Expr *ReverseFilter; ///< may be null
+  BlockStmt *Reverse;  ///< may be null
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(Expr *Val, SourceLocation Loc) : Stmt(Kind::Return, Loc), Val(Val) {}
+  Expr *value() const { return Val; }
+  void setValue(Expr *E) { Val = E; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  Expr *Val; ///< may be null for bare Return
+};
+
+//===----------------------------------------------------------------------===//
+// Procedure and context
+//===----------------------------------------------------------------------===//
+
+class ProcedureDecl {
+public:
+  ProcedureDecl(std::string Name, std::vector<VarDecl *> Params,
+                const Type *ReturnType, BlockStmt *Body, SourceLocation Loc)
+      : Name(std::move(Name)), Params(std::move(Params)),
+        ReturnType(ReturnType), Body(Body), Loc(Loc) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<VarDecl *> &params() const { return Params; }
+  const Type *returnType() const { return ReturnType; }
+  BlockStmt *body() const { return Body; }
+  SourceLocation location() const { return Loc; }
+
+  /// The (single) Graph parameter, or null.
+  VarDecl *graphParam() const {
+    for (VarDecl *P : Params)
+      if (P->type()->isGraph())
+        return P;
+    return nullptr;
+  }
+
+private:
+  std::string Name;
+  std::vector<VarDecl *> Params;
+  const Type *ReturnType;
+  BlockStmt *Body;
+  SourceLocation Loc;
+};
+
+/// Arena owning every AST node of a compilation.
+class ASTContext {
+public:
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    auto Owned = std::make_unique<T>(std::forward<Args>(As)...);
+    T *Raw = Owned.get();
+    if constexpr (std::is_base_of_v<Expr, T>)
+      Exprs.push_back(std::move(Owned));
+    else if constexpr (std::is_base_of_v<Stmt, T>)
+      Stmts.push_back(std::move(Owned));
+    else if constexpr (std::is_same_v<VarDecl, T>)
+      Vars.push_back(std::move(Owned));
+    else
+      Procs.push_back(std::move(Owned));
+    return Raw;
+  }
+
+  /// Creates a fresh compiler temporary with a unique name based on \p Hint.
+  VarDecl *createTemp(const std::string &Hint, const Type *Ty) {
+    return create<VarDecl>("_" + Hint + std::to_string(NextTempId++), Ty,
+                           VarDecl::StorageKind::Temporary, SourceLocation());
+  }
+
+  /// Convenience factories for typed literals (type already set).
+  IntLiteralExpr *makeIntLit(int64_t V);
+  FloatLiteralExpr *makeFloatLit(double V);
+  BoolLiteralExpr *makeBoolLit(bool V);
+  VarRefExpr *makeRef(VarDecl *V);
+  PropAccessExpr *makeAccess(VarDecl *Base, VarDecl *Prop);
+
+private:
+  std::vector<std::unique_ptr<Expr>> Exprs;
+  std::vector<std::unique_ptr<Stmt>> Stmts;
+  std::vector<std::unique_ptr<VarDecl>> Vars;
+  std::vector<std::unique_ptr<ProcedureDecl>> Procs;
+  unsigned NextTempId = 0;
+};
+
+const char *binaryOpSpelling(BinaryOpKind K);
+const char *reductionKindSpelling(ReductionKind K);
+
+} // namespace gm
+
+#endif // GM_FRONTEND_AST_H

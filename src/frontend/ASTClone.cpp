@@ -1,0 +1,84 @@
+//===- frontend/ASTClone.cpp ----------------------------------------------------===//
+
+#include "frontend/ASTClone.h"
+
+using namespace gm;
+
+Expr *gm::cloneExpr(ASTContext &Context, Expr *E) {
+  if (!E)
+    return nullptr;
+  Expr *Clone = nullptr;
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+    Clone = Context.create<IntLiteralExpr>(cast<IntLiteralExpr>(E)->value(),
+                                           E->location());
+    break;
+  case Expr::Kind::FloatLiteral:
+    Clone = Context.create<FloatLiteralExpr>(cast<FloatLiteralExpr>(E)->value(),
+                                             E->location());
+    break;
+  case Expr::Kind::BoolLiteral:
+    Clone = Context.create<BoolLiteralExpr>(cast<BoolLiteralExpr>(E)->value(),
+                                            E->location());
+    break;
+  case Expr::Kind::InfLiteral:
+    Clone = Context.create<InfLiteralExpr>(E->location());
+    break;
+  case Expr::Kind::NilLiteral:
+    Clone = Context.create<NilLiteralExpr>(E->location());
+    break;
+  case Expr::Kind::VarRef:
+    Clone = Context.create<VarRefExpr>(cast<VarRefExpr>(E)->decl(),
+                                       E->location());
+    break;
+  case Expr::Kind::PropAccess: {
+    auto *P = cast<PropAccessExpr>(E);
+    Clone = Context.create<PropAccessExpr>(cloneExpr(Context, P->base()),
+                                           P->prop(), E->location());
+    break;
+  }
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    Clone = Context.create<BinaryExpr>(B->op(), cloneExpr(Context, B->lhs()),
+                                       cloneExpr(Context, B->rhs()),
+                                       E->location());
+    break;
+  }
+  case Expr::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    Clone = Context.create<UnaryExpr>(
+        U->op(), cloneExpr(Context, U->operand()), E->location());
+    break;
+  }
+  case Expr::Kind::Ternary: {
+    auto *T = cast<TernaryExpr>(E);
+    Clone = Context.create<TernaryExpr>(cloneExpr(Context, T->cond()),
+                                        cloneExpr(Context, T->thenExpr()),
+                                        cloneExpr(Context, T->elseExpr()),
+                                        E->location());
+    break;
+  }
+  case Expr::Kind::Cast: {
+    auto *C = cast<CastExpr>(E);
+    Clone = Context.create<CastExpr>(
+        C->target(), cloneExpr(Context, C->operand()), E->location());
+    break;
+  }
+  case Expr::Kind::BuiltinCall: {
+    auto *C = cast<BuiltinCallExpr>(E);
+    Clone = Context.create<BuiltinCallExpr>(
+        C->builtin(), cloneExpr(Context, C->base()), E->location());
+    break;
+  }
+  case Expr::Kind::Reduction: {
+    auto *R = cast<ReductionExpr>(E);
+    Clone = Context.create<ReductionExpr>(
+        R->reductionKind(), R->iterator(), R->source(),
+        cloneExpr(Context, R->filter()), cloneExpr(Context, R->body()),
+        E->location());
+    break;
+  }
+  }
+  Clone->setType(E->type());
+  return Clone;
+}

@@ -1,0 +1,23 @@
+//===- frontend/ASTClone.h - Deep-copy expressions --------------------------===//
+///
+/// \file
+/// Deep-copies expression trees (VarDecls are shared, not cloned). Needed
+/// by the transformation passes when one source expression (e.g. a loop
+/// filter) must appear in several places after a loop is split.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_FRONTEND_ASTCLONE_H
+#define GM_FRONTEND_ASTCLONE_H
+
+#include "frontend/AST.h"
+
+namespace gm {
+
+/// Returns a structurally identical copy of \p E allocated in \p Context;
+/// types are preserved. Null stays null.
+Expr *cloneExpr(ASTContext &Context, Expr *E);
+
+} // namespace gm
+
+#endif // GM_FRONTEND_ASTCLONE_H

@@ -1,0 +1,219 @@
+//===- frontend/ASTPrinter.cpp --------------------------------------------------===//
+
+#include "frontend/ASTPrinter.h"
+
+#include <sstream>
+
+using namespace gm;
+
+namespace {
+
+std::string indentStr(unsigned Indent) { return std::string(Indent * 2, ' '); }
+
+const char *reduceAssignSpelling(ReduceKind K) {
+  switch (K) {
+  case ReduceKind::None:
+    return "=";
+  case ReduceKind::Sum:
+  case ReduceKind::Count:
+    return "+=";
+  case ReduceKind::Prod:
+    return "*=";
+  case ReduceKind::Min:
+    return "min=";
+  case ReduceKind::Max:
+    return "max=";
+  case ReduceKind::And:
+    return "&=";
+  case ReduceKind::Or:
+    return "|=";
+  }
+  gm_unreachable("invalid reduce kind");
+}
+
+std::string printSource(const IterSource &Src) {
+  return Src.Base->name() + "." + Src.spelling();
+}
+
+} // namespace
+
+std::string gm::printExpr(const Expr *E) {
+  if (!E)
+    return "<null>";
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+    return std::to_string(cast<IntLiteralExpr>(E)->value());
+  case Expr::Kind::FloatLiteral: {
+    std::ostringstream OS;
+    OS << cast<FloatLiteralExpr>(E)->value();
+    std::string S = OS.str();
+    if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+        S.find("inf") == std::string::npos)
+      S += ".0";
+    return S;
+  }
+  case Expr::Kind::BoolLiteral:
+    return cast<BoolLiteralExpr>(E)->value() ? "True" : "False";
+  case Expr::Kind::InfLiteral:
+    return "INF";
+  case Expr::Kind::NilLiteral:
+    return "NIL";
+  case Expr::Kind::VarRef:
+    return cast<VarRefExpr>(E)->decl()->name();
+  case Expr::Kind::PropAccess: {
+    const auto *P = cast<PropAccessExpr>(E);
+    return printExpr(P->base()) + "." + P->prop()->name();
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return "(" + printExpr(B->lhs()) + " " + binaryOpSpelling(B->op()) + " " +
+           printExpr(B->rhs()) + ")";
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    return std::string(U->op() == UnaryOpKind::Neg ? "-" : "!") +
+           printExpr(U->operand());
+  }
+  case Expr::Kind::Ternary: {
+    const auto *T = cast<TernaryExpr>(E);
+    return "(" + printExpr(T->cond()) + " ? " + printExpr(T->thenExpr()) +
+           " : " + printExpr(T->elseExpr()) + ")";
+  }
+  case Expr::Kind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    return "(" + C->target()->toString() + ") " + printExpr(C->operand());
+  }
+  case Expr::Kind::BuiltinCall: {
+    const auto *C = cast<BuiltinCallExpr>(E);
+    const char *Name = nullptr;
+    switch (C->builtin()) {
+    case BuiltinKind::NumNodes:
+      Name = "NumNodes";
+      break;
+    case BuiltinKind::NumEdges:
+      Name = "NumEdges";
+      break;
+    case BuiltinKind::PickRandom:
+      Name = "PickRandom";
+      break;
+    case BuiltinKind::Degree:
+      Name = "Degree";
+      break;
+    case BuiltinKind::OutDegree:
+      Name = "OutDegree";
+      break;
+    case BuiltinKind::InDegree:
+      Name = "InDegree";
+      break;
+    case BuiltinKind::ToEdge:
+      Name = "ToEdge";
+      break;
+    }
+    return printExpr(C->base()) + "." + Name + "()";
+  }
+  case Expr::Kind::Reduction: {
+    const auto *R = cast<ReductionExpr>(E);
+    std::string S = reductionKindSpelling(R->reductionKind());
+    S += "(" + R->iterator()->name() + ": " + printSource(R->source()) + ")";
+    if (R->filter())
+      S += "(" + printExpr(R->filter()) + ")";
+    if (R->body())
+      S += "{" + printExpr(R->body()) + "}";
+    return S;
+  }
+  }
+  gm_unreachable("invalid expression kind");
+}
+
+std::string gm::printStmt(const Stmt *S, unsigned Indent) {
+  if (!S)
+    return "";
+  std::string Pad = indentStr(Indent);
+  switch (S->kind()) {
+  case Stmt::Kind::Block: {
+    std::string Out = Pad + "{\n";
+    for (const Stmt *Child : cast<BlockStmt>(S)->statements())
+      Out += printStmt(Child, Indent + 1);
+    Out += Pad + "}\n";
+    return Out;
+  }
+  case Stmt::Kind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    std::string Out =
+        Pad + D->decl()->type()->toString() + " " + D->decl()->name();
+    if (D->init())
+      Out += " = " + printExpr(D->init());
+    return Out + ";\n";
+  }
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    return Pad + printExpr(A->target()) + " " +
+           reduceAssignSpelling(A->reduce()) + " " + printExpr(A->value()) +
+           ";\n";
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    std::string Out = Pad + "If (" + printExpr(I->cond()) + ")\n";
+    Out += printStmt(I->thenStmt(), Indent + 1);
+    if (I->elseStmt()) {
+      Out += Pad + "Else\n";
+      Out += printStmt(I->elseStmt(), Indent + 1);
+    }
+    return Out;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    if (W->isDoWhile())
+      return Pad + "Do\n" + printStmt(W->body(), Indent + 1) + Pad +
+             "While (" + printExpr(W->cond()) + ");\n";
+    return Pad + "While (" + printExpr(W->cond()) + ")\n" +
+           printStmt(W->body(), Indent + 1);
+  }
+  case Stmt::Kind::Foreach: {
+    const auto *F = cast<ForeachStmt>(S);
+    std::string Out = Pad + (F->isParallel() ? "Foreach" : "For");
+    Out += " (" + F->iterator()->name() + ": " + printSource(F->source()) + ")";
+    if (F->filter())
+      Out += "(" + printExpr(F->filter()) + ")";
+    Out += "\n" + printStmt(F->body(), Indent + 1);
+    return Out;
+  }
+  case Stmt::Kind::BFS: {
+    const auto *B = cast<BFSStmt>(S);
+    std::string Out = Pad + "InBFS (" + B->iterator()->name() + ": " +
+                      B->graphVar()->name() + ".Nodes From " +
+                      printExpr(B->root()) + ")";
+    if (B->filter())
+      Out += "(" + printExpr(B->filter()) + ")";
+    Out += "\n" + printStmt(B->forwardBody(), Indent + 1);
+    if (B->reverseBody()) {
+      Out += Pad + "InReverse";
+      if (B->reverseFilter())
+        Out += "(" + printExpr(B->reverseFilter()) + ")";
+      Out += "\n" + printStmt(B->reverseBody(), Indent + 1);
+    }
+    return Out;
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    if (R->value())
+      return Pad + "Return " + printExpr(R->value()) + ";\n";
+    return Pad + "Return;\n";
+  }
+  }
+  gm_unreachable("invalid statement kind");
+}
+
+std::string gm::printProcedure(const ProcedureDecl *P) {
+  std::string Out = "Procedure " + P->name() + "(";
+  for (size_t I = 0; I < P->params().size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += P->params()[I]->name() + ": " + P->params()[I]->type()->toString();
+  }
+  Out += ")";
+  if (!P->returnType()->isVoid())
+    Out += " : " + P->returnType()->toString();
+  Out += "\n" + printStmt(P->body());
+  return Out;
+}

@@ -1,0 +1,25 @@
+//===- frontend/ASTPrinter.h - Pretty-print the AST as Green-Marl -----------===//
+///
+/// \file
+/// Renders an AST back to Green-Marl-like source. Used by golden tests (the
+/// transformation passes are specified by their before/after source forms in
+/// the paper) and by the gmpc driver's --dump-ast mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_FRONTEND_ASTPRINTER_H
+#define GM_FRONTEND_ASTPRINTER_H
+
+#include "frontend/AST.h"
+
+#include <string>
+
+namespace gm {
+
+std::string printExpr(const Expr *E);
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+std::string printProcedure(const ProcedureDecl *P);
+
+} // namespace gm
+
+#endif // GM_FRONTEND_ASTPRINTER_H

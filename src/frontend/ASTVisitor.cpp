@@ -1,0 +1,103 @@
+//===- frontend/ASTVisitor.cpp ------------------------------------------------===//
+
+#include "frontend/ASTVisitor.h"
+
+using namespace gm;
+
+void ASTWalker::walk(Expr *E) {
+  if (!E || !visitExprPre(E))
+    return;
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::FloatLiteral:
+  case Expr::Kind::BoolLiteral:
+  case Expr::Kind::InfLiteral:
+  case Expr::Kind::NilLiteral:
+  case Expr::Kind::VarRef:
+    break;
+  case Expr::Kind::PropAccess:
+    walk(cast<PropAccessExpr>(E)->base());
+    break;
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    walk(B->lhs());
+    walk(B->rhs());
+    break;
+  }
+  case Expr::Kind::Unary:
+    walk(cast<UnaryExpr>(E)->operand());
+    break;
+  case Expr::Kind::Ternary: {
+    auto *T = cast<TernaryExpr>(E);
+    walk(T->cond());
+    walk(T->thenExpr());
+    walk(T->elseExpr());
+    break;
+  }
+  case Expr::Kind::Cast:
+    walk(cast<CastExpr>(E)->operand());
+    break;
+  case Expr::Kind::BuiltinCall:
+    walk(cast<BuiltinCallExpr>(E)->base());
+    break;
+  case Expr::Kind::Reduction: {
+    auto *R = cast<ReductionExpr>(E);
+    walk(R->filter());
+    walk(R->body());
+    break;
+  }
+  }
+  visitExprPost(E);
+}
+
+void ASTWalker::walk(Stmt *S) {
+  if (!S || !visitStmtPre(S))
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (Stmt *Child : cast<BlockStmt>(S)->statements())
+      walk(Child);
+    break;
+  case Stmt::Kind::Decl:
+    walk(cast<DeclStmt>(S)->init());
+    break;
+  case Stmt::Kind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    walk(A->target());
+    walk(A->value());
+    break;
+  }
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    walk(I->cond());
+    walk(I->thenStmt());
+    walk(I->elseStmt());
+    break;
+  }
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    walk(W->cond());
+    walk(W->body());
+    break;
+  }
+  case Stmt::Kind::Foreach: {
+    auto *F = cast<ForeachStmt>(S);
+    walk(F->filter());
+    walk(F->body());
+    break;
+  }
+  case Stmt::Kind::BFS: {
+    auto *B = cast<BFSStmt>(S);
+    walk(B->root());
+    walk(B->filter());
+    walk(B->forwardBody());
+    walk(B->reverseFilter());
+    walk(B->reverseBody());
+    break;
+  }
+  case Stmt::Kind::Return:
+    walk(cast<ReturnStmt>(S)->value());
+    break;
+  }
+  visitStmtPost(S);
+}

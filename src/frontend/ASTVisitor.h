@@ -1,0 +1,43 @@
+//===- frontend/ASTVisitor.h - Recursive AST traversal ---------------------===//
+///
+/// \file
+/// A depth-first walker over statements and expressions with overridable
+/// pre/post hooks. Pre-hooks may return false to skip a subtree. Used by the
+/// analyses (read/write sets, canonical-form checking) and by transforms
+/// that only need to inspect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_FRONTEND_ASTVISITOR_H
+#define GM_FRONTEND_ASTVISITOR_H
+
+#include "frontend/AST.h"
+
+namespace gm {
+
+class ASTWalker {
+public:
+  virtual ~ASTWalker() = default;
+
+  /// Return false to skip this statement's children.
+  virtual bool visitStmtPre(Stmt *S) {
+    (void)S;
+    return true;
+  }
+  virtual void visitStmtPost(Stmt *S) { (void)S; }
+
+  /// Return false to skip this expression's children.
+  virtual bool visitExprPre(Expr *E) {
+    (void)E;
+    return true;
+  }
+  virtual void visitExprPost(Expr *E) { (void)E; }
+
+  void walk(Stmt *S);
+  void walk(Expr *E);
+  void walk(ProcedureDecl *Proc) { walk(Proc->body()); }
+};
+
+} // namespace gm
+
+#endif // GM_FRONTEND_ASTVISITOR_H

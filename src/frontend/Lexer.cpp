@@ -1,0 +1,416 @@
+//===- frontend/Lexer.cpp ------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Casting.h"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+using namespace gm;
+
+const char *gm::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::KwProcedure:
+    return "'Procedure'";
+  case TokenKind::KwGraph:
+    return "'Graph'";
+  case TokenKind::KwNode:
+    return "'Node'";
+  case TokenKind::KwEdge:
+    return "'Edge'";
+  case TokenKind::KwInt:
+    return "'Int'";
+  case TokenKind::KwLong:
+    return "'Long'";
+  case TokenKind::KwFloat:
+    return "'Float'";
+  case TokenKind::KwDouble:
+    return "'Double'";
+  case TokenKind::KwBool:
+    return "'Bool'";
+  case TokenKind::KwNodeProp:
+    return "'N_P'";
+  case TokenKind::KwEdgeProp:
+    return "'E_P'";
+  case TokenKind::KwForeach:
+    return "'Foreach'";
+  case TokenKind::KwFor:
+    return "'For'";
+  case TokenKind::KwIf:
+    return "'If'";
+  case TokenKind::KwElse:
+    return "'Else'";
+  case TokenKind::KwWhile:
+    return "'While'";
+  case TokenKind::KwDo:
+    return "'Do'";
+  case TokenKind::KwReturn:
+    return "'Return'";
+  case TokenKind::KwInBFS:
+    return "'InBFS'";
+  case TokenKind::KwInReverse:
+    return "'InReverse'";
+  case TokenKind::KwFrom:
+    return "'From'";
+  case TokenKind::KwTrue:
+    return "'True'";
+  case TokenKind::KwFalse:
+    return "'False'";
+  case TokenKind::KwNil:
+    return "'NIL'";
+  case TokenKind::KwInf:
+    return "'INF'";
+  case TokenKind::KwSum:
+    return "'Sum'";
+  case TokenKind::KwProduct:
+    return "'Product'";
+  case TokenKind::KwCount:
+    return "'Count'";
+  case TokenKind::KwMax:
+    return "'Max'";
+  case TokenKind::KwMin:
+    return "'Min'";
+  case TokenKind::KwExist:
+    return "'Exist'";
+  case TokenKind::KwAll:
+    return "'All'";
+  case TokenKind::KwAvg:
+    return "'Avg'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::MinusAssign:
+    return "'-='";
+  case TokenKind::StarAssign:
+    return "'*='";
+  case TokenKind::AndAssign:
+    return "'&='";
+  case TokenKind::OrAssign:
+    return "'|='";
+  case TokenKind::MinAssign:
+    return "'min='";
+  case TokenKind::MaxAssign:
+    return "'max='";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::NotEqual:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  }
+  gm_unreachable("invalid token kind");
+}
+
+static const std::unordered_map<std::string, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> Table = {
+      {"Procedure", TokenKind::KwProcedure},
+      {"Graph", TokenKind::KwGraph},
+      {"Node", TokenKind::KwNode},
+      {"Edge", TokenKind::KwEdge},
+      {"Int", TokenKind::KwInt},
+      {"Long", TokenKind::KwLong},
+      {"Float", TokenKind::KwFloat},
+      {"Double", TokenKind::KwDouble},
+      {"Bool", TokenKind::KwBool},
+      {"N_P", TokenKind::KwNodeProp},
+      {"E_P", TokenKind::KwEdgeProp},
+      {"Foreach", TokenKind::KwForeach},
+      {"For", TokenKind::KwFor},
+      {"If", TokenKind::KwIf},
+      {"Else", TokenKind::KwElse},
+      {"While", TokenKind::KwWhile},
+      {"Do", TokenKind::KwDo},
+      {"Return", TokenKind::KwReturn},
+      {"InBFS", TokenKind::KwInBFS},
+      {"InReverse", TokenKind::KwInReverse},
+      {"InRBFS", TokenKind::KwInReverse}, // paper uses both spellings
+      {"From", TokenKind::KwFrom},
+      {"True", TokenKind::KwTrue},
+      {"False", TokenKind::KwFalse},
+      {"NIL", TokenKind::KwNil},
+      {"INF", TokenKind::KwInf},
+      {"Sum", TokenKind::KwSum},
+      {"Product", TokenKind::KwProduct},
+      {"Count", TokenKind::KwCount},
+      {"Max", TokenKind::KwMax},
+      {"Min", TokenKind::KwMin},
+      {"Exist", TokenKind::KwExist},
+      {"All", TokenKind::KwAll},
+      {"Avg", TokenKind::KwAvg},
+  };
+  return Table;
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Src(std::move(Source)), Diags(Diags) {}
+
+char Lexer::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Src.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos < Src.size()) {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind K, size_t Start) const {
+  Token T;
+  T.Kind = K;
+  T.Loc = TokenLoc;
+  T.Text = Src.substr(Start, Pos - Start);
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  size_t Start = Pos;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  bool IsFloat = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    unsigned Off = (peek(1) == '+' || peek(1) == '-') ? 2 : 1;
+    if (std::isdigit(static_cast<unsigned char>(peek(Off)))) {
+      IsFloat = true;
+      for (unsigned I = 0; I <= Off; ++I)
+        advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+  }
+
+  Token T = makeToken(IsFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                      Start);
+  if (IsFloat) {
+    T.FloatValue = std::stod(T.Text);
+  } else {
+    auto [Ptr, Ec] = std::from_chars(T.Text.data(),
+                                     T.Text.data() + T.Text.size(), T.IntValue);
+    if (Ec != std::errc()) {
+      Diags.error(T.Loc, "integer literal out of range: " + T.Text);
+      T.Kind = TokenKind::Error;
+    }
+  }
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  Token T = makeToken(TokenKind::Identifier, Start);
+
+  // Fused reduce-assignment operators: "min=" / "max=" (but not "min ==").
+  if ((T.Text == "min" || T.Text == "max") && peek() == '=' && peek(1) != '=') {
+    advance();
+    T.Kind = T.Text == "min" ? TokenKind::MinAssign : TokenKind::MaxAssign;
+    T.Text += '=';
+    return T;
+  }
+
+  auto It = keywordTable().find(T.Text);
+  if (It != keywordTable().end())
+    T.Kind = It->second;
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  TokenLoc = SourceLocation(Line, Col);
+  if (Pos >= Src.size())
+    return makeToken(TokenKind::EndOfFile, Pos);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier();
+
+  size_t Start = Pos;
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Start);
+  case ')':
+    return makeToken(TokenKind::RParen, Start);
+  case '{':
+    return makeToken(TokenKind::LBrace, Start);
+  case '}':
+    return makeToken(TokenKind::RBrace, Start);
+  case '[':
+    return makeToken(TokenKind::LBracket, Start);
+  case ']':
+    return makeToken(TokenKind::RBracket, Start);
+  case ',':
+    return makeToken(TokenKind::Comma, Start);
+  case ':':
+    return makeToken(TokenKind::Colon, Start);
+  case ';':
+    return makeToken(TokenKind::Semicolon, Start);
+  case '.':
+    return makeToken(TokenKind::Dot, Start);
+  case '?':
+    return makeToken(TokenKind::Question, Start);
+  case '+':
+    if (match('='))
+      return makeToken(TokenKind::PlusAssign, Start);
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Start);
+    return makeToken(TokenKind::Plus, Start);
+  case '-':
+    if (match('='))
+      return makeToken(TokenKind::MinusAssign, Start);
+    return makeToken(TokenKind::Minus, Start);
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarAssign, Start);
+    return makeToken(TokenKind::Star, Start);
+  case '/':
+    return makeToken(TokenKind::Slash, Start);
+  case '%':
+    return makeToken(TokenKind::Percent, Start);
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual, Start);
+    return makeToken(TokenKind::Assign, Start);
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::NotEqual, Start);
+    return makeToken(TokenKind::Bang, Start);
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::LessEqual, Start);
+    return makeToken(TokenKind::Less, Start);
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual, Start);
+    return makeToken(TokenKind::Greater, Start);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Start);
+    if (match('='))
+      return makeToken(TokenKind::AndAssign, Start);
+    break;
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Start);
+    if (match('='))
+      return makeToken(TokenKind::OrAssign, Start);
+    break;
+  default:
+    break;
+  }
+
+  Diags.error(TokenLoc, std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Error, Start);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next();
+    Tokens.push_back(T);
+    if (T.is(TokenKind::EndOfFile) || T.is(TokenKind::Error))
+      break;
+  }
+  return Tokens;
+}

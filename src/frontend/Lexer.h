@@ -1,0 +1,52 @@
+//===- frontend/Lexer.h - Green-Marl lexer -----------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the Green-Marl subset. Supports // and /* */
+/// comments, decimal integer and floating literals, and the fused min= /
+/// max= reduce-assignment operators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_FRONTEND_LEXER_H
+#define GM_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace gm {
+
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the next token (EndOfFile forever once exhausted).
+  Token next();
+
+  /// Lexes the whole input. Stops early after an Error token.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  Token makeToken(TokenKind K, size_t Start) const;
+  Token lexNumber();
+  Token lexIdentifier();
+
+  std::string Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  SourceLocation TokenLoc;
+};
+
+} // namespace gm
+
+#endif // GM_FRONTEND_LEXER_H

@@ -1,0 +1,938 @@
+//===- frontend/Parser.cpp -----------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+using namespace gm;
+
+Parser::Parser(std::string Source, ASTContext &Context, DiagnosticEngine &Diags)
+    : Context(Context), Diags(Diags) {
+  Lexer Lex(std::move(Source), Diags);
+  Tokens = Lex.lexAll();
+  if (!Tokens.empty() && Tokens.back().is(TokenKind::Error))
+    Failed = true;
+}
+
+Token Parser::consume() {
+  Token T = cur();
+  if (Index + 1 < Tokens.size())
+    ++Index;
+  return T;
+}
+
+bool Parser::consumeIf(TokenKind K) {
+  if (!cur().is(K))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Where) {
+  if (consumeIf(K))
+    return true;
+  error(cur().Loc, std::string("expected ") + tokenKindName(K) + " " + Where +
+                       ", found " + tokenKindName(cur().Kind));
+  return false;
+}
+
+std::nullptr_t Parser::error(SourceLocation Loc, const std::string &Msg) {
+  if (!Failed) // report only the first syntax error; the rest is cascade
+    Diags.error(Loc, Msg);
+  Failed = true;
+  return nullptr;
+}
+
+VarDecl *Parser::declare(const std::string &Name, const Type *Ty,
+                         VarDecl::StorageKind Storage, SourceLocation Loc) {
+  assert(!Scopes.empty() && "no active scope");
+  if (Scopes.back().count(Name)) {
+    error(Loc, "redefinition of '" + Name + "'");
+    return Scopes.back()[Name];
+  }
+  auto *Var = Context.create<VarDecl>(Name, Ty, Storage, Loc);
+  Scopes.back()[Name] = Var;
+  return Var;
+}
+
+VarDecl *Parser::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+bool Parser::atTypeStart() const {
+  switch (cur().Kind) {
+  case TokenKind::KwInt:
+  case TokenKind::KwLong:
+  case TokenKind::KwFloat:
+  case TokenKind::KwDouble:
+  case TokenKind::KwBool:
+  case TokenKind::KwNode:
+  case TokenKind::KwEdge:
+  case TokenKind::KwGraph:
+  case TokenKind::KwNodeProp:
+  case TokenKind::KwEdgeProp:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// "(Float)" style cast: '(' primitive-type ')' at the current position.
+bool Parser::atCastStart() const {
+  if (!cur().is(TokenKind::LParen))
+    return false;
+  switch (peek(1).Kind) {
+  case TokenKind::KwInt:
+  case TokenKind::KwLong:
+  case TokenKind::KwFloat:
+  case TokenKind::KwDouble:
+  case TokenKind::KwBool:
+    return peek(2).is(TokenKind::RParen);
+  default:
+    return false;
+  }
+}
+
+const Type *Parser::parseType() {
+  SourceLocation Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::KwInt:
+    consume();
+    return Type::getInt();
+  case TokenKind::KwLong:
+    consume();
+    return Type::getLong();
+  case TokenKind::KwFloat:
+    consume();
+    return Type::getFloat();
+  case TokenKind::KwDouble:
+    consume();
+    return Type::getDouble();
+  case TokenKind::KwBool:
+    consume();
+    return Type::getBool();
+  case TokenKind::KwNode:
+    consume();
+    return Type::getNode();
+  case TokenKind::KwEdge:
+    consume();
+    return Type::getEdge();
+  case TokenKind::KwGraph:
+    consume();
+    return Type::getGraph();
+  case TokenKind::KwNodeProp:
+  case TokenKind::KwEdgeProp: {
+    bool IsNode = cur().is(TokenKind::KwNodeProp);
+    consume();
+    if (!expect(TokenKind::Less, "after property type"))
+      return nullptr;
+    const Type *Elem = parseType();
+    if (!Elem)
+      return nullptr;
+    if (Elem->isProperty())
+      return error(Loc, "property of property type is not allowed");
+    if (!expect(TokenKind::Greater, "after property element type"))
+      return nullptr;
+    return IsNode ? Type::getNodeProp(Elem) : Type::getEdgeProp(Elem);
+  }
+  default:
+    return error(Loc, std::string("expected type, found ") +
+                          tokenKindName(cur().Kind));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Procedures
+//===----------------------------------------------------------------------===//
+
+Program Parser::parseProgram() {
+  Program Prog;
+  pushScope(); // global scope (procedure names are not first-class here)
+  while (!cur().is(TokenKind::EndOfFile) && !Failed) {
+    ProcedureDecl *P = parseProcedure();
+    if (!P)
+      break;
+    Prog.Procedures.push_back(P);
+  }
+  popScope();
+  return Prog;
+}
+
+ProcedureDecl *Parser::parseProcedure() {
+  SourceLocation Loc = cur().Loc;
+  if (!expect(TokenKind::KwProcedure, "at start of procedure"))
+    return nullptr;
+  if (!cur().is(TokenKind::Identifier))
+    return error(cur().Loc, "expected procedure name");
+  std::string Name = consume().Text;
+  if (!expect(TokenKind::LParen, "after procedure name"))
+    return nullptr;
+
+  pushScope();
+  std::vector<VarDecl *> Params;
+  if (!cur().is(TokenKind::RParen)) {
+    do {
+      if (!cur().is(TokenKind::Identifier)) {
+        error(cur().Loc, "expected parameter name");
+        break;
+      }
+      Token NameTok = consume();
+      if (!expect(TokenKind::Colon, "after parameter name"))
+        break;
+      const Type *Ty = parseType();
+      if (!Ty)
+        break;
+      VarDecl *P =
+          declare(NameTok.Text, Ty, VarDecl::StorageKind::Param, NameTok.Loc);
+      Params.push_back(P);
+    } while (consumeIf(TokenKind::Comma) || consumeIf(TokenKind::Semicolon));
+  }
+  if (!expect(TokenKind::RParen, "after parameter list")) {
+    popScope();
+    return nullptr;
+  }
+
+  const Type *RetTy = Type::getVoid();
+  if (consumeIf(TokenKind::Colon)) {
+    RetTy = parseType();
+    if (!RetTy) {
+      popScope();
+      return nullptr;
+    }
+  }
+
+  BlockStmt *Body = parseBlock();
+  popScope();
+  if (!Body)
+    return nullptr;
+  return Context.create<ProcedureDecl>(std::move(Name), std::move(Params),
+                                       RetTy, Body, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+BlockStmt *Parser::parseBlock() {
+  SourceLocation Loc = cur().Loc;
+  if (!expect(TokenKind::LBrace, "at start of block"))
+    return nullptr;
+  auto *Block = Context.create<BlockStmt>(Loc);
+  pushScope();
+  while (!cur().is(TokenKind::RBrace) && !cur().is(TokenKind::EndOfFile) &&
+         !Failed) {
+    Stmt *S = parseStatement();
+    if (!S)
+      break;
+    Block->statements().push_back(S);
+  }
+  popScope();
+  if (Failed)
+    return nullptr;
+  if (!expect(TokenKind::RBrace, "at end of block"))
+    return nullptr;
+  return Block;
+}
+
+Stmt *Parser::parseStatement() {
+  switch (cur().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDoWhile();
+  case TokenKind::KwForeach:
+    return parseForeach(/*Parallel=*/true);
+  case TokenKind::KwFor:
+    return parseForeach(/*Parallel=*/false);
+  case TokenKind::KwInBFS:
+    return parseBFS();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  default:
+    if (atTypeStart())
+      return parseDeclStatement();
+    if (cur().is(TokenKind::Identifier))
+      return parseAssignLike();
+    return error(cur().Loc, std::string("expected statement, found ") +
+                                tokenKindName(cur().Kind));
+  }
+}
+
+Stmt *Parser::parseDeclStatement() {
+  SourceLocation Loc = cur().Loc;
+  const Type *Ty = parseType();
+  if (!Ty)
+    return nullptr;
+  if (!cur().is(TokenKind::Identifier))
+    return error(cur().Loc, "expected variable name after type");
+  Token NameTok = consume();
+
+  Expr *Init = nullptr;
+  if (consumeIf(TokenKind::Assign)) {
+    Init = parseExpr();
+    if (!Init)
+      return nullptr;
+  }
+  if (!expect(TokenKind::Semicolon, "after declaration"))
+    return nullptr;
+  if (Ty->isProperty() && Init)
+    return error(Loc, "property declarations cannot have initializers");
+
+  VarDecl *Var =
+      declare(NameTok.Text, Ty, VarDecl::StorageKind::Local, NameTok.Loc);
+  return Context.create<DeclStmt>(Var, Init, Loc);
+}
+
+Stmt *Parser::parseAssignLike() {
+  SourceLocation Loc = cur().Loc;
+  Token NameTok = consume();
+  VarDecl *Base = lookup(NameTok.Text);
+  if (!Base)
+    return error(NameTok.Loc, "use of undeclared name '" + NameTok.Text + "'");
+
+  Expr *Target = nullptr;
+  if (consumeIf(TokenKind::Dot)) {
+    if (!cur().is(TokenKind::Identifier))
+      return error(cur().Loc, "expected property name after '.'");
+    Token PropTok = consume();
+    VarDecl *Prop = lookup(PropTok.Text);
+    if (!Prop)
+      return error(PropTok.Loc,
+                   "use of undeclared property '" + PropTok.Text + "'");
+
+    // Group assignment sugar: G.prop = expr  ==>  Foreach(_g: G.Nodes) ...
+    if (Base->type()->isGraph()) {
+      if (!expect(TokenKind::Assign, "in group assignment"))
+        return nullptr;
+      Expr *Val = parseExpr();
+      if (!Val || !expect(TokenKind::Semicolon, "after group assignment"))
+        return nullptr;
+      VarDecl *Iter = Context.createTemp("gn", Type::getNode());
+      auto *Access = Context.create<PropAccessExpr>(
+          Context.create<VarRefExpr>(Iter, Loc), Prop, Loc);
+      auto *Assign =
+          Context.create<AssignStmt>(Access, ReduceKind::None, Val, Loc);
+      auto *Body = Context.create<BlockStmt>(Loc);
+      Body->statements().push_back(Assign);
+      IterSource Src;
+      Src.K = IterSource::Kind::GraphNodes;
+      Src.Base = Base;
+      return Context.create<ForeachStmt>(Iter, Src, /*Filter=*/nullptr, Body,
+                                         /*Parallel=*/true, Loc);
+    }
+
+    auto *BaseRef = Context.create<VarRefExpr>(Base, NameTok.Loc);
+    Target = Context.create<PropAccessExpr>(BaseRef, Prop, Loc);
+  } else {
+    Target = Context.create<VarRefExpr>(Base, NameTok.Loc);
+  }
+
+  // cnt++;  ==>  cnt += 1;
+  if (consumeIf(TokenKind::PlusPlus)) {
+    if (!expect(TokenKind::Semicolon, "after '++'"))
+      return nullptr;
+    return Context.create<AssignStmt>(Target, ReduceKind::Sum,
+                                      Context.makeIntLit(1), Loc);
+  }
+
+  ReduceKind Reduce;
+  bool NegateValue = false;
+  switch (cur().Kind) {
+  case TokenKind::Assign:
+    Reduce = ReduceKind::None;
+    break;
+  case TokenKind::PlusAssign:
+    Reduce = ReduceKind::Sum;
+    break;
+  case TokenKind::MinusAssign:
+    Reduce = ReduceKind::Sum;
+    NegateValue = true;
+    break;
+  case TokenKind::StarAssign:
+    Reduce = ReduceKind::Prod;
+    break;
+  case TokenKind::MinAssign:
+    Reduce = ReduceKind::Min;
+    break;
+  case TokenKind::MaxAssign:
+    Reduce = ReduceKind::Max;
+    break;
+  case TokenKind::AndAssign:
+    Reduce = ReduceKind::And;
+    break;
+  case TokenKind::OrAssign:
+    Reduce = ReduceKind::Or;
+    break;
+  default:
+    return error(cur().Loc, std::string("expected assignment operator, found ") +
+                                tokenKindName(cur().Kind));
+  }
+  SourceLocation OpLoc = consume().Loc;
+
+  Expr *Val = parseExpr();
+  if (!Val)
+    return nullptr;
+  if (NegateValue)
+    Val = Context.create<UnaryExpr>(UnaryOpKind::Neg, Val, OpLoc);
+  if (!expect(TokenKind::Semicolon, "after assignment"))
+    return nullptr;
+  return Context.create<AssignStmt>(Target, Reduce, Val, Loc);
+}
+
+Stmt *Parser::parseIf() {
+  SourceLocation Loc = consume().Loc; // If
+  if (!expect(TokenKind::LParen, "after 'If'"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokenKind::RParen, "after condition"))
+    return nullptr;
+  Stmt *Then = parseStatement();
+  if (!Then)
+    return nullptr;
+  Stmt *Else = nullptr;
+  if (consumeIf(TokenKind::KwElse)) {
+    Else = parseStatement();
+    if (!Else)
+      return nullptr;
+  }
+  return Context.create<IfStmt>(Cond, Then, Else, Loc);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLocation Loc = consume().Loc; // While
+  if (!expect(TokenKind::LParen, "after 'While'"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokenKind::RParen, "after condition"))
+    return nullptr;
+  Stmt *Body = parseStatement();
+  if (!Body)
+    return nullptr;
+  return Context.create<WhileStmt>(Cond, Body, /*IsDoWhile=*/false, Loc);
+}
+
+Stmt *Parser::parseDoWhile() {
+  SourceLocation Loc = consume().Loc; // Do
+  Stmt *Body = parseStatement();
+  if (!Body)
+    return nullptr;
+  if (!expect(TokenKind::KwWhile, "after do-while body") ||
+      !expect(TokenKind::LParen, "after 'While'"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokenKind::RParen, "after condition") ||
+      !expect(TokenKind::Semicolon, "after do-while"))
+    return nullptr;
+  return Context.create<WhileStmt>(Cond, Body, /*IsDoWhile=*/true, Loc);
+}
+
+/// Parses "(iter: source)" where source is G.Nodes or node.Nbrs etc.
+/// Declares the iterator into the *current* scope (caller pushes it).
+bool Parser::parseIteratorHeader(VarDecl *&Iter, IterSource &Source) {
+  if (!expect(TokenKind::LParen, "before iterator"))
+    return false;
+  if (!cur().is(TokenKind::Identifier)) {
+    error(cur().Loc, "expected iterator name");
+    return false;
+  }
+  Token IterTok = consume();
+  if (!expect(TokenKind::Colon, "after iterator name"))
+    return false;
+  if (!cur().is(TokenKind::Identifier)) {
+    error(cur().Loc, "expected iteration source");
+    return false;
+  }
+  Token BaseTok = consume();
+  VarDecl *Base = lookup(BaseTok.Text);
+  if (!Base) {
+    error(BaseTok.Loc, "use of undeclared name '" + BaseTok.Text + "'");
+    return false;
+  }
+  if (!expect(TokenKind::Dot, "in iteration source"))
+    return false;
+  if (!cur().is(TokenKind::Identifier)) {
+    error(cur().Loc, "expected iteration range (Nodes, Nbrs, InNbrs, ...)");
+    return false;
+  }
+  Token RangeTok = consume();
+
+  if (RangeTok.Text == "Nodes") {
+    Source.K = IterSource::Kind::GraphNodes;
+  } else if (RangeTok.Text == "Nbrs" || RangeTok.Text == "OutNbrs") {
+    Source.K = IterSource::Kind::OutNbrs;
+  } else if (RangeTok.Text == "InNbrs") {
+    Source.K = IterSource::Kind::InNbrs;
+  } else if (RangeTok.Text == "UpNbrs") {
+    Source.K = IterSource::Kind::UpNbrs;
+  } else if (RangeTok.Text == "DownNbrs") {
+    Source.K = IterSource::Kind::DownNbrs;
+  } else {
+    error(RangeTok.Loc, "unknown iteration range '" + RangeTok.Text + "'");
+    return false;
+  }
+  Source.Base = Base;
+
+  Iter = declare(IterTok.Text, Type::getNode(), VarDecl::StorageKind::Iterator,
+                 IterTok.Loc);
+  return true;
+}
+
+/// Optional "(expr)" or "[expr]" filter after an iterator header.
+Expr *Parser::parseOptionalFilter() {
+  TokenKind Close;
+  if (cur().is(TokenKind::LParen))
+    Close = TokenKind::RParen;
+  else if (cur().is(TokenKind::LBracket))
+    Close = TokenKind::RBracket;
+  else
+    return nullptr;
+  consume();
+  Expr *Filter = parseExpr();
+  if (!Filter)
+    return nullptr;
+  if (!expect(Close, "after filter"))
+    return nullptr;
+  return Filter;
+}
+
+Stmt *Parser::parseForeach(bool Parallel) {
+  SourceLocation Loc = consume().Loc; // Foreach / For
+  pushScope();
+  VarDecl *Iter = nullptr;
+  IterSource Source;
+  if (!parseIteratorHeader(Iter, Source)) {
+    popScope();
+    return nullptr;
+  }
+  if (!expect(TokenKind::RParen, "after iteration source")) {
+    popScope();
+    return nullptr;
+  }
+  Expr *Filter = parseOptionalFilter();
+  if (Failed) {
+    popScope();
+    return nullptr;
+  }
+  Stmt *Body = parseStatement();
+  popScope();
+  if (!Body)
+    return nullptr;
+  return Context.create<ForeachStmt>(Iter, Source, Filter, Body, Parallel, Loc);
+}
+
+Stmt *Parser::parseBFS() {
+  SourceLocation Loc = consume().Loc; // InBFS
+  pushScope();
+  if (!expect(TokenKind::LParen, "after 'InBFS'")) {
+    popScope();
+    return nullptr;
+  }
+  if (!cur().is(TokenKind::Identifier)) {
+    popScope();
+    return error(cur().Loc, "expected BFS iterator name");
+  }
+  Token IterTok = consume();
+  if (!expect(TokenKind::Colon, "after BFS iterator")) {
+    popScope();
+    return nullptr;
+  }
+  if (!cur().is(TokenKind::Identifier)) {
+    popScope();
+    return error(cur().Loc, "expected graph name in InBFS");
+  }
+  Token GraphTok = consume();
+  VarDecl *GraphVar = lookup(GraphTok.Text);
+  if (!GraphVar) {
+    popScope();
+    return error(GraphTok.Loc,
+                 "use of undeclared name '" + GraphTok.Text + "'");
+  }
+  if (!expect(TokenKind::Dot, "in InBFS header")) {
+    popScope();
+    return nullptr;
+  }
+  if (!cur().is(TokenKind::Identifier) || cur().Text != "Nodes") {
+    popScope();
+    return error(cur().Loc, "expected 'Nodes' in InBFS header");
+  }
+  consume();
+  if (!expect(TokenKind::KwFrom, "in InBFS header")) {
+    popScope();
+    return nullptr;
+  }
+  Expr *Root = parseExpr();
+  if (!Root || !expect(TokenKind::RParen, "after InBFS header")) {
+    popScope();
+    return nullptr;
+  }
+
+  VarDecl *Iter = declare(IterTok.Text, Type::getNode(),
+                          VarDecl::StorageKind::Iterator, IterTok.Loc);
+  Expr *Filter = parseOptionalFilter();
+  if (Failed) {
+    popScope();
+    return nullptr;
+  }
+  BlockStmt *Forward = parseBlock();
+  if (!Forward) {
+    popScope();
+    return nullptr;
+  }
+
+  Expr *ReverseFilter = nullptr;
+  BlockStmt *Reverse = nullptr;
+  if (consumeIf(TokenKind::KwInReverse)) {
+    ReverseFilter = parseOptionalFilter();
+    if (Failed) {
+      popScope();
+      return nullptr;
+    }
+    Reverse = parseBlock();
+    if (!Reverse) {
+      popScope();
+      return nullptr;
+    }
+  }
+  popScope();
+  return Context.create<BFSStmt>(Iter, GraphVar, Root, Filter, Forward,
+                                 ReverseFilter, Reverse, Loc);
+}
+
+Stmt *Parser::parseReturn() {
+  SourceLocation Loc = consume().Loc; // Return
+  Expr *Val = nullptr;
+  if (!cur().is(TokenKind::Semicolon)) {
+    Val = parseExpr();
+    if (!Val)
+      return nullptr;
+  }
+  if (!expect(TokenKind::Semicolon, "after return"))
+    return nullptr;
+  return Context.create<ReturnStmt>(Val, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpr() { return parseTernary(); }
+
+Expr *Parser::parseTernary() {
+  Expr *Cond = parseOr();
+  if (!Cond || !cur().is(TokenKind::Question))
+    return Cond;
+  SourceLocation Loc = consume().Loc;
+  Expr *Then = parseExpr();
+  if (!Then || !expect(TokenKind::Colon, "in conditional expression"))
+    return nullptr;
+  Expr *Else = parseExpr();
+  if (!Else)
+    return nullptr;
+  return Context.create<TernaryExpr>(Cond, Then, Else, Loc);
+}
+
+Expr *Parser::parseOr() {
+  Expr *LHS = parseAnd();
+  while (LHS && cur().is(TokenKind::PipePipe)) {
+    SourceLocation Loc = consume().Loc;
+    Expr *RHS = parseAnd();
+    if (!RHS)
+      return nullptr;
+    LHS = Context.create<BinaryExpr>(BinaryOpKind::Or, LHS, RHS, Loc);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseAnd() {
+  Expr *LHS = parseEquality();
+  while (LHS && cur().is(TokenKind::AmpAmp)) {
+    SourceLocation Loc = consume().Loc;
+    Expr *RHS = parseEquality();
+    if (!RHS)
+      return nullptr;
+    LHS = Context.create<BinaryExpr>(BinaryOpKind::And, LHS, RHS, Loc);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseEquality() {
+  Expr *LHS = parseRelational();
+  while (LHS &&
+         (cur().is(TokenKind::EqualEqual) || cur().is(TokenKind::NotEqual))) {
+    BinaryOpKind Op = cur().is(TokenKind::EqualEqual) ? BinaryOpKind::Eq
+                                                      : BinaryOpKind::Ne;
+    SourceLocation Loc = consume().Loc;
+    Expr *RHS = parseRelational();
+    if (!RHS)
+      return nullptr;
+    LHS = Context.create<BinaryExpr>(Op, LHS, RHS, Loc);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseRelational() {
+  Expr *LHS = parseAdditive();
+  while (LHS && (cur().is(TokenKind::Less) || cur().is(TokenKind::LessEqual) ||
+                 cur().is(TokenKind::Greater) ||
+                 cur().is(TokenKind::GreaterEqual))) {
+    BinaryOpKind Op;
+    switch (cur().Kind) {
+    case TokenKind::Less:
+      Op = BinaryOpKind::Lt;
+      break;
+    case TokenKind::LessEqual:
+      Op = BinaryOpKind::Le;
+      break;
+    case TokenKind::Greater:
+      Op = BinaryOpKind::Gt;
+      break;
+    default:
+      Op = BinaryOpKind::Ge;
+      break;
+    }
+    SourceLocation Loc = consume().Loc;
+    Expr *RHS = parseAdditive();
+    if (!RHS)
+      return nullptr;
+    LHS = Context.create<BinaryExpr>(Op, LHS, RHS, Loc);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseAdditive() {
+  Expr *LHS = parseMultiplicative();
+  while (LHS && (cur().is(TokenKind::Plus) || cur().is(TokenKind::Minus))) {
+    BinaryOpKind Op =
+        cur().is(TokenKind::Plus) ? BinaryOpKind::Add : BinaryOpKind::Sub;
+    SourceLocation Loc = consume().Loc;
+    Expr *RHS = parseMultiplicative();
+    if (!RHS)
+      return nullptr;
+    LHS = Context.create<BinaryExpr>(Op, LHS, RHS, Loc);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseMultiplicative() {
+  Expr *LHS = parseUnary();
+  while (LHS && (cur().is(TokenKind::Star) || cur().is(TokenKind::Slash) ||
+                 cur().is(TokenKind::Percent))) {
+    BinaryOpKind Op;
+    switch (cur().Kind) {
+    case TokenKind::Star:
+      Op = BinaryOpKind::Mul;
+      break;
+    case TokenKind::Slash:
+      Op = BinaryOpKind::Div;
+      break;
+    default:
+      Op = BinaryOpKind::Mod;
+      break;
+    }
+    SourceLocation Loc = consume().Loc;
+    Expr *RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    LHS = Context.create<BinaryExpr>(Op, LHS, RHS, Loc);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseUnary() {
+  if (cur().is(TokenKind::Minus)) {
+    SourceLocation Loc = consume().Loc;
+    Expr *Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return Context.create<UnaryExpr>(UnaryOpKind::Neg, Operand, Loc);
+  }
+  if (cur().is(TokenKind::Bang)) {
+    SourceLocation Loc = consume().Loc;
+    Expr *Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return Context.create<UnaryExpr>(UnaryOpKind::Not, Operand, Loc);
+  }
+  // Unary plus on INF: "+INF".
+  if (cur().is(TokenKind::Plus) && peek().is(TokenKind::KwInf)) {
+    consume();
+    return parseUnary();
+  }
+  return parsePostfix();
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  while (E && cur().is(TokenKind::Dot)) {
+    SourceLocation Loc = consume().Loc;
+    if (!cur().is(TokenKind::Identifier))
+      return error(cur().Loc, "expected member name after '.'");
+    Token MemberTok = consume();
+
+    if (consumeIf(TokenKind::LParen)) {
+      // Builtin method call.
+      if (!expect(TokenKind::RParen, "after builtin call"))
+        return nullptr;
+      BuiltinKind BK;
+      if (MemberTok.Text == "NumNodes")
+        BK = BuiltinKind::NumNodes;
+      else if (MemberTok.Text == "NumEdges")
+        BK = BuiltinKind::NumEdges;
+      else if (MemberTok.Text == "PickRandom")
+        BK = BuiltinKind::PickRandom;
+      else if (MemberTok.Text == "Degree" || MemberTok.Text == "NumNbrs" ||
+               MemberTok.Text == "OutDegree")
+        BK = MemberTok.Text == "OutDegree" ? BuiltinKind::OutDegree
+                                           : BuiltinKind::Degree;
+      else if (MemberTok.Text == "InDegree")
+        BK = BuiltinKind::InDegree;
+      else if (MemberTok.Text == "ToEdge")
+        BK = BuiltinKind::ToEdge;
+      else
+        return error(MemberTok.Loc,
+                     "unknown builtin '" + MemberTok.Text + "'");
+      E = Context.create<BuiltinCallExpr>(BK, E, Loc);
+      continue;
+    }
+
+    VarDecl *Prop = lookup(MemberTok.Text);
+    if (!Prop)
+      return error(MemberTok.Loc,
+                   "use of undeclared property '" + MemberTok.Text + "'");
+    E = Context.create<PropAccessExpr>(E, Prop, Loc);
+  }
+  return E;
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLocation Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = consume();
+    return Context.create<IntLiteralExpr>(T.IntValue, Loc);
+  }
+  case TokenKind::FloatLiteral: {
+    Token T = consume();
+    return Context.create<FloatLiteralExpr>(T.FloatValue, Loc);
+  }
+  case TokenKind::KwTrue:
+    consume();
+    return Context.create<BoolLiteralExpr>(true, Loc);
+  case TokenKind::KwFalse:
+    consume();
+    return Context.create<BoolLiteralExpr>(false, Loc);
+  case TokenKind::KwInf:
+    consume();
+    return Context.create<InfLiteralExpr>(Loc);
+  case TokenKind::KwNil:
+    consume();
+    return Context.create<NilLiteralExpr>(Loc);
+  case TokenKind::LParen: {
+    // Either a cast "(Float) x" or a parenthesized expression.
+    if (atCastStart()) {
+      consume(); // (
+      const Type *Target = parseType();
+      if (!Target || !expect(TokenKind::RParen, "after cast type"))
+        return nullptr;
+      Expr *Operand = parseUnary();
+      if (!Operand)
+        return nullptr;
+      return Context.create<CastExpr>(Target, Operand, Loc);
+    }
+    consume();
+    Expr *E = parseExpr();
+    if (!E || !expect(TokenKind::RParen, "after expression"))
+      return nullptr;
+    return E;
+  }
+  case TokenKind::KwSum:
+  case TokenKind::KwProduct:
+  case TokenKind::KwCount:
+  case TokenKind::KwMax:
+  case TokenKind::KwMin:
+  case TokenKind::KwExist:
+  case TokenKind::KwAll:
+  case TokenKind::KwAvg:
+    return parseReduction();
+  case TokenKind::Identifier: {
+    Token T = consume();
+    VarDecl *Var = lookup(T.Text);
+    if (!Var)
+      return error(T.Loc, "use of undeclared name '" + T.Text + "'");
+    return Context.create<VarRefExpr>(Var, Loc);
+  }
+  default:
+    return error(Loc, std::string("expected expression, found ") +
+                          tokenKindName(cur().Kind));
+  }
+}
+
+Expr *Parser::parseReduction() {
+  SourceLocation Loc = cur().Loc;
+  ReductionKind RK;
+  switch (cur().Kind) {
+  case TokenKind::KwSum:
+    RK = ReductionKind::Sum;
+    break;
+  case TokenKind::KwProduct:
+    RK = ReductionKind::Product;
+    break;
+  case TokenKind::KwCount:
+    RK = ReductionKind::Count;
+    break;
+  case TokenKind::KwMax:
+    RK = ReductionKind::Max;
+    break;
+  case TokenKind::KwMin:
+    RK = ReductionKind::Min;
+    break;
+  case TokenKind::KwExist:
+    RK = ReductionKind::Exist;
+    break;
+  case TokenKind::KwAll:
+    RK = ReductionKind::All;
+    break;
+  case TokenKind::KwAvg:
+    RK = ReductionKind::Avg;
+    break;
+  default:
+    gm_unreachable("caller checked reduction keyword");
+  }
+  consume();
+
+  pushScope();
+  VarDecl *Iter = nullptr;
+  IterSource Source;
+  if (!parseIteratorHeader(Iter, Source)) {
+    popScope();
+    return nullptr;
+  }
+  if (!expect(TokenKind::RParen, "after reduction source")) {
+    popScope();
+    return nullptr;
+  }
+  Expr *Filter = parseOptionalFilter();
+  if (Failed) {
+    popScope();
+    return nullptr;
+  }
+  Expr *Body = nullptr;
+  if (consumeIf(TokenKind::LBrace)) {
+    Body = parseExpr();
+    if (!Body || !expect(TokenKind::RBrace, "after reduction body")) {
+      popScope();
+      return nullptr;
+    }
+  }
+  popScope();
+  return Context.create<ReductionExpr>(RK, Iter, Source, Filter, Body, Loc);
+}

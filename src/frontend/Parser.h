@@ -1,0 +1,107 @@
+//===- frontend/Parser.h - Green-Marl recursive-descent parser --------------===//
+///
+/// \file
+/// Parses the Green-Marl subset into an AST, resolving names against a
+/// lexical scope stack as it goes (so VarRefExpr/PropAccessExpr point at
+/// their VarDecls immediately). Type checking is Sema's job; the parser
+/// only guarantees shape and name resolution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_FRONTEND_PARSER_H
+#define GM_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gm {
+
+/// A parsed compilation unit.
+struct Program {
+  std::vector<ProcedureDecl *> Procedures;
+
+  ProcedureDecl *findProcedure(const std::string &Name) const {
+    for (ProcedureDecl *P : Procedures)
+      if (P->name() == Name)
+        return P;
+    return nullptr;
+  }
+};
+
+class Parser {
+public:
+  Parser(std::string Source, ASTContext &Context, DiagnosticEngine &Diags);
+
+  /// Parses the whole input. On error, diagnostics are filed and the
+  /// partially parsed program (possibly empty) is returned.
+  Program parseProgram();
+
+private:
+  // Token stream helpers.
+  const Token &cur() const { return Tokens[Index]; }
+  const Token &peek(unsigned Ahead = 1) const {
+    size_t I = Index + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  Token consume();
+  bool consumeIf(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+
+  // Scope handling.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  VarDecl *declare(const std::string &Name, const Type *Ty,
+                   VarDecl::StorageKind Storage, SourceLocation Loc);
+  VarDecl *lookup(const std::string &Name) const;
+
+  // Grammar productions.
+  ProcedureDecl *parseProcedure();
+  const Type *parseType();
+  BlockStmt *parseBlock();
+  Stmt *parseStatement();
+  Stmt *parseDeclStatement();
+  Stmt *parseAssignLike();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseDoWhile();
+  Stmt *parseForeach(bool Parallel);
+  Stmt *parseBFS();
+  Stmt *parseReturn();
+  bool parseIteratorHeader(VarDecl *&Iter, IterSource &Source);
+  Expr *parseOptionalFilter();
+
+  // Expressions, by precedence.
+  Expr *parseExpr();
+  Expr *parseTernary();
+  Expr *parseOr();
+  Expr *parseAnd();
+  Expr *parseEquality();
+  Expr *parseRelational();
+  Expr *parseAdditive();
+  Expr *parseMultiplicative();
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+  Expr *parseReduction();
+
+  bool atTypeStart() const;
+  bool atCastStart() const;
+  bool errored() const { return Failed; }
+  std::nullptr_t error(SourceLocation Loc, const std::string &Msg);
+
+  ASTContext &Context;
+  DiagnosticEngine &Diags;
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+  bool Failed = false;
+  std::vector<std::unordered_map<std::string, VarDecl *>> Scopes;
+};
+
+} // namespace gm
+
+#endif // GM_FRONTEND_PARSER_H

@@ -1,0 +1,577 @@
+//===- frontend/Sema.cpp --------------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+using namespace gm;
+
+bool Sema::check(ProcedureDecl *P) {
+  Proc = P;
+  EdgeBindings.clear();
+  unsigned ErrorsBefore = Diags.errorCount();
+
+  // The paper's scope: exactly one directed graph argument.
+  unsigned GraphParams = 0;
+  for (VarDecl *Param : P->params())
+    if (Param->type()->isGraph())
+      ++GraphParams;
+  if (GraphParams != 1)
+    Diags.error(P->location(),
+                "procedure '" + P->name() +
+                    "' must take exactly one Graph parameter, has " +
+                    std::to_string(GraphParams));
+
+  checkStmt(P->body(), LoopContext());
+  return Diags.errorCount() == ErrorsBefore;
+}
+
+void Sema::checkIterSource(const IterSource &Src, const LoopContext &Ctx,
+                           SourceLocation Loc) {
+  switch (Src.K) {
+  case IterSource::Kind::GraphNodes:
+    if (!Src.Base->type()->isGraph())
+      Diags.error(Loc, "'.Nodes' requires a Graph, got " +
+                           Src.Base->type()->toString());
+    return;
+  case IterSource::Kind::OutNbrs:
+  case IterSource::Kind::InNbrs:
+    if (!Src.Base->type()->isNode())
+      Diags.error(Loc, "neighborhood iteration requires a Node, got " +
+                           Src.Base->type()->toString());
+    return;
+  case IterSource::Kind::UpNbrs:
+  case IterSource::Kind::DownNbrs:
+    if (!Ctx.EnclosingBFS || Src.Base != Ctx.EnclosingBFS->iterator()) {
+      Diags.error(Loc, std::string("'.") + Src.spelling() +
+                           "' is only valid on the iterator of an "
+                           "enclosing InBFS");
+    }
+    return;
+  }
+}
+
+void Sema::checkStmt(Stmt *S, LoopContext Ctx) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (Stmt *Child : cast<BlockStmt>(S)->statements())
+      checkStmt(Child, Ctx);
+    return;
+
+  case Stmt::Kind::Decl: {
+    auto *D = cast<DeclStmt>(S);
+    VarDecl *Var = D->decl();
+    if (Var->type()->isGraph()) {
+      Diags.error(D->location(), "local Graph variables are not supported");
+      return;
+    }
+    if (!D->init())
+      return;
+    if (Var->type()->isEdge()) {
+      // Only `Edge e = t.ToEdge();` is a valid edge binding.
+      auto *Call = dyn_cast<BuiltinCallExpr>(D->init());
+      if (!Call || Call->builtin() != BuiltinKind::ToEdge) {
+        Diags.error(D->location(),
+                    "Edge variables may only be initialized with ToEdge()");
+        return;
+      }
+      if (!checkExpr(D->init(), Ctx))
+        return;
+      auto *BaseRef = dyn_cast<VarRefExpr>(Call->base());
+      assert(BaseRef && "checkBuiltin enforced iterator base");
+      EdgeBindings[Var] = BaseRef->decl();
+      return;
+    }
+    const Type *InitTy = checkExpr(D->init(), Ctx, Var->type());
+    if (InitTy && !Var->type()->isAssignableFrom(InitTy))
+      Diags.error(D->location(), "cannot initialize " +
+                                     Var->type()->toString() + " '" +
+                                     Var->name() + "' with " +
+                                     InitTy->toString());
+    return;
+  }
+
+  case Stmt::Kind::Assign:
+    checkAssign(cast<AssignStmt>(S), Ctx);
+    return;
+
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    const Type *CondTy = checkExpr(I->cond(), Ctx, Type::getBool());
+    if (CondTy && !CondTy->isBool())
+      Diags.error(I->location(), "If condition must be Bool, got " +
+                                     CondTy->toString());
+    checkStmt(I->thenStmt(), Ctx);
+    checkStmt(I->elseStmt(), Ctx);
+    return;
+  }
+
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    if (Ctx.InParallel) {
+      Diags.error(W->location(),
+                  "While loops are not allowed inside parallel Foreach");
+      return;
+    }
+    const Type *CondTy = checkExpr(W->cond(), Ctx, Type::getBool());
+    if (CondTy && !CondTy->isBool())
+      Diags.error(W->location(), "While condition must be Bool, got " +
+                                     CondTy->toString());
+    checkStmt(W->body(), Ctx);
+    return;
+  }
+
+  case Stmt::Kind::Foreach: {
+    auto *F = cast<ForeachStmt>(S);
+    checkIterSource(F->source(), Ctx, F->location());
+
+    LoopContext Inner = Ctx;
+    if (F->isParallel())
+      Inner.InParallel = true;
+    if (F->source().isNeighborIteration())
+      Inner.NbrIterators.push_back(F->iterator());
+
+    if (F->filter()) {
+      const Type *FilterTy = checkExpr(F->filter(), Inner, Type::getBool());
+      if (FilterTy && !FilterTy->isBool())
+        Diags.error(F->filter()->location(),
+                    "filter must be Bool, got " + FilterTy->toString());
+    }
+    checkStmt(F->body(), Inner);
+    return;
+  }
+
+  case Stmt::Kind::BFS: {
+    auto *B = cast<BFSStmt>(S);
+    if (Ctx.InParallel || Ctx.EnclosingBFS) {
+      Diags.error(B->location(),
+                  "InBFS cannot be nested inside parallel loops or InBFS");
+      return;
+    }
+    if (!B->graphVar()->type()->isGraph()) {
+      Diags.error(B->location(), "InBFS requires a Graph");
+      return;
+    }
+    const Type *RootTy = checkExpr(B->root(), Ctx, Type::getNode());
+    if (RootTy && !RootTy->isNode())
+      Diags.error(B->root()->location(),
+                  "InBFS root must be a Node, got " + RootTy->toString());
+
+    LoopContext Inner = Ctx;
+    Inner.InParallel = true;
+    Inner.EnclosingBFS = B;
+
+    if (B->filter()) {
+      const Type *Ty = checkExpr(B->filter(), Inner, Type::getBool());
+      if (Ty && !Ty->isBool())
+        Diags.error(B->filter()->location(), "BFS filter must be Bool");
+    }
+    checkStmt(B->forwardBody(), Inner);
+
+    if (B->reverseBody()) {
+      Inner.InReversePart = true;
+      if (B->reverseFilter()) {
+        const Type *Ty = checkExpr(B->reverseFilter(), Inner, Type::getBool());
+        if (Ty && !Ty->isBool())
+          Diags.error(B->reverseFilter()->location(),
+                      "InReverse filter must be Bool");
+      }
+      checkStmt(B->reverseBody(), Inner);
+    }
+    return;
+  }
+
+  case Stmt::Kind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (Ctx.InParallel) {
+      Diags.error(R->location(),
+                  "Return is not allowed inside parallel loops");
+      return;
+    }
+    if (Proc->returnType()->isVoid()) {
+      if (R->value())
+        Diags.error(R->location(), "void procedure cannot return a value");
+      return;
+    }
+    if (!R->value()) {
+      Diags.error(R->location(), "non-void procedure must return a value");
+      return;
+    }
+    const Type *Ty = checkExpr(R->value(), Ctx, Proc->returnType());
+    if (Ty && !Proc->returnType()->isAssignableFrom(Ty))
+      Diags.error(R->location(), "cannot return " + Ty->toString() + " from " +
+                                     Proc->returnType()->toString() +
+                                     " procedure");
+    return;
+  }
+  }
+  gm_unreachable("invalid statement kind");
+}
+
+void Sema::checkAssign(AssignStmt *A, const LoopContext &Ctx) {
+  // Validate the target shape first.
+  const Type *TargetTy = nullptr;
+  if (auto *Ref = dyn_cast<VarRefExpr>(A->target())) {
+    VarDecl *Var = Ref->decl();
+    if (Var->isIterator()) {
+      Diags.error(A->location(), "cannot assign to iterator '" + Var->name() +
+                                     "'");
+      return;
+    }
+    if (Var->type()->isProperty() || Var->type()->isGraph() ||
+        Var->type()->isEdge()) {
+      Diags.error(A->location(),
+                  "cannot assign to " + Var->type()->toString() + " variable");
+      return;
+    }
+    Ref->setType(Var->type());
+    TargetTy = Var->type();
+  } else if (isa<PropAccessExpr>(A->target())) {
+    TargetTy = checkExpr(A->target(), Ctx);
+    if (!TargetTy)
+      return;
+  } else {
+    Diags.error(A->location(), "invalid assignment target");
+    return;
+  }
+
+  const Type *ValueTy = checkExpr(A->value(), Ctx, TargetTy);
+  if (!ValueTy)
+    return;
+  if (!TargetTy->isAssignableFrom(ValueTy)) {
+    Diags.error(A->location(), "cannot assign " + ValueTy->toString() +
+                                   " to " + TargetTy->toString());
+    return;
+  }
+
+  // Reduce-assign operator/type compatibility.
+  switch (A->reduce()) {
+  case ReduceKind::None:
+    break;
+  case ReduceKind::Min:
+  case ReduceKind::Max:
+    // Min/Max also order Node values by id.
+    if (!TargetTy->isNumeric() && !TargetTy->isNode())
+      Diags.error(A->location(), "min/max reduction requires a numeric or "
+                                 "Node target, got " +
+                                     TargetTy->toString());
+    break;
+  case ReduceKind::Sum:
+  case ReduceKind::Prod:
+  case ReduceKind::Count:
+    if (!TargetTy->isNumeric())
+      Diags.error(A->location(), "arithmetic reduction requires a numeric "
+                                 "target, got " +
+                                     TargetTy->toString());
+    break;
+  case ReduceKind::And:
+  case ReduceKind::Or:
+    if (!TargetTy->isBool())
+      Diags.error(A->location(), "boolean reduction requires a Bool target");
+    break;
+  }
+}
+
+const Type *Sema::checkExpr(Expr *E, const LoopContext &Ctx,
+                            const Type *Expected) {
+  if (!E)
+    return nullptr;
+  const Type *Result = nullptr;
+  switch (E->kind()) {
+  case Expr::Kind::IntLiteral:
+    Result = (Expected && Expected->isFloat()) ? Expected : Type::getInt();
+    break;
+  case Expr::Kind::FloatLiteral:
+    Result = Type::getDouble();
+    break;
+  case Expr::Kind::BoolLiteral:
+    Result = Type::getBool();
+    break;
+  case Expr::Kind::InfLiteral:
+    Result = (Expected && Expected->isNumeric()) ? Expected : Type::getInt();
+    break;
+  case Expr::Kind::NilLiteral:
+    Result = Type::getNode();
+    break;
+  case Expr::Kind::VarRef: {
+    VarDecl *Var = cast<VarRefExpr>(E)->decl();
+    if (Var->type()->isProperty()) {
+      Diags.error(E->location(), "property '" + Var->name() +
+                                     "' cannot be used as a value");
+      return nullptr;
+    }
+    Result = Var->type();
+    break;
+  }
+  case Expr::Kind::PropAccess: {
+    auto *P = cast<PropAccessExpr>(E);
+    if (!P->prop()->type()->isProperty()) {
+      Diags.error(E->location(), "'" + P->prop()->name() +
+                                     "' is not a property");
+      return nullptr;
+    }
+    const Type *BaseTy = checkExpr(P->base(), Ctx);
+    if (!BaseTy)
+      return nullptr;
+    bool NodeOk = BaseTy->isNode() && P->prop()->type()->isNodeProp();
+    bool EdgeOk = BaseTy->isEdge() && P->prop()->type()->isEdgeProp();
+    if (!NodeOk && !EdgeOk) {
+      Diags.error(E->location(), "cannot access " +
+                                     P->prop()->type()->toString() + " '" +
+                                     P->prop()->name() + "' through " +
+                                     BaseTy->toString());
+      return nullptr;
+    }
+    Result = P->prop()->type()->element();
+    break;
+  }
+  case Expr::Kind::Binary:
+    Result = checkBinary(cast<BinaryExpr>(E), Ctx);
+    break;
+  case Expr::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    const Type *Ty = checkExpr(U->operand(), Ctx, Expected);
+    if (!Ty)
+      return nullptr;
+    if (U->op() == UnaryOpKind::Neg) {
+      if (!Ty->isNumeric()) {
+        Diags.error(E->location(), "cannot negate " + Ty->toString());
+        return nullptr;
+      }
+      Result = Ty;
+    } else {
+      if (!Ty->isBool()) {
+        Diags.error(E->location(), "'!' requires Bool, got " + Ty->toString());
+        return nullptr;
+      }
+      Result = Type::getBool();
+    }
+    break;
+  }
+  case Expr::Kind::Ternary: {
+    auto *T = cast<TernaryExpr>(E);
+    const Type *CondTy = checkExpr(T->cond(), Ctx, Type::getBool());
+    if (CondTy && !CondTy->isBool())
+      Diags.error(T->cond()->location(), "conditional test must be Bool");
+    const Type *ThenTy = checkExpr(T->thenExpr(), Ctx, Expected);
+    const Type *ElseTy = checkExpr(T->elseExpr(), Ctx, Expected);
+    if (!ThenTy || !ElseTy)
+      return nullptr;
+    if (ThenTy->isAssignableFrom(ElseTy))
+      Result = ThenTy;
+    else if (ElseTy->isAssignableFrom(ThenTy))
+      Result = ElseTy;
+    else {
+      Diags.error(E->location(), "incompatible conditional branches: " +
+                                     ThenTy->toString() + " vs " +
+                                     ElseTy->toString());
+      return nullptr;
+    }
+    break;
+  }
+  case Expr::Kind::Cast: {
+    auto *C = cast<CastExpr>(E);
+    const Type *Ty = checkExpr(C->operand(), Ctx);
+    if (!Ty)
+      return nullptr;
+    if (!Ty->isNumeric() && !Ty->isBool()) {
+      Diags.error(E->location(), "cannot cast " + Ty->toString());
+      return nullptr;
+    }
+    Result = C->target();
+    break;
+  }
+  case Expr::Kind::BuiltinCall:
+    Result = checkBuiltin(cast<BuiltinCallExpr>(E), Ctx);
+    break;
+  case Expr::Kind::Reduction:
+    Result = checkReduction(cast<ReductionExpr>(E), Ctx);
+    break;
+  }
+  if (Result)
+    E->setType(Result);
+  return Result;
+}
+
+const Type *Sema::checkBinary(BinaryExpr *B, const LoopContext &Ctx) {
+  switch (B->op()) {
+  case BinaryOpKind::And:
+  case BinaryOpKind::Or: {
+    const Type *L = checkExpr(B->lhs(), Ctx, Type::getBool());
+    const Type *R = checkExpr(B->rhs(), Ctx, Type::getBool());
+    if (!L || !R)
+      return nullptr;
+    if (!L->isBool() || !R->isBool()) {
+      Diags.error(B->location(), "logical operator requires Bool operands");
+      return nullptr;
+    }
+    return Type::getBool();
+  }
+  case BinaryOpKind::Eq:
+  case BinaryOpKind::Ne: {
+    const Type *L = checkExpr(B->lhs(), Ctx);
+    const Type *R = checkExpr(B->rhs(), Ctx, L);
+    if (!L || !R)
+      return nullptr;
+    // Re-check LHS with the RHS as hint if LHS was an untyped literal
+    // context (e.g. INF == n.dist is unusual but legal).
+    bool Comparable = (L->isNumeric() && R->isNumeric()) ||
+                      (L->isBool() && R->isBool()) ||
+                      (L->isNode() && R->isNode());
+    if (!Comparable) {
+      Diags.error(B->location(), "cannot compare " + L->toString() + " and " +
+                                     R->toString());
+      return nullptr;
+    }
+    return Type::getBool();
+  }
+  case BinaryOpKind::Lt:
+  case BinaryOpKind::Le:
+  case BinaryOpKind::Gt:
+  case BinaryOpKind::Ge: {
+    const Type *L = checkExpr(B->lhs(), Ctx);
+    const Type *R = checkExpr(B->rhs(), Ctx, L);
+    if (!L || !R)
+      return nullptr;
+    // Nodes are ordered by id (used by label-propagation idioms).
+    bool Ok = (L->isNumeric() && R->isNumeric()) ||
+              (L->isNode() && R->isNode());
+    if (!Ok) {
+      Diags.error(B->location(), "relational operator requires numeric "
+                                 "(or Node) operands");
+      return nullptr;
+    }
+    return Type::getBool();
+  }
+  case BinaryOpKind::Add:
+  case BinaryOpKind::Sub:
+  case BinaryOpKind::Mul:
+  case BinaryOpKind::Div:
+  case BinaryOpKind::Mod: {
+    const Type *L = checkExpr(B->lhs(), Ctx);
+    const Type *R = checkExpr(B->rhs(), Ctx, L);
+    if (!L || !R)
+      return nullptr;
+    if (!L->isNumeric() || !R->isNumeric()) {
+      Diags.error(B->location(), "arithmetic requires numeric operands, got " +
+                                     L->toString() + " and " + R->toString());
+      return nullptr;
+    }
+    if (B->op() == BinaryOpKind::Mod && (!L->isInt() || !R->isInt())) {
+      Diags.error(B->location(), "'%' requires integer operands");
+      return nullptr;
+    }
+    if (L->isFloat() || R->isFloat())
+      return Type::getDouble();
+    return Type::getInt();
+  }
+  }
+  gm_unreachable("invalid binary operator");
+}
+
+const Type *Sema::checkBuiltin(BuiltinCallExpr *C, const LoopContext &Ctx) {
+  const Type *BaseTy = checkExpr(C->base(), Ctx);
+  if (!BaseTy)
+    return nullptr;
+  switch (C->builtin()) {
+  case BuiltinKind::NumNodes:
+  case BuiltinKind::NumEdges:
+    if (!BaseTy->isGraph()) {
+      Diags.error(C->location(), "NumNodes/NumEdges requires a Graph");
+      return nullptr;
+    }
+    return Type::getLong();
+  case BuiltinKind::PickRandom:
+    if (!BaseTy->isGraph()) {
+      Diags.error(C->location(), "PickRandom requires a Graph");
+      return nullptr;
+    }
+    return Type::getNode();
+  case BuiltinKind::Degree:
+  case BuiltinKind::OutDegree:
+  case BuiltinKind::InDegree:
+    if (!BaseTy->isNode()) {
+      Diags.error(C->location(), "Degree requires a Node");
+      return nullptr;
+    }
+    return Type::getInt();
+  case BuiltinKind::ToEdge: {
+    auto *Ref = dyn_cast<VarRefExpr>(C->base());
+    bool IsNbrIter = false;
+    if (Ref)
+      for (VarDecl *Iter : Ctx.NbrIterators)
+        if (Iter == Ref->decl())
+          IsNbrIter = true;
+    if (!IsNbrIter) {
+      Diags.error(C->location(), "ToEdge() is only valid on a neighborhood "
+                                 "iterator");
+      return nullptr;
+    }
+    return Type::getEdge();
+  }
+  }
+  gm_unreachable("invalid builtin kind");
+}
+
+const Type *Sema::checkReduction(ReductionExpr *R, const LoopContext &Ctx) {
+  checkIterSource(R->source(), Ctx, R->location());
+
+  LoopContext Inner = Ctx;
+  if (R->source().isNeighborIteration())
+    Inner.NbrIterators.push_back(R->iterator());
+
+  if (R->filter()) {
+    const Type *FilterTy = checkExpr(R->filter(), Inner, Type::getBool());
+    if (FilterTy && !FilterTy->isBool()) {
+      Diags.error(R->filter()->location(), "reduction filter must be Bool");
+      return nullptr;
+    }
+  }
+
+  switch (R->reductionKind()) {
+  case ReductionKind::Sum:
+  case ReductionKind::Product:
+  case ReductionKind::Max:
+  case ReductionKind::Min:
+  case ReductionKind::Avg: {
+    if (!R->body()) {
+      Diags.error(R->location(), "this reduction requires a {body}");
+      return nullptr;
+    }
+    const Type *BodyTy = checkExpr(R->body(), Inner);
+    if (!BodyTy)
+      return nullptr;
+    if (!BodyTy->isNumeric()) {
+      Diags.error(R->body()->location(),
+                  "reduction body must be numeric, got " + BodyTy->toString());
+      return nullptr;
+    }
+    if (R->reductionKind() == ReductionKind::Avg)
+      return Type::getDouble();
+    return BodyTy;
+  }
+  case ReductionKind::Count:
+    if (R->body()) {
+      Diags.error(R->location(), "Count takes a filter, not a body");
+      return nullptr;
+    }
+    return Type::getLong();
+  case ReductionKind::Exist:
+  case ReductionKind::All: {
+    if (R->body()) {
+      const Type *BodyTy = checkExpr(R->body(), Inner, Type::getBool());
+      if (!BodyTy)
+        return nullptr;
+      if (!BodyTy->isBool()) {
+        Diags.error(R->body()->location(), "Exist/All body must be Bool");
+        return nullptr;
+      }
+    } else if (!R->filter()) {
+      Diags.error(R->location(), "Exist/All needs a condition");
+      return nullptr;
+    }
+    return Type::getBool();
+  }
+  }
+  gm_unreachable("invalid reduction kind");
+}

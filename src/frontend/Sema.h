@@ -1,0 +1,69 @@
+//===- frontend/Sema.h - Green-Marl semantic analysis -----------------------===//
+///
+/// \file
+/// Type checking and contextual validation of a parsed procedure: assigns a
+/// type to every expression, enforces where properties / builtins /
+/// UpNbrs-DownNbrs / Return may appear, and records the edge-variable
+/// bindings (Edge e = t.ToEdge()) that the translator needs for edge
+/// property accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_FRONTEND_SEMA_H
+#define GM_FRONTEND_SEMA_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+#include <unordered_map>
+
+namespace gm {
+
+class Sema {
+public:
+  Sema(ASTContext &Context, DiagnosticEngine &Diags)
+      : Context(Context), Diags(Diags) {}
+
+  /// Checks \p Proc; returns false (with diagnostics) on any error.
+  bool check(ProcedureDecl *Proc);
+
+  /// For an Edge-typed variable declared as `Edge e = t.ToEdge();`, the
+  /// neighborhood iterator `t` it is bound to.
+  const std::unordered_map<VarDecl *, VarDecl *> &edgeBindings() const {
+    return EdgeBindings;
+  }
+
+private:
+  // Statement checking. Loop context tracks what encloses us.
+  struct LoopContext {
+    bool InParallel = false;       ///< inside any parallel Foreach
+    BFSStmt *EnclosingBFS = nullptr;
+    bool InReversePart = false;
+    /// Innermost neighborhood iterators currently in scope, newest last.
+    std::vector<VarDecl *> NbrIterators;
+  };
+
+  void checkStmt(Stmt *S, LoopContext Ctx);
+  void checkAssign(AssignStmt *A, const LoopContext &Ctx);
+  void checkIterSource(const IterSource &Src, const LoopContext &Ctx,
+                       SourceLocation Loc);
+
+  /// Type-checks \p E; \p Expected propagates a contextual type into
+  /// INF/NIL literals and numeric literals. Returns the expression type or
+  /// null after reporting an error.
+  const Type *checkExpr(Expr *E, const LoopContext &Ctx,
+                        const Type *Expected = nullptr);
+
+  const Type *checkBinary(BinaryExpr *B, const LoopContext &Ctx);
+  const Type *checkBuiltin(BuiltinCallExpr *C, const LoopContext &Ctx);
+  const Type *checkReduction(ReductionExpr *R, const LoopContext &Ctx);
+
+  ASTContext &Context;
+  DiagnosticEngine &Diags;
+  ProcedureDecl *Proc = nullptr;
+  std::unordered_map<VarDecl *, VarDecl *> EdgeBindings;
+};
+
+} // namespace gm
+
+#endif // GM_FRONTEND_SEMA_H

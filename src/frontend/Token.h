@@ -1,0 +1,118 @@
+//===- frontend/Token.h - Green-Marl tokens ---------------------------------===//
+///
+/// \file
+/// Token kinds produced by the lexer. Keywords are distinguished from
+/// identifiers at lexing time; reduce-assignment spellings (min= / max=)
+/// are fused into single tokens.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_FRONTEND_TOKEN_H
+#define GM_FRONTEND_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace gm {
+
+enum class TokenKind {
+  // Bookkeeping
+  EndOfFile,
+  Error,
+
+  // Literals and names
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+
+  // Keywords
+  KwProcedure,
+  KwGraph,
+  KwNode,
+  KwEdge,
+  KwInt,
+  KwLong,
+  KwFloat,
+  KwDouble,
+  KwBool,
+  KwNodeProp, // N_P
+  KwEdgeProp, // E_P
+  KwForeach,
+  KwFor,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwReturn,
+  KwInBFS,
+  KwInReverse,
+  KwFrom,
+  KwTrue,
+  KwFalse,
+  KwNil,
+  KwInf,
+  KwSum,
+  KwProduct,
+  KwCount,
+  KwMax,
+  KwMin,
+  KwExist,
+  KwAll,
+  KwAvg,
+
+  // Punctuation
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Colon,
+  Semicolon,
+  Dot,
+  Question,
+
+  // Operators
+  Assign,      // =
+  PlusAssign,  // +=
+  MinusAssign, // -=
+  StarAssign,  // *=
+  AndAssign,   // &=
+  OrAssign,    // |=
+  MinAssign,   // min=
+  MaxAssign,   // max=
+  PlusPlus,    // ++
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqualEqual,
+  NotEqual,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  AmpAmp,
+  PipePipe,
+  Bang
+};
+
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceLocation Loc;
+  std::string Text;     ///< identifier spelling / literal spelling
+  int64_t IntValue = 0; ///< for IntLiteral
+  double FloatValue = 0.0; ///< for FloatLiteral
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace gm
+
+#endif // GM_FRONTEND_TOKEN_H

@@ -1,0 +1,105 @@
+//===- frontend/Type.cpp -----------------------------------------------------===//
+
+#include "frontend/Type.h"
+
+#include "support/Casting.h"
+
+#include <map>
+
+using namespace gm;
+
+#define GM_PRIMITIVE_TYPE(NAME)                                                \
+  const Type *Type::get##NAME() {                                             \
+    static Type T(Kind::NAME, nullptr);                                       \
+    return &T;                                                                 \
+  }
+
+GM_PRIMITIVE_TYPE(Int)
+GM_PRIMITIVE_TYPE(Long)
+GM_PRIMITIVE_TYPE(Float)
+GM_PRIMITIVE_TYPE(Double)
+GM_PRIMITIVE_TYPE(Bool)
+GM_PRIMITIVE_TYPE(Node)
+GM_PRIMITIVE_TYPE(Edge)
+GM_PRIMITIVE_TYPE(Graph)
+GM_PRIMITIVE_TYPE(Void)
+
+#undef GM_PRIMITIVE_TYPE
+
+const Type *Type::getNodeProp(const Type *Elem) {
+  assert(Elem && !Elem->isProperty() && "property of property");
+  static std::map<const Type *, Type *> Cache;
+  Type *&Slot = Cache[Elem];
+  if (!Slot)
+    Slot = new Type(Kind::NodeProp, Elem);
+  return Slot;
+}
+
+const Type *Type::getEdgeProp(const Type *Elem) {
+  assert(Elem && !Elem->isProperty() && "property of property");
+  static std::map<const Type *, Type *> Cache;
+  Type *&Slot = Cache[Elem];
+  if (!Slot)
+    Slot = new Type(Kind::EdgeProp, Elem);
+  return Slot;
+}
+
+bool Type::isAssignableFrom(const Type *From) const {
+  assert(From && "null source type");
+  if (this == From)
+    return true;
+  if (isFloat() && From->isNumeric())
+    return true; // widening Int -> Float and Float <-> Double
+  if (isInt() && From->isInt())
+    return true; // Int <-> Long
+  return false;
+}
+
+ValueKind Type::valueKind() const {
+  switch (K) {
+  case Kind::Int:
+  case Kind::Long:
+  case Kind::Node:
+  case Kind::Edge:
+    return ValueKind::Int;
+  case Kind::Float:
+  case Kind::Double:
+    return ValueKind::Double;
+  case Kind::Bool:
+    return ValueKind::Bool;
+  case Kind::NodeProp:
+  case Kind::EdgeProp:
+  case Kind::Graph:
+  case Kind::Void:
+    break;
+  }
+  gm_unreachable("type has no scalar runtime representation");
+}
+
+std::string Type::toString() const {
+  switch (K) {
+  case Kind::Int:
+    return "Int";
+  case Kind::Long:
+    return "Long";
+  case Kind::Float:
+    return "Float";
+  case Kind::Double:
+    return "Double";
+  case Kind::Bool:
+    return "Bool";
+  case Kind::Node:
+    return "Node";
+  case Kind::Edge:
+    return "Edge";
+  case Kind::Graph:
+    return "Graph";
+  case Kind::NodeProp:
+    return "N_P<" + Elem->toString() + ">";
+  case Kind::EdgeProp:
+    return "E_P<" + Elem->toString() + ">";
+  case Kind::Void:
+    return "Void";
+  }
+  gm_unreachable("invalid type kind");
+}

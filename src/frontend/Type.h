@@ -1,0 +1,84 @@
+//===- frontend/Type.h - Green-Marl type system ----------------------------===//
+///
+/// \file
+/// Canonicalized (interned) types for the Green-Marl subset: scalar
+/// primitives, graph entities (Graph/Node/Edge) and node/edge property
+/// types (N_P<T> / E_P<T>). Types are immutable and compared by pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_FRONTEND_TYPE_H
+#define GM_FRONTEND_TYPE_H
+
+#include "support/Value.h"
+
+#include <string>
+
+namespace gm {
+
+/// A Green-Marl type. Obtain instances through the static factories; never
+/// constructed directly, so equal types are pointer-equal.
+class Type {
+public:
+  enum class Kind {
+    Int,
+    Long,
+    Float,
+    Double,
+    Bool,
+    Node,
+    Edge,
+    Graph,
+    NodeProp, ///< N_P<Elem>
+    EdgeProp, ///< E_P<Elem>
+    Void
+  };
+
+  Kind kind() const { return K; }
+  /// Element type of a property type; null otherwise.
+  const Type *element() const { return Elem; }
+
+  static const Type *getInt();
+  static const Type *getLong();
+  static const Type *getFloat();
+  static const Type *getDouble();
+  static const Type *getBool();
+  static const Type *getNode();
+  static const Type *getEdge();
+  static const Type *getGraph();
+  static const Type *getVoid();
+  static const Type *getNodeProp(const Type *Elem);
+  static const Type *getEdgeProp(const Type *Elem);
+
+  bool isInt() const { return K == Kind::Int || K == Kind::Long; }
+  bool isFloat() const { return K == Kind::Float || K == Kind::Double; }
+  bool isNumeric() const { return isInt() || isFloat(); }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNode() const { return K == Kind::Node; }
+  bool isEdge() const { return K == Kind::Edge; }
+  bool isGraph() const { return K == Kind::Graph; }
+  bool isNodeProp() const { return K == Kind::NodeProp; }
+  bool isEdgeProp() const { return K == Kind::EdgeProp; }
+  bool isProperty() const { return isNodeProp() || isEdgeProp(); }
+  bool isVoid() const { return K == Kind::Void; }
+
+  /// True if a value of \p From can implicitly convert to this type
+  /// (numeric widening; Int kinds interchange; Float kinds interchange).
+  bool isAssignableFrom(const Type *From) const;
+
+  /// The runtime representation of a scalar of this type. Node ids are
+  /// carried as Int.
+  ValueKind valueKind() const;
+
+  std::string toString() const;
+
+private:
+  Type(Kind K, const Type *Elem) : K(K), Elem(Elem) {}
+
+  Kind K;
+  const Type *Elem;
+};
+
+} // namespace gm
+
+#endif // GM_FRONTEND_TYPE_H

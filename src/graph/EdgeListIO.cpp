@@ -1,0 +1,125 @@
+//===- graph/EdgeListIO.cpp --------------------------------------------------===//
+
+#include "graph/EdgeListIO.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace gm;
+
+namespace {
+
+/// One parsed "src dst" pair or a syntax error.
+struct LineParser {
+  const char *Cur;
+  const char *End;
+
+  explicit LineParser(const std::string &Text)
+      : Cur(Text.data()), End(Text.data() + Text.size()) {}
+
+  bool atEnd() const { return Cur == End; }
+
+  void skipSpacesAndComments() {
+    while (Cur != End) {
+      if (std::isspace(static_cast<unsigned char>(*Cur))) {
+        ++Cur;
+        continue;
+      }
+      if (*Cur == '#' || *Cur == '%') {
+        while (Cur != End && *Cur != '\n')
+          ++Cur;
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool parseNode(NodeId &Out) {
+    uint64_t V = 0;
+    auto [Ptr, Ec] = std::from_chars(Cur, End, V);
+    if (Ec != std::errc() || V > 0xFFFFFFFEull)
+      return false;
+    Cur = Ptr;
+    Out = static_cast<NodeId>(V);
+    return true;
+  }
+};
+
+} // namespace
+
+std::optional<Graph> gm::parseEdgeList(const std::string &Text,
+                                       NodeId NumNodesHint,
+                                       std::string *ErrorMessage) {
+  std::vector<std::pair<NodeId, NodeId>> Edges;
+  NodeId MaxNode = 0;
+  bool SawNode = false;
+
+  LineParser P(Text);
+  while (true) {
+    P.skipSpacesAndComments();
+    if (P.atEnd())
+      break;
+    NodeId Src, Dst;
+    if (!P.parseNode(Src)) {
+      if (ErrorMessage)
+        *ErrorMessage = "expected source node id";
+      return std::nullopt;
+    }
+    P.skipSpacesAndComments();
+    if (P.atEnd() || !P.parseNode(Dst)) {
+      if (ErrorMessage)
+        *ErrorMessage = "expected destination node id after source " +
+                        std::to_string(Src);
+      return std::nullopt;
+    }
+    Edges.emplace_back(Src, Dst);
+    MaxNode = std::max({MaxNode, Src, Dst});
+    SawNode = true;
+  }
+
+  NodeId NumNodes = std::max<NodeId>(SawNode ? MaxNode + 1 : 0, NumNodesHint);
+  if (NumNodes == 0) {
+    if (ErrorMessage)
+      *ErrorMessage = "empty edge list and no node-count hint";
+    return std::nullopt;
+  }
+
+  Graph::Builder Builder(NumNodes);
+  for (auto [Src, Dst] : Edges)
+    Builder.addEdge(Src, Dst);
+  return std::move(Builder).build();
+}
+
+std::optional<Graph> gm::loadEdgeListFile(const std::string &Path,
+                                          NodeId NumNodesHint,
+                                          std::string *ErrorMessage) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot open " + Path;
+    return std::nullopt;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return parseEdgeList(Buffer.str(), NumNodesHint, ErrorMessage);
+}
+
+std::string gm::writeEdgeList(const Graph &G) {
+  std::ostringstream OS;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    for (NodeId Dst : G.outNeighbors(N))
+      OS << N << ' ' << Dst << '\n';
+  return OS.str();
+}
+
+bool gm::saveEdgeListFile(const Graph &G, const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << writeEdgeList(G);
+  return static_cast<bool>(Out);
+}

@@ -1,0 +1,41 @@
+//===- graph/EdgeListIO.h - Plain-text edge-list reader/writer -------------===//
+///
+/// \file
+/// Loads and saves graphs as whitespace-separated "src dst" lines, the
+/// lowest-common-denominator interchange format used by SNAP, LAW and most
+/// graph toolkits. Lines starting with '#' or '%' are comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_GRAPH_EDGELISTIO_H
+#define GM_GRAPH_EDGELISTIO_H
+
+#include "graph/Graph.h"
+
+#include <optional>
+#include <string>
+
+namespace gm {
+
+/// Parses an edge list from \p Text. Node ids may be sparse; they are kept
+/// as-is, and the node count is max-id + 1 (or \p NumNodesHint if larger).
+/// Returns std::nullopt (and fills \p ErrorMessage if non-null) on malformed
+/// input.
+std::optional<Graph> parseEdgeList(const std::string &Text,
+                                   NodeId NumNodesHint = 0,
+                                   std::string *ErrorMessage = nullptr);
+
+/// Reads an edge-list file from disk. See parseEdgeList for the format.
+std::optional<Graph> loadEdgeListFile(const std::string &Path,
+                                      NodeId NumNodesHint = 0,
+                                      std::string *ErrorMessage = nullptr);
+
+/// Serializes \p G as "src dst" lines in edge-id order.
+std::string writeEdgeList(const Graph &G);
+
+/// Writes \p G to \p Path; returns false on IO failure.
+bool saveEdgeListFile(const Graph &G, const std::string &Path);
+
+} // namespace gm
+
+#endif // GM_GRAPH_EDGELISTIO_H

@@ -1,0 +1,111 @@
+//===- graph/Generators.cpp -------------------------------------------------===//
+
+#include "graph/Generators.h"
+
+#include <cassert>
+#include <random>
+
+using namespace gm;
+
+Graph gm::generateRMAT(NodeId NumNodes, EdgeId NumEdges, uint64_t Seed,
+                       double A, double B, double C) {
+  assert(NumNodes > 0 && "empty graph");
+  assert(A + B + C < 1.0 && "RMAT quadrant probabilities must leave room for D");
+
+  unsigned Levels = 0;
+  while ((NodeId(1) << Levels) < NumNodes)
+    ++Levels;
+
+  std::mt19937_64 Rng(Seed);
+  std::uniform_real_distribution<double> Unit(0.0, 1.0);
+
+  Graph::Builder Builder(NumNodes);
+  for (EdgeId E = 0; E < NumEdges; ++E) {
+    NodeId Src = 0, Dst = 0;
+    for (unsigned L = 0; L < Levels; ++L) {
+      double R = Unit(Rng);
+      unsigned Quadrant;
+      if (R < A)
+        Quadrant = 0;
+      else if (R < A + B)
+        Quadrant = 1;
+      else if (R < A + B + C)
+        Quadrant = 2;
+      else
+        Quadrant = 3;
+      Src = (Src << 1) | (Quadrant >> 1);
+      Dst = (Dst << 1) | (Quadrant & 1);
+    }
+    Builder.addEdge(Src % NumNodes, Dst % NumNodes);
+  }
+  return std::move(Builder).build();
+}
+
+Graph gm::generateUniformRandom(NodeId NumNodes, EdgeId NumEdges,
+                                uint64_t Seed) {
+  assert(NumNodes > 0 && "empty graph");
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<NodeId> Node(0, NumNodes - 1);
+
+  Graph::Builder Builder(NumNodes);
+  for (EdgeId E = 0; E < NumEdges; ++E)
+    Builder.addEdge(Node(Rng), Node(Rng));
+  return std::move(Builder).build();
+}
+
+Graph gm::generateBipartite(NodeId NumLeft, NodeId NumRight, EdgeId NumEdges,
+                            uint64_t Seed) {
+  assert(NumLeft > 0 && NumRight > 0 && "empty side");
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<NodeId> Left(0, NumLeft - 1);
+  std::uniform_int_distribution<NodeId> Right(0, NumRight - 1);
+
+  Graph::Builder Builder(NumLeft + NumRight);
+  for (EdgeId E = 0; E < NumEdges; ++E)
+    Builder.addEdge(Left(Rng), NumLeft + Right(Rng));
+  return std::move(Builder).build();
+}
+
+Graph gm::generateWebLike(NodeId NumNodes, EdgeId NumEdges, uint64_t Seed) {
+  assert(NumNodes > 1 && "web graph needs at least two nodes");
+  std::mt19937_64 Rng(Seed);
+  std::uniform_real_distribution<double> Unit(0.0, 1.0);
+  std::uniform_int_distribution<NodeId> Node(0, NumNodes - 1);
+  // Hosts of ~64 consecutive pages; 90% of links stay within the host window,
+  // 10% jump anywhere (hubs). A backbone chain keeps the diameter large.
+  constexpr NodeId Window = 64;
+
+  Graph::Builder Builder(NumNodes);
+  for (NodeId N = 0; N + 1 < NumNodes; ++N)
+    Builder.addEdge(N, N + 1); // backbone
+  while (Builder.edgeCount() < NumEdges) {
+    NodeId Src = Node(Rng);
+    NodeId Dst;
+    if (Unit(Rng) < 0.9) {
+      NodeId Base = Src - (Src % Window);
+      NodeId Span = std::min<NodeId>(Window, NumNodes - Base);
+      Dst = Base + static_cast<NodeId>(Unit(Rng) * Span) % Span;
+    } else {
+      Dst = Node(Rng);
+    }
+    Builder.addEdge(Src, Dst);
+  }
+  return std::move(Builder).build();
+}
+
+Graph gm::generateRing(NodeId NumNodes) {
+  assert(NumNodes > 0 && "empty graph");
+  Graph::Builder Builder(NumNodes);
+  for (NodeId N = 0; N < NumNodes; ++N)
+    Builder.addEdge(N, (N + 1) % NumNodes);
+  return std::move(Builder).build();
+}
+
+Graph gm::generateComplete(NodeId NumNodes) {
+  Graph::Builder Builder(NumNodes);
+  for (NodeId S = 0; S < NumNodes; ++S)
+    for (NodeId D = 0; D < NumNodes; ++D)
+      if (S != D)
+        Builder.addEdge(S, D);
+  return std::move(Builder).build();
+}

@@ -1,0 +1,50 @@
+//===- graph/Generators.h - Synthetic graph generators ---------------------===//
+///
+/// \file
+/// Deterministic synthetic stand-ins for the paper's Table 1 inputs
+/// (Twitter, synthetic uniform bipartite, Sk-2005 web graph). Each generator
+/// takes an explicit seed so experiments are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_GRAPH_GENERATORS_H
+#define GM_GRAPH_GENERATORS_H
+
+#include "graph/Graph.h"
+
+#include <cstdint>
+
+namespace gm {
+
+/// RMAT (Kronecker) generator producing the skewed, power-law degree
+/// distribution typical of social networks; stands in for the Twitter graph.
+/// \p NumNodes is rounded up to a power of two internally, but the returned
+/// graph has exactly \p NumNodes nodes (endpoints are folded with modulo).
+Graph generateRMAT(NodeId NumNodes, EdgeId NumEdges, uint64_t Seed,
+                   double A = 0.57, double B = 0.19, double C = 0.19);
+
+/// Uniform (Erdos-Renyi-style, fixed edge count) random directed graph.
+Graph generateUniformRandom(NodeId NumNodes, EdgeId NumEdges, uint64_t Seed);
+
+/// Random bipartite graph: nodes [0, NumLeft) are "boys", nodes
+/// [NumLeft, NumLeft+NumRight) are "girls"; all edges go left -> right.
+/// Stands in for the paper's synthetic bipartite-matching input.
+Graph generateBipartite(NodeId NumLeft, NodeId NumRight, EdgeId NumEdges,
+                        uint64_t Seed);
+
+/// Web-like graph with high locality and long chains: a union of local
+/// windows (host-internal links) and a few long-range links; stands in for
+/// Sk-2005. Produces larger BFS diameters than RMAT.
+Graph generateWebLike(NodeId NumNodes, EdgeId NumEdges, uint64_t Seed);
+
+/// Directed ring of \p NumNodes nodes (n -> n+1 mod N); maximal diameter,
+/// useful for stressing many-superstep executions in tests.
+Graph generateRing(NodeId NumNodes);
+
+/// Complete directed graph on \p NumNodes nodes without self-loops
+/// (test-size inputs only).
+Graph generateComplete(NodeId NumNodes);
+
+} // namespace gm
+
+#endif // GM_GRAPH_GENERATORS_H

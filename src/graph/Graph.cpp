@@ -1,0 +1,60 @@
+//===- graph/Graph.cpp -----------------------------------------------------===//
+
+#include "graph/Graph.h"
+
+#include <algorithm>
+
+using namespace gm;
+
+Graph Graph::Builder::build() && {
+  Graph G;
+  G.NodeCount = NumNodes;
+
+  // Counting sort by source builds the out-CSR deterministically; within a
+  // source bucket the original insertion order is preserved via stable_sort.
+  std::stable_sort(Edges.begin(), Edges.end(),
+                   [](const auto &A, const auto &B) { return A.first < B.first; });
+
+  G.OutOffset.assign(NumNodes + 1, 0);
+  for (const auto &[Src, Dst] : Edges) {
+    (void)Dst;
+    ++G.OutOffset[Src + 1];
+  }
+  for (NodeId N = 0; N < NumNodes; ++N)
+    G.OutOffset[N + 1] += G.OutOffset[N];
+
+  G.OutDst.resize(Edges.size());
+  for (size_t I = 0; I < Edges.size(); ++I)
+    G.OutDst[I] = Edges[I].second;
+
+  // In-adjacency: bucket edges by destination, recording each edge's id.
+  G.InOffset.assign(NumNodes + 1, 0);
+  for (const auto &[Src, Dst] : Edges) {
+    (void)Src;
+    ++G.InOffset[Dst + 1];
+  }
+  for (NodeId N = 0; N < NumNodes; ++N)
+    G.InOffset[N + 1] += G.InOffset[N];
+
+  G.InSrc.resize(Edges.size());
+  G.InEdge.resize(Edges.size());
+  std::vector<EdgeId> Cursor(G.InOffset.begin(), G.InOffset.end() - 1);
+  for (size_t E = 0; E < Edges.size(); ++E) {
+    NodeId Dst = Edges[E].second;
+    EdgeId Slot = Cursor[Dst]++;
+    G.InSrc[Slot] = Edges[E].first;
+    G.InEdge[Slot] = static_cast<EdgeId>(E);
+  }
+
+  Edges.clear();
+  Edges.shrink_to_fit();
+  return G;
+}
+
+NodeId Graph::edgeSrc(EdgeId E) const {
+  assert(E < numEdges() && "edge out of range");
+  // First node whose out-range ends past E.
+  auto It = std::upper_bound(OutOffset.begin(), OutOffset.end(), E);
+  assert(It != OutOffset.begin() && "malformed CSR offsets");
+  return static_cast<NodeId>(std::distance(OutOffset.begin(), It) - 1);
+}

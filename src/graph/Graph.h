@@ -1,0 +1,114 @@
+//===- graph/Graph.h - Immutable directed CSR graph -----------------------===//
+///
+/// \file
+/// The in-memory graph representation shared by the Pregel runtime, the
+/// sequential reference algorithms and the IR executor: a directed graph in
+/// compressed-sparse-row form with both out- and in-adjacency. Every edge has
+/// a stable id (its position in the out-CSR edge array) so that edge
+/// properties can be stored columnar and accessed from either direction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_GRAPH_GRAPH_H
+#define GM_GRAPH_GRAPH_H
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace gm {
+
+using NodeId = uint32_t;
+using EdgeId = uint64_t;
+
+constexpr NodeId InvalidNode = static_cast<NodeId>(-1);
+
+/// An immutable directed graph in CSR form.
+///
+/// Construction goes through Builder (or the free functions in
+/// Generators.h / EdgeListIO.h); once built, the structure never changes,
+/// matching the paper's scope ("algorithms ... do not modify the graph").
+class Graph {
+public:
+  /// Incrementally accumulates edges, then freezes them into a Graph.
+  class Builder {
+  public:
+    explicit Builder(NodeId NumNodes) : NumNodes(NumNodes) {}
+
+    /// Adds a directed edge Src -> Dst. Duplicates and self-loops are kept.
+    void addEdge(NodeId Src, NodeId Dst) {
+      assert(Src < NumNodes && Dst < NumNodes && "edge endpoint out of range");
+      Edges.emplace_back(Src, Dst);
+    }
+
+    size_t edgeCount() const { return Edges.size(); }
+
+    /// Sorts edges into CSR order and produces the final graph.
+    Graph build() &&;
+
+  private:
+    NodeId NumNodes;
+    std::vector<std::pair<NodeId, NodeId>> Edges;
+  };
+
+  NodeId numNodes() const { return NodeCount; }
+  EdgeId numEdges() const { return static_cast<EdgeId>(OutDst.size()); }
+
+  /// Out-neighbors of \p N, in edge-id order.
+  std::span<const NodeId> outNeighbors(NodeId N) const {
+    assert(N < NodeCount && "node out of range");
+    return {OutDst.data() + OutOffset[N],
+            static_cast<size_t>(OutOffset[N + 1] - OutOffset[N])};
+  }
+
+  /// Ids of the out-edges of \p N: [outEdgeBegin(N), outEdgeEnd(N)).
+  EdgeId outEdgeBegin(NodeId N) const { return OutOffset[N]; }
+  EdgeId outEdgeEnd(NodeId N) const { return OutOffset[N + 1]; }
+
+  /// In-neighbors of \p N (the sources of edges ending at N).
+  std::span<const NodeId> inNeighbors(NodeId N) const {
+    assert(N < NodeCount && "node out of range");
+    return {InSrc.data() + InOffset[N],
+            static_cast<size_t>(InOffset[N + 1] - InOffset[N])};
+  }
+
+  /// Edge ids matching inNeighbors(N) element-wise; indexes edge properties.
+  std::span<const EdgeId> inEdgeIds(NodeId N) const {
+    assert(N < NodeCount && "node out of range");
+    return {InEdge.data() + InOffset[N],
+            static_cast<size_t>(InOffset[N + 1] - InOffset[N])};
+  }
+
+  uint32_t outDegree(NodeId N) const {
+    return static_cast<uint32_t>(OutOffset[N + 1] - OutOffset[N]);
+  }
+  uint32_t inDegree(NodeId N) const {
+    return static_cast<uint32_t>(InOffset[N + 1] - InOffset[N]);
+  }
+
+  /// Destination of edge \p E.
+  NodeId edgeDst(EdgeId E) const {
+    assert(E < numEdges() && "edge out of range");
+    return OutDst[E];
+  }
+
+  /// Source of edge \p E (found by binary search over the CSR offsets).
+  NodeId edgeSrc(EdgeId E) const;
+
+private:
+  friend class Builder;
+  Graph() = default;
+
+  NodeId NodeCount = 0;
+  std::vector<EdgeId> OutOffset; ///< size NodeCount+1
+  std::vector<NodeId> OutDst;    ///< size numEdges
+  std::vector<EdgeId> InOffset;  ///< size NodeCount+1
+  std::vector<NodeId> InSrc;     ///< size numEdges
+  std::vector<EdgeId> InEdge;    ///< size numEdges
+};
+
+} // namespace gm
+
+#endif // GM_GRAPH_GRAPH_H

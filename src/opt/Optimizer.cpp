@@ -1,0 +1,731 @@
+//===- opt/Optimizer.cpp ----------------------------------------------------------===//
+
+#include "opt/Optimizer.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace gm;
+using namespace gm::pir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Dataflow summaries over IR fragments
+//===----------------------------------------------------------------------===//
+
+void scanExprGlobals(const PExpr *E, std::set<int> &Reads) {
+  if (!E)
+    return;
+  if (E->K == PExprKind::GlobalRead)
+    Reads.insert(E->Index);
+  scanExprGlobals(E->A, Reads);
+  scanExprGlobals(E->B, Reads);
+  scanExprGlobals(E->C, Reads);
+}
+
+void scanExprProps(const PExpr *E, std::set<int> &Reads) {
+  if (!E)
+    return;
+  if (E->K == PExprKind::PropRead)
+    Reads.insert(E->Index);
+  scanExprProps(E->A, Reads);
+  scanExprProps(E->B, Reads);
+  scanExprProps(E->C, Reads);
+}
+
+struct VertexSummary {
+  std::set<int> ProducedMsgs;  ///< message types sent
+  std::set<int> ConsumedMsgs;  ///< message types received
+  std::set<int> GlobalPuts;    ///< globals written via vertex reduction
+  std::set<int> GlobalReads;   ///< globals read (broadcast values)
+  std::set<int> PropReads;
+  std::set<int> PropWrites;
+  bool HasPropWrites = false;
+  bool SendOnly = true; ///< no prop writes, no puts, no receives
+};
+
+void scanAllExpr(const PExpr *E, VertexSummary &Sum) {
+  scanExprGlobals(E, Sum.GlobalReads);
+  scanExprProps(E, Sum.PropReads);
+}
+
+void summarizeVStmt(const VStmt *S, VertexSummary &Sum) {
+  switch (S->K) {
+  case VStmtKind::Assign:
+    Sum.HasPropWrites = true;
+    Sum.SendOnly = false;
+    Sum.PropWrites.insert(S->Index);
+    if (S->Reduce != ReduceKind::None)
+      Sum.PropReads.insert(S->Index);
+    scanAllExpr(S->Value, Sum);
+    return;
+  case VStmtKind::GlobalPut:
+    Sum.GlobalPuts.insert(S->Index);
+    Sum.SendOnly = false;
+    scanAllExpr(S->Value, Sum);
+    return;
+  case VStmtKind::If:
+    scanAllExpr(S->Cond, Sum);
+    for (const VStmt *C : S->Then)
+      summarizeVStmt(C, Sum);
+    for (const VStmt *C : S->Else)
+      summarizeVStmt(C, Sum);
+    return;
+  case VStmtKind::SendToOutNbrs:
+  case VStmtKind::SendToInNbrs:
+  case VStmtKind::SendToNode:
+    Sum.ProducedMsgs.insert(S->Index);
+    scanAllExpr(S->Value, Sum);
+    for (const PExpr *E : S->Payload)
+      scanAllExpr(E, Sum);
+    return;
+  case VStmtKind::OnMessage:
+    Sum.ConsumedMsgs.insert(S->Index);
+    Sum.SendOnly = false;
+    for (const VStmt *C : S->Then)
+      summarizeVStmt(C, Sum);
+    return;
+  case VStmtKind::ForEachOutEdge:
+    for (const VStmt *C : S->Then)
+      summarizeVStmt(C, Sum);
+    return;
+  }
+}
+
+VertexSummary summarizeVertex(const std::vector<VStmt *> &Code) {
+  VertexSummary Sum;
+  for (const VStmt *S : Code)
+    summarizeVStmt(S, Sum);
+  return Sum;
+}
+
+struct MasterSummary {
+  std::set<int> Writes; ///< globals set
+  std::set<int> Reads;  ///< globals read
+  std::vector<MStmt *> Gotos; ///< every goto in the tree
+  bool HasConditionalControl = false;
+};
+
+void summarizeMStmt(MStmt *S, MasterSummary &Sum, bool UnderIf) {
+  switch (S->K) {
+  case MStmtKind::Set:
+    Sum.Writes.insert(S->Index);
+    scanExprGlobals(S->Value, Sum.Reads);
+    return;
+  case MStmtKind::If:
+    scanExprGlobals(S->Cond, Sum.Reads);
+    for (MStmt *C : S->Then)
+      summarizeMStmt(C, Sum, true);
+    for (MStmt *C : S->Else)
+      summarizeMStmt(C, Sum, true);
+    return;
+  case MStmtKind::Goto:
+    Sum.Gotos.push_back(S);
+    if (UnderIf)
+      Sum.HasConditionalControl = true;
+    return;
+  }
+}
+
+MasterSummary summarizeMaster(std::vector<MStmt *> &Code) {
+  MasterSummary Sum;
+  for (MStmt *S : Code)
+    summarizeMStmt(S, Sum, false);
+  return Sum;
+}
+
+bool intersects(const std::set<int> &A, const std::set<int> &B) {
+  for (int X : A)
+    if (B.count(X))
+      return true;
+  return false;
+}
+
+/// Every goto target in a master tree, collected recursively.
+void collectTargets(const std::vector<MStmt *> &Code, std::set<int> &Out) {
+  for (const MStmt *S : Code) {
+    if (S->K == MStmtKind::Goto) {
+      Out.insert(S->Index);
+    } else if (S->K == MStmtKind::If) {
+      collectTargets(S->Then, Out);
+      collectTargets(S->Else, Out);
+    }
+  }
+}
+
+/// Number of goto statements referencing each state across the program.
+std::map<int, int> countPredecessors(const PregelProgram &P) {
+  std::map<int, int> Count;
+  std::function<void(const std::vector<MStmt *> &)> Scan =
+      [&](const std::vector<MStmt *> &Code) {
+        for (const MStmt *S : Code) {
+          if (S->K == MStmtKind::Goto)
+            ++Count[S->Index];
+          else if (S->K == MStmtKind::If) {
+            Scan(S->Then);
+            Scan(S->Else);
+          }
+        }
+      };
+  for (const PState &S : P.States)
+    Scan(S.TransCode);
+  return Count;
+}
+
+void retargetGotos(std::vector<MStmt *> &Code, int From, int To) {
+  for (MStmt *S : Code) {
+    if (S->K == MStmtKind::Goto && S->Index == From)
+      S->Index = To;
+    else if (S->K == MStmtKind::If) {
+      retargetGotos(S->Then, From, To);
+      retargetGotos(S->Else, From, To);
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// compactStates
+//===----------------------------------------------------------------------===//
+
+void gm::compactStates(PregelProgram &P) {
+  // Reachability from the entry state.
+  std::set<int> Reachable;
+  std::vector<int> Work = {0};
+  while (!Work.empty()) {
+    int Id = Work.back();
+    Work.pop_back();
+    if (Id == EndState || Reachable.count(Id))
+      continue;
+    Reachable.insert(Id);
+    std::set<int> Targets;
+    collectTargets(P.States[Id].TransCode, Targets);
+    for (int T : Targets)
+      Work.push_back(T);
+  }
+
+  // Renumber, preserving order.
+  std::map<int, int> Remap;
+  std::deque<PState> NewStates;
+  for (PState &S : P.States) {
+    if (!Reachable.count(S.Id))
+      continue;
+    int NewId = static_cast<int>(NewStates.size());
+    Remap[S.Id] = NewId;
+    S.Id = NewId;
+    NewStates.push_back(std::move(S));
+  }
+  P.States = std::move(NewStates);
+
+  // Master statement nodes can be shared between several states' transition
+  // programs (the translator deliberately reuses loop-head nodes), so track
+  // visited nodes to rewrite each goto exactly once.
+  std::set<MStmt *> Visited;
+  std::function<void(std::vector<MStmt *> &)> Rewrite =
+      [&](std::vector<MStmt *> &Code) {
+        for (MStmt *S : Code) {
+          if (!Visited.insert(S).second)
+            continue;
+          if (S->K == MStmtKind::Goto && S->Index != EndState) {
+            auto It = Remap.find(S->Index);
+            assert(It != Remap.end() && "goto to an unreachable state");
+            S->Index = It->second;
+          } else if (S->K == MStmtKind::If) {
+            Rewrite(S->Then);
+            Rewrite(S->Else);
+          }
+        }
+      };
+  for (PState &S : P.States)
+    Rewrite(S.TransCode);
+}
+
+//===----------------------------------------------------------------------===//
+// State merging (§4.2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Attempts to merge state B into its unique predecessor A. Preconditions
+/// are documented inline; returns false if any fails.
+bool tryMergePair(PregelProgram &P, int AId, int BId,
+                  const std::map<int, int> &Preds) {
+  if (AId == BId || AId == 0 || BId == 0)
+    return false;
+  PState &A = P.States[AId];
+  PState &B = P.States[BId];
+
+  // A's transition must be a single unconditional goto B, with no other
+  // control flow (master Sets before it are fine).
+  MasterSummary ATrans = summarizeMaster(A.TransCode);
+  if (ATrans.Gotos.size() != 1 || ATrans.HasConditionalControl ||
+      ATrans.Gotos[0]->Index != BId)
+    return false;
+  if (A.TransCode.empty() || A.TransCode.back() != ATrans.Gotos[0])
+    return false;
+
+  // B must have no other predecessor (e.g. a loop entry).
+  auto It = Preds.find(BId);
+  if (It == Preds.end() || It->second != 1)
+    return false;
+
+  VertexSummary AV = summarizeVertex(A.VertexCode);
+  VertexSummary BV = summarizeVertex(B.VertexCode);
+
+  // (1) B may not consume messages A produces: delivery needs a barrier.
+  if (intersects(AV.ProducedMsgs, BV.ConsumedMsgs))
+    return false;
+  // (2) B may not read globals A's vertices reduce: resolution needs the
+  //     barrier.
+  if (intersects(AV.GlobalPuts, BV.GlobalReads))
+    return false;
+  // (3) A's inter-state master code would now run after B's phase: it must
+  //     not write globals B's vertices read, nor read globals B reduces —
+  //     EXCEPT reduction globals A itself also reduces: there A's
+  //     fold-and-reset absorbs B's contributions early and B's own fold
+  //     then folds the (reset) identity, which is a no-op for every
+  //     associative reduction we emit. Results are unchanged.
+  if (intersects(ATrans.Writes, BV.GlobalReads))
+    return false;
+  for (int G : ATrans.Reads)
+    if (BV.GlobalPuts.count(G) && !AV.GlobalPuts.count(G))
+      return false;
+
+  // Merge: vertex phases concatenate; A's master code (minus its goto)
+  // runs before B's.
+  A.VertexCode.insert(A.VertexCode.end(), B.VertexCode.begin(),
+                      B.VertexCode.end());
+  A.TransCode.pop_back(); // drop "goto B"
+  A.TransCode.insert(A.TransCode.end(), B.TransCode.begin(),
+                     B.TransCode.end());
+  A.Name += "+" + B.Name;
+  B.VertexCode.clear();
+  B.TransCode.clear(); // B becomes unreachable; compactStates removes it
+  return true;
+}
+
+} // namespace
+
+bool gm::mergeStates(PregelProgram &P) {
+  bool Any = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    std::map<int, int> Preds = countPredecessors(P);
+    for (int A = 1; A < static_cast<int>(P.States.size()) && !Progress; ++A) {
+      if (P.States[A].TransCode.empty())
+        continue; // already merged away
+      std::set<int> Targets;
+      collectTargets(P.States[A].TransCode, Targets);
+      if (Targets.size() != 1 || *Targets.begin() == EndState)
+        continue;
+      int B = *Targets.begin();
+      if (P.States[B].TransCode.empty())
+        continue;
+      if (tryMergePair(P, A, B, Preds)) {
+        Progress = true;
+        Any = true;
+      }
+    }
+  }
+  if (Any)
+    compactStates(P);
+  return Any;
+}
+
+//===----------------------------------------------------------------------===//
+// Intra-loop state merging (§4.2, Fig. 5)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Deep-clones a master statement tree, rewriting gotos: a goto to
+/// \p LoopHead becomes {_is_first = false; goto ContinueTarget}; any other
+/// goto T becomes {_is_first = true; goto T} (leaving the loop resets the
+/// flag for potential re-entry from an enclosing loop).
+std::vector<MStmt *> cloneForMergedState(PregelProgram &P,
+                                         const std::vector<MStmt *> &Code,
+                                         int LoopHead, int ContinueTarget,
+                                         int FirstFlag) {
+  std::vector<MStmt *> Out;
+  for (const MStmt *S : Code) {
+    switch (S->K) {
+    case MStmtKind::Set: {
+      MStmt *C = P.newMStmt(MStmtKind::Set);
+      C->Index = S->Index;
+      C->Value = S->Value; // expressions are immutable here; share them
+      Out.push_back(C);
+      break;
+    }
+    case MStmtKind::If: {
+      MStmt *C = P.newMStmt(MStmtKind::If);
+      C->Cond = S->Cond;
+      C->Then = cloneForMergedState(P, S->Then, LoopHead, ContinueTarget,
+                                    FirstFlag);
+      C->Else = cloneForMergedState(P, S->Else, LoopHead, ContinueTarget,
+                                    FirstFlag);
+      Out.push_back(C);
+      break;
+    }
+    case MStmtKind::Goto: {
+      MStmt *Flag = P.newMStmt(MStmtKind::Set);
+      Flag->Index = FirstFlag;
+      bool Continuing = S->Index == LoopHead;
+      Flag->Value = P.constExpr(Value::makeBool(!Continuing));
+      Out.push_back(Flag);
+      MStmt *C = P.newMStmt(MStmtKind::Goto);
+      C->Index = Continuing ? ContinueTarget : S->Index;
+      Out.push_back(C);
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+/// One candidate cycle: F -> Chain... -> L -> (cond) F.
+struct LoopShape {
+  int F = -1;
+  int L = -1;
+  std::vector<int> Chain; ///< intermediate states, F's successor first
+};
+
+/// Follows unique unconditional gotos from F until a state whose
+/// transition branches back to F; null shape if the walk fails.
+bool findLoop(PregelProgram &P, int F, LoopShape &Shape) {
+  Shape.F = F;
+  Shape.Chain.clear();
+  int Cur = F;
+  std::set<int> Seen;
+  while (true) {
+    if (!Seen.insert(Cur).second)
+      return false;
+    std::set<int> Targets;
+    collectTargets(P.States[Cur].TransCode, Targets);
+    if (Targets.count(F) && Cur != F) {
+      Shape.L = Cur;
+      return true;
+    }
+    if (Targets.size() != 1 || *Targets.begin() == EndState)
+      return false;
+    int Next = *Targets.begin();
+    if (Cur != F)
+      Shape.Chain.push_back(Cur);
+    Cur = Next;
+    if (Cur == F)
+      return false; // degenerate self-cycle without branch
+  }
+}
+
+void tryEntryPeel(PregelProgram &P, const LoopShape &Shape, int FirstFlag);
+
+bool tryIntraLoopMerge(PregelProgram &P, LoopShape &Shape) {
+  PState &F = P.States[Shape.F];
+  PState &L = P.States[Shape.L];
+  if (Shape.F == Shape.L)
+    return false;
+
+  // The loop's first state runs one extra time when the loop exits (the
+  // paper's "dangling" execution). That is only safe if F's effects are
+  // unobservable outside the loop: no global reductions, no message
+  // consumption, and any property it writes must never be read by a state
+  // outside the loop (compiler accumulator temps qualify).
+  VertexSummary FV = summarizeVertex(F.VertexCode);
+  if (F.VertexCode.empty() || !FV.GlobalPuts.empty() ||
+      !FV.ConsumedMsgs.empty())
+    return false;
+  if (!FV.PropWrites.empty()) {
+    std::set<int> LoopStates = {Shape.F, Shape.L};
+    for (int Id : Shape.Chain)
+      LoopStates.insert(Id);
+    for (const PState &S : P.States) {
+      if (LoopStates.count(S.Id) || S.TransCode.empty())
+        continue;
+      VertexSummary SV = summarizeVertex(S.VertexCode);
+      if (intersects(FV.PropWrites, SV.PropReads))
+        return false;
+    }
+  }
+  MasterSummary FTrans = summarizeMaster(F.TransCode);
+  if (FTrans.Gotos.size() != 1 || !FTrans.Writes.empty() ||
+      F.TransCode.size() != 1)
+    return false;
+  int AfterF = FTrans.Gotos[0]->Index; // B2 (or L when the loop is 2 states)
+
+  // F's phase now runs before L's inter-state master code: F must not read
+  // globals that code writes.
+  MasterSummary LTrans = summarizeMaster(L.TransCode);
+  if (intersects(LTrans.Writes, FV.GlobalReads))
+    return false;
+  // And L's master code must not read globals F's vertices reduce
+  // (send-only F has none, by construction).
+
+  // Note on messages: the L-part consuming the very type the F-part sends
+  // is the *intended* merged receive/send pattern — the inbox a state sees
+  // is fixed for the superstep, so fusing the two phases preserves message
+  // timing exactly (L-part reads the previous superstep's F-part sends).
+
+  // The dangling execution also re-reads F's guards; they may depend on
+  // globals, but those are unchanged on the exit path, so no extra check.
+
+  int FirstFlag = P.addGlobal("_is_first_s" + std::to_string(Shape.F),
+                              ValueKind::Bool, ReduceKind::None,
+                              Value::makeBool(true));
+
+  // Merged vertex phase: guarded L-part, then F-part.
+  std::vector<VStmt *> Merged;
+  {
+    VStmt *Guard = P.newVStmt(VStmtKind::If);
+    PExpr *NotFirst = P.newExpr();
+    NotFirst->K = PExprKind::Unary;
+    NotFirst->UnOp = UnaryOpKind::Not;
+    NotFirst->A = P.globalRead(FirstFlag);
+    NotFirst->Ty = ValueKind::Bool;
+    Guard->Cond = NotFirst;
+    Guard->Then = L.VertexCode;
+    Merged.push_back(Guard);
+    Merged.insert(Merged.end(), F.VertexCode.begin(), F.VertexCode.end());
+  }
+
+  int ContinueTarget = AfterF == Shape.L ? Shape.F : AfterF;
+
+  // Merged transition: on the first firing just continue the loop; on
+  // later firings run L's folds / loop-tail code / condition (cloned with
+  // retargeted gotos).
+  std::vector<MStmt *> MergedTrans;
+  {
+    MStmt *Branch = P.newMStmt(MStmtKind::If);
+    Branch->Cond = P.globalRead(FirstFlag);
+    MStmt *ClearFlag = P.newMStmt(MStmtKind::Set);
+    ClearFlag->Index = FirstFlag;
+    ClearFlag->Value = P.constExpr(Value::makeBool(false));
+    Branch->Then.push_back(ClearFlag);
+    Branch->Then.push_back(P.makeGoto(ContinueTarget));
+    Branch->Else = cloneForMergedState(P, L.TransCode, Shape.F,
+                                       ContinueTarget, FirstFlag);
+    MergedTrans.push_back(Branch);
+  }
+
+  F.VertexCode = std::move(Merged);
+  F.TransCode = std::move(MergedTrans);
+  F.Name += "*" + L.Name;
+
+  // Delete L: the last chain state's goto L now re-enters the merged state.
+  if (!Shape.Chain.empty())
+    retargetGotos(P.States[Shape.Chain.back()].TransCode, Shape.L, Shape.F);
+  L.VertexCode.clear();
+  L.TransCode.clear();
+
+  tryEntryPeel(P, Shape, FirstFlag);
+  return true;
+}
+
+/// Entry-peel: a one-shot initialization state that feeds straight into an
+/// intra-loop-merged head can ride the head's _is_first flag — its vertex
+/// code runs guarded by the flag inside the merged state, saving the
+/// initialization superstep (hand-written GPS programs initialize inside
+/// their first compute() the same way).
+void tryEntryPeel(PregelProgram &P, const LoopShape &Shape, int FirstFlag) {
+  int M = Shape.F;
+  std::set<int> LoopStates = {Shape.F, Shape.L};
+  for (int Id : Shape.Chain)
+    LoopStates.insert(Id);
+
+  // Find the unique non-loop state whose transition enters M.
+  int AId = -1;
+  for (const PState &S : P.States) {
+    if (LoopStates.count(S.Id))
+      continue;
+    std::set<int> Targets;
+    collectTargets(S.TransCode, Targets);
+    if (!Targets.count(M))
+      continue;
+    if (AId != -1)
+      return; // several entry paths; leave as-is
+    AId = S.Id;
+  }
+  if (AId <= 0)
+    return; // entered only from the virtual entry state (or not found)
+  PState &A = P.States[AId];
+  if (A.VertexCode.empty())
+    return;
+
+  // A must be a pure one-shot vertex state: a single unconditional goto M,
+  // and vertex code with no communication and no global reductions.
+  MasterSummary ATrans = summarizeMaster(A.TransCode);
+  if (A.TransCode.size() != 1 || ATrans.Gotos.size() != 1 ||
+      ATrans.Gotos[0]->Index != M)
+    return;
+  VertexSummary AV = summarizeVertex(A.VertexCode);
+  if (!AV.ProducedMsgs.empty() || !AV.ConsumedMsgs.empty() ||
+      !AV.GlobalPuts.empty())
+    return;
+
+  // The merged head must not consume message types produced outside the
+  // loop (its inbox now holds whatever arrived before A would have run).
+  VertexSummary MV = summarizeVertex(P.States[M].VertexCode);
+  for (const PState &S : P.States) {
+    if (LoopStates.count(S.Id) || S.Id == AId)
+      continue;
+    VertexSummary SV = summarizeVertex(S.VertexCode);
+    if (intersects(SV.ProducedMsgs, MV.ConsumedMsgs))
+      return;
+  }
+
+  // Guard A's code with the first-entry flag and prepend it to M.
+  VStmt *Guard = P.newVStmt(VStmtKind::If);
+  Guard->Cond = P.globalRead(FirstFlag);
+  Guard->Then = A.VertexCode;
+  PState &MS = P.States[M];
+  MS.VertexCode.insert(MS.VertexCode.begin(), Guard);
+  MS.Name = A.Name + ">" + MS.Name;
+
+  // Route A's predecessors straight into M and delete A.
+  for (PState &S : P.States)
+    retargetGotos(S.TransCode, AId, M);
+  A.VertexCode.clear();
+  A.TransCode.clear();
+}
+
+} // namespace
+
+bool gm::mergeIntraLoop(PregelProgram &P) {
+  bool Any = false;
+  // Find back-edges: a state L whose transition targets an earlier state F
+  // that is not L itself.
+  std::map<int, int> Preds = countPredecessors(P);
+  for (int F = 1; F < static_cast<int>(P.States.size()); ++F) {
+    if (P.States[F].TransCode.empty())
+      continue;
+    LoopShape Shape;
+    if (!findLoop(P, F, Shape))
+      continue;
+    // F must be the loop entry: it has an external predecessor plus the
+    // back-edge (>= 2 predecessors).
+    auto It = Preds.find(F);
+    if (It == Preds.end() || It->second < 2)
+      continue;
+    if (tryIntraLoopMerge(P, Shape)) {
+      Any = true;
+      Preds = countPredecessors(P);
+    }
+  }
+  if (Any)
+    compactStates(P);
+  return Any;
+}
+
+//===----------------------------------------------------------------------===//
+// Combiner inference (extension; see Optimizer.h)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool exprReadsMsgField(const PExpr *E) {
+  if (!E)
+    return false;
+  if (E->K == PExprKind::MsgField)
+    return true;
+  return exprReadsMsgField(E->A) || exprReadsMsgField(E->B) ||
+         exprReadsMsgField(E->C);
+}
+
+/// Walks a handler body; records the single reduce op applied to the
+/// message field, or poisons the type. Conditions may read properties and
+/// globals but not message fields.
+void scanHandler(const std::vector<VStmt *> &Body,
+                 std::map<int, ReduceKind> &Ops, int MsgType, bool &Poisoned) {
+  for (const VStmt *S : Body) {
+    if (Poisoned)
+      return;
+    switch (S->K) {
+    case VStmtKind::If: {
+      if (exprReadsMsgField(S->Cond)) {
+        Poisoned = true;
+        return;
+      }
+      scanHandler(S->Then, Ops, MsgType, Poisoned);
+      scanHandler(S->Else, Ops, MsgType, Poisoned);
+      break;
+    }
+    case VStmtKind::Assign: {
+      // Must be exactly `prop R= msg.0` with an associative, order-free R.
+      bool Bare = S->Value && S->Value->K == PExprKind::MsgField &&
+                  S->Value->Index == 0;
+      bool GoodOp = S->Reduce == ReduceKind::Sum ||
+                    S->Reduce == ReduceKind::Min ||
+                    S->Reduce == ReduceKind::Max;
+      if (!Bare || !GoodOp) {
+        Poisoned = true;
+        return;
+      }
+      auto [It, Fresh] = Ops.try_emplace(MsgType, S->Reduce);
+      if (!Fresh && It->second != S->Reduce) {
+        Poisoned = true;
+        return;
+      }
+      break;
+    }
+    default:
+      Poisoned = true;
+      return;
+    }
+  }
+}
+
+void scanForHandlers(const std::vector<VStmt *> &Code,
+                     std::map<int, ReduceKind> &Ops,
+                     std::set<int> &Poisoned) {
+  for (const VStmt *S : Code) {
+    switch (S->K) {
+    case VStmtKind::OnMessage: {
+      bool Bad = Poisoned.count(S->Index) != 0;
+      scanHandler(S->Then, Ops, S->Index, Bad);
+      if (Bad) {
+        Poisoned.insert(S->Index);
+        Ops.erase(S->Index);
+      }
+      break;
+    }
+    case VStmtKind::If:
+      scanForHandlers(S->Then, Ops, Poisoned);
+      scanForHandlers(S->Else, Ops, Poisoned);
+      break;
+    case VStmtKind::ForEachOutEdge:
+      scanForHandlers(S->Then, Ops, Poisoned);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+} // namespace
+
+std::map<int, ReduceKind> gm::inferCombiners(const PregelProgram &P) {
+  std::map<int, ReduceKind> Ops;
+  std::set<int> Poisoned;
+  for (const PState &S : P.States)
+    scanForHandlers(S.VertexCode, Ops, Poisoned);
+  // Types with a single payload field only.
+  for (auto It = Ops.begin(); It != Ops.end();) {
+    if (Poisoned.count(It->first) ||
+        P.MsgTypes[It->first].Fields.size() != 1)
+      It = Ops.erase(It);
+    else
+      ++It;
+  }
+  return Ops;
+}
+
+std::map<int32_t, ReduceKind> gm::inferCombinerTags(const PregelProgram &P,
+                                                    int32_t TagOffset) {
+  std::map<int32_t, ReduceKind> Tags;
+  for (const auto &[Type, RK] : inferCombiners(P))
+    Tags[Type + TagOffset] = RK;
+  return Tags;
+}

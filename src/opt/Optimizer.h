@@ -1,0 +1,54 @@
+//===- opt/Optimizer.h - §4.2 timestep-reducing optimizations ---------------===//
+///
+/// \file
+/// Two optimizations that cut supersteps from the generated state machine:
+///
+///  - State merging: two consecutive vertex states fuse into one superstep
+///    when the second neither consumes the first's messages nor reads
+///    globals the first reduces (the barrier between them was unnecessary).
+///  - Intra-loop state merging: inside a state-machine cycle, the loop's
+///    last state fuses with the *next iteration's* first state, guarded by
+///    a compiler-inserted `_is_first` flag (Fig. 5). The first state must
+///    be send-only so its one extra execution at loop exit only produces
+///    dangling messages, which BSP drops harmlessly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_OPT_OPTIMIZER_H
+#define GM_OPT_OPTIMIZER_H
+
+#include "pregelir/PregelIR.h"
+
+#include <map>
+
+namespace gm {
+
+/// Fuses consecutive vertex states where dataflow allows; returns true if
+/// anything was merged. Runs to fixpoint and compacts state ids.
+bool mergeStates(pir::PregelProgram &P);
+
+/// Applies intra-loop merging to every eligible cycle; returns true if
+/// anything was merged. Run after mergeStates.
+bool mergeIntraLoop(pir::PregelProgram &P);
+
+/// Removes unreachable states and renumbers the rest (used by the passes;
+/// exposed for tests).
+void compactStates(pir::PregelProgram &P);
+
+/// Extension beyond the paper: infers Pregel message combiners. A message
+/// type is combinable when every receive handler for it reduces the single
+/// payload field straight into a property with the same associative
+/// operator (Sum/Min/Max) — then messages to one destination can be
+/// pre-reduced at the sending worker. Returns IR message-type index ->
+/// combining operator.
+std::map<int, ReduceKind> inferCombiners(const pir::PregelProgram &P);
+
+/// Same, but keyed by wire tag (IR type index + \p TagOffset), ready to
+/// assign to pregel::Config::Combiners. The executor sends IR message type
+/// i with tag i + exec::IRExecutor::MsgTagOffset.
+std::map<int32_t, ReduceKind> inferCombinerTags(const pir::PregelProgram &P,
+                                                int32_t TagOffset);
+
+} // namespace gm
+
+#endif // GM_OPT_OPTIMIZER_H

@@ -1,0 +1,131 @@
+//===- pregel/GlobalObjects.h - GPS global-objects map ---------------------===//
+///
+/// \file
+/// The global-objects map of GPS: named scalars visible to every vertex,
+/// written by the master immediately and by vertices through a reduction
+/// that resolves at the superstep barrier. Compiler-generated programs use
+/// it to broadcast the state number and to implement global variables
+/// (§3.1 "Vertex and Global Object Construction").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_PREGEL_GLOBALOBJECTS_H
+#define GM_PREGEL_GLOBALOBJECTS_H
+
+#include "support/Value.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gm::pregel {
+
+/// One named global with barrier-resolved reduction semantics.
+struct GlobalEntry {
+  Value Current;          ///< value visible this superstep
+  Value Pending;          ///< vertex contributions accumulating this step
+  bool HasPending = false;
+  ReduceKind Reduce = ReduceKind::None;
+};
+
+/// The master-owned map of global objects.
+///
+/// Timing model (matches GPS): master writes are visible immediately, since
+/// the master runs before the vertices within a superstep; vertex writes are
+/// reduced into a pending slot and become visible after the barrier.
+class GlobalObjects {
+public:
+  /// Declares \p Name with reduction \p Reduce and initial value \p Init.
+  /// Re-declaring an existing name resets it.
+  void declare(const std::string &Name, ReduceKind Reduce,
+               Value Init = Value()) {
+    Entries[Name] = GlobalEntry{Init, Value(), false, Reduce};
+  }
+
+  bool isDeclared(const std::string &Name) const {
+    return Entries.count(Name) != 0;
+  }
+
+  /// Master-side read of the currently visible value.
+  Value get(const std::string &Name) const {
+    auto It = Entries.find(Name);
+    assert(It != Entries.end() && "undeclared global object");
+    return It->second.Current;
+  }
+
+  /// Master-side immediate write.
+  void set(const std::string &Name, const Value &V) {
+    auto It = Entries.find(Name);
+    assert(It != Entries.end() && "undeclared global object");
+    It->second.Current = V;
+  }
+
+  /// Vertex-side reducing write; resolved at the barrier.
+  void putFromVertex(const std::string &Name, const Value &V) {
+    auto It = Entries.find(Name);
+    assert(It != Entries.end() && "undeclared global object");
+    GlobalEntry &E = It->second;
+    if (!E.HasPending) {
+      E.Pending = V;
+      E.HasPending = true;
+      return;
+    }
+    applyReduce(E.Reduce, E.Pending, V);
+  }
+
+  /// Merges another map's pending contributions (used when several workers
+  /// each accumulated privately).
+  void mergePendingFrom(GlobalObjects &Other) {
+    for (auto &[Name, E] : Other.Entries) {
+      if (!E.HasPending)
+        continue;
+      putFromVertex(Name, E.Pending);
+      E.HasPending = false;
+    }
+  }
+
+  /// Barrier: publishes this superstep's reduced vertex contributions.
+  ///
+  /// Matches GPS reduction objects: the visible value becomes the reduction
+  /// of *this superstep's* puts only (the paper's generated master code then
+  /// folds it into a master-local field, e.g. `S = S + Global.get("S")`).
+  /// Globals nobody wrote keep their previous value, so master broadcasts
+  /// persist across supersteps.
+  void resolveBarrier() {
+    for (auto &[Name, E] : Entries) {
+      (void)Name;
+      if (!E.HasPending)
+        continue;
+      E.Current = E.Pending;
+      E.Pending = Value();
+      E.HasPending = false;
+    }
+  }
+
+  /// Makes an empty clone with the same declarations (for worker-private
+  /// accumulation in threaded mode).
+  GlobalObjects cloneDeclarations() const {
+    GlobalObjects Copy;
+    for (const auto &[Name, E] : Entries)
+      Copy.declare(Name, E.Reduce, Value());
+    return Copy;
+  }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> Result;
+    Result.reserve(Entries.size());
+    for (const auto &[Name, E] : Entries) {
+      (void)E;
+      Result.push_back(Name);
+    }
+    return Result;
+  }
+
+private:
+  std::unordered_map<std::string, GlobalEntry> Entries;
+};
+
+} // namespace gm::pregel
+
+#endif // GM_PREGEL_GLOBALOBJECTS_H

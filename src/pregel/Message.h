@@ -1,0 +1,60 @@
+//===- pregel/Message.h - BSP message representation -----------------------===//
+///
+/// \file
+/// The unit of vertex-to-vertex communication. Mirrors the message class a
+/// GPS program would declare: an optional integer type tag (used when one
+/// program exchanges several logically distinct messages, §3.1 "Multiple
+/// Communication") and a small scalar payload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_PREGEL_MESSAGE_H
+#define GM_PREGEL_MESSAGE_H
+
+#include "graph/Graph.h"
+#include "support/Value.h"
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace gm::pregel {
+
+/// Maximum number of scalar payload slots per message. The translator's
+/// dataflow analysis never produces more than this for the paper's
+/// algorithms; the IR verifier enforces the limit at compile time.
+constexpr unsigned MaxMessagePayload = 4;
+
+/// A message in flight from one vertex to another.
+struct Message {
+  NodeId Src = InvalidNode;
+  NodeId Dst = InvalidNode;
+  int32_t Type = 0;
+  uint8_t Size = 0;
+  std::array<Value, MaxMessagePayload> Payload;
+
+  void push(const Value &V) {
+    assert(Size < MaxMessagePayload && "message payload overflow");
+    Payload[Size++] = V;
+  }
+
+  const Value &operator[](unsigned I) const {
+    assert(I < Size && "payload index out of range");
+    return Payload[I];
+  }
+
+  /// Bytes this message would occupy on the wire: a 4-byte destination-id
+  /// header (every GPS message carries one), plus a 4-byte tag when the
+  /// program uses more than one message type (\p TaggedProgram), plus the
+  /// payload.
+  unsigned wireSize(bool TaggedProgram) const {
+    unsigned Bytes = 4u + (TaggedProgram ? 4u : 0u);
+    for (unsigned I = 0; I < Size; ++I)
+      Bytes += Payload[I].wireSize();
+    return Bytes;
+  }
+};
+
+} // namespace gm::pregel
+
+#endif // GM_PREGEL_MESSAGE_H

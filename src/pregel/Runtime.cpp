@@ -1,0 +1,195 @@
+//===- pregel/Runtime.cpp ---------------------------------------------------===//
+
+#include "pregel/Runtime.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+using namespace gm;
+using namespace gm::pregel;
+
+VertexProgram::~VertexProgram() = default;
+
+std::string RunStats::toString() const {
+  std::ostringstream OS;
+  OS << "supersteps=" << Supersteps << " messages=" << TotalMessages
+     << " network_messages=" << NetworkMessages
+     << " network_bytes=" << NetworkBytes << " wall_seconds=" << WallSeconds;
+  return OS.str();
+}
+
+NodeId MasterContext::pickRandomNode() {
+  std::uniform_int_distribution<NodeId> Dist(0, G.numNodes() - 1);
+  return Dist(Rng);
+}
+
+void VertexContext::sendToAllOutNeighbors(Message M) {
+  M.Src = Id;
+  for (NodeId Nbr : G.outNeighbors(Id)) {
+    M.Dst = Nbr;
+    Outbox->push_back(M);
+  }
+}
+
+void VertexContext::sendTo(NodeId Target, Message M) {
+  assert(Target < G.numNodes() && "sendTo target out of range");
+  M.Src = Id;
+  M.Dst = Target;
+  Outbox->push_back(M);
+}
+
+Engine::Engine(const Graph &G, Config Cfg) : G(G), Cfg(Cfg), Rng(Cfg.RandomSeed) {
+  assert(Cfg.NumWorkers > 0 && "need at least one worker");
+}
+
+/// Scratch state for one worker within a superstep.
+struct Engine::WorkerState {
+  std::vector<Message> Outbox;
+  GlobalObjects PrivateGlobals;
+};
+
+void Engine::routeOutbox(std::vector<Message> &Outbox, RunStats &Stats) {
+  for (const Message &M : Outbox) {
+    ++Stats.TotalMessages;
+    if (workerOf(M.Src) != workerOf(M.Dst)) {
+      ++Stats.NetworkMessages;
+      Stats.NetworkBytes += M.wireSize(Cfg.TaggedMessages);
+    }
+    NextMessages.push_back(M);
+  }
+  Outbox.clear();
+}
+
+void Engine::combineOutbox(std::vector<Message> &Outbox) {
+  std::unordered_map<uint64_t, size_t> Slot; // (dst, type) -> index in Kept
+  std::vector<Message> Kept;
+  Kept.reserve(Outbox.size());
+  for (Message &M : Outbox) {
+    auto It = Cfg.Combiners.find(M.Type);
+    if (It == Cfg.Combiners.end() || M.Size != 1) {
+      Kept.push_back(M);
+      continue;
+    }
+    uint64_t Key = (uint64_t(M.Dst) << 32) |
+                   static_cast<uint32_t>(M.Type);
+    auto [SlotIt, Fresh] = Slot.try_emplace(Key, Kept.size());
+    if (Fresh) {
+      Kept.push_back(M);
+      continue;
+    }
+    applyReduce(It->second, Kept[SlotIt->second].Payload[0], M.Payload[0]);
+  }
+  Outbox = std::move(Kept);
+}
+
+void Engine::runWorkerPhase(VertexProgram &Program, uint64_t Step,
+                            RunStats &Stats) {
+  const unsigned W = Cfg.NumWorkers;
+  std::vector<WorkerState> Workers(W);
+  for (WorkerState &WS : Workers)
+    WS.PrivateGlobals = Globals.cloneDeclarations();
+
+  auto RunWorker = [&](unsigned WorkerId) {
+    WorkerState &WS = Workers[WorkerId];
+    for (NodeId V = WorkerId; V < G.numNodes(); V += W) {
+      std::span<const Message> Inbox(InboxPool.data() + InboxOffset[V],
+                                     InboxOffset[V + 1] - InboxOffset[V]);
+      if (!Active[V] && Inbox.empty())
+        continue;
+      VertexContext Ctx(V, Step, G, Globals, WS.PrivateGlobals);
+      Ctx.Inbox = Inbox;
+      Ctx.Outbox = &WS.Outbox;
+      Program.compute(Ctx);
+      Active[V] = !Ctx.VotedHalt;
+    }
+  };
+
+  if (Cfg.Threaded && W > 1) {
+    std::vector<std::thread> Threads;
+    Threads.reserve(W);
+    for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId)
+      Threads.emplace_back(RunWorker, WorkerId);
+    for (std::thread &T : Threads)
+      T.join();
+  } else {
+    for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId)
+      RunWorker(WorkerId);
+  }
+
+  // Barrier, part 1: merge worker-private global contributions and outboxes
+  // in worker order (deterministic). Combiners run per sending worker,
+  // before the wire accounting — exactly where GPS applies them.
+  for (WorkerState &WS : Workers) {
+    Globals.mergePendingFrom(WS.PrivateGlobals);
+    if (!Cfg.Combiners.empty())
+      combineOutbox(WS.Outbox);
+    routeOutbox(WS.Outbox, Stats);
+  }
+}
+
+RunStats Engine::run(VertexProgram &Program) {
+  auto Start = std::chrono::steady_clock::now();
+  RunStats Stats;
+
+  const NodeId N = G.numNodes();
+  Active.assign(N, 1);
+  InboxOffset.assign(N + 1, 0);
+  InboxPool.clear();
+  NextMessages.clear();
+  PendingMessageCount = 0;
+  Globals = GlobalObjects();
+
+  {
+    MasterContext InitCtx(0, G, Globals, Rng);
+    Program.init(G, InitCtx);
+  }
+
+  std::vector<uint32_t> Cursor;
+  for (uint64_t Step = 0; Step < Cfg.MaxSupersteps; ++Step) {
+    MasterContext MC(Step, G, Globals, Rng);
+    Program.masterCompute(MC);
+    if (MC.halted())
+      break;
+
+    // Quiescence: every vertex has voted to halt and nothing is in flight.
+    // Checked after masterCompute so the master always gets one superstep in
+    // which to observe the final aggregator values (GPS behaviour).
+    if (PendingMessageCount == 0) {
+      bool AnyActive = false;
+      for (NodeId V = 0; V < N; ++V)
+        if (Active[V]) {
+          AnyActive = true;
+          break;
+        }
+      if (!AnyActive)
+        break;
+    }
+
+    runWorkerPhase(Program, Step, Stats);
+    Stats.Supersteps = Step + 1;
+    Stats.MessagesPerStep.push_back(NextMessages.size());
+
+    // Barrier, part 2: resolve global reductions and build the next inbox
+    // with a counting sort by destination vertex.
+    Globals.resolveBarrier();
+
+    InboxOffset.assign(N + 1, 0);
+    for (const Message &M : NextMessages)
+      ++InboxOffset[M.Dst + 1];
+    for (NodeId V = 0; V < N; ++V)
+      InboxOffset[V + 1] += InboxOffset[V];
+    InboxPool.resize(NextMessages.size());
+    Cursor.assign(InboxOffset.begin(), InboxOffset.end() - 1);
+    for (const Message &M : NextMessages)
+      InboxPool[Cursor[M.Dst]++] = M;
+    PendingMessageCount = NextMessages.size();
+    NextMessages.clear();
+  }
+
+  Stats.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Stats;
+}

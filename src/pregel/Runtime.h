@@ -1,0 +1,206 @@
+//===- pregel/Runtime.h - Simulated distributed Pregel (GPS) engine --------===//
+///
+/// \file
+/// A bulk-synchronous Pregel runtime in the style of GPS. The graph's
+/// vertices are hash-partitioned across W workers; each superstep the master
+/// runs first (GPS's `master.compute()`), then every active vertex runs
+/// `compute()`, and messages become visible at the next superstep. Messages
+/// crossing a worker boundary are accounted as network traffic.
+///
+/// This is the substitution for the paper's cluster deployment: the same BSP
+/// semantics, timestep counts and message volumes, on simulated workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_PREGEL_RUNTIME_H
+#define GM_PREGEL_RUNTIME_H
+
+#include "graph/Graph.h"
+#include "pregel/GlobalObjects.h"
+#include "pregel/Message.h"
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gm::pregel {
+
+class Engine;
+
+/// Per-run execution statistics; the quantities reported in the paper's §5.2
+/// (run-time, network I/O, number of timesteps).
+struct RunStats {
+  uint64_t Supersteps = 0;
+  uint64_t TotalMessages = 0;
+  uint64_t NetworkMessages = 0; ///< messages that crossed a worker boundary
+  uint64_t NetworkBytes = 0;    ///< wire bytes of those messages
+  double WallSeconds = 0.0;
+
+  /// Per-superstep message counts (index = superstep).
+  std::vector<uint64_t> MessagesPerStep;
+
+  std::string toString() const;
+};
+
+/// Engine configuration.
+struct Config {
+  unsigned NumWorkers = 4;
+  bool Threaded = false;     ///< real std::thread workers vs. sequential sim
+  uint64_t RandomSeed = 1;   ///< seed for master-side PickRandom
+  uint64_t MaxSupersteps = 1u << 20; ///< runaway guard
+  bool TaggedMessages = false; ///< program uses >1 message type (adds 4B/msg)
+  /// Pregel message combiners: messages of a listed type heading to the
+  /// same destination are reduced at the sending worker before they hit
+  /// the wire (single-field payloads only). Empty = no combining.
+  std::map<int32_t, ReduceKind> Combiners;
+};
+
+/// The master's view during `master.compute()`. Runs before the vertices in
+/// every superstep (GPS semantics), so writes to globals are visible to the
+/// vertices of the same superstep.
+class MasterContext {
+public:
+  uint64_t superstep() const { return Step; }
+  const Graph &graph() const { return G; }
+
+  Value getGlobal(const std::string &Name) const { return Globals.get(Name); }
+  void setGlobal(const std::string &Name, const Value &V) {
+    Globals.set(Name, V);
+  }
+  void declareGlobal(const std::string &Name, ReduceKind Reduce,
+                     Value Init = Value()) {
+    Globals.declare(Name, Reduce, Init);
+  }
+
+  /// Uniformly random node, drawn from the engine's seeded RNG; the
+  /// master-side implementation of Green-Marl's G.PickRandom().
+  NodeId pickRandomNode();
+
+  /// Terminates the computation after this master phase (no vertex phase).
+  void haltAll() { Halted = true; }
+  bool halted() const { return Halted; }
+
+private:
+  friend class Engine;
+  MasterContext(uint64_t Step, const Graph &G, GlobalObjects &Globals,
+                std::mt19937_64 &Rng)
+      : Step(Step), G(G), Globals(Globals), Rng(Rng) {}
+
+  uint64_t Step;
+  const Graph &G;
+  GlobalObjects &Globals;
+  std::mt19937_64 &Rng;
+  bool Halted = false;
+};
+
+/// One vertex's view during `compute()`.
+class VertexContext {
+public:
+  NodeId id() const { return Id; }
+  uint64_t superstep() const { return Step; }
+  const Graph &graph() const { return G; }
+
+  uint32_t numOutNeighbors() const { return G.outDegree(Id); }
+  std::span<const NodeId> outNeighbors() const { return G.outNeighbors(Id); }
+
+  /// Messages sent to this vertex in the previous superstep.
+  std::span<const Message> messages() const { return Inbox; }
+
+  /// Sends \p M to every out-neighbor (GPS sendToNbrs).
+  void sendToAllOutNeighbors(Message M);
+
+  /// Sends \p M to an arbitrary vertex id (GPS sendToNode); implements the
+  /// Random Writing pattern of §3.1.
+  void sendTo(NodeId Target, Message M);
+
+  /// Vertex-side reducing write to a global object (Global.put with a
+  /// reduction object); resolved at the barrier.
+  void putGlobal(const std::string &Name, const Value &V) {
+    WorkerGlobals.putFromVertex(Name, V);
+  }
+
+  /// Reads a global object (as broadcast by the master / resolved at the
+  /// previous barrier).
+  Value getGlobal(const std::string &Name) const { return Globals.get(Name); }
+
+  /// Pregel's voteToHalt(): deactivate until a message arrives.
+  void voteToHalt() { VotedHalt = true; }
+
+private:
+  friend class Engine;
+  VertexContext(NodeId Id, uint64_t Step, const Graph &G,
+                const GlobalObjects &Globals, GlobalObjects &WorkerGlobals)
+      : Id(Id), Step(Step), G(G), Globals(Globals),
+        WorkerGlobals(WorkerGlobals) {}
+
+  NodeId Id;
+  uint64_t Step;
+  const Graph &G;
+  const GlobalObjects &Globals;
+  GlobalObjects &WorkerGlobals;
+  std::span<const Message> Inbox;
+  std::vector<Message> *Outbox = nullptr;
+  bool VotedHalt = false;
+};
+
+/// A Pregel program: the pair of functions a GPS application implements.
+///
+/// Vertex state is owned by the program (typically columnar vectors indexed
+/// by NodeId), mirroring how a GPS vertex class owns its fields.
+class VertexProgram {
+public:
+  virtual ~VertexProgram();
+
+  /// Called once before superstep 0; allocate vertex state and declare
+  /// global objects here.
+  virtual void init(const Graph &G, MasterContext &Master) = 0;
+
+  /// GPS master.compute(): runs once per superstep, before the vertices.
+  virtual void masterCompute(MasterContext &Master) = 0;
+
+  /// Pregel vertex.compute(): runs once per superstep for each active
+  /// vertex.
+  virtual void compute(VertexContext &Ctx) = 0;
+};
+
+/// Executes a VertexProgram over a graph under BSP semantics.
+class Engine {
+public:
+  Engine(const Graph &G, Config Cfg);
+
+  /// Runs \p Program to completion and returns the collected statistics.
+  /// Termination: the master calls haltAll(), or every vertex is inactive
+  /// with no messages in flight, or Config::MaxSupersteps is hit.
+  RunStats run(VertexProgram &Program);
+
+  const Config &config() const { return Cfg; }
+
+  unsigned workerOf(NodeId N) const { return N % Cfg.NumWorkers; }
+
+private:
+  struct WorkerState;
+
+  void routeOutbox(std::vector<Message> &Outbox, RunStats &Stats);
+  void combineOutbox(std::vector<Message> &Outbox);
+  void runWorkerPhase(VertexProgram &Program, uint64_t Step, RunStats &Stats);
+
+  const Graph &G;
+  Config Cfg;
+  GlobalObjects Globals;
+  std::mt19937_64 Rng;
+
+  /// Double-buffered inboxes: messages grouped per destination vertex.
+  /// CurrentInbox[v] is the span delivered to v this superstep.
+  std::vector<Message> InboxPool;
+  std::vector<uint32_t> InboxOffset; ///< size numNodes+1
+  std::vector<Message> NextMessages; ///< accumulated during the step
+  std::vector<uint8_t> Active;
+  uint64_t PendingMessageCount = 0;
+};
+
+} // namespace gm::pregel
+
+#endif // GM_PREGEL_RUNTIME_H

@@ -1,0 +1,648 @@
+//===- pregelir/JavaCodegen.cpp ---------------------------------------------------===//
+
+#include "pregelir/JavaCodegen.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace gm;
+using namespace gm::pir;
+
+namespace {
+
+const char *javaType(ValueKind K) {
+  switch (K) {
+  case ValueKind::Bool:
+    return "boolean";
+  case ValueKind::Double:
+    return "double";
+  case ValueKind::Int:
+  case ValueKind::Undef:
+    return "long";
+  }
+  gm_unreachable("invalid value kind");
+}
+
+/// Capitalized spelling for read/write method suffixes (readLong etc.).
+const char *javaIoSuffix(ValueKind K) {
+  switch (K) {
+  case ValueKind::Bool:
+    return "Boolean";
+  case ValueKind::Double:
+    return "Double";
+  case ValueKind::Int:
+  case ValueKind::Undef:
+    return "Long";
+  }
+  gm_unreachable("invalid value kind");
+}
+
+class JavaEmitter {
+public:
+  JavaEmitter(const PregelProgram &P, JavaDialect D) : P(P), D(D) {}
+
+  std::string run() {
+    header();
+    messageClass();
+    vertexClass();
+    masterClass();
+    jobClass();
+    return OS.str();
+  }
+
+private:
+  void line(const std::string &S = "") { OS << Pad() << S << "\n"; }
+  std::string Pad() const { return std::string(Indent * 2, ' '); }
+  struct Scope {
+    JavaEmitter &E;
+    explicit Scope(JavaEmitter &E, const std::string &Open) : E(E) {
+      E.line(Open + " {");
+      ++E.Indent;
+    }
+    ~Scope() {
+      --E.Indent;
+      E.line("}");
+    }
+  };
+
+  std::string className() const {
+    std::string Name = P.Name;
+    if (!Name.empty())
+      Name[0] = static_cast<char>(std::toupper(Name[0]));
+    return Name;
+  }
+
+  std::string sanitize(const std::string &Name) const {
+    std::string Out;
+    for (char C : Name)
+      Out += (std::isalnum(static_cast<unsigned char>(C)) ? C : '_');
+    return Out;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  std::string expr(const PExpr *E, bool Vertex) {
+    if (!E)
+      return "0";
+    switch (E->K) {
+    case PExprKind::Const: {
+      const Value &V = E->ConstVal;
+      switch (V.kind()) {
+      case ValueKind::Bool:
+        return V.getBool() ? "true" : "false";
+      case ValueKind::Int:
+        return std::to_string(V.getInt()) + "L";
+      case ValueKind::Double: {
+        std::ostringstream SS;
+        double Val = V.getDouble();
+        if (Val == std::numeric_limits<double>::infinity())
+          return "Double.POSITIVE_INFINITY";
+        if (Val == -std::numeric_limits<double>::infinity())
+          return "Double.NEGATIVE_INFINITY";
+        SS << Val;
+        std::string S = SS.str();
+        if (S.find('.') == std::string::npos &&
+            S.find('e') == std::string::npos)
+          S += ".0";
+        return S;
+      }
+      case ValueKind::Undef:
+        return "0";
+      }
+      gm_unreachable("invalid const");
+    }
+    case PExprKind::GlobalRead:
+      if (!Vertex)
+        return sanitize(P.Globals[E->Index].Name);
+      if (D == JavaDialect::GPS)
+        return "((" + std::string(javaType(P.Globals[E->Index].Ty)) +
+               ") getGlobalObjectsMap().get(\"" + P.Globals[E->Index].Name +
+               "\").getValue())";
+      return "((" + std::string(javaType(P.Globals[E->Index].Ty)) +
+             ") getAggregatedValue(\"" + P.Globals[E->Index].Name +
+             "\").get())";
+    case PExprKind::PropRead:
+      return (D == JavaDialect::GPS ? "getValue()." : "vertex.getValue().") +
+             sanitize(P.NodeProps[E->Index].Name);
+    case PExprKind::MsgField:
+      return "msg." + sanitize(CurMsgFields->at(E->Index).Name);
+    case PExprKind::EdgePropRead:
+      return "edge." + sanitize(P.EdgeProps[E->Index].Name);
+    case PExprKind::VertexId:
+      return D == JavaDialect::GPS ? "getId()" : "vertex.getId().get()";
+    case PExprKind::OutDegree:
+      return D == JavaDialect::GPS ? "getNeighborsSize()"
+                                   : "vertex.getNumEdges()";
+    case PExprKind::InDegree:
+      return D == JavaDialect::GPS ? "getValue().in_nbrs.length"
+                                   : "vertex.getValue().in_nbrs.length";
+    case PExprKind::NumNodes:
+      return "getTotalNumVertices()";
+    case PExprKind::NumEdges:
+      return "getTotalNumEdges()";
+    case PExprKind::RandomNode:
+      return "pickRandomVertex()";
+    case PExprKind::Binary:
+      return "(" + expr(E->A, Vertex) + " " + binaryOpSpelling(E->BinOp) +
+             " " + expr(E->B, Vertex) + ")";
+    case PExprKind::Unary:
+      return std::string(E->UnOp == UnaryOpKind::Neg ? "-" : "!") +
+             expr(E->A, Vertex);
+    case PExprKind::Ternary:
+      return "(" + expr(E->A, Vertex) + " ? " + expr(E->B, Vertex) + " : " +
+             expr(E->C, Vertex) + ")";
+    case PExprKind::Cast:
+      return "((" + std::string(javaType(E->Ty)) + ") " + expr(E->A, Vertex) +
+             ")";
+    }
+    gm_unreachable("invalid expr kind");
+  }
+
+  std::string reduceApply(const std::string &Target, ReduceKind RK,
+                          const std::string &V) {
+    switch (RK) {
+    case ReduceKind::None:
+      return Target + " = " + V + ";";
+    case ReduceKind::Sum:
+    case ReduceKind::Count:
+      return Target + " += " + V + ";";
+    case ReduceKind::Prod:
+      return Target + " *= " + V + ";";
+    case ReduceKind::Min:
+      return Target + " = Math.min(" + Target + ", " + V + ");";
+    case ReduceKind::Max:
+      return Target + " = Math.max(" + Target + ", " + V + ");";
+    case ReduceKind::And:
+      return Target + " = " + Target + " && " + V + ";";
+    case ReduceKind::Or:
+      return Target + " = " + Target + " || " + V + ";";
+    }
+    gm_unreachable("invalid reduce kind");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Structure
+  //===--------------------------------------------------------------------===//
+
+  void header() {
+    if (D == JavaDialect::GPS) {
+      line("// Generated by the Green-Marl -> GPS compiler. Do not edit.");
+      line("// Program: " + P.Name);
+      line("package gps.generated;");
+      line();
+      line("import gps.graph.Vertex;");
+      line("import gps.graph.Master;");
+      line("import gps.writable.*;");
+      line("import gps.globalobjects.*;");
+    } else {
+      line("// Generated by the Green-Marl -> Giraph compiler. Do not edit.");
+      line("// Program: " + P.Name);
+      line("package giraph.generated;");
+      line();
+      line("import org.apache.giraph.graph.BasicComputation;");
+      line("import org.apache.giraph.graph.Vertex;");
+      line("import org.apache.giraph.master.DefaultMasterCompute;");
+      line("import org.apache.giraph.aggregators.*;");
+      line("import org.apache.hadoop.io.*;");
+    }
+    line("import java.io.DataInput;");
+    line("import java.io.DataOutput;");
+    line("import java.io.IOException;");
+    line();
+  }
+
+  void messageClass() {
+    Scope Cls(*this, D == JavaDialect::GPS
+                         ? "class " + className() + "Message extends "
+                           "MinaWritable"
+                         : "class " + className() + "Message implements "
+                           "Writable");
+    bool Tagged = P.MsgTypes.size() + (P.UsesInNbrs ? 1 : 0) > 1;
+    if (Tagged)
+      line("int type;");
+    // The union of all message payload fields, GPS-style single class.
+    for (const MsgTypeDef &M : P.MsgTypes)
+      for (const MsgFieldDef &F : M.Fields)
+        line(std::string(javaType(F.Ty)) + " " + sanitize(M.Name) + "_" +
+             sanitize(F.Name) + ";");
+    line();
+    {
+      Scope W(*this, "public void write(DataOutput out) throws IOException");
+      if (Tagged)
+        line("out.writeInt(type);");
+      for (const MsgTypeDef &M : P.MsgTypes)
+        for (const MsgFieldDef &F : M.Fields)
+          line("out.write" + std::string(javaIoSuffix(F.Ty)) + "(" +
+               sanitize(M.Name) + "_" + sanitize(F.Name) + ");");
+    }
+    {
+      Scope R(*this, "public void read(DataInput in) throws IOException");
+      if (Tagged)
+        line("type = in.readInt();");
+      for (const MsgTypeDef &M : P.MsgTypes)
+        for (const MsgFieldDef &F : M.Fields)
+          line(sanitize(M.Name) + "_" + sanitize(F.Name) + " = in.read" +
+               std::string(javaIoSuffix(F.Ty)) + "();");
+    }
+  }
+
+  void vertexValueClass() {
+    Scope Cls(*this, D == JavaDialect::GPS
+                         ? "static class VertexData extends MinaWritable"
+                         : "static class VertexData implements Writable");
+    for (const PropDef &D : P.NodeProps)
+      line(std::string(javaType(D.Ty)) + " " + sanitize(D.Name) + ";");
+    if (P.UsesInNbrs)
+      line("int[] in_nbrs;");
+    {
+      Scope W(*this, "public void write(DataOutput out) throws IOException");
+      for (const PropDef &D : P.NodeProps)
+        line("out.write" + std::string(javaIoSuffix(D.Ty)) + "(" +
+             sanitize(D.Name) + ");");
+    }
+    {
+      Scope R(*this, "public void read(DataInput in) throws IOException");
+      for (const PropDef &D : P.NodeProps)
+        line(sanitize(D.Name) + " = in.read" +
+             std::string(javaIoSuffix(D.Ty)) + "();");
+    }
+  }
+
+  void vertexStmt(const VStmt *S) {
+    switch (S->K) {
+    case VStmtKind::Assign: {
+      std::string Prefix =
+          D == JavaDialect::GPS ? "getValue()." : "vertex.getValue().";
+      line(reduceApply(Prefix + sanitize(P.NodeProps[S->Index].Name),
+                       S->Reduce, expr(S->Value, true)));
+      return;
+    }
+    case VStmtKind::GlobalPut: {
+      const GlobalDef &G = P.Globals[S->Index];
+      std::string Obj;
+      switch (G.VertexReduce) {
+      case ReduceKind::Sum:
+      case ReduceKind::Count:
+        Obj = G.Ty == ValueKind::Double ? "DoubleSumGlobalObject"
+                                        : "LongSumGlobalObject";
+        break;
+      case ReduceKind::Min:
+        Obj = G.Ty == ValueKind::Double ? "DoubleMinGlobalObject"
+                                        : "LongMinGlobalObject";
+        break;
+      case ReduceKind::Max:
+        Obj = G.Ty == ValueKind::Double ? "DoubleMaxGlobalObject"
+                                        : "LongMaxGlobalObject";
+        break;
+      case ReduceKind::And:
+        Obj = "BooleanAndGlobalObject";
+        break;
+      case ReduceKind::Or:
+        Obj = "BooleanOrGlobalObject";
+        break;
+      case ReduceKind::Prod:
+        Obj = "ProductGlobalObject";
+        break;
+      case ReduceKind::None:
+        Obj = "OverwriteGlobalObject";
+        break;
+      }
+      if (D == JavaDialect::GPS)
+        line("getGlobalObjectsMap().putOrUpdate(\"" + G.Name + "\", new " +
+             Obj + "(" + expr(S->Value, true) + "));");
+      else
+        line("aggregate(\"" + G.Name + "\", new " +
+             std::string(javaIoSuffix(G.Ty)) + "Writable(" +
+             expr(S->Value, true) + "));");
+      return;
+    }
+    case VStmtKind::If: {
+      {
+        Scope I(*this, "if (" + expr(S->Cond, true) + ")");
+        for (const VStmt *C : S->Then)
+          vertexStmt(C);
+      }
+      if (!S->Else.empty()) {
+        Scope E(*this, "else");
+        for (const VStmt *C : S->Else)
+          vertexStmt(C);
+      }
+      return;
+    }
+    case VStmtKind::SendToOutNbrs:
+    case VStmtKind::SendToInNbrs:
+    case VStmtKind::SendToNode: {
+      const MsgTypeDef &M = P.MsgTypes[S->Index];
+      line(className() + "Message m = new " + className() + "Message();");
+      bool Tagged = P.MsgTypes.size() + (P.UsesInNbrs ? 1 : 0) > 1;
+      if (Tagged)
+        line("m.type = " + std::to_string(S->Index + 1) + ";");
+      if (S->K == VStmtKind::SendToOutNbrs) {
+        bool PerEdge = false;
+        for (const PExpr *E : S->Payload)
+          if (usesEdgeProp(E))
+            PerEdge = true;
+        if (PerEdge) {
+          Scope L(*this, D == JavaDialect::GPS
+                             ? "for (Edge edge : getOutgoingEdges())"
+                             : "for (Edge<LongWritable, LongWritable> edge : "
+                               "vertex.getEdges())");
+          for (size_t I = 0; I < S->Payload.size(); ++I)
+            line("m." + sanitize(M.Name) + "_" + sanitize(M.Fields[I].Name) +
+                 " = " + expr(S->Payload[I], true) + ";");
+          if (D == JavaDialect::GPS)
+            line("sendMessage(edge.getTargetId(), m);");
+          else
+            line("sendMessage(edge.getTargetVertexId(), m);");
+        } else {
+          for (size_t I = 0; I < S->Payload.size(); ++I)
+            line("m." + sanitize(M.Name) + "_" + sanitize(M.Fields[I].Name) +
+                 " = " + expr(S->Payload[I], true) + ";");
+                    if (D == JavaDialect::GPS)
+            line("sendMessages(getNeighborIds(), m);");
+          else
+            line("sendMessageToAllEdges(vertex, m);");
+        }
+      } else if (S->K == VStmtKind::SendToInNbrs) {
+        for (size_t I = 0; I < S->Payload.size(); ++I)
+          line("m." + sanitize(M.Name) + "_" + sanitize(M.Fields[I].Name) +
+               " = " + expr(S->Payload[I], true) + ";");
+        Scope L(*this, D == JavaDialect::GPS
+                           ? "for (int inNbr : getValue().in_nbrs)"
+                           : "for (int inNbr : vertex.getValue().in_nbrs)");
+        line("sendMessage(inNbr, m);");
+      } else {
+        for (size_t I = 0; I < S->Payload.size(); ++I)
+          line("m." + sanitize(M.Name) + "_" + sanitize(M.Fields[I].Name) +
+               " = " + expr(S->Payload[I], true) + ";");
+        line("long target = " + expr(S->Value, true) + ";");
+        {
+          Scope G(*this, "if (target >= 0)");
+          if (D == JavaDialect::GPS)
+            line("sendMessage((int) target, m);");
+          else
+            line("sendMessage(new LongWritable(target), m);");
+        }
+      }
+      return;
+    }
+    case VStmtKind::ForEachOutEdge: {
+      Scope L(*this, D == JavaDialect::GPS
+                         ? "for (Edge edge : getOutgoingEdges())"
+                         : "for (Edge<LongWritable, LongWritable> edge : "
+                           "vertex.getEdges())");
+      for (const VStmt *C : S->Then)
+        vertexStmt(C);
+      return;
+    }
+    case VStmtKind::OnMessage: {
+      const MsgTypeDef &M = P.MsgTypes[S->Index];
+      CurMsgFields = &M.Fields;
+      CurMsgName = sanitize(M.Name);
+      bool Tagged = P.MsgTypes.size() + (P.UsesInNbrs ? 1 : 0) > 1;
+      {
+        Scope L(*this,
+                "for (" + className() + "Message msg : messageValues)");
+        if (Tagged) {
+          Scope G(*this,
+                  "if (msg.type == " + std::to_string(S->Index + 1) + ")");
+          for (const VStmt *C : S->Then)
+            vertexStmt(C);
+        } else {
+          for (const VStmt *C : S->Then)
+            vertexStmt(C);
+        }
+      }
+      CurMsgFields = nullptr;
+      return;
+    }
+    }
+    gm_unreachable("invalid vertex statement");
+  }
+
+  void vertexClass() {
+    line();
+    Scope Cls(*this, D == JavaDialect::GPS
+                         ? "class " + className() + "Vertex extends Vertex<" +
+                               className() + "Vertex.VertexData, " +
+                               className() + "Message>"
+                         : "class " + className() + "Computation extends "
+                               "BasicComputation<LongWritable, VertexData, "
+                               "NullWritable, " + className() + "Message>");
+    vertexValueClass();
+    line();
+    {
+      Scope C(*this, D == JavaDialect::GPS
+                         ? "public void compute(Iterable<" + className() +
+                               "Message> messageValues, int superstepNo)"
+                         : "public void compute(Vertex<LongWritable, "
+                               "VertexData, NullWritable> vertex, Iterable<" +
+                               className() + "Message> messageValues)");
+      if (D == JavaDialect::GPS)
+        line("int _state = ((IntWritable) getGlobalObjectsMap()"
+             ".get(\"_state\").getValue()).getValue();");
+      else
+        line("int _state = ((IntWritable) getAggregatedValue(\"_state\"))"
+             ".get();");
+      Scope Sw(*this, "switch (_state)");
+      for (const PState &S : P.States) {
+        if (S.VertexCode.empty())
+          continue;
+        line("case " + std::to_string(S.Id) + ": do_state_" +
+             std::to_string(S.Id) +
+             (D == JavaDialect::GPS ? "(messageValues); break;"
+                                    : "(vertex, messageValues); break;"));
+      }
+      line("default: break;");
+    }
+    for (const PState &S : P.States) {
+      if (S.VertexCode.empty())
+        continue;
+      line();
+      Scope M(*this, D == JavaDialect::GPS
+                         ? "private void do_state_" + std::to_string(S.Id) +
+                               "(Iterable<" + className() + "Message> "
+                               "messageValues)"
+                         : "private void do_state_" + std::to_string(S.Id) +
+                               "(Vertex<LongWritable, VertexData, "
+                               "NullWritable> vertex, Iterable<" +
+                               className() + "Message> messageValues)");
+      line("// " + S.Name);
+      for (const VStmt *V : S.VertexCode)
+        vertexStmt(V);
+    }
+  }
+
+  void masterStmt(const MStmt *S) {
+    switch (S->K) {
+    case MStmtKind::Set:
+      line(sanitize(P.Globals[S->Index].Name) + " = " +
+           expr(S->Value, false) + ";");
+      return;
+    case MStmtKind::If: {
+      {
+        Scope I(*this, "if (" + expr(S->Cond, false) + ")");
+        for (const MStmt *C : S->Then)
+          masterStmt(C);
+      }
+      if (!S->Else.empty()) {
+        Scope E(*this, "else");
+        for (const MStmt *C : S->Else)
+          masterStmt(C);
+      }
+      return;
+    }
+    case MStmtKind::Goto:
+      if (S->Index == EndState) {
+        line("haltComputation(); return;");
+      } else {
+        line("_state = " + std::to_string(S->Index) + "; "
+             "broadcastAndClear(); return;");
+      }
+      return;
+    }
+    gm_unreachable("invalid master statement");
+  }
+
+  void masterClass() {
+    line();
+    Scope Cls(*this, D == JavaDialect::GPS
+                         ? "class " + className() + "Master extends Master"
+                         : "class " + className() + "Master extends "
+                           "DefaultMasterCompute");
+    line("int _state = 0;");
+    for (const GlobalDef &G : P.Globals)
+      line(std::string(javaType(G.Ty)) + " " + sanitize(G.Name) + ";");
+    line();
+    {
+      Scope C(*this, D == JavaDialect::GPS
+                         ? "public void compute(int superstepNo)"
+                         : "public void compute()");
+      {
+        Scope F(*this, "if (superstepNo == 0)");
+        for (const GlobalDef &G : P.Globals) {
+          if (G.Init.isUndef())
+            continue;
+          PExpr Init;
+          Init.K = PExprKind::Const;
+          Init.ConstVal = G.Init;
+          line(sanitize(G.Name) + " = " + expr(&Init, false) + ";");
+        }
+      }
+      line("collectReductions();");
+      Scope Sw(*this, "switch (_state)");
+      for (const PState &S : P.States) {
+        Scope Case(*this, "case " + std::to_string(S.Id) + ":");
+        for (const MStmt *M : S.TransCode)
+          masterStmt(M);
+      }
+      line("default: break;");
+    }
+    line();
+    {
+      Scope H(*this, "private void collectReductions()");
+      line("// pull this superstep's vertex reductions from the global map");
+      for (const GlobalDef &G : P.Globals) {
+        if (G.VertexReduce == ReduceKind::None)
+          continue;
+        if (D == JavaDialect::GPS)
+          line(sanitize(G.Name) + " = ((" + std::string(javaType(G.Ty)) +
+               ") getGlobalObjectsMap().get(\"" + G.Name +
+               "\").getValue());");
+        else
+          line(sanitize(G.Name) + " = ((" + std::string(javaType(G.Ty)) +
+               ") getAggregatedValue(\"" + G.Name + "\").get());");
+      }
+    }
+    line();
+    {
+      Scope B(*this, "private void broadcastAndClear()");
+      if (D == JavaDialect::GPS) {
+        line("getGlobalObjectsMap().clearNonDefaultObjects();");
+        line("getGlobalObjectsMap().putOrUpdate(\"_state\", "
+             "new IntOverwriteGlobalObject(_state));");
+        for (const GlobalDef &G : P.Globals)
+          line("getGlobalObjectsMap().putOrUpdate(\"" + G.Name + "\", new "
+               "OverwriteGlobalObject(" + sanitize(G.Name) + "));");
+      } else {
+        line("setAggregatedValue(\"_state\", new IntWritable(_state));");
+        for (const GlobalDef &G : P.Globals)
+          line("setAggregatedValue(\"" + G.Name + "\", new " +
+               std::string(javaIoSuffix(G.Ty)) + "Writable(" +
+               sanitize(G.Name) + "));");
+      }
+    }
+  }
+
+  void jobClass() {
+    line();
+    Scope Cls(*this, "public class " + className() + "Job");
+    {
+      Scope M(*this, "public static void main(String[] args)");
+      line("// Runner wiring: vertex, master and message classes");
+      line("// registered for job submission.");
+      if (D == JavaDialect::GPS) {
+        line("GPSJobConfiguration job = new GPSJobConfiguration();");
+        line("job.setVertexClass(" + className() + "Vertex.class);");
+        line("job.setMasterClass(" + className() + "Master.class);");
+        line("job.setMessageClass(" + className() + "Message.class);");
+        line("job.run(args);");
+      } else {
+        line("GiraphJob job = new GiraphJob(new GiraphConfiguration(), "
+             "\"" + className() + "\");");
+        line("job.getConfiguration().setComputationClass(" + className() +
+             "Computation.class);");
+        line("job.getConfiguration().setMasterComputeClass(" + className() +
+             "Master.class);");
+        line("job.run(true);");
+      }
+    }
+  }
+
+  static bool usesEdgeProp(const PExpr *E) {
+    if (!E)
+      return false;
+    if (E->K == PExprKind::EdgePropRead)
+      return true;
+    return usesEdgeProp(E->A) || usesEdgeProp(E->B) || usesEdgeProp(E->C);
+  }
+
+  const PregelProgram &P;
+  JavaDialect D = JavaDialect::GPS;
+  std::ostringstream OS;
+  unsigned Indent = 0;
+  const std::vector<MsgFieldDef> *CurMsgFields = nullptr;
+  std::string CurMsgName;
+};
+
+} // namespace
+
+std::string pir::emitJava(const PregelProgram &P) {
+  return JavaEmitter(P, JavaDialect::GPS).run();
+}
+
+std::string pir::emitJava(const PregelProgram &P, JavaDialect Dialect) {
+  return JavaEmitter(P, Dialect).run();
+}
+
+unsigned pir::countCodeLines(const std::string &Source) {
+  unsigned Count = 0;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Source.size();
+    std::string_view Line(Source.data() + Pos, End - Pos);
+    Pos = End + 1;
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string_view::npos)
+      continue;
+    std::string_view Trimmed = Line.substr(First);
+    if (Trimmed.substr(0, 2) == "//")
+      continue;
+    ++Count;
+  }
+  return Count;
+}

@@ -1,0 +1,523 @@
+//===- pregelir/PregelIR.cpp ------------------------------------------------===//
+
+#include "pregelir/PregelIR.h"
+
+#include "pregel/Message.h"
+
+#include <functional>
+#include <sstream>
+
+using namespace gm;
+using namespace gm::pir;
+
+PExpr *PregelProgram::constExpr(Value V) {
+  PExpr *E = newExpr();
+  E->K = PExprKind::Const;
+  E->ConstVal = V;
+  E->Ty = V.kind();
+  return E;
+}
+
+PExpr *PregelProgram::globalRead(int Index) {
+  assert(Index >= 0 && Index < static_cast<int>(Globals.size()));
+  PExpr *E = newExpr();
+  E->K = PExprKind::GlobalRead;
+  E->Index = Index;
+  E->Ty = Globals[Index].Ty;
+  return E;
+}
+
+PExpr *PregelProgram::propRead(int Index) {
+  assert(Index >= 0 && Index < static_cast<int>(NodeProps.size()));
+  PExpr *E = newExpr();
+  E->K = PExprKind::PropRead;
+  E->Index = Index;
+  E->Ty = NodeProps[Index].Ty;
+  return E;
+}
+
+PExpr *PregelProgram::binary(BinaryOpKind Op, PExpr *A, PExpr *B,
+                             ValueKind Ty) {
+  PExpr *E = newExpr();
+  E->K = PExprKind::Binary;
+  E->BinOp = Op;
+  E->A = A;
+  E->B = B;
+  E->Ty = Ty;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *valueKindName(ValueKind K) {
+  switch (K) {
+  case ValueKind::Undef:
+    return "undef";
+  case ValueKind::Bool:
+    return "bool";
+  case ValueKind::Int:
+    return "int";
+  case ValueKind::Double:
+    return "double";
+  }
+  gm_unreachable("invalid value kind");
+}
+
+class IRPrinter {
+public:
+  explicit IRPrinter(const PregelProgram &P) : P(P) {}
+
+  std::string run() {
+    OS << "pregel_program " << P.Name << " {\n";
+    if (P.UsesInNbrs)
+      OS << "  uses_in_nbrs\n";
+    if (!P.ReturnGlobal.empty())
+      OS << "  returns " << P.ReturnGlobal << "\n";
+    for (const PropDef &D : P.NodeProps)
+      OS << "  nprop " << valueKindName(D.Ty) << " " << D.Name << "\n";
+    for (const PropDef &D : P.EdgeProps)
+      OS << "  eprop " << valueKindName(D.Ty) << " " << D.Name << "\n";
+    for (const GlobalDef &G : P.Globals) {
+      OS << "  global " << valueKindName(G.Ty) << " " << G.Name;
+      if (G.VertexReduce != ReduceKind::None)
+        OS << " reduce=" << reduceKindName(G.VertexReduce);
+      OS << " init=" << G.Init.toString() << "\n";
+    }
+    for (const MsgTypeDef &M : P.MsgTypes) {
+      OS << "  msg " << M.Name << "(";
+      for (size_t I = 0; I < M.Fields.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << valueKindName(M.Fields[I].Ty) << " " << M.Fields[I].Name;
+      }
+      OS << ")\n";
+    }
+    for (const PState &S : P.States)
+      printState(S);
+    OS << "}\n";
+    return OS.str();
+  }
+
+private:
+  void printState(const PState &S) {
+    OS << "  state " << S.Id << " \"" << S.Name << "\" {\n";
+    if (!S.VertexCode.empty()) {
+      OS << "    vertex {\n";
+      for (const VStmt *V : S.VertexCode)
+        printVStmt(V, 6);
+      OS << "    }\n";
+    }
+    if (!S.TransCode.empty()) {
+      OS << "    master {\n";
+      for (const MStmt *M : S.TransCode)
+        printMStmt(M, 6);
+      OS << "    }\n";
+    }
+    OS << "  }\n";
+  }
+
+  std::string expr(const PExpr *E) {
+    if (!E)
+      return "<null>";
+    switch (E->K) {
+    case PExprKind::Const:
+      return E->ConstVal.toString();
+    case PExprKind::GlobalRead:
+      return "$" + P.Globals[E->Index].Name;
+    case PExprKind::PropRead:
+      return "this." + P.NodeProps[E->Index].Name;
+    case PExprKind::MsgField:
+      return "msg." + std::to_string(E->Index);
+    case PExprKind::EdgePropRead:
+      return "edge." + P.EdgeProps[E->Index].Name;
+    case PExprKind::VertexId:
+      return "this.id";
+    case PExprKind::OutDegree:
+      return "this.outDegree";
+    case PExprKind::InDegree:
+      return "this.inDegree";
+    case PExprKind::NumNodes:
+      return "numNodes";
+    case PExprKind::NumEdges:
+      return "numEdges";
+    case PExprKind::RandomNode:
+      return "randomNode()";
+    case PExprKind::Binary:
+      return "(" + expr(E->A) + " " + binaryOpSpelling(E->BinOp) + " " +
+             expr(E->B) + ")";
+    case PExprKind::Unary:
+      return std::string(E->UnOp == UnaryOpKind::Neg ? "-" : "!") +
+             expr(E->A);
+    case PExprKind::Ternary:
+      return "(" + expr(E->A) + " ? " + expr(E->B) + " : " + expr(E->C) + ")";
+    case PExprKind::Cast:
+      return std::string("(") + valueKindName(E->Ty) + ")" + expr(E->A);
+    }
+    gm_unreachable("invalid expr kind");
+  }
+
+  void printVStmt(const VStmt *V, unsigned Indent) {
+    std::string Pad(Indent, ' ');
+    switch (V->K) {
+    case VStmtKind::Assign:
+      OS << Pad << "this." << P.NodeProps[V->Index].Name << " "
+         << (V->Reduce == ReduceKind::None
+                 ? "="
+                 : std::string(reduceKindName(V->Reduce)) + "=")
+         << " " << expr(V->Value) << "\n";
+      return;
+    case VStmtKind::GlobalPut:
+      OS << Pad << "put $" << P.Globals[V->Index].Name << " "
+         << expr(V->Value) << "\n";
+      return;
+    case VStmtKind::If:
+      OS << Pad << "if " << expr(V->Cond) << " {\n";
+      for (const VStmt *S : V->Then)
+        printVStmt(S, Indent + 2);
+      if (!V->Else.empty()) {
+        OS << Pad << "} else {\n";
+        for (const VStmt *S : V->Else)
+          printVStmt(S, Indent + 2);
+      }
+      OS << Pad << "}\n";
+      return;
+    case VStmtKind::SendToOutNbrs:
+    case VStmtKind::SendToInNbrs: {
+      OS << Pad
+         << (V->K == VStmtKind::SendToOutNbrs ? "send_out " : "send_in ")
+         << P.MsgTypes[V->Index].Name << "(";
+      for (size_t I = 0; I < V->Payload.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << expr(V->Payload[I]);
+      }
+      OS << ")\n";
+      return;
+    }
+    case VStmtKind::SendToNode: {
+      OS << Pad << "send_to " << expr(V->Value) << " "
+         << P.MsgTypes[V->Index].Name << "(";
+      for (size_t I = 0; I < V->Payload.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << expr(V->Payload[I]);
+      }
+      OS << ")\n";
+      return;
+    }
+    case VStmtKind::OnMessage:
+      OS << Pad << "on_message " << P.MsgTypes[V->Index].Name << " {\n";
+      for (const VStmt *S : V->Then)
+        printVStmt(S, Indent + 2);
+      OS << Pad << "}\n";
+      return;
+    case VStmtKind::ForEachOutEdge:
+      OS << Pad << "for_each_out_edge {\n";
+      for (const VStmt *S : V->Then)
+        printVStmt(S, Indent + 2);
+      OS << Pad << "}\n";
+      return;
+    }
+    gm_unreachable("invalid vstmt kind");
+  }
+
+  void printMStmt(const MStmt *M, unsigned Indent) {
+    std::string Pad(Indent, ' ');
+    switch (M->K) {
+    case MStmtKind::Set:
+      OS << Pad << "$" << P.Globals[M->Index].Name << " = " << expr(M->Value)
+         << "\n";
+      return;
+    case MStmtKind::If:
+      OS << Pad << "if " << expr(M->Cond) << " {\n";
+      for (const MStmt *S : M->Then)
+        printMStmt(S, Indent + 2);
+      if (!M->Else.empty()) {
+        OS << Pad << "} else {\n";
+        for (const MStmt *S : M->Else)
+          printMStmt(S, Indent + 2);
+      }
+      OS << Pad << "}\n";
+      return;
+    case MStmtKind::Goto:
+      OS << Pad << "goto "
+         << (M->Index == EndState ? std::string("END")
+                                  : std::to_string(M->Index))
+         << "\n";
+      return;
+    }
+    gm_unreachable("invalid mstmt kind");
+  }
+
+  const PregelProgram &P;
+  std::ostringstream OS;
+};
+
+} // namespace
+
+std::string pir::printProgram(const PregelProgram &P) {
+  return IRPrinter(P).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Conservative check that a master statement list reaches an MGoto on
+/// every control path: either some statement in the list is a goto, or the
+/// list ends in an If whose branches both always reach a goto.
+bool alwaysReachesGoto(const std::vector<MStmt *> &Code) {
+  for (size_t I = 0; I < Code.size(); ++I) {
+    const MStmt *S = Code[I];
+    if (S->K == MStmtKind::Goto)
+      return true;
+    if (S->K != MStmtKind::If)
+      continue;
+    // An always-true guard (the translator's do-while body wrapper) only
+    // needs its then-branch to terminate.
+    bool CondConstTrue = S->Cond && S->Cond->K == PExprKind::Const &&
+                         S->Cond->ConstVal.kind() == ValueKind::Bool &&
+                         S->Cond->ConstVal.getBool();
+    if (CondConstTrue && alwaysReachesGoto(S->Then))
+      return true;
+    if (alwaysReachesGoto(S->Then) && alwaysReachesGoto(S->Else))
+      return true;
+  }
+  return false;
+}
+
+class Verifier {
+public:
+  explicit Verifier(const PregelProgram &P) : P(P) {}
+
+  std::string run() {
+    if (P.States.empty())
+      return "program has no states";
+    if (!P.States[0].VertexCode.empty())
+      return "entry state must have no vertex code";
+    for (size_t I = 0; I < P.States.size(); ++I)
+      if (P.States[I].Id != static_cast<int>(I))
+        return "state ids must be dense and ordered";
+    for (const MsgTypeDef &M : P.MsgTypes)
+      if (M.Fields.size() > pregel::MaxMessagePayload)
+        return "message type '" + M.Name + "' exceeds the payload limit";
+    for (const PState &S : P.States) {
+      StateName = "state " + std::to_string(S.Id) + " (" + S.Name + ")";
+      for (const VStmt *V : S.VertexCode)
+        if (std::string E = checkVStmt(V, /*InOnMessage=*/-1); !E.empty())
+          return E;
+      for (const MStmt *M : S.TransCode)
+        if (std::string E = checkMStmt(M); !E.empty())
+          return E;
+      if (!alwaysReachesGoto(S.TransCode))
+        return StateName + ": transition program can fall off the end "
+                           "without a goto";
+    }
+    return "";
+  }
+
+private:
+  std::string err(const std::string &Msg) { return StateName + ": " + Msg; }
+
+  std::string checkExpr(const PExpr *E, bool Vertex, int MsgType,
+                        bool InSendPayloadOut) {
+    if (!E)
+      return err("null expression");
+    switch (E->K) {
+    case PExprKind::Const:
+      return "";
+    case PExprKind::GlobalRead:
+      if (E->Index < 0 || E->Index >= static_cast<int>(P.Globals.size()))
+        return err("global index out of range");
+      return "";
+    case PExprKind::PropRead:
+      if (!Vertex)
+        return err("property read in master context");
+      if (E->Index < 0 || E->Index >= static_cast<int>(P.NodeProps.size()))
+        return err("property index out of range");
+      return "";
+    case PExprKind::MsgField: {
+      if (MsgType < 0)
+        return err("message field outside on_message");
+      const MsgTypeDef &M = P.MsgTypes[MsgType];
+      if (E->Index < 0 || E->Index >= static_cast<int>(M.Fields.size()))
+        return err("message field index out of range");
+      return "";
+    }
+    case PExprKind::EdgePropRead:
+      if (!InSendPayloadOut)
+        return err("edge property outside a send_out payload");
+      if (E->Index < 0 || E->Index >= static_cast<int>(P.EdgeProps.size()))
+        return err("edge property index out of range");
+      return "";
+    case PExprKind::VertexId:
+    case PExprKind::OutDegree:
+    case PExprKind::InDegree:
+      if (!Vertex)
+        return err("vertex expression in master context");
+      return "";
+    case PExprKind::NumNodes:
+    case PExprKind::NumEdges:
+    case PExprKind::RandomNode:
+      return "";
+    case PExprKind::Binary: {
+      if (std::string R = checkExpr(E->A, Vertex, MsgType, InSendPayloadOut);
+          !R.empty())
+        return R;
+      return checkExpr(E->B, Vertex, MsgType, InSendPayloadOut);
+    }
+    case PExprKind::Unary:
+    case PExprKind::Cast:
+      return checkExpr(E->A, Vertex, MsgType, InSendPayloadOut);
+    case PExprKind::Ternary: {
+      if (std::string R = checkExpr(E->A, Vertex, MsgType, InSendPayloadOut);
+          !R.empty())
+        return R;
+      if (std::string R = checkExpr(E->B, Vertex, MsgType, InSendPayloadOut);
+          !R.empty())
+        return R;
+      return checkExpr(E->C, Vertex, MsgType, InSendPayloadOut);
+    }
+    }
+    gm_unreachable("invalid expr kind");
+  }
+
+  std::string checkSend(const VStmt *V, int MsgType, bool OutPayload) {
+    if (V->Index < 0 || V->Index >= static_cast<int>(P.MsgTypes.size()))
+      return err("message type out of range");
+    if (V->Payload.size() != P.MsgTypes[V->Index].Fields.size())
+      return err("payload arity mismatch for '" + P.MsgTypes[V->Index].Name +
+                 "'");
+    for (const PExpr *E : V->Payload)
+      if (std::string R = checkExpr(E, true, MsgType, OutPayload); !R.empty())
+        return R;
+    return "";
+  }
+
+  std::string checkVStmt(const VStmt *V, int InOnMessage) {
+    if (!V)
+      return err("null vertex statement");
+    switch (V->K) {
+    case VStmtKind::Assign:
+      if (V->Index < 0 || V->Index >= static_cast<int>(P.NodeProps.size()))
+        return err("assign property index out of range");
+      return checkExpr(V->Value, true, InOnMessage, false);
+    case VStmtKind::GlobalPut:
+      if (V->Index < 0 || V->Index >= static_cast<int>(P.Globals.size()))
+        return err("global index out of range");
+      if (P.Globals[V->Index].VertexReduce == ReduceKind::None)
+        return err("vertex put to non-reduced global '" +
+                   P.Globals[V->Index].Name + "'");
+      return checkExpr(V->Value, true, InOnMessage, false);
+    case VStmtKind::If: {
+      if (std::string R = checkExpr(V->Cond, true, InOnMessage, false);
+          !R.empty())
+        return R;
+      for (const VStmt *S : V->Then)
+        if (std::string R = checkVStmt(S, InOnMessage); !R.empty())
+          return R;
+      for (const VStmt *S : V->Else)
+        if (std::string R = checkVStmt(S, InOnMessage); !R.empty())
+          return R;
+      return "";
+    }
+    case VStmtKind::SendToOutNbrs:
+      return checkSend(V, InOnMessage, /*OutPayload=*/true);
+    case VStmtKind::SendToInNbrs:
+      if (!P.UsesInNbrs)
+        return err("send_in without uses_in_nbrs");
+      return checkSend(V, InOnMessage, /*OutPayload=*/false);
+    case VStmtKind::SendToNode: {
+      if (std::string R = checkExpr(V->Value, true, InOnMessage, false);
+          !R.empty())
+        return R;
+      return checkSend(V, InOnMessage, /*OutPayload=*/false);
+    }
+    case VStmtKind::OnMessage: {
+      if (InOnMessage >= 0)
+        return err("nested on_message");
+      if (V->Index < 0 || V->Index >= static_cast<int>(P.MsgTypes.size()))
+        return err("on_message type out of range");
+      for (const VStmt *S : V->Then)
+        if (std::string R = checkVStmt(S, V->Index); !R.empty())
+          return R;
+      return "";
+    }
+    case VStmtKind::ForEachOutEdge: {
+      // Edge-property reads are in scope for the body; reuse the payload
+      // flag to permit them.
+      for (const VStmt *S : V->Then) {
+        if (S->K == VStmtKind::ForEachOutEdge)
+          return err("nested for_each_out_edge");
+        if (S->K == VStmtKind::Assign) {
+          if (S->Index < 0 ||
+              S->Index >= static_cast<int>(P.NodeProps.size()))
+            return err("assign property index out of range");
+          if (std::string R = checkExpr(S->Value, true, InOnMessage, true);
+              !R.empty())
+            return R;
+          continue;
+        }
+        if (S->K == VStmtKind::If) {
+          if (std::string R = checkExpr(S->Cond, true, InOnMessage, true);
+              !R.empty())
+            return R;
+          // Conservatively require flat bodies inside the edge loop.
+          for (const VStmt *C : S->Then)
+            if (C->K != VStmtKind::Assign && C->K != VStmtKind::GlobalPut)
+              return err("unsupported statement inside for_each_out_edge");
+          continue;
+        }
+        if (S->K == VStmtKind::GlobalPut)
+          continue;
+        return err("unsupported statement inside for_each_out_edge");
+      }
+      return "";
+    }
+    }
+    gm_unreachable("invalid vstmt kind");
+  }
+
+  std::string checkMStmt(const MStmt *M) {
+    if (!M)
+      return err("null master statement");
+    switch (M->K) {
+    case MStmtKind::Set:
+      if (M->Index < 0 || M->Index >= static_cast<int>(P.Globals.size()))
+        return err("master set index out of range");
+      return checkExpr(M->Value, false, -1, false);
+    case MStmtKind::If: {
+      if (std::string R = checkExpr(M->Cond, false, -1, false); !R.empty())
+        return R;
+      for (const MStmt *S : M->Then)
+        if (std::string R = checkMStmt(S); !R.empty())
+          return R;
+      for (const MStmt *S : M->Else)
+        if (std::string R = checkMStmt(S); !R.empty())
+          return R;
+      return "";
+    }
+    case MStmtKind::Goto:
+      if (M->Index != EndState &&
+          (M->Index < 0 || M->Index >= static_cast<int>(P.States.size())))
+        return err("goto target out of range");
+      return "";
+    }
+    gm_unreachable("invalid mstmt kind");
+  }
+
+  const PregelProgram &P;
+  std::string StateName;
+};
+
+} // namespace
+
+std::string pir::verifyProgram(const PregelProgram &P) {
+  return Verifier(P).run();
+}

@@ -1,0 +1,59 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ------------------===//
+///
+/// \file
+/// A minimal reimplementation of LLVM's hand-rolled RTTI helpers. A class
+/// hierarchy opts in by exposing a `Kind` discriminator and a static
+/// `classof(const Base *)` predicate on each subclass; `isa<>`, `cast<>` and
+/// `dyn_cast<>` then work exactly like their LLVM counterparts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SUPPORT_CASTING_H
+#define GM_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace gm {
+
+/// Returns true if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Variadic form: true if \p Val is an instance of any of the listed types.
+template <typename To, typename To2, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<To2, Rest...>(Val);
+}
+
+/// Checked downcast: asserts that the cast is valid.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Marks an unreachable code path; aborts with \p Msg in all builds.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      int Line);
+
+} // namespace gm
+
+#define gm_unreachable(MSG) ::gm::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // GM_SUPPORT_CASTING_H

@@ -1,0 +1,64 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/Casting.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gm;
+
+void gm::unreachableInternal(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  gm_unreachable("invalid severity");
+}
+
+std::string Diagnostic::toString() const {
+  std::string Result = Loc.isValid() ? Loc.toString() + ": " : std::string();
+  Result += severityName(Severity);
+  Result += ": ";
+  Result += Message;
+  return Result;
+}
+
+void DiagnosticEngine::error(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+bool DiagnosticEngine::containsMessage(const std::string &Substring) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Substring) != std::string::npos)
+      return true;
+  return false;
+}
+
+std::string DiagnosticEngine::dump() const {
+  std::string Result;
+  for (const Diagnostic &D : Diags) {
+    Result += D.toString();
+    Result += '\n';
+  }
+  return Result;
+}

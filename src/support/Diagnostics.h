@@ -1,0 +1,63 @@
+//===- support/Diagnostics.h - Compiler diagnostics engine ---------------===//
+///
+/// \file
+/// Collects errors, warnings and notes produced by the frontend, the
+/// canonical-form checker and the transformation passes. The engine stores
+/// diagnostics rather than printing eagerly so that tests can assert on them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SUPPORT_DIAGNOSTICS_H
+#define GM_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace gm {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// A single reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  std::string toString() const;
+};
+
+/// Accumulates diagnostics for one compilation.
+///
+/// Errors are sticky: once any error is reported, hasErrors() stays true for
+/// the rest of the compilation, and downstream phases are expected to bail.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message);
+  void warning(SourceLocation Loc, std::string Message);
+  void note(SourceLocation Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// True if any diagnostic message contains \p Substring (test helper).
+  bool containsMessage(const std::string &Substring) const;
+
+  /// Renders every diagnostic, one per line.
+  std::string dump() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace gm
+
+#endif // GM_SUPPORT_DIAGNOSTICS_H

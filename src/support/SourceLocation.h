@@ -1,0 +1,41 @@
+//===- support/SourceLocation.h - Source positions for diagnostics -------===//
+///
+/// \file
+/// Line/column positions attached to tokens and AST nodes so that the
+/// compiler can point at the offending Green-Marl source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SUPPORT_SOURCELOCATION_H
+#define GM_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace gm {
+
+/// A 1-based (line, column) position in the input program. Line 0 denotes an
+/// invalid/unknown location (e.g. compiler-synthesized nodes).
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLocation() = default;
+  SourceLocation(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  std::string toString() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+
+  friend bool operator==(SourceLocation A, SourceLocation B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+} // namespace gm
+
+#endif // GM_SUPPORT_SOURCELOCATION_H

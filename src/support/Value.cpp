@@ -1,0 +1,88 @@
+//===- support/Value.cpp --------------------------------------------------===//
+
+#include "support/Value.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace gm;
+
+std::string Value::toString() const {
+  switch (Kind) {
+  case ValueKind::Undef:
+    return "<undef>";
+  case ValueKind::Bool:
+    return BoolVal ? "true" : "false";
+  case ValueKind::Int:
+    return std::to_string(IntVal);
+  case ValueKind::Double: {
+    std::ostringstream OS;
+    OS << DoubleVal;
+    return OS.str();
+  }
+  }
+  gm_unreachable("invalid value kind");
+}
+
+const char *gm::reduceKindName(ReduceKind K) {
+  switch (K) {
+  case ReduceKind::None:
+    return "none";
+  case ReduceKind::Sum:
+    return "sum";
+  case ReduceKind::Prod:
+    return "prod";
+  case ReduceKind::Min:
+    return "min";
+  case ReduceKind::Max:
+    return "max";
+  case ReduceKind::And:
+    return "and";
+  case ReduceKind::Or:
+    return "or";
+  case ReduceKind::Count:
+    return "count";
+  }
+  gm_unreachable("invalid reduce kind");
+}
+
+void gm::applyReduce(ReduceKind K, Value &Target, const Value &Operand) {
+  if (Target.isUndef() || K == ReduceKind::None) {
+    Target = Operand;
+    return;
+  }
+  // Preserve the target's representation: a Double target absorbs Int
+  // operands and vice versa (Green-Marl permits Int-to-Double widening).
+  bool AsDouble = Target.kind() == ValueKind::Double ||
+                  Operand.kind() == ValueKind::Double;
+  switch (K) {
+  case ReduceKind::None:
+    gm_unreachable("handled above");
+  case ReduceKind::Sum:
+  case ReduceKind::Count:
+    Target = AsDouble ? Value::makeDouble(Target.asDouble() + Operand.asDouble())
+                      : Value::makeInt(Target.asInt() + Operand.asInt());
+    return;
+  case ReduceKind::Prod:
+    Target = AsDouble ? Value::makeDouble(Target.asDouble() * Operand.asDouble())
+                      : Value::makeInt(Target.asInt() * Operand.asInt());
+    return;
+  case ReduceKind::Min:
+    Target = AsDouble ? Value::makeDouble(
+                            std::min(Target.asDouble(), Operand.asDouble()))
+                      : Value::makeInt(std::min(Target.asInt(), Operand.asInt()));
+    return;
+  case ReduceKind::Max:
+    Target = AsDouble ? Value::makeDouble(
+                            std::max(Target.asDouble(), Operand.asDouble()))
+                      : Value::makeInt(std::max(Target.asInt(), Operand.asInt()));
+    return;
+  case ReduceKind::And:
+    Target = Value::makeBool(Target.asBool() && Operand.asBool());
+    return;
+  case ReduceKind::Or:
+    Target = Value::makeBool(Target.asBool() || Operand.asBool());
+    return;
+  }
+  gm_unreachable("invalid reduce kind");
+}

@@ -1,0 +1,154 @@
+//===- support/Value.h - Runtime value variant ----------------------------===//
+///
+/// \file
+/// The dynamically-typed scalar value used throughout the Pregel IR
+/// interpreter, the global-objects map and message payloads. Green-Marl's
+/// scalar types (Bool, Int, Long, Float, Double, Node) all map onto three
+/// machine representations: Bool, Int (64-bit, also used for node ids) and
+/// Double.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SUPPORT_VALUE_H
+#define GM_SUPPORT_VALUE_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace gm {
+
+enum class ValueKind : uint8_t { Undef, Bool, Int, Double };
+
+/// A small tagged-union scalar.
+class Value {
+public:
+  Value() : Kind(ValueKind::Undef), IntVal(0) {}
+
+  static Value makeBool(bool B) {
+    Value V;
+    V.Kind = ValueKind::Bool;
+    V.BoolVal = B;
+    return V;
+  }
+  static Value makeInt(int64_t I) {
+    Value V;
+    V.Kind = ValueKind::Int;
+    V.IntVal = I;
+    return V;
+  }
+  static Value makeDouble(double D) {
+    Value V;
+    V.Kind = ValueKind::Double;
+    V.DoubleVal = D;
+    return V;
+  }
+  /// +infinity of the given kind (Green-Marl's INF literal).
+  static Value makeInf(ValueKind K) {
+    if (K == ValueKind::Double)
+      return makeDouble(std::numeric_limits<double>::infinity());
+    return makeInt(std::numeric_limits<int64_t>::max());
+  }
+
+  ValueKind kind() const { return Kind; }
+  bool isUndef() const { return Kind == ValueKind::Undef; }
+
+  bool getBool() const {
+    assert(Kind == ValueKind::Bool && "not a bool");
+    return BoolVal;
+  }
+  int64_t getInt() const {
+    assert(Kind == ValueKind::Int && "not an int");
+    return IntVal;
+  }
+  double getDouble() const {
+    assert(Kind == ValueKind::Double && "not a double");
+    return DoubleVal;
+  }
+
+  /// Numeric read with implicit widening (Int -> Double).
+  double asDouble() const {
+    if (Kind == ValueKind::Double)
+      return DoubleVal;
+    if (Kind == ValueKind::Int)
+      return static_cast<double>(IntVal);
+    assert(Kind == ValueKind::Bool && "undef has no numeric value");
+    return BoolVal ? 1.0 : 0.0;
+  }
+  int64_t asInt() const {
+    if (Kind == ValueKind::Int)
+      return IntVal;
+    if (Kind == ValueKind::Double)
+      return static_cast<int64_t>(DoubleVal);
+    assert(Kind == ValueKind::Bool && "undef has no numeric value");
+    return BoolVal ? 1 : 0;
+  }
+  bool asBool() const {
+    assert(Kind == ValueKind::Bool && "non-bool used as condition");
+    return BoolVal;
+  }
+
+  /// Number of bytes this value occupies on the (simulated) wire.
+  unsigned wireSize() const {
+    switch (Kind) {
+    case ValueKind::Undef:
+      return 0;
+    case ValueKind::Bool:
+      return 1;
+    case ValueKind::Int:
+    case ValueKind::Double:
+      return 8;
+    }
+    gm_unreachable("invalid value kind");
+  }
+
+  std::string toString() const;
+
+  friend bool operator==(const Value &A, const Value &B) {
+    if (A.Kind != B.Kind)
+      return false;
+    switch (A.Kind) {
+    case ValueKind::Undef:
+      return true;
+    case ValueKind::Bool:
+      return A.BoolVal == B.BoolVal;
+    case ValueKind::Int:
+      return A.IntVal == B.IntVal;
+    case ValueKind::Double:
+      return A.DoubleVal == B.DoubleVal;
+    }
+    gm_unreachable("invalid value kind");
+  }
+
+private:
+  ValueKind Kind;
+  union {
+    bool BoolVal;
+    int64_t IntVal;
+    double DoubleVal;
+  };
+};
+
+/// Reduction operators shared by Green-Marl reduce-assignments, Pregel IR
+/// global writes and message combining.
+enum class ReduceKind : uint8_t {
+  None, ///< plain overwrite
+  Sum,
+  Prod,
+  Min,
+  Max,
+  And,
+  Or,
+  Count ///< Sum of 1s; distinguished for codegen readability only
+};
+
+const char *reduceKindName(ReduceKind K);
+
+/// Applies \p K in place: Target = Target (op) Operand.
+void applyReduce(ReduceKind K, Value &Target, const Value &Operand);
+
+} // namespace gm
+
+#endif // GM_SUPPORT_VALUE_H

@@ -1,0 +1,270 @@
+//===- transform/BFSLowering.cpp - InBFS to frontier expansion ----------------===//
+///
+/// Lowers InBFS / InReverse statements into Pregel-canonical form (§4.1,
+/// "BFS-order Graph Traversal"): a compiler-inserted _lev property is
+/// initialized to INF, the root to 0, and a while-loop expands the frontier
+/// level by level, running the user body fused at each level. A reverse
+/// traversal becomes a second while-loop walking _lev back down. User
+/// iterations over UpNbrs/DownNbrs become In/OutNbrs iterations filtered by
+/// the neighbor's _lev.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ASTVisitor.h"
+#include "transform/Transforms.h"
+
+using namespace gm;
+
+namespace {
+
+class BFSLowerer {
+public:
+  BFSLowerer(ASTContext &Ctx, DiagnosticEngine &Diags)
+      : Ctx(Ctx), Diags(Diags) {}
+
+  bool run(ProcedureDecl *Proc) {
+    Graph = Proc->graphParam();
+    processBlock(Proc->body());
+    return Changed && !Failed;
+  }
+
+private:
+  Expr *typedInt(int64_t V) {
+    Expr *E = Ctx.create<IntLiteralExpr>(V, SourceLocation());
+    E->setType(Type::getInt());
+    return E;
+  }
+
+  Expr *binary(BinaryOpKind Op, Expr *L, Expr *R, const Type *Ty) {
+    Expr *E = Ctx.create<BinaryExpr>(Op, L, R, SourceLocation());
+    E->setType(Ty);
+    return E;
+  }
+
+  ForeachStmt *makeNodesLoop(VarDecl *Iter, Expr *Filter,
+                             std::vector<Stmt *> Body) {
+    IterSource Src;
+    Src.K = IterSource::Kind::GraphNodes;
+    Src.Base = Graph;
+    auto *Block = Ctx.create<BlockStmt>(SourceLocation());
+    Block->statements() = std::move(Body);
+    return Ctx.create<ForeachStmt>(Iter, Src, Filter, Block,
+                                   /*Parallel=*/true, SourceLocation());
+  }
+
+  void processBlock(BlockStmt *B) {
+    auto &Stmts = B->statements();
+    for (size_t I = 0; I < Stmts.size(); ++I) {
+      if (Failed)
+        return;
+      if (auto *BFS = dyn_cast<BFSStmt>(Stmts[I])) {
+        std::vector<Stmt *> Lowered = lower(BFS);
+        Stmts.erase(Stmts.begin() + I);
+        Stmts.insert(Stmts.begin() + I, Lowered.begin(), Lowered.end());
+        I += Lowered.size() - 1;
+        Changed = true;
+        continue;
+      }
+      // Recurse into sequential control flow.
+      if (auto *W = dyn_cast<WhileStmt>(Stmts[I])) {
+        if (auto *Body = dyn_cast<BlockStmt>(W->body()))
+          processBlock(Body);
+      } else if (auto *If = dyn_cast<IfStmt>(Stmts[I])) {
+        if (auto *T = dyn_cast<BlockStmt>(If->thenStmt()))
+          processBlock(T);
+        if (If->elseStmt())
+          if (auto *E = dyn_cast<BlockStmt>(If->elseStmt()))
+            processBlock(E);
+      }
+    }
+  }
+
+  /// Rewrites UpNbrs/DownNbrs loops in \p S: UpNbrs(v) -> InNbrs(v) with
+  /// filter (w._lev == Curr - 1); DownNbrs -> OutNbrs with (w._lev ==
+  /// Curr + 1). \p Iter is the BFS iterator, \p Curr the level variable.
+  void rewriteBFSNeighborhoods(Stmt *S, VarDecl *Iter, VarDecl *Lev,
+                               VarDecl *Curr) {
+    struct Rewriter : ASTWalker {
+      BFSLowerer &L;
+      VarDecl *Iter, *Lev, *Curr;
+      Rewriter(BFSLowerer &L, VarDecl *Iter, VarDecl *Lev, VarDecl *Curr)
+          : L(L), Iter(Iter), Lev(Lev), Curr(Curr) {}
+
+      bool visitStmtPre(Stmt *S) override {
+        auto *F = dyn_cast<ForeachStmt>(S);
+        if (!F)
+          return true;
+        IterSource &Src = F->source();
+        if (Src.K != IterSource::Kind::UpNbrs &&
+            Src.K != IterSource::Kind::DownNbrs)
+          return true;
+        assert(Src.Base == Iter && "sema checked UpNbrs base");
+        bool Up = Src.K == IterSource::Kind::UpNbrs;
+        Src.K = Up ? IterSource::Kind::InNbrs : IterSource::Kind::OutNbrs;
+
+        // w._lev == _curr -/+ 1
+        Expr *WLev = L.Ctx.makeAccess(F->iterator(), Lev);
+        Expr *Neighbor =
+            L.binary(Up ? BinaryOpKind::Sub : BinaryOpKind::Add,
+                     L.Ctx.makeRef(Curr), L.typedInt(1), Type::getInt());
+        Expr *LevCheck =
+            L.binary(BinaryOpKind::Eq, WLev, Neighbor, Type::getBool());
+        if (F->filter())
+          F->setFilter(L.binary(BinaryOpKind::And, LevCheck, F->filter(),
+                                Type::getBool()));
+        else
+          F->setFilter(LevCheck);
+        return true;
+      }
+    };
+    Rewriter R(*this, Iter, Lev, Curr);
+    R.walk(S);
+  }
+
+  std::vector<Stmt *> lower(BFSStmt *BFS) {
+    SourceLocation Loc = BFS->location();
+    std::vector<Stmt *> Out;
+
+    // N_P<Int> _lev;  Node _root = <root>;  Bool _fin;  Int _curr;
+    VarDecl *Lev =
+        Ctx.createTemp("lev", Type::getNodeProp(Type::getInt()));
+    VarDecl *Root = Ctx.createTemp("root", Type::getNode());
+    VarDecl *Fin = Ctx.createTemp("fin", Type::getBool());
+    VarDecl *Curr = Ctx.createTemp("curr", Type::getInt());
+    Out.push_back(Ctx.create<DeclStmt>(Lev, nullptr, Loc));
+    Out.push_back(Ctx.create<DeclStmt>(Root, BFS->root(), Loc));
+
+    // Foreach(i: G.Nodes) { i._lev = INF; }
+    {
+      VarDecl *It = Ctx.create<VarDecl>("_bi" + Lev->name(), Type::getNode(),
+                                        VarDecl::StorageKind::Iterator, Loc);
+      Expr *Inf = Ctx.create<InfLiteralExpr>(Loc);
+      Inf->setType(Type::getInt());
+      auto *Init = Ctx.create<AssignStmt>(Ctx.makeAccess(It, Lev),
+                                          ReduceKind::None, Inf, Loc);
+      Out.push_back(makeNodesLoop(It, nullptr, {Init}));
+    }
+
+    // _root._lev = 0;  (random write; lowered by the next pass)
+    {
+      auto *Access = Ctx.create<PropAccessExpr>(Ctx.makeRef(Root), Lev, Loc);
+      Access->setType(Type::getInt());
+      Out.push_back(
+          Ctx.create<AssignStmt>(Access, ReduceKind::None, typedInt(0), Loc));
+    }
+
+    Out.push_back(Ctx.create<DeclStmt>(Fin, Ctx.makeBoolLit(false), Loc));
+    Out.push_back(Ctx.create<DeclStmt>(Curr, typedInt(0), Loc));
+
+    // Forward while-loop.
+    {
+      auto *LoopBody = Ctx.create<BlockStmt>(Loc);
+      // _fin = True;
+      LoopBody->statements().push_back(Ctx.create<AssignStmt>(
+          Ctx.makeRef(Fin), ReduceKind::None, Ctx.makeBoolLit(true), Loc));
+
+      // User body at the current level.
+      rewriteBFSNeighborhoods(BFS->forwardBody(), BFS->iterator(), Lev, Curr);
+      Expr *AtLevel =
+          binary(BinaryOpKind::Eq, Ctx.makeAccess(BFS->iterator(), Lev),
+                 Ctx.makeRef(Curr), Type::getBool());
+      Expr *Filter = BFS->filter()
+                         ? binary(BinaryOpKind::And, AtLevel, BFS->filter(),
+                                  Type::getBool())
+                         : AtLevel;
+      LoopBody->statements().push_back(makeNodesLoop(
+          BFS->iterator(), Filter, {BFS->forwardBody()}));
+
+      // Frontier expansion.
+      {
+        VarDecl *V = Ctx.create<VarDecl>("_ev" + Lev->name(), Type::getNode(),
+                                         VarDecl::StorageKind::Iterator, Loc);
+        VarDecl *T = Ctx.create<VarDecl>("_et" + Lev->name(), Type::getNode(),
+                                         VarDecl::StorageKind::Iterator, Loc);
+        // Foreach(t: v.Nbrs)(t._lev == INF) { t._lev min= _curr+1; _fin &= False; }
+        Expr *Inf = Ctx.create<InfLiteralExpr>(Loc);
+        Inf->setType(Type::getInt());
+        Expr *Unvisited = binary(BinaryOpKind::Eq, Ctx.makeAccess(T, Lev), Inf,
+                                 Type::getBool());
+        Expr *NextLev = binary(BinaryOpKind::Add, Ctx.makeRef(Curr),
+                               typedInt(1), Type::getInt());
+        auto *SetLev = Ctx.create<AssignStmt>(Ctx.makeAccess(T, Lev),
+                                              ReduceKind::Min, NextLev, Loc);
+        auto *MarkMore = Ctx.create<AssignStmt>(
+            Ctx.makeRef(Fin), ReduceKind::And, Ctx.makeBoolLit(false), Loc);
+        auto *InnerBody = Ctx.create<BlockStmt>(Loc);
+        InnerBody->statements() = {SetLev, MarkMore};
+        IterSource InnerSrc;
+        InnerSrc.K = IterSource::Kind::OutNbrs;
+        InnerSrc.Base = V;
+        auto *Inner = Ctx.create<ForeachStmt>(T, InnerSrc, Unvisited,
+                                              InnerBody, true, Loc);
+
+        Expr *AtLevel2 = binary(BinaryOpKind::Eq, Ctx.makeAccess(V, Lev),
+                                Ctx.makeRef(Curr), Type::getBool());
+        LoopBody->statements().push_back(
+            makeNodesLoop(V, AtLevel2, {Inner}));
+      }
+
+      // _curr += 1;
+      LoopBody->statements().push_back(Ctx.create<AssignStmt>(
+          Ctx.makeRef(Curr), ReduceKind::Sum, typedInt(1), Loc));
+
+      Expr *NotFin = Ctx.create<UnaryExpr>(UnaryOpKind::Not, Ctx.makeRef(Fin),
+                                           Loc);
+      NotFin->setType(Type::getBool());
+      Out.push_back(
+          Ctx.create<WhileStmt>(NotFin, LoopBody, /*IsDoWhile=*/false, Loc));
+    }
+
+    // Reverse while-loop: walk levels back down.
+    if (BFS->reverseBody()) {
+      // _curr -= 1;  (from maxLevel+1 down to the last populated level)
+      Expr *MinusOne = Ctx.create<UnaryExpr>(UnaryOpKind::Neg, typedInt(1),
+                                             Loc);
+      MinusOne->setType(Type::getInt());
+      Out.push_back(Ctx.create<AssignStmt>(Ctx.makeRef(Curr), ReduceKind::Sum,
+                                           MinusOne, Loc));
+
+      rewriteBFSNeighborhoods(BFS->reverseBody(), BFS->iterator(), Lev, Curr);
+      Expr *AtLevel =
+          binary(BinaryOpKind::Eq, Ctx.makeAccess(BFS->iterator(), Lev),
+                 Ctx.makeRef(Curr), Type::getBool());
+      Expr *Filter =
+          BFS->reverseFilter()
+              ? binary(BinaryOpKind::And, AtLevel, BFS->reverseFilter(),
+                       Type::getBool())
+              : AtLevel;
+
+      auto *LoopBody = Ctx.create<BlockStmt>(Loc);
+      LoopBody->statements().push_back(makeNodesLoop(
+          BFS->iterator(), Filter, {BFS->reverseBody()}));
+      Expr *MinusOne2 = Ctx.create<UnaryExpr>(UnaryOpKind::Neg, typedInt(1),
+                                              Loc);
+      MinusOne2->setType(Type::getInt());
+      LoopBody->statements().push_back(Ctx.create<AssignStmt>(
+          Ctx.makeRef(Curr), ReduceKind::Sum, MinusOne2, Loc));
+
+      Expr *NonNeg = binary(BinaryOpKind::Ge, Ctx.makeRef(Curr), typedInt(0),
+                            Type::getBool());
+      Out.push_back(
+          Ctx.create<WhileStmt>(NonNeg, LoopBody, /*IsDoWhile=*/false, Loc));
+    }
+
+    return Out;
+  }
+
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  VarDecl *Graph = nullptr;
+  bool Changed = false;
+  bool Failed = false;
+};
+
+} // namespace
+
+bool gm::lowerBFS(ProcedureDecl *Proc, ASTContext &Context,
+                  DiagnosticEngine &Diags) {
+  BFSLowerer L(Context, Diags);
+  return L.run(Proc);
+}

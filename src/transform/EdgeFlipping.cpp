@@ -1,0 +1,141 @@
+//===- transform/EdgeFlipping.cpp - Message pulling to pushing ----------------===//
+///
+/// §4.1 "Flipping Edges": a doubly nested loop whose inner loop only
+/// updates outer-scoped data is a *pull* (illegal in Pregel). The compiler
+/// swaps the two iterators and reverses the direction of the inner
+/// iteration, turning
+///
+///   Foreach (n: G.Nodes)        Foreach (t: G.Nodes)(teen(t))
+///     Foreach (t: n.InNbrs)(teen(t))      ==>    Foreach (n: t.Nbrs)
+///       n.cnt += 1;                                n.cnt += 1;
+///
+/// The filters swap along with the iterators: the old inner filter becomes
+/// the (sender-side) outer filter and vice versa.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReadWriteSets.h"
+#include "transform/Transforms.h"
+
+using namespace gm;
+
+namespace {
+
+class Flipper {
+public:
+  Flipper(ASTContext &Ctx, DiagnosticEngine &Diags,
+          const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings)
+      : Ctx(Ctx), Diags(Diags), EdgeBindings(EdgeBindings) {}
+
+  bool run(ProcedureDecl *Proc) {
+    processBlock(Proc->body());
+    return Changed && !Failed;
+  }
+
+private:
+  void processBlock(BlockStmt *B) {
+    for (Stmt *S : B->statements()) {
+      if (Failed)
+        return;
+      if (auto *W = dyn_cast<WhileStmt>(S)) {
+        if (auto *Body = dyn_cast<BlockStmt>(W->body()))
+          processBlock(Body);
+        continue;
+      }
+      if (auto *If = dyn_cast<IfStmt>(S)) {
+        if (auto *T = dyn_cast<BlockStmt>(If->thenStmt()))
+          processBlock(T);
+        if (If->elseStmt())
+          if (auto *E = dyn_cast<BlockStmt>(If->elseStmt()))
+            processBlock(E);
+        continue;
+      }
+      if (auto *F = dyn_cast<ForeachStmt>(S))
+        if (F->source().K == IterSource::Kind::GraphNodes)
+          maybeFlip(F);
+    }
+  }
+
+  void maybeFlip(ForeachStmt *Outer) {
+    // Condition (1): the outer loop's only statement is the inner loop.
+    auto *Body = dyn_cast<BlockStmt>(Outer->body());
+    ForeachStmt *Inner = nullptr;
+    if (Body && Body->statements().size() == 1)
+      Inner = dyn_cast<ForeachStmt>(Body->statements()[0]);
+    else
+      Inner = dyn_cast<ForeachStmt>(Outer->body());
+    if (!Inner || !Inner->source().isNeighborIteration())
+      return;
+
+    // Condition (2): the inner loop only updates outer-scoped variables
+    // (properties of the outer iterator; shared-scalar reductions are
+    // direction-agnostic and allowed to ride along).
+    AccessSummary Writes = collectAccesses(Inner->body());
+    bool WritesOuter = Writes.writesPropOf(Outer->iterator());
+    bool WritesInner = Writes.writesPropOf(Inner->iterator());
+    if (!WritesOuter)
+      return; // already pushing
+    if (isLocalEdgeLoop(Inner, Outer->iterator(), EdgeBindings))
+      return; // no communication involved: nothing to flip
+    if (WritesInner) {
+      Diags.error(Inner->location(),
+                  "cannot flip edges: the inner loop writes both the outer "
+                  "and the inner iterator's properties");
+      Failed = true;
+      return;
+    }
+
+    // Edge properties are bound to the iteration direction and cannot be
+    // carried across a flip.
+    for (const auto &[EdgeVar, BoundIter] : EdgeBindings) {
+      (void)EdgeVar;
+      if (BoundIter == Inner->iterator()) {
+        Diags.error(Inner->location(),
+                    "cannot flip edges: the inner loop accesses edge "
+                    "properties");
+        Failed = true;
+        return;
+      }
+    }
+
+    // Swap iterators, filters, and reverse the edge direction.
+    VarDecl *OldOuter = Outer->iterator();
+    VarDecl *OldInner = Inner->iterator();
+    Expr *OldOuterFilter = Outer->filter();
+    Expr *OldInnerFilter = Inner->filter();
+
+    Outer->setIterator(OldInner);
+    Outer->setFilter(OldInnerFilter);
+
+    Inner->setIterator(OldOuter);
+    Inner->setFilter(OldOuterFilter);
+    IterSource &Src = Inner->source();
+    Src.Base = OldInner;
+    switch (Src.K) {
+    case IterSource::Kind::OutNbrs:
+      Src.K = IterSource::Kind::InNbrs;
+      break;
+    case IterSource::Kind::InNbrs:
+      Src.K = IterSource::Kind::OutNbrs;
+      break;
+    default:
+      gm_unreachable("BFS sources are rewritten before flipping");
+    }
+    Changed = true;
+  }
+
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings;
+  bool Changed = false;
+  bool Failed = false;
+};
+
+} // namespace
+
+bool gm::flipEdges(ProcedureDecl *Proc, ASTContext &Context,
+                   DiagnosticEngine &Diags,
+                   const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings) {
+  Flipper F(Context, Diags, EdgeBindings);
+  return F.run(Proc);
+}

@@ -1,0 +1,326 @@
+//===- transform/LoopDissection.cpp - Nested-loop preprocessing ---------------===//
+///
+/// §4.1 "Dissecting Nested Loops": prepares nested loops for edge flipping.
+/// (1) A loop-scoped scalar that an inner loop modifies becomes a node
+/// property of the outer iterator; (2) an outer loop containing a pulling
+/// inner loop plus other statements is split so the inner loop becomes the
+/// sole member of its own loop.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReadWriteSets.h"
+#include "frontend/ASTClone.h"
+#include "transform/Transforms.h"
+
+using namespace gm;
+
+namespace {
+
+/// Rewrites every reference to scalar \p X inside \p S into Iter.Prop.
+class VarToPropRewriter {
+public:
+  VarToPropRewriter(ASTContext &Ctx, VarDecl *X, VarDecl *Iter, VarDecl *Prop)
+      : Ctx(Ctx), X(X), Iter(Iter), Prop(Prop) {}
+
+  Expr *rewrite(Expr *E) {
+    if (!E)
+      return nullptr;
+    if (auto *Ref = dyn_cast<VarRefExpr>(E)) {
+      if (Ref->decl() != X)
+        return E;
+      auto *Access = Ctx.makeAccess(Iter, Prop);
+      return Access;
+    }
+    switch (E->kind()) {
+    case Expr::Kind::PropAccess: {
+      auto *P = cast<PropAccessExpr>(E);
+      P->setBase(rewrite(P->base()));
+      return E;
+    }
+    case Expr::Kind::Binary: {
+      auto *B = cast<BinaryExpr>(E);
+      B->setLHS(rewrite(B->lhs()));
+      B->setRHS(rewrite(B->rhs()));
+      return E;
+    }
+    case Expr::Kind::Unary: {
+      auto *U = cast<UnaryExpr>(E);
+      U->setOperand(rewrite(U->operand()));
+      return E;
+    }
+    case Expr::Kind::Ternary: {
+      auto *T = cast<TernaryExpr>(E);
+      T->setCond(rewrite(T->cond()));
+      T->setThen(rewrite(T->thenExpr()));
+      T->setElse(rewrite(T->elseExpr()));
+      return E;
+    }
+    case Expr::Kind::Cast: {
+      auto *C = cast<CastExpr>(E);
+      C->setOperand(rewrite(C->operand()));
+      return E;
+    }
+    case Expr::Kind::BuiltinCall: {
+      auto *C = cast<BuiltinCallExpr>(E);
+      C->setBase(rewrite(C->base()));
+      return E;
+    }
+    default:
+      return E;
+    }
+  }
+
+  void rewrite(Stmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case Stmt::Kind::Block:
+      for (Stmt *Child : cast<BlockStmt>(S)->statements())
+        rewrite(Child);
+      return;
+    case Stmt::Kind::Decl: {
+      auto *D = cast<DeclStmt>(S);
+      D->setInit(rewrite(D->init()));
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      auto *A = cast<AssignStmt>(S);
+      A->setTarget(rewrite(A->target()));
+      A->setValue(rewrite(A->value()));
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      I->setCond(rewrite(I->cond()));
+      rewrite(I->thenStmt());
+      rewrite(I->elseStmt());
+      return;
+    }
+    case Stmt::Kind::Foreach: {
+      auto *F = cast<ForeachStmt>(S);
+      F->setFilter(rewrite(F->filter()));
+      rewrite(F->body());
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+private:
+  ASTContext &Ctx;
+  VarDecl *X;
+  VarDecl *Iter;
+  VarDecl *Prop;
+};
+
+class Dissector {
+public:
+  Dissector(ASTContext &Ctx, DiagnosticEngine &Diags,
+            const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings)
+      : Ctx(Ctx), Diags(Diags), EdgeBindings(EdgeBindings) {}
+
+  bool run(ProcedureDecl *Proc) {
+    processBlock(Proc->body());
+    return Changed && !Failed;
+  }
+
+private:
+  void processBlock(BlockStmt *B) {
+    auto &Stmts = B->statements();
+    for (size_t I = 0; I < Stmts.size(); ++I) {
+      if (Failed)
+        return;
+      Stmt *S = Stmts[I];
+      if (auto *W = dyn_cast<WhileStmt>(S)) {
+        if (auto *Body = dyn_cast<BlockStmt>(W->body()))
+          processBlock(Body);
+        continue;
+      }
+      if (auto *If = dyn_cast<IfStmt>(S)) {
+        if (auto *T = dyn_cast<BlockStmt>(If->thenStmt()))
+          processBlock(T);
+        if (If->elseStmt())
+          if (auto *E = dyn_cast<BlockStmt>(If->elseStmt()))
+            processBlock(E);
+        continue;
+      }
+      auto *F = dyn_cast<ForeachStmt>(S);
+      if (!F || F->source().K != IterSource::Kind::GraphNodes)
+        continue;
+
+      scalarsToProperties(F);
+      std::vector<Stmt *> Split = splitLoop(F);
+      if (!Split.empty()) {
+        Stmts.erase(Stmts.begin() + I);
+        Stmts.insert(Stmts.begin() + I, Split.begin(), Split.end());
+        I += Split.size() - 1;
+      }
+    }
+  }
+
+  /// Collects the nested neighborhood loops anywhere below \p S.
+  static void collectInnerLoops(Stmt *S, std::vector<ForeachStmt *> &Out) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case Stmt::Kind::Block:
+      for (Stmt *Child : cast<BlockStmt>(S)->statements())
+        collectInnerLoops(Child, Out);
+      return;
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      collectInnerLoops(I->thenStmt(), Out);
+      collectInnerLoops(I->elseStmt(), Out);
+      return;
+    }
+    case Stmt::Kind::Foreach:
+      Out.push_back(cast<ForeachStmt>(S));
+      return;
+    default:
+      return;
+    }
+  }
+
+  /// Step 1: loop-scoped scalars modified inside inner loops become node
+  /// properties of the outer iterator (paper's `_C` -> `n._tmp` example).
+  void scalarsToProperties(ForeachStmt *F) {
+    auto *Body = dyn_cast<BlockStmt>(F->body());
+    if (!Body)
+      return;
+
+    std::vector<ForeachStmt *> InnerLoops;
+    for (Stmt *S : Body->statements())
+      collectInnerLoops(S, InnerLoops);
+    if (InnerLoops.empty())
+      return;
+
+    for (size_t I = 0; I < Body->statements().size(); ++I) {
+      auto *D = dyn_cast<DeclStmt>(Body->statements()[I]);
+      if (!D || D->decl()->type()->isEdge() || D->decl()->isProperty())
+        continue;
+      VarDecl *X = D->decl();
+      bool WrittenInInner = false;
+      for (ForeachStmt *Inner : InnerLoops)
+        if (collectAccesses(Inner).writesScalar(X))
+          WrittenInInner = true;
+      if (!WrittenInInner)
+        continue;
+
+      Changed = true;
+      VarDecl *Prop = Ctx.createTemp(
+          "tmp_" + X->name(), Type::getNodeProp(X->type()->isNode()
+                                                    ? Type::getNode()
+                                                    : X->type()));
+      // The declaration becomes an initialization of the property.
+      if (D->init()) {
+        auto *Init = Ctx.create<AssignStmt>(Ctx.makeAccess(F->iterator(), Prop),
+                                            ReduceKind::None, D->init(),
+                                            D->location());
+        Body->statements()[I] = Init;
+      } else {
+        Body->statements().erase(Body->statements().begin() + I);
+        --I;
+      }
+      // Rewrite the remaining references (the init expression itself was
+      // detached before rewriting, so self-references are impossible).
+      VarToPropRewriter RW(Ctx, X, F->iterator(), Prop);
+      for (Stmt *S : Body->statements())
+        RW.rewrite(S);
+    }
+  }
+
+  /// True if \p Inner pulls: it writes properties of \p Outer's iterator
+  /// *and* actually needs communication (a local out-edge iteration reads
+  /// nothing from the neighbor, so there is nothing to flip).
+  bool pullsFromOuter(ForeachStmt *Inner, ForeachStmt *Outer) const {
+    AccessSummary Sum = collectAccesses(Inner->body());
+    if (!Sum.writesPropOf(Outer->iterator()))
+      return false;
+    return !isLocalEdgeLoop(Inner, Outer->iterator(), EdgeBindings);
+  }
+
+  /// Step 2: splits \p F so that each pulling inner loop stands alone.
+  /// Returns the replacement statements ({} = no change).
+  std::vector<Stmt *> splitLoop(ForeachStmt *F) {
+    auto *Body = dyn_cast<BlockStmt>(F->body());
+    if (!Body || Body->statements().size() <= 1)
+      return {};
+
+    // Find pulling inner loops among the direct children.
+    bool AnyPulling = false;
+    for (Stmt *S : Body->statements())
+      if (auto *Inner = dyn_cast<ForeachStmt>(S))
+        if (Inner->source().isNeighborIteration() && pullsFromOuter(Inner, F))
+          AnyPulling = true;
+    if (!AnyPulling)
+      return {};
+
+    // The filter will be duplicated across the split loops; it must not
+    // depend on anything the loop itself writes.
+    if (F->filter()) {
+      AccessSummary FilterReads = collectExprAccesses(F->filter());
+      AccessSummary BodyWrites = collectAccesses(Body);
+      for (const auto &[Prop, Base] : FilterReads.PropReads) {
+        (void)Base;
+        if (BodyWrites.writesProp(Prop)) {
+          Diags.error(F->location(),
+                      "cannot dissect: the loop filter depends on a "
+                      "property the loop modifies");
+          Failed = true;
+          return {};
+        }
+      }
+    }
+
+    Changed = true;
+    std::vector<Stmt *> Result;
+    std::vector<Stmt *> Segment;
+
+    auto FlushSegment = [&] {
+      if (Segment.empty())
+        return;
+      auto *SegBody = Ctx.create<BlockStmt>(F->location());
+      SegBody->statements() = Segment;
+      Result.push_back(Ctx.create<ForeachStmt>(
+          F->iterator(), F->source(),
+          Result.empty() ? F->filter() : cloneExpr(Ctx, F->filter()), SegBody,
+          /*Parallel=*/true, F->location()));
+      Segment.clear();
+    };
+
+    for (Stmt *S : Body->statements()) {
+      auto *Inner = dyn_cast<ForeachStmt>(S);
+      bool Pulling = Inner && Inner->source().isNeighborIteration() &&
+                     pullsFromOuter(Inner, F);
+      if (!Pulling) {
+        Segment.push_back(S);
+        continue;
+      }
+      FlushSegment();
+      auto *LoopBody = Ctx.create<BlockStmt>(F->location());
+      LoopBody->statements().push_back(Inner);
+      Result.push_back(Ctx.create<ForeachStmt>(
+          F->iterator(), F->source(),
+          Result.empty() ? F->filter() : cloneExpr(Ctx, F->filter()), LoopBody,
+          /*Parallel=*/true, F->location()));
+    }
+    FlushSegment();
+    return Result;
+  }
+
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings;
+  bool Changed = false;
+  bool Failed = false;
+};
+
+} // namespace
+
+bool gm::dissectLoops(
+    ProcedureDecl *Proc, ASTContext &Context, DiagnosticEngine &Diags,
+    const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings) {
+  Dissector D(Context, Diags, EdgeBindings);
+  return D.run(Proc);
+}

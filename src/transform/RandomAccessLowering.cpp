@@ -1,0 +1,245 @@
+//===- transform/RandomAccessLowering.cpp - Sequential random access ----------===//
+///
+/// §4.1 "Random Access in Sequential Phase": Pregel has no native way for
+/// the master to read or write a single vertex's property, so
+///
+///   s.dist = 0;            ==>   Foreach (n: G.Nodes)(n == s) { n.dist = 0; }
+///   x = s.prop;            ==>   T _rv = 0; Foreach (n: G.Nodes)(n == s)
+///                                  { _rv += n.prop; }  x = _rv;
+///
+/// (the read variant exploits that exactly one vertex passes the filter, so
+/// a Sum/Or reduction recovers the value exactly).
+///
+//===----------------------------------------------------------------------===//
+
+#include "transform/Transforms.h"
+
+using namespace gm;
+
+namespace {
+
+class RandomAccessLowerer {
+public:
+  RandomAccessLowerer(ASTContext &Ctx, DiagnosticEngine &Diags)
+      : Ctx(Ctx), Diags(Diags) {}
+
+  bool run(ProcedureDecl *Proc) {
+    Graph = Proc->graphParam();
+    processBlock(Proc->body());
+    return Changed && !Failed;
+  }
+
+private:
+  ForeachStmt *makeFilteredLoop(VarDecl *Iter, Expr *BaseRef, Stmt *Body,
+                                SourceLocation Loc) {
+    // filter: iter == <base>
+    Expr *Eq = Ctx.create<BinaryExpr>(BinaryOpKind::Eq, Ctx.makeRef(Iter),
+                                      BaseRef, Loc);
+    Eq->setType(Type::getBool());
+    IterSource Src;
+    Src.K = IterSource::Kind::GraphNodes;
+    Src.Base = Graph;
+    auto *Block = Ctx.create<BlockStmt>(Loc);
+    Block->statements().push_back(Body);
+    return Ctx.create<ForeachStmt>(Iter, Src, Eq, Block, /*Parallel=*/true,
+                                   Loc);
+  }
+
+  void processBlock(BlockStmt *B) {
+    auto &Stmts = B->statements();
+    for (size_t I = 0; I < Stmts.size(); ++I) {
+      if (Failed)
+        return;
+      Stmt *S = Stmts[I];
+
+      // First hoist any sequential property *reads* out of the statement.
+      std::vector<Stmt *> Pre;
+      hoistReads(S, Pre);
+      if (!Pre.empty()) {
+        Changed = true;
+        Stmts.insert(Stmts.begin() + I, Pre.begin(), Pre.end());
+        I += Pre.size();
+        S = Stmts[I];
+      }
+
+      // Then rewrite property writes.
+      if (auto *A = dyn_cast<AssignStmt>(S)) {
+        if (auto *PA = dyn_cast<PropAccessExpr>(A->target())) {
+          VarDecl *Base = PA->baseVar();
+          if (Base && Base->type()->isNode()) {
+            Changed = true;
+            VarDecl *Iter = Ctx.create<VarDecl>(
+                "_ra" + std::to_string(Counter++), Type::getNode(),
+                VarDecl::StorageKind::Iterator, S->location());
+            auto *Access = Ctx.makeAccess(Iter, PA->prop());
+            auto *Write = Ctx.create<AssignStmt>(Access, A->reduce(),
+                                                 A->value(), S->location());
+            Stmts[I] = makeFilteredLoop(Iter, Ctx.makeRef(Base), Write,
+                                        S->location());
+            continue;
+          }
+        }
+      }
+
+      // Recurse into sequential control flow (not into parallel loops:
+      // property access there is vertex-scope, not random access).
+      if (auto *W = dyn_cast<WhileStmt>(S)) {
+        if (exprReadsProperty(W->cond())) {
+          Diags.error(W->location(),
+                      "random vertex access in a loop condition is not "
+                      "supported; read it into a variable inside the loop");
+          Failed = true;
+          return;
+        }
+        if (auto *Body = dyn_cast<BlockStmt>(W->body()))
+          processBlock(Body);
+      } else if (auto *If = dyn_cast<IfStmt>(S)) {
+        if (auto *T = dyn_cast<BlockStmt>(If->thenStmt()))
+          processBlock(T);
+        if (If->elseStmt())
+          if (auto *E = dyn_cast<BlockStmt>(If->elseStmt()))
+            processBlock(E);
+      }
+    }
+  }
+
+  static bool exprReadsProperty(Expr *E) {
+    if (!E)
+      return false;
+    if (auto *PA = dyn_cast<PropAccessExpr>(E))
+      return PA->baseVar() && PA->baseVar()->type()->isNode();
+    switch (E->kind()) {
+    case Expr::Kind::Binary: {
+      auto *B = cast<BinaryExpr>(E);
+      return exprReadsProperty(B->lhs()) || exprReadsProperty(B->rhs());
+    }
+    case Expr::Kind::Unary:
+      return exprReadsProperty(cast<UnaryExpr>(E)->operand());
+    case Expr::Kind::Ternary: {
+      auto *T = cast<TernaryExpr>(E);
+      return exprReadsProperty(T->cond()) ||
+             exprReadsProperty(T->thenExpr()) ||
+             exprReadsProperty(T->elseExpr());
+    }
+    case Expr::Kind::Cast:
+      return exprReadsProperty(cast<CastExpr>(E)->operand());
+    default:
+      return false;
+    }
+  }
+
+  /// Hoists each property read in the statement's value expressions into a
+  /// temporary filled by a filtered parallel loop.
+  void hoistReads(Stmt *S, std::vector<Stmt *> &Pre) {
+    switch (S->kind()) {
+    case Stmt::Kind::Decl: {
+      auto *D = cast<DeclStmt>(S);
+      if (D->init())
+        D->setInit(hoist(D->init(), Pre));
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      auto *A = cast<AssignStmt>(S);
+      A->setValue(hoist(A->value(), Pre));
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      I->setCond(hoist(I->cond(), Pre));
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto *R = cast<ReturnStmt>(S);
+      if (R->value())
+        R->setValue(hoist(R->value(), Pre));
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  Expr *hoist(Expr *E, std::vector<Stmt *> &Pre) {
+    if (!E)
+      return nullptr;
+    if (auto *PA = dyn_cast<PropAccessExpr>(E)) {
+      VarDecl *Base = PA->baseVar();
+      if (!Base || !Base->type()->isNode())
+        return E;
+      Changed = true;
+      const Type *Ty = PA->prop()->type()->element();
+      if (Ty->isBool())
+        return hoistOne(PA, Base, Ty, ReduceKind::Or, Ctx.makeBoolLit(false),
+                        Pre);
+      Expr *Zero;
+      if (Ty->isFloat()) {
+        Zero = Ctx.makeFloatLit(0.0);
+      } else {
+        Zero = Ctx.makeIntLit(0);
+        Zero->setType(Ty);
+      }
+      return hoistOne(PA, Base, Ty, ReduceKind::Sum, Zero, Pre);
+    }
+    switch (E->kind()) {
+    case Expr::Kind::Binary: {
+      auto *B = cast<BinaryExpr>(E);
+      B->setLHS(hoist(B->lhs(), Pre));
+      B->setRHS(hoist(B->rhs(), Pre));
+      return E;
+    }
+    case Expr::Kind::Unary: {
+      auto *U = cast<UnaryExpr>(E);
+      U->setOperand(hoist(U->operand(), Pre));
+      return E;
+    }
+    case Expr::Kind::Ternary: {
+      auto *T = cast<TernaryExpr>(E);
+      T->setCond(hoist(T->cond(), Pre));
+      T->setThen(hoist(T->thenExpr(), Pre));
+      T->setElse(hoist(T->elseExpr(), Pre));
+      return E;
+    }
+    case Expr::Kind::Cast: {
+      auto *C = cast<CastExpr>(E);
+      C->setOperand(hoist(C->operand(), Pre));
+      return E;
+    }
+    default:
+      return E;
+    }
+  }
+
+  Expr *hoistOne(PropAccessExpr *PA, VarDecl *Base, const Type *Ty,
+                 ReduceKind RK, Expr *Init, std::vector<Stmt *> &Pre) {
+    SourceLocation Loc = PA->location();
+    // Node ids are Int-like; Sum over the single matching vertex works for
+    // them too because the accumulator starts at 0.
+    const Type *TempTy = Ty->isNode() ? Type::getNode() : Ty;
+    VarDecl *Temp = Ctx.createTemp("rv", TempTy);
+    Pre.push_back(Ctx.create<DeclStmt>(Temp, Init, Loc));
+    VarDecl *Iter =
+        Ctx.create<VarDecl>("_ra" + std::to_string(Counter++),
+                            Type::getNode(), VarDecl::StorageKind::Iterator,
+                            Loc);
+    auto *Read = Ctx.makeAccess(Iter, PA->prop());
+    auto *Acc =
+        Ctx.create<AssignStmt>(Ctx.makeRef(Temp), RK, Read, Loc);
+    Pre.push_back(makeFilteredLoop(Iter, Ctx.makeRef(Base), Acc, Loc));
+    return Ctx.makeRef(Temp);
+  }
+
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  VarDecl *Graph = nullptr;
+  int Counter = 0;
+  bool Changed = false;
+  bool Failed = false;
+};
+
+} // namespace
+
+bool gm::lowerRandomAccess(ProcedureDecl *Proc, ASTContext &Context,
+                           DiagnosticEngine &Diags) {
+  RandomAccessLowerer L(Context, Diags);
+  return L.run(Proc);
+}

@@ -1,0 +1,362 @@
+//===- transform/ReductionLowering.cpp - Comprehensions to loops --------------===//
+///
+/// Lowers Sum/Product/Count/Min/Max/Exist/All/Avg reduction expressions
+/// into explicit accumulation loops over fresh temporaries. After this
+/// pass, every iteration in the program is a Foreach statement, which is
+/// the form loop dissection and edge flipping operate on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ASTVisitor.h"
+#include "transform/Transforms.h"
+
+using namespace gm;
+
+namespace {
+
+class ReductionLowerer {
+public:
+  ReductionLowerer(ASTContext &Ctx, DiagnosticEngine &Diags)
+      : Ctx(Ctx), Diags(Diags) {}
+
+  bool run(ProcedureDecl *Proc) {
+    processBlock(Proc->body());
+    return Changed && !Failed;
+  }
+
+  bool failed() const { return Failed; }
+
+private:
+  /// Ensures a sub-statement position holds a block (so lowered loops have
+  /// somewhere to be inserted when reductions occur inside it).
+  BlockStmt *asBlock(Stmt *S) {
+    if (!S)
+      return nullptr;
+    if (auto *B = dyn_cast<BlockStmt>(S))
+      return B;
+    auto *B = Ctx.create<BlockStmt>(S->location());
+    B->statements().push_back(S);
+    return B;
+  }
+
+  void processBlock(BlockStmt *B) {
+    auto &Stmts = B->statements();
+    for (size_t I = 0; I < Stmts.size();) {
+      if (Failed)
+        return;
+      std::vector<Stmt *> Pre;
+      extractFromStmt(Stmts[I], Pre);
+      if (!Pre.empty()) {
+        Changed = true;
+        Stmts.insert(Stmts.begin() + I, Pre.begin(), Pre.end());
+        continue; // reprocess starting at the first lowered statement
+      }
+      recurse(Stmts[I]);
+      ++I;
+    }
+  }
+
+  void recurse(Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Block:
+      processBlock(cast<BlockStmt>(S));
+      return;
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      I->setThen(asBlock(I->thenStmt()));
+      I->setElse(asBlock(I->elseStmt()));
+      if (I->thenStmt())
+        processBlock(cast<BlockStmt>(I->thenStmt()));
+      if (I->elseStmt())
+        processBlock(cast<BlockStmt>(I->elseStmt()));
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto *W = cast<WhileStmt>(S);
+      W->setBody(asBlock(W->body()));
+      processBlock(cast<BlockStmt>(W->body()));
+      return;
+    }
+    case Stmt::Kind::Foreach: {
+      auto *F = cast<ForeachStmt>(S);
+      F->setBody(asBlock(F->body()));
+      processBlock(cast<BlockStmt>(F->body()));
+      return;
+    }
+    case Stmt::Kind::BFS: {
+      auto *B = cast<BFSStmt>(S);
+      processBlock(B->forwardBody());
+      if (B->reverseBody())
+        processBlock(B->reverseBody());
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  /// Extracts reductions from the statement's own expressions into \p Pre.
+  void extractFromStmt(Stmt *S, std::vector<Stmt *> &Pre) {
+    switch (S->kind()) {
+    case Stmt::Kind::Decl: {
+      auto *D = cast<DeclStmt>(S);
+      if (D->init())
+        D->setInit(extract(D->init(), Pre));
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      auto *A = cast<AssignStmt>(S);
+      A->setValue(extract(A->value(), Pre));
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      I->setCond(extract(I->cond(), Pre));
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto *W = cast<WhileStmt>(S);
+      if (containsReduction(W->cond())) {
+        Diags.error(W->location(),
+                    "reductions in loop conditions are not supported; "
+                    "assign the reduction to a variable inside the loop");
+        Failed = true;
+      }
+      return;
+    }
+    case Stmt::Kind::Foreach: {
+      auto *F = cast<ForeachStmt>(S);
+      if (containsReduction(F->filter())) {
+        Diags.error(F->location(),
+                    "reductions in loop filters are not supported");
+        Failed = true;
+      }
+      return;
+    }
+    case Stmt::Kind::BFS: {
+      auto *B = cast<BFSStmt>(S);
+      B->setRoot(extract(B->root(), Pre));
+      if (containsReduction(B->filter()) ||
+          containsReduction(B->reverseFilter())) {
+        Diags.error(B->location(),
+                    "reductions in BFS filters are not supported");
+        Failed = true;
+      }
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto *R = cast<ReturnStmt>(S);
+      if (R->value())
+        R->setValue(extract(R->value(), Pre));
+      return;
+    }
+    case Stmt::Kind::Block:
+      return;
+    }
+  }
+
+  static bool containsReduction(Expr *E) {
+    if (!E)
+      return false;
+    struct Finder : ASTWalker {
+      bool Found = false;
+      bool visitExprPre(Expr *E) override {
+        if (isa<ReductionExpr>(E))
+          Found = true;
+        return !Found;
+      }
+    } F;
+    F.walk(E);
+    return F.Found;
+  }
+
+  /// Replaces every reduction in \p E (outermost first) with a temporary,
+  /// emitting the accumulation statements into \p Pre. Returns the (maybe
+  /// replaced) expression.
+  Expr *extract(Expr *E, std::vector<Stmt *> &Pre) {
+    if (!E)
+      return nullptr;
+    if (auto *R = dyn_cast<ReductionExpr>(E))
+      return lower(R, Pre);
+    switch (E->kind()) {
+    case Expr::Kind::Binary: {
+      auto *B = cast<BinaryExpr>(E);
+      B->setLHS(extract(B->lhs(), Pre));
+      B->setRHS(extract(B->rhs(), Pre));
+      return E;
+    }
+    case Expr::Kind::Unary: {
+      auto *U = cast<UnaryExpr>(E);
+      U->setOperand(extract(U->operand(), Pre));
+      return E;
+    }
+    case Expr::Kind::Ternary: {
+      auto *T = cast<TernaryExpr>(E);
+      T->setCond(extract(T->cond(), Pre));
+      T->setThen(extract(T->thenExpr(), Pre));
+      T->setElse(extract(T->elseExpr(), Pre));
+      return E;
+    }
+    case Expr::Kind::Cast: {
+      auto *C = cast<CastExpr>(E);
+      C->setOperand(extract(C->operand(), Pre));
+      return E;
+    }
+    default:
+      return E;
+    }
+  }
+
+  Expr *typedInt(int64_t V, const Type *Ty) {
+    Expr *E = Ctx.create<IntLiteralExpr>(V, SourceLocation());
+    E->setType(Ty);
+    return E;
+  }
+
+  Expr *initLiteral(ReductionKind RK, const Type *Ty) {
+    switch (RK) {
+    case ReductionKind::Sum:
+    case ReductionKind::Count:
+      return typedInt(0, Ty);
+    case ReductionKind::Product:
+      return typedInt(1, Ty);
+    case ReductionKind::Min: {
+      Expr *Inf = Ctx.create<InfLiteralExpr>(SourceLocation());
+      Inf->setType(Ty);
+      return Inf;
+    }
+    case ReductionKind::Max: {
+      Expr *Inf = Ctx.create<InfLiteralExpr>(SourceLocation());
+      Inf->setType(Ty);
+      Expr *Neg =
+          Ctx.create<UnaryExpr>(UnaryOpKind::Neg, Inf, SourceLocation());
+      Neg->setType(Ty);
+      return Neg;
+    }
+    case ReductionKind::Exist:
+      return Ctx.makeBoolLit(false);
+    case ReductionKind::All:
+      return Ctx.makeBoolLit(true);
+    case ReductionKind::Avg:
+      break;
+    }
+    gm_unreachable("no init literal for this reduction");
+  }
+
+  /// Builds: T temp = <init>; Foreach(it: src)(filter) { temp op= body }
+  Expr *lower(ReductionExpr *R, std::vector<Stmt *> &Pre) {
+    Changed = true;
+    // Nested reductions inside the body/filter are handled when the newly
+    // created loop is reprocessed by processBlock.
+    SourceLocation Loc = R->location();
+
+    if (R->reductionKind() == ReductionKind::Avg)
+      return lowerAvg(R, Pre);
+
+    const Type *Ty = R->type();
+    VarDecl *Temp = Ctx.createTemp("red", Ty);
+    Pre.push_back(
+        Ctx.create<DeclStmt>(Temp, initLiteral(R->reductionKind(), Ty), Loc));
+
+    ReduceKind RK = ReduceKind::Sum;
+    Expr *Body = R->body();
+    Expr *Filter = R->filter();
+    switch (R->reductionKind()) {
+    case ReductionKind::Sum:
+      RK = ReduceKind::Sum;
+      break;
+    case ReductionKind::Product:
+      RK = ReduceKind::Prod;
+      break;
+    case ReductionKind::Min:
+      RK = ReduceKind::Min;
+      break;
+    case ReductionKind::Max:
+      RK = ReduceKind::Max;
+      break;
+    case ReductionKind::Count:
+      RK = ReduceKind::Sum;
+      Body = typedInt(1, Ty);
+      break;
+    case ReductionKind::Exist: {
+      // temp |= True, filtered by (filter && body).
+      RK = ReduceKind::Or;
+      if (Body) {
+        if (Filter) {
+          Expr *Both = Ctx.create<BinaryExpr>(BinaryOpKind::And, Filter, Body,
+                                              Loc);
+          Both->setType(Type::getBool());
+          Filter = Both;
+        } else {
+          Filter = Body;
+        }
+      }
+      Body = Ctx.makeBoolLit(true);
+      break;
+    }
+    case ReductionKind::All: {
+      // temp &= body (or the filter, if that is the whole condition).
+      RK = ReduceKind::And;
+      if (!Body) {
+        Body = Filter;
+        Filter = nullptr;
+      }
+      break;
+    }
+    case ReductionKind::Avg:
+      gm_unreachable("handled above");
+    }
+
+    auto *Update = Ctx.create<AssignStmt>(Ctx.makeRef(Temp), RK, Body, Loc);
+    auto *LoopBody = Ctx.create<BlockStmt>(Loc);
+    LoopBody->statements().push_back(Update);
+    Pre.push_back(Ctx.create<ForeachStmt>(R->iterator(), R->source(), Filter,
+                                          LoopBody, /*Parallel=*/true, Loc));
+    return Ctx.makeRef(Temp);
+  }
+
+  /// Avg: sum and count accumulators, then (c == 0 ? 0 : s / c).
+  Expr *lowerAvg(ReductionExpr *R, std::vector<Stmt *> &Pre) {
+    SourceLocation Loc = R->location();
+    VarDecl *SumTemp = Ctx.createTemp("avg_s", Type::getDouble());
+    VarDecl *CntTemp = Ctx.createTemp("avg_c", Type::getLong());
+    Pre.push_back(Ctx.create<DeclStmt>(SumTemp, Ctx.makeFloatLit(0.0), Loc));
+    Pre.push_back(
+        Ctx.create<DeclStmt>(CntTemp, typedInt(0, Type::getLong()), Loc));
+
+    auto *LoopBody = Ctx.create<BlockStmt>(Loc);
+    LoopBody->statements().push_back(Ctx.create<AssignStmt>(
+        Ctx.makeRef(SumTemp), ReduceKind::Sum, R->body(), Loc));
+    LoopBody->statements().push_back(
+        Ctx.create<AssignStmt>(Ctx.makeRef(CntTemp), ReduceKind::Sum,
+                               typedInt(1, Type::getLong()), Loc));
+    Pre.push_back(Ctx.create<ForeachStmt>(R->iterator(), R->source(),
+                                          R->filter(), LoopBody,
+                                          /*Parallel=*/true, Loc));
+
+    Expr *IsZero = Ctx.create<BinaryExpr>(BinaryOpKind::Eq,
+                                          Ctx.makeRef(CntTemp),
+                                          typedInt(0, Type::getLong()), Loc);
+    IsZero->setType(Type::getBool());
+    Expr *Div = Ctx.create<BinaryExpr>(BinaryOpKind::Div, Ctx.makeRef(SumTemp),
+                                       Ctx.makeRef(CntTemp), Loc);
+    Div->setType(Type::getDouble());
+    Expr *Sel = Ctx.create<TernaryExpr>(IsZero, Ctx.makeFloatLit(0.0), Div,
+                                        Loc);
+    Sel->setType(Type::getDouble());
+    return Sel;
+  }
+
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  bool Changed = false;
+  bool Failed = false;
+};
+
+} // namespace
+
+bool gm::lowerReductions(ProcedureDecl *Proc, ASTContext &Context,
+                         DiagnosticEngine &Diags) {
+  ReductionLowerer L(Context, Diags);
+  return L.run(Proc);
+}

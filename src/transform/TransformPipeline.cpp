@@ -1,0 +1,79 @@
+//===- transform/TransformPipeline.cpp - §4.1 pass ordering -------------------===//
+
+#include "frontend/ASTVisitor.h"
+#include "transform/Transforms.h"
+
+using namespace gm;
+
+namespace {
+
+/// Splices nested blocks inline (BFS lowering wraps user bodies in extra
+/// blocks; dissection inspects direct children, so flatten first). Safe
+/// because VarDecl identity, not lexical scope, binds references by now.
+void flattenBlocks(Stmt *S) {
+  if (!S)
+    return;
+  struct Flattener : ASTWalker {
+    bool visitStmtPre(Stmt *S) override {
+      auto *B = dyn_cast<BlockStmt>(S);
+      if (!B)
+        return true;
+      auto &Stmts = B->statements();
+      for (size_t I = 0; I < Stmts.size();) {
+        auto *Child = dyn_cast<BlockStmt>(Stmts[I]);
+        if (!Child) {
+          ++I;
+          continue;
+        }
+        std::vector<Stmt *> Inner = Child->statements();
+        Stmts.erase(Stmts.begin() + I);
+        Stmts.insert(Stmts.begin() + I, Inner.begin(), Inner.end());
+      }
+      return true;
+    }
+  } F;
+  F.walk(S);
+}
+
+} // namespace
+
+bool gm::runTransformPipeline(
+    ProcedureDecl *Proc, ASTContext &Context, DiagnosticEngine &Diags,
+    const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings,
+    FeatureLog *Log) {
+  unsigned Before = Diags.errorCount();
+  auto Failed = [&] { return Diags.errorCount() != Before; };
+
+  // 1. Comprehensions -> loops (normal form for everything below).
+  lowerReductions(Proc, Context, Diags);
+  if (Failed())
+    return false;
+
+  // 2. InBFS/InReverse -> frontier-expansion loops. The pass introduces
+  //    fresh random accesses (root._lev = 0), handled by pass 3; its user
+  //    bodies contained no reductions anymore thanks to pass 1.
+  if (lowerBFS(Proc, Context, Diags) && Log)
+    Log->insert(feature::BFSTraversal);
+  if (Failed())
+    return false;
+
+  // 3. Sequential-phase random access -> filtered parallel loops.
+  if (lowerRandomAccess(Proc, Context, Diags) && Log)
+    Log->insert(feature::RandomAccessSeq);
+  if (Failed())
+    return false;
+
+  // 4. Scalar-to-property conversion and loop splitting. Flatten the block
+  //    nesting the earlier passes introduced so dissection sees loop bodies
+  //    as flat statement lists.
+  flattenBlocks(Proc->body());
+  if (dissectLoops(Proc, Context, Diags, EdgeBindings) && Log)
+    Log->insert(feature::DissectingLoops);
+  if (Failed())
+    return false;
+
+  // 5. Pull -> push.
+  if (flipEdges(Proc, Context, Diags, EdgeBindings) && Log)
+    Log->insert(feature::FlippingEdge);
+  return !Failed();
+}

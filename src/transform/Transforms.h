@@ -1,0 +1,60 @@
+//===- transform/Transforms.h - §4.1 canonicalizing transformations ---------===//
+///
+/// \file
+/// The program transformations that turn non-Pregel-canonical Green-Marl
+/// into canonical form (paper §4.1):
+///
+///  - Reduction lowering: Sum/Count/Min/Max/Exist/All/Avg/Product
+///    comprehensions become explicit accumulation loops over temporaries
+///    (the form every other rule is defined on).
+///  - BFS lowering: InBFS / InReverse become level-synchronous frontier
+///    expansion while-loops over a compiler-inserted _lev property;
+///    UpNbrs/DownNbrs become filtered In/OutNbrs iterations.
+///  - Random-access lowering: reads/writes of a specific vertex's property
+///    in a sequential phase become filtered parallel loops.
+///  - Loop dissection: loop-scoped scalars modified in inner loops become
+///    node properties, and outer loops are split so each pulling inner
+///    loop stands alone (the precondition for edge flipping).
+///  - Edge flipping: message-pulling nested loops are converted to pushing
+///    ones by swapping the two iterators and reversing the edge direction.
+///
+/// All passes mutate the (type-checked) AST in place and keep it typed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_TRANSFORM_TRANSFORMS_H
+#define GM_TRANSFORM_TRANSFORMS_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+#include "translate/Translator.h" // FeatureLog / feature names
+
+#include <unordered_map>
+
+namespace gm {
+
+/// Each pass returns true if it changed the program. Diagnosable problems
+/// are reported through \p Diags (and make the pipeline fail).
+bool lowerReductions(ProcedureDecl *Proc, ASTContext &Context,
+                     DiagnosticEngine &Diags);
+bool lowerBFS(ProcedureDecl *Proc, ASTContext &Context,
+              DiagnosticEngine &Diags);
+bool lowerRandomAccess(ProcedureDecl *Proc, ASTContext &Context,
+                       DiagnosticEngine &Diags);
+bool dissectLoops(ProcedureDecl *Proc, ASTContext &Context,
+                  DiagnosticEngine &Diags,
+                  const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings);
+bool flipEdges(ProcedureDecl *Proc, ASTContext &Context,
+               DiagnosticEngine &Diags,
+               const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings);
+
+/// Runs the full §4.1 pipeline in order, recording applied transformations
+/// in \p Log. Returns false if any pass reported an error.
+bool runTransformPipeline(
+    ProcedureDecl *Proc, ASTContext &Context, DiagnosticEngine &Diags,
+    const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings,
+    FeatureLog *Log = nullptr);
+
+} // namespace gm
+
+#endif // GM_TRANSFORM_TRANSFORMS_H

@@ -1,0 +1,209 @@
+//===- translate/Translator.h - Canonical Green-Marl -> Pregel IR -----------===//
+///
+/// \file
+/// Implements the direct translation rules of §3.1 for Pregel-canonical
+/// programs: state machine construction, vertex/global object construction,
+/// neighborhood communication with message-payload inference, multiple
+/// communication (message tags), random writing, and edge-property access.
+/// Incoming-neighbor iteration sets the §4.3 preamble flag.
+///
+/// The input must already be Pregel-canonical (run CanonicalChecker /
+/// the §4.1 transformation pipeline first).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_TRANSLATE_TRANSLATOR_H
+#define GM_TRANSLATE_TRANSLATOR_H
+
+#include "frontend/AST.h"
+#include "pregelir/PregelIR.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace gm {
+
+/// Names of compiler steps, recorded for the Table 3 experiment.
+namespace feature {
+inline constexpr const char *StateMachine = "State Machine Const.";
+inline constexpr const char *GlobalObject = "Global Object";
+inline constexpr const char *MultipleComm = "Multiple Comm.";
+inline constexpr const char *RandomWriting = "Random Writing";
+inline constexpr const char *EdgeProperty = "Edge Property";
+inline constexpr const char *FlippingEdge = "Flipping Edge";
+inline constexpr const char *DissectingLoops = "Dissecting Loops";
+inline constexpr const char *RandomAccessSeq = "Random Access(Seq.)";
+inline constexpr const char *BFSTraversal = "BFS Traversal";
+inline constexpr const char *StateMerging = "State Merging";
+inline constexpr const char *IntraLoopMerge = "Intra-Loop Merge";
+inline constexpr const char *IncomingNeighbors = "Incoming Neighbors";
+inline constexpr const char *MessageClassGen = "Message Class Gen";
+/// Extension beyond the paper: sender-local out-edge iteration.
+inline constexpr const char *LocalEdgeIteration = "Local Edge Iteration";
+} // namespace feature
+
+using FeatureLog = std::set<std::string>;
+
+class Translator {
+public:
+  Translator(DiagnosticEngine &Diags,
+             const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings,
+             FeatureLog *Log = nullptr)
+      : Diags(Diags), EdgeBindings(EdgeBindings), Log(Log) {}
+
+  /// Translates a Pregel-canonical procedure; null (with diagnostics) on
+  /// failure.
+  std::unique_ptr<pir::PregelProgram> translate(ProcedureDecl *Proc);
+
+private:
+  /// Payload slot key: what sender-side datum a message field carries.
+  /// Simple accesses are keyed structurally (so `n.bar` read twice shares a
+  /// slot — "the compiler does not put the same variable multiple times in
+  /// a message"); composite sender-computable subexpressions are shipped as
+  /// one precomputed field, the way a hand-coder would (e.g. PageRank sends
+  /// pg_rank/degree, not both operands).
+  struct PayloadKey {
+    enum class Kind {
+      OuterProp,
+      LocalScalar,
+      OuterBuiltin,
+      EdgeProp,
+      OuterId,
+      Subexpr
+    };
+    Kind K;
+    VarDecl *V = nullptr; ///< property / local / edge property
+    BuiltinKind BK = BuiltinKind::Degree;
+    Expr *E = nullptr; ///< Subexpr: the computed payload expression
+
+    bool operator<(const PayloadKey &O) const {
+      if (K != O.K)
+        return K < O.K;
+      if (V != O.V)
+        return V < O.V;
+      if (BK != O.BK)
+        return BK < O.BK;
+      return E < O.E;
+    }
+  };
+
+  /// State of one vertex-parallel loop's translation.
+  struct LoopCtx {
+    ForeachStmt *Loop = nullptr;
+    VarDecl *Outer = nullptr;
+    std::unordered_map<VarDecl *, int> Locals; ///< loop-local -> node prop
+    std::vector<pir::VStmt *> Receives;        ///< handlers for next state
+    /// Reduction folds required after the send / receive phase:
+    /// (target global, red global, kind).
+    struct Fold {
+      int Target;
+      int Red;
+      ReduceKind RK;
+    };
+    std::vector<Fold> SenderFolds;
+    std::vector<Fold> ReceiverFolds;
+  };
+
+  /// Per-message translation context for receiver-side expressions.
+  struct MsgCtx {
+    LoopCtx *LC = nullptr;
+    VarDecl *Inner = nullptr; ///< null for random writes
+    std::map<PayloadKey, int> Slots;
+  };
+
+  // Sequential-scope translation (builds the state machine).
+  void translateSeq(Stmt *S);
+  void translateSeqBlock(BlockStmt *B);
+  void translateSeqAssign(AssignStmt *A);
+  void translateSeqIf(IfStmt *I);
+  void translateWhile(WhileStmt *W);
+  void translateVertexLoop(ForeachStmt *F);
+  void translateReturn(ReturnStmt *R);
+
+  /// Master-only translation of a statement subtree into \p Out; sets
+  /// \p Terminated if every path ends in a goto.
+  void translateMasterOnly(Stmt *S, std::vector<pir::MStmt *> &Out,
+                           bool &Terminated);
+
+  // Vertex-scope translation.
+  void translateVertexStmt(Stmt *S, LoopCtx &LC,
+                           std::vector<pir::VStmt *> &Out);
+  void translateInnerLoop(ForeachStmt *F, LoopCtx &LC,
+                          std::vector<pir::VStmt *> &Out);
+  void translateLocalEdgeLoop(ForeachStmt *F, LoopCtx &LC,
+                              std::vector<pir::VStmt *> &Out);
+  void translateRandomWrite(AssignStmt *A, LoopCtx &LC,
+                            std::vector<pir::VStmt *> &Out);
+
+  // Expression translation per evaluation context.
+  pir::PExpr *masterExpr(Expr *E);
+  pir::PExpr *vertexExpr(Expr *E, LoopCtx &LC);
+  pir::PExpr *receiverExpr(Expr *E, MsgCtx &MC);
+  pir::PExpr *payloadSenderExpr(const PayloadKey &Key, LoopCtx &LC);
+  pir::PExpr *senderSubexpr(Expr *E, LoopCtx &LC);
+
+  // Payload inference.
+  void collectPayload(Expr *E, LoopCtx &LC, VarDecl *Inner,
+                      std::set<PayloadKey> &Out);
+  /// Classifies whether \p E references the inner iterator (directly or via
+  /// edge properties); such expressions must be evaluated at the receiver.
+  bool referencesInner(Expr *E, VarDecl *Inner);
+  /// True if \p E contains sender-local data (outer props / loop locals /
+  /// the outer id / degrees / edge props) — i.e. needs to travel.
+  bool needsPayload(Expr *E, LoopCtx &LC, VarDecl *Inner);
+  /// If \p E as a whole must become a payload field, fills \p Key.
+  bool classifyPayload(Expr *E, LoopCtx &LC, VarDecl *Inner, PayloadKey &Key);
+  bool containsEdgeProp(Expr *E, VarDecl *Inner);
+
+  // Bookkeeping.
+  int globalFor(VarDecl *V);
+  int redGlobalFor(VarDecl *V, ReduceKind RK, ValueKind Ty);
+  int propFor(VarDecl *V);
+  int edgePropFor(VarDecl *V);
+  int localPropFor(VarDecl *V, LoopCtx &LC);
+  std::string uniqueName(const std::string &Base,
+                         std::set<std::string> &Used);
+  void appendMaster(pir::MStmt *S);
+  void materializeState(int StateId);
+  void appendFolds(int StateId, const std::vector<LoopCtx::Fold> &Folds);
+  void logFeature(const char *F) {
+    if (Log)
+      Log->insert(F);
+  }
+  void error(SourceLocation Loc, const std::string &Msg);
+
+  /// Identity value of a reduction over the given kind.
+  static Value reduceIdentity(ReduceKind RK, ValueKind Ty);
+  /// x = x (RK) y as a master expression.
+  pir::PExpr *foldExpr(ReduceKind RK, pir::PExpr *X, pir::PExpr *Y,
+                       ValueKind Ty);
+
+  DiagnosticEngine &Diags;
+  const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings;
+  FeatureLog *Log;
+
+  ProcedureDecl *Proc = nullptr;
+  std::unique_ptr<pir::PregelProgram> P;
+  bool Failed = false;
+
+  std::unordered_map<VarDecl *, int> GlobalIdx;
+  std::map<std::pair<VarDecl *, ReduceKind>, int> RedIdx;
+  std::unordered_map<VarDecl *, int> PropIdx;
+  std::unordered_map<VarDecl *, int> EdgePropIdx;
+  std::set<std::string> UsedGlobalNames;
+  std::set<std::string> UsedPropNames;
+
+  /// Open continuation points: master stmt lists awaiting further code and
+  /// ultimately a goto. Shared MStmt nodes may be appended to several lists
+  /// (only one path executes).
+  std::vector<std::vector<pir::MStmt *> *> Pending;
+  int ReturnGlobal = -1;
+};
+
+} // namespace gm
+
+#endif // GM_TRANSLATE_TRANSLATOR_H

@@ -1,0 +1,123 @@
+//===- tests/CliTest.cpp - gmpc end-to-end CLI tests --------------------------===//
+///
+/// Drives the gmpc binary as a subprocess: compilation dumps, optimization
+/// toggles, execution with generated graphs, and error reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int ExitCode = -1;
+  std::string Output; ///< stdout + stderr
+};
+
+CliResult runGmpc(const std::string &ArgLine) {
+  std::string Cmd = std::string(GMPC_PATH) + " " + ArgLine + " 2>&1";
+  std::array<char, 4096> Buffer;
+  CliResult R;
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  if (!Pipe)
+    return R;
+  while (size_t Got = fread(Buffer.data(), 1, Buffer.size(), Pipe))
+    R.Output.append(Buffer.data(), Got);
+  int Status = pclose(Pipe);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+std::string algo(const char *Name) {
+  return std::string(GM_ALGORITHMS_DIR) + "/" + Name;
+}
+
+TEST(Cli, NoArgumentsPrintsUsage) {
+  CliResult R = runGmpc("");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, DefaultDumpsIR) {
+  CliResult R = runGmpc(algo("avg_teen.gm"));
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("pregel_program avg_teen_cnt"), std::string::npos);
+  EXPECT_NE(R.Output.find("send_out"), std::string::npos);
+}
+
+TEST(Cli, EmitJavaAndGiraph) {
+  CliResult Gps = runGmpc(algo("sssp.gm") + " --emit-java");
+  EXPECT_EQ(Gps.ExitCode, 0);
+  EXPECT_NE(Gps.Output.find("package gps.generated;"), std::string::npos);
+
+  CliResult Gir = runGmpc(algo("sssp.gm") + " --emit-giraph");
+  EXPECT_EQ(Gir.ExitCode, 0);
+  EXPECT_NE(Gir.Output.find("package giraph.generated;"), std::string::npos);
+}
+
+TEST(Cli, FeaturesMatchTable3Row) {
+  CliResult R = runGmpc(algo("bc_approx.gm") + " --features");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("BFS Traversal"), std::string::npos);
+  EXPECT_NE(R.Output.find("Incoming Neighbors"), std::string::npos);
+}
+
+TEST(Cli, OptimizationTogglesChangeTheMachine) {
+  CliResult On = runGmpc(algo("pagerank.gm") + " --dump-ir");
+  CliResult Off = runGmpc(algo("pagerank.gm") +
+                          " --dump-ir --no-state-merging "
+                          "--no-intra-loop-merging");
+  EXPECT_EQ(On.ExitCode, 0);
+  EXPECT_EQ(Off.ExitCode, 0);
+  EXPECT_LT(On.Output.size(), Off.Output.size()); // fewer states when merged
+}
+
+TEST(Cli, RunsSSSPOnGeneratedGraph) {
+  CliResult R = runGmpc(algo("sssp.gm") +
+                        " --run --graph-uniform 500 4000 --arg root=0"
+                        " --rand-eprop len 1 5 --print-prop dist");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("graph: 500 nodes"), std::string::npos);
+  EXPECT_NE(R.Output.find("supersteps="), std::string::npos);
+  EXPECT_NE(R.Output.find("dist: 0 "), std::string::npos); // root at dist 0
+}
+
+TEST(Cli, RunsFromEdgeListFile) {
+  std::string Path = ::testing::TempDir() + "/cli_ring.el";
+  {
+    std::ofstream Out(Path);
+    for (int N = 0; N < 6; ++N)
+      Out << N << " " << (N + 1) % 6 << "\n";
+  }
+  CliResult R = runGmpc(algo("comp_label.gm") + " --run --graph-file " +
+                        Path);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("return: 1"), std::string::npos); // one component
+}
+
+TEST(Cli, ReportsCompileErrorsWithDiagnostics) {
+  std::string Path = ::testing::TempDir() + "/cli_bad.gm";
+  {
+    std::ofstream Out(Path);
+    Out << "Procedure p(G: Graph) { x = 3; }\n";
+  }
+  CliResult R = runGmpc(Path);
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("undeclared"), std::string::npos);
+}
+
+TEST(Cli, RejectsUnknownScalarArgument) {
+  CliResult R = runGmpc(algo("sssp.gm") +
+                        " --run --graph-uniform 10 20 --arg nope=1"
+                        " --rand-eprop len 1 5");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("no scalar argument"), std::string::npos);
+}
+
+} // namespace

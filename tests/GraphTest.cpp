@@ -1,0 +1,234 @@
+//===- tests/GraphTest.cpp - Unit tests for src/graph -------------------------===//
+
+#include "graph/EdgeListIO.h"
+#include "graph/Generators.h"
+#include "graph/Graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace {
+
+using namespace gm;
+
+Graph makeDiamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  Graph::Builder B(4);
+  B.addEdge(0, 1);
+  B.addEdge(0, 2);
+  B.addEdge(1, 3);
+  B.addEdge(2, 3);
+  return std::move(B).build();
+}
+
+TEST(Graph, BasicCounts) {
+  Graph G = makeDiamond();
+  EXPECT_EQ(G.numNodes(), 4u);
+  EXPECT_EQ(G.numEdges(), 4u);
+}
+
+TEST(Graph, OutAdjacency) {
+  Graph G = makeDiamond();
+  auto N0 = G.outNeighbors(0);
+  ASSERT_EQ(N0.size(), 2u);
+  EXPECT_EQ(N0[0], 1u);
+  EXPECT_EQ(N0[1], 2u);
+  EXPECT_EQ(G.outDegree(3), 0u);
+}
+
+TEST(Graph, InAdjacency) {
+  Graph G = makeDiamond();
+  auto In3 = G.inNeighbors(3);
+  ASSERT_EQ(In3.size(), 2u);
+  std::set<NodeId> Sources(In3.begin(), In3.end());
+  EXPECT_TRUE(Sources.count(1));
+  EXPECT_TRUE(Sources.count(2));
+  EXPECT_EQ(G.inDegree(0), 0u);
+}
+
+TEST(Graph, EdgeIdsAndEndpoints) {
+  Graph G = makeDiamond();
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    EdgeId E = G.outEdgeBegin(N);
+    for (NodeId Dst : G.outNeighbors(N)) {
+      EXPECT_EQ(G.edgeSrc(E), N);
+      EXPECT_EQ(G.edgeDst(E), Dst);
+      ++E;
+    }
+    EXPECT_EQ(E, G.outEdgeEnd(N));
+  }
+}
+
+TEST(Graph, InEdgeIdsPointBackToOutEdges) {
+  Graph G = makeDiamond();
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    auto Srcs = G.inNeighbors(N);
+    auto Ids = G.inEdgeIds(N);
+    ASSERT_EQ(Srcs.size(), Ids.size());
+    for (size_t I = 0; I < Srcs.size(); ++I) {
+      EXPECT_EQ(G.edgeSrc(Ids[I]), Srcs[I]);
+      EXPECT_EQ(G.edgeDst(Ids[I]), N);
+    }
+  }
+}
+
+TEST(Graph, DuplicateEdgesAndSelfLoopsPreserved) {
+  Graph::Builder B(2);
+  B.addEdge(0, 1);
+  B.addEdge(0, 1);
+  B.addEdge(1, 1);
+  Graph G = std::move(B).build();
+  EXPECT_EQ(G.numEdges(), 3u);
+  EXPECT_EQ(G.outDegree(0), 2u);
+  EXPECT_EQ(G.inDegree(1), 3u);
+}
+
+TEST(Graph, BuilderInsertionOrderIsStableWithinSource) {
+  Graph::Builder B(3);
+  B.addEdge(1, 2);
+  B.addEdge(0, 2);
+  B.addEdge(0, 1);
+  Graph G = std::move(B).build();
+  auto N0 = G.outNeighbors(0);
+  ASSERT_EQ(N0.size(), 2u);
+  EXPECT_EQ(N0[0], 2u); // (0,2) inserted before (0,1)
+  EXPECT_EQ(N0[1], 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Generators
+//===----------------------------------------------------------------------===//
+
+/// In/out degree sums must both equal the edge count for any graph.
+void expectConsistentDegrees(const Graph &G) {
+  uint64_t OutSum = 0, InSum = 0;
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    OutSum += G.outDegree(N);
+    InSum += G.inDegree(N);
+  }
+  EXPECT_EQ(OutSum, G.numEdges());
+  EXPECT_EQ(InSum, G.numEdges());
+}
+
+TEST(Generators, UniformRandomShape) {
+  Graph G = generateUniformRandom(1000, 5000, 42);
+  EXPECT_EQ(G.numNodes(), 1000u);
+  EXPECT_EQ(G.numEdges(), 5000u);
+  expectConsistentDegrees(G);
+}
+
+TEST(Generators, UniformRandomIsDeterministicPerSeed) {
+  Graph A = generateUniformRandom(100, 500, 7);
+  Graph B = generateUniformRandom(100, 500, 7);
+  Graph C = generateUniformRandom(100, 500, 8);
+  EXPECT_EQ(writeEdgeList(A), writeEdgeList(B));
+  EXPECT_NE(writeEdgeList(A), writeEdgeList(C));
+}
+
+TEST(Generators, RMATIsSkewed) {
+  Graph G = generateRMAT(1 << 12, 1 << 16, 123);
+  EXPECT_EQ(G.numEdges(), static_cast<EdgeId>(1 << 16));
+  expectConsistentDegrees(G);
+  // Power-law shape: the top 1% of nodes by out-degree should own far more
+  // than 1% of the edges (we require >10%).
+  std::vector<uint32_t> Degs(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Degs[N] = G.outDegree(N);
+  std::sort(Degs.begin(), Degs.end(), std::greater<>());
+  uint64_t Top = std::accumulate(Degs.begin(), Degs.begin() + G.numNodes() / 100,
+                                 uint64_t{0});
+  EXPECT_GT(Top, G.numEdges() / 10);
+}
+
+TEST(Generators, BipartiteEdgesRespectSides) {
+  NodeId L = 200, R = 300;
+  Graph G = generateBipartite(L, R, 1500, 99);
+  EXPECT_EQ(G.numNodes(), L + R);
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    for (NodeId Dst : G.outNeighbors(N)) {
+      EXPECT_LT(N, L);
+      EXPECT_GE(Dst, L);
+    }
+}
+
+TEST(Generators, WebLikeHasBackboneAndRequestedEdges) {
+  Graph G = generateWebLike(1000, 5000, 5);
+  EXPECT_EQ(G.numEdges(), 5000u);
+  // The backbone guarantees node N links to N+1.
+  for (NodeId N = 0; N + 1 < G.numNodes(); N += 137) {
+    auto Nbrs = G.outNeighbors(N);
+    EXPECT_NE(std::find(Nbrs.begin(), Nbrs.end(), N + 1), Nbrs.end());
+  }
+}
+
+TEST(Generators, RingDegreesAreOne) {
+  Graph G = generateRing(10);
+  for (NodeId N = 0; N < 10; ++N) {
+    EXPECT_EQ(G.outDegree(N), 1u);
+    EXPECT_EQ(G.inDegree(N), 1u);
+    EXPECT_EQ(G.outNeighbors(N)[0], (N + 1) % 10);
+  }
+}
+
+TEST(Generators, CompleteGraph) {
+  Graph G = generateComplete(5);
+  EXPECT_EQ(G.numEdges(), 20u);
+  for (NodeId N = 0; N < 5; ++N)
+    EXPECT_EQ(G.outDegree(N), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Edge-list IO
+//===----------------------------------------------------------------------===//
+
+TEST(EdgeListIO, ParsesSimpleList) {
+  auto G = parseEdgeList("0 1\n1 2\n2 0\n");
+  ASSERT_TRUE(G.has_value());
+  EXPECT_EQ(G->numNodes(), 3u);
+  EXPECT_EQ(G->numEdges(), 3u);
+}
+
+TEST(EdgeListIO, SkipsCommentsAndBlankLines) {
+  auto G = parseEdgeList("# a comment\n\n% another\n0 1\n\n# trailing\n");
+  ASSERT_TRUE(G.has_value());
+  EXPECT_EQ(G->numEdges(), 1u);
+}
+
+TEST(EdgeListIO, HonorsNodeCountHint) {
+  auto G = parseEdgeList("0 1\n", /*NumNodesHint=*/10);
+  ASSERT_TRUE(G.has_value());
+  EXPECT_EQ(G->numNodes(), 10u);
+}
+
+TEST(EdgeListIO, RejectsMalformedInput) {
+  std::string Err;
+  EXPECT_FALSE(parseEdgeList("0 x\n", 0, &Err).has_value());
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(parseEdgeList("5\n", 0, &Err).has_value());
+}
+
+TEST(EdgeListIO, RejectsEmptyWithoutHint) {
+  EXPECT_FALSE(parseEdgeList("", 0).has_value());
+  EXPECT_TRUE(parseEdgeList("", 3).has_value());
+}
+
+TEST(EdgeListIO, RoundTrip) {
+  Graph G = generateUniformRandom(50, 200, 11);
+  auto Back = parseEdgeList(writeEdgeList(G), G.numNodes());
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(writeEdgeList(*Back), writeEdgeList(G));
+}
+
+TEST(EdgeListIO, FileRoundTrip) {
+  Graph G = generateRing(8);
+  std::string Path = ::testing::TempDir() + "/gm_ring.el";
+  ASSERT_TRUE(saveEdgeListFile(G, Path));
+  auto Back = loadEdgeListFile(Path);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(writeEdgeList(*Back), writeEdgeList(G));
+}
+
+} // namespace

@@ -1,0 +1,337 @@
+//===- tests/OptimizerTest.cpp - §4.2 optimizer unit tests --------------------===//
+///
+/// Targets the state-merging safety conditions and the intra-loop merge
+/// machinery directly at the IR level: cases that must merge, cases that
+/// must not, and structural invariants after compaction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "exec/IRExecutor.h"
+#include "graph/Generators.h"
+#include "opt/Optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace gm;
+using namespace gm::pir;
+
+/// Compiles without optimizations so tests can apply passes themselves.
+std::unique_ptr<PregelProgram> compileRaw(const std::string &Src) {
+  CompileOptions Opts;
+  Opts.StateMerging = false;
+  Opts.IntraLoopMerging = false;
+  CompileResult R = compileGreenMarl(Src, Opts);
+  EXPECT_TRUE(R.ok()) << R.Diags->dump();
+  return std::move(R.Program);
+}
+
+size_t vertexStates(const PregelProgram &P) { return P.numVertexStates(); }
+
+//===----------------------------------------------------------------------===//
+// State merging
+//===----------------------------------------------------------------------===//
+
+TEST(StateMerging, FusesIndependentConsecutiveLoops) {
+  auto P = compileRaw(R"(
+Procedure p(G: Graph, a: N_P<Int>, b: N_P<Int>) {
+  Foreach (n: G.Nodes) { n.a = 1; }
+  Foreach (n: G.Nodes) { n.b = 2; }
+}
+)");
+  ASSERT_EQ(vertexStates(*P), 2u);
+  EXPECT_TRUE(mergeStates(*P));
+  EXPECT_EQ(vertexStates(*P), 1u);
+  EXPECT_EQ(verifyProgram(*P), "");
+}
+
+TEST(StateMerging, SameVertexDataFlowIsMergeable) {
+  // Loop 2 reads what loop 1 wrote on the *same* vertex: no barrier needed.
+  auto P = compileRaw(R"(
+Procedure p(G: Graph, a: N_P<Int>, b: N_P<Int>) {
+  Foreach (n: G.Nodes) { n.a = 1; }
+  Foreach (n: G.Nodes) { n.b = n.a + 1; }
+}
+)");
+  EXPECT_TRUE(mergeStates(*P));
+  EXPECT_EQ(vertexStates(*P), 1u);
+}
+
+TEST(StateMerging, NeverMergesSendWithItsReceive) {
+  auto P = compileRaw(R"(
+Procedure p(G: Graph, foo: N_P<Int>, bar: N_P<Int>) {
+  Foreach (n: G.Nodes) {
+    Foreach (t: n.Nbrs) {
+      t.foo += n.bar;
+    }
+  }
+}
+)");
+  // send + receive states.
+  ASSERT_EQ(vertexStates(*P), 2u);
+  mergeStates(*P);
+  EXPECT_EQ(vertexStates(*P), 2u); // the barrier is load-bearing
+}
+
+TEST(StateMerging, BlocksOnGlobalReductionReads) {
+  // Loop 2 branches on a global loop 1 reduces: the resolution barrier
+  // cannot be elided.
+  auto P = compileRaw(R"(
+Procedure p(G: Graph, a: N_P<Int>) {
+  Int total = 0;
+  Foreach (n: G.Nodes) { total += n.a; }
+  Foreach (n: G.Nodes) { n.a = total; }
+}
+)");
+  ASSERT_EQ(vertexStates(*P), 2u);
+  mergeStates(*P);
+  EXPECT_EQ(vertexStates(*P), 2u);
+}
+
+TEST(StateMerging, ChainsOfThreeCollapse) {
+  auto P = compileRaw(R"(
+Procedure p(G: Graph, a: N_P<Int>, b: N_P<Int>, c: N_P<Int>) {
+  Foreach (n: G.Nodes) { n.a = 1; }
+  Foreach (n: G.Nodes) { n.b = n.a; }
+  Foreach (n: G.Nodes) { n.c = n.b; }
+}
+)");
+  ASSERT_EQ(vertexStates(*P), 3u);
+  EXPECT_TRUE(mergeStates(*P));
+  EXPECT_EQ(vertexStates(*P), 1u);
+}
+
+TEST(StateMerging, PreservesResults) {
+  const char *Src = R"(
+Procedure p(G: Graph, a: N_P<Int>, b: N_P<Int>) : Int {
+  Int sum = 0;
+  Foreach (n: G.Nodes) { n.a = n.Degree(); }
+  Foreach (n: G.Nodes) { n.b = n.a * 2; }
+  Foreach (n: G.Nodes) { sum += n.b; }
+  Return sum;
+}
+)";
+  Graph G = generateUniformRandom(100, 700, 3);
+  auto Run = [&](bool Merge) {
+    CompileOptions Opts;
+    Opts.StateMerging = Merge;
+    Opts.IntraLoopMerging = false;
+    CompileResult R = compileGreenMarl(Src, Opts);
+    EXPECT_TRUE(R.ok());
+    std::unique_ptr<exec::IRExecutor> Exec;
+    exec::runProgram(*R.Program, G, {}, pregel::Config{}, &Exec);
+    return Exec->returnValue()->getInt();
+  };
+  EXPECT_EQ(Run(true), Run(false));
+  EXPECT_EQ(Run(true), 2 * 700);
+}
+
+//===----------------------------------------------------------------------===//
+// Intra-loop merging
+//===----------------------------------------------------------------------===//
+
+TEST(IntraLoop, MergesTwoStateLoopIntoOne) {
+  auto P = compileRaw(R"(
+Procedure p(G: Graph, foo: N_P<Int>, bar: N_P<Int>) {
+  Int i = 0;
+  While (i < 3) {
+    Foreach (n: G.Nodes) {
+      Foreach (t: n.Nbrs) {
+        t.foo += n.bar;
+      }
+    }
+    i++;
+  }
+}
+)");
+  mergeStates(*P); // nothing to fuse here: the loop is already send/recv
+  size_t Before = vertexStates(*P);
+  EXPECT_TRUE(mergeIntraLoop(*P));
+  EXPECT_LT(vertexStates(*P), Before);
+  EXPECT_EQ(verifyProgram(*P), "");
+  // The merged program declares the first-entry flag.
+  bool HasFlag = false;
+  for (const GlobalDef &G : P->Globals)
+    if (G.Name.find("_is_first") != std::string::npos)
+      HasFlag = true;
+  EXPECT_TRUE(HasFlag);
+}
+
+TEST(IntraLoop, RefusesWhenFirstStateReducesGlobals) {
+  // The loop's first state writes a global aggregate; its dangling
+  // execution at exit would corrupt the total.
+  auto P = compileRaw(R"(
+Procedure p(G: Graph, foo: N_P<Int>, bar: N_P<Int>) : Int {
+  Int total = 0;
+  Int i = 0;
+  While (i < 3) {
+    Foreach (n: G.Nodes) {
+      total += 1;
+      Foreach (t: n.Nbrs) {
+        t.foo += n.bar;
+      }
+    }
+    i++;
+  }
+  Return total;
+}
+)");
+  mergeStates(*P);
+  EXPECT_FALSE(mergeIntraLoop(*P));
+}
+
+TEST(IntraLoop, DanglingRunDoesNotCorruptResults) {
+  // PageRank-shaped loop with a fixed iteration count: with and without
+  // the optimization, values and the iteration count must agree.
+  const char *Src = R"(
+Procedure p(G: Graph, v: N_P<Double>, nxt: N_P<Double>) : Int {
+  Int i = 0;
+  Foreach (n: G.Nodes) { n.v = 1.0; }
+  While (i < 5) {
+    Foreach (n: G.Nodes) { n.nxt = 0.0; }
+    Foreach (n: G.Nodes) {
+      Foreach (t: n.Nbrs) {
+        t.nxt += n.v;
+      }
+    }
+    Foreach (n: G.Nodes) { n.v = n.nxt; }
+    i++;
+  }
+  Return i;
+}
+)";
+  Graph G = generateUniformRandom(60, 300, 5);
+  auto Run = [&](bool Intra) {
+    CompileOptions Opts;
+    Opts.IntraLoopMerging = Intra;
+    CompileResult R = compileGreenMarl(Src, Opts);
+    EXPECT_TRUE(R.ok()) << R.Diags->dump();
+    std::unique_ptr<exec::IRExecutor> Exec;
+    pregel::RunStats Stats =
+        exec::runProgram(*R.Program, G, {}, pregel::Config{}, &Exec);
+    std::vector<double> Vals;
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      Vals.push_back(Exec->nodeProp("v").get(N).getDouble());
+    EXPECT_EQ(Exec->returnValue()->getInt(), 5);
+    return std::make_pair(Stats.Supersteps, Vals);
+  };
+  auto [StepsOn, ValsOn] = Run(true);
+  auto [StepsOff, ValsOff] = Run(false);
+  EXPECT_LT(StepsOn, StepsOff);
+  ASSERT_EQ(ValsOn.size(), ValsOff.size());
+  for (size_t I = 0; I < ValsOn.size(); ++I)
+    EXPECT_DOUBLE_EQ(ValsOn[I], ValsOff[I]);
+}
+
+TEST(IntraLoop, NestedLoopsBothOptimize) {
+  // BC-like: an outer counting loop around an inner communicating loop.
+  const char *Src = R"(
+Procedure p(G: Graph, x: N_P<Int>) : Int {
+  Int k = 0;
+  While (k < 2) {
+    Int i = 0;
+    Foreach (n: G.Nodes) { n.x = 0; }
+    While (i < 3) {
+      Foreach (n: G.Nodes) {
+        Foreach (t: n.Nbrs) {
+          t.x += 1;
+        }
+      }
+      i++;
+    }
+    k++;
+  }
+  Return k;
+}
+)";
+  Graph G = generateRing(8);
+  CompileResult R = compileGreenMarl(Src);
+  ASSERT_TRUE(R.ok()) << R.Diags->dump();
+  std::unique_ptr<exec::IRExecutor> Exec;
+  exec::runProgram(*R.Program, G, {}, pregel::Config{}, &Exec);
+  EXPECT_EQ(Exec->returnValue()->getInt(), 2);
+  // Each node has exactly one in-edge; after 3 rounds x == 3 (reset per k).
+  for (NodeId N = 0; N < 8; ++N)
+    EXPECT_EQ(Exec->nodeProp("x").get(N).getInt(), 3);
+}
+
+//===----------------------------------------------------------------------===//
+// compactStates
+//===----------------------------------------------------------------------===//
+
+TEST(Compact, RemovesUnreachableStatesAndRenumbers) {
+  PregelProgram P;
+  int A = P.newState("entry");
+  int B = P.newState("alive");
+  int C = P.newState("dead");
+  P.state(A).TransCode.push_back(P.makeGoto(B));
+  P.state(B).TransCode.push_back(P.makeGoto(EndState));
+  P.state(C).TransCode.push_back(P.makeGoto(B));
+  compactStates(P);
+  ASSERT_EQ(P.States.size(), 2u);
+  EXPECT_EQ(P.States[0].Name, "entry");
+  EXPECT_EQ(P.States[1].Name, "alive");
+  EXPECT_EQ(P.States[0].Id, 0);
+  EXPECT_EQ(P.States[1].Id, 1);
+  EXPECT_EQ(verifyProgram(P), "");
+}
+
+TEST(Compact, RewritesSharedNodesOnce) {
+  // A goto node shared by two states must be rewritten exactly once.
+  PregelProgram P;
+  int A = P.newState("entry");
+  int Dead = P.newState("dead");
+  int B = P.newState("b");
+  int C = P.newState("c");
+  (void)Dead;
+  MStmt *Shared = P.makeGoto(C);
+  P.state(A).TransCode.push_back(Shared);
+  P.state(B).TransCode.push_back(Shared);
+  P.state(C).TransCode.push_back(P.makeGoto(B));
+  compactStates(P);
+  // After removing "dead", c's id shifts from 3 to 2; the shared goto must
+  // point at the renumbered c, not be double-shifted.
+  ASSERT_EQ(P.States.size(), 3u);
+  EXPECT_EQ(P.States[0].TransCode[0]->Index, 2);
+  EXPECT_EQ(P.States[1].Name, "b");
+  EXPECT_EQ(P.States[2].Name, "c");
+}
+
+} // namespace
+
+namespace shared_reduction {
+using namespace gm;
+using namespace gm::pir;
+
+TEST(StateMerging, SharedGlobalReductionAcrossMergedStates) {
+  // Both loops reduce the same global; after merging, the fold-and-reset
+  // sequences run back to back and must not double-count.
+  const char *Src = R"(
+Procedure p(G: Graph, a: N_P<Int>) : Int {
+  Int total = 0;
+  Foreach (n: G.Nodes) { total += 1; }
+  Foreach (n: G.Nodes) { total += 2; }
+  Return total;
+}
+)";
+  Graph G = generateRing(10);
+  for (bool Merge : {false, true}) {
+    CompileOptions Opts;
+    Opts.StateMerging = Merge;
+    Opts.IntraLoopMerging = false;
+    CompileResult R = compileGreenMarl(Src, Opts);
+    ASSERT_TRUE(R.ok()) << R.Diags->dump();
+    std::unique_ptr<exec::IRExecutor> Exec;
+    exec::runProgram(*R.Program, G, {}, pregel::Config{}, &Exec);
+    EXPECT_EQ(Exec->returnValue()->getInt(), 30) << "merge=" << Merge;
+  }
+  // And the merge actually happens (no cross-state hazard here).
+  CompileOptions On;
+  On.IntraLoopMerging = false;
+  CompileResult R = compileGreenMarl(Src, On);
+  EXPECT_EQ(R.Program->numVertexStates(), 1u);
+}
+
+} // namespace shared_reduction

@@ -1,0 +1,439 @@
+//===- tests/PregelIRTest.cpp - IR construction/verifier/executor tests -------===//
+
+#include "exec/IRExecutor.h"
+#include "graph/Generators.h"
+#include "pregelir/PregelIR.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace gm;
+using namespace gm::pir;
+using gm::exec::ExecArgs;
+using gm::exec::IRExecutor;
+using gm::exec::runProgram;
+
+/// Builds the "teen count" kernel by hand, the way the translator will:
+///   state 1: vertices with 13 <= age <= 19 send msg(1) to out-nbrs
+///   state 2: receivers sum messages into cnt; if age > K put S/C globals
+///   transition: master computes avg = S / C and ends.
+std::unique_ptr<PregelProgram> buildTeenProgram() {
+  auto P = std::make_unique<PregelProgram>();
+  P->Name = "teen";
+  int Age = P->addNodeProp("age", ValueKind::Int);
+  int Cnt = P->addNodeProp("cnt", ValueKind::Int);
+  int K = P->addGlobal("K", ValueKind::Int, ReduceKind::None, Value::makeInt(0));
+  int S = P->addGlobal("S", ValueKind::Int, ReduceKind::Sum, Value::makeInt(0));
+  int C = P->addGlobal("C", ValueKind::Int, ReduceKind::Sum, Value::makeInt(0));
+  int Avg =
+      P->addGlobal("avg", ValueKind::Double, ReduceKind::None, Value::makeDouble(0));
+  P->ReturnGlobal = "avg";
+
+  int Msg = P->addMsgType("teen_one");
+  P->MsgTypes[Msg].Fields.push_back({"one", ValueKind::Int});
+
+  int EntryId = P->newState("entry");
+  int SendId = P->newState("send");
+  int RecvId = P->newState("recv");
+  P->state(EntryId).TransCode.push_back(P->makeGoto(SendId));
+
+  {
+    // if (13 <= age && age <= 19) send_out teen_one(1)
+    PExpr *AgeRead = P->propRead(Age);
+    PExpr *Lo = P->binary(BinaryOpKind::Ge, AgeRead, P->constExpr(Value::makeInt(13)),
+                          ValueKind::Bool);
+    PExpr *Hi = P->binary(BinaryOpKind::Le, P->propRead(Age),
+                          P->constExpr(Value::makeInt(19)), ValueKind::Bool);
+    PExpr *Cond = P->binary(BinaryOpKind::And, Lo, Hi, ValueKind::Bool);
+    VStmt *SendStmt = P->newVStmt(VStmtKind::SendToOutNbrs);
+    SendStmt->Index = Msg;
+    SendStmt->Payload.push_back(P->constExpr(Value::makeInt(1)));
+    VStmt *Guard = P->newVStmt(VStmtKind::If);
+    Guard->Cond = Cond;
+    Guard->Then.push_back(SendStmt);
+    P->state(SendId).VertexCode.push_back(Guard);
+    P->state(SendId).TransCode.push_back(P->makeGoto(RecvId));
+  }
+
+  {
+    // cnt = 0; on_message teen_one { cnt += msg.0 }
+    VStmt *Reset = P->newVStmt(VStmtKind::Assign);
+    Reset->Index = Cnt;
+    Reset->Value = P->constExpr(Value::makeInt(0));
+    VStmt *Acc = P->newVStmt(VStmtKind::Assign);
+    Acc->Index = Cnt;
+    Acc->Reduce = ReduceKind::Sum;
+    {
+      PExpr *Field = P->newExpr();
+      Field->K = PExprKind::MsgField;
+      Field->Index = 0;
+      Field->Ty = ValueKind::Int;
+      Acc->Value = Field;
+    }
+    VStmt *On = P->newVStmt(VStmtKind::OnMessage);
+    On->Index = Msg;
+    On->Then.push_back(Acc);
+
+    // if (age > K) { put S cnt; put C 1 }
+    PExpr *Older = P->binary(BinaryOpKind::Gt, P->propRead(Age),
+                             P->globalRead(K), ValueKind::Bool);
+    VStmt *PutS = P->newVStmt(VStmtKind::GlobalPut);
+    PutS->Index = S;
+    PutS->Value = P->propRead(Cnt);
+    VStmt *PutC = P->newVStmt(VStmtKind::GlobalPut);
+    PutC->Index = C;
+    PutC->Value = P->constExpr(Value::makeInt(1));
+    VStmt *Guard = P->newVStmt(VStmtKind::If);
+    Guard->Cond = Older;
+    Guard->Then.push_back(PutS);
+    Guard->Then.push_back(PutC);
+
+    P->state(RecvId).VertexCode.push_back(Reset);
+    P->state(RecvId).VertexCode.push_back(On);
+    P->state(RecvId).VertexCode.push_back(Guard);
+
+    // master: avg = (C == 0) ? 0 : S / (double) C; then END
+    PExpr *CZero = P->binary(BinaryOpKind::Eq, P->globalRead(C),
+                             P->constExpr(Value::makeInt(0)), ValueKind::Bool);
+    PExpr *CastC = P->newExpr();
+    CastC->K = PExprKind::Cast;
+    CastC->Ty = ValueKind::Double;
+    CastC->A = P->globalRead(C);
+    PExpr *Div = P->binary(BinaryOpKind::Div, P->globalRead(S), CastC,
+                           ValueKind::Double);
+    PExpr *Sel = P->newExpr();
+    Sel->K = PExprKind::Ternary;
+    Sel->Ty = ValueKind::Double;
+    Sel->A = CZero;
+    Sel->B = P->constExpr(Value::makeDouble(0.0));
+    Sel->C = Div;
+    MStmt *SetAvg = P->newMStmt(MStmtKind::Set);
+    SetAvg->Index = Avg;
+    SetAvg->Value = Sel;
+    P->state(RecvId).TransCode.push_back(SetAvg);
+    P->state(RecvId).TransCode.push_back(P->makeGoto(EndState));
+  }
+  return P;
+}
+
+TEST(PregelIR, VerifierAcceptsTeenProgram) {
+  auto P = buildTeenProgram();
+  EXPECT_EQ(verifyProgram(*P), "");
+}
+
+TEST(PregelIR, PrinterMentionsAllPieces) {
+  auto P = buildTeenProgram();
+  std::string Text = printProgram(*P);
+  EXPECT_NE(Text.find("nprop int age"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("global int S reduce=sum"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("msg teen_one(int one)"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("send_out teen_one(1)"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("on_message teen_one"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("goto END"), std::string::npos) << Text;
+}
+
+TEST(PregelIR, VerifierCatchesBadPrograms) {
+  {
+    PregelProgram P;
+    EXPECT_NE(verifyProgram(P), ""); // no states
+  }
+  {
+    auto P = buildTeenProgram();
+    P->States[1].TransCode.clear();
+    EXPECT_NE(verifyProgram(*P), ""); // transition falls off the end
+  }
+  {
+    auto P = buildTeenProgram();
+    P->States[1].TransCode.clear();
+    P->States[1].TransCode.push_back(P->makeGoto(99));
+    EXPECT_NE(verifyProgram(*P), ""); // bad goto target
+  }
+  {
+    auto P = buildTeenProgram();
+    // Payload arity mismatch.
+    P->MsgTypes[0].Fields.push_back({"extra", ValueKind::Int});
+    EXPECT_NE(verifyProgram(*P), "");
+  }
+  {
+    auto P = buildTeenProgram();
+    // send_in without uses_in_nbrs.
+    VStmt *Bad = P->newVStmt(VStmtKind::SendToInNbrs);
+    Bad->Index = 0;
+    Bad->Payload.push_back(P->constExpr(Value::makeInt(1)));
+    P->States[1].VertexCode.push_back(Bad);
+    EXPECT_NE(verifyProgram(*P), "");
+  }
+}
+
+TEST(PregelIR, ExecutesTeenProgram) {
+  // Diamond: 0 (15) and 1 (13) are teens; 2 (30), 3 (40) adults; K = 25.
+  Graph::Builder B(4);
+  B.addEdge(0, 1);
+  B.addEdge(0, 2);
+  B.addEdge(1, 3);
+  B.addEdge(2, 3);
+  Graph G = std::move(B).build();
+
+  auto P = buildTeenProgram();
+  ExecArgs Args;
+  Args.Scalars["K"] = Value::makeInt(25);
+  std::vector<Value> Ages = {Value::makeInt(15), Value::makeInt(13),
+                             Value::makeInt(30), Value::makeInt(40)};
+  Args.NodeProps["age"] = Ages;
+
+  std::unique_ptr<IRExecutor> Exec;
+  pregel::RunStats Stats =
+      runProgram(*P, G, std::move(Args), pregel::Config{}, &Exec);
+
+  ASSERT_TRUE(Exec->finished());
+  // cnt: node1 <- teen 0; node2 <- teen 0; node3 <- teen 1 (node 2 is not).
+  EXPECT_EQ(Exec->nodeProp("cnt").get(0).getInt(), 0);
+  EXPECT_EQ(Exec->nodeProp("cnt").get(1).getInt(), 1);
+  EXPECT_EQ(Exec->nodeProp("cnt").get(2).getInt(), 1);
+  EXPECT_EQ(Exec->nodeProp("cnt").get(3).getInt(), 1);
+  // avg over age > 25: nodes 2 and 3 -> (1 + 1) / 2 = 1.0
+  ASSERT_TRUE(Exec->returnValue().has_value());
+  EXPECT_DOUBLE_EQ(Exec->returnValue()->getDouble(), 1.0);
+  // 2 vertex phases, 3 teen-edges' messages (nodes 0 and 1 send).
+  EXPECT_EQ(Stats.Supersteps, 2u);
+  EXPECT_EQ(Stats.TotalMessages, 3u);
+}
+
+TEST(PregelIR, SingleMessageTypeIsUntagged) {
+  Graph G = generateRing(4);
+  auto P = buildTeenProgram();
+  ExecArgs Args;
+  Args.Scalars["K"] = Value::makeInt(0);
+  std::vector<Value> Ages(4, Value::makeInt(15));
+  Args.NodeProps["age"] = Ages;
+
+  pregel::Config Cfg;
+  Cfg.NumWorkers = 4;
+  pregel::RunStats Stats = runProgram(*P, G, std::move(Args), Cfg);
+  // One message type (and no in-nbr setup) -> 12 bytes each (4 hdr + 8 int).
+  EXPECT_EQ(Stats.NetworkMessages, 4u);
+  EXPECT_EQ(Stats.NetworkBytes, 4u * 12u);
+}
+
+/// A program exercising SendToInNbrs and the §4.3 setup preamble:
+/// every vertex pushes its id to its in-neighbors; receivers record the max.
+TEST(PregelIR, InNbrSendsWithSetupPreamble) {
+  auto P = std::make_unique<PregelProgram>();
+  P->Name = "innbr";
+  P->UsesInNbrs = true;
+  int MaxIn = P->addNodeProp("max_in", ValueKind::Int);
+  int Msg = P->addMsgType("idmsg");
+  P->MsgTypes[Msg].Fields.push_back({"id", ValueKind::Int});
+
+  int EntryId = P->newState("entry");
+  int SendId = P->newState("send");
+  int RecvId = P->newState("recv");
+  P->state(EntryId).TransCode.push_back(P->makeGoto(SendId));
+
+  VStmt *SendStmt = P->newVStmt(VStmtKind::SendToInNbrs);
+  SendStmt->Index = Msg;
+  {
+    PExpr *Id = P->newExpr();
+    Id->K = PExprKind::VertexId;
+    Id->Ty = ValueKind::Int;
+    SendStmt->Payload.push_back(Id);
+  }
+  P->state(SendId).VertexCode.push_back(SendStmt);
+  P->state(SendId).TransCode.push_back(P->makeGoto(RecvId));
+
+  VStmt *Init = P->newVStmt(VStmtKind::Assign);
+  Init->Index = MaxIn;
+  Init->Value = P->constExpr(Value::makeInt(-1));
+  VStmt *Acc = P->newVStmt(VStmtKind::Assign);
+  Acc->Index = MaxIn;
+  Acc->Reduce = ReduceKind::Max;
+  {
+    PExpr *Field = P->newExpr();
+    Field->K = PExprKind::MsgField;
+    Field->Index = 0;
+    Field->Ty = ValueKind::Int;
+    Acc->Value = Field;
+  }
+  VStmt *On = P->newVStmt(VStmtKind::OnMessage);
+  On->Index = Msg;
+  On->Then.push_back(Acc);
+  P->state(RecvId).VertexCode.push_back(Init);
+  P->state(RecvId).VertexCode.push_back(On);
+  P->state(RecvId).TransCode.push_back(P->makeGoto(EndState));
+
+  ASSERT_EQ(verifyProgram(*P), "");
+
+  Graph G = generateRing(5); // n -> n+1; in-nbr of n is n-1
+  std::unique_ptr<IRExecutor> Exec;
+  pregel::RunStats Stats =
+      runProgram(*P, G, ExecArgs{}, pregel::Config{}, &Exec);
+
+  // Vertex n sends to its in-neighbor n-1; that vertex records n.
+  for (NodeId N = 0; N < 5; ++N)
+    EXPECT_EQ(Exec->nodeProp("max_in").get(N).getInt(),
+              static_cast<int64_t>((N + 1) % 5));
+  // 2 setup supersteps + 2 program supersteps; setup sends 5 id messages.
+  EXPECT_EQ(Stats.Supersteps, 4u);
+  EXPECT_EQ(Stats.TotalMessages, 10u);
+}
+
+/// State-machine looping: a counter global incremented per superstep until
+/// it reaches 5, exercising conditional transitions and master Set.
+TEST(PregelIR, ConditionalTransitionsLoop) {
+  auto P = std::make_unique<PregelProgram>();
+  P->Name = "loop";
+  int K = P->addGlobal("k", ValueKind::Int, ReduceKind::None, Value::makeInt(0));
+
+  int EntryId = P->newState("entry");
+  int BodyId = P->newState("body");
+  P->state(EntryId).TransCode.push_back(P->makeGoto(BodyId));
+
+  MStmt *Inc = P->newMStmt(MStmtKind::Set);
+  Inc->Index = K;
+  Inc->Value = P->binary(BinaryOpKind::Add, P->globalRead(K),
+                         P->constExpr(Value::makeInt(1)), ValueKind::Int);
+  P->state(BodyId).TransCode.push_back(Inc);
+  PExpr *Cond = P->binary(BinaryOpKind::Lt, P->globalRead(K),
+                          P->constExpr(Value::makeInt(5)), ValueKind::Bool);
+  P->state(BodyId).TransCode.push_back(P->makeCondGoto(Cond, BodyId, EndState));
+  P->ReturnGlobal = "k";
+
+  ASSERT_EQ(verifyProgram(*P), "");
+
+  Graph G = generateRing(3);
+  std::unique_ptr<IRExecutor> Exec;
+  pregel::RunStats Stats =
+      runProgram(*P, G, ExecArgs{}, pregel::Config{}, &Exec);
+  EXPECT_EQ(Exec->returnValue()->getInt(), 5);
+  EXPECT_EQ(Stats.Supersteps, 5u);
+}
+
+/// Master goto overrides the default transition (used for Return inside If).
+TEST(PregelIR, MasterGotoOverridesEdges) {
+  auto P = std::make_unique<PregelProgram>();
+  P->Name = "goto";
+  int R = P->addGlobal("r", ValueKind::Int, ReduceKind::None, Value::makeInt(0));
+  P->ReturnGlobal = "r";
+
+  int EntryId = P->newState("entry");
+  int AId = P->newState("a");
+  int BId = P->newState("b"); // should never run
+  P->state(EntryId).TransCode.push_back(P->makeGoto(AId));
+
+  MStmt *SetR = P->newMStmt(MStmtKind::Set);
+  SetR->Index = R;
+  SetR->Value = P->constExpr(Value::makeInt(42));
+  MStmt *Jump = P->newMStmt(MStmtKind::Goto);
+  Jump->Index = EndState;
+  MStmt *Guard = P->newMStmt(MStmtKind::If);
+  Guard->Cond = P->constExpr(Value::makeBool(true));
+  Guard->Then.push_back(SetR);
+  Guard->Then.push_back(Jump);
+  P->state(AId).TransCode.push_back(Guard);
+  P->state(AId).TransCode.push_back(P->makeGoto(BId));
+
+  MStmt *SetBad = P->newMStmt(MStmtKind::Set);
+  SetBad->Index = R;
+  SetBad->Value = P->constExpr(Value::makeInt(-1));
+  P->state(BId).TransCode.push_back(SetBad);
+  P->state(BId).TransCode.push_back(P->makeGoto(EndState));
+
+  ASSERT_EQ(verifyProgram(*P), "");
+
+  Graph G = generateRing(3);
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(*P, G, ExecArgs{}, pregel::Config{}, &Exec);
+  EXPECT_EQ(Exec->returnValue()->getInt(), 42);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Verifier: context-sensitivity of expressions.
+//===----------------------------------------------------------------------===//
+
+namespace verifier_more {
+
+using namespace gm;
+using namespace gm::pir;
+
+std::unique_ptr<PregelProgram> skeleton() {
+  auto P = std::make_unique<PregelProgram>();
+  P->Name = "t";
+  P->addNodeProp("x", ValueKind::Int);
+  int G = P->addGlobal("g", ValueKind::Int, ReduceKind::None, Value::makeInt(0));
+  (void)G;
+  int M = P->addMsgType("m");
+  P->MsgTypes[M].Fields.push_back({"f", ValueKind::Int});
+  int Entry = P->newState("entry");
+  int Work = P->newState("work");
+  P->state(Entry).TransCode.push_back(P->makeGoto(Work));
+  P->state(Work).TransCode.push_back(P->makeGoto(EndState));
+  return P;
+}
+
+TEST(VerifierMore, PropReadInMasterContextRejected) {
+  auto P = skeleton();
+  MStmt *S = P->newMStmt(MStmtKind::Set);
+  S->Index = 0;
+  S->Value = P->propRead(0); // vertex-only expression in master code
+  P->state(1).TransCode.insert(P->state(1).TransCode.begin(), S);
+  EXPECT_NE(verifyProgram(*P).find("master context"), std::string::npos);
+}
+
+TEST(VerifierMore, MsgFieldOutsideOnMessageRejected) {
+  auto P = skeleton();
+  VStmt *S = P->newVStmt(VStmtKind::Assign);
+  S->Index = 0;
+  PExpr *F = P->newExpr();
+  F->K = PExprKind::MsgField;
+  F->Index = 0;
+  S->Value = F;
+  P->state(1).VertexCode.push_back(S);
+  EXPECT_NE(verifyProgram(*P).find("outside on_message"), std::string::npos);
+}
+
+TEST(VerifierMore, EdgePropOutsideSendPayloadRejected) {
+  auto P = skeleton();
+  P->addEdgeProp("w", ValueKind::Int);
+  VStmt *S = P->newVStmt(VStmtKind::Assign);
+  S->Index = 0;
+  PExpr *E = P->newExpr();
+  E->K = PExprKind::EdgePropRead;
+  E->Index = 0;
+  S->Value = E;
+  P->state(1).VertexCode.push_back(S);
+  EXPECT_NE(verifyProgram(*P).find("send_out payload"), std::string::npos);
+}
+
+TEST(VerifierMore, NestedOnMessageRejected) {
+  auto P = skeleton();
+  VStmt *Inner = P->newVStmt(VStmtKind::OnMessage);
+  Inner->Index = 0;
+  VStmt *Outer = P->newVStmt(VStmtKind::OnMessage);
+  Outer->Index = 0;
+  Outer->Then.push_back(Inner);
+  P->state(1).VertexCode.push_back(Outer);
+  EXPECT_NE(verifyProgram(*P).find("nested on_message"), std::string::npos);
+}
+
+TEST(VerifierMore, VertexPutToNonReducedGlobalRejected) {
+  auto P = skeleton();
+  VStmt *S = P->newVStmt(VStmtKind::GlobalPut);
+  S->Index = 0; // global "g" has VertexReduce = None
+  S->Value = P->constExpr(Value::makeInt(1));
+  P->state(1).VertexCode.push_back(S);
+  EXPECT_NE(verifyProgram(*P).find("non-reduced"), std::string::npos);
+}
+
+TEST(VerifierMore, EntryStateMustHaveNoVertexCode) {
+  auto P = skeleton();
+  VStmt *S = P->newVStmt(VStmtKind::Assign);
+  S->Index = 0;
+  S->Value = P->constExpr(Value::makeInt(1));
+  P->state(0).VertexCode.push_back(S);
+  EXPECT_NE(verifyProgram(*P).find("entry state"), std::string::npos);
+}
+
+} // namespace verifier_more

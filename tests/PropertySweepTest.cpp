@@ -1,0 +1,281 @@
+//===- tests/PropertySweepTest.cpp - Degenerate inputs & randomized sweeps ----===//
+///
+/// Hardening for the full pipeline: every bundled algorithm on degenerate
+/// graphs (empty edge set, a single vertex, self-loops, duplicate edges),
+/// plus property-style parameterized sweeps comparing compiled programs
+/// against the sequential oracles over many random graphs and seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/reference/Sequential.h"
+#include "driver/Compiler.h"
+#include "exec/IRExecutor.h"
+#include "graph/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using namespace gm;
+using exec::ExecArgs;
+using exec::IRExecutor;
+using exec::runProgram;
+
+const pir::PregelProgram &program(const char *Name) {
+  static std::map<std::string, CompileResult> Cache;
+  auto It = Cache.find(Name);
+  if (It == Cache.end()) {
+    CompileResult R =
+        compileGreenMarlFile(std::string(GM_ALGORITHMS_DIR) + "/" + Name);
+    EXPECT_TRUE(R.ok()) << R.Diags->dump();
+    It = Cache.emplace(Name, std::move(R)).first;
+  }
+  return *It->second.Program;
+}
+
+std::vector<Value> toValues(const std::vector<int64_t> &In) {
+  std::vector<Value> Out;
+  for (int64_t V : In)
+    Out.push_back(Value::makeInt(V));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Degenerate graphs
+//===----------------------------------------------------------------------===//
+
+Graph edgelessGraph(NodeId N) {
+  Graph::Builder B(N);
+  return std::move(B).build();
+}
+
+TEST(Degenerate, AvgTeenOnEdgelessGraph) {
+  Graph G = edgelessGraph(10);
+  ExecArgs Args;
+  Args.Scalars["K"] = Value::makeInt(20);
+  Args.NodeProps["age"] = toValues(std::vector<int64_t>(10, 15));
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("avg_teen.gm"), G, std::move(Args), pregel::Config{},
+             &Exec);
+  ASSERT_TRUE(Exec->finished());
+  EXPECT_DOUBLE_EQ(Exec->returnValue()->getDouble(), 0.0);
+}
+
+TEST(Degenerate, AvgTeenNoQualifyingUsersDividesSafely) {
+  // C == 0: the ternary guard in the Green-Marl source must protect the
+  // division.
+  Graph G = generateRing(5);
+  ExecArgs Args;
+  Args.Scalars["K"] = Value::makeInt(100);
+  Args.NodeProps["age"] = toValues({15, 16, 17, 18, 19});
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("avg_teen.gm"), G, std::move(Args), pregel::Config{},
+             &Exec);
+  EXPECT_DOUBLE_EQ(Exec->returnValue()->getDouble(), 0.0);
+}
+
+TEST(Degenerate, SSSPOnSingleVertex) {
+  Graph G = edgelessGraph(1);
+  ExecArgs Args;
+  Args.Scalars["root"] = Value::makeInt(0);
+  Args.EdgeProps["len"] = {};
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("sssp.gm"), G, std::move(Args), pregel::Config{}, &Exec);
+  ASSERT_TRUE(Exec->finished());
+  EXPECT_EQ(Exec->nodeProp("dist").get(0).getInt(), 0);
+}
+
+TEST(Degenerate, SSSPWithSelfLoopsAndDuplicateEdges) {
+  Graph::Builder B(3);
+  B.addEdge(0, 0); // self loop
+  B.addEdge(0, 1);
+  B.addEdge(0, 1); // duplicate, different weight
+  B.addEdge(1, 2);
+  Graph G = std::move(B).build();
+  std::vector<int64_t> Len = {5, 9, 2, 1};
+  ExecArgs Args;
+  Args.Scalars["root"] = Value::makeInt(0);
+  Args.EdgeProps["len"] = toValues(Len);
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("sssp.gm"), G, std::move(Args), pregel::Config{}, &Exec);
+  std::vector<int64_t> Ref = reference::sssp(G, 0, Len);
+  for (NodeId N = 0; N < 3; ++N)
+    EXPECT_EQ(Exec->nodeProp("dist").get(N).getInt(), Ref[N]);
+}
+
+TEST(Degenerate, PageRankOnSinkOnlyGraph) {
+  // A star where everything points at a sink; mass leaks, but both the
+  // compiled program and the oracle use the same formulation.
+  Graph::Builder B(5);
+  for (NodeId N = 1; N < 5; ++N)
+    B.addEdge(N, 0);
+  Graph G = std::move(B).build();
+  ExecArgs Args;
+  Args.Scalars["e"] = Value::makeDouble(0.0);
+  Args.Scalars["d"] = Value::makeDouble(0.85);
+  Args.Scalars["max_iter"] = Value::makeInt(6);
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("pagerank.gm"), G, std::move(Args), pregel::Config{},
+             &Exec);
+  std::vector<double> Ref = reference::pageRank(G, 0.85, 0.0, 6);
+  for (NodeId N = 0; N < 5; ++N)
+    EXPECT_NEAR(Exec->nodeProp("pg_rank").get(N).getDouble(), Ref[N], 1e-12);
+}
+
+TEST(Degenerate, ConductanceOnEdgelessGraph) {
+  Graph G = edgelessGraph(4);
+  ExecArgs Args;
+  Args.Scalars["num"] = Value::makeInt(0);
+  Args.NodeProps["member"] = toValues({0, 0, 1, 1});
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("conductance.gm"), G, std::move(Args), pregel::Config{},
+             &Exec);
+  EXPECT_DOUBLE_EQ(Exec->returnValue()->getDouble(), 0.0);
+}
+
+TEST(Degenerate, BipartiteWithIsolatedBoys) {
+  Graph::Builder B(4); // boys 0,1; girls 2,3; only boy 0 has edges
+  B.addEdge(0, 2);
+  B.addEdge(0, 3);
+  Graph G = std::move(B).build();
+  ExecArgs Args;
+  std::vector<Value> Left = {Value::makeBool(true), Value::makeBool(true),
+                             Value::makeBool(false), Value::makeBool(false)};
+  Args.NodeProps["is_left"] = Left;
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("bipartite_matching.gm"), G, std::move(Args),
+             pregel::Config{}, &Exec);
+  EXPECT_EQ(Exec->returnValue()->getInt(), 1);
+  EXPECT_EQ(Exec->nodeProp("match").get(1).getInt(), -1); // isolated: NIL
+}
+
+TEST(Degenerate, BCOnEdgelessGraphIsAllZero) {
+  Graph G = edgelessGraph(6);
+  ExecArgs Args;
+  Args.Scalars["K"] = Value::makeInt(2);
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("bc_approx.gm"), G, std::move(Args), pregel::Config{},
+             &Exec);
+  ASSERT_TRUE(Exec->finished());
+  for (NodeId N = 0; N < 6; ++N)
+    EXPECT_DOUBLE_EQ(Exec->nodeProp("BC").get(N).getDouble(), 0.0);
+}
+
+TEST(Degenerate, CompLabelOnEdgelessGraphCountsSingletons) {
+  Graph G = edgelessGraph(7);
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("comp_label.gm"), G, {}, pregel::Config{}, &Exec);
+  EXPECT_EQ(Exec->returnValue()->getInt(), 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized sweeps (property-style)
+//===----------------------------------------------------------------------===//
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, SSSPAlwaysMatchesDijkstra) {
+  uint64_t Seed = GetParam();
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<NodeId> Size(2, 300);
+  NodeId N = Size(Rng);
+  EdgeId M = std::uniform_int_distribution<EdgeId>(0, N * 6)(Rng);
+  Graph G = generateUniformRandom(N, M, Seed * 3 + 1);
+  std::vector<int64_t> Len(G.numEdges());
+  std::uniform_int_distribution<int64_t> LenDist(0, 20); // zero allowed
+  for (auto &L : Len)
+    L = LenDist(Rng);
+  NodeId Root = std::uniform_int_distribution<NodeId>(0, N - 1)(Rng);
+
+  ExecArgs Args;
+  Args.Scalars["root"] = Value::makeInt(Root);
+  Args.EdgeProps["len"] = toValues(Len);
+  pregel::Config Cfg;
+  Cfg.NumWorkers = 1 + static_cast<unsigned>(Seed % 5);
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("sssp.gm"), G, std::move(Args), Cfg, &Exec);
+
+  std::vector<int64_t> Ref = reference::sssp(G, Root, Len);
+  for (NodeId V = 0; V < N; ++V)
+    ASSERT_EQ(Exec->nodeProp("dist").get(V).getInt(), Ref[V])
+        << "seed " << Seed << " node " << V;
+}
+
+TEST_P(SeedSweep, AvgTeenAlwaysMatchesReference) {
+  uint64_t Seed = GetParam();
+  std::mt19937_64 Rng(Seed ^ 0xABCD);
+  NodeId N = std::uniform_int_distribution<NodeId>(1, 250)(Rng);
+  Graph G = generateRMAT(N, N * 4, Seed + 11);
+  std::vector<int64_t> Age(G.numNodes());
+  std::uniform_int_distribution<int64_t> AgeDist(0, 99);
+  for (auto &A : Age)
+    A = AgeDist(Rng);
+  int64_t K = AgeDist(Rng);
+
+  ExecArgs Args;
+  Args.Scalars["K"] = Value::makeInt(K);
+  Args.NodeProps["age"] = toValues(Age);
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("avg_teen.gm"), G, std::move(Args), pregel::Config{},
+             &Exec);
+
+  auto Ref = reference::avgTeenageFollowers(G, Age, K);
+  for (NodeId V = 0; V < G.numNodes(); ++V)
+    ASSERT_EQ(Exec->nodeProp("teen_cnt").get(V).getInt(), Ref.TeenCount[V]);
+  EXPECT_DOUBLE_EQ(Exec->returnValue()->getDouble(), Ref.Average);
+}
+
+TEST_P(SeedSweep, CompLabelAlwaysMatchesUnionFind) {
+  uint64_t Seed = GetParam();
+  std::mt19937_64 Rng(Seed ^ 0x77);
+  NodeId N = std::uniform_int_distribution<NodeId>(1, 200)(Rng);
+  EdgeId M = std::uniform_int_distribution<EdgeId>(0, N)(Rng); // sparse
+  Graph G = generateUniformRandom(N, M, Seed + 5);
+
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("comp_label.gm"), G, {}, pregel::Config{}, &Exec);
+
+  std::vector<NodeId> Ref = reference::weaklyConnectedComponents(G);
+  for (NodeId V = 0; V < N; ++V)
+    ASSERT_EQ(Exec->nodeProp("comp").get(V).getInt(),
+              static_cast<int64_t>(Ref[V]))
+        << "seed " << Seed;
+}
+
+TEST_P(SeedSweep, BipartiteAlwaysMaximal) {
+  uint64_t Seed = GetParam();
+  std::mt19937_64 Rng(Seed ^ 0x1234);
+  NodeId L = std::uniform_int_distribution<NodeId>(1, 120)(Rng);
+  NodeId R = std::uniform_int_distribution<NodeId>(1, 120)(Rng);
+  EdgeId M = std::uniform_int_distribution<EdgeId>(0, L * 4)(Rng);
+  Graph G = generateBipartite(L, R, M, Seed + 9);
+
+  std::vector<uint8_t> Left(G.numNodes(), 0);
+  std::vector<Value> IsLeft(G.numNodes());
+  for (NodeId V = 0; V < G.numNodes(); ++V) {
+    Left[V] = V < L;
+    IsLeft[V] = Value::makeBool(V < L);
+  }
+  ExecArgs Args;
+  Args.NodeProps["is_left"] = IsLeft;
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(program("bipartite_matching.gm"), G, std::move(Args),
+             pregel::Config{}, &Exec);
+
+  std::vector<NodeId> Match(G.numNodes());
+  for (NodeId V = 0; V < G.numNodes(); ++V) {
+    int64_t P = Exec->nodeProp("match").get(V).getInt();
+    Match[V] = P < 0 ? InvalidNode : static_cast<NodeId>(P);
+  }
+  EXPECT_TRUE(reference::isValidMatching(G, Left, Match)) << "seed " << Seed;
+  EXPECT_TRUE(reference::isMaximalMatching(G, Left, Match))
+      << "seed " << Seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+} // namespace

@@ -1,0 +1,213 @@
+//===- tests/SupportTest.cpp - Unit tests for src/support --------------------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/Value.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace {
+
+using namespace gm;
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+struct Shape {
+  enum class Kind { Circle, Square };
+  Kind K;
+  explicit Shape(Kind K) : K(K) {}
+};
+struct Circle : Shape {
+  Circle() : Shape(Kind::Circle) {}
+  static bool classof(const Shape *S) { return S->K == Kind::Circle; }
+};
+struct Square : Shape {
+  Square() : Shape(Kind::Square) {}
+  static bool classof(const Shape *S) { return S->K == Kind::Square; }
+};
+
+TEST(Casting, IsaMatchesDynamicKind) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_TRUE(isa<Circle>(S));
+  EXPECT_FALSE(isa<Square>(S));
+}
+
+TEST(Casting, VariadicIsa) {
+  Square Sq;
+  Shape *S = &Sq;
+  bool Match = isa<Circle, Square>(S);
+  EXPECT_TRUE(Match);
+}
+
+TEST(Casting, DynCastReturnsNullOnMismatch) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_NE(dyn_cast<Circle>(S), nullptr);
+  EXPECT_EQ(dyn_cast<Square>(S), nullptr);
+}
+
+TEST(Casting, DynCastHandlesNull) {
+  Shape *S = nullptr;
+  EXPECT_EQ(dyn_cast<Circle>(S), nullptr);
+}
+
+TEST(Casting, CastPreservesConstness) {
+  const Circle C;
+  const Shape *S = &C;
+  const Circle *Back = cast<Circle>(S);
+  EXPECT_EQ(Back, &C);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, ErrorsAreSticky) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning({1, 1}, "just a warning");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error({2, 5}, "boom");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+}
+
+TEST(Diagnostics, RendersLocationAndSeverity) {
+  DiagnosticEngine Diags;
+  Diags.error({3, 7}, "unexpected token");
+  ASSERT_EQ(Diags.diagnostics().size(), 1u);
+  EXPECT_EQ(Diags.diagnostics()[0].toString(), "3:7: error: unexpected token");
+}
+
+TEST(Diagnostics, InvalidLocationOmitted) {
+  DiagnosticEngine Diags;
+  Diags.note(SourceLocation(), "general note");
+  EXPECT_EQ(Diags.diagnostics()[0].toString(), "note: general note");
+}
+
+TEST(Diagnostics, ContainsMessageFindsSubstrings) {
+  DiagnosticEngine Diags;
+  Diags.error({1, 1}, "message pulling is not allowed here");
+  EXPECT_TRUE(Diags.containsMessage("message pulling"));
+  EXPECT_FALSE(Diags.containsMessage("segfault"));
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine Diags;
+  Diags.error({1, 1}, "x");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+TEST(Value, DefaultIsUndef) {
+  Value V;
+  EXPECT_TRUE(V.isUndef());
+  EXPECT_EQ(V.wireSize(), 0u);
+}
+
+TEST(Value, RoundTripsScalars) {
+  EXPECT_EQ(Value::makeInt(-42).getInt(), -42);
+  EXPECT_EQ(Value::makeDouble(2.5).getDouble(), 2.5);
+  EXPECT_TRUE(Value::makeBool(true).getBool());
+}
+
+TEST(Value, NumericWidening) {
+  EXPECT_DOUBLE_EQ(Value::makeInt(3).asDouble(), 3.0);
+  EXPECT_EQ(Value::makeDouble(3.9).asInt(), 3);
+}
+
+TEST(Value, InfLiterals) {
+  EXPECT_EQ(Value::makeInf(ValueKind::Int).getInt(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_TRUE(std::isinf(Value::makeInf(ValueKind::Double).getDouble()));
+}
+
+TEST(Value, WireSizes) {
+  EXPECT_EQ(Value::makeBool(true).wireSize(), 1u);
+  EXPECT_EQ(Value::makeInt(1).wireSize(), 8u);
+  EXPECT_EQ(Value::makeDouble(1.0).wireSize(), 8u);
+}
+
+TEST(Value, EqualityComparesKindAndPayload) {
+  EXPECT_EQ(Value::makeInt(7), Value::makeInt(7));
+  EXPECT_FALSE(Value::makeInt(7) == Value::makeDouble(7.0));
+  EXPECT_EQ(Value(), Value());
+}
+
+//===----------------------------------------------------------------------===//
+// applyReduce
+//===----------------------------------------------------------------------===//
+
+TEST(Reduce, UndefTargetAdoptsOperand) {
+  Value T;
+  applyReduce(ReduceKind::Sum, T, Value::makeInt(5));
+  EXPECT_EQ(T.getInt(), 5);
+}
+
+TEST(Reduce, SumIntAndDouble) {
+  Value T = Value::makeInt(2);
+  applyReduce(ReduceKind::Sum, T, Value::makeInt(3));
+  EXPECT_EQ(T.getInt(), 5);
+  applyReduce(ReduceKind::Sum, T, Value::makeDouble(0.5));
+  EXPECT_DOUBLE_EQ(T.getDouble(), 5.5);
+}
+
+TEST(Reduce, MinMax) {
+  Value T = Value::makeInt(4);
+  applyReduce(ReduceKind::Min, T, Value::makeInt(9));
+  EXPECT_EQ(T.getInt(), 4);
+  applyReduce(ReduceKind::Max, T, Value::makeInt(9));
+  EXPECT_EQ(T.getInt(), 9);
+}
+
+TEST(Reduce, BooleanAndOr) {
+  Value T = Value::makeBool(true);
+  applyReduce(ReduceKind::And, T, Value::makeBool(false));
+  EXPECT_FALSE(T.getBool());
+  applyReduce(ReduceKind::Or, T, Value::makeBool(true));
+  EXPECT_TRUE(T.getBool());
+}
+
+TEST(Reduce, NoneOverwrites) {
+  Value T = Value::makeInt(1);
+  applyReduce(ReduceKind::None, T, Value::makeInt(99));
+  EXPECT_EQ(T.getInt(), 99);
+}
+
+TEST(Reduce, ProdMultiplies) {
+  Value T = Value::makeInt(6);
+  applyReduce(ReduceKind::Prod, T, Value::makeInt(7));
+  EXPECT_EQ(T.getInt(), 42);
+}
+
+// Property-style sweep: Sum/Min/Max over permutations must be
+// order-insensitive (this is what makes worker-merge order irrelevant).
+class ReduceOrderTest : public ::testing::TestWithParam<ReduceKind> {};
+
+TEST_P(ReduceOrderTest, OrderInsensitive) {
+  ReduceKind K = GetParam();
+  std::vector<int64_t> Inputs = {5, -3, 12, 0, 7, -3};
+  Value Forward, Backward;
+  for (size_t I = 0; I < Inputs.size(); ++I)
+    applyReduce(K, Forward, Value::makeInt(Inputs[I]));
+  for (size_t I = Inputs.size(); I-- > 0;)
+    applyReduce(K, Backward, Value::makeInt(Inputs[I]));
+  EXPECT_EQ(Forward, Backward);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllReduceKinds, ReduceOrderTest,
+                         ::testing::Values(ReduceKind::Sum, ReduceKind::Prod,
+                                           ReduceKind::Min, ReduceKind::Max));
+
+} // namespace

@@ -1,0 +1,413 @@
+//===- tests/TransformsTest.cpp - §4.1 pass-level golden tests ----------------===//
+///
+/// Checks each canonicalizing transformation in isolation against the
+/// before/after forms the paper specifies, using the AST printer as the
+/// observation point.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CanonicalChecker.h"
+#include "frontend/ASTPrinter.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "transform/Transforms.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace gm;
+
+struct Parsed {
+  ASTContext Context;
+  DiagnosticEngine Diags;
+  ProcedureDecl *Proc = nullptr;
+  std::unordered_map<VarDecl *, VarDecl *> EdgeBindings;
+};
+
+std::unique_ptr<Parsed> parseChecked(const std::string &Src) {
+  auto R = std::make_unique<Parsed>();
+  Parser P(Src, R->Context, R->Diags);
+  Program Prog = P.parseProgram();
+  EXPECT_FALSE(R->Diags.hasErrors()) << R->Diags.dump();
+  if (Prog.Procedures.empty())
+    return R;
+  R->Proc = Prog.Procedures[0];
+  Sema S(R->Context, R->Diags);
+  EXPECT_TRUE(S.check(R->Proc)) << R->Diags.dump();
+  R->EdgeBindings = S.edgeBindings();
+  return R;
+}
+
+bool isCanonical(Parsed &P) {
+  DiagnosticEngine Scratch;
+  CanonicalChecker C(Scratch, P.EdgeBindings);
+  return C.check(P.Proc);
+}
+
+//===----------------------------------------------------------------------===//
+// Reduction lowering
+//===----------------------------------------------------------------------===//
+
+TEST(ReductionLowering, SumBecomesAccumulationLoop) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, deg_sum: N_P<Int>) : Int {
+  Int s = Sum(u: G.Nodes){u.Degree()};
+  Return s;
+}
+)");
+  EXPECT_TRUE(lowerReductions(P->Proc, P->Context, P->Diags));
+  std::string Out = printProcedure(P->Proc);
+  EXPECT_NE(Out.find("_red0"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("Foreach (u: G.Nodes)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("+= u.Degree()"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("Return s"), std::string::npos) << Out;
+  EXPECT_FALSE(P->Diags.hasErrors()) << P->Diags.dump();
+}
+
+TEST(ReductionLowering, CountBecomesPlusOne) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, age: N_P<Int>) : Long {
+  Return Count(u: G.Nodes)(u.age > 10);
+}
+)");
+  EXPECT_TRUE(lowerReductions(P->Proc, P->Context, P->Diags));
+  std::string Out = printProcedure(P->Proc);
+  EXPECT_NE(Out.find("+= 1"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("(u.age > 10)"), std::string::npos) << Out;
+}
+
+TEST(ReductionLowering, ExistBecomesOrReduction) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, up: N_P<Bool>) {
+  Bool fin = !Exist(n: G.Nodes)(n.up);
+}
+)");
+  EXPECT_TRUE(lowerReductions(P->Proc, P->Context, P->Diags));
+  std::string Out = printProcedure(P->Proc);
+  EXPECT_NE(Out.find("|= True"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("= !_red0"), std::string::npos) << Out;
+}
+
+TEST(ReductionLowering, MinGetsInfInit) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, x: N_P<Int>) : Int {
+  Return Min(u: G.Nodes){u.x};
+}
+)");
+  EXPECT_TRUE(lowerReductions(P->Proc, P->Context, P->Diags));
+  std::string Out = printProcedure(P->Proc);
+  EXPECT_NE(Out.find("= INF"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("min= u.x"), std::string::npos) << Out;
+}
+
+TEST(ReductionLowering, NestedReductionsLowerInnermostToo) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, m: N_P<Int>) : Int {
+  Int cross = Sum(j: G.Nodes)(j.m != 0){Count(u: j.InNbrs)(u.m == 0)};
+  Return cross;
+}
+)");
+  EXPECT_TRUE(lowerReductions(P->Proc, P->Context, P->Diags));
+  std::string Out = printProcedure(P->Proc);
+  // Two temporaries: the outer Sum's and the inner Count's.
+  EXPECT_NE(Out.find("_red0"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("_red1"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("Foreach (u: j.InNbrs)"), std::string::npos) << Out;
+}
+
+TEST(ReductionLowering, AvgBecomesSumOverCount) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, x: N_P<Double>) : Double {
+  Return Avg(u: G.Nodes){u.x};
+}
+)");
+  EXPECT_TRUE(lowerReductions(P->Proc, P->Context, P->Diags));
+  std::string Out = printProcedure(P->Proc);
+  EXPECT_NE(Out.find("_avg_s"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("_avg_c"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("?"), std::string::npos) << Out; // zero-count guard
+}
+
+TEST(ReductionLowering, RejectsReductionInWhileCondition) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, up: N_P<Bool>) {
+  While (Exist(n: G.Nodes)(n.up)) {
+    Foreach (n: G.Nodes) { n.up = False; }
+  }
+}
+)");
+  lowerReductions(P->Proc, P->Context, P->Diags);
+  EXPECT_TRUE(P->Diags.hasErrors());
+  EXPECT_TRUE(P->Diags.containsMessage("loop conditions"));
+}
+
+//===----------------------------------------------------------------------===//
+// Random-access lowering
+//===----------------------------------------------------------------------===//
+
+TEST(RandomAccess, SequentialWriteBecomesFilteredLoop) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, root: Node, dist: N_P<Int>) {
+  root.dist = 0;
+}
+)");
+  EXPECT_TRUE(lowerRandomAccess(P->Proc, P->Context, P->Diags));
+  std::string Out = printProcedure(P->Proc);
+  EXPECT_NE(Out.find("== root"), std::string::npos) << Out;
+  EXPECT_NE(Out.find(".dist = 0"), std::string::npos) << Out;
+  EXPECT_TRUE(isCanonical(*P)) << printProcedure(P->Proc);
+}
+
+TEST(RandomAccess, SequentialReadBecomesReduction) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, s: Node, dist: N_P<Int>) : Int {
+  Int d = s.dist;
+  Return d;
+}
+)");
+  EXPECT_TRUE(lowerRandomAccess(P->Proc, P->Context, P->Diags));
+  std::string Out = printProcedure(P->Proc);
+  EXPECT_NE(Out.find("_rv0"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("== s"), std::string::npos) << Out;
+  EXPECT_TRUE(isCanonical(*P)) << printProcedure(P->Proc);
+}
+
+TEST(RandomAccess, ReadInsideReturnIsHoisted) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, s: Node, dist: N_P<Int>) : Int {
+  Return s.dist + 1;
+}
+)");
+  EXPECT_TRUE(lowerRandomAccess(P->Proc, P->Context, P->Diags));
+  EXPECT_TRUE(isCanonical(*P)) << printProcedure(P->Proc);
+}
+
+//===----------------------------------------------------------------------===//
+// Loop dissection
+//===----------------------------------------------------------------------===//
+
+TEST(Dissection, ScalarBecomesPropertyAndLoopSplits) {
+  // The paper's running example (§4.1 "Dissecting Nested Loops").
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, age: N_P<Int>, cnt: N_P<Int>) {
+  Foreach (n: G.Nodes) {
+    Int c = 0;
+    Foreach (t: n.InNbrs)(t.age >= 13 && t.age <= 19) {
+      c += 1;
+    }
+    n.cnt = c;
+  }
+}
+)");
+  EXPECT_TRUE(dissectLoops(P->Proc, P->Context, P->Diags, P->EdgeBindings));
+  std::string Out = printProcedure(P->Proc);
+  // Scalar became a per-vertex property temp...
+  EXPECT_NE(Out.find("_tmp_c"), std::string::npos) << Out;
+  // ...and the loop split into three: init / communicate / copy.
+  size_t Loops = 0, Pos = 0;
+  while ((Pos = Out.find("Foreach (n: G.Nodes)", Pos)) != std::string::npos) {
+    ++Loops;
+    ++Pos;
+  }
+  EXPECT_EQ(Loops, 3u) << Out;
+}
+
+TEST(Dissection, PushLoopsAreLeftAlone) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, foo: N_P<Int>, bar: N_P<Int>) {
+  Foreach (n: G.Nodes) {
+    n.foo = 0;
+    Foreach (t: n.Nbrs) {
+      t.bar += n.foo;
+    }
+  }
+}
+)");
+  EXPECT_FALSE(dissectLoops(P->Proc, P->Context, P->Diags, P->EdgeBindings));
+}
+
+TEST(Dissection, RejectsFilterDependingOnLoopWrites) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, foo: N_P<Int>, bar: N_P<Int>) {
+  Foreach (n: G.Nodes)(n.foo > 0) {
+    n.foo = 0;
+    Foreach (t: n.InNbrs) {
+      n.foo += t.bar;
+    }
+  }
+}
+)");
+  dissectLoops(P->Proc, P->Context, P->Diags, P->EdgeBindings);
+  EXPECT_TRUE(P->Diags.hasErrors());
+  EXPECT_TRUE(P->Diags.containsMessage("filter"));
+}
+
+//===----------------------------------------------------------------------===//
+// Edge flipping
+//===----------------------------------------------------------------------===//
+
+TEST(Flipping, SwapsIteratorsAndDirection) {
+  // The paper's example: pulling max over in-neighbors becomes pushing.
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, foo: N_P<Int>, bar: N_P<Int>) {
+  Foreach (n: G.Nodes) {
+    Foreach (t: n.InNbrs) {
+      n.foo max= t.bar;
+    }
+  }
+}
+)");
+  EXPECT_FALSE(isCanonical(*P)); // message pulling
+  EXPECT_TRUE(flipEdges(P->Proc, P->Context, P->Diags, P->EdgeBindings));
+  std::string Out = printProcedure(P->Proc);
+  EXPECT_NE(Out.find("Foreach (t: G.Nodes)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("Foreach (n: t.Nbrs)"), std::string::npos) << Out;
+  EXPECT_TRUE(isCanonical(*P)) << Out;
+}
+
+TEST(Flipping, FiltersTravelWithTheirIterators) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, foo: N_P<Int>, bar: N_P<Int>) {
+  Foreach (n: G.Nodes)(n.foo == 0) {
+    Foreach (t: n.InNbrs)(t.bar > 3) {
+      n.foo += t.bar;
+    }
+  }
+}
+)");
+  EXPECT_TRUE(flipEdges(P->Proc, P->Context, P->Diags, P->EdgeBindings));
+  std::string Out = printProcedure(P->Proc);
+  // The sender filter (t.bar > 3) is now the outer filter; the receiver
+  // filter (n.foo == 0) moved inside.
+  size_t OuterPos = Out.find("Foreach (t: G.Nodes)((t.bar > 3))");
+  size_t InnerPos = Out.find("Foreach (n: t.Nbrs)((n.foo == 0))");
+  EXPECT_NE(OuterPos, std::string::npos) << Out;
+  EXPECT_NE(InnerPos, std::string::npos) << Out;
+}
+
+TEST(Flipping, RefusesWhenEdgePropertiesAreInvolved) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, w: E_P<Int>, foo: N_P<Int>) {
+  Foreach (n: G.Nodes) {
+    Foreach (t: n.InNbrs) {
+      Edge e = t.ToEdge();
+      n.foo += e.w;
+    }
+  }
+}
+)");
+  flipEdges(P->Proc, P->Context, P->Diags, P->EdgeBindings);
+  EXPECT_TRUE(P->Diags.hasErrors());
+  EXPECT_TRUE(P->Diags.containsMessage("edge"));
+}
+
+TEST(Flipping, RefusesMixedDirectionWrites) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, foo: N_P<Int>, bar: N_P<Int>) {
+  Foreach (n: G.Nodes) {
+    Foreach (t: n.InNbrs) {
+      n.foo += 1;
+      t.bar += 1;
+    }
+  }
+}
+)");
+  flipEdges(P->Proc, P->Context, P->Diags, P->EdgeBindings);
+  EXPECT_TRUE(P->Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// BFS lowering
+//===----------------------------------------------------------------------===//
+
+TEST(BFS, LowersToFrontierExpansion) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, root: Node, x: N_P<Int>) {
+  InBFS (v: G.Nodes From root) {
+    v.x = 1;
+  }
+}
+)");
+  EXPECT_TRUE(lowerBFS(P->Proc, P->Context, P->Diags));
+  std::string Out = printProcedure(P->Proc);
+  EXPECT_EQ(Out.find("InBFS"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("_lev"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("While"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("min="), std::string::npos) << Out; // expansion write
+}
+
+TEST(BFS, UpNbrsBecomesFilteredInNbrs) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, root: Node, sigma: N_P<Double>) {
+  InBFS (v: G.Nodes From root)(v != root) {
+    v.sigma = Sum(w: v.UpNbrs){w.sigma};
+  }
+}
+)");
+  EXPECT_TRUE(lowerReductions(P->Proc, P->Context, P->Diags));
+  EXPECT_TRUE(lowerBFS(P->Proc, P->Context, P->Diags));
+  std::string Out = printProcedure(P->Proc);
+  EXPECT_NE(Out.find("w: v.InNbrs"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("UpNbrs"), std::string::npos) << Out;
+}
+
+TEST(BFS, ReverseBecomesDescendingWhile) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, root: Node, d: N_P<Double>) {
+  InBFS (v: G.Nodes From root) {
+    v.d = 0.0;
+  }
+  InReverse {
+    v.d = Sum(w: v.DownNbrs){w.d};
+  }
+}
+)");
+  EXPECT_TRUE(lowerReductions(P->Proc, P->Context, P->Diags));
+  EXPECT_TRUE(lowerBFS(P->Proc, P->Context, P->Diags));
+  std::string Out = printProcedure(P->Proc);
+  EXPECT_NE(Out.find(">= 0"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("w: v.Nbrs"), std::string::npos) << Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Full pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, MakesThePaperPullExampleCanonical) {
+  // Figure 2's non-canonical core.
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, age: N_P<Int>, teen_cnt: N_P<Int>) {
+  Foreach (n: G.Nodes) {
+    n.teen_cnt = Count(t: n.InNbrs)(t.age >= 13 && t.age <= 19);
+  }
+}
+)");
+  EXPECT_FALSE(isCanonical(*P));
+  FeatureLog Log;
+  EXPECT_TRUE(runTransformPipeline(P->Proc, P->Context, P->Diags,
+                                   P->EdgeBindings, &Log));
+  EXPECT_TRUE(isCanonical(*P)) << printProcedure(P->Proc);
+  EXPECT_TRUE(Log.count(feature::DissectingLoops));
+  EXPECT_TRUE(Log.count(feature::FlippingEdge));
+}
+
+TEST(Pipeline, AlreadyCanonicalProgramsPassThroughUnchanged) {
+  auto P = parseChecked(R"(
+Procedure p(G: Graph, foo: N_P<Int>, bar: N_P<Int>) {
+  Foreach (n: G.Nodes) {
+    Foreach (t: n.Nbrs) {
+      t.foo += n.bar;
+    }
+  }
+}
+)");
+  std::string Before = printProcedure(P->Proc);
+  FeatureLog Log;
+  EXPECT_TRUE(runTransformPipeline(P->Proc, P->Context, P->Diags,
+                                   P->EdgeBindings, &Log));
+  EXPECT_EQ(printProcedure(P->Proc), Before);
+  EXPECT_TRUE(Log.empty());
+}
+
+} // namespace

@@ -1,0 +1,547 @@
+//===- tests/TranslatorTest.cpp - §3.1 direct-translation tests ---------------===//
+///
+/// Compiles hand-written *Pregel-canonical* Green-Marl programs (the form
+/// the §4.1 transformations produce) straight through the translator and
+/// runs them on the BSP engine, comparing against the sequential oracles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/reference/Sequential.h"
+#include "analysis/CanonicalChecker.h"
+#include "exec/IRExecutor.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "graph/Generators.h"
+#include "translate/Translator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using namespace gm;
+using exec::ExecArgs;
+using exec::IRExecutor;
+using exec::runProgram;
+
+struct Compiled {
+  ASTContext Context;
+  DiagnosticEngine Diags;
+  std::unique_ptr<pir::PregelProgram> Program;
+  FeatureLog Features;
+};
+
+/// Parses, checks canonicality and translates. Asserts no diagnostics.
+std::unique_ptr<Compiled> compileCanonical(const std::string &Src,
+                                           bool ExpectCanonical = true) {
+  auto C = std::make_unique<Compiled>();
+  Parser P(Src, C->Context, C->Diags);
+  Program Prog = P.parseProgram();
+  EXPECT_FALSE(C->Diags.hasErrors()) << C->Diags.dump();
+  if (Prog.Procedures.empty())
+    return C;
+  ProcedureDecl *Proc = Prog.Procedures[0];
+
+  Sema S(C->Context, C->Diags);
+  EXPECT_TRUE(S.check(Proc)) << C->Diags.dump();
+
+  CanonicalChecker Checker(C->Diags, S.edgeBindings());
+  bool Canonical = Checker.check(Proc);
+  EXPECT_EQ(Canonical, ExpectCanonical) << C->Diags.dump();
+  if (!Canonical)
+    return C;
+
+  Translator T(C->Diags, S.edgeBindings(), &C->Features);
+  C->Program = T.translate(Proc);
+  EXPECT_NE(C->Program, nullptr) << C->Diags.dump();
+  return C;
+}
+
+std::vector<Value> toValues(const std::vector<int64_t> &In) {
+  std::vector<Value> Out;
+  Out.reserve(In.size());
+  for (int64_t V : In)
+    Out.push_back(Value::makeInt(V));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical AvgTeen (the post-transformation form from the paper §4.1).
+//===----------------------------------------------------------------------===//
+
+const char *CanonAvgTeen = R"(
+Procedure avg_teen(G: Graph, age: N_P<Int>, teen_cnt: N_P<Int>, K: Int) : Float {
+  Int S = 0;
+  Int C = 0;
+  N_P<Int> tmp;
+  Foreach (n: G.Nodes) { n.tmp = 0; }
+  Foreach (t: G.Nodes)(t.age >= 13 && t.age <= 19) {
+    Foreach (n: t.Nbrs) {
+      n.tmp += 1;
+    }
+  }
+  Foreach (n: G.Nodes) {
+    n.teen_cnt = n.tmp;
+    If (n.age > K) {
+      S += n.teen_cnt;
+      C += 1;
+    }
+  }
+  Float avg = (C == 0) ? 0.0 : S / (Float) C;
+  Return avg;
+}
+)";
+
+TEST(Translator, AvgTeenCanonicalMatchesReference) {
+  auto C = compileCanonical(CanonAvgTeen);
+  ASSERT_NE(C->Program, nullptr);
+
+  Graph G = generateRMAT(1 << 9, 1 << 12, 77);
+  std::mt19937_64 Rng(78);
+  std::uniform_int_distribution<int64_t> AgeDist(5, 60);
+  std::vector<int64_t> Age(G.numNodes());
+  for (auto &A : Age)
+    A = AgeDist(Rng);
+  int64_t K = 30;
+
+  ExecArgs Args;
+  Args.Scalars["K"] = Value::makeInt(K);
+  Args.NodeProps["age"] = toValues(Age);
+
+  std::unique_ptr<IRExecutor> Exec;
+  pregel::RunStats Stats =
+      runProgram(*C->Program, G, std::move(Args), pregel::Config{}, &Exec);
+
+  auto Ref = reference::avgTeenageFollowers(G, Age, K);
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    ASSERT_EQ(Exec->nodeProp("teen_cnt").get(N).getInt(), Ref.TeenCount[N])
+        << "node " << N;
+  ASSERT_TRUE(Exec->returnValue().has_value());
+  EXPECT_DOUBLE_EQ(Exec->returnValue()->getDouble(), Ref.Average);
+
+  // Messages: one per out-edge of a teen (sender-side filter!).
+  uint64_t TeenEdges = 0;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    if (Age[N] >= 13 && Age[N] <= 19)
+      TeenEdges += G.outDegree(N);
+  EXPECT_EQ(Stats.TotalMessages, TeenEdges);
+
+  EXPECT_TRUE(C->Features.count(feature::StateMachine));
+  EXPECT_TRUE(C->Features.count(feature::GlobalObject));
+  EXPECT_TRUE(C->Features.count(feature::MessageClassGen));
+  EXPECT_FALSE(C->Features.count(feature::MultipleComm));
+  EXPECT_FALSE(C->Features.count(feature::RandomWriting));
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical SSSP with edge properties (already push-style).
+//===----------------------------------------------------------------------===//
+
+const char *CanonSSSP = R"(
+Procedure sssp(G: Graph, root: Node, len: E_P<Int>, dist: N_P<Int>) {
+  N_P<Bool> updated;
+  N_P<Int> dist_nxt;
+  Bool ex = False;
+  Bool fin = False;
+
+  Foreach (n: G.Nodes) {
+    n.dist = (n == root) ? 0 : INF;
+    n.updated = (n == root) ? True : False;
+    n.dist_nxt = n.dist;
+  }
+
+  While (!fin) {
+    Foreach (n: G.Nodes)(n.updated) {
+      Foreach (s: n.Nbrs) {
+        Edge e = s.ToEdge();
+        s.dist_nxt min= n.dist + e.len;
+      }
+    }
+    ex = False;
+    Foreach (n: G.Nodes) {
+      If (n.dist_nxt < n.dist) {
+        n.dist = n.dist_nxt;
+        n.updated = True;
+        ex |= True;
+      } Else {
+        n.updated = False;
+      }
+    }
+    fin = !ex;
+  }
+}
+)";
+
+TEST(Translator, SSSPCanonicalMatchesDijkstra) {
+  auto C = compileCanonical(CanonSSSP);
+  ASSERT_NE(C->Program, nullptr);
+
+  Graph G = generateUniformRandom(400, 3200, 81);
+  std::mt19937_64 Rng(82);
+  std::uniform_int_distribution<int64_t> LenDist(1, 15);
+  std::vector<Value> Len(G.numEdges());
+  std::vector<int64_t> LenRaw(G.numEdges());
+  for (EdgeId E = 0; E < G.numEdges(); ++E) {
+    LenRaw[E] = LenDist(Rng);
+    Len[E] = Value::makeInt(LenRaw[E]);
+  }
+  NodeId Root = 7;
+
+  ExecArgs Args;
+  Args.Scalars["root"] = Value::makeInt(Root);
+  Args.EdgeProps["len"] = Len;
+
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(*C->Program, G, std::move(Args), pregel::Config{}, &Exec);
+  ASSERT_TRUE(Exec->finished());
+
+  std::vector<int64_t> Ref = reference::sssp(G, Root, LenRaw);
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    ASSERT_EQ(Exec->nodeProp("dist").get(N).getInt(), Ref[N]) << "node " << N;
+
+  EXPECT_TRUE(C->Features.count(feature::EdgeProperty));
+}
+
+//===----------------------------------------------------------------------===//
+// Random writing (§3.1): every node writes into a randomly chosen node's
+// slot — here deterministically: node n pokes node (n*7)%N.
+//===----------------------------------------------------------------------===//
+
+const char *RandomWriteSrc = R"(
+Procedure poke(G: Graph, target: N_P<Node>, pokes: N_P<Int>) {
+  Foreach (n: G.Nodes) { n.pokes = 0; }
+  Foreach (n: G.Nodes) {
+    Node t = n.target;
+    t.pokes += 1;
+  }
+}
+)";
+
+TEST(Translator, RandomWriteDeliversToArbitraryNodes) {
+  auto C = compileCanonical(RandomWriteSrc);
+  ASSERT_NE(C->Program, nullptr);
+  EXPECT_TRUE(C->Features.count(feature::RandomWriting));
+
+  Graph G = generateRing(20);
+  std::vector<Value> Target(G.numNodes());
+  std::vector<int> Expected(G.numNodes(), 0);
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    NodeId T = (N * 7) % G.numNodes();
+    Target[N] = Value::makeInt(T);
+    ++Expected[T];
+  }
+
+  ExecArgs Args;
+  Args.NodeProps["target"] = Target;
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(*C->Program, G, std::move(Args), pregel::Config{}, &Exec);
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    EXPECT_EQ(Exec->nodeProp("pokes").get(N).getInt(), Expected[N]);
+}
+
+//===----------------------------------------------------------------------===//
+// Multiple communication (§3.1): two inner loops under an If/Else get
+// distinct message types, dispatched by tag at the receiver.
+//===----------------------------------------------------------------------===//
+
+const char *MultiCommSrc = R"(
+Procedure evenodd(G: Graph, foo: N_P<Int>, even_cnt: N_P<Int>, odd_cnt: N_P<Int>) {
+  Foreach (n: G.Nodes) {
+    n.even_cnt = 0;
+    n.odd_cnt = 0;
+  }
+  Foreach (n: G.Nodes) {
+    If ((n.foo % 2) == 0) {
+      Foreach (t: n.Nbrs) {
+        t.even_cnt += 1;
+      }
+    } Else {
+      Foreach (t: n.Nbrs) {
+        t.odd_cnt += 1;
+      }
+    }
+  }
+}
+)";
+
+TEST(Translator, MultipleCommunicationUsesMessageTags) {
+  auto C = compileCanonical(MultiCommSrc);
+  ASSERT_NE(C->Program, nullptr);
+  EXPECT_TRUE(C->Features.count(feature::MultipleComm));
+  EXPECT_GE(C->Program->MsgTypes.size(), 2u);
+
+  Graph G = generateUniformRandom(200, 1500, 91);
+  std::vector<Value> Foo(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Foo[N] = Value::makeInt(N);
+
+  ExecArgs Args;
+  Args.NodeProps["foo"] = Foo;
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(*C->Program, G, std::move(Args), pregel::Config{}, &Exec);
+
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    int64_t Even = 0, Odd = 0;
+    for (NodeId Src : G.inNeighbors(N))
+      (Src % 2 == 0 ? Even : Odd) += 1;
+    EXPECT_EQ(Exec->nodeProp("even_cnt").get(N).getInt(), Even) << N;
+    EXPECT_EQ(Exec->nodeProp("odd_cnt").get(N).getInt(), Odd) << N;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Incoming-neighbor iteration (§4.3): inner loop over InNbrs triggers the
+// two-superstep preamble and in-edge sends.
+//===----------------------------------------------------------------------===//
+
+const char *InNbrSrc = R"(
+Procedure backflow(G: Graph, bar: N_P<Int>, acc: N_P<Int>) {
+  Foreach (n: G.Nodes) { n.acc = 0; }
+  Foreach (n: G.Nodes) {
+    Foreach (t: n.InNbrs) {
+      t.acc += n.bar;
+    }
+  }
+}
+)";
+
+TEST(Translator, InNbrLoopUsesPreamble) {
+  auto C = compileCanonical(InNbrSrc);
+  ASSERT_NE(C->Program, nullptr);
+  EXPECT_TRUE(C->Program->UsesInNbrs);
+  EXPECT_TRUE(C->Features.count(feature::IncomingNeighbors));
+
+  Graph G = generateUniformRandom(150, 900, 93);
+  std::vector<Value> Bar(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Bar[N] = Value::makeInt(N % 13);
+
+  ExecArgs Args;
+  Args.NodeProps["bar"] = Bar;
+  std::unique_ptr<IRExecutor> Exec;
+  pregel::RunStats Stats =
+      runProgram(*C->Program, G, std::move(Args), pregel::Config{}, &Exec);
+
+  // t.acc accumulates bar over t's *out*-neighbors (n iterates nodes, t its
+  // in-neighbors; so each edge t->n contributes bar[n] to acc[t]).
+  for (NodeId T = 0; T < G.numNodes(); ++T) {
+    int64_t Want = 0;
+    for (NodeId N : G.outNeighbors(T))
+      Want += N % 13;
+    EXPECT_EQ(Exec->nodeProp("acc").get(T).getInt(), Want) << T;
+  }
+  // Preamble: 2 extra supersteps and one id-message per edge.
+  EXPECT_GE(Stats.Supersteps, 2u + 2u);
+  EXPECT_GE(Stats.TotalMessages, G.numEdges());
+}
+
+//===----------------------------------------------------------------------===//
+// While loops, global reductions across iterations, and Return.
+//===----------------------------------------------------------------------===//
+
+const char *LoopAccumSrc = R"(
+Procedure rounds(G: Graph, hits: N_P<Int>) : Int {
+  Int total = 0;
+  Int round = 0;
+  While (round < 3) {
+    Foreach (n: G.Nodes) {
+      n.hits += 1;
+      total += 1;
+    }
+    round++;
+  }
+  Return total;
+}
+)";
+
+TEST(Translator, WhileLoopAccumulatesGlobals) {
+  auto C = compileCanonical(LoopAccumSrc);
+  ASSERT_NE(C->Program, nullptr);
+
+  Graph G = generateRing(10);
+  std::unique_ptr<IRExecutor> Exec;
+  pregel::RunStats Stats =
+      runProgram(*C->Program, G, ExecArgs{}, pregel::Config{}, &Exec);
+
+  ASSERT_TRUE(Exec->returnValue().has_value());
+  EXPECT_EQ(Exec->returnValue()->getInt(), 30);
+  for (NodeId N = 0; N < 10; ++N)
+    EXPECT_EQ(Exec->nodeProp("hits").get(N).getInt(), 3);
+  EXPECT_EQ(Stats.Supersteps, 3u); // one vertex phase per iteration
+}
+
+const char *DoWhileSrc = R"(
+Procedure dowhile(G: Graph, hits: N_P<Int>) : Int {
+  Int round = 0;
+  Do {
+    Foreach (n: G.Nodes) { n.hits += 1; }
+    round++;
+  } While (round < 1);
+  Return round;
+}
+)";
+
+TEST(Translator, DoWhileRunsBodyFirst) {
+  auto C = compileCanonical(DoWhileSrc);
+  ASSERT_NE(C->Program, nullptr);
+  Graph G = generateRing(4);
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(*C->Program, G, ExecArgs{}, pregel::Config{}, &Exec);
+  EXPECT_EQ(Exec->returnValue()->getInt(), 1);
+  EXPECT_EQ(Exec->nodeProp("hits").get(0).getInt(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Sequential If with Return on both paths (conductance's ending shape).
+//===----------------------------------------------------------------------===//
+
+const char *SeqIfSrc = R"(
+Procedure pick(G: Graph, deg_sum: N_P<Int>) : Int {
+  Int total = 0;
+  Foreach (n: G.Nodes) {
+    total += n.Degree();
+  }
+  If (total == 0) {
+    Return -1;
+  } Else {
+    Return total;
+  }
+}
+)";
+
+TEST(Translator, SequentialIfWithReturns) {
+  auto C = compileCanonical(SeqIfSrc);
+  ASSERT_NE(C->Program, nullptr);
+
+  Graph G = generateUniformRandom(50, 300, 95);
+  std::unique_ptr<IRExecutor> Exec;
+  runProgram(*C->Program, G, ExecArgs{}, pregel::Config{}, &Exec);
+  EXPECT_EQ(Exec->returnValue()->getInt(), 300);
+
+  Graph::Builder Empty(5);
+  Graph G2 = std::move(Empty).build();
+  std::unique_ptr<IRExecutor> Exec2;
+  runProgram(*C->Program, G2, ExecArgs{}, pregel::Config{}, &Exec2);
+  EXPECT_EQ(Exec2->returnValue()->getInt(), -1);
+}
+
+//===----------------------------------------------------------------------===//
+// Non-canonical programs are rejected with useful diagnostics.
+//===----------------------------------------------------------------------===//
+
+TEST(Checker, RejectsMessagePulling) {
+  const char *Pull = R"(
+Procedure pull(G: Graph, foo: N_P<Int>, bar: N_P<Int>) {
+  Foreach (n: G.Nodes) {
+    Foreach (t: n.InNbrs) {
+      n.foo += t.bar;
+    }
+  }
+}
+)";
+  auto C = compileCanonical(Pull, /*ExpectCanonical=*/false);
+  EXPECT_TRUE(C->Diags.containsMessage("message pulling"));
+}
+
+TEST(Checker, RejectsSequentialRandomAccess) {
+  const char *Seq = R"(
+Procedure seqwrite(G: Graph, root: Node, dist: N_P<Int>) {
+  root.dist = 0;
+}
+)";
+  auto C = compileCanonical(Seq, /*ExpectCanonical=*/false);
+  EXPECT_TRUE(C->Diags.containsMessage("Random Access"));
+}
+
+TEST(Checker, RejectsUnloweredBFS) {
+  const char *BFS = R"(
+Procedure bfs(G: Graph, root: Node, lev: N_P<Int>) {
+  InBFS (v: G.Nodes From root) {
+    v.lev = 0;
+  }
+}
+)";
+  auto C = compileCanonical(BFS, /*ExpectCanonical=*/false);
+  EXPECT_TRUE(C->Diags.containsMessage("BFS"));
+}
+
+TEST(Checker, RejectsUnloweredReductions) {
+  const char *Red = R"(
+Procedure red(G: Graph, x: N_P<Int>) : Int {
+  Int s = Sum(n: G.Nodes){n.x};
+  Return s;
+}
+)";
+  auto C = compileCanonical(Red, /*ExpectCanonical=*/false);
+  EXPECT_TRUE(C->Diags.containsMessage("reduction"));
+}
+
+TEST(Checker, RejectsDeepNesting) {
+  const char *Deep = R"(
+Procedure deep(G: Graph, x: N_P<Int>) {
+  Foreach (a: G.Nodes) {
+    Foreach (b: a.Nbrs) {
+      Foreach (c: b.Nbrs) {
+        c.x += 1;
+      }
+    }
+  }
+}
+)";
+  auto C = compileCanonical(Deep, /*ExpectCanonical=*/false);
+  EXPECT_TRUE(C->Diags.containsMessage("nested"));
+}
+
+TEST(Checker, RejectsEdgePropertyOnInEdges) {
+  const char *EdgeIn = R"(
+Procedure edgein(G: Graph, len: E_P<Int>, d: N_P<Int>) {
+  Foreach (n: G.Nodes) {
+    Foreach (t: n.InNbrs) {
+      Edge e = t.ToEdge();
+      t.d += e.len;
+    }
+  }
+}
+)";
+  auto C = compileCanonical(EdgeIn, /*ExpectCanonical=*/false);
+  EXPECT_TRUE(C->Diags.containsMessage("edge"));
+}
+
+TEST(Checker, RejectsPlainSharedScalarAssignInLoop) {
+  const char *Race = R"(
+Procedure race(G: Graph) {
+  Int x = 0;
+  Foreach (n: G.Nodes) {
+    x = 1;
+  }
+}
+)";
+  auto C = compileCanonical(Race, /*ExpectCanonical=*/false);
+  EXPECT_TRUE(C->Diags.containsMessage("reduction"));
+}
+
+} // namespace
+
+namespace seq_for {
+using namespace gm;
+TEST(Checker, RejectsSequentialForLoops) {
+  const char *Src = R"(
+Procedure p(G: Graph, x: N_P<Int>) {
+  For (n: G.Nodes) {
+    n.x = 1;
+  }
+}
+)";
+  ASTContext Context;
+  DiagnosticEngine Diags;
+  Parser P(Src, Context, Diags);
+  Program Prog = P.parseProgram();
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.dump();
+  Sema S(Context, Diags);
+  ASSERT_TRUE(S.check(Prog.Procedures[0]));
+  CanonicalChecker Checker(Diags, S.edgeBindings());
+  EXPECT_FALSE(Checker.check(Prog.Procedures[0]));
+  EXPECT_TRUE(Diags.containsMessage("serial"));
+}
+} // namespace seq_for
