@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bc.dir/bench_bc.cpp.o"
+  "CMakeFiles/bench_bc.dir/bench_bc.cpp.o.d"
+  "bench_bc"
+  "bench_bc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_transforms.dir/bench_table3_transforms.cpp.o"
+  "CMakeFiles/bench_table3_transforms.dir/bench_table3_transforms.cpp.o.d"
+  "bench_table3_transforms"
+  "bench_table3_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

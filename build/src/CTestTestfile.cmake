@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("graph")
+subdirs("pregel")
+subdirs("frontend")
+subdirs("analysis")
+subdirs("pregelir")
+subdirs("transform")
+subdirs("translate")
+subdirs("opt")
+subdirs("exec")
+subdirs("algorithms")
+subdirs("driver")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/manual/ManualPrograms.cpp" "src/algorithms/CMakeFiles/gm_algorithms.dir/manual/ManualPrograms.cpp.o" "gcc" "src/algorithms/CMakeFiles/gm_algorithms.dir/manual/ManualPrograms.cpp.o.d"
+  "/root/repo/src/algorithms/reference/Sequential.cpp" "src/algorithms/CMakeFiles/gm_algorithms.dir/reference/Sequential.cpp.o" "gcc" "src/algorithms/CMakeFiles/gm_algorithms.dir/reference/Sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pregel/CMakeFiles/gm_pregel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

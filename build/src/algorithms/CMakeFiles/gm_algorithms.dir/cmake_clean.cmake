@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_algorithms.dir/manual/ManualPrograms.cpp.o"
+  "CMakeFiles/gm_algorithms.dir/manual/ManualPrograms.cpp.o.d"
+  "CMakeFiles/gm_algorithms.dir/reference/Sequential.cpp.o"
+  "CMakeFiles/gm_algorithms.dir/reference/Sequential.cpp.o.d"
+  "libgm_algorithms.a"
+  "libgm_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

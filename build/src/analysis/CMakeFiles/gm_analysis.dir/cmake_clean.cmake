@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_analysis.dir/CanonicalChecker.cpp.o"
+  "CMakeFiles/gm_analysis.dir/CanonicalChecker.cpp.o.d"
+  "CMakeFiles/gm_analysis.dir/ReadWriteSets.cpp.o"
+  "CMakeFiles/gm_analysis.dir/ReadWriteSets.cpp.o.d"
+  "libgm_analysis.a"
+  "libgm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

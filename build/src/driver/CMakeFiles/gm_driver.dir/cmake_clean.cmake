@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_driver.dir/Compiler.cpp.o"
+  "CMakeFiles/gm_driver.dir/Compiler.cpp.o.d"
+  "libgm_driver.a"
+  "libgm_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmpc.dir/gmpc.cpp.o"
+  "CMakeFiles/gmpc.dir/gmpc.cpp.o.d"
+  "gmpc"
+  "gmpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gmpc.
+# This may be replaced when dependencies are built.

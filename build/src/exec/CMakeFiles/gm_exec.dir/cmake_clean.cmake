@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_exec.dir/IRExecutor.cpp.o"
+  "CMakeFiles/gm_exec.dir/IRExecutor.cpp.o.d"
+  "libgm_exec.a"
+  "libgm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

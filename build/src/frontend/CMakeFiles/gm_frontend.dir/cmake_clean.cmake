@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_frontend.dir/AST.cpp.o"
+  "CMakeFiles/gm_frontend.dir/AST.cpp.o.d"
+  "CMakeFiles/gm_frontend.dir/ASTClone.cpp.o"
+  "CMakeFiles/gm_frontend.dir/ASTClone.cpp.o.d"
+  "CMakeFiles/gm_frontend.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/gm_frontend.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/gm_frontend.dir/ASTVisitor.cpp.o"
+  "CMakeFiles/gm_frontend.dir/ASTVisitor.cpp.o.d"
+  "CMakeFiles/gm_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/gm_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/gm_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/gm_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/gm_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/gm_frontend.dir/Sema.cpp.o.d"
+  "CMakeFiles/gm_frontend.dir/Type.cpp.o"
+  "CMakeFiles/gm_frontend.dir/Type.cpp.o.d"
+  "libgm_frontend.a"
+  "libgm_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

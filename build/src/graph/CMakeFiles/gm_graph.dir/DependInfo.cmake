@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/EdgeListIO.cpp" "src/graph/CMakeFiles/gm_graph.dir/EdgeListIO.cpp.o" "gcc" "src/graph/CMakeFiles/gm_graph.dir/EdgeListIO.cpp.o.d"
+  "/root/repo/src/graph/Generators.cpp" "src/graph/CMakeFiles/gm_graph.dir/Generators.cpp.o" "gcc" "src/graph/CMakeFiles/gm_graph.dir/Generators.cpp.o.d"
+  "/root/repo/src/graph/Graph.cpp" "src/graph/CMakeFiles/gm_graph.dir/Graph.cpp.o" "gcc" "src/graph/CMakeFiles/gm_graph.dir/Graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_graph.dir/EdgeListIO.cpp.o"
+  "CMakeFiles/gm_graph.dir/EdgeListIO.cpp.o.d"
+  "CMakeFiles/gm_graph.dir/Generators.cpp.o"
+  "CMakeFiles/gm_graph.dir/Generators.cpp.o.d"
+  "CMakeFiles/gm_graph.dir/Graph.cpp.o"
+  "CMakeFiles/gm_graph.dir/Graph.cpp.o.d"
+  "libgm_graph.a"
+  "libgm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

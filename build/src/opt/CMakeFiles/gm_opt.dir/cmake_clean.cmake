@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_opt.dir/Optimizer.cpp.o"
+  "CMakeFiles/gm_opt.dir/Optimizer.cpp.o.d"
+  "libgm_opt.a"
+  "libgm_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

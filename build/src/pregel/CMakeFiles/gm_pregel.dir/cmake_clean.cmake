@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_pregel.dir/Runtime.cpp.o"
+  "CMakeFiles/gm_pregel.dir/Runtime.cpp.o.d"
+  "libgm_pregel.a"
+  "libgm_pregel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_pregel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_pregelir.dir/JavaCodegen.cpp.o"
+  "CMakeFiles/gm_pregelir.dir/JavaCodegen.cpp.o.d"
+  "CMakeFiles/gm_pregelir.dir/PregelIR.cpp.o"
+  "CMakeFiles/gm_pregelir.dir/PregelIR.cpp.o.d"
+  "libgm_pregelir.a"
+  "libgm_pregelir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_pregelir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

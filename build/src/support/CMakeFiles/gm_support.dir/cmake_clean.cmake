@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/gm_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/gm_support.dir/Value.cpp.o"
+  "CMakeFiles/gm_support.dir/Value.cpp.o.d"
+  "libgm_support.a"
+  "libgm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

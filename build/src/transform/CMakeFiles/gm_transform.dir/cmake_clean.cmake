@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_transform.dir/BFSLowering.cpp.o"
+  "CMakeFiles/gm_transform.dir/BFSLowering.cpp.o.d"
+  "CMakeFiles/gm_transform.dir/EdgeFlipping.cpp.o"
+  "CMakeFiles/gm_transform.dir/EdgeFlipping.cpp.o.d"
+  "CMakeFiles/gm_transform.dir/LoopDissection.cpp.o"
+  "CMakeFiles/gm_transform.dir/LoopDissection.cpp.o.d"
+  "CMakeFiles/gm_transform.dir/RandomAccessLowering.cpp.o"
+  "CMakeFiles/gm_transform.dir/RandomAccessLowering.cpp.o.d"
+  "CMakeFiles/gm_transform.dir/ReductionLowering.cpp.o"
+  "CMakeFiles/gm_transform.dir/ReductionLowering.cpp.o.d"
+  "CMakeFiles/gm_transform.dir/TransformPipeline.cpp.o"
+  "CMakeFiles/gm_transform.dir/TransformPipeline.cpp.o.d"
+  "libgm_transform.a"
+  "libgm_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_translate.dir/Translator.cpp.o"
+  "CMakeFiles/gm_translate.dir/Translator.cpp.o.d"
+  "libgm_translate.a"
+  "libgm_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/JavaCodegenTest.cpp" "tests/CMakeFiles/test_java_codegen.dir/JavaCodegenTest.cpp.o" "gcc" "tests/CMakeFiles/test_java_codegen.dir/JavaCodegenTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/gm_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/gm_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/gm_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/gm_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/pregelir/CMakeFiles/gm_pregelir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/gm_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/gm_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/pregel/CMakeFiles/gm_pregel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_java_codegen.dir/JavaCodegenTest.cpp.o"
+  "CMakeFiles/test_java_codegen.dir/JavaCodegenTest.cpp.o.d"
+  "test_java_codegen"
+  "test_java_codegen.pdb"
+  "test_java_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_java_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manual_programs.dir/ManualProgramsTest.cpp.o"
+  "CMakeFiles/test_manual_programs.dir/ManualProgramsTest.cpp.o.d"
+  "test_manual_programs"
+  "test_manual_programs.pdb"
+  "test_manual_programs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manual_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

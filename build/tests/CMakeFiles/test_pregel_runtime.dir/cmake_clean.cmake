@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pregel_runtime.dir/PregelRuntimeTest.cpp.o"
+  "CMakeFiles/test_pregel_runtime.dir/PregelRuntimeTest.cpp.o.d"
+  "test_pregel_runtime"
+  "test_pregel_runtime.pdb"
+  "test_pregel_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pregel_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

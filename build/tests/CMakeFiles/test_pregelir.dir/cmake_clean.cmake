@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pregelir.dir/PregelIRTest.cpp.o"
+  "CMakeFiles/test_pregelir.dir/PregelIRTest.cpp.o.d"
+  "test_pregelir"
+  "test_pregelir.pdb"
+  "test_pregelir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pregelir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

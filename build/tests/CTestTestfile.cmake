@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_pregel_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_reference[1]_include.cmake")
+include("/root/repo/build/tests/test_manual_programs[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_pregelir[1]_include.cmake")
+include("/root/repo/build/tests/test_translator[1]_include.cmake")
+include("/root/repo/build/tests/test_end_to_end[1]_include.cmake")
+include("/root/repo/build/tests/test_transforms[1]_include.cmake")
+include("/root/repo/build/tests/test_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_combiner[1]_include.cmake")
+include("/root/repo/build/tests/test_java_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
