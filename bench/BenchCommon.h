@@ -13,9 +13,12 @@
 #include "driver/Compiler.h"
 #include "exec/IRExecutor.h"
 #include "graph/Generators.h"
+#include "pregel/MetricsSink.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <memory>
 #include <random>
 #include <string>
 #include <vector>
@@ -86,6 +89,55 @@ inline void hr(char C = '-') {
   for (int I = 0; I < 78; ++I)
     std::putchar(C);
   std::putchar('\n');
+}
+
+//===----------------------------------------------------------------------===//
+// Per-run JSON records (gm.run-report schema, docs/observability.md)
+//===----------------------------------------------------------------------===//
+
+/// Scans argv for `--json <path>` and returns a sink every run should be
+/// reported into; null when the flag is absent. The sink writes one
+/// versioned JSON document on destruction, giving every bench binary a
+/// machine-readable per-run record alongside its printed table.
+inline std::unique_ptr<pregel::JsonSink> makeJsonReport(int argc,
+                                                        char **argv) {
+  for (int I = 1; I + 1 < argc; ++I)
+    if (std::string(argv[I]) == "--json")
+      return std::make_unique<pregel::JsonSink>(argv[I + 1]);
+  return nullptr;
+}
+
+/// Reports \p Stats into \p Sink (no-op when null). \p Program should name
+/// both the algorithm and the variant, e.g. "pagerank/generated".
+inline void reportRun(pregel::JsonSink *Sink, const std::string &Program,
+                      const BenchGraph &BG, unsigned Workers,
+                      const pregel::RunStats &Stats,
+                      const PassStatistics *Compiler = nullptr) {
+  if (!Sink)
+    return;
+  pregel::RunMetadata Meta;
+  Meta.Program = Program;
+  Meta.Graph = BG.Name;
+  Meta.NumNodes = BG.G.numNodes();
+  Meta.NumEdges = BG.G.numEdges();
+  Meta.Workers = Workers;
+  Sink->report(Meta, Stats, Compiler);
+}
+
+/// First positional integer argument (skipping `--json <path>` pairs), or
+/// \p Default. Benches use it for their repetition count.
+inline int positionalIntArg(int argc, char **argv, int Default) {
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--json") {
+      ++I; // skip the path operand
+      continue;
+    }
+    if (!A.empty() &&
+        (std::isdigit(static_cast<unsigned char>(A[0])) || A[0] == '-'))
+      return std::atoi(A.c_str());
+  }
+  return Default;
 }
 
 } // namespace gm::bench

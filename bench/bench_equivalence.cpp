@@ -16,7 +16,8 @@
 using namespace gm;
 using namespace gm::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  auto Sink = makeJsonReport(argc, argv); // --json <path>
   auto Graphs = makeTable1Graphs();
   struct Cell {
     const char *Algo;
@@ -43,6 +44,11 @@ int main() {
   for (const Cell &C : Cells) {
     const BenchGraph &BG = Graphs[C.GraphIdx];
     PairResult R = runPair(C.Algo, BG);
+    PairSettings S;
+    reportRun(Sink.get(), std::string(C.Algo) + "/manual", BG, S.Workers,
+              R.Manual);
+    reportRun(Sink.get(), std::string(C.Algo) + "/generated", BG, S.Workers,
+              R.Generated);
     bool StepsEq = R.Manual.Supersteps == R.Generated.Supersteps;
     bool BytesEq = R.Manual.NetworkBytes == R.Generated.NetworkBytes;
     bool MsgsEq = R.Manual.TotalMessages == R.Generated.TotalMessages;
@@ -67,5 +73,12 @@ int main() {
               Checked);
   std::printf("\nExpected shape (paper): every deterministic pair matches "
               "exactly.\n");
+  if (Sink) {
+    std::string Err;
+    if (!Sink->close(&Err)) {
+      std::fprintf(stderr, "bench_equivalence: %s\n", Err.c_str());
+      return 1;
+    }
+  }
   return Matches == Checked ? 0 : 1;
 }

@@ -20,7 +20,8 @@ using namespace gm;
 using namespace gm::bench;
 
 int main(int argc, char **argv) {
-  int Reps = argc > 1 ? std::atoi(argv[1]) : 3;
+  int Reps = std::max(1, positionalIntArg(argc, argv, 3));
+  auto Sink = makeJsonReport(argc, argv); // --json <path>
   auto Graphs = makeTable1Graphs();
 
   struct Cell {
@@ -55,10 +56,15 @@ int main(int argc, char **argv) {
       bool H = true;
       pregel::RunStats St = runManual(C.Algo, BG, In, S, H);
       HasManual = H;
+      reportRun(Sink.get(), std::string(C.Algo) + "/manual", BG, S.Workers,
+                St);
       return St.WallSeconds;
     });
     GenTime = medianSeconds(Reps, [&] {
-      return runGenerated(*Compiled.Program, C.Algo, BG, In, S).WallSeconds;
+      pregel::RunStats St = runGenerated(*Compiled.Program, C.Algo, BG, In, S);
+      reportRun(Sink.get(), std::string(C.Algo) + "/generated", BG, S.Workers,
+                St);
+      return St.WallSeconds;
     });
 
     std::printf("%-20s %-12s %12.3f %12.3f %9.2fx\n", C.Algo,
@@ -70,5 +76,12 @@ int main(int argc, char **argv) {
   std::printf("\nExpected shape: ratios are flat across algorithms/graphs "
               "(a constant\ninterpretation factor); the paper's native-vs-"
               "native band is 0.92x-1.35x.\n");
+  if (Sink) {
+    std::string Err;
+    if (!Sink->close(&Err)) {
+      std::fprintf(stderr, "bench_fig6_runtime: %s\n", Err.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

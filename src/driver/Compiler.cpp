@@ -6,6 +6,7 @@
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
 #include "opt/Optimizer.h"
+#include "support/PassStatistics.h"
 #include "transform/Transforms.h"
 
 #include <fstream>
@@ -18,9 +19,14 @@ CompileResult gm::compileGreenMarl(const std::string &Source,
   CompileResult R;
   R.Context = std::make_unique<ASTContext>();
   R.Diags = std::make_unique<DiagnosticEngine>();
+  PassStatistics *Stats = Options.Stats;
+  using Timer = PassStatistics::ScopedTimer;
 
   Parser P(Source, *R.Context, *R.Diags);
-  Program Prog = P.parseProgram();
+  Program Prog = [&] {
+    Timer T(Stats, "parse");
+    return P.parseProgram();
+  }();
   if (R.Diags->hasErrors())
     return R;
   if (Prog.Procedures.empty()) {
@@ -39,40 +45,65 @@ CompileResult gm::compileGreenMarl(const std::string &Source,
   R.Proc = Proc;
 
   Sema S(*R.Context, *R.Diags);
-  if (!S.check(Proc))
-    return R;
+  {
+    Timer T(Stats, "sema");
+    if (!S.check(Proc))
+      return R;
+  }
 
-  // §4.1: transform towards Pregel-canonical form.
+  // §4.1: transform towards Pregel-canonical form (per-pass timings are
+  // recorded inside the pipeline).
   if (!runTransformPipeline(Proc, *R.Context, *R.Diags, S.edgeBindings(),
-                            &R.Features))
+                            &R.Features, Stats))
     if (R.Diags->hasErrors())
       return R;
 
   // The transformations may introduce new edge bindings? They never do,
   // but they do rewrite loops, so re-validate shape.
-  CanonicalChecker Checker(*R.Diags, S.edgeBindings());
-  if (!Checker.check(Proc))
-    return R;
+  {
+    Timer T(Stats, "canonical-check");
+    CanonicalChecker Checker(*R.Diags, S.edgeBindings());
+    if (!Checker.check(Proc))
+      return R;
+  }
 
   // §3.1: direct translation.
-  Translator T(*R.Diags, S.edgeBindings(), &R.Features);
-  R.Program = T.translate(Proc);
+  {
+    Timer T(Stats, "translate");
+    Translator T2(*R.Diags, S.edgeBindings(), &R.Features);
+    R.Program = T2.translate(Proc);
+  }
   if (!R.Program)
     return R;
+  if (Stats) {
+    Stats->setCounter("ir.states.pre-opt", R.Program->States.size());
+    Stats->setCounter("ir.msg-types", R.Program->MsgTypes.size());
+    Stats->setCounter("ir.globals", R.Program->Globals.size());
+    Stats->setCounter("ir.node-props", R.Program->NodeProps.size());
+  }
 
   // §4.2: optimizations.
-  if (Options.StateMerging)
-    if (mergeStates(*R.Program))
+  if (Options.StateMerging) {
+    Timer T(Stats, "state-merging");
+    if (mergeStates(*R.Program, Stats))
       R.Features.insert(feature::StateMerging);
-  if (Options.IntraLoopMerging)
-    if (mergeIntraLoop(*R.Program))
+  }
+  if (Options.IntraLoopMerging) {
+    Timer T(Stats, "intra-loop-merging");
+    if (mergeIntraLoop(*R.Program, Stats))
       R.Features.insert(feature::IntraLoopMerge);
+  }
+  if (Stats)
+    Stats->setCounter("ir.states.post-opt", R.Program->States.size());
 
-  std::string Problem = pir::verifyProgram(*R.Program);
-  if (!Problem.empty()) {
-    R.Diags->error(SourceLocation(),
-                   "internal error: optimized IR is invalid: " + Problem);
-    R.Program.reset();
+  {
+    Timer T(Stats, "verify-ir");
+    std::string Problem = pir::verifyProgram(*R.Program);
+    if (!Problem.empty()) {
+      R.Diags->error(SourceLocation(),
+                     "internal error: optimized IR is invalid: " + Problem);
+      R.Program.reset();
+    }
   }
   return R;
 }

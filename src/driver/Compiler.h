@@ -20,6 +20,8 @@
 
 namespace gm {
 
+class PassStatistics;
+
 struct CompileOptions {
   /// §4.2 "State Merging".
   bool StateMerging = true;
@@ -27,6 +29,9 @@ struct CompileOptions {
   bool IntraLoopMerging = true;
   /// Procedure to compile; empty = the first one in the file.
   std::string ProcedureName;
+  /// When non-null, per-pass wall timings and counters are recorded here
+  /// (LLVM `-stats` style; surfaced by gmpc --stats / --stats-json).
+  PassStatistics *Stats = nullptr;
 };
 
 struct CompileResult {

@@ -12,7 +12,9 @@
 #include "frontend/ASTPrinter.h"
 #include "graph/EdgeListIO.h"
 #include "graph/Generators.h"
+#include "pregel/MetricsSink.h"
 #include "pregelir/JavaCodegen.h"
+#include "support/PassStatistics.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +53,12 @@ Execution (interprets the compiled program on the bundled BSP runtime):
   --rand-nprop <name> <lo> <hi>  fill an Int node property uniformly
   --rand-eprop <name> <lo> <hi>  fill an Int edge property uniformly
   --print-prop <name>            print a node property after the run
+
+Observability (see docs/observability.md):
+  --stats                print compiler pass timings/counters and, with
+                         --run, the run report with per-worker totals
+  --trace                with --run, also print the per-superstep trace
+  --stats-json <path>    write the versioned JSON run report ("-" = stdout)
 )");
 }
 
@@ -69,6 +77,8 @@ int main(int argc, char **argv) {
   bool DumpCanonical = false, DumpIR = false, EmitJava = false;
   bool EmitGiraph = false;
   bool ShowFeatures = false, ShowLoc = false, Run = false;
+  bool ShowStats = false, ShowTrace = false;
+  std::string StatsJsonPath;
   std::string GraphFile;
   NodeId GenNodes = 0;
   EdgeId GenEdges = 0;
@@ -109,6 +119,12 @@ int main(int argc, char **argv) {
       Opts.StateMerging = false;
     else if (A == "--no-intra-loop-merging")
       Opts.IntraLoopMerging = false;
+    else if (A == "--stats")
+      ShowStats = true;
+    else if (A == "--trace")
+      ShowTrace = true;
+    else if (A == "--stats-json")
+      StatsJsonPath = Next();
     else if (A == "--run")
       Run = true;
     else if (A == "--graph-file")
@@ -149,8 +165,14 @@ int main(int argc, char **argv) {
     }
   }
   if (!DumpCanonical && !EmitJava && !EmitGiraph && !ShowFeatures &&
-      !ShowLoc && !Run)
+      !ShowLoc && !Run && !ShowStats && StatsJsonPath.empty())
     DumpIR = true;
+
+  PassStatistics PassStats;
+  const bool CollectStats =
+      ShowStats || ShowTrace || !StatsJsonPath.empty();
+  if (CollectStats)
+    Opts.Stats = &PassStats;
 
   CompileResult R = compileGreenMarlFile(File, Opts);
   if (!R.ok()) {
@@ -174,8 +196,26 @@ int main(int argc, char **argv) {
   if (ShowLoc)
     std::printf("%u\n", pir::countCodeLines(pir::emitJava(*R.Program)));
 
-  if (!Run)
+  if (!Run) {
+    // Compile-only observability: the pass table, and a JSON report whose
+    // "runs" entry carries only compiler stats (halt == "none" marks it as
+    // not executed).
+    if (ShowStats)
+      std::printf("%s", PassStats.renderTable().c_str());
+    if (!StatsJsonPath.empty()) {
+      pregel::JsonSink Sink(StatsJsonPath);
+      pregel::RunMetadata Meta;
+      Meta.Program = R.Program->Name;
+      Meta.Graph = "(not run)";
+      Sink.report(Meta, pregel::RunStats{}, &PassStats);
+      std::string Err;
+      if (!Sink.close(&Err)) {
+        std::fprintf(stderr, "gmpc: %s\n", Err.c_str());
+        return 1;
+      }
+    }
     return 0;
+  }
 
   // Assemble the input graph.
   Graph G = [&]() -> Graph {
@@ -196,6 +236,11 @@ int main(int argc, char **argv) {
                          "--graph-uniform\n");
     std::exit(2);
   }();
+  std::string GraphDesc =
+      !GraphFile.empty()
+          ? GraphFile
+          : (GenRMAT ? "rmat(" : "uniform(") + std::to_string(GenNodes) +
+                "," + std::to_string(GenEdges) + ")";
 
   exec::ExecArgs Args;
   for (const auto &[Name, Val] : ScalarArgs) {
@@ -229,9 +274,13 @@ int main(int argc, char **argv) {
   pregel::Config Cfg;
   Cfg.NumWorkers = Workers;
   Cfg.RandomSeed = Seed;
+  DiagnosticEngine RunDiags;
+  Cfg.Diags = &RunDiags;
   std::unique_ptr<exec::IRExecutor> Exec;
   pregel::RunStats Stats =
       exec::runProgram(*R.Program, G, std::move(Args), Cfg, &Exec);
+  for (const Diagnostic &D : RunDiags.diagnostics())
+    std::fprintf(stderr, "gmpc: %s\n", D.toString().c_str());
 
   std::printf("graph: %u nodes, %llu edges\n", G.numNodes(),
               static_cast<unsigned long long>(G.numEdges()));
@@ -246,6 +295,31 @@ int main(int argc, char **argv) {
     if (G.numNodes() > Limit)
       std::printf(" ...");
     std::printf("\n");
+  }
+
+  if (CollectStats) {
+    pregel::RunMetadata Meta;
+    Meta.Program = R.Program->Name;
+    Meta.Graph = GraphDesc;
+    Meta.NumNodes = G.numNodes();
+    Meta.NumEdges = G.numEdges();
+    Meta.Workers = Workers;
+    Meta.Threaded = Cfg.Threaded;
+    Meta.Seed = Seed;
+
+    if (ShowStats || ShowTrace) {
+      pregel::TableSink Sink(stdout, ShowTrace);
+      Sink.report(Meta, Stats, &PassStats);
+    }
+    if (!StatsJsonPath.empty()) {
+      pregel::JsonSink Sink(StatsJsonPath);
+      Sink.report(Meta, Stats, &PassStats);
+      std::string Err;
+      if (!Sink.close(&Err)) {
+        std::fprintf(stderr, "gmpc: %s\n", Err.c_str());
+        return 1;
+      }
+    }
   }
   return 0;
 }

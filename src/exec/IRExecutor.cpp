@@ -419,15 +419,21 @@ void IRExecutor::masterCompute(MasterContext &Master) {
     // the program's own state machine starts at superstep 2.
     if (Master.superstep() == 0) {
       SetupPhase = 0;
+      Master.setPhaseLabel("in-nbr-setup-0");
       return;
     }
     if (Master.superstep() == 1) {
       SetupPhase = 1;
+      Master.setPhaseLabel("in-nbr-setup-1");
       return;
     }
     SetupPhase = 2;
   }
   runTransition(Master);
+  // Trace annotation: the state whose vertex phase this superstep runs.
+  if (!Finished)
+    Master.setPhaseLabel("s" + std::to_string(CurState) + ":" +
+                         Prog.States[CurState].Name);
 }
 
 //===----------------------------------------------------------------------===//

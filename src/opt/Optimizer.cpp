@@ -2,6 +2,8 @@
 
 #include "opt/Optimizer.h"
 
+#include "support/PassStatistics.h"
+
 #include <functional>
 #include <map>
 #include <set>
@@ -310,7 +312,7 @@ bool tryMergePair(PregelProgram &P, int AId, int BId,
 
 } // namespace
 
-bool gm::mergeStates(PregelProgram &P) {
+bool gm::mergeStates(PregelProgram &P, PassStatistics *Stats) {
   bool Any = false;
   bool Progress = true;
   while (Progress) {
@@ -329,6 +331,8 @@ bool gm::mergeStates(PregelProgram &P) {
       if (tryMergePair(P, A, B, Preds)) {
         Progress = true;
         Any = true;
+        if (Stats)
+          Stats->addCounter("opt.states-merged");
       }
     }
   }
@@ -593,7 +597,7 @@ void tryEntryPeel(PregelProgram &P, const LoopShape &Shape, int FirstFlag) {
 
 } // namespace
 
-bool gm::mergeIntraLoop(PregelProgram &P) {
+bool gm::mergeIntraLoop(PregelProgram &P, PassStatistics *Stats) {
   bool Any = false;
   // Find back-edges: a state L whose transition targets an earlier state F
   // that is not L itself.
@@ -611,6 +615,8 @@ bool gm::mergeIntraLoop(PregelProgram &P) {
       continue;
     if (tryIntraLoopMerge(P, Shape)) {
       Any = true;
+      if (Stats)
+        Stats->addCounter("opt.intra-loop-merges");
       Preds = countPredecessors(P);
     }
   }

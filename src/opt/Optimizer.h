@@ -23,13 +23,18 @@
 
 namespace gm {
 
+class PassStatistics;
+
 /// Fuses consecutive vertex states where dataflow allows; returns true if
-/// anything was merged. Runs to fixpoint and compacts state ids.
-bool mergeStates(pir::PregelProgram &P);
+/// anything was merged. Runs to fixpoint and compacts state ids. When
+/// \p Stats is non-null, records the number of merges performed under the
+/// "opt.states-merged" counter.
+bool mergeStates(pir::PregelProgram &P, PassStatistics *Stats = nullptr);
 
 /// Applies intra-loop merging to every eligible cycle; returns true if
-/// anything was merged. Run after mergeStates.
-bool mergeIntraLoop(pir::PregelProgram &P);
+/// anything was merged. Run after mergeStates. Records merges under
+/// "opt.intra-loop-merges" when \p Stats is non-null.
+bool mergeIntraLoop(pir::PregelProgram &P, PassStatistics *Stats = nullptr);
 
 /// Removes unreachable states and renumbers the rest (used by the passes;
 /// exposed for tests).

@@ -1,0 +1,90 @@
+//===- pregel/Metrics.cpp --------------------------------------------------===//
+
+#include "pregel/Metrics.h"
+
+using namespace gm::pregel;
+
+const char *gm::pregel::haltReasonName(HaltReason R) {
+  switch (R) {
+  case HaltReason::None:
+    return "none";
+  case HaltReason::MasterHalt:
+    return "master-halt";
+  case HaltReason::Quiescence:
+    return "quiescence";
+  case HaltReason::MaxSupersteps:
+    return "max-supersteps";
+  }
+  return "none";
+}
+
+namespace {
+
+/// max/mean over a projection of the worker records; 1.0 when the mean is
+/// zero (an idle step has no imbalance to speak of).
+template <typename Proj>
+double imbalance(const std::vector<WorkerStepMetrics> &Workers, Proj P) {
+  if (Workers.empty())
+    return 1.0;
+  double Max = 0.0, Sum = 0.0;
+  for (const WorkerStepMetrics &W : Workers) {
+    double V = static_cast<double>(P(W));
+    Sum += V;
+    if (V > Max)
+      Max = V;
+  }
+  double Mean = Sum / static_cast<double>(Workers.size());
+  return Mean > 0.0 ? Max / Mean : 1.0;
+}
+
+} // namespace
+
+double SuperstepMetrics::timeImbalance() const {
+  return imbalance(Workers,
+                   [](const WorkerStepMetrics &W) { return W.ComputeSeconds; });
+}
+
+double SuperstepMetrics::messageImbalance() const {
+  return imbalance(Workers,
+                   [](const WorkerStepMetrics &W) { return W.MessagesSent; });
+}
+
+double SuperstepMetrics::combinerRatio() const {
+  return CombinerInput > 0
+             ? static_cast<double>(CombinerOutput) /
+                   static_cast<double>(CombinerInput)
+             : 1.0;
+}
+
+std::vector<WorkerStepMetrics>
+gm::pregel::aggregateWorkers(const std::vector<SuperstepMetrics> &Steps) {
+  std::vector<WorkerStepMetrics> Out;
+  for (const SuperstepMetrics &S : Steps) {
+    if (S.Workers.size() > Out.size())
+      Out.resize(S.Workers.size());
+    for (size_t I = 0; I < S.Workers.size(); ++I) {
+      const WorkerStepMetrics &W = S.Workers[I];
+      Out[I].ActiveVertices += W.ActiveVertices;
+      Out[I].ComputeSeconds += W.ComputeSeconds;
+      Out[I].MessagesSent += W.MessagesSent;
+      Out[I].NetworkMessagesSent += W.NetworkMessagesSent;
+      Out[I].BytesSent += W.BytesSent;
+      Out[I].MessagesReceived += W.MessagesReceived;
+      Out[I].CombinerInput += W.CombinerInput;
+      Out[I].CombinerOutput += W.CombinerOutput;
+    }
+  }
+  return Out;
+}
+
+double
+gm::pregel::runTimeImbalance(const std::vector<SuperstepMetrics> &Steps) {
+  return imbalance(aggregateWorkers(Steps),
+                   [](const WorkerStepMetrics &W) { return W.ComputeSeconds; });
+}
+
+double
+gm::pregel::runMessageImbalance(const std::vector<SuperstepMetrics> &Steps) {
+  return imbalance(aggregateWorkers(Steps),
+                   [](const WorkerStepMetrics &W) { return W.MessagesSent; });
+}

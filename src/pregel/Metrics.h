@@ -1,0 +1,91 @@
+//===- pregel/Metrics.h - Superstep and worker-level run metrics -----------===//
+///
+/// \file
+/// The observability model of the BSP engine. The paper's evaluation (§5.2)
+/// reads three coarse observables — run-time, network I/O, timesteps — but
+/// judging *why* a run behaves as it does needs per-superstep, per-worker
+/// resolution: where the wall time goes (master phase vs. vertex phase vs.
+/// barrier routing), how skewed the load is across workers, and how much
+/// the combiners actually reduce. This header defines those records; the
+/// engine fills them when Config::CollectMetrics is set (the default), and
+/// the sinks in MetricsSink.h render them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_PREGEL_METRICS_H
+#define GM_PREGEL_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gm::pregel {
+
+/// Why Engine::run stopped.
+enum class HaltReason {
+  None,          ///< run() has not completed
+  MasterHalt,    ///< the master called haltAll()
+  Quiescence,    ///< every vertex inactive with no messages in flight
+  MaxSupersteps, ///< the Config::MaxSupersteps runaway guard tripped
+};
+
+const char *haltReasonName(HaltReason R);
+
+/// One worker's share of one superstep.
+struct WorkerStepMetrics {
+  uint64_t ActiveVertices = 0; ///< vertices whose compute() ran
+  double ComputeSeconds = 0.0; ///< wall time of this worker's vertex loop
+  uint64_t MessagesSent = 0;   ///< messages leaving this worker's vertices
+  uint64_t NetworkMessagesSent = 0; ///< ... of those, crossing a boundary
+  uint64_t BytesSent = 0;           ///< wire bytes of the crossing ones
+  uint64_t MessagesReceived = 0; ///< messages routed to this worker's inbox
+  uint64_t CombinerInput = 0;  ///< outbox size before combining
+  uint64_t CombinerOutput = 0; ///< outbox size after combining
+};
+
+/// One executed superstep: the trace entry plus aggregated totals and the
+/// per-worker breakdown.
+struct SuperstepMetrics {
+  uint64_t Step = 0;
+  /// Program-supplied phase annotation (the IR executor labels each step
+  /// with the state-machine state it ran, e.g. "state 2"); empty when the
+  /// program does not annotate.
+  std::string Label;
+
+  // The superstep trace: where the step's wall time went.
+  double MasterSeconds = 0.0;  ///< master.compute()
+  double ComputeSeconds = 0.0; ///< vertex phase (all workers, wall)
+  double BarrierSeconds = 0.0; ///< combine + route + reductions + inbox build
+
+  uint64_t ActiveVertices = 0;
+  uint64_t Messages = 0;
+  uint64_t NetworkMessages = 0;
+  uint64_t NetworkBytes = 0;
+  uint64_t CombinerInput = 0;
+  uint64_t CombinerOutput = 0;
+
+  std::vector<WorkerStepMetrics> Workers;
+
+  /// Load-imbalance factor over worker compute times: max/mean, 1.0 when
+  /// degenerate (no workers or an all-idle step).
+  double timeImbalance() const;
+  /// Load-imbalance factor over worker sent-message counts.
+  double messageImbalance() const;
+  /// Combiner effectiveness: output/input message count, 1.0 when no
+  /// combining happened (lower is better).
+  double combinerRatio() const;
+};
+
+/// Sums a per-step worker breakdown into whole-run per-worker totals
+/// (vector indexed by worker id; empty when no steps carry metrics).
+std::vector<WorkerStepMetrics>
+aggregateWorkers(const std::vector<SuperstepMetrics> &Steps);
+
+/// Max/mean imbalance over aggregated per-worker compute seconds.
+double runTimeImbalance(const std::vector<SuperstepMetrics> &Steps);
+/// Max/mean imbalance over aggregated per-worker sent messages.
+double runMessageImbalance(const std::vector<SuperstepMetrics> &Steps);
+
+} // namespace gm::pregel
+
+#endif // GM_PREGEL_METRICS_H

@@ -1,0 +1,203 @@
+//===- pregel/MetricsSink.cpp ----------------------------------------------===//
+
+#include "pregel/MetricsSink.h"
+
+#include "support/JSON.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace gm;
+using namespace gm::pregel;
+
+MetricsSink::~MetricsSink() = default;
+
+//===----------------------------------------------------------------------===//
+// TableSink
+//===----------------------------------------------------------------------===//
+
+void TableSink::report(const RunMetadata &Meta, const RunStats &Stats,
+                       const PassStatistics *Compiler) {
+  std::fprintf(Out, "=== run report: %s on %s ===\n", Meta.Program.c_str(),
+               Meta.Graph.c_str());
+  std::fprintf(Out,
+               "graph: %u nodes, %llu edges | workers: %u%s | seed: %llu\n",
+               Meta.NumNodes, static_cast<unsigned long long>(Meta.NumEdges),
+               Meta.Workers, Meta.Threaded ? " (threaded)" : "",
+               static_cast<unsigned long long>(Meta.Seed));
+  std::fprintf(Out, "%s\n", Stats.toString().c_str());
+
+  if (!Stats.Steps.empty()) {
+    std::fprintf(Out, "load imbalance (max/mean): time %.2fx, messages %.2fx\n",
+                 runTimeImbalance(Stats.Steps),
+                 runMessageImbalance(Stats.Steps));
+
+    if (WithTrace) {
+      std::fprintf(Out, "\nsuperstep trace:\n");
+      std::fprintf(Out,
+                   "%5s %-14s %10s %10s %10s %11s %11s %11s %6s %6s %6s\n",
+                   "step", "label", "active", "msgs", "net-bytes", "master(s)",
+                   "compute(s)", "barrier(s)", "t-imb", "m-imb", "comb");
+      for (const SuperstepMetrics &S : Stats.Steps) {
+        std::fprintf(
+            Out,
+            "%5llu %-14.14s %10llu %10llu %10llu %11.6f %11.6f %11.6f %5.2fx "
+            "%5.2fx %5.2f\n",
+            static_cast<unsigned long long>(S.Step),
+            S.Label.empty() ? "-" : S.Label.c_str(),
+            static_cast<unsigned long long>(S.ActiveVertices),
+            static_cast<unsigned long long>(S.Messages),
+            static_cast<unsigned long long>(S.NetworkBytes), S.MasterSeconds,
+            S.ComputeSeconds, S.BarrierSeconds, S.timeImbalance(),
+            S.messageImbalance(), S.combinerRatio());
+      }
+    }
+
+    std::fprintf(Out, "\nper-worker totals:\n");
+    std::fprintf(Out, "%7s %10s %12s %10s %10s %12s %10s\n", "worker",
+                 "active", "compute(s)", "sent", "net-sent", "bytes-sent",
+                 "recv");
+    std::vector<WorkerStepMetrics> Totals = aggregateWorkers(Stats.Steps);
+    for (size_t I = 0; I < Totals.size(); ++I) {
+      const WorkerStepMetrics &W = Totals[I];
+      std::fprintf(Out, "%7zu %10llu %12.6f %10llu %10llu %12llu %10llu\n", I,
+                   static_cast<unsigned long long>(W.ActiveVertices),
+                   W.ComputeSeconds,
+                   static_cast<unsigned long long>(W.MessagesSent),
+                   static_cast<unsigned long long>(W.NetworkMessagesSent),
+                   static_cast<unsigned long long>(W.BytesSent),
+                   static_cast<unsigned long long>(W.MessagesReceived));
+    }
+  }
+
+  if (Compiler && !Compiler->empty())
+    std::fprintf(Out, "\n%s", Compiler->renderTable().c_str());
+  std::fflush(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON emission
+//===----------------------------------------------------------------------===//
+
+void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
+                              const RunStats &Stats,
+                              const PassStatistics *Compiler) {
+  W.beginObject();
+  W.field("program", Meta.Program);
+
+  W.key("graph");
+  W.beginObject();
+  W.field("name", Meta.Graph);
+  W.field("nodes", static_cast<uint64_t>(Meta.NumNodes));
+  W.field("edges", Meta.NumEdges);
+  W.endObject();
+
+  W.key("config");
+  W.beginObject();
+  W.field("workers", Meta.Workers);
+  W.field("threaded", Meta.Threaded);
+  W.field("seed", Meta.Seed);
+  W.endObject();
+
+  W.key("totals");
+  W.beginObject();
+  W.field("supersteps", Stats.Supersteps);
+  W.field("messages", Stats.TotalMessages);
+  W.field("network_messages", Stats.NetworkMessages);
+  W.field("network_bytes", Stats.NetworkBytes);
+  W.field("wall_seconds", Stats.WallSeconds);
+  W.field("halt", haltReasonName(Stats.Halt));
+  W.field("time_imbalance", runTimeImbalance(Stats.Steps));
+  W.field("message_imbalance", runMessageImbalance(Stats.Steps));
+  W.endObject();
+
+  W.key("supersteps");
+  W.beginArray();
+  for (const SuperstepMetrics &S : Stats.Steps) {
+    W.beginObject();
+    W.field("step", S.Step);
+    W.field("label", S.Label);
+    W.field("active_vertices", S.ActiveVertices);
+    W.field("messages", S.Messages);
+    W.field("network_messages", S.NetworkMessages);
+    W.field("network_bytes", S.NetworkBytes);
+    W.field("master_seconds", S.MasterSeconds);
+    W.field("compute_seconds", S.ComputeSeconds);
+    W.field("barrier_seconds", S.BarrierSeconds);
+    W.field("time_imbalance", S.timeImbalance());
+    W.field("message_imbalance", S.messageImbalance());
+    W.field("combiner_input", S.CombinerInput);
+    W.field("combiner_output", S.CombinerOutput);
+    W.key("workers");
+    W.beginArray();
+    for (size_t I = 0; I < S.Workers.size(); ++I) {
+      const WorkerStepMetrics &WM = S.Workers[I];
+      W.beginObject();
+      W.field("worker", static_cast<uint64_t>(I));
+      W.field("active_vertices", WM.ActiveVertices);
+      W.field("compute_seconds", WM.ComputeSeconds);
+      W.field("messages_sent", WM.MessagesSent);
+      W.field("network_messages_sent", WM.NetworkMessagesSent);
+      W.field("bytes_sent", WM.BytesSent);
+      W.field("messages_received", WM.MessagesReceived);
+      W.field("combiner_input", WM.CombinerInput);
+      W.field("combiner_output", WM.CombinerOutput);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+
+  if (Compiler) {
+    W.key("compiler");
+    Compiler->writeJson(W);
+  }
+  W.endObject();
+}
+
+JsonSink::~JsonSink() { close(); }
+
+void JsonSink::report(const RunMetadata &Meta, const RunStats &Stats,
+                      const PassStatistics *Compiler) {
+  assert(!Closed && "report after close");
+  Record R;
+  R.Meta = Meta;
+  R.Stats = Stats;
+  if (Compiler)
+    R.Compiler = *Compiler;
+  Records.push_back(std::move(R));
+}
+
+bool JsonSink::close(std::string *Err) {
+  if (Closed)
+    return true;
+  Closed = true;
+
+  std::ostringstream Buf;
+  json::Writer W(Buf);
+  W.beginObject();
+  W.field("schema", ReportSchemaName);
+  W.field("version", ReportSchemaVersion);
+  W.key("runs");
+  W.beginArray();
+  for (const Record &R : Records)
+    writeRunJson(W, R.Meta, R.Stats, R.Compiler ? &*R.Compiler : nullptr);
+  W.endArray();
+  W.endObject();
+  Buf << '\n';
+
+  if (Path == "-") {
+    std::cout << Buf.str();
+    return true;
+  }
+  std::ofstream Out(Path);
+  if (!Out) {
+    if (Err)
+      *Err = "cannot write " + Path;
+    return false;
+  }
+  Out << Buf.str();
+  return true;
+}

@@ -1,0 +1,109 @@
+//===- pregel/MetricsSink.h - Rendering run metrics --------------------------===//
+///
+/// \file
+/// Consumers of RunStats: a sink abstraction plus the two bundled
+/// implementations — a human-readable table renderer (gmpc --stats/--trace)
+/// and a versioned machine-readable JSON emitter (gmpc --stats-json, the
+/// bench per-run records). The JSON schema is documented in
+/// docs/observability.md; bump ReportSchemaVersion on breaking changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_PREGEL_METRICSSINK_H
+#define GM_PREGEL_METRICSSINK_H
+
+#include "pregel/Runtime.h"
+#include "support/PassStatistics.h"
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gm::json {
+class Writer;
+}
+
+namespace gm::pregel {
+
+/// Identity of one run: what executed, on what input, under which engine
+/// configuration. Rendered into report headers and JSON records.
+struct RunMetadata {
+  std::string Program; ///< compiled procedure / program name
+  std::string Graph;   ///< input description (file path, "rmat(n,e)", ...)
+  uint32_t NumNodes = 0;
+  uint64_t NumEdges = 0;
+  unsigned Workers = 0;
+  bool Threaded = false;
+  uint64_t Seed = 0;
+};
+
+/// Schema identity of the JSON run report.
+inline constexpr const char *ReportSchemaName = "gm.run-report";
+inline constexpr int ReportSchemaVersion = 1;
+
+/// Where finished runs are reported. One sink may receive many runs (the
+/// benches report every repetition).
+class MetricsSink {
+public:
+  virtual ~MetricsSink();
+
+  /// Reports one finished run. \p Compiler carries the pass statistics of
+  /// the compilation that produced the program; null when not collected.
+  virtual void report(const RunMetadata &Meta, const RunStats &Stats,
+                      const PassStatistics *Compiler = nullptr) = 0;
+};
+
+/// Human-readable renderer: run summary with load-imbalance factors,
+/// per-worker totals, compiler pass table, and (with \p WithTrace) the
+/// per-superstep trace table.
+class TableSink : public MetricsSink {
+public:
+  explicit TableSink(std::FILE *Out, bool WithTrace = false)
+      : Out(Out), WithTrace(WithTrace) {}
+
+  void report(const RunMetadata &Meta, const RunStats &Stats,
+              const PassStatistics *Compiler = nullptr) override;
+
+private:
+  std::FILE *Out;
+  bool WithTrace;
+};
+
+/// Machine-readable emitter. Buffers every reported run and writes one
+/// versioned JSON document — {"schema", "version", "runs": [...]} — on
+/// close() (called from the destructor if not earlier). Path "-" writes to
+/// stdout.
+class JsonSink : public MetricsSink {
+public:
+  explicit JsonSink(std::string Path) : Path(std::move(Path)) {}
+  ~JsonSink() override;
+
+  void report(const RunMetadata &Meta, const RunStats &Stats,
+              const PassStatistics *Compiler = nullptr) override;
+
+  /// Writes the document. Returns false (with \p Err set) when the output
+  /// file cannot be written. Idempotent.
+  bool close(std::string *Err = nullptr);
+
+private:
+  struct Record {
+    RunMetadata Meta;
+    RunStats Stats;
+    std::optional<PassStatistics> Compiler;
+  };
+
+  std::string Path;
+  std::vector<Record> Records;
+  bool Closed = false;
+};
+
+/// Emits the canonical JSON object for one run (the element type of the
+/// report's "runs" array) into an already-open writer.
+void writeRunJson(json::Writer &W, const RunMetadata &Meta,
+                  const RunStats &Stats,
+                  const PassStatistics *Compiler = nullptr);
+
+} // namespace gm::pregel
+
+#endif // GM_PREGEL_METRICSSINK_H

@@ -2,6 +2,8 @@
 
 #include "pregel/Runtime.h"
 
+#include "support/Diagnostics.h"
+
 #include <chrono>
 #include <sstream>
 #include <thread>
@@ -10,13 +12,24 @@
 using namespace gm;
 using namespace gm::pregel;
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+} // namespace
+
 VertexProgram::~VertexProgram() = default;
 
 std::string RunStats::toString() const {
   std::ostringstream OS;
   OS << "supersteps=" << Supersteps << " messages=" << TotalMessages
      << " network_messages=" << NetworkMessages
-     << " network_bytes=" << NetworkBytes << " wall_seconds=" << WallSeconds;
+     << " network_bytes=" << NetworkBytes << " wall_seconds=" << WallSeconds
+     << " halt=" << haltReasonName(Halt);
   return OS.str();
 }
 
@@ -50,12 +63,24 @@ struct Engine::WorkerState {
   GlobalObjects PrivateGlobals;
 };
 
-void Engine::routeOutbox(std::vector<Message> &Outbox, RunStats &Stats) {
+void Engine::routeOutbox(std::vector<Message> &Outbox, unsigned FromWorker,
+                         RunStats &Stats, SuperstepMetrics *SM) {
+  WorkerStepMetrics *WM = SM ? &SM->Workers[FromWorker] : nullptr;
   for (const Message &M : Outbox) {
     ++Stats.TotalMessages;
-    if (workerOf(M.Src) != workerOf(M.Dst)) {
+    unsigned DstWorker = workerOf(M.Dst);
+    if (WM) {
+      ++WM->MessagesSent;
+      ++SM->Workers[DstWorker].MessagesReceived;
+    }
+    if (workerOf(M.Src) != DstWorker) {
       ++Stats.NetworkMessages;
-      Stats.NetworkBytes += M.wireSize(Cfg.TaggedMessages);
+      unsigned Bytes = M.wireSize(Cfg.TaggedMessages);
+      Stats.NetworkBytes += Bytes;
+      if (WM) {
+        ++WM->NetworkMessagesSent;
+        WM->BytesSent += Bytes;
+      }
     }
     NextMessages.push_back(M);
   }
@@ -85,14 +110,22 @@ void Engine::combineOutbox(std::vector<Message> &Outbox) {
 }
 
 void Engine::runWorkerPhase(VertexProgram &Program, uint64_t Step,
-                            RunStats &Stats) {
+                            RunStats &Stats, SuperstepMetrics *SM) {
   const unsigned W = Cfg.NumWorkers;
   std::vector<WorkerState> Workers(W);
   for (WorkerState &WS : Workers)
     WS.PrivateGlobals = Globals.cloneDeclarations();
+  if (SM)
+    SM->Workers.assign(W, WorkerStepMetrics{});
 
+  // Each worker writes only its own metrics slot, so the records are safe
+  // to fill from threaded workers without synchronization.
   auto RunWorker = [&](unsigned WorkerId) {
     WorkerState &WS = Workers[WorkerId];
+    Clock::time_point T0;
+    if (SM)
+      T0 = Clock::now();
+    uint64_t Ran = 0;
     for (NodeId V = WorkerId; V < G.numNodes(); V += W) {
       std::span<const Message> Inbox(InboxPool.data() + InboxOffset[V],
                                      InboxOffset[V + 1] - InboxOffset[V]);
@@ -103,9 +136,18 @@ void Engine::runWorkerPhase(VertexProgram &Program, uint64_t Step,
       Ctx.Outbox = &WS.Outbox;
       Program.compute(Ctx);
       Active[V] = !Ctx.VotedHalt;
+      ++Ran;
+    }
+    if (SM) {
+      WorkerStepMetrics &WM = SM->Workers[WorkerId];
+      WM.ActiveVertices = Ran;
+      WM.ComputeSeconds = secondsSince(T0);
     }
   };
 
+  Clock::time_point PhaseT0;
+  if (SM)
+    PhaseT0 = Clock::now();
   if (Cfg.Threaded && W > 1) {
     std::vector<std::thread> Threads;
     Threads.reserve(W);
@@ -117,16 +159,30 @@ void Engine::runWorkerPhase(VertexProgram &Program, uint64_t Step,
     for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId)
       RunWorker(WorkerId);
   }
+  Clock::time_point BarrierT0;
+  if (SM) {
+    SM->ComputeSeconds = secondsSince(PhaseT0);
+    BarrierT0 = Clock::now();
+  }
 
   // Barrier, part 1: merge worker-private global contributions and outboxes
   // in worker order (deterministic). Combiners run per sending worker,
   // before the wire accounting — exactly where GPS applies them.
-  for (WorkerState &WS : Workers) {
+  for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId) {
+    WorkerState &WS = Workers[WorkerId];
     Globals.mergePendingFrom(WS.PrivateGlobals);
-    if (!Cfg.Combiners.empty())
+    if (!Cfg.Combiners.empty()) {
+      uint64_t Before = WS.Outbox.size();
       combineOutbox(WS.Outbox);
-    routeOutbox(WS.Outbox, Stats);
+      if (SM) {
+        SM->Workers[WorkerId].CombinerInput = Before;
+        SM->Workers[WorkerId].CombinerOutput = WS.Outbox.size();
+      }
+    }
+    routeOutbox(WS.Outbox, WorkerId, Stats, SM);
   }
+  if (SM)
+    SM->BarrierSeconds += secondsSince(BarrierT0);
 }
 
 RunStats Engine::run(VertexProgram &Program) {
@@ -148,10 +204,20 @@ RunStats Engine::run(VertexProgram &Program) {
 
   std::vector<uint32_t> Cursor;
   for (uint64_t Step = 0; Step < Cfg.MaxSupersteps; ++Step) {
+    SuperstepMetrics SM;
+    SuperstepMetrics *SMp = Cfg.CollectMetrics ? &SM : nullptr;
+
+    Clock::time_point MasterT0;
+    if (SMp)
+      MasterT0 = Clock::now();
     MasterContext MC(Step, G, Globals, Rng);
     Program.masterCompute(MC);
-    if (MC.halted())
+    if (SMp)
+      SM.MasterSeconds = secondsSince(MasterT0);
+    if (MC.halted()) {
+      Stats.Halt = HaltReason::MasterHalt;
       break;
+    }
 
     // Quiescence: every vertex has voted to halt and nothing is in flight.
     // Checked after masterCompute so the master always gets one superstep in
@@ -163,16 +229,21 @@ RunStats Engine::run(VertexProgram &Program) {
           AnyActive = true;
           break;
         }
-      if (!AnyActive)
+      if (!AnyActive) {
+        Stats.Halt = HaltReason::Quiescence;
         break;
+      }
     }
 
-    runWorkerPhase(Program, Step, Stats);
+    runWorkerPhase(Program, Step, Stats, SMp);
     Stats.Supersteps = Step + 1;
     Stats.MessagesPerStep.push_back(NextMessages.size());
 
     // Barrier, part 2: resolve global reductions and build the next inbox
     // with a counting sort by destination vertex.
+    Clock::time_point BarrierT0;
+    if (SMp)
+      BarrierT0 = Clock::now();
     Globals.resolveBarrier();
 
     InboxOffset.assign(N + 1, 0);
@@ -186,10 +257,36 @@ RunStats Engine::run(VertexProgram &Program) {
       InboxPool[Cursor[M.Dst]++] = M;
     PendingMessageCount = NextMessages.size();
     NextMessages.clear();
+
+    if (SMp) {
+      SM.BarrierSeconds += secondsSince(BarrierT0);
+      SM.Step = Step;
+      SM.Label = MC.phaseLabel();
+      SM.Messages = Stats.MessagesPerStep.back();
+      for (const WorkerStepMetrics &WM : SM.Workers) {
+        SM.ActiveVertices += WM.ActiveVertices;
+        SM.NetworkMessages += WM.NetworkMessagesSent;
+        SM.NetworkBytes += WM.BytesSent;
+        SM.CombinerInput += WM.CombinerInput;
+        SM.CombinerOutput += WM.CombinerOutput;
+      }
+      Stats.Steps.push_back(std::move(SM));
+    }
   }
 
-  Stats.WallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
+  // Falling out of the loop without a halt means the runaway guard tripped:
+  // the caller must be able to tell this apart from convergence.
+  if (Stats.Halt == HaltReason::None) {
+    Stats.Halt = HaltReason::MaxSupersteps;
+    if (Cfg.Diags)
+      Cfg.Diags->warning(
+          SourceLocation(),
+          "pregel engine: MaxSupersteps guard halted the run after " +
+              std::to_string(Stats.Supersteps) +
+              " supersteps without convergence (vertices still active or "
+              "messages in flight)");
+  }
+
+  Stats.WallSeconds = secondsSince(Start);
   return Stats;
 }

@@ -18,6 +18,7 @@
 #include "graph/Graph.h"
 #include "pregel/GlobalObjects.h"
 #include "pregel/Message.h"
+#include "pregel/Metrics.h"
 
 #include <cstdint>
 #include <map>
@@ -26,21 +27,33 @@
 #include <string>
 #include <vector>
 
+namespace gm {
+class DiagnosticEngine;
+}
+
 namespace gm::pregel {
 
 class Engine;
 
-/// Per-run execution statistics; the quantities reported in the paper's §5.2
-/// (run-time, network I/O, number of timesteps).
+/// Per-run execution statistics: the coarse quantities reported in the
+/// paper's §5.2 (run-time, network I/O, number of timesteps) plus, when
+/// Config::CollectMetrics is on, the full per-superstep / per-worker
+/// breakdown (see Metrics.h). Render with the sinks in MetricsSink.h.
 struct RunStats {
   uint64_t Supersteps = 0;
   uint64_t TotalMessages = 0;
   uint64_t NetworkMessages = 0; ///< messages that crossed a worker boundary
   uint64_t NetworkBytes = 0;    ///< wire bytes of those messages
   double WallSeconds = 0.0;
+  /// Why the run stopped (master-halt / quiescence / max-supersteps).
+  HaltReason Halt = HaltReason::None;
 
   /// Per-superstep message counts (index = superstep).
   std::vector<uint64_t> MessagesPerStep;
+
+  /// Per-superstep trace and per-worker metrics; one entry per executed
+  /// superstep. Empty when Config::CollectMetrics is off.
+  std::vector<SuperstepMetrics> Steps;
 
   std::string toString() const;
 };
@@ -52,6 +65,14 @@ struct Config {
   uint64_t RandomSeed = 1;   ///< seed for master-side PickRandom
   uint64_t MaxSupersteps = 1u << 20; ///< runaway guard
   bool TaggedMessages = false; ///< program uses >1 message type (adds 4B/msg)
+  /// Collect RunStats::Steps (per-superstep trace, per-worker metrics).
+  /// A handful of clock reads and one small record per superstep; on by
+  /// default so every run is observable.
+  bool CollectMetrics = true;
+  /// When non-null, the engine reports runtime conditions here — currently
+  /// a warning when the MaxSupersteps runaway guard halts a program that
+  /// did not converge.
+  DiagnosticEngine *Diags = nullptr;
   /// Pregel message combiners: messages of a listed type heading to the
   /// same destination are reduced at the sending worker before they hit
   /// the wire (single-field payloads only). Empty = no combining.
@@ -83,6 +104,12 @@ public:
   void haltAll() { Halted = true; }
   bool halted() const { return Halted; }
 
+  /// Annotates this superstep's trace entry (SuperstepMetrics::Label); the
+  /// IR executor uses it to record which state-machine state each superstep
+  /// ran. No effect when metrics collection is off.
+  void setPhaseLabel(std::string Label) { PhaseLabel = std::move(Label); }
+  const std::string &phaseLabel() const { return PhaseLabel; }
+
 private:
   friend class Engine;
   MasterContext(uint64_t Step, const Graph &G, GlobalObjects &Globals,
@@ -94,6 +121,7 @@ private:
   GlobalObjects &Globals;
   std::mt19937_64 &Rng;
   bool Halted = false;
+  std::string PhaseLabel;
 };
 
 /// One vertex's view during `compute()`.
@@ -183,9 +211,11 @@ public:
 private:
   struct WorkerState;
 
-  void routeOutbox(std::vector<Message> &Outbox, RunStats &Stats);
+  void routeOutbox(std::vector<Message> &Outbox, unsigned FromWorker,
+                   RunStats &Stats, SuperstepMetrics *SM);
   void combineOutbox(std::vector<Message> &Outbox);
-  void runWorkerPhase(VertexProgram &Program, uint64_t Step, RunStats &Stats);
+  void runWorkerPhase(VertexProgram &Program, uint64_t Step, RunStats &Stats,
+                      SuperstepMetrics *SM);
 
   const Graph &G;
   Config Cfg;

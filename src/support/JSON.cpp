@@ -1,0 +1,356 @@
+//===- support/JSON.cpp ----------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace gm;
+using namespace gm::json;
+
+std::string json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+void Writer::indent() {
+  if (!Pretty)
+    return;
+  OS << '\n';
+  for (size_t I = 0; I < Stack.size(); ++I)
+    OS << "  ";
+}
+
+void Writer::beforeValue() {
+  assert(!(Stack.empty() && WroteTopLevel) &&
+         "only one top-level JSON value per document");
+  if (Stack.empty()) {
+    WroteTopLevel = true;
+    return;
+  }
+  if (Stack.back() == Frame::Object) {
+    assert(PendingKey && "object member written without a key");
+    PendingKey = false;
+    return;
+  }
+  if (FrameHasMembers.back())
+    OS << ',';
+  FrameHasMembers.back() = true;
+  indent();
+}
+
+void Writer::key(const std::string &K) {
+  assert(!Stack.empty() && Stack.back() == Frame::Object &&
+         "key() outside an object");
+  assert(!PendingKey && "two keys in a row");
+  if (FrameHasMembers.back())
+    OS << ',';
+  FrameHasMembers.back() = true;
+  indent();
+  OS << '"' << escape(K) << "\":";
+  if (Pretty)
+    OS << ' ';
+  PendingKey = true;
+}
+
+void Writer::beginObject() {
+  beforeValue();
+  OS << '{';
+  Stack.push_back(Frame::Object);
+  FrameHasMembers.push_back(false);
+}
+
+void Writer::endObject() {
+  assert(!Stack.empty() && Stack.back() == Frame::Object && !PendingKey);
+  bool HadMembers = FrameHasMembers.back();
+  Stack.pop_back();
+  FrameHasMembers.pop_back();
+  if (HadMembers)
+    indent();
+  OS << '}';
+}
+
+void Writer::beginArray() {
+  beforeValue();
+  OS << '[';
+  Stack.push_back(Frame::Array);
+  FrameHasMembers.push_back(false);
+}
+
+void Writer::endArray() {
+  assert(!Stack.empty() && Stack.back() == Frame::Array);
+  bool HadMembers = FrameHasMembers.back();
+  Stack.pop_back();
+  FrameHasMembers.pop_back();
+  if (HadMembers)
+    indent();
+  OS << ']';
+}
+
+void Writer::value(const std::string &V) {
+  beforeValue();
+  OS << '"' << escape(V) << '"';
+}
+
+void Writer::value(double V) {
+  beforeValue();
+  if (!std::isfinite(V)) { // JSON has no NaN/Inf literals
+    OS << "null";
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  OS << Buf;
+}
+
+void Writer::value(uint64_t V) {
+  beforeValue();
+  OS << V;
+}
+
+void Writer::value(int64_t V) {
+  beforeValue();
+  OS << V;
+}
+
+void Writer::value(bool V) {
+  beforeValue();
+  OS << (V ? "true" : "false");
+}
+
+void Writer::null() {
+  beforeValue();
+  OS << "null";
+}
+
+//===----------------------------------------------------------------------===//
+// Validator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent well-formedness checker. No values are materialized;
+/// it only walks the grammar.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Err) : S(Text), Err(Err) {}
+
+  bool run() {
+    skipWs();
+    if (!parseValue())
+      return false;
+    skipWs();
+    if (Pos != S.size())
+      return fail("trailing characters after the JSON value");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Err)
+      *Err = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseLiteral(const char *Lit) {
+    size_t Len = std::string(Lit).size();
+    if (S.compare(Pos, Len, Lit) != 0)
+      return fail(std::string("expected '") + Lit + "'");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseString() {
+    if (!consume('"'))
+      return fail("expected '\"'");
+    while (Pos < S.size()) {
+      unsigned char C = S[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return fail("unescaped control character in string");
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return fail("truncated escape");
+        char E = S[Pos];
+        if (E == 'u') {
+          for (int I = 1; I <= 4; ++I)
+            if (Pos + I >= S.size() || !std::isxdigit(
+                    static_cast<unsigned char>(S[Pos + I])))
+              return fail("bad \\u escape");
+          Pos += 4;
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return fail("bad escape character");
+        }
+      }
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber() {
+    size_t Start = Pos;
+    consume('-');
+    if (consume('0')) {
+      // no leading zeros
+    } else {
+      if (Pos >= S.size() || !std::isdigit(static_cast<unsigned char>(S[Pos])))
+        return fail("expected digit");
+      while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+        ++Pos;
+    }
+    if (consume('.')) {
+      if (Pos >= S.size() || !std::isdigit(static_cast<unsigned char>(S[Pos])))
+        return fail("expected fraction digits");
+      while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+        ++Pos;
+    }
+    if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < S.size() && (S[Pos] == '+' || S[Pos] == '-'))
+        ++Pos;
+      if (Pos >= S.size() || !std::isdigit(static_cast<unsigned char>(S[Pos])))
+        return fail("expected exponent digits");
+      while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+
+  bool parseObject() {
+    ++Pos; // '{'
+    skipWs();
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipWs();
+      if (!parseString())
+        return false;
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':'");
+      skipWs();
+      if (!parseValue())
+        return false;
+      skipWs();
+      if (consume('}'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray() {
+    ++Pos; // '['
+    skipWs();
+    if (consume(']'))
+      return true;
+    while (true) {
+      skipWs();
+      if (!parseValue())
+        return false;
+      skipWs();
+      if (consume(']'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseValue() {
+    if (++Depth > MaxDepth)
+      return fail("nesting too deep");
+    struct DepthGuard {
+      unsigned &D;
+      ~DepthGuard() { --D; }
+    } G{Depth};
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    switch (S[Pos]) {
+    case '{':
+      return parseObject();
+    case '[':
+      return parseArray();
+    case '"':
+      return parseString();
+    case 't':
+      return parseLiteral("true");
+    case 'f':
+      return parseLiteral("false");
+    case 'n':
+      return parseLiteral("null");
+    default:
+      return parseNumber();
+    }
+  }
+
+  static constexpr unsigned MaxDepth = 256;
+  const std::string &S;
+  std::string *Err;
+  size_t Pos = 0;
+  unsigned Depth = 0;
+};
+
+} // namespace
+
+bool json::validate(const std::string &Text, std::string *Err) {
+  return Parser(Text, Err).run();
+}

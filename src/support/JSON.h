@@ -1,0 +1,84 @@
+//===- support/JSON.h - Minimal JSON emission and validation ---------------===//
+///
+/// \file
+/// A dependency-free JSON toolkit for the observability layer: a streaming
+/// writer (used by the stats sinks and the benches to emit machine-readable
+/// run reports) and a strict well-formedness validator (used by tests and
+/// smoke checks to round-trip what the writer produced).
+///
+/// The writer is deliberately low-level — callers drive begin/end and key
+/// calls — so report code reads like the schema it emits and no intermediate
+/// DOM is allocated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SUPPORT_JSON_H
+#define GM_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gm::json {
+
+/// Returns \p S with JSON string escaping applied (quotes not included).
+std::string escape(const std::string &S);
+
+/// Streaming JSON writer with automatic comma placement and optional
+/// two-space pretty printing. Misuse (a key outside an object, two keys in
+/// a row, unbalanced end calls) is caught by assertions.
+class Writer {
+public:
+  explicit Writer(std::ostream &OS, bool Pretty = true)
+      : OS(OS), Pretty(Pretty) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits the key of the next object member.
+  void key(const std::string &K);
+
+  void value(const std::string &V);
+  void value(const char *V) { value(std::string(V)); }
+  void value(double V);
+  void value(uint64_t V);
+  void value(int64_t V);
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(unsigned V) { value(static_cast<uint64_t>(V)); }
+  void value(bool V);
+  void null();
+
+  /// key(K) + value(V) in one call.
+  template <typename T> void field(const std::string &K, const T &V) {
+    key(K);
+    value(V);
+  }
+
+  /// True once every opened object/array has been closed.
+  bool done() const { return Stack.empty() && WroteTopLevel; }
+
+private:
+  enum class Frame { Object, Array };
+
+  void beforeValue();
+  void indent();
+
+  std::ostream &OS;
+  bool Pretty;
+  std::vector<Frame> Stack;
+  std::vector<bool> FrameHasMembers;
+  bool PendingKey = false;
+  bool WroteTopLevel = false;
+};
+
+/// Strict well-formedness check of one JSON document (RFC 8259 value plus
+/// trailing whitespace). On failure returns false and, when \p Err is
+/// non-null, stores a message with the byte offset of the problem.
+bool validate(const std::string &Text, std::string *Err = nullptr);
+
+} // namespace gm::json
+
+#endif // GM_SUPPORT_JSON_H

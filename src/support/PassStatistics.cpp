@@ -1,0 +1,59 @@
+//===- support/PassStatistics.cpp ------------------------------------------===//
+
+#include "support/PassStatistics.h"
+
+#include "support/JSON.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace gm;
+
+std::string PassStatistics::renderTable() const {
+  std::ostringstream OS;
+  if (!Timings.empty()) {
+    OS << "=== compiler pass timings ===\n";
+    double Total = 0.0;
+    for (const Timing &T : Timings)
+      Total += T.Seconds;
+    for (const Timing &T : Timings) {
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf), "  %-28s %10.6fs %5.1f%%\n",
+                    T.Pass.c_str(), T.Seconds,
+                    Total > 0 ? 100.0 * T.Seconds / Total : 0.0);
+      OS << Buf;
+    }
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf), "  %-28s %10.6fs\n", "total", Total);
+    OS << Buf;
+  }
+  if (!Counters.empty()) {
+    OS << "=== compiler counters ===\n";
+    for (const auto &[Name, V] : Counters) {
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf), "  %-28s %10llu\n", Name.c_str(),
+                    static_cast<unsigned long long>(V));
+      OS << Buf;
+    }
+  }
+  return OS.str();
+}
+
+void PassStatistics::writeJson(json::Writer &W) const {
+  W.beginObject();
+  W.key("passes");
+  W.beginArray();
+  for (const Timing &T : Timings) {
+    W.beginObject();
+    W.field("name", T.Pass);
+    W.field("seconds", T.Seconds);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, V] : Counters)
+    W.field(Name, V);
+  W.endObject();
+  W.endObject();
+}

@@ -1,0 +1,96 @@
+//===- support/PassStatistics.h - Compiler pass counters and timings -------===//
+///
+/// \file
+/// An LLVM `-stats`-style registry for the compilation pipeline: named
+/// counters ("opt.states-merged") and per-pass wall timings, accumulated in
+/// pipeline order. The driver owns one registry per compilation and threads
+/// a pointer through CompileOptions; passes record into it only when the
+/// pointer is non-null, so the default path pays nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SUPPORT_PASSSTATISTICS_H
+#define GM_SUPPORT_PASSSTATISTICS_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gm {
+
+namespace json {
+class Writer;
+}
+
+/// Accumulates counters and pass timings for one compilation.
+class PassStatistics {
+public:
+  struct Timing {
+    std::string Pass;
+    double Seconds = 0.0;
+  };
+
+  /// Appends a timing sample (passes appear in execution order; a pass run
+  /// twice appears twice).
+  void addTiming(const std::string &Pass, double Seconds) {
+    Timings.push_back({Pass, Seconds});
+  }
+
+  /// Adds \p Delta to the named counter (created at zero on first use).
+  void addCounter(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  /// Sets the named counter to an absolute value.
+  void setCounter(const std::string &Name, uint64_t V) { Counters[Name] = V; }
+
+  uint64_t counter(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  const std::vector<Timing> &timings() const { return Timings; }
+  const std::map<std::string, uint64_t> &counters() const { return Counters; }
+  bool empty() const { return Timings.empty() && Counters.empty(); }
+
+  /// Human-readable report (timings in execution order, then counters
+  /// alphabetically), in the spirit of `llvm -stats` output.
+  std::string renderTable() const;
+
+  /// Emits the `{"passes": [...], "counters": {...}}` object of the run
+  /// report schema (docs/observability.md) into an already-open writer.
+  void writeJson(json::Writer &W) const;
+
+  /// RAII timer: times its scope into \p Stats (no-op when null).
+  class ScopedTimer {
+  public:
+    ScopedTimer(PassStatistics *Stats, std::string Pass)
+        : Stats(Stats), Pass(std::move(Pass)),
+          Start(std::chrono::steady_clock::now()) {}
+    ~ScopedTimer() {
+      if (!Stats)
+        return;
+      Stats->addTiming(
+          Pass, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              Start)
+                    .count());
+    }
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    PassStatistics *Stats;
+    std::string Pass;
+    std::chrono::steady_clock::time_point Start;
+  };
+
+private:
+  std::vector<Timing> Timings;
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace gm
+
+#endif // GM_SUPPORT_PASSSTATISTICS_H

@@ -1,6 +1,7 @@
 //===- transform/TransformPipeline.cpp - §4.1 pass ordering -------------------===//
 
 #include "frontend/ASTVisitor.h"
+#include "support/PassStatistics.h"
 #include "transform/Transforms.h"
 
 using namespace gm;
@@ -40,25 +41,38 @@ void flattenBlocks(Stmt *S) {
 bool gm::runTransformPipeline(
     ProcedureDecl *Proc, ASTContext &Context, DiagnosticEngine &Diags,
     const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings,
-    FeatureLog *Log) {
+    FeatureLog *Log, PassStatistics *Stats) {
   unsigned Before = Diags.errorCount();
   auto Failed = [&] { return Diags.errorCount() != Before; };
 
+  // Times one pass and counts whether it changed the program.
+  auto RunPass = [&](const char *Name, auto &&Pass) {
+    PassStatistics::ScopedTimer T(Stats, Name);
+    bool Changed = Pass();
+    if (Stats && Changed)
+      Stats->addCounter(std::string("transform.changed.") + Name);
+    return Changed;
+  };
+
   // 1. Comprehensions -> loops (normal form for everything below).
-  lowerReductions(Proc, Context, Diags);
+  RunPass("reduction-lowering",
+          [&] { return lowerReductions(Proc, Context, Diags); });
   if (Failed())
     return false;
 
   // 2. InBFS/InReverse -> frontier-expansion loops. The pass introduces
   //    fresh random accesses (root._lev = 0), handled by pass 3; its user
   //    bodies contained no reductions anymore thanks to pass 1.
-  if (lowerBFS(Proc, Context, Diags) && Log)
+  if (RunPass("bfs-lowering", [&] { return lowerBFS(Proc, Context, Diags); }) &&
+      Log)
     Log->insert(feature::BFSTraversal);
   if (Failed())
     return false;
 
   // 3. Sequential-phase random access -> filtered parallel loops.
-  if (lowerRandomAccess(Proc, Context, Diags) && Log)
+  if (RunPass("random-access-lowering",
+              [&] { return lowerRandomAccess(Proc, Context, Diags); }) &&
+      Log)
     Log->insert(feature::RandomAccessSeq);
   if (Failed())
     return false;
@@ -67,13 +81,17 @@ bool gm::runTransformPipeline(
   //    nesting the earlier passes introduced so dissection sees loop bodies
   //    as flat statement lists.
   flattenBlocks(Proc->body());
-  if (dissectLoops(Proc, Context, Diags, EdgeBindings) && Log)
+  if (RunPass("loop-dissection",
+              [&] { return dissectLoops(Proc, Context, Diags, EdgeBindings); }) &&
+      Log)
     Log->insert(feature::DissectingLoops);
   if (Failed())
     return false;
 
   // 5. Pull -> push.
-  if (flipEdges(Proc, Context, Diags, EdgeBindings) && Log)
+  if (RunPass("edge-flipping",
+              [&] { return flipEdges(Proc, Context, Diags, EdgeBindings); }) &&
+      Log)
     Log->insert(feature::FlippingEdge);
   return !Failed();
 }

@@ -48,12 +48,16 @@ bool flipEdges(ProcedureDecl *Proc, ASTContext &Context,
                DiagnosticEngine &Diags,
                const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings);
 
+class PassStatistics;
+
 /// Runs the full §4.1 pipeline in order, recording applied transformations
-/// in \p Log. Returns false if any pass reported an error.
+/// in \p Log. Returns false if any pass reported an error. When \p Stats is
+/// non-null, each pass's wall time and changed/unchanged outcome are
+/// recorded (gmpc --stats).
 bool runTransformPipeline(
     ProcedureDecl *Proc, ASTContext &Context, DiagnosticEngine &Diags,
     const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings,
-    FeatureLog *Log = nullptr);
+    FeatureLog *Log = nullptr, PassStatistics *Stats = nullptr);
 
 } // namespace gm
 

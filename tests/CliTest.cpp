@@ -5,11 +5,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/JSON.h"
+
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -118,6 +121,67 @@ TEST(Cli, RejectsUnknownScalarArgument) {
                         " --rand-eprop len 1 5");
   EXPECT_EQ(R.ExitCode, 2);
   EXPECT_NE(R.Output.find("no scalar argument"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Observability flags (--stats / --trace / --stats-json).
+//===----------------------------------------------------------------------===//
+
+TEST(Cli, StatsJsonRunRoundTrip) {
+  // The tier-1 smoke test for the run report: compile + run PageRank, write
+  // the JSON report, and check it is well-formed with per-superstep and
+  // per-worker entries plus compiler pass timings.
+  std::string Path = ::testing::TempDir() + "/cli_stats.json";
+  CliResult R = runGmpc(algo("pagerank.gm") +
+                        " --run --graph-rmat 200 800 --workers 3"
+                        " --arg e=0.0 --arg d=0.85 --arg max_iter=5"
+                        " --stats-json " + Path);
+  ASSERT_EQ(R.ExitCode, 0);
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Doc = SS.str();
+
+  std::string Err;
+  EXPECT_TRUE(gm::json::validate(Doc, &Err)) << Err;
+  EXPECT_NE(Doc.find("\"schema\": \"gm.run-report\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(Doc.find("\"supersteps\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"workers\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"compute_seconds\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"halt\": \"master-halt\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"compiler\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"translate\""), std::string::npos);
+}
+
+TEST(Cli, StatsJsonCompileOnlyToStdout) {
+  CliResult R = runGmpc(algo("sssp.gm") + " --stats-json -");
+  ASSERT_EQ(R.ExitCode, 0);
+  std::string Err;
+  EXPECT_TRUE(gm::json::validate(R.Output, &Err)) << Err;
+  EXPECT_NE(R.Output.find("\"graph\""), std::string::npos);
+  EXPECT_NE(R.Output.find("(not run)"), std::string::npos);
+  EXPECT_NE(R.Output.find("\"halt\": \"none\""), std::string::npos);
+}
+
+TEST(Cli, StatsPrintsPassTable) {
+  CliResult R = runGmpc(algo("pagerank.gm") + " --stats");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("compiler pass timings"), std::string::npos);
+  EXPECT_NE(R.Output.find("translate"), std::string::npos);
+  EXPECT_NE(R.Output.find("ir.states.post-opt"), std::string::npos);
+}
+
+TEST(Cli, TracePrintsSuperstepTable) {
+  CliResult R = runGmpc(algo("pagerank.gm") +
+                        " --run --graph-rmat 100 400"
+                        " --arg e=0.0 --arg d=0.85 --arg max_iter=3 --trace");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("superstep trace:"), std::string::npos);
+  EXPECT_NE(R.Output.find("per-worker totals:"), std::string::npos);
+  EXPECT_NE(R.Output.find("halt="), std::string::npos);
 }
 
 } // namespace

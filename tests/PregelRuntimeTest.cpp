@@ -2,6 +2,7 @@
 
 #include "graph/Generators.h"
 #include "pregel/Runtime.h"
+#include "support/Diagnostics.h"
 
 #include <gtest/gtest.h>
 
@@ -423,6 +424,167 @@ TEST(PregelRuntime, MaxSuperstepsGuard) {
   NeverEndingProgram P;
   RunStats Stats = E.run(P);
   EXPECT_EQ(Stats.Supersteps, 25u);
+}
+
+//===----------------------------------------------------------------------===//
+// Superstep metrics and halt reasons.
+//===----------------------------------------------------------------------===//
+
+TEST(PregelMetrics, PerSuperstepMessageCounts) {
+  Graph G = generateRing(4);
+  Engine E(G, Config{});
+  BroadcastOnceProgram P;
+  RunStats Stats = E.run(P);
+  ASSERT_EQ(Stats.Steps.size(), Stats.Supersteps);
+  ASSERT_EQ(Stats.Steps.size(), 2u);
+  EXPECT_EQ(Stats.Steps[0].Step, 0u);
+  EXPECT_EQ(Stats.Steps[1].Step, 1u);
+  EXPECT_EQ(Stats.Steps[0].Messages, 4u);
+  EXPECT_EQ(Stats.Steps[1].Messages, 0u);
+  // Step 0 runs all 4 vertices; step 1 only the 4 message receivers.
+  EXPECT_EQ(Stats.Steps[0].ActiveVertices, 4u);
+  EXPECT_EQ(Stats.Steps[1].ActiveVertices, 4u);
+  EXPECT_GE(Stats.Steps[0].timeImbalance(), 1.0);
+}
+
+TEST(PregelMetrics, PerWorkerByteAttribution) {
+  // Ring of 4 with 2 workers: 0,2 on worker 0; 1,3 on worker 1. Every ring
+  // edge crosses the boundary, so each worker sends 2 network messages of
+  // 12 bytes (4B header + 8B int) and receives 2.
+  Graph G = generateRing(4);
+  Config Cfg;
+  Cfg.NumWorkers = 2;
+  Engine E(G, Cfg);
+  BroadcastOnceProgram P;
+  RunStats Stats = E.run(P);
+  ASSERT_GE(Stats.Steps.size(), 1u);
+  const SuperstepMetrics &S0 = Stats.Steps[0];
+  ASSERT_EQ(S0.Workers.size(), 2u);
+  for (unsigned W = 0; W < 2; ++W) {
+    EXPECT_EQ(S0.Workers[W].MessagesSent, 2u);
+    EXPECT_EQ(S0.Workers[W].NetworkMessagesSent, 2u);
+    EXPECT_EQ(S0.Workers[W].BytesSent, 24u);
+    EXPECT_EQ(S0.Workers[W].MessagesReceived, 2u);
+  }
+  // Step aggregates equal the sum over workers, and the per-worker bytes
+  // add up to the run's total network traffic.
+  EXPECT_EQ(S0.NetworkBytes, Stats.NetworkBytes);
+  std::vector<WorkerStepMetrics> Totals = aggregateWorkers(Stats.Steps);
+  uint64_t Sent = 0, Bytes = 0;
+  for (const WorkerStepMetrics &W : Totals) {
+    Sent += W.MessagesSent;
+    Bytes += W.BytesSent;
+  }
+  EXPECT_EQ(Sent, Stats.TotalMessages);
+  EXPECT_EQ(Bytes, Stats.NetworkBytes);
+}
+
+TEST(PregelMetrics, CombinerReductionRatio) {
+  // All 6 vertices send one Sum-combinable message to vertex 0; with 2
+  // workers each sending side folds its 3 messages into 1.
+  Graph G = generateRing(6);
+  Config Cfg;
+  Cfg.NumWorkers = 2;
+  Cfg.Combiners[0] = ReduceKind::Sum;
+  Engine E(G, Cfg);
+  SendToProgram P;
+  RunStats Stats = E.run(P);
+  ASSERT_GE(Stats.Steps.size(), 1u);
+  const SuperstepMetrics &S0 = Stats.Steps[0];
+  EXPECT_EQ(S0.CombinerInput, 6u);
+  EXPECT_EQ(S0.CombinerOutput, 2u);
+  EXPECT_DOUBLE_EQ(S0.combinerRatio(), 2.0 / 6.0);
+  // The combined messages are what reaches the wire accounting.
+  EXPECT_EQ(S0.Messages, 2u);
+  EXPECT_EQ(P.Hits[0], 2);
+}
+
+TEST(PregelMetrics, HaltReasonMasterHalt) {
+  Graph G = generateRing(4);
+  Engine E(G, Config{});
+  BroadcastOnceProgram P;
+  RunStats Stats = E.run(P);
+  EXPECT_EQ(Stats.Halt, HaltReason::MasterHalt);
+}
+
+TEST(PregelMetrics, HaltReasonQuiescence) {
+  Graph G = generateRing(3);
+  Engine E(G, Config{});
+  QuiescenceProgram P;
+  RunStats Stats = E.run(P);
+  EXPECT_EQ(Stats.Halt, HaltReason::Quiescence);
+}
+
+TEST(PregelMetrics, MaxSuperstepsSetsHaltReasonAndDiagnostic) {
+  Graph G = generateRing(3);
+  Config Cfg;
+  Cfg.MaxSupersteps = 5;
+  DiagnosticEngine Diags;
+  Cfg.Diags = &Diags;
+  Engine E(G, Cfg);
+  NeverEndingProgram P;
+  RunStats Stats = E.run(P);
+  EXPECT_EQ(Stats.Halt, HaltReason::MaxSupersteps);
+  ASSERT_EQ(Diags.diagnostics().size(), 1u);
+  EXPECT_NE(Diags.diagnostics()[0].toString().find("MaxSupersteps"),
+            std::string::npos);
+  EXPECT_NE(Stats.toString().find("halt=max-supersteps"), std::string::npos);
+}
+
+TEST(PregelMetrics, CollectMetricsOffSkipsSteps) {
+  Graph G = generateRing(4);
+  Config Cfg;
+  Cfg.CollectMetrics = false;
+  Engine E(G, Cfg);
+  BroadcastOnceProgram P;
+  RunStats Stats = E.run(P);
+  EXPECT_TRUE(Stats.Steps.empty());
+  // Aggregate stats and halt reasons are tracked regardless.
+  EXPECT_EQ(Stats.TotalMessages, 4u);
+  EXPECT_EQ(Stats.Halt, HaltReason::MasterHalt);
+}
+
+TEST(PregelMetrics, ThreadedWorkersFillOwnSlots) {
+  Graph G = generateUniformRandom(500, 3000, 17);
+  Config Cfg;
+  Cfg.NumWorkers = 4;
+  Cfg.Threaded = true;
+  Engine E(G, Cfg);
+  DegreeSumProgram P;
+  RunStats Stats = E.run(P);
+  ASSERT_EQ(Stats.Steps.size(), 1u);
+  ASSERT_EQ(Stats.Steps[0].Workers.size(), 4u);
+  uint64_t Ran = 0;
+  for (const WorkerStepMetrics &W : Stats.Steps[0].Workers)
+    Ran += W.ActiveVertices;
+  EXPECT_EQ(Ran, 500u);
+}
+
+TEST(PregelMetrics, PhaseLabelRecordedPerStep) {
+  class LabeledProgram : public TestProgram {
+  public:
+    void masterCompute(MasterContext &Master) override {
+      if (Master.superstep() == 2) {
+        Master.haltAll();
+        return;
+      }
+      Master.setPhaseLabel("phase-" + std::to_string(Master.superstep()));
+    }
+    void compute(VertexContext &Ctx) override {
+      if (Ctx.superstep() < 1) {
+        Message M;
+        M.push(Value::makeInt(1));
+        Ctx.sendToAllOutNeighbors(M);
+      }
+    }
+  };
+  Graph G = generateRing(3);
+  Engine E(G, Config{});
+  LabeledProgram P;
+  RunStats Stats = E.run(P);
+  ASSERT_EQ(Stats.Steps.size(), 2u);
+  EXPECT_EQ(Stats.Steps[0].Label, "phase-0");
+  EXPECT_EQ(Stats.Steps[1].Label, "phase-1");
 }
 
 } // namespace

@@ -2,12 +2,15 @@
 
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
+#include "support/JSON.h"
+#include "support/PassStatistics.h"
 #include "support/Value.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 namespace {
 
@@ -209,5 +212,118 @@ TEST_P(ReduceOrderTest, OrderInsensitive) {
 INSTANTIATE_TEST_SUITE_P(AllReduceKinds, ReduceOrderTest,
                          ::testing::Values(ReduceKind::Sum, ReduceKind::Prod,
                                            ReduceKind::Min, ReduceKind::Max));
+
+//===----------------------------------------------------------------------===//
+// JSON writer and validator
+//===----------------------------------------------------------------------===//
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json::escape("x\n\t"), "x\\n\\t");
+  EXPECT_EQ(json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, WriterEmitsValidNestedDocument) {
+  std::ostringstream SS;
+  json::Writer W(SS);
+  W.beginObject();
+  W.field("name", "run");
+  W.field("count", uint64_t(42));
+  W.field("ratio", 0.5);
+  W.field("ok", true);
+  W.key("items");
+  W.beginArray();
+  W.value(int64_t(-1));
+  W.null();
+  W.beginObject();
+  W.field("nested", "yes");
+  W.endObject();
+  W.endArray();
+  W.endObject();
+  EXPECT_TRUE(W.done());
+
+  std::string Err;
+  EXPECT_TRUE(json::validate(SS.str(), &Err)) << Err;
+  EXPECT_NE(SS.str().find("\"count\": 42"), std::string::npos);
+}
+
+TEST(Json, WriterTurnsNonFiniteDoublesIntoNull) {
+  std::ostringstream SS;
+  json::Writer W(SS, /*Pretty=*/false);
+  W.beginArray();
+  W.value(std::numeric_limits<double>::infinity());
+  W.value(std::nan(""));
+  W.endArray();
+  EXPECT_EQ(SS.str(), "[null,null]");
+  EXPECT_TRUE(json::validate(SS.str()));
+}
+
+TEST(Json, ValidateAcceptsRfc8259Documents) {
+  EXPECT_TRUE(json::validate("{}"));
+  EXPECT_TRUE(json::validate("[1, 2.5e3, -0.25]"));
+  EXPECT_TRUE(json::validate("{\"a\": [true, false, null, \"s\\u00e9\"]}"));
+}
+
+TEST(Json, ValidateRejectsMalformedDocuments) {
+  std::string Err;
+  EXPECT_FALSE(json::validate("{", &Err));
+  EXPECT_FALSE(json::validate("{\"a\":}", &Err));
+  EXPECT_FALSE(json::validate("[1,]", &Err));
+  EXPECT_FALSE(json::validate("{} trailing", &Err));
+  EXPECT_FALSE(json::validate("\"unterminated", &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// PassStatistics
+//===----------------------------------------------------------------------===//
+
+TEST(PassStatistics, CountersAccumulateAndSet) {
+  PassStatistics S;
+  EXPECT_TRUE(S.empty());
+  S.addCounter("merges");
+  S.addCounter("merges", 2);
+  S.setCounter("states", 7);
+  EXPECT_EQ(S.counter("merges"), 3u);
+  EXPECT_EQ(S.counter("states"), 7u);
+  EXPECT_EQ(S.counter("missing"), 0u);
+  EXPECT_FALSE(S.empty());
+}
+
+TEST(PassStatistics, TimingsKeepExecutionOrder) {
+  PassStatistics S;
+  S.addTiming("parse", 0.25);
+  S.addTiming("sema", 1.0);
+  S.addTiming("parse", 0.25); // a pass run twice appears twice
+  ASSERT_EQ(S.timings().size(), 3u);
+  EXPECT_EQ(S.timings()[0].Pass, "parse");
+  EXPECT_EQ(S.timings()[1].Pass, "sema");
+  EXPECT_DOUBLE_EQ(S.timings()[2].Seconds, 0.25);
+  std::string Table = S.renderTable();
+  EXPECT_NE(Table.find("parse"), std::string::npos);
+  EXPECT_NE(Table.find("sema"), std::string::npos);
+}
+
+TEST(PassStatistics, ScopedTimerIsNullSafe) {
+  { PassStatistics::ScopedTimer T(nullptr, "ignored"); }
+  PassStatistics S;
+  { PassStatistics::ScopedTimer T(&S, "timed"); }
+  ASSERT_EQ(S.timings().size(), 1u);
+  EXPECT_EQ(S.timings()[0].Pass, "timed");
+  EXPECT_GE(S.timings()[0].Seconds, 0.0);
+}
+
+TEST(PassStatistics, WriteJsonProducesValidDocument) {
+  PassStatistics S;
+  S.addTiming("translate", 0.001);
+  S.setCounter("ir.states", 4);
+  std::ostringstream SS;
+  json::Writer W(SS);
+  S.writeJson(W);
+  EXPECT_TRUE(W.done());
+  std::string Err;
+  EXPECT_TRUE(json::validate(SS.str(), &Err)) << Err;
+  EXPECT_NE(SS.str().find("\"ir.states\": 4"), std::string::npos);
+}
 
 } // namespace
