@@ -5,6 +5,12 @@
 /// function of the worker count, end-to-end PageRank iteration cost, and
 /// compilation latency per bundled algorithm.
 ///
+/// Invoked as `bench_runtime_micro --scaling [reps] [--json <path>]` it
+/// instead runs the worker/thread scaling sweep — PageRank and SSSP on an
+/// RMAT graph across worker counts with the threaded engine on and off —
+/// and writes every run as a gm.run-report JSON record (default path
+/// BENCH_scaling.json; the checked-in copy is the perf trajectory anchor).
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -12,6 +18,9 @@
 #include "algorithms/manual/ManualPrograms.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <thread>
 
 using namespace gm;
 using namespace gm::bench;
@@ -114,6 +123,123 @@ BENCHMARK_CAPTURE(BM_CompileAlgorithm, sssp, "sssp");
 BENCHMARK_CAPTURE(BM_CompileAlgorithm, bipartite, "bipartite_matching");
 BENCHMARK_CAPTURE(BM_CompileAlgorithm, bc, "bc_approx");
 
+//===----------------------------------------------------------------------===//
+// Worker/thread scaling sweep (--scaling)
+//===----------------------------------------------------------------------===//
+
+/// One sweep cell: \p Make builds a fresh program, \p Run returns its stats.
+pregel::RunStats runSweepCell(pregel::VertexProgram &P, const Graph &G,
+                              unsigned Workers, bool Threaded) {
+  pregel::Config Cfg;
+  Cfg.NumWorkers = Workers;
+  Cfg.Threaded = Threaded;
+  // Totals only: the per-superstep/per-worker trace would dwarf the
+  // checked-in artifact without changing the wall-clock story.
+  Cfg.CollectMetrics = false;
+  return pregel::Engine(G, Cfg).run(P);
+}
+
+int runScalingSweep(int Reps, const std::string &JsonPath) {
+  const NodeId Nodes = 1u << 17;
+  const EdgeId Edges = 1u << 21; // ~2M edges: past the acceptance floor
+  const uint64_t Seed = 11;
+  Graph G = generateRMAT(Nodes, Edges, Seed);
+  std::vector<int64_t> Len(G.numEdges());
+  {
+    std::mt19937_64 Rng(Seed);
+    std::uniform_int_distribution<int64_t> Dist(1, 10);
+    for (auto &L : Len)
+      L = Dist(Rng);
+  }
+
+  pregel::JsonSink Sink(JsonPath);
+  const unsigned WorkerCounts[] = {1, 2, 4, 8};
+  const unsigned HostCores = std::thread::hardware_concurrency();
+
+  std::printf("Worker/thread scaling sweep: rmat(%u,%llu), %d reps, host "
+              "cores: %u\n",
+              G.numNodes(), static_cast<unsigned long long>(G.numEdges()),
+              Reps, HostCores);
+  hr('=');
+  std::printf("%-10s %-10s %8s | %12s %14s | %9s\n", "algorithm", "mode",
+              "workers", "median(s)", "vs 1-worker", "steps");
+  hr();
+
+  int Failures = 0;
+  for (const char *Algo : {"pagerank", "sssp"}) {
+    double OneWorkerMedian = 0.0;
+    for (bool Threaded : {false, true}) {
+      for (unsigned W : WorkerCounts) {
+        std::vector<double> Times;
+        pregel::RunStats Last;
+        for (int R = 0; R < Reps; ++R) {
+          pregel::RunStats Stats;
+          if (std::strcmp(Algo, "pagerank") == 0) {
+            manual::PageRankProgram P(0.85, 0.0, 5);
+            Stats = runSweepCell(P, G, W, Threaded);
+          } else {
+            manual::SSSPProgram P(0, Len);
+            Stats = runSweepCell(P, G, W, Threaded);
+          }
+          Times.push_back(Stats.WallSeconds);
+          Last = Stats;
+
+          pregel::RunMetadata Meta;
+          Meta.Program = Algo;
+          Meta.Graph = "rmat(" + std::to_string(Nodes) + "," +
+                       std::to_string(Edges) + ")";
+          Meta.NumNodes = G.numNodes();
+          Meta.NumEdges = G.numEdges();
+          Meta.Workers = W;
+          Meta.Threaded = Threaded;
+          Meta.Seed = Seed;
+          Meta.HostCores = HostCores;
+          Sink.report(Meta, Stats);
+        }
+        std::sort(Times.begin(), Times.end());
+        double Median = Times[Times.size() / 2];
+        if (!Threaded && W == 1)
+          OneWorkerMedian = Median;
+        std::printf("%-10s %-10s %8u | %12.4f %13.2fx | %9llu\n", Algo,
+                    Threaded ? "threaded" : "sequential", W, Median,
+                    OneWorkerMedian > 0 ? OneWorkerMedian / Median : 1.0,
+                    static_cast<unsigned long long>(Last.Supersteps));
+      }
+    }
+    hr();
+  }
+
+  std::string Err;
+  if (!Sink.close(&Err)) {
+    std::fprintf(stderr, "bench_runtime_micro: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return Failures;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // The scaling sweep is a plain mode of this binary (google-benchmark
+  // rejects flags it does not know, so dispatch before initializing it).
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--scaling") == 0) {
+      std::string JsonPath = "BENCH_scaling.json";
+      for (int J = 1; J + 1 < argc; ++J)
+        if (std::strcmp(argv[J], "--json") == 0)
+          JsonPath = argv[J + 1];
+      int Reps = 3;
+      if (I + 1 < argc && std::isdigit(static_cast<unsigned char>(
+                              argv[I + 1][0])))
+        Reps = std::atoi(argv[I + 1]);
+      return runScalingSweep(Reps, JsonPath);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -48,6 +48,7 @@ Execution (interprets the compiled program on the bundled BSP runtime):
   --graph-rmat <nodes> <edges>   synthetic RMAT input
   --graph-uniform <nodes> <edges>
   --workers <n>                  simulated workers (default 4)
+  --threaded                     run the workers as real threads
   --seed <n>                     runtime random seed
   --arg <name>=<value>           scalar procedure argument (repeatable)
   --rand-nprop <name> <lo> <hi>  fill an Int node property uniformly
@@ -84,6 +85,7 @@ int main(int argc, char **argv) {
   EdgeId GenEdges = 0;
   bool GenRMAT = false, GenUniform = false;
   unsigned Workers = 4;
+  bool Threaded = false;
   uint64_t Seed = 1;
   std::vector<std::pair<std::string, std::string>> ScalarArgs;
   struct RandProp {
@@ -139,6 +141,8 @@ int main(int argc, char **argv) {
       GenEdges = static_cast<EdgeId>(parseInt(Next()));
     } else if (A == "--workers")
       Workers = static_cast<unsigned>(parseInt(Next()));
+    else if (A == "--threaded")
+      Threaded = true;
     else if (A == "--seed")
       Seed = static_cast<uint64_t>(parseInt(Next()));
     else if (A == "--arg") {
@@ -273,6 +277,7 @@ int main(int argc, char **argv) {
 
   pregel::Config Cfg;
   Cfg.NumWorkers = Workers;
+  Cfg.Threaded = Threaded;
   Cfg.RandomSeed = Seed;
   DiagnosticEngine RunDiags;
   Cfg.Diags = &RunDiags;

@@ -41,7 +41,13 @@ public:
   void declare(const std::string &Name, ReduceKind Reduce,
                Value Init = Value()) {
     Entries[Name] = GlobalEntry{Init, Value(), false, Reduce};
+    ++Revision;
   }
+
+  /// Monotonic counter bumped by every declare(). Workers cache private
+  /// declaration clones (cloneDeclarations) and re-clone only when the
+  /// revision moved, so steady-state supersteps allocate nothing here.
+  uint64_t revision() const { return Revision; }
 
   bool isDeclared(const std::string &Name) const {
     return Entries.count(Name) != 0;
@@ -124,6 +130,7 @@ public:
 
 private:
   std::unordered_map<std::string, GlobalEntry> Entries;
+  uint64_t Revision = 0;
 };
 
 } // namespace gm::pregel

@@ -98,6 +98,8 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
   W.field("workers", Meta.Workers);
   W.field("threaded", Meta.Threaded);
   W.field("seed", Meta.Seed);
+  if (Meta.HostCores)
+    W.field("host_cores", static_cast<uint64_t>(Meta.HostCores));
   W.endObject();
 
   W.key("totals");

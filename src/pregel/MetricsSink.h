@@ -36,6 +36,10 @@ struct RunMetadata {
   unsigned Workers = 0;
   bool Threaded = false;
   uint64_t Seed = 0;
+  /// Hardware threads of the recording host (0 = not recorded). Scaling
+  /// artifacts are meaningless without it: a 1-core container cannot show
+  /// threaded speedup no matter how good the engine is.
+  unsigned HostCores = 0;
 };
 
 /// Schema identity of the JSON run report.

@@ -1,12 +1,30 @@
 //===- pregel/Runtime.cpp ---------------------------------------------------===//
+//
+// Superstep execution is organized so that every O(vertices) / O(messages)
+// piece of work is owned by exactly one worker:
+//
+//   master phase (sequential)
+//   compute phase (parallel): vertex loop -> per-shard combine -> wire tally
+//   coordination (sequential, O(W^2 + globals)): merge private globals in
+//     worker order, sum per-worker tallies, lay out inbox regions
+//   delivery phase (parallel): each worker counting-sorts its own inbound
+//     shards into its private region of the inbox pool
+//
+// Workers only ever write state they own (their vertices' Active flags and
+// inbox slots, their own metrics record, their own tallies), so both phases
+// are data-race-free without locks, and running them sequentially gives
+// bit-identical results.
+//
+//===----------------------------------------------------------------------===//
 
 #include "pregel/Runtime.h"
 
+#include "pregel/ThreadPool.h"
 #include "support/Diagnostics.h"
 
 #include <chrono>
+#include <functional>
 #include <sstream>
-#include <thread>
 #include <unordered_map>
 
 using namespace gm;
@@ -34,6 +52,10 @@ std::string RunStats::toString() const {
 }
 
 NodeId MasterContext::pickRandomNode() {
+  // uniform_int_distribution(0, numNodes()-1) would wrap to the full NodeId
+  // range on an empty graph; there is nothing to pick, so say so.
+  if (G.numNodes() == 0)
+    return InvalidNode;
   std::uniform_int_distribution<NodeId> Dist(0, G.numNodes() - 1);
   return Dist(Rng);
 }
@@ -42,7 +64,7 @@ void VertexContext::sendToAllOutNeighbors(Message M) {
   M.Src = Id;
   for (NodeId Nbr : G.outNeighbors(Id)) {
     M.Dst = Nbr;
-    Outbox->push_back(M);
+    Shards[Nbr % NumWorkers].push_back(M);
   }
 }
 
@@ -50,55 +72,56 @@ void VertexContext::sendTo(NodeId Target, Message M) {
   assert(Target < G.numNodes() && "sendTo target out of range");
   M.Src = Id;
   M.Dst = Target;
-  Outbox->push_back(M);
+  Shards[Target % NumWorkers].push_back(M);
 }
+
+/// Scratch state for one worker; lives for the whole run so that outbox
+/// shards, combiner scratch, and private globals are reused every superstep.
+struct Engine::WorkerState {
+  /// Destination-sharded outbox: Shards[w] holds this worker's messages
+  /// bound for worker w. Cleared (capacity kept) by the receiving worker
+  /// once delivered.
+  std::vector<std::vector<Message>> Shards;
+  GlobalObjects PrivateGlobals;
+  uint64_t GlobalsRevision = ~0ull; ///< revision PrivateGlobals was cloned at
+
+  // Combiner scratch, reused across shards and supersteps.
+  std::unordered_map<uint64_t, size_t> CombineSlot;
+  std::vector<Message> CombineKept;
+
+  // Tallies for the current superstep, summed into RunStats in worker order
+  // at the barrier (so threaded and sequential runs accumulate identically).
+  uint64_t StepMessages = 0;
+  uint64_t StepNetworkMessages = 0;
+  uint64_t StepNetworkBytes = 0;
+
+  /// Number of this worker's vertices with Active set; maintained in the
+  /// compute phase so quiescence needs an O(W) sum, not an O(N) scan.
+  uint64_t ActiveCount = 0;
+
+  /// Base of this worker's region in InboxPool for the upcoming superstep.
+  uint32_t RegionStart = 0;
+};
 
 Engine::Engine(const Graph &G, Config Cfg) : G(G), Cfg(Cfg), Rng(Cfg.RandomSeed) {
   assert(Cfg.NumWorkers > 0 && "need at least one worker");
 }
 
-/// Scratch state for one worker within a superstep.
-struct Engine::WorkerState {
-  std::vector<Message> Outbox;
-  GlobalObjects PrivateGlobals;
-};
+Engine::~Engine() = default;
 
-void Engine::routeOutbox(std::vector<Message> &Outbox, unsigned FromWorker,
-                         RunStats &Stats, SuperstepMetrics *SM) {
-  WorkerStepMetrics *WM = SM ? &SM->Workers[FromWorker] : nullptr;
-  for (const Message &M : Outbox) {
-    ++Stats.TotalMessages;
-    unsigned DstWorker = workerOf(M.Dst);
-    if (WM) {
-      ++WM->MessagesSent;
-      ++SM->Workers[DstWorker].MessagesReceived;
-    }
-    if (workerOf(M.Src) != DstWorker) {
-      ++Stats.NetworkMessages;
-      unsigned Bytes = M.wireSize(Cfg.TaggedMessages);
-      Stats.NetworkBytes += Bytes;
-      if (WM) {
-        ++WM->NetworkMessagesSent;
-        WM->BytesSent += Bytes;
-      }
-    }
-    NextMessages.push_back(M);
-  }
-  Outbox.clear();
-}
-
-void Engine::combineOutbox(std::vector<Message> &Outbox) {
-  std::unordered_map<uint64_t, size_t> Slot; // (dst, type) -> index in Kept
-  std::vector<Message> Kept;
-  Kept.reserve(Outbox.size());
-  for (Message &M : Outbox) {
+void Engine::combineShard(WorkerState &WS, std::vector<Message> &Shard) {
+  std::unordered_map<uint64_t, size_t> &Slot = WS.CombineSlot;
+  std::vector<Message> &Kept = WS.CombineKept;
+  Slot.clear();
+  Kept.clear();
+  Kept.reserve(Shard.size());
+  for (Message &M : Shard) {
     auto It = Cfg.Combiners.find(M.Type);
     if (It == Cfg.Combiners.end() || M.Size != 1) {
       Kept.push_back(M);
       continue;
     }
-    uint64_t Key = (uint64_t(M.Dst) << 32) |
-                   static_cast<uint32_t>(M.Type);
+    uint64_t Key = (uint64_t(M.Dst) << 32) | static_cast<uint32_t>(M.Type);
     auto [SlotIt, Fresh] = Slot.try_emplace(Key, Kept.size());
     if (Fresh) {
       Kept.push_back(M);
@@ -106,103 +129,165 @@ void Engine::combineOutbox(std::vector<Message> &Outbox) {
     }
     applyReduce(It->second, Kept[SlotIt->second].Payload[0], M.Payload[0]);
   }
-  Outbox = std::move(Kept);
+  Shard.swap(Kept); // Kept keeps the old buffer for reuse
 }
 
-void Engine::runWorkerPhase(VertexProgram &Program, uint64_t Step,
-                            RunStats &Stats, SuperstepMetrics *SM) {
+void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
+                          uint64_t Step, SuperstepMetrics *SM) {
   const unsigned W = Cfg.NumWorkers;
-  std::vector<WorkerState> Workers(W);
-  for (WorkerState &WS : Workers)
+  const NodeId N = G.numNodes();
+  WorkerState &WS = Workers[WorkerId];
+  WorkerStepMetrics *WM = SM ? &SM->Workers[WorkerId] : nullptr;
+
+  if (WS.GlobalsRevision != Globals.revision()) {
     WS.PrivateGlobals = Globals.cloneDeclarations();
-  if (SM)
-    SM->Workers.assign(W, WorkerStepMetrics{});
-
-  // Each worker writes only its own metrics slot, so the records are safe
-  // to fill from threaded workers without synchronization.
-  auto RunWorker = [&](unsigned WorkerId) {
-    WorkerState &WS = Workers[WorkerId];
-    Clock::time_point T0;
-    if (SM)
-      T0 = Clock::now();
-    uint64_t Ran = 0;
-    for (NodeId V = WorkerId; V < G.numNodes(); V += W) {
-      std::span<const Message> Inbox(InboxPool.data() + InboxOffset[V],
-                                     InboxOffset[V + 1] - InboxOffset[V]);
-      if (!Active[V] && Inbox.empty())
-        continue;
-      VertexContext Ctx(V, Step, G, Globals, WS.PrivateGlobals);
-      Ctx.Inbox = Inbox;
-      Ctx.Outbox = &WS.Outbox;
-      Program.compute(Ctx);
-      Active[V] = !Ctx.VotedHalt;
-      ++Ran;
-    }
-    if (SM) {
-      WorkerStepMetrics &WM = SM->Workers[WorkerId];
-      WM.ActiveVertices = Ran;
-      WM.ComputeSeconds = secondsSince(T0);
-    }
-  };
-
-  Clock::time_point PhaseT0;
-  if (SM)
-    PhaseT0 = Clock::now();
-  if (Cfg.Threaded && W > 1) {
-    std::vector<std::thread> Threads;
-    Threads.reserve(W);
-    for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId)
-      Threads.emplace_back(RunWorker, WorkerId);
-    for (std::thread &T : Threads)
-      T.join();
-  } else {
-    for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId)
-      RunWorker(WorkerId);
-  }
-  Clock::time_point BarrierT0;
-  if (SM) {
-    SM->ComputeSeconds = secondsSince(PhaseT0);
-    BarrierT0 = Clock::now();
+    WS.GlobalsRevision = Globals.revision();
   }
 
-  // Barrier, part 1: merge worker-private global contributions and outboxes
-  // in worker order (deterministic). Combiners run per sending worker,
-  // before the wire accounting — exactly where GPS applies them.
-  for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId) {
-    WorkerState &WS = Workers[WorkerId];
-    Globals.mergePendingFrom(WS.PrivateGlobals);
+  Clock::time_point T0;
+  if (WM)
+    T0 = Clock::now();
+  uint64_t Ran = 0;
+  for (NodeId V = WorkerId; V < N; V += W) {
+    std::span<const Message> Inbox(InboxPool.data() + InboxOffset[V],
+                                   InboxCount[V]);
+    if (!Active[V] && Inbox.empty())
+      continue;
+    VertexContext Ctx(V, Step, G, Globals, WS.PrivateGlobals);
+    Ctx.Inbox = Inbox;
+    Ctx.Shards = WS.Shards.data();
+    Ctx.NumWorkers = W;
+    Program.compute(Ctx);
+    uint8_t NowActive = Ctx.VotedHalt ? 0 : 1;
+    WS.ActiveCount += NowActive;
+    WS.ActiveCount -= Active[V];
+    Active[V] = NowActive;
+    ++Ran;
+  }
+  if (WM) {
+    WM->ActiveVertices = Ran;
+    WM->ComputeSeconds = secondsSince(T0);
+  }
+
+  // Sender-side combining and wire accounting, per destination shard. A
+  // (dst, type) pair lives in exactly one shard, so per-shard combining
+  // folds the same messages the old whole-outbox pass did.
+  WS.StepMessages = WS.StepNetworkMessages = WS.StepNetworkBytes = 0;
+  uint64_t CombineIn = 0, CombineOut = 0;
+  for (unsigned Dst = 0; Dst < W; ++Dst) {
+    std::vector<Message> &Shard = WS.Shards[Dst];
     if (!Cfg.Combiners.empty()) {
-      uint64_t Before = WS.Outbox.size();
-      combineOutbox(WS.Outbox);
-      if (SM) {
-        SM->Workers[WorkerId].CombinerInput = Before;
-        SM->Workers[WorkerId].CombinerOutput = WS.Outbox.size();
-      }
+      CombineIn += Shard.size();
+      combineShard(WS, Shard);
+      CombineOut += Shard.size();
     }
-    routeOutbox(WS.Outbox, WorkerId, Stats, SM);
+    WS.StepMessages += Shard.size();
+    if (Dst != WorkerId) {
+      WS.StepNetworkMessages += Shard.size();
+      for (const Message &M : Shard)
+        WS.StepNetworkBytes += M.wireSize(Cfg.TaggedMessages);
+    }
+  }
+  if (WM) {
+    WM->MessagesSent = WS.StepMessages;
+    WM->NetworkMessagesSent = WS.StepNetworkMessages;
+    WM->BytesSent = WS.StepNetworkBytes;
+    if (!Cfg.Combiners.empty()) {
+      WM->CombinerInput = CombineIn;
+      WM->CombinerOutput = CombineOut;
+    }
+  }
+}
+
+void Engine::deliverPhase(unsigned WorkerId, SuperstepMetrics *SM) {
+  const unsigned W = Cfg.NumWorkers;
+  const NodeId N = G.numNodes();
+  WorkerState &WS = Workers[WorkerId];
+
+  // Counting sort of this worker's inbound messages (shard WorkerId of
+  // every sender) into its region of InboxPool. Scanning senders in worker
+  // order keeps the delivery order of the old sequential merge: per
+  // destination vertex, messages arrive sender-worker-major, then in the
+  // sender's emission order.
+  for (NodeId V = WorkerId; V < N; V += W)
+    InboxCount[V] = 0;
+  for (unsigned Sender = 0; Sender < W; ++Sender)
+    for (const Message &M : Workers[Sender].Shards[WorkerId])
+      ++InboxCount[M.Dst];
+
+  uint32_t Base = WS.RegionStart;
+  for (NodeId V = WorkerId; V < N; V += W) {
+    InboxOffset[V] = Base;
+    Cursor[V] = Base;
+    Base += InboxCount[V];
+  }
+
+  uint64_t Received = 0;
+  for (unsigned Sender = 0; Sender < W; ++Sender) {
+    std::vector<Message> &Shard = Workers[Sender].Shards[WorkerId];
+    for (const Message &M : Shard) {
+      assert(M.Dst % W == WorkerId && "message in wrong shard");
+      InboxPool[Cursor[M.Dst]++] = M;
+    }
+    Received += Shard.size();
+    Shard.clear(); // capacity kept; the sender refills it next superstep
   }
   if (SM)
-    SM->BarrierSeconds += secondsSince(BarrierT0);
+    SM->Workers[WorkerId].MessagesReceived = Received;
 }
 
 RunStats Engine::run(VertexProgram &Program) {
-  auto Start = std::chrono::steady_clock::now();
+  auto Start = Clock::now();
   RunStats Stats;
 
   const NodeId N = G.numNodes();
+  const unsigned W = Cfg.NumWorkers;
   Active.assign(N, 1);
-  InboxOffset.assign(N + 1, 0);
+  InboxOffset.assign(N, 0);
+  InboxCount.assign(N, 0);
+  Cursor.assign(N, 0);
   InboxPool.clear();
-  NextMessages.clear();
   PendingMessageCount = 0;
   Globals = GlobalObjects();
+
+  Workers.resize(W);
+  for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId) {
+    WorkerState &WS = Workers[WorkerId];
+    WS.Shards.resize(W);
+    for (std::vector<Message> &S : WS.Shards)
+      S.clear();
+    WS.ActiveCount = WorkerId < N ? (N - WorkerId - 1) / W + 1 : 0;
+    WS.GlobalsRevision = ~0ull;
+  }
+
+  const bool UseThreads = Cfg.Threaded && W > 1;
+  if (UseThreads && (!Pool || Pool->size() != W))
+    Pool = std::make_unique<ThreadPool>(W);
+  auto ForEachWorker = [&](const std::function<void(unsigned)> &Task) {
+    if (UseThreads) {
+      Pool->runOnWorkers(Task);
+      return;
+    }
+    for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId)
+      Task(WorkerId);
+  };
 
   {
     MasterContext InitCtx(0, G, Globals, Rng);
     Program.init(G, InitCtx);
   }
 
-  std::vector<uint32_t> Cursor;
+  // The two parallel phases as fixed tasks (built once; per-step inputs
+  // flow through CurStep / CurSM so the loop body allocates nothing).
+  uint64_t CurStep = 0;
+  SuperstepMetrics *CurSM = nullptr;
+  const std::function<void(unsigned)> ComputeTask = [&](unsigned WorkerId) {
+    computePhase(WorkerId, Program, CurStep, CurSM);
+  };
+  const std::function<void(unsigned)> DeliverTask = [&](unsigned WorkerId) {
+    deliverPhase(WorkerId, CurSM);
+  };
+
   for (uint64_t Step = 0; Step < Cfg.MaxSupersteps; ++Step) {
     SuperstepMetrics SM;
     SuperstepMetrics *SMp = Cfg.CollectMetrics ? &SM : nullptr;
@@ -221,48 +306,71 @@ RunStats Engine::run(VertexProgram &Program) {
 
     // Quiescence: every vertex has voted to halt and nothing is in flight.
     // Checked after masterCompute so the master always gets one superstep in
-    // which to observe the final aggregator values (GPS behaviour).
+    // which to observe the final aggregator values (GPS behaviour). The
+    // workers maintain their active-vertex counts, so this is O(W).
     if (PendingMessageCount == 0) {
-      bool AnyActive = false;
-      for (NodeId V = 0; V < N; ++V)
-        if (Active[V]) {
-          AnyActive = true;
-          break;
-        }
-      if (!AnyActive) {
+      uint64_t AnyActive = 0;
+      for (const WorkerState &WS : Workers)
+        AnyActive += WS.ActiveCount;
+      if (AnyActive == 0) {
         Stats.Halt = HaltReason::Quiescence;
         break;
       }
     }
 
-    runWorkerPhase(Program, Step, Stats, SMp);
-    Stats.Supersteps = Step + 1;
-    Stats.MessagesPerStep.push_back(NextMessages.size());
-
-    // Barrier, part 2: resolve global reductions and build the next inbox
-    // with a counting sort by destination vertex.
-    Clock::time_point BarrierT0;
     if (SMp)
-      BarrierT0 = Clock::now();
-    Globals.resolveBarrier();
+      SM.Workers.assign(W, WorkerStepMetrics{});
+    CurStep = Step;
+    CurSM = SMp;
 
-    InboxOffset.assign(N + 1, 0);
-    for (const Message &M : NextMessages)
-      ++InboxOffset[M.Dst + 1];
-    for (NodeId V = 0; V < N; ++V)
-      InboxOffset[V + 1] += InboxOffset[V];
-    InboxPool.resize(NextMessages.size());
-    Cursor.assign(InboxOffset.begin(), InboxOffset.end() - 1);
-    for (const Message &M : NextMessages)
-      InboxPool[Cursor[M.Dst]++] = M;
-    PendingMessageCount = NextMessages.size();
-    NextMessages.clear();
+    // Compute phase: vertex loops, sender-side combining, wire tallies —
+    // all worker-parallel.
+    Clock::time_point PhaseT0;
+    if (SMp)
+      PhaseT0 = Clock::now();
+    ForEachWorker(ComputeTask);
+    Clock::time_point BarrierT0;
+    if (SMp) {
+      SM.ComputeSeconds = secondsSince(PhaseT0);
+      BarrierT0 = Clock::now();
+    }
+
+    // Barrier, sequential part: merge worker-private global contributions
+    // and sum the wire tallies in worker order (deterministic, identical to
+    // the single-threaded accumulation), then lay out each worker's region
+    // of the next inbox.
+    uint64_t StepMessages = 0;
+    for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId) {
+      WorkerState &WS = Workers[WorkerId];
+      Globals.mergePendingFrom(WS.PrivateGlobals);
+      Stats.TotalMessages += WS.StepMessages;
+      Stats.NetworkMessages += WS.StepNetworkMessages;
+      Stats.NetworkBytes += WS.StepNetworkBytes;
+    }
+    for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId) {
+      uint64_t Inbound = 0;
+      for (unsigned Sender = 0; Sender < W; ++Sender)
+        Inbound += Workers[Sender].Shards[WorkerId].size();
+      assert(StepMessages + Inbound <= UINT32_MAX &&
+             "inbox offsets overflow uint32");
+      Workers[WorkerId].RegionStart = static_cast<uint32_t>(StepMessages);
+      StepMessages += Inbound;
+    }
+    Stats.Supersteps = Step + 1;
+    Stats.MessagesPerStep.push_back(StepMessages);
+    Globals.resolveBarrier();
+    InboxPool.resize(StepMessages);
+
+    // Barrier, parallel part: every worker counting-sorts its own inbound
+    // messages into its inbox region.
+    ForEachWorker(DeliverTask);
+    PendingMessageCount = StepMessages;
 
     if (SMp) {
       SM.BarrierSeconds += secondsSince(BarrierT0);
       SM.Step = Step;
       SM.Label = MC.phaseLabel();
-      SM.Messages = Stats.MessagesPerStep.back();
+      SM.Messages = StepMessages;
       for (const WorkerStepMetrics &WM : SM.Workers) {
         SM.ActiveVertices += WM.ActiveVertices;
         SM.NetworkMessages += WM.NetworkMessagesSent;

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <random>
 #include <span>
 #include <string>
@@ -34,6 +35,7 @@ class DiagnosticEngine;
 namespace gm::pregel {
 
 class Engine;
+class ThreadPool;
 
 /// Per-run execution statistics: the coarse quantities reported in the
 /// paper's §5.2 (run-time, network I/O, number of timesteps) plus, when
@@ -97,7 +99,8 @@ public:
   }
 
   /// Uniformly random node, drawn from the engine's seeded RNG; the
-  /// master-side implementation of Green-Marl's G.PickRandom().
+  /// master-side implementation of Green-Marl's G.PickRandom(). Returns
+  /// InvalidNode on an empty graph (there is nothing to pick).
   NodeId pickRandomNode();
 
   /// Terminates the computation after this master phase (no vertex phase).
@@ -170,7 +173,12 @@ private:
   const GlobalObjects &Globals;
   GlobalObjects &WorkerGlobals;
   std::span<const Message> Inbox;
-  std::vector<Message> *Outbox = nullptr;
+  /// The owning worker's destination-sharded outbox: NumWorkers vectors,
+  /// Shards[w] holding the messages bound for worker w's vertices. Sharding
+  /// at send time is what lets combining, wire accounting, and inbox
+  /// construction all run worker-parallel at the barrier.
+  std::vector<Message> *Shards = nullptr;
+  unsigned NumWorkers = 0;
   bool VotedHalt = false;
 };
 
@@ -195,9 +203,20 @@ public:
 };
 
 /// Executes a VertexProgram over a graph under BSP semantics.
+///
+/// The superstep hot path runs worker-parallel end to end (see
+/// docs/INTERNALS.md, "Engine architecture"): a persistent thread pool
+/// executes the vertex phase with destination-sharded outboxes (combining
+/// and wire accounting happen on the sending worker), a short sequential
+/// coordination step merges globals and sums per-worker tallies in worker
+/// order, and each worker then counting-sorts its own inbound messages into
+/// a private region of the shared inbox pool. Threaded and sequential modes
+/// execute the same per-worker functions, so RunStats counters, message
+/// delivery order, and vertex results are bit-identical between them.
 class Engine {
 public:
   Engine(const Graph &G, Config Cfg);
+  ~Engine();
 
   /// Runs \p Program to completion and returns the collected statistics.
   /// Termination: the master calls haltAll(), or every vertex is inactive
@@ -211,22 +230,31 @@ public:
 private:
   struct WorkerState;
 
-  void routeOutbox(std::vector<Message> &Outbox, unsigned FromWorker,
-                   RunStats &Stats, SuperstepMetrics *SM);
-  void combineOutbox(std::vector<Message> &Outbox);
-  void runWorkerPhase(VertexProgram &Program, uint64_t Step, RunStats &Stats,
-                      SuperstepMetrics *SM);
+  void computePhase(unsigned WorkerId, VertexProgram &Program, uint64_t Step,
+                    SuperstepMetrics *SM);
+  void deliverPhase(unsigned WorkerId, SuperstepMetrics *SM);
+  void combineShard(WorkerState &WS, std::vector<Message> &Shard);
 
   const Graph &G;
   Config Cfg;
   GlobalObjects Globals;
   std::mt19937_64 Rng;
 
-  /// Double-buffered inboxes: messages grouped per destination vertex.
-  /// CurrentInbox[v] is the span delivered to v this superstep.
+  /// Per-worker scratch (sharded outboxes, private globals, combiner
+  /// scratch, step tallies); buffers persist across supersteps so the
+  /// steady state allocates nothing.
+  std::vector<WorkerState> Workers;
+  std::unique_ptr<ThreadPool> Pool; ///< created on first threaded run()
+
+  /// Double-buffered inboxes in worker-major layout: each worker's inbound
+  /// messages occupy one contiguous region of InboxPool (region base =
+  /// WorkerState::RegionStart), grouped by destination vertex inside it.
+  /// The span delivered to v this superstep is
+  /// InboxPool[InboxOffset[v] .. InboxOffset[v] + InboxCount[v]).
   std::vector<Message> InboxPool;
-  std::vector<uint32_t> InboxOffset; ///< size numNodes+1
-  std::vector<Message> NextMessages; ///< accumulated during the step
+  std::vector<uint32_t> InboxOffset; ///< size numNodes; begin per vertex
+  std::vector<uint32_t> InboxCount;  ///< size numNodes; messages per vertex
+  std::vector<uint32_t> Cursor;      ///< scatter cursors (per vertex)
   std::vector<uint8_t> Active;
   uint64_t PendingMessageCount = 0;
 };

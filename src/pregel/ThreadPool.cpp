@@ -1,0 +1,68 @@
+//===- pregel/ThreadPool.cpp -----------------------------------------------===//
+
+#include "pregel/ThreadPool.h"
+
+#include <cassert>
+
+using namespace gm::pregel;
+
+ThreadPool::ThreadPool(unsigned NumWorkers) : NumWorkers(NumWorkers) {
+  assert(NumWorkers > 0 && "pool needs at least one worker");
+  Threads.reserve(NumWorkers);
+  for (unsigned Id = 0; Id < NumWorkers; ++Id)
+    Threads.emplace_back([this, Id] { workerLoop(Id); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  StartCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::runOnWorkers(const std::function<void(unsigned)> &TaskFn) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  assert(Remaining == 0 && "runOnWorkers is not reentrant");
+  Task = &TaskFn;
+  Remaining = NumWorkers;
+  FirstError = nullptr;
+  ++Generation;
+  StartCv.notify_all();
+  DoneCv.wait(Lock, [this] { return Remaining == 0; });
+  Task = nullptr;
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}
+
+void ThreadPool::workerLoop(unsigned Id) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(unsigned)> *TaskFn;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      StartCv.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      TaskFn = Task;
+    }
+    std::exception_ptr Error;
+    try {
+      (*TaskFn)(Id);
+    } catch (...) {
+      Error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Error && !FirstError)
+        FirstError = Error;
+      if (--Remaining == 0)
+        DoneCv.notify_one();
+    }
+  }
+}

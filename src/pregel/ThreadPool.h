@@ -1,0 +1,63 @@
+//===- pregel/ThreadPool.h - Persistent worker pool with reusable barrier --===//
+///
+/// \file
+/// A fixed-size pool of worker threads for the BSP engine. The engine used
+/// to spawn and join one std::thread per worker per superstep phase; at
+/// thousands of supersteps that cost dominates small steps. This pool is
+/// created once per run and driven through a reusable generation-counting
+/// barrier: runOnWorkers() publishes a task, wakes every worker, and blocks
+/// until all of them have finished it — two condition-variable round trips
+/// instead of W thread creations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_PREGEL_THREADPOOL_H
+#define GM_PREGEL_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gm::pregel {
+
+/// A persistent pool of N threads executing one task-per-worker at a time.
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned NumWorkers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return NumWorkers; }
+
+  /// Runs \p Task(WorkerId) for every id in [0, size()) — each on its own
+  /// pool thread — and blocks until all have returned (a full barrier).
+  /// \p Task must be safe to call concurrently with distinct ids. If any
+  /// invocation throws, the first exception is rethrown here after the
+  /// barrier completes.
+  void runOnWorkers(const std::function<void(unsigned)> &Task);
+
+private:
+  void workerLoop(unsigned Id);
+
+  const unsigned NumWorkers;
+  std::vector<std::thread> Threads;
+
+  std::mutex Mu;
+  std::condition_variable StartCv; ///< signals a new generation (or shutdown)
+  std::condition_variable DoneCv;  ///< signals the last worker finishing
+  const std::function<void(unsigned)> *Task = nullptr;
+  uint64_t Generation = 0;
+  unsigned Remaining = 0;
+  bool ShuttingDown = false;
+  std::exception_ptr FirstError;
+};
+
+} // namespace gm::pregel
+
+#endif // GM_PREGEL_THREADPOOL_H
