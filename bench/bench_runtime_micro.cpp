@@ -11,6 +11,13 @@
 /// and writes every run as a gm.run-report JSON record (default path
 /// BENCH_scaling.json; the checked-in copy is the perf trajectory anchor).
 ///
+/// `bench_runtime_micro --messages [reps] [--smoke] [--json <path>]` runs
+/// the message-format sweep instead: PageRank and SSSP under boxed and
+/// packed mailboxes, asserting identical message/byte totals and reporting
+/// the wall-clock and bytes-per-mailbox-record deltas (default path
+/// BENCH_messages.json). --smoke shrinks the graph so the sweep doubles as
+/// a tier-1 smoke test of the bench pipeline.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -40,6 +47,11 @@ public:
     pregel::Message M;
     M.push(Value::makeInt(static_cast<int64_t>(Ctx.id())));
     Ctx.sendToAllOutNeighbors(M);
+  }
+  pregel::MessageLayout messageLayout() const override {
+    pregel::MessageLayout L;
+    L.addType(0, {ValueKind::Int});
+    return L;
   }
 
 private:
@@ -218,6 +230,134 @@ int runScalingSweep(int Reps, const std::string &JsonPath) {
   return Failures;
 }
 
+//===----------------------------------------------------------------------===//
+// Message-format sweep (--messages)
+//===----------------------------------------------------------------------===//
+
+int runMessageSweep(int Reps, const std::string &JsonPath, bool Smoke) {
+  const NodeId Nodes = Smoke ? (1u << 10) : (1u << 16);
+  const EdgeId Edges = Smoke ? (1u << 13) : (1u << 20);
+  const uint64_t Seed = 13;
+  Graph G = generateRMAT(Nodes, Edges, Seed);
+  std::vector<int64_t> Len(G.numEdges());
+  {
+    std::mt19937_64 Rng(Seed);
+    std::uniform_int_distribution<int64_t> Dist(1, 10);
+    for (auto &L : Len)
+      L = Dist(Rng);
+  }
+
+  pregel::JsonSink Sink(JsonPath);
+  const unsigned WorkerCounts[] = {1, 8};
+  const unsigned HostCores = std::thread::hardware_concurrency();
+
+  std::printf("Message-format sweep: rmat(%u,%llu), %d reps, host cores: %u\n",
+              G.numNodes(), static_cast<unsigned long long>(G.numEdges()),
+              Reps, HostCores);
+  hr('=');
+  std::printf("%-10s %-8s %8s %10s | %12s %11s | %12s %10s\n", "algorithm",
+              "format", "workers", "rec-bytes", "median(s)", "vs boxed",
+              "messages", "net-bytes");
+  hr();
+
+  int Failures = 0;
+  for (const char *Algo : {"pagerank", "sssp"}) {
+    for (unsigned W : WorkerCounts) {
+      double BoxedMedian = 0.0;
+      uint64_t BoxedMessages = 0, BoxedNetBytes = 0;
+      unsigned BoxedRecBytes = 0, PackedRecBytes = 0;
+      for (pregel::MessageFormat Fmt :
+           {pregel::MessageFormat::Boxed, pregel::MessageFormat::Packed}) {
+        bool Packed = Fmt == pregel::MessageFormat::Packed;
+        std::vector<double> Times;
+        pregel::RunStats Last;
+        unsigned RecBytes = 0;
+        for (int R = 0; R < Reps; ++R) {
+          pregel::Config Cfg;
+          Cfg.NumWorkers = W;
+          Cfg.Threaded = W > 1;
+          Cfg.Format = Fmt;
+          Cfg.CollectMetrics = false;
+          pregel::RunStats Stats;
+          pregel::MessageLayout Layout;
+          if (std::strcmp(Algo, "pagerank") == 0) {
+            manual::PageRankProgram P(0.85, 0.0, 5);
+            Layout = P.messageLayout();
+            Stats = pregel::Engine(G, Cfg).run(P);
+          } else {
+            manual::SSSPProgram P(0, Len);
+            Layout = P.messageLayout();
+            Stats = pregel::Engine(G, Cfg).run(P);
+          }
+          RecBytes = Packed && !Layout.empty()
+                         ? Layout.recordSize()
+                         : static_cast<unsigned>(sizeof(pregel::Message));
+          Times.push_back(Stats.WallSeconds);
+          Last = Stats;
+
+          pregel::RunMetadata Meta;
+          Meta.Program = Algo;
+          Meta.Graph = "rmat(" + std::to_string(Nodes) + "," +
+                       std::to_string(Edges) + ")";
+          Meta.NumNodes = G.numNodes();
+          Meta.NumEdges = G.numEdges();
+          Meta.Workers = W;
+          Meta.Threaded = Cfg.Threaded;
+          Meta.Seed = Seed;
+          Meta.HostCores = HostCores;
+          Meta.MessageFormat = Packed ? "packed" : "boxed";
+          Meta.MailboxRecordBytes = RecBytes;
+          Sink.report(Meta, Stats);
+        }
+        std::sort(Times.begin(), Times.end());
+        double Median = Times[Times.size() / 2];
+        if (!Packed) {
+          BoxedMedian = Median;
+          BoxedMessages = Last.TotalMessages;
+          BoxedNetBytes = Last.NetworkBytes;
+          BoxedRecBytes = RecBytes;
+        } else {
+          PackedRecBytes = RecBytes;
+          // The wire format must be invisible to the accounting: same
+          // messages, same network bytes, only the mailbox representation
+          // (and thus time) may differ.
+          if (Last.TotalMessages != BoxedMessages ||
+              Last.NetworkBytes != BoxedNetBytes) {
+            std::fprintf(stderr,
+                         "FAIL: %s workers=%u: packed totals diverge from "
+                         "boxed (messages %llu vs %llu, bytes %llu vs %llu)\n",
+                         Algo, W,
+                         static_cast<unsigned long long>(Last.TotalMessages),
+                         static_cast<unsigned long long>(BoxedMessages),
+                         static_cast<unsigned long long>(Last.NetworkBytes),
+                         static_cast<unsigned long long>(BoxedNetBytes));
+            ++Failures;
+          }
+        }
+        std::printf("%-10s %-8s %8u %10u | %12.4f %10.2fx | %12llu %10llu\n",
+                    Algo, Packed ? "packed" : "boxed", W, RecBytes, Median,
+                    BoxedMedian > 0 ? BoxedMedian / Median : 1.0,
+                    static_cast<unsigned long long>(Last.TotalMessages),
+                    static_cast<unsigned long long>(Last.NetworkBytes));
+      }
+      if (PackedRecBytes)
+        std::printf("%-10s mailbox record: boxed %u B -> packed %u B "
+                    "(%.1fx smaller)\n",
+                    Algo, BoxedRecBytes, PackedRecBytes,
+                    double(BoxedRecBytes) / PackedRecBytes);
+      hr();
+    }
+  }
+
+  std::string Err;
+  if (!Sink.close(&Err)) {
+    std::fprintf(stderr, "bench_runtime_micro: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return Failures;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -234,6 +374,21 @@ int main(int argc, char **argv) {
                               argv[I + 1][0])))
         Reps = std::atoi(argv[I + 1]);
       return runScalingSweep(Reps, JsonPath);
+    }
+    if (std::strcmp(argv[I], "--messages") == 0) {
+      std::string JsonPath = "BENCH_messages.json";
+      bool Smoke = false;
+      for (int J = 1; J < argc; ++J) {
+        if (std::strcmp(argv[J], "--json") == 0 && J + 1 < argc)
+          JsonPath = argv[J + 1];
+        if (std::strcmp(argv[J], "--smoke") == 0)
+          Smoke = true;
+      }
+      int Reps = 3;
+      if (I + 1 < argc && std::isdigit(static_cast<unsigned char>(
+                              argv[I + 1][0])))
+        Reps = std::atoi(argv[I + 1]);
+      return runMessageSweep(Reps, JsonPath, Smoke);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -87,8 +87,8 @@ void PageRankProgram::compute(VertexContext &Ctx) {
 
   if (Ctx.superstep() > 0) {
     double Sum = 0.0;
-    for (const Message &M : Ctx.messages())
-      Sum += M[0].getDouble();
+    for (pregel::MsgRef M : Ctx.messages())
+      Sum += M.getDouble(0);
     double Val = (1.0 - D) / G.numNodes() + D * Sum;
     Ctx.putGlobal("diff", Value::makeDouble(std::abs(Val - PR[V])));
     PR[V] = Val;
@@ -181,8 +181,8 @@ void SSSPProgram::compute(VertexContext &Ctx) {
   int64_t Best = Dist[V];
   if (Ctx.superstep() == 0 && V == Root)
     Best = 0;
-  for (const Message &M : Ctx.messages())
-    Best = std::min(Best, M[0].getInt());
+  for (pregel::MsgRef M : Ctx.messages())
+    Best = std::min(Best, M.getInt(0));
 
   if (Best < Dist[V]) {
     Dist[V] = Best;
@@ -219,8 +219,8 @@ void SSSPVoteToHaltProgram::compute(VertexContext &Ctx) {
   int64_t Best = Dist[V];
   if (Ctx.superstep() == 0 && V == Root)
     Best = 0;
-  for (const Message &M : Ctx.messages())
-    Best = std::min(Best, M[0].getInt());
+  for (pregel::MsgRef M : Ctx.messages())
+    Best = std::min(Best, M.getInt(0));
 
   if (Best < Dist[V]) {
     Dist[V] = Best;
@@ -265,9 +265,9 @@ void BipartiteMatchingProgram::compute(VertexContext &Ctx) {
   case 0: {
     if (!Left[V]) {
       // Girls: absorb last round's finalize notifications.
-      for (const Message &M : Ctx.messages())
-        if (M.Type == Finalize)
-          Match[V] = static_cast<NodeId>(M[0].getInt());
+      for (pregel::MsgRef M : Ctx.messages())
+        if (M.type() == Finalize)
+          Match[V] = static_cast<NodeId>(M.getInt(0));
       Ctx.voteToHalt();
       return;
     }
@@ -285,10 +285,10 @@ void BipartiteMatchingProgram::compute(VertexContext &Ctx) {
     if (Left[V]) // boys idle through the accept phase
       return;
     if (Match[V] == InvalidNode) {
-      for (const Message &M : Ctx.messages()) {
-        if (M.Type != Propose)
+      for (pregel::MsgRef M : Ctx.messages()) {
+        if (M.type() != Propose)
           continue;
-        NodeId Boy = static_cast<NodeId>(M[0].getInt());
+        NodeId Boy = static_cast<NodeId>(M.getInt(0));
         Suitor[V] = Boy;
         Message Reply;
         Reply.Type = Accept;
@@ -303,10 +303,10 @@ void BipartiteMatchingProgram::compute(VertexContext &Ctx) {
   case 2: {
     if (!Left[V] || Match[V] != InvalidNode)
       return;
-    for (const Message &M : Ctx.messages()) {
-      if (M.Type != Accept)
+    for (pregel::MsgRef M : Ctx.messages()) {
+      if (M.type() != Accept)
         continue;
-      NodeId Girl = static_cast<NodeId>(M[0].getInt());
+      NodeId Girl = static_cast<NodeId>(M.getInt(0));
       Match[V] = Girl;
       Message Note;
       Note.Type = Finalize;

@@ -35,6 +35,11 @@ public:
   void init(const Graph &G, pregel::MasterContext &Master) override;
   void masterCompute(pregel::MasterContext &Master) override;
   void compute(pregel::VertexContext &Ctx) override;
+  pregel::MessageLayout messageLayout() const override {
+    pregel::MessageLayout L;
+    L.addType(0, {}); // the +1 marker: an empty payload, the count is the message
+    return L;
+  }
 
   const std::vector<int64_t> &teenCount() const { return TeenCnt; }
   double average() const { return Avg; }
@@ -56,6 +61,11 @@ public:
   void init(const Graph &G, pregel::MasterContext &Master) override;
   void masterCompute(pregel::MasterContext &Master) override;
   void compute(pregel::VertexContext &Ctx) override;
+  pregel::MessageLayout messageLayout() const override {
+    pregel::MessageLayout L;
+    L.addType(0, {ValueKind::Double}); // rank contribution
+    return L;
+  }
 
   const std::vector<double> &rank() const { return PR; }
   int iterations() const { return Iterations; }
@@ -78,6 +88,11 @@ public:
   void init(const Graph &G, pregel::MasterContext &Master) override;
   void masterCompute(pregel::MasterContext &Master) override;
   void compute(pregel::VertexContext &Ctx) override;
+  pregel::MessageLayout messageLayout() const override {
+    pregel::MessageLayout L;
+    L.addType(0, {}); // crossing-edge marker, empty payload
+    return L;
+  }
 
   double conductance() const { return Result; }
 
@@ -99,6 +114,11 @@ public:
   void init(const Graph &G, pregel::MasterContext &Master) override;
   void masterCompute(pregel::MasterContext &Master) override;
   void compute(pregel::VertexContext &Ctx) override;
+  pregel::MessageLayout messageLayout() const override {
+    pregel::MessageLayout L;
+    L.addType(0, {ValueKind::Int}); // candidate distance
+    return L;
+  }
 
   const std::vector<int64_t> &distance() const { return Dist; }
 
@@ -121,6 +141,11 @@ public:
   void init(const Graph &G, pregel::MasterContext &Master) override;
   void masterCompute(pregel::MasterContext &Master) override;
   void compute(pregel::VertexContext &Ctx) override;
+  pregel::MessageLayout messageLayout() const override {
+    pregel::MessageLayout L;
+    L.addType(0, {ValueKind::Int}); // candidate distance
+    return L;
+  }
 
   const std::vector<int64_t> &distance() const { return Dist; }
 
@@ -143,6 +168,13 @@ public:
   void init(const Graph &G, pregel::MasterContext &Master) override;
   void masterCompute(pregel::MasterContext &Master) override;
   void compute(pregel::VertexContext &Ctx) override;
+  pregel::MessageLayout messageLayout() const override {
+    pregel::MessageLayout L;
+    L.addType(Propose, {ValueKind::Int});  // proposing boy's id
+    L.addType(Accept, {ValueKind::Int});   // accepting girl's id
+    L.addType(Finalize, {ValueKind::Int}); // matched partner's id
+    return L;
+  }
 
   const std::vector<NodeId> &match() const { return Match; }
   int64_t matchCount() const { return Matched; }

@@ -49,6 +49,8 @@ Execution (interprets the compiled program on the bundled BSP runtime):
   --graph-uniform <nodes> <edges>
   --workers <n>                  simulated workers (default 4)
   --threaded                     run the workers as real threads
+  --message-format <fmt>         mailbox wire format: packed (default) or
+                                 boxed (tagged-union Message records)
   --seed <n>                     runtime random seed
   --arg <name>=<value>           scalar procedure argument (repeatable)
   --rand-nprop <name> <lo> <hi>  fill an Int node property uniformly
@@ -86,6 +88,7 @@ int main(int argc, char **argv) {
   bool GenRMAT = false, GenUniform = false;
   unsigned Workers = 4;
   bool Threaded = false;
+  pregel::MessageFormat MsgFormat = pregel::MessageFormat::Packed;
   uint64_t Seed = 1;
   std::vector<std::pair<std::string, std::string>> ScalarArgs;
   struct RandProp {
@@ -143,6 +146,18 @@ int main(int argc, char **argv) {
       Workers = static_cast<unsigned>(parseInt(Next()));
     else if (A == "--threaded")
       Threaded = true;
+    else if (A == "--message-format") {
+      std::string Fmt = Next();
+      if (Fmt == "packed")
+        MsgFormat = pregel::MessageFormat::Packed;
+      else if (Fmt == "boxed")
+        MsgFormat = pregel::MessageFormat::Boxed;
+      else {
+        std::fprintf(stderr,
+                     "gmpc: --message-format expects packed or boxed\n");
+        return 2;
+      }
+    }
     else if (A == "--seed")
       Seed = static_cast<uint64_t>(parseInt(Next()));
     else if (A == "--arg") {
@@ -278,6 +293,7 @@ int main(int argc, char **argv) {
   pregel::Config Cfg;
   Cfg.NumWorkers = Workers;
   Cfg.Threaded = Threaded;
+  Cfg.Format = MsgFormat;
   Cfg.RandomSeed = Seed;
   DiagnosticEngine RunDiags;
   Cfg.Diags = &RunDiags;
@@ -311,6 +327,14 @@ int main(int argc, char **argv) {
     Meta.Workers = Workers;
     Meta.Threaded = Cfg.Threaded;
     Meta.Seed = Seed;
+    // A program whose layout cannot be derived falls back to boxed records
+    // even under --message-format=packed; report what actually ran.
+    pregel::MessageLayout Layout;
+    if (MsgFormat == pregel::MessageFormat::Packed)
+      Layout = pir::deriveMessageLayout(*R.Program);
+    Meta.MessageFormat = Layout.empty() ? "boxed" : "packed";
+    Meta.MailboxRecordBytes =
+        Layout.empty() ? unsigned(sizeof(pregel::Message)) : Layout.recordSize();
 
     if (ShowStats || ShowTrace) {
       pregel::TableSink Sink(stdout, ShowTrace);

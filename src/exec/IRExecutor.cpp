@@ -156,8 +156,8 @@ Value IRExecutor::eval(const PExpr *E, EvalCtx &C) {
     assert(C.Vertex && "property read outside vertex context");
     return Props[E->Index].get(C.Vertex->id());
   case PExprKind::MsgField:
-    assert(C.Msg && "message field outside on_message");
-    return (*C.Msg)[E->Index];
+    assert(C.Msg.valid() && "message field outside on_message");
+    return C.Msg[E->Index];
   case PExprKind::EdgePropRead:
     assert(C.Edge != ~EdgeId{0} && "edge property outside per-edge payload");
     return EdgeProps[E->Index][C.Edge];
@@ -305,11 +305,11 @@ void IRExecutor::execVStmt(const VStmt *S, VertexContext &Ctx, EvalCtx &C) {
   }
   case VStmtKind::OnMessage: {
     int32_t Tag = S->Index + MsgTagOffset;
-    for (const Message &M : Ctx.messages()) {
-      if (M.Type != Tag)
+    for (pregel::MsgRef M : Ctx.messages()) {
+      if (M.type() != Tag)
         continue;
       EvalCtx MsgCtx = C;
-      MsgCtx.Msg = &M;
+      MsgCtx.Msg = M;
       for (const VStmt *Child : S->Then)
         execVStmt(Child, Ctx, MsgCtx);
     }
@@ -327,6 +327,10 @@ void IRExecutor::execVStmt(const VStmt *S, VertexContext &Ctx, EvalCtx &C) {
   }
   }
   gm_unreachable("invalid vertex statement");
+}
+
+pregel::MessageLayout IRExecutor::messageLayout() const {
+  return pir::deriveMessageLayout(Prog);
 }
 
 void IRExecutor::compute(VertexContext &Ctx) {

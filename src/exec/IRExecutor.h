@@ -104,6 +104,9 @@ public:
   void init(const Graph &G, pregel::MasterContext &Master) override;
   void masterCompute(pregel::MasterContext &Master) override;
   void compute(pregel::VertexContext &Ctx) override;
+  /// Every translated program's message shapes are statically known, so the
+  /// engine always gets a packed wire schema (pir::deriveMessageLayout).
+  pregel::MessageLayout messageLayout() const override;
 
   /// Results, valid after Engine::run completes.
   const Column &nodeProp(const std::string &Name) const;
@@ -112,16 +115,17 @@ public:
   bool finished() const { return Finished; }
 
   /// The message-type tag offset: IR message type i travels as tag
-  /// i + 1 (tag 0 is reserved for the in-neighbor setup broadcast).
-  static constexpr int32_t MsgTagOffset = 1;
-  static constexpr int32_t SetupMsgTag = 0;
+  /// i + 1 (tag 0 is reserved for the in-neighbor setup broadcast). The
+  /// convention itself lives in the IR (shared with deriveMessageLayout).
+  static constexpr int32_t MsgTagOffset = pir::MsgTagOffset;
+  static constexpr int32_t SetupMsgTag = pir::SetupMsgTag;
 
 private:
   struct EvalCtx {
     pregel::VertexContext *Vertex = nullptr; ///< null in master context
     pregel::MasterContext *Master = nullptr;
-    const pregel::Message *Msg = nullptr; ///< inside OnMessage
-    EdgeId Edge = ~EdgeId{0};             ///< inside per-edge payload eval
+    pregel::MsgRef Msg;       ///< inside OnMessage (format-blind cursor)
+    EdgeId Edge = ~EdgeId{0}; ///< inside per-edge payload eval
   };
 
   Value eval(const pir::PExpr *E, EvalCtx &C);

@@ -1,10 +1,14 @@
 //===- pregel/Message.h - BSP message representation -----------------------===//
 ///
 /// \file
-/// The unit of vertex-to-vertex communication. Mirrors the message class a
-/// GPS program would declare: an optional integer type tag (used when one
-/// program exchanges several logically distinct messages, §3.1 "Multiple
-/// Communication") and a small scalar payload.
+/// The unit of vertex-to-vertex communication. `Message` mirrors the message
+/// class a GPS program would declare: an optional integer type tag (used when
+/// one program exchanges several logically distinct messages, §3.1 "Multiple
+/// Communication") and a small scalar payload. It is the *send-side* value
+/// type; inside the engine messages travel either as boxed `Message` structs
+/// (programs without a declared MessageLayout) or as packed fixed-size
+/// records (see MessageLayout.h). `MsgRef`/`MsgRange` are the format-blind
+/// cursors vertices read their inbox through.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -12,20 +16,18 @@
 #define GM_PREGEL_MESSAGE_H
 
 #include "graph/Graph.h"
+#include "pregel/MessageLayout.h"
 #include "support/Value.h"
 
 #include <array>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
+#include <span>
 
 namespace gm::pregel {
 
-/// Maximum number of scalar payload slots per message. The translator's
-/// dataflow analysis never produces more than this for the paper's
-/// algorithms; the IR verifier enforces the limit at compile time.
-constexpr unsigned MaxMessagePayload = 4;
-
-/// A message in flight from one vertex to another.
+/// A message in flight from one vertex to another (boxed form).
 struct Message {
   NodeId Src = InvalidNode;
   NodeId Dst = InvalidNode;
@@ -46,13 +48,186 @@ struct Message {
   /// Bytes this message would occupy on the wire: a 4-byte destination-id
   /// header (every GPS message carries one), plus a 4-byte tag when the
   /// program uses more than one message type (\p TaggedProgram), plus the
-  /// payload.
+  /// payload. The packed path precomputes this per type
+  /// (MessageLayout::wireBytes) instead of looping per message.
   unsigned wireSize(bool TaggedProgram) const {
     unsigned Bytes = 4u + (TaggedProgram ? 4u : 0u);
     for (unsigned I = 0; I < Size; ++I)
       Bytes += Payload[I].wireSize();
     return Bytes;
   }
+};
+
+/// Encodes \p M bound for \p Dst into \p Rec (L.recordSize() bytes). The
+/// caller provides zeroed scratch so record padding (types narrower than the
+/// layout's widest) is deterministic. Payload kinds must match the layout —
+/// the packed and boxed paths would otherwise diverge.
+inline void packMessage(const MessageLayout &L, std::byte *Rec, NodeId Dst,
+                        const Message &M) {
+  MessageLayout::writeDst(Rec, Dst);
+  L.writeTag(Rec, M.Type);
+  const MsgTypeLayout &T = L.type(M.Type);
+  assert(M.Size == T.Slots.size() && "payload arity does not match layout");
+  for (unsigned I = 0; I < M.Size; ++I) {
+    const Value &V = M.Payload[I];
+    assert(V.kind() == T.Slots[I] && "payload kind does not match layout");
+    switch (T.Slots[I]) {
+    case ValueKind::Bool: {
+      uint8_t B = V.getBool() ? 1 : 0;
+      std::memcpy(Rec + T.Offset[I], &B, 1);
+      break;
+    }
+    case ValueKind::Int: {
+      int64_t X = V.getInt();
+      std::memcpy(Rec + T.Offset[I], &X, 8);
+      break;
+    }
+    case ValueKind::Double: {
+      double X = V.getDouble();
+      std::memcpy(Rec + T.Offset[I], &X, 8);
+      break;
+    }
+    default:
+      assert(false && "unreachable: layout admits concrete kinds only");
+    }
+  }
+}
+
+/// A read-only view of one received message, independent of wire format:
+/// either a boxed `Message` (Layout == nullptr) or a packed record
+/// interpreted through its MessageLayout. Pointer-sized pair — pass by
+/// value.
+class MsgRef {
+public:
+  MsgRef() = default;
+  explicit MsgRef(const Message *Boxed) : Ptr(Boxed) {}
+  MsgRef(const std::byte *Rec, const MessageLayout *L) : Ptr(Rec), Layout(L) {
+    assert(L && "packed MsgRef requires a layout");
+  }
+
+  bool valid() const { return Ptr != nullptr; }
+
+  int32_t type() const {
+    return Layout ? Layout->recordTag(rec()) : boxed()->Type;
+  }
+
+  unsigned size() const {
+    return Layout ? static_cast<unsigned>(Layout->type(type()).Slots.size())
+                  : boxed()->Size;
+  }
+
+  int64_t getInt(unsigned I) const {
+    if (!Layout)
+      return (*boxed())[I].getInt();
+    const MsgTypeLayout &T = Layout->type(type());
+    assert(I < T.Slots.size() && T.Slots[I] == ValueKind::Int);
+    int64_t X;
+    std::memcpy(&X, rec() + T.Offset[I], 8);
+    return X;
+  }
+
+  double getDouble(unsigned I) const {
+    if (!Layout)
+      return (*boxed())[I].getDouble();
+    const MsgTypeLayout &T = Layout->type(type());
+    assert(I < T.Slots.size() && T.Slots[I] == ValueKind::Double);
+    double X;
+    std::memcpy(&X, rec() + T.Offset[I], 8);
+    return X;
+  }
+
+  bool getBool(unsigned I) const {
+    if (!Layout)
+      return (*boxed())[I].getBool();
+    const MsgTypeLayout &T = Layout->type(type());
+    assert(I < T.Slots.size() && T.Slots[I] == ValueKind::Bool);
+    uint8_t B;
+    std::memcpy(&B, rec() + T.Offset[I], 1);
+    return B != 0;
+  }
+
+  /// Boxes slot \p I back into a Value (the IR executor's evaluation
+  /// currency). The typed getters above skip the box.
+  Value get(unsigned I) const {
+    if (!Layout)
+      return (*boxed())[I];
+    const MsgTypeLayout &T = Layout->type(type());
+    assert(I < T.Slots.size() && "payload index out of range");
+    switch (T.Slots[I]) {
+    case ValueKind::Bool:
+      return Value::makeBool(getBool(I));
+    case ValueKind::Int:
+      return Value::makeInt(getInt(I));
+    case ValueKind::Double:
+      return Value::makeDouble(getDouble(I));
+    default:
+      assert(false && "unreachable: layout admits concrete kinds only");
+      return Value();
+    }
+  }
+
+  Value operator[](unsigned I) const { return get(I); }
+
+private:
+  const Message *boxed() const { return static_cast<const Message *>(Ptr); }
+  const std::byte *rec() const { return static_cast<const std::byte *>(Ptr); }
+
+  const void *Ptr = nullptr;
+  const MessageLayout *Layout = nullptr;
+};
+
+/// Strided forward iterator over an inbox region; dereferences to MsgRef.
+class MsgIter {
+public:
+  MsgIter(const std::byte *P, size_t Stride, const MessageLayout *L)
+      : P(P), Stride(Stride), Layout(L) {}
+
+  MsgRef operator*() const {
+    return Layout ? MsgRef(P, Layout)
+                  : MsgRef(reinterpret_cast<const Message *>(P));
+  }
+  MsgIter &operator++() {
+    P += Stride;
+    return *this;
+  }
+  bool operator==(const MsgIter &O) const { return P == O.P; }
+  bool operator!=(const MsgIter &O) const { return P != O.P; }
+
+private:
+  const std::byte *P;
+  size_t Stride;
+  const MessageLayout *Layout;
+};
+
+/// The messages delivered to one vertex this superstep — a lightweight
+/// cursor over either boxed structs or packed records, in delivery order.
+class MsgRange {
+public:
+  MsgRange() = default;
+  explicit MsgRange(std::span<const Message> Boxed)
+      : Data(reinterpret_cast<const std::byte *>(Boxed.data())),
+        Count(Boxed.size()), Stride(sizeof(Message)) {}
+  MsgRange(const std::byte *Data, size_t Count, const MessageLayout *L)
+      : Data(Data), Count(Count), Stride(L->recordSize()), Layout(L) {}
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  MsgIter begin() const { return MsgIter(Data, Stride, Layout); }
+  MsgIter end() const { return MsgIter(Data + Count * Stride, Stride, Layout); }
+
+  MsgRef operator[](size_t I) const {
+    assert(I < Count && "message index out of range");
+    const std::byte *P = Data + I * Stride;
+    return Layout ? MsgRef(P, Layout)
+                  : MsgRef(reinterpret_cast<const Message *>(P));
+  }
+
+private:
+  const std::byte *Data = nullptr;
+  size_t Count = 0;
+  size_t Stride = sizeof(Message);
+  const MessageLayout *Layout = nullptr;
 };
 
 } // namespace gm::pregel

@@ -22,10 +22,13 @@ void TableSink::report(const RunMetadata &Meta, const RunStats &Stats,
   std::fprintf(Out, "=== run report: %s on %s ===\n", Meta.Program.c_str(),
                Meta.Graph.c_str());
   std::fprintf(Out,
-               "graph: %u nodes, %llu edges | workers: %u%s | seed: %llu\n",
+               "graph: %u nodes, %llu edges | workers: %u%s | seed: %llu",
                Meta.NumNodes, static_cast<unsigned long long>(Meta.NumEdges),
                Meta.Workers, Meta.Threaded ? " (threaded)" : "",
                static_cast<unsigned long long>(Meta.Seed));
+  if (!Meta.MessageFormat.empty())
+    std::fprintf(Out, " | messages: %s", Meta.MessageFormat.c_str());
+  std::fprintf(Out, "\n");
   std::fprintf(Out, "%s\n", Stats.toString().c_str());
 
   if (!Stats.Steps.empty()) {
@@ -100,6 +103,11 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
   W.field("seed", Meta.Seed);
   if (Meta.HostCores)
     W.field("host_cores", static_cast<uint64_t>(Meta.HostCores));
+  if (!Meta.MessageFormat.empty())
+    W.field("message_format", Meta.MessageFormat);
+  if (Meta.MailboxRecordBytes)
+    W.field("mailbox_record_bytes",
+            static_cast<uint64_t>(Meta.MailboxRecordBytes));
   W.endObject();
 
   W.key("totals");

@@ -40,6 +40,12 @@ struct RunMetadata {
   /// artifacts are meaningless without it: a 1-core container cannot show
   /// threaded speedup no matter how good the engine is.
   unsigned HostCores = 0;
+  /// Mailbox wire format of the run ("boxed" / "packed"; "" = not
+  /// recorded). Message-format comparison artifacts hinge on it.
+  std::string MessageFormat;
+  /// Bytes one message occupies in the engine's mailboxes — the packed
+  /// record size, or sizeof(Message) on the boxed path (0 = not recorded).
+  unsigned MailboxRecordBytes = 0;
 };
 
 /// Schema identity of the JSON run report.

@@ -22,7 +22,9 @@
 #include "pregel/ThreadPool.h"
 #include "support/Diagnostics.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <functional>
 #include <sstream>
 #include <unordered_map>
@@ -36,6 +38,84 @@ using Clock = std::chrono::steady_clock;
 
 double secondsSince(Clock::time_point Start) {
   return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// applyReduce on raw packed slots. The layout guarantees every message of a
+/// tag carries the same slot kind, so only same-kind reductions arise; each
+/// arm mirrors the boxed Value::applyReduce result for that kind pair
+/// exactly (same operation, same association), keeping packed and boxed
+/// runs bit-identical.
+void applyReduceRaw(ReduceKind K, ValueKind Slot, std::byte *Acc,
+                    const std::byte *In) {
+  switch (Slot) {
+  case ValueKind::Int: {
+    int64_t A, B;
+    std::memcpy(&A, Acc, 8);
+    std::memcpy(&B, In, 8);
+    switch (K) {
+    case ReduceKind::Sum:
+    case ReduceKind::Count:
+      A += B;
+      break;
+    case ReduceKind::Prod:
+      A *= B;
+      break;
+    case ReduceKind::Min:
+      A = std::min(A, B);
+      break;
+    case ReduceKind::Max:
+      A = std::max(A, B);
+      break;
+    default:
+      assert(false && "combiner op not defined on Int slots");
+    }
+    std::memcpy(Acc, &A, 8);
+    return;
+  }
+  case ValueKind::Double: {
+    double A, B;
+    std::memcpy(&A, Acc, 8);
+    std::memcpy(&B, In, 8);
+    switch (K) {
+    case ReduceKind::Sum:
+    case ReduceKind::Count:
+      A += B;
+      break;
+    case ReduceKind::Prod:
+      A *= B;
+      break;
+    case ReduceKind::Min:
+      A = std::min(A, B);
+      break;
+    case ReduceKind::Max:
+      A = std::max(A, B);
+      break;
+    default:
+      assert(false && "combiner op not defined on Double slots");
+    }
+    std::memcpy(Acc, &A, 8);
+    return;
+  }
+  case ValueKind::Bool: {
+    uint8_t A, B;
+    std::memcpy(&A, Acc, 1);
+    std::memcpy(&B, In, 1);
+    switch (K) {
+    case ReduceKind::And:
+      A = A && B;
+      break;
+    case ReduceKind::Or:
+      A = A || B;
+      break;
+    default:
+      assert(false && "combiner op not defined on Bool slots");
+    }
+    std::memcpy(Acc, &A, 1);
+    return;
+  }
+  default:
+    assert(false && "unreachable: layout admits concrete kinds only");
+  }
 }
 
 } // namespace
@@ -60,34 +140,67 @@ NodeId MasterContext::pickRandomNode() {
   return Dist(Rng);
 }
 
-void VertexContext::sendToAllOutNeighbors(Message M) {
-  M.Src = Id;
+void VertexContext::sendToAllOutNeighbors(const Message &M) {
+  if (Layout) {
+    // Pack the payload once; only the 4-byte destination header differs per
+    // neighbor. Zeroed scratch keeps record padding deterministic.
+    std::array<std::byte, MaxPackedRecordBytes> Rec{};
+    packMessage(*Layout, Rec.data(), InvalidNode, M);
+    const size_t RS = Layout->recordSize();
+    for (NodeId Nbr : G.outNeighbors(Id)) {
+      MessageLayout::writeDst(Rec.data(), Nbr);
+      std::vector<std::byte> &S = PackedShards[Nbr % NumWorkers];
+      S.insert(S.end(), Rec.data(), Rec.data() + RS);
+    }
+    return;
+  }
+  Message C = M;
+  C.Src = Id;
   for (NodeId Nbr : G.outNeighbors(Id)) {
-    M.Dst = Nbr;
-    Shards[Nbr % NumWorkers].push_back(M);
+    C.Dst = Nbr;
+    Shards[Nbr % NumWorkers].push_back(C);
   }
 }
 
-void VertexContext::sendTo(NodeId Target, Message M) {
+void VertexContext::sendTo(NodeId Target, const Message &M) {
   assert(Target < G.numNodes() && "sendTo target out of range");
-  M.Src = Id;
-  M.Dst = Target;
-  Shards[Target % NumWorkers].push_back(M);
+  if (Layout) {
+    std::array<std::byte, MaxPackedRecordBytes> Rec{};
+    packMessage(*Layout, Rec.data(), Target, M);
+    std::vector<std::byte> &S = PackedShards[Target % NumWorkers];
+    S.insert(S.end(), Rec.data(), Rec.data() + Layout->recordSize());
+    return;
+  }
+  Message C = M;
+  C.Src = Id;
+  C.Dst = Target;
+  Shards[Target % NumWorkers].push_back(C);
 }
 
 /// Scratch state for one worker; lives for the whole run so that outbox
 /// shards, combiner scratch, and private globals are reused every superstep.
 struct Engine::WorkerState {
-  /// Destination-sharded outbox: Shards[w] holds this worker's messages
-  /// bound for worker w. Cleared (capacity kept) by the receiving worker
-  /// once delivered.
+  /// Destination-sharded outbox: Shards[w] (boxed) or PackedShards[w]
+  /// (packed records) holds this worker's messages bound for worker w.
+  /// Cleared (capacity kept) by the receiving worker once delivered.
   std::vector<std::vector<Message>> Shards;
+  std::vector<std::vector<std::byte>> PackedShards;
   GlobalObjects PrivateGlobals;
   uint64_t GlobalsRevision = ~0ull; ///< revision PrivateGlobals was cloned at
 
   // Combiner scratch, reused across shards and supersteps.
   std::unordered_map<uint64_t, size_t> CombineSlot;
   std::vector<Message> CombineKept;
+
+  // Packed combiner scratch: dense destination-indexed tables instead of a
+  // hash map. DenseSlot[ord * N + dst] is the kept-record index for the
+  // (combinable tag ord, destination) pair; a matching DenseEpoch stamp
+  // says the entry is live for the current shard, so per-shard clearing is
+  // one counter bump instead of an O(N) wipe.
+  std::vector<std::byte> PackedKept;
+  std::vector<uint32_t> DenseSlot;
+  std::vector<uint32_t> DenseEpoch;
+  uint32_t Epoch = 0;
 
   // Tallies for the current superstep, summed into RunStats in worker order
   // at the barrier (so threaded and sequential runs accumulate identically).
@@ -132,6 +245,48 @@ void Engine::combineShard(WorkerState &WS, std::vector<Message> &Shard) {
   Shard.swap(Kept); // Kept keeps the old buffer for reuse
 }
 
+void Engine::combineShardPacked(WorkerState &WS,
+                                std::vector<std::byte> &Shard) {
+  const size_t RS = RecordBytes;
+  const NodeId N = G.numNodes();
+  std::vector<std::byte> &Kept = WS.PackedKept;
+  Kept.clear();
+  Kept.reserve(Shard.size());
+  if (++WS.Epoch == 0) {
+    // Epoch counter wrapped: stale stamps could alias, wipe them once.
+    std::fill(WS.DenseEpoch.begin(), WS.DenseEpoch.end(), 0u);
+    WS.Epoch = 1;
+  }
+  const uint32_t Epoch = WS.Epoch;
+  for (const std::byte *P = Shard.data(), *E = P + Shard.size(); P != E;
+       P += RS) {
+    const int32_t Tag = Layout.recordTag(P);
+    const int32_t Ord = CombineOrd[Tag];
+    if (Ord < 0) {
+      Kept.insert(Kept.end(), P, P + RS);
+      continue;
+    }
+    const size_t Key = size_t(Ord) * N + MessageLayout::recordDst(P);
+    if (WS.DenseEpoch[Key] != Epoch) {
+      // First message of this (tag, dst) pair: keep it in arrival position,
+      // matching the boxed combiner, so delivery order is unchanged.
+      WS.DenseEpoch[Key] = Epoch;
+      WS.DenseSlot[Key] = static_cast<uint32_t>(Kept.size() / RS);
+      Kept.insert(Kept.end(), P, P + RS);
+      continue;
+    }
+    const MsgTypeLayout &T = Layout.type(Tag);
+    std::byte *Acc = Kept.data() + size_t(WS.DenseSlot[Key]) * RS + T.Offset[0];
+    applyReduceRaw(CombineOpByTag[Tag], T.Slots[0], Acc, P + T.Offset[0]);
+  }
+  Shard.swap(Kept); // Kept keeps the old buffer for reuse
+}
+
+size_t Engine::shardCount(unsigned Sender, unsigned Dst) const {
+  return UsePacked ? Workers[Sender].PackedShards[Dst].size() / RecordBytes
+                   : Workers[Sender].Shards[Dst].size();
+}
+
 void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
                           uint64_t Step, SuperstepMetrics *SM) {
   const unsigned W = Cfg.NumWorkers;
@@ -149,13 +304,21 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
     T0 = Clock::now();
   uint64_t Ran = 0;
   for (NodeId V = WorkerId; V < N; V += W) {
-    std::span<const Message> Inbox(InboxPool.data() + InboxOffset[V],
-                                   InboxCount[V]);
-    if (!Active[V] && Inbox.empty())
+    const uint32_t InCount = InboxCount[V];
+    if (!Active[V] && InCount == 0)
       continue;
     VertexContext Ctx(V, Step, G, Globals, WS.PrivateGlobals);
-    Ctx.Inbox = Inbox;
-    Ctx.Shards = WS.Shards.data();
+    if (UsePacked) {
+      Ctx.PackedInbox =
+          PackedInboxPool.data() + size_t(InboxOffset[V]) * RecordBytes;
+      Ctx.InboxN = InCount;
+      Ctx.PackedShards = WS.PackedShards.data();
+      Ctx.Layout = &Layout;
+    } else {
+      Ctx.Inbox =
+          std::span<const Message>(InboxPool.data() + InboxOffset[V], InCount);
+      Ctx.Shards = WS.Shards.data();
+    }
     Ctx.NumWorkers = W;
     Program.compute(Ctx);
     uint8_t NowActive = Ctx.VotedHalt ? 0 : 1;
@@ -175,6 +338,28 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
   WS.StepMessages = WS.StepNetworkMessages = WS.StepNetworkBytes = 0;
   uint64_t CombineIn = 0, CombineOut = 0;
   for (unsigned Dst = 0; Dst < W; ++Dst) {
+    if (UsePacked) {
+      std::vector<std::byte> &Shard = WS.PackedShards[Dst];
+      if (!Cfg.Combiners.empty()) {
+        CombineIn += Shard.size() / RecordBytes;
+        combineShardPacked(WS, Shard);
+        CombineOut += Shard.size() / RecordBytes;
+      }
+      const uint64_t Count = Shard.size() / RecordBytes;
+      WS.StepMessages += Count;
+      if (Dst != WorkerId) {
+        WS.StepNetworkMessages += Count;
+        // Wire bytes are a per-type constant (WireBytesByTag); an untagged
+        // layout needs no per-record walk at all.
+        if (!Layout.storesTag())
+          WS.StepNetworkBytes += Count * WireBytesByTag[Layout.soleTag()];
+        else
+          for (const std::byte *P = Shard.data(), *E = P + Shard.size();
+               P != E; P += RecordBytes)
+            WS.StepNetworkBytes += WireBytesByTag[Layout.recordTag(P)];
+      }
+      continue;
+    }
     std::vector<Message> &Shard = WS.Shards[Dst];
     if (!Cfg.Combiners.empty()) {
       CombineIn += Shard.size();
@@ -211,6 +396,41 @@ void Engine::deliverPhase(unsigned WorkerId, SuperstepMetrics *SM) {
   // sender's emission order.
   for (NodeId V = WorkerId; V < N; V += W)
     InboxCount[V] = 0;
+  if (UsePacked) {
+    const size_t RS = RecordBytes;
+    for (unsigned Sender = 0; Sender < W; ++Sender) {
+      const std::vector<std::byte> &Shard =
+          Workers[Sender].PackedShards[WorkerId];
+      for (const std::byte *P = Shard.data(), *E = P + Shard.size(); P != E;
+           P += RS)
+        ++InboxCount[MessageLayout::recordDst(P)];
+    }
+
+    uint32_t Base = WS.RegionStart;
+    for (NodeId V = WorkerId; V < N; V += W) {
+      InboxOffset[V] = Base;
+      Cursor[V] = Base;
+      Base += InboxCount[V];
+    }
+
+    uint64_t Received = 0;
+    for (unsigned Sender = 0; Sender < W; ++Sender) {
+      std::vector<std::byte> &Shard = Workers[Sender].PackedShards[WorkerId];
+      for (const std::byte *P = Shard.data(), *E = P + Shard.size(); P != E;
+           P += RS) {
+        const NodeId Dst = MessageLayout::recordDst(P);
+        assert(Dst % W == WorkerId && "message in wrong shard");
+        std::memcpy(PackedInboxPool.data() + size_t(Cursor[Dst]++) * RS, P,
+                    RS);
+      }
+      Received += Shard.size() / RS;
+      Shard.clear(); // capacity kept; the sender refills it next superstep
+    }
+    if (SM)
+      SM->Workers[WorkerId].MessagesReceived = Received;
+    return;
+  }
+
   for (unsigned Sender = 0; Sender < W; ++Sender)
     for (const Message &M : Workers[Sender].Shards[WorkerId])
       ++InboxCount[M.Dst];
@@ -247,15 +467,56 @@ RunStats Engine::run(VertexProgram &Program) {
   InboxCount.assign(N, 0);
   Cursor.assign(N, 0);
   InboxPool.clear();
+  PackedInboxPool.clear();
   PendingMessageCount = 0;
   Globals = GlobalObjects();
+
+  // Packed mailboxes run whenever the program declares a message layout
+  // (and packing is not switched off). Per-tag wire bytes and combiner
+  // dispatch are resolved here, once per run, off the hot path.
+  Layout = MessageLayout();
+  if (Cfg.Format == MessageFormat::Packed)
+    Layout = Program.messageLayout();
+  UsePacked = !Layout.empty();
+  RecordBytes = UsePacked ? Layout.recordSize() : 0;
+  WireBytesByTag.clear();
+  CombineOrd.clear();
+  CombineOpByTag.clear();
+  NumCombinable = 0;
+  if (UsePacked) {
+    WireBytesByTag.assign(Layout.maxTag() + 1, 0);
+    CombineOrd.assign(Layout.maxTag() + 1, -1);
+    CombineOpByTag.assign(Layout.maxTag() + 1, ReduceKind::Sum);
+    for (int32_t Tag = 0; Tag <= Layout.maxTag(); ++Tag) {
+      if (!Layout.hasType(Tag))
+        continue;
+      WireBytesByTag[Tag] = Layout.wireBytes(Tag, Cfg.TaggedMessages);
+      auto It = Cfg.Combiners.find(Tag);
+      if (It != Cfg.Combiners.end() && Layout.type(Tag).Slots.size() == 1) {
+        CombineOrd[Tag] = static_cast<int32_t>(NumCombinable++);
+        CombineOpByTag[Tag] = It->second;
+      }
+    }
+  }
 
   Workers.resize(W);
   for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId) {
     WorkerState &WS = Workers[WorkerId];
-    WS.Shards.resize(W);
-    for (std::vector<Message> &S : WS.Shards)
-      S.clear();
+    if (UsePacked) {
+      WS.PackedShards.resize(W);
+      for (std::vector<std::byte> &S : WS.PackedShards)
+        S.clear();
+      WS.PackedKept.clear();
+      if (NumCombinable > 0) {
+        WS.DenseEpoch.assign(size_t(NumCombinable) * N, 0);
+        WS.DenseSlot.resize(size_t(NumCombinable) * N);
+        WS.Epoch = 0;
+      }
+    } else {
+      WS.Shards.resize(W);
+      for (std::vector<Message> &S : WS.Shards)
+        S.clear();
+    }
     WS.ActiveCount = WorkerId < N ? (N - WorkerId - 1) / W + 1 : 0;
     WS.GlobalsRevision = ~0ull;
   }
@@ -350,7 +611,7 @@ RunStats Engine::run(VertexProgram &Program) {
     for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId) {
       uint64_t Inbound = 0;
       for (unsigned Sender = 0; Sender < W; ++Sender)
-        Inbound += Workers[Sender].Shards[WorkerId].size();
+        Inbound += shardCount(Sender, WorkerId);
       assert(StepMessages + Inbound <= UINT32_MAX &&
              "inbox offsets overflow uint32");
       Workers[WorkerId].RegionStart = static_cast<uint32_t>(StepMessages);
@@ -359,7 +620,10 @@ RunStats Engine::run(VertexProgram &Program) {
     Stats.Supersteps = Step + 1;
     Stats.MessagesPerStep.push_back(StepMessages);
     Globals.resolveBarrier();
-    InboxPool.resize(StepMessages);
+    if (UsePacked)
+      PackedInboxPool.resize(size_t(StepMessages) * RecordBytes);
+    else
+      InboxPool.resize(StepMessages);
 
     // Barrier, parallel part: every worker counting-sorts its own inbound
     // messages into its inbox region.

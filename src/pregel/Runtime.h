@@ -60,6 +60,12 @@ struct RunStats {
   std::string toString() const;
 };
 
+/// How messages travel through the engine's mailboxes.
+enum class MessageFormat : uint8_t {
+  Boxed, ///< std::vector<Message> mailboxes (fat AoS structs)
+  Packed ///< flat fixed-size records per the program's MessageLayout
+};
+
 /// Engine configuration.
 struct Config {
   unsigned NumWorkers = 4;
@@ -67,6 +73,10 @@ struct Config {
   uint64_t RandomSeed = 1;   ///< seed for master-side PickRandom
   uint64_t MaxSupersteps = 1u << 20; ///< runaway guard
   bool TaggedMessages = false; ///< program uses >1 message type (adds 4B/msg)
+  /// Mailbox wire format. Packed is the default; the engine falls back to
+  /// boxed when the program declares no MessageLayout. Results, counters,
+  /// and delivery order are bit-identical between formats.
+  MessageFormat Format = MessageFormat::Packed;
   /// Collect RunStats::Steps (per-superstep trace, per-worker metrics).
   /// A handful of clock reads and one small record per superstep; on by
   /// default so every run is observable.
@@ -137,15 +147,21 @@ public:
   uint32_t numOutNeighbors() const { return G.outDegree(Id); }
   std::span<const NodeId> outNeighbors() const { return G.outNeighbors(Id); }
 
-  /// Messages sent to this vertex in the previous superstep.
-  std::span<const Message> messages() const { return Inbox; }
+  /// Messages sent to this vertex in the previous superstep — a cursor over
+  /// the engine's inbox (packed records or boxed structs; see Message.h).
+  MsgRange messages() const {
+    if (Layout)
+      return MsgRange(PackedInbox, InboxN, Layout);
+    return MsgRange(Inbox);
+  }
 
-  /// Sends \p M to every out-neighbor (GPS sendToNbrs).
-  void sendToAllOutNeighbors(Message M);
+  /// Sends \p M to every out-neighbor (GPS sendToNbrs). The payload is
+  /// encoded once; only the destination header varies per neighbor.
+  void sendToAllOutNeighbors(const Message &M);
 
   /// Sends \p M to an arbitrary vertex id (GPS sendToNode); implements the
   /// Random Writing pattern of §3.1.
-  void sendTo(NodeId Target, Message M);
+  void sendTo(NodeId Target, const Message &M);
 
   /// Vertex-side reducing write to a global object (Global.put with a
   /// reduction object); resolved at the barrier.
@@ -176,8 +192,14 @@ private:
   /// The owning worker's destination-sharded outbox: NumWorkers vectors,
   /// Shards[w] holding the messages bound for worker w's vertices. Sharding
   /// at send time is what lets combining, wire accounting, and inbox
-  /// construction all run worker-parallel at the barrier.
+  /// construction all run worker-parallel at the barrier. Exactly one of
+  /// the boxed (Inbox/Shards) and packed (PackedInbox/PackedShards/Layout)
+  /// field sets is wired up per run.
   std::vector<Message> *Shards = nullptr;
+  const std::byte *PackedInbox = nullptr;
+  size_t InboxN = 0;
+  std::vector<std::byte> *PackedShards = nullptr;
+  const MessageLayout *Layout = nullptr;
   unsigned NumWorkers = 0;
   bool VotedHalt = false;
 };
@@ -200,6 +222,12 @@ public:
   /// Pregel vertex.compute(): runs once per superstep for each active
   /// vertex.
   virtual void compute(VertexContext &Ctx) = 0;
+
+  /// The program's message wire schema (see MessageLayout.h). Programs with
+  /// statically known message shapes override this so the engine can run
+  /// packed mailboxes; the default (empty layout) keeps boxed mailboxes,
+  /// which is always correct, just slower.
+  virtual MessageLayout messageLayout() const { return MessageLayout(); }
 };
 
 /// Executes a VertexProgram over a graph under BSP semantics.
@@ -234,6 +262,9 @@ private:
                     SuperstepMetrics *SM);
   void deliverPhase(unsigned WorkerId, SuperstepMetrics *SM);
   void combineShard(WorkerState &WS, std::vector<Message> &Shard);
+  void combineShardPacked(WorkerState &WS, std::vector<std::byte> &Shard);
+  /// Messages currently parked in Workers[Sender]'s shard for \p Dst.
+  size_t shardCount(unsigned Sender, unsigned Dst) const;
 
   const Graph &G;
   Config Cfg;
@@ -247,16 +278,33 @@ private:
   std::unique_ptr<ThreadPool> Pool; ///< created on first threaded run()
 
   /// Double-buffered inboxes in worker-major layout: each worker's inbound
-  /// messages occupy one contiguous region of InboxPool (region base =
+  /// messages occupy one contiguous region of the inbox pool (region base =
   /// WorkerState::RegionStart), grouped by destination vertex inside it.
-  /// The span delivered to v this superstep is
-  /// InboxPool[InboxOffset[v] .. InboxOffset[v] + InboxCount[v]).
+  /// The range delivered to v this superstep starts at record index
+  /// InboxOffset[v] and holds InboxCount[v] messages. Offsets and counts
+  /// are in *message* units in both formats; the packed pool scales by the
+  /// record size on access. Exactly one pool is populated per run.
   std::vector<Message> InboxPool;
+  std::vector<std::byte> PackedInboxPool;
   std::vector<uint32_t> InboxOffset; ///< size numNodes; begin per vertex
   std::vector<uint32_t> InboxCount;  ///< size numNodes; messages per vertex
   std::vector<uint32_t> Cursor;      ///< scatter cursors (per vertex)
   std::vector<uint8_t> Active;
   uint64_t PendingMessageCount = 0;
+
+  /// Packed-format run state, derived once per run() from the program's
+  /// MessageLayout (empty layout or Config::Format == Boxed => boxed path).
+  MessageLayout Layout;
+  bool UsePacked = false;
+  uint32_t RecordBytes = 0; ///< Layout.recordSize(), hoisted
+  /// Per-tag wire bytes per message (the hoisted wireSize constant),
+  /// indexed by tag; 0 for undeclared tags.
+  std::vector<uint32_t> WireBytesByTag;
+  /// Per-tag combiner plumbing: CombineOrd[tag] is the dense-combine table
+  /// ordinal (-1 = tag not combinable), CombineOpByTag[tag] the operator.
+  std::vector<int32_t> CombineOrd;
+  std::vector<ReduceKind> CombineOpByTag;
+  unsigned NumCombinable = 0;
 };
 
 } // namespace gm::pregel

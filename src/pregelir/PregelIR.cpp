@@ -304,9 +304,17 @@ public:
     for (size_t I = 0; I < P.States.size(); ++I)
       if (P.States[I].Id != static_cast<int>(I))
         return "state ids must be dense and ordered";
-    for (const MsgTypeDef &M : P.MsgTypes)
+    for (const MsgTypeDef &M : P.MsgTypes) {
       if (M.Fields.size() > pregel::MaxMessagePayload)
         return "message type '" + M.Name + "' exceeds the payload limit";
+      // The packed wire format needs every slot kind statically known
+      // (deriveMessageLayout maps fields to fixed record offsets).
+      for (const MsgFieldDef &F : M.Fields)
+        if (F.Ty != ValueKind::Bool && F.Ty != ValueKind::Int &&
+            F.Ty != ValueKind::Double)
+          return "message field '" + F.Name + "' of '" + M.Name +
+                 "' has no concrete scalar type";
+    }
     for (const PState &S : P.States) {
       StateName = "state " + std::to_string(S.Id) + " (" + S.Name + ")";
       for (const VStmt *V : S.VertexCode)
@@ -520,4 +528,18 @@ private:
 
 std::string pir::verifyProgram(const PregelProgram &P) {
   return Verifier(P).run();
+}
+
+pregel::MessageLayout pir::deriveMessageLayout(const PregelProgram &P) {
+  pregel::MessageLayout L;
+  if (P.UsesInNbrs)
+    L.addType(SetupMsgTag, {ValueKind::Int}); // sender id broadcast
+  for (size_t I = 0; I < P.MsgTypes.size(); ++I) {
+    std::vector<ValueKind> Slots;
+    Slots.reserve(P.MsgTypes[I].Fields.size());
+    for (const MsgFieldDef &F : P.MsgTypes[I].Fields)
+      Slots.push_back(F.Ty);
+    L.addType(static_cast<int32_t>(I) + MsgTagOffset, std::move(Slots));
+  }
+  return L;
 }

@@ -21,6 +21,7 @@
 #define GM_PREGELIR_PREGELIR_H
 
 #include "frontend/AST.h" // BinaryOpKind / UnaryOpKind
+#include "pregel/MessageLayout.h"
 #include "support/Value.h"
 
 #include <deque>
@@ -266,6 +267,19 @@ std::string printProgram(const PregelProgram &P);
 
 /// Structural validity check; returns the first problem found or "".
 std::string verifyProgram(const PregelProgram &P);
+
+/// The wire-tag convention shared by the executor and the Java backend: IR
+/// message type i travels as tag i + MsgTagOffset; tag SetupMsgTag is
+/// reserved for the in-neighbor setup broadcast of UsesInNbrs programs.
+constexpr int32_t MsgTagOffset = 1;
+constexpr int32_t SetupMsgTag = 0;
+
+/// Derives the program's packed wire schema from its message-type table:
+/// one MsgTypeLayout per MsgTypes entry (at tag index + MsgTagOffset), plus
+/// the single-Int setup type at SetupMsgTag when the program reads
+/// in-neighbors. Every translated program has statically known message
+/// shapes, so the result is never empty for a program that sends at all.
+pregel::MessageLayout deriveMessageLayout(const PregelProgram &P);
 
 } // namespace gm::pir
 

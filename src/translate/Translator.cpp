@@ -947,6 +947,13 @@ void Translator::translateInnerLoop(ForeachStmt *F, LoopCtx &LC,
       break;
     }
     PExpr *Sender = payloadSenderExpr(Key, LC);
+    if (Sender->Ty == ValueKind::Undef) {
+      // Every field must carry a concrete scalar kind: the message class
+      // has a fixed wire layout (§4.3) and the runtime packs records off it.
+      error(F->location(), "message field '" + FieldName +
+                               "' has no concrete scalar type");
+      return;
+    }
     P->MsgTypes[Msg].Fields.push_back({FieldName, Sender->Ty});
     MC.Slots[Key] = Slot;
     Payload.push_back(Sender);
@@ -1061,6 +1068,12 @@ void Translator::translateRandomWrite(AssignStmt *A, LoopCtx &LC,
   int Msg = P->addMsgType("m" + std::to_string(P->MsgTypes.size()) + "_rw_" +
                           PA->prop()->name());
   PExpr *Payload = vertexExpr(A->value(), LC);
+  if (Payload->Ty == ValueKind::Undef) {
+    error(A->location(), "random-write message field '" +
+                             PA->prop()->name() +
+                             "' has no concrete scalar type");
+    return;
+  }
   P->MsgTypes[Msg].Fields.push_back({PA->prop()->name(), Payload->Ty});
 
   VStmt *Send = P->newVStmt(VStmtKind::SendToNode);

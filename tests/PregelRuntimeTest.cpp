@@ -615,8 +615,8 @@ public:
       return;
     }
     if (Ctx.id() == 0)
-      for (const Message &M : Ctx.messages())
-        SeenAtZero.push_back(M[0].getInt());
+      for (pregel::MsgRef M : Ctx.messages())
+        SeenAtZero.push_back(M.getInt(0));
   }
 };
 

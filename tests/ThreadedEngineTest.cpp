@@ -104,11 +104,16 @@ public:
       Master.haltAll();
   }
   void compute(VertexContext &Ctx) override {
-    for (const Message &M : Ctx.messages())
-      Acc[Ctx.id()] += M[0].getInt();
+    for (pregel::MsgRef M : Ctx.messages())
+      Acc[Ctx.id()] += M.getInt(0);
     Message M;
     M.push(Value::makeInt(static_cast<int64_t>(Ctx.id()) + 1));
     Ctx.sendToAllOutNeighbors(M);
+  }
+  MessageLayout messageLayout() const override {
+    MessageLayout L;
+    L.addType(0, {ValueKind::Int});
+    return L;
   }
 };
 
@@ -143,8 +148,8 @@ public:
       Master.haltAll();
   }
   void compute(VertexContext &Ctx) override {
-    for (const Message &M : Ctx.messages())
-      Acc[Ctx.id()] = Acc[Ctx.id()] * 31 + M[0].getInt(); // order-sensitive
+    for (pregel::MsgRef M : Ctx.messages())
+      Acc[Ctx.id()] = Acc[Ctx.id()] * 31 + M.getInt(0); // order-sensitive
     NodeId N = Ctx.graph().numNodes();
     NodeId Target =
         static_cast<NodeId>((uint64_t(Ctx.id()) * 2654435761u +
@@ -153,6 +158,11 @@ public:
     Message M;
     M.push(Value::makeInt(static_cast<int64_t>(Ctx.id())));
     Ctx.sendTo(Target, M);
+  }
+  MessageLayout messageLayout() const override {
+    MessageLayout L;
+    L.addType(0, {ValueKind::Int});
+    return L;
   }
 };
 
