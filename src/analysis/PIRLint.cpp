@@ -1,0 +1,237 @@
+//===- analysis/PIRLint.cpp -------------------------------------------------===//
+
+#include "analysis/PIRLint.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <set>
+
+using namespace gm;
+using namespace gm::pir;
+
+namespace {
+
+/// Pre-order walk over a vertex-statement tree (OnMessage bodies, If
+/// branches and edge-loop bodies included).
+void forEachVStmt(const std::vector<VStmt *> &Body,
+                  const std::function<void(const VStmt *)> &Fn) {
+  for (const VStmt *V : Body) {
+    if (!V)
+      continue;
+    Fn(V);
+    forEachVStmt(V->Then, Fn);
+    forEachVStmt(V->Else, Fn);
+  }
+}
+
+void collectGotoTargets(const std::vector<MStmt *> &Code,
+                        std::set<int> &Targets) {
+  for (const MStmt *M : Code) {
+    if (!M)
+      continue;
+    if (M->K == MStmtKind::Goto)
+      Targets.insert(M->Index);
+    collectGotoTargets(M->Then, Targets);
+    collectGotoTargets(M->Else, Targets);
+  }
+}
+
+bool exprReadsMsgField(const PExpr *E) {
+  if (!E)
+    return false;
+  if (E->K == PExprKind::MsgField)
+    return true;
+  return exprReadsMsgField(E->A) || exprReadsMsgField(E->B) ||
+         exprReadsMsgField(E->C);
+}
+
+/// Per-state message behaviour.
+struct StateMsgInfo {
+  std::set<int> Sent;     ///< msg type indices sent by any send statement
+  std::set<int> Consumed; ///< msg type indices with an OnMessage handler
+};
+
+class Linter {
+public:
+  explicit Linter(const PregelProgram &P) : P(P), G(buildStateGraph(P)) {}
+
+  std::vector<CheckFinding> run() {
+    const int N = static_cast<int>(P.States.size());
+    Info.resize(N);
+    for (int S = 0; S < N; ++S)
+      forEachVStmt(P.States[S].VertexCode, [&](const VStmt *V) {
+        switch (V->K) {
+        case VStmtKind::SendToOutNbrs:
+        case VStmtKind::SendToInNbrs:
+          Info[S].Sent.insert(V->Index);
+          break;
+        case VStmtKind::SendToNode:
+          Info[S].Sent.insert(V->Index);
+          RandomWriteTags.insert(V->Index);
+          break;
+        case VStmtKind::OnMessage:
+          Info[S].Consumed.insert(V->Index);
+          break;
+        default:
+          break;
+        }
+      });
+
+    checkReachability();
+    checkHaltPaths();
+    checkMessageProtocol();
+    checkInNbrs();
+    checkRandomWrites();
+    return std::move(Findings);
+  }
+
+private:
+  std::string stateLabel(int S) const {
+    return "state " + std::to_string(S) + " '" + P.States[S].Name + "'";
+  }
+
+  void add(CheckSeverity Sev, const std::string &Rule, const std::string &Path,
+           const std::string &Msg) {
+    Findings.push_back({Sev, Rule, Path, Msg});
+  }
+
+  void checkReachability() {
+    std::set<int> Targeted;
+    for (const std::vector<int> &Succ : G.Succ)
+      Targeted.insert(Succ.begin(), Succ.end());
+    for (size_t S = 1; S < P.States.size(); ++S)
+      if (!Targeted.count(static_cast<int>(S)))
+        add(CheckSeverity::Warning, "unreachable-state", stateLabel(S),
+            "state is unreachable: no transition targets it");
+  }
+
+  void checkHaltPaths() {
+    // Reverse reachability from the states that can goto END.
+    const int N = static_cast<int>(P.States.size());
+    std::vector<std::vector<int>> Pred(N);
+    for (int S = 0; S < N; ++S)
+      for (int T : G.Succ[S])
+        Pred[T].push_back(S);
+    std::vector<bool> ReachesEnd(N, false);
+    std::deque<int> Work;
+    for (int S = 0; S < N; ++S)
+      if (G.CanEnd[S]) {
+        ReachesEnd[S] = true;
+        Work.push_back(S);
+      }
+    while (!Work.empty()) {
+      int S = Work.front();
+      Work.pop_front();
+      for (int Q : Pred[S])
+        if (!ReachesEnd[Q]) {
+          ReachesEnd[Q] = true;
+          Work.push_back(Q);
+        }
+    }
+    for (int S = 0; S < N; ++S)
+      if (!ReachesEnd[S])
+        add(CheckSeverity::Error, "no-halt-path", stateLabel(S),
+            "no path to END: once entered, the program cannot terminate");
+  }
+
+  void checkMessageProtocol() {
+    const int N = static_cast<int>(P.States.size());
+    for (int S = 0; S < N; ++S) {
+      // Messages sent in state S are delivered to the state that runs in
+      // the next superstep — a CFG successor of S.
+      for (int Tag : Info[S].Sent) {
+        bool Consumed = false;
+        for (int T : G.Succ[S])
+          if (Info[T].Consumed.count(Tag)) {
+            Consumed = true;
+            break;
+          }
+        if (!Consumed)
+          add(CheckSeverity::Warning, "orphaned-message", stateLabel(S),
+              "message '" + P.MsgTypes[Tag].Name +
+                  "' sent here is never consumed by any successor state "
+                  "(wasted network)");
+      }
+      for (int Tag : Info[S].Consumed) {
+        bool Sent = false;
+        for (int Q = 0; Q < N && !Sent; ++Q)
+          Sent = Info[Q].Sent.count(Tag) &&
+                 std::find(G.Succ[Q].begin(), G.Succ[Q].end(), S) !=
+                     G.Succ[Q].end();
+        if (!Sent)
+          add(CheckSeverity::Warning, "dead-receive", stateLabel(S),
+              "on_message '" + P.MsgTypes[Tag].Name +
+                  "' can never fire: no predecessor state sends that tag");
+      }
+    }
+  }
+
+  void checkInNbrs() {
+    if (!P.UsesInNbrs)
+      return;
+    bool AnySendIn = false;
+    for (const PState &S : P.States)
+      forEachVStmt(S.VertexCode, [&](const VStmt *V) {
+        if (V->K == VStmtKind::SendToInNbrs)
+          AnySendIn = true;
+      });
+    if (!AnySendIn)
+      add(CheckSeverity::Warning, "unused-in-nbrs", "",
+          "uses_in_nbrs declared but the program never sends to "
+          "in-neighbors: the two-superstep setup preamble is wasted");
+  }
+
+  void checkRandomWrites() {
+    // §3.1 "random writing": a SendToNode write is only well-defined under
+    // a commutative reduction; a plain assignment in the handler means
+    // concurrent senders to the same vertex race (last write wins).
+    for (size_t S = 0; S < P.States.size(); ++S)
+      forEachVStmt(P.States[S].VertexCode, [&](const VStmt *V) {
+        if (V->K != VStmtKind::OnMessage || !RandomWriteTags.count(V->Index))
+          return;
+        forEachVStmt(V->Then, [&](const VStmt *W) {
+          if (W->K == VStmtKind::Assign && W->Reduce == ReduceKind::None &&
+              exprReadsMsgField(W->Value))
+            add(CheckSeverity::Warning, "random-write-race",
+                stateLabel(S) + " / on_message '" +
+                    P.MsgTypes[V->Index].Name + "'",
+                "random write to 'this." + P.NodeProps[W->Index].Name +
+                    "' uses a plain assignment: concurrent senders to one "
+                    "vertex race (last write wins); use a commutative "
+                    "reduction");
+        });
+      });
+  }
+
+  const PregelProgram &P;
+  StateGraph G;
+  std::vector<StateMsgInfo> Info;
+  std::set<int> RandomWriteTags;
+  std::vector<CheckFinding> Findings;
+};
+
+} // namespace
+
+StateGraph pir::buildStateGraph(const PregelProgram &P) {
+  StateGraph G;
+  G.Succ.resize(P.States.size());
+  G.CanEnd.resize(P.States.size(), false);
+  for (size_t S = 0; S < P.States.size(); ++S) {
+    std::set<int> Targets;
+    collectGotoTargets(P.States[S].TransCode, Targets);
+    for (int T : Targets) {
+      if (T == EndState) {
+        G.CanEnd[S] = true;
+        continue;
+      }
+      if (T >= 0 && T < static_cast<int>(P.States.size()))
+        G.Succ[S].push_back(T);
+    }
+  }
+  return G;
+}
+
+std::vector<CheckFinding> pir::lintProgram(const PregelProgram &P) {
+  return Linter(P).run();
+}

@@ -1,0 +1,54 @@
+//===- analysis/PIRLint.h - State-machine and message-protocol lints --------===//
+///
+/// \file
+/// The `gmpc --lint` layer: whole-program checks over a valid PregelIR that
+/// catch designs the runtime will happily execute but that are almost
+/// certainly wrong or wasteful. Built on the state CFG (every MGoto target
+/// in a state's TransCode is a potential successor):
+///
+///  - unreachable-state: no goto anywhere targets the state,
+///  - no-halt-path: the state cannot reach EndState in the CFG — once
+///    entered, the program can only terminate via the MaxSupersteps guard,
+///  - orphaned-message: a tag sent in state S that no CFG-successor's
+///    OnMessage consumes (the next superstep runs a successor, so those
+///    messages are paid for on the network and dropped; §3.1),
+///  - dead-receive: an OnMessage whose tag no CFG-predecessor sends,
+///  - unused-in-nbrs: UsesInNbrs declared but no SendToInNbrs anywhere
+///    (the two-superstep in-neighbor setup preamble is pure waste),
+///  - random-write-race: a SendToNode tag whose handler applies the payload
+///    with a plain (ReduceKind::None) property assignment — concurrent
+///    writers to one vertex race, last write wins (§3.1's "random writing"
+///    caveat; safe only under commutative reductions).
+///
+/// Findings reuse CheckFinding; errors mean guaranteed-broken designs
+/// (no-halt-path), warnings mean waste or semantic hazards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_ANALYSIS_PIRLINT_H
+#define GM_ANALYSIS_PIRLINT_H
+
+#include "analysis/PIRVerifier.h"
+
+#include <vector>
+
+namespace gm::pir {
+
+/// The state CFG used by the lints (exposed for tests): Succ[S] holds the
+/// ids of every state some MGoto of state S targets, CanEnd[S] is true when
+/// one of those gotos targets EndState.
+struct StateGraph {
+  std::vector<std::vector<int>> Succ;
+  std::vector<bool> CanEnd;
+};
+
+StateGraph buildStateGraph(const PregelProgram &P);
+
+/// Runs every lint over a structurally valid program. Call only after
+/// verifyProgramStrict came back clean (the lints index declaration tables
+/// without re-checking bounds).
+std::vector<CheckFinding> lintProgram(const PregelProgram &P);
+
+} // namespace gm::pir
+
+#endif // GM_ANALYSIS_PIRLINT_H

@@ -1,0 +1,661 @@
+//===- analysis/PIRVerifier.cpp ---------------------------------------------===//
+
+#include "analysis/PIRVerifier.h"
+
+#include "pregel/Message.h"
+#include "support/Diagnostics.h"
+#include "support/PassStatistics.h"
+
+#include <sstream>
+
+using namespace gm;
+using namespace gm::pir;
+
+std::string CheckFinding::toString() const {
+  std::string S;
+  if (!Path.empty())
+    S += Path + ": ";
+  S += Message;
+  if (!Rule.empty())
+    S += " [" + Rule + "]";
+  return S;
+}
+
+std::string IRPath::str() const {
+  std::string S;
+  for (size_t I = 0; I < Segments.size(); ++I) {
+    if (I)
+      S += " / ";
+    S += Segments[I];
+  }
+  return S;
+}
+
+namespace {
+
+bool isNumeric(ValueKind K) {
+  return K == ValueKind::Int || K == ValueKind::Double;
+}
+bool isConcrete(ValueKind K) { return K != ValueKind::Undef; }
+
+/// Kind compatibility for storage sites (Column::set / GlobalObjects):
+/// numeric representations coerce into each other, bool stands alone
+/// (Value::asBool asserts on non-bool).
+bool storageCompatible(ValueKind Slot, ValueKind V) {
+  if (Slot == ValueKind::Bool || V == ValueKind::Bool)
+    return Slot == V;
+  return isNumeric(Slot) && isNumeric(V);
+}
+
+/// Conservative check that a master statement list reaches an MGoto on
+/// every control path: either some statement in the list is a goto, or an
+/// If whose live branches both always reach a goto.
+bool alwaysReachesGoto(const std::vector<MStmt *> &Code) {
+  for (const MStmt *S : Code) {
+    if (!S)
+      continue; // reported separately as a null statement
+    if (S->K == MStmtKind::Goto)
+      return true;
+    if (S->K != MStmtKind::If)
+      continue;
+    // An always-true guard (the translator's do-while body wrapper) only
+    // needs its then-branch to terminate.
+    bool CondConstTrue = S->Cond && S->Cond->K == PExprKind::Const &&
+                         S->Cond->ConstVal.kind() == ValueKind::Bool &&
+                         S->Cond->ConstVal.getBool();
+    if (CondConstTrue && alwaysReachesGoto(S->Then))
+      return true;
+    if (alwaysReachesGoto(S->Then) && alwaysReachesGoto(S->Else))
+      return true;
+  }
+  return false;
+}
+
+/// Expression-checking context: where in the program the expression sits,
+/// which determines which leaf kinds are legal.
+struct ExprCtx {
+  bool Vertex = false;   ///< inside a state's vertex code
+  int MsgType = -1;      ///< enclosing OnMessage type (-1 = none)
+  bool EdgeScope = false; ///< edge props in scope (send_out payload or
+                          ///< for_each_out_edge body)
+};
+
+class StrictVerifier {
+public:
+  explicit StrictVerifier(const PregelProgram &P) : P(P) {}
+
+  std::vector<CheckFinding> run() {
+    checkProgramShape();
+    if (!Findings.empty() && P.States.empty())
+      return std::move(Findings);
+    checkDecls();
+    for (const PState &S : P.States) {
+      IRPath::Scope StateScope(Path, "state " + std::to_string(S.Id) + " '" +
+                                         S.Name + "'");
+      ExprCtx VertexCtx;
+      VertexCtx.Vertex = true;
+      for (size_t I = 0; I < S.VertexCode.size(); ++I) {
+        IRPath::Scope StmtScope(Path, "vertex stmt " + std::to_string(I));
+        checkVStmt(S.VertexCode[I], VertexCtx);
+      }
+      for (size_t I = 0; I < S.TransCode.size(); ++I) {
+        IRPath::Scope StmtScope(Path, "trans stmt " + std::to_string(I));
+        checkMStmt(S.TransCode[I]);
+      }
+      if (!alwaysReachesGoto(S.TransCode))
+        error("trans-fall-through",
+              "transition program can fall off the end without a goto");
+    }
+    return std::move(Findings);
+  }
+
+private:
+  void error(const std::string &Rule, const std::string &Msg) {
+    Findings.push_back(
+        {CheckSeverity::Error, Rule, Path.str(), Msg});
+  }
+
+  void checkProgramShape() {
+    if (P.States.empty()) {
+      error("no-states", "program has no states");
+      return;
+    }
+    if (!P.States[0].VertexCode.empty())
+      error("entry-state", "entry state must have no vertex code");
+    for (size_t I = 0; I < P.States.size(); ++I)
+      if (P.States[I].Id != static_cast<int>(I)) {
+        error("state-ids", "state ids must be dense and ordered");
+        break;
+      }
+  }
+
+  void checkDecls() {
+    for (const PropDef &D : P.NodeProps)
+      if (!isConcrete(D.Ty))
+        error("decl-type",
+              "node property '" + D.Name + "' has no concrete scalar type");
+    for (const PropDef &D : P.EdgeProps)
+      if (!isConcrete(D.Ty))
+        error("decl-type",
+              "edge property '" + D.Name + "' has no concrete scalar type");
+    for (const GlobalDef &G : P.Globals) {
+      if (!isConcrete(G.Ty)) {
+        error("decl-type",
+              "global '" + G.Name + "' has no concrete scalar type");
+        continue;
+      }
+      // Undef init means "assigned before first read"; a concrete init must
+      // be representable in the global's slot.
+      if (!G.Init.isUndef() && !storageCompatible(G.Ty, G.Init.kind()))
+        error("global-init-type",
+              "global '" + G.Name + "' of kind '" + valueKindName(G.Ty) +
+                  "' has an incompatible init value " + G.Init.toString());
+      if (G.VertexReduce != ReduceKind::None &&
+          !reduceCompatible(G.VertexReduce, G.Ty))
+        error("global-reduce-type",
+              "global '" + G.Name + "' declares reduction '" +
+                  reduceKindName(G.VertexReduce) +
+                  "' which is incompatible with its kind '" +
+                  valueKindName(G.Ty) + "'");
+    }
+    for (const MsgTypeDef &M : P.MsgTypes) {
+      if (M.Fields.size() > pregel::MaxMessagePayload)
+        error("msg-decl",
+              "message type '" + M.Name + "' exceeds the payload limit");
+      // The packed wire format needs every slot kind statically known
+      // (deriveMessageLayout maps fields to fixed record offsets).
+      for (const MsgFieldDef &F : M.Fields)
+        if (!isConcrete(F.Ty))
+          error("msg-decl", "message field '" + F.Name + "' of '" + M.Name +
+                                "' has no concrete scalar type");
+    }
+  }
+
+  /// And/Or fold bools; every other reduction folds numerics (applyReduce).
+  static bool reduceCompatible(ReduceKind R, ValueKind K) {
+    if (R == ReduceKind::And || R == ReduceKind::Or)
+      return K == ValueKind::Bool;
+    return isNumeric(K);
+  }
+
+  /// Checks one expression tree and returns its verified static kind, or
+  /// Undef when a problem was reported for the node itself (children may
+  /// still have been checked). Context-legality and slot-bounds problems
+  /// are reported before (and instead of) type problems for the same node,
+  /// so a mis-placed node yields exactly one focused diagnostic.
+  ValueKind checkExpr(const PExpr *E, const ExprCtx &C) {
+    if (!E) {
+      error("null-node", "null expression");
+      return ValueKind::Undef;
+    }
+    switch (E->K) {
+    case PExprKind::Const:
+      if (!isConcrete(E->ConstVal.kind())) {
+        error("expr-type", "const expression holds an undef value");
+        return ValueKind::Undef;
+      }
+      return expectType(E, E->ConstVal.kind(), "const expression");
+    case PExprKind::GlobalRead:
+      if (E->Index < 0 || E->Index >= static_cast<int>(P.Globals.size())) {
+        error("slot-range", "global index out of range");
+        return ValueKind::Undef;
+      }
+      return expectType(E, P.Globals[E->Index].Ty,
+                        "global read '$" + P.Globals[E->Index].Name + "'");
+    case PExprKind::PropRead:
+      if (!C.Vertex) {
+        error("context", "property read in master context");
+        return ValueKind::Undef;
+      }
+      if (E->Index < 0 || E->Index >= static_cast<int>(P.NodeProps.size())) {
+        error("slot-range", "property index out of range");
+        return ValueKind::Undef;
+      }
+      return expectType(E, P.NodeProps[E->Index].Ty,
+                        "property read 'this." + P.NodeProps[E->Index].Name +
+                            "'");
+    case PExprKind::MsgField: {
+      if (C.MsgType < 0) {
+        error("context", "message field outside on_message");
+        return ValueKind::Undef;
+      }
+      const MsgTypeDef &M = P.MsgTypes[C.MsgType];
+      if (E->Index < 0 || E->Index >= static_cast<int>(M.Fields.size())) {
+        error("slot-range", "message field index out of range");
+        return ValueKind::Undef;
+      }
+      return expectType(E, M.Fields[E->Index].Ty,
+                        "message field 'msg." + std::to_string(E->Index) +
+                            "' of '" + M.Name + "'");
+    }
+    case PExprKind::EdgePropRead:
+      if (!C.EdgeScope) {
+        error("context", "edge property read outside a send_out payload or "
+                         "for_each_out_edge body");
+        return ValueKind::Undef;
+      }
+      if (E->Index < 0 || E->Index >= static_cast<int>(P.EdgeProps.size())) {
+        error("slot-range", "edge property index out of range");
+        return ValueKind::Undef;
+      }
+      return expectType(E, P.EdgeProps[E->Index].Ty,
+                        "edge property read 'edge." +
+                            P.EdgeProps[E->Index].Name + "'");
+    case PExprKind::VertexId:
+    case PExprKind::OutDegree:
+    case PExprKind::InDegree:
+      if (!C.Vertex) {
+        error("context", "vertex expression in master context");
+        return ValueKind::Undef;
+      }
+      return expectType(E, ValueKind::Int, "vertex intrinsic");
+    case PExprKind::NumNodes:
+    case PExprKind::NumEdges:
+    case PExprKind::RandomNode:
+      return expectType(E, ValueKind::Int, "graph intrinsic");
+    case PExprKind::Binary:
+      return checkBinary(E, C);
+    case PExprKind::Unary: {
+      ValueKind A = checkExpr(E->A, C);
+      if (!isConcrete(A))
+        return E->Ty; // child already diagnosed; avoid cascades
+      if (E->UnOp == UnaryOpKind::Not) {
+        if (A != ValueKind::Bool) {
+          error("expr-type", "operand of '!' must be bool (got '" +
+                                 std::string(valueKindName(A)) + "')");
+          return ValueKind::Undef;
+        }
+        return expectType(E, ValueKind::Bool, "'!'");
+      }
+      if (!isNumeric(A)) {
+        error("expr-type", "operand of unary '-' must be numeric (got '" +
+                               std::string(valueKindName(A)) + "')");
+        return ValueKind::Undef;
+      }
+      // The interpreter negates in the operand's representation.
+      return expectType(E, A, "unary '-'");
+    }
+    case PExprKind::Ternary: {
+      ValueKind A = checkExpr(E->A, C);
+      ValueKind B = checkExpr(E->B, C);
+      ValueKind K = checkExpr(E->C, C);
+      if (isConcrete(A) && A != ValueKind::Bool)
+        error("expr-type", "ternary condition must be bool (got '" +
+                               std::string(valueKindName(A)) + "')");
+      if (!isConcrete(B) || !isConcrete(K))
+        return E->Ty;
+      // The interpreter returns the selected branch's value unconverted,
+      // so mixed branch kinds would leak a kind the annotation can't name.
+      if (B != K) {
+        error("expr-type", "ternary branches disagree: '" +
+                               std::string(valueKindName(B)) + "' vs '" +
+                               valueKindName(K) + "'");
+        return ValueKind::Undef;
+      }
+      return expectType(E, B, "ternary");
+    }
+    case PExprKind::Cast: {
+      ValueKind A = checkExpr(E->A, C);
+      if (!isConcrete(E->Ty)) {
+        error("expr-type", "cast has no concrete target kind");
+        return ValueKind::Undef;
+      }
+      // asBool() rejects non-bool sources; numeric targets accept any
+      // concrete source.
+      if (E->Ty == ValueKind::Bool && isConcrete(A) && A != ValueKind::Bool) {
+        error("expr-type", "cast to bool from non-bool operand");
+        return ValueKind::Undef;
+      }
+      return E->Ty;
+    }
+    }
+    gm_unreachable("invalid expr kind");
+  }
+
+  /// Verifies E->Ty == Expected; returns the verified kind.
+  ValueKind expectType(const PExpr *E, ValueKind Expected,
+                       const std::string &What) {
+    if (E->Ty == Expected)
+      return Expected;
+    if (!isConcrete(E->Ty))
+      error("expr-untyped", What + " has no static type");
+    else
+      error("expr-type", What + " annotated '" +
+                             std::string(valueKindName(E->Ty)) +
+                             "' but its kind is '" + valueKindName(Expected) +
+                             "'");
+    return ValueKind::Undef;
+  }
+
+  ValueKind checkBinary(const PExpr *E, const ExprCtx &C) {
+    ValueKind A = checkExpr(E->A, C);
+    ValueKind B = checkExpr(E->B, C);
+    if (!isConcrete(A) || !isConcrete(B))
+      return E->Ty; // children already diagnosed
+    const std::string Op = binaryOpSpelling(E->BinOp);
+    auto OperandError = [&](const char *Need) {
+      error("expr-type", "operands of '" + Op + "' must be " + Need +
+                             " (got '" + valueKindName(A) + "' and '" +
+                             valueKindName(B) + "')");
+      return ValueKind::Undef;
+    };
+    switch (E->BinOp) {
+    case BinaryOpKind::And:
+    case BinaryOpKind::Or:
+      if (A != ValueKind::Bool || B != ValueKind::Bool)
+        return OperandError("bool");
+      return expectType(E, ValueKind::Bool, "'" + Op + "'");
+    case BinaryOpKind::Eq:
+    case BinaryOpKind::Ne:
+      // Runtime equality compares via asBool when either side is bool.
+      if ((A == ValueKind::Bool) != (B == ValueKind::Bool))
+        return OperandError("both bool or both numeric");
+      return expectType(E, ValueKind::Bool, "'" + Op + "'");
+    case BinaryOpKind::Lt:
+    case BinaryOpKind::Le:
+    case BinaryOpKind::Gt:
+    case BinaryOpKind::Ge:
+      if (!isNumeric(A) || !isNumeric(B))
+        return OperandError("numeric");
+      return expectType(E, ValueKind::Bool, "'" + Op + "'");
+    case BinaryOpKind::Mod:
+      if (!isNumeric(A) || !isNumeric(B))
+        return OperandError("numeric");
+      return expectType(E, ValueKind::Int, "'" + Op + "'");
+    case BinaryOpKind::Add:
+    case BinaryOpKind::Sub:
+    case BinaryOpKind::Mul:
+    case BinaryOpKind::Div:
+      if (!isNumeric(A) || !isNumeric(B))
+        return OperandError("numeric");
+      // evalBinary computes in double unless the annotation is Int AND both
+      // operands are Int; an Int annotation over a Double operand would
+      // mis-tag the runtime value. Int/Int with a Double annotation is the
+      // deliberate float-division idiom and stays legal.
+      if ((A == ValueKind::Double || B == ValueKind::Double) &&
+          E->Ty != ValueKind::Double) {
+        error("expr-type", "'" + Op +
+                               "' over a double operand must be annotated "
+                               "'double' (got '" +
+                               valueKindName(E->Ty) + "')");
+        return ValueKind::Undef;
+      }
+      if (!isNumeric(E->Ty)) {
+        error("expr-type", "'" + Op + "' must have a numeric annotation");
+        return ValueKind::Undef;
+      }
+      return E->Ty;
+    }
+    gm_unreachable("invalid binary op");
+  }
+
+  void checkSend(const VStmt *V, const ExprCtx &C, bool OutPayload) {
+    if (V->Index < 0 || V->Index >= static_cast<int>(P.MsgTypes.size())) {
+      error("slot-range", "message type out of range");
+      return;
+    }
+    const MsgTypeDef &M = P.MsgTypes[V->Index];
+    if (V->Payload.size() != M.Fields.size()) {
+      error("payload-arity", "payload arity mismatch for '" + M.Name + "'");
+      return;
+    }
+    ExprCtx PayloadCtx = C;
+    PayloadCtx.EdgeScope = OutPayload;
+    for (size_t I = 0; I < V->Payload.size(); ++I) {
+      IRPath::Scope SlotScope(Path, "payload " + std::to_string(I));
+      ValueKind K = checkExpr(V->Payload[I], PayloadCtx);
+      // packMessage requires the exact slot kind on the wire.
+      if (isConcrete(K) && K != M.Fields[I].Ty)
+        error("payload-type",
+              "payload slot " + std::to_string(I) + " of '" + M.Name +
+                  "' has kind '" + valueKindName(K) + "' but field '" +
+                  M.Fields[I].Name + "' is '" + valueKindName(M.Fields[I].Ty) +
+                  "'");
+    }
+  }
+
+  void checkAssign(const VStmt *V, const ExprCtx &C) {
+    if (V->Index < 0 || V->Index >= static_cast<int>(P.NodeProps.size())) {
+      error("slot-range", "assign property index out of range");
+      return;
+    }
+    const PropDef &D = P.NodeProps[V->Index];
+    ValueKind K = checkExpr(V->Value, C);
+    if (!isConcrete(K))
+      return;
+    if (V->Reduce != ReduceKind::None) {
+      if (!reduceCompatible(V->Reduce, D.Ty) ||
+          !reduceCompatible(V->Reduce, K))
+        error("reduce-type", "reduction '" +
+                                 std::string(reduceKindName(V->Reduce)) +
+                                 "' over property 'this." + D.Name + "' ('" +
+                                 valueKindName(D.Ty) +
+                                 "') with a value of kind '" +
+                                 valueKindName(K) + "'");
+      return;
+    }
+    if (!storageCompatible(D.Ty, K))
+      error("assign-type", "assign to 'this." + D.Name + "' ('" +
+                               valueKindName(D.Ty) +
+                               "') from incompatible kind '" +
+                               valueKindName(K) + "'");
+  }
+
+  void checkBody(const std::vector<VStmt *> &Body, const ExprCtx &C,
+                 const char *Label) {
+    for (size_t I = 0; I < Body.size(); ++I) {
+      IRPath::Scope StmtScope(Path,
+                              std::string(Label) + " stmt " +
+                                  std::to_string(I));
+      checkVStmt(Body[I], C);
+    }
+  }
+
+  void checkVStmt(const VStmt *V, const ExprCtx &C) {
+    if (!V) {
+      error("null-node", "null vertex statement");
+      return;
+    }
+    switch (V->K) {
+    case VStmtKind::Assign:
+      checkAssign(V, C);
+      return;
+    case VStmtKind::GlobalPut: {
+      if (V->Index < 0 || V->Index >= static_cast<int>(P.Globals.size())) {
+        error("slot-range", "global index out of range");
+        return;
+      }
+      const GlobalDef &G = P.Globals[V->Index];
+      if (G.VertexReduce == ReduceKind::None) {
+        error("context",
+              "vertex put to non-reduced global '" + G.Name + "'");
+        return;
+      }
+      // A put may restate the reduction; it must then agree with the
+      // declaration (None defers to it).
+      if (V->Reduce != ReduceKind::None && V->Reduce != G.VertexReduce)
+        error("global-put-reduce",
+              "global put reduce '" + std::string(reduceKindName(V->Reduce)) +
+                  "' does not match '$" + G.Name + "' declared reduction '" +
+                  reduceKindName(G.VertexReduce) + "'");
+      ValueKind K = checkExpr(V->Value, C);
+      if (isConcrete(K) && !reduceCompatible(G.VertexReduce, K))
+        error("reduce-type", "put of kind '" +
+                                 std::string(valueKindName(K)) + "' into '$" +
+                                 G.Name + "' reduced with '" +
+                                 reduceKindName(G.VertexReduce) + "'");
+      return;
+    }
+    case VStmtKind::If: {
+      ValueKind K = checkExpr(V->Cond, C);
+      if (isConcrete(K) && K != ValueKind::Bool)
+        error("cond-type", "if condition must be bool (got '" +
+                               std::string(valueKindName(K)) + "')");
+      checkBody(V->Then, C, "then");
+      checkBody(V->Else, C, "else");
+      return;
+    }
+    case VStmtKind::SendToOutNbrs:
+      checkSend(V, C, /*OutPayload=*/true);
+      return;
+    case VStmtKind::SendToInNbrs:
+      if (!P.UsesInNbrs) {
+        error("send-in-decl", "send_in without uses_in_nbrs");
+        return;
+      }
+      checkSend(V, C, /*OutPayload=*/false);
+      return;
+    case VStmtKind::SendToNode: {
+      ValueKind K = checkExpr(V->Value, C);
+      if (isConcrete(K) && K != ValueKind::Int)
+        error("send-target-type", "send_to target must be int (got '" +
+                                      std::string(valueKindName(K)) + "')");
+      checkSend(V, C, /*OutPayload=*/false);
+      return;
+    }
+    case VStmtKind::OnMessage: {
+      if (C.MsgType >= 0) {
+        error("nested-on-message", "nested on_message");
+        return;
+      }
+      if (V->Index < 0 || V->Index >= static_cast<int>(P.MsgTypes.size())) {
+        error("slot-range", "on_message type out of range");
+        return;
+      }
+      ExprCtx Inner = C;
+      Inner.MsgType = V->Index;
+      IRPath::Scope MsgScope(Path,
+                             "on_message '" + P.MsgTypes[V->Index].Name + "'");
+      checkBody(V->Then, Inner, "body");
+      return;
+    }
+    case VStmtKind::ForEachOutEdge: {
+      IRPath::Scope LoopScope(Path, "for_each_out_edge");
+      ExprCtx Inner = C;
+      Inner.EdgeScope = true;
+      // The executor supports only flat assign/put bodies with one guard
+      // level inside the edge loop; enforce that shape here.
+      for (size_t I = 0; I < V->Then.size(); ++I) {
+        const VStmt *S = V->Then[I];
+        IRPath::Scope StmtScope(Path, "body stmt " + std::to_string(I));
+        if (!S) {
+          error("null-node", "null vertex statement");
+          continue;
+        }
+        if (S->K == VStmtKind::ForEachOutEdge) {
+          error("edge-loop-shape", "nested for_each_out_edge");
+          continue;
+        }
+        if (S->K == VStmtKind::Assign) {
+          checkAssign(S, Inner);
+          continue;
+        }
+        if (S->K == VStmtKind::GlobalPut) {
+          checkVStmt(S, Inner);
+          continue;
+        }
+        if (S->K == VStmtKind::If) {
+          ValueKind K = checkExpr(S->Cond, Inner);
+          if (isConcrete(K) && K != ValueKind::Bool)
+            error("cond-type", "if condition must be bool (got '" +
+                                   std::string(valueKindName(K)) + "')");
+          for (const std::vector<VStmt *> *Branch : {&S->Then, &S->Else})
+            for (const VStmt *Nested : *Branch) {
+              if (Nested && (Nested->K == VStmtKind::Assign ||
+                             Nested->K == VStmtKind::GlobalPut)) {
+                checkVStmt(Nested, Inner);
+                continue;
+              }
+              error("edge-loop-shape",
+                    "unsupported statement inside for_each_out_edge");
+            }
+          continue;
+        }
+        error("edge-loop-shape",
+              "unsupported statement inside for_each_out_edge");
+      }
+      return;
+    }
+    }
+    gm_unreachable("invalid vstmt kind");
+  }
+
+  void checkMStmt(const MStmt *M) {
+    if (!M) {
+      error("null-node", "null master statement");
+      return;
+    }
+    ExprCtx MasterCtx; // no vertex state, no messages, no edges
+    switch (M->K) {
+    case MStmtKind::Set: {
+      if (M->Index < 0 || M->Index >= static_cast<int>(P.Globals.size())) {
+        error("slot-range", "master set index out of range");
+        return;
+      }
+      ValueKind K = checkExpr(M->Value, MasterCtx);
+      const GlobalDef &G = P.Globals[M->Index];
+      if (isConcrete(K) && !storageCompatible(G.Ty, K))
+        error("master-set-type", "master set of '$" + G.Name + "' ('" +
+                                     valueKindName(G.Ty) +
+                                     "') from incompatible kind '" +
+                                     valueKindName(K) + "'");
+      return;
+    }
+    case MStmtKind::If: {
+      ValueKind K = checkExpr(M->Cond, MasterCtx);
+      if (isConcrete(K) && K != ValueKind::Bool)
+        error("cond-type", "if condition must be bool (got '" +
+                               std::string(valueKindName(K)) + "')");
+      for (size_t I = 0; I < M->Then.size(); ++I) {
+        IRPath::Scope StmtScope(Path, "then stmt " + std::to_string(I));
+        checkMStmt(M->Then[I]);
+      }
+      for (size_t I = 0; I < M->Else.size(); ++I) {
+        IRPath::Scope StmtScope(Path, "else stmt " + std::to_string(I));
+        checkMStmt(M->Else[I]);
+      }
+      return;
+    }
+    case MStmtKind::Goto:
+      if (M->Index != EndState &&
+          (M->Index < 0 || M->Index >= static_cast<int>(P.States.size())))
+        error("goto-range", "goto target out of range");
+      return;
+    }
+    gm_unreachable("invalid mstmt kind");
+  }
+
+  const PregelProgram &P;
+  IRPath Path;
+  std::vector<CheckFinding> Findings;
+};
+
+} // namespace
+
+std::vector<CheckFinding> pir::verifyProgramStrict(const PregelProgram &P) {
+  return StrictVerifier(P).run();
+}
+
+// The historical first-problem-string API, now backed by the strict
+// verifier (declared in pregelir/PregelIR.h, defined here so gm_pregelir
+// does not depend on gm_analysis).
+std::string pir::verifyProgram(const PregelProgram &P) {
+  std::vector<CheckFinding> Findings = verifyProgramStrict(P);
+  return Findings.empty() ? std::string() : Findings.front().toString();
+}
+
+bool pir::verifyAfterPass(const PregelProgram &P, const std::string &PassName,
+                          DiagnosticEngine &Diags, PassStatistics *Stats) {
+  std::vector<CheckFinding> Findings;
+  {
+    PassStatistics::ScopedTimer T(Stats, "verify." + PassName);
+    Findings = verifyProgramStrict(P);
+  }
+  if (Stats && !Findings.empty())
+    Stats->addCounter("verify.findings", Findings.size());
+  for (const CheckFinding &F : Findings)
+    Diags.error(SourceLocation(),
+                "internal error: IR verification failed after pass '" +
+                    PassName + "': " + F.toString());
+  return Findings.empty();
+}

@@ -1,0 +1,102 @@
+//===- analysis/PIRVerifier.h - Strict PregelIR validity checking -----------===//
+///
+/// \file
+/// The strict IR verifier run between compiler passes (LLVM `-verify-each`
+/// style). Where the historical `pir::verifyProgram` only checked gross
+/// structure, this layer checks every PExpr/VStmt/MStmt for
+///
+///  - slot bounds: global / node-prop / edge-prop / message-field / message
+///    type indices within their declaration tables,
+///  - static types: ValueKind consistency through binops, casts, ternaries,
+///    assignments, reductions and message payloads (mirroring the runtime
+///    coercion rules of IRExecutor / Column / packMessage, so anything the
+///    verifier accepts cannot trip a runtime kind assert),
+///  - context legality: MsgField only inside OnMessage, EdgePropRead only
+///    in send_out payloads / ForEachOutEdge bodies, PropRead and vertex
+///    intrinsics only in vertex context, GlobalPut only to reduced globals
+///    with a matching reduce kind,
+///  - transitions: every control path of every TransCode reaches an MGoto
+///    and every goto targets a real state or EndState.
+///
+/// Findings carry an IR path ("state 3 'bfs_fwd' / vertex stmt 2 /
+/// on_message 'm0'") so a diagnostic names the exact node, plus a stable
+/// kebab-case rule id that PassStatistics counters and docs/analysis.md key
+/// off. See docs/analysis.md for the full rule catalogue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_ANALYSIS_PIRVERIFIER_H
+#define GM_ANALYSIS_PIRVERIFIER_H
+
+#include "pregelir/PregelIR.h"
+
+#include <string>
+#include <vector>
+
+namespace gm {
+class DiagnosticEngine;
+class PassStatistics;
+} // namespace gm
+
+namespace gm::pir {
+
+enum class CheckSeverity : uint8_t { Warning, Error };
+
+/// One verifier or lint finding.
+struct CheckFinding {
+  CheckSeverity Severity = CheckSeverity::Error;
+  /// Stable kebab-case rule id (e.g. "slot-range", "orphaned-message").
+  std::string Rule;
+  /// IR path of the offending node (IRPath::str()); may be empty for
+  /// program-level findings.
+  std::string Path;
+  std::string Message;
+
+  bool isError() const { return Severity == CheckSeverity::Error; }
+  /// "state 2 'bfs' / vertex stmt 0: message ... [rule-id]"
+  std::string toString() const;
+};
+
+/// Hierarchical IR location formatter shared by the verifier and the
+/// linter: segments are pushed while walking ("state 3 'bfs_fwd'",
+/// "vertex stmt 2", "on_message 'm0'") and joined with " / " on demand.
+/// Post-frontend diagnostics have no SourceLocation; this is their
+/// substitute.
+class IRPath {
+public:
+  void push(std::string Segment) { Segments.push_back(std::move(Segment)); }
+  void pop() { Segments.pop_back(); }
+  std::string str() const;
+
+  /// RAII segment for structured walks.
+  class Scope {
+  public:
+    Scope(IRPath &P, std::string Segment) : P(P) {
+      P.push(std::move(Segment));
+    }
+    ~Scope() { P.pop(); }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    IRPath &P;
+  };
+
+private:
+  std::vector<std::string> Segments;
+};
+
+/// Runs every strict check and returns all findings (all of Error
+/// severity), in program order. Empty result = valid IR.
+std::vector<CheckFinding> verifyProgramStrict(const PregelProgram &P);
+
+/// `-verify-each` hook: runs verifyProgramStrict and reports each finding
+/// through \p Diags as "internal error: IR verification failed after pass
+/// '<PassName>': ...". Bumps the "verify.findings" counter when \p Stats is
+/// non-null. Returns true when the program is valid.
+bool verifyAfterPass(const PregelProgram &P, const std::string &PassName,
+                     DiagnosticEngine &Diags, PassStatistics *Stats = nullptr);
+
+} // namespace gm::pir
+
+#endif // GM_ANALYSIS_PIRVERIFIER_H

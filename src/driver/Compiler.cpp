@@ -3,6 +3,8 @@
 #include "driver/Compiler.h"
 
 #include "analysis/CanonicalChecker.h"
+#include "analysis/PIRLint.h"
+#include "analysis/PIRVerifier.h"
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
 #include "opt/Optimizer.h"
@@ -52,9 +54,10 @@ CompileResult gm::compileGreenMarl(const std::string &Source,
   }
 
   // §4.1: transform towards Pregel-canonical form (per-pass timings are
-  // recorded inside the pipeline).
+  // recorded inside the pipeline; with VerifyEach each pass is followed by
+  // an AST sanity check that names it on failure).
   if (!runTransformPipeline(Proc, *R.Context, *R.Diags, S.edgeBindings(),
-                            &R.Features, Stats))
+                            &R.Features, Stats, Options.VerifyEach))
     if (R.Diags->hasErrors())
       return R;
 
@@ -82,16 +85,37 @@ CompileResult gm::compileGreenMarl(const std::string &Source,
     Stats->setCounter("ir.node-props", R.Program->NodeProps.size());
   }
 
+  // Re-verify the IR after each producing/rewriting pass; a failure names
+  // the pass so the offending rewrite is immediately identifiable.
+  auto VerifyAfter = [&](const char *Pass) {
+    if (!Options.VerifyEach)
+      return true;
+    if (pir::verifyAfterPass(*R.Program, Pass, *R.Diags, Stats))
+      return true;
+    R.Program.reset();
+    return false;
+  };
+  if (!VerifyAfter("translate"))
+    return R;
+
   // §4.2: optimizations.
   if (Options.StateMerging) {
-    Timer T(Stats, "state-merging");
-    if (mergeStates(*R.Program, Stats))
-      R.Features.insert(feature::StateMerging);
+    {
+      Timer T(Stats, "state-merging");
+      if (mergeStates(*R.Program, Stats))
+        R.Features.insert(feature::StateMerging);
+    }
+    if (!VerifyAfter("state-merging"))
+      return R;
   }
   if (Options.IntraLoopMerging) {
-    Timer T(Stats, "intra-loop-merging");
-    if (mergeIntraLoop(*R.Program, Stats))
-      R.Features.insert(feature::IntraLoopMerge);
+    {
+      Timer T(Stats, "intra-loop-merging");
+      if (mergeIntraLoop(*R.Program, Stats))
+        R.Features.insert(feature::IntraLoopMerge);
+    }
+    if (!VerifyAfter("intra-loop-merging"))
+      return R;
   }
   if (Stats)
     Stats->setCounter("ir.states.post-opt", R.Program->States.size());
@@ -103,7 +127,22 @@ CompileResult gm::compileGreenMarl(const std::string &Source,
       R.Diags->error(SourceLocation(),
                      "internal error: optimized IR is invalid: " + Problem);
       R.Program.reset();
+      return R;
     }
+  }
+
+  if (Options.Lint) {
+    Timer T(Stats, "lint");
+    for (const pir::CheckFinding &F : pir::lintProgram(*R.Program)) {
+      if (Stats)
+        Stats->addCounter("lint." + F.Rule);
+      if (F.isError() || Options.WarningsAsErrors)
+        R.Diags->error(SourceLocation(), "lint: " + F.toString());
+      else
+        R.Diags->warning(SourceLocation(), "lint: " + F.toString());
+    }
+    if (R.Diags->hasErrors())
+      R.Program.reset();
   }
   return R;
 }

@@ -29,6 +29,17 @@ struct CompileOptions {
   bool IntraLoopMerging = true;
   /// Procedure to compile; empty = the first one in the file.
   std::string ProcedureName;
+  /// Run the strict verifier after translation and after every
+  /// transform/opt pass (LLVM `-verify-each` style). A failure is a hard
+  /// internal error naming the offending pass. The final IR is always
+  /// verified regardless of this flag.
+  bool VerifyEach = false;
+  /// Run the state-machine / message-protocol linter (analysis/PIRLint.h)
+  /// on the optimized IR; findings land in Diags and, when Stats is set, in
+  /// "lint.<rule>" counters.
+  bool Lint = false;
+  /// Promote lint warnings to errors (gmpc --Werror).
+  bool WarningsAsErrors = false;
   /// When non-null, per-pass wall timings and counters are recorded here
   /// (LLVM `-stats` style; surfaced by gmpc --stats / --stats-json).
   PassStatistics *Stats = nullptr;

@@ -42,6 +42,13 @@ Optimization toggles (both on by default):
   --no-state-merging
   --no-intra-loop-merging
 
+Static analysis (docs/analysis.md):
+  --verify-each        re-run the strict IR verifier after translation and
+                       after every transform/opt pass (failures name the pass)
+  --lint               run the state-machine / message-protocol linter on the
+                       optimized IR
+  --Werror             treat lint warnings as errors
+
 Execution (interprets the compiled program on the bundled BSP runtime):
   --run                          run after compiling
   --graph-file <path>            edge-list input
@@ -124,6 +131,12 @@ int main(int argc, char **argv) {
       Opts.StateMerging = false;
     else if (A == "--no-intra-loop-merging")
       Opts.IntraLoopMerging = false;
+    else if (A == "--verify-each")
+      Opts.VerifyEach = true;
+    else if (A == "--lint")
+      Opts.Lint = true;
+    else if (A == "--Werror")
+      Opts.WarningsAsErrors = true;
     else if (A == "--stats")
       ShowStats = true;
     else if (A == "--trace")
@@ -183,8 +196,11 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
+  // --lint / --verify-each used alone act as quiet checkers (exit status +
+  // diagnostics only), so they suppress the default IR dump too.
   if (!DumpCanonical && !EmitJava && !EmitGiraph && !ShowFeatures &&
-      !ShowLoc && !Run && !ShowStats && StatsJsonPath.empty())
+      !ShowLoc && !Run && !ShowStats && StatsJsonPath.empty() &&
+      !Opts.Lint && !Opts.VerifyEach)
     DumpIR = true;
 
   PassStatistics PassStats;
@@ -199,6 +215,10 @@ int main(int argc, char **argv) {
                  R.Diags->dump().c_str());
     return 1;
   }
+  // Lint warnings don't fail the compile (without --Werror) but must still
+  // reach the user.
+  if (R.Diags->warningCount() > 0)
+    std::fprintf(stderr, "%s", R.Diags->dump().c_str());
 
   if (DumpCanonical)
     std::printf("%s", printProcedure(R.Proc).c_str());

@@ -391,6 +391,36 @@ std::vector<MStmt *> cloneForMergedState(PregelProgram &P,
   return Out;
 }
 
+/// Deep-copies a master statement tree with every goto dropped (the caller
+/// re-routes control flow). Used when folding a peeled state's master code
+/// into the merged head's first firing.
+std::vector<MStmt *> cloneWithoutGotos(PregelProgram &P,
+                                       const std::vector<MStmt *> &Code) {
+  std::vector<MStmt *> Out;
+  for (const MStmt *S : Code) {
+    switch (S->K) {
+    case MStmtKind::Set: {
+      MStmt *C = P.newMStmt(MStmtKind::Set);
+      C->Index = S->Index;
+      C->Value = S->Value;
+      Out.push_back(C);
+      break;
+    }
+    case MStmtKind::If: {
+      MStmt *C = P.newMStmt(MStmtKind::If);
+      C->Cond = S->Cond;
+      C->Then = cloneWithoutGotos(P, S->Then);
+      C->Else = cloneWithoutGotos(P, S->Else);
+      Out.push_back(C);
+      break;
+    }
+    case MStmtKind::Goto:
+      break;
+    }
+  }
+  return Out;
+}
+
 /// One candidate cycle: F -> Chain... -> L -> (cond) F.
 struct LoopShape {
   int F = -1;
@@ -433,6 +463,26 @@ bool tryIntraLoopMerge(PregelProgram &P, LoopShape &Shape) {
   if (Shape.F == Shape.L)
     return false;
 
+  std::set<int> LoopStates = {Shape.F, Shape.L};
+  for (int Id : Shape.Chain)
+    LoopStates.insert(Id);
+
+  // The merge rewrites the loop's internal control flow and deletes L, so
+  // outside code may enter the loop at F alone: an outside jump to L lands
+  // in a deleted state, and one into the chain would re-enter the merged
+  // head with stale _is_first bookkeeping. (findLoop can report a rotation
+  // of an already-merged cycle whose "tail" is the real entry — this guard
+  // is what rejects it.)
+  for (const PState &S : P.States) {
+    if (LoopStates.count(S.Id))
+      continue;
+    std::set<int> Targets;
+    collectTargets(S.TransCode, Targets);
+    for (int T : Targets)
+      if (T != Shape.F && LoopStates.count(T))
+        return false;
+  }
+
   // The loop's first state runs one extra time when the loop exits (the
   // paper's "dangling" execution). That is only safe if F's effects are
   // unobservable outside the loop: no global reductions, no message
@@ -443,9 +493,6 @@ bool tryIntraLoopMerge(PregelProgram &P, LoopShape &Shape) {
       !FV.ConsumedMsgs.empty())
     return false;
   if (!FV.PropWrites.empty()) {
-    std::set<int> LoopStates = {Shape.F, Shape.L};
-    for (int Id : Shape.Chain)
-      LoopStates.insert(Id);
     for (const PState &S : P.States) {
       if (LoopStates.count(S.Id) || S.TransCode.empty())
         continue;
@@ -580,13 +627,32 @@ void tryEntryPeel(PregelProgram &P, const LoopShape &Shape, int FirstFlag) {
       return;
   }
 
+  // A's master writes originally ran before M's vertex phase; after the
+  // peel they run with M's first master phase, i.e. after it. Only sound
+  // when M's vertex code never reads a global A's master writes, and when
+  // M's transition has the merged If shape those writes can be folded into.
+  PState &MS = P.States[M];
+  if (!ATrans.Writes.empty()) {
+    if (intersects(ATrans.Writes, MV.GlobalReads))
+      return;
+    if (MS.TransCode.size() != 1 || MS.TransCode[0]->K != MStmtKind::If)
+      return;
+  }
+
   // Guard A's code with the first-entry flag and prepend it to M.
   VStmt *Guard = P.newVStmt(VStmtKind::If);
   Guard->Cond = P.globalRead(FirstFlag);
   Guard->Then = A.VertexCode;
-  PState &MS = P.States[M];
   MS.VertexCode.insert(MS.VertexCode.begin(), Guard);
   MS.Name = A.Name + ">" + MS.Name;
+
+  // Keep A's master effects: fold them (goto stripped) into the merged
+  // transition's first-firing branch, which re-routes A's exit already.
+  if (!ATrans.Writes.empty()) {
+    std::vector<MStmt *> AMaster = cloneWithoutGotos(P, A.TransCode);
+    MStmt *Branch = MS.TransCode[0];
+    Branch->Then.insert(Branch->Then.begin(), AMaster.begin(), AMaster.end());
+  }
 
   // Route A's predecessors straight into M and delete A.
   for (PState &S : P.States)

@@ -93,6 +93,28 @@ inline void packMessage(const MessageLayout &L, std::byte *Rec, NodeId Dst,
   }
 }
 
+/// Cross-checks one boxed message against a declared layout: the tag must
+/// be declared and the payload arity/kinds must match its slots exactly
+/// (everything packMessage asserts, as a reportable string instead of an
+/// abort). Returns "" when consistent.
+inline std::string schemaMismatch(const MessageLayout &L, const Message &M) {
+  if (!L.hasType(M.Type))
+    return "message tag " + std::to_string(M.Type) +
+           " is not declared in the message layout";
+  const MsgTypeLayout &T = L.type(M.Type);
+  if (M.Size != T.Slots.size())
+    return "message tag " + std::to_string(M.Type) + " carries " +
+           std::to_string(M.Size) + " payload slot(s) but the layout declares " +
+           std::to_string(T.Slots.size());
+  for (unsigned I = 0; I < M.Size; ++I)
+    if (M.Payload[I].kind() != T.Slots[I])
+      return "message tag " + std::to_string(M.Type) + " payload slot " +
+             std::to_string(I) + " has kind '" +
+             valueKindName(M.Payload[I].kind()) + "' but the layout declares '" +
+             valueKindName(T.Slots[I]) + "'";
+  return "";
+}
+
 /// A read-only view of one received message, independent of wire format:
 /// either a boxed `Message` (Layout == nullptr) or a packed record
 /// interpreted through its MessageLayout. Pointer-sized pair — pass by

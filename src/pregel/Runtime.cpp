@@ -442,11 +442,17 @@ void Engine::deliverPhase(unsigned WorkerId, SuperstepMetrics *SM) {
     Base += InboxCount[V];
   }
 
+  // Layout cross-check (sequential boxed runs only; threaded runs would
+  // race on the shared error slot).
+  const MessageLayout *Check = Cfg.Threaded ? nullptr : Cfg.ValidateLayout;
+
   uint64_t Received = 0;
   for (unsigned Sender = 0; Sender < W; ++Sender) {
     std::vector<Message> &Shard = Workers[Sender].Shards[WorkerId];
     for (const Message &M : Shard) {
       assert(M.Dst % W == WorkerId && "message in wrong shard");
+      if (Check && LayoutCheckError.empty())
+        LayoutCheckError = schemaMismatch(*Check, M);
       InboxPool[Cursor[M.Dst]++] = M;
     }
     Received += Shard.size();
@@ -477,6 +483,20 @@ RunStats Engine::run(VertexProgram &Program) {
   Layout = MessageLayout();
   if (Cfg.Format == MessageFormat::Packed)
     Layout = Program.messageLayout();
+  // Registration-time sanity: a layout whose records exceed the fixed
+  // sender scratch cannot be packed; fall back to boxed (always correct)
+  // rather than corrupting mailboxes.
+  if (!Layout.empty() && Layout.recordSize() > MaxPackedRecordBytes) {
+    if (Cfg.Diags)
+      Cfg.Diags->error(SourceLocation(),
+                       "pregel engine: declared message layout needs " +
+                           std::to_string(Layout.recordSize()) +
+                           "-byte records (limit " +
+                           std::to_string(MaxPackedRecordBytes) +
+                           "); falling back to boxed mailboxes");
+    Layout = MessageLayout();
+  }
+  LayoutCheckError.clear();
   UsePacked = !Layout.empty();
   RecordBytes = UsePacked ? Layout.recordSize() : 0;
   WireBytesByTag.clear();
@@ -659,6 +679,28 @@ RunStats Engine::run(VertexProgram &Program) {
               "messages in flight)");
   }
 
+  if (!LayoutCheckError.empty() && Cfg.Diags)
+    Cfg.Diags->error(SourceLocation(),
+                     "message layout drift: " + LayoutCheckError);
+
   Stats.WallSeconds = secondsSince(Start);
   return Stats;
+}
+
+std::string pregel::checkDeclaredMessageLayout(VertexProgram &Program,
+                                               const Graph &G, Config Cfg) {
+  MessageLayout Declared = Program.messageLayout();
+  if (Declared.empty())
+    return ""; // nothing declared: the engine runs boxed, nothing can drift
+  Cfg.Format = MessageFormat::Boxed; // observe the raw boxed messages
+  Cfg.Threaded = false;
+  Cfg.ValidateLayout = &Declared;
+  DiagnosticEngine Diags;
+  Cfg.Diags = &Diags;
+  Engine E(G, Cfg);
+  E.run(Program);
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Message.rfind("message layout drift: ", 0) == 0)
+      return D.Message.substr(std::string("message layout drift: ").size());
+  return "";
 }

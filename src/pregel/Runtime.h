@@ -89,6 +89,13 @@ struct Config {
   /// same destination are reduced at the sending worker before they hit
   /// the wire (single-field payloads only). Empty = no combining.
   std::map<int32_t, ReduceKind> Combiners;
+  /// When non-null on a boxed sequential run, every delivered message's
+  /// schema (tag, payload arity, slot kinds) is cross-checked against this
+  /// declared layout; the first drift is reported through Diags as a
+  /// "message layout drift" error. Ignored on threaded runs. This is how
+  /// checkDeclaredMessageLayout catches a hand-written messageLayout()
+  /// override that no longer matches what the program actually sends.
+  const MessageLayout *ValidateLayout = nullptr;
 };
 
 /// The master's view during `master.compute()`. Runs before the vertices in
@@ -305,7 +312,21 @@ private:
   std::vector<int32_t> CombineOrd;
   std::vector<ReduceKind> CombineOpByTag;
   unsigned NumCombinable = 0;
+
+  /// First Config::ValidateLayout mismatch seen this run ("" = none);
+  /// reported through Config::Diags when the run ends.
+  std::string LayoutCheckError;
 };
+
+/// Registration-time guard for hand-declared message layouts: runs
+/// \p Program once over \p G in boxed sequential mode while cross-checking
+/// the schema of every message it actually sends against its declared
+/// messageLayout(). Returns the first drift found, or "" when the layout is
+/// faithful (or the program declares none). A drifted layout would corrupt
+/// packed mailboxes — call this from tests/CI whenever a manual program's
+/// layout override changes.
+std::string checkDeclaredMessageLayout(VertexProgram &Program, const Graph &G,
+                                       Config Cfg = {});
 
 } // namespace gm::pregel
 

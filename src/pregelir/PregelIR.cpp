@@ -53,20 +53,6 @@ PExpr *PregelProgram::binary(BinaryOpKind Op, PExpr *A, PExpr *B,
 
 namespace {
 
-const char *valueKindName(ValueKind K) {
-  switch (K) {
-  case ValueKind::Undef:
-    return "undef";
-  case ValueKind::Bool:
-    return "bool";
-  case ValueKind::Int:
-    return "int";
-  case ValueKind::Double:
-    return "double";
-  }
-  gm_unreachable("invalid value kind");
-}
-
 class IRPrinter {
 public:
   explicit IRPrinter(const PregelProgram &P) : P(P) {}
@@ -263,272 +249,8 @@ std::string pir::printProgram(const PregelProgram &P) {
   return IRPrinter(P).run();
 }
 
-//===----------------------------------------------------------------------===//
-// Verifier
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-/// Conservative check that a master statement list reaches an MGoto on
-/// every control path: either some statement in the list is a goto, or the
-/// list ends in an If whose branches both always reach a goto.
-bool alwaysReachesGoto(const std::vector<MStmt *> &Code) {
-  for (size_t I = 0; I < Code.size(); ++I) {
-    const MStmt *S = Code[I];
-    if (S->K == MStmtKind::Goto)
-      return true;
-    if (S->K != MStmtKind::If)
-      continue;
-    // An always-true guard (the translator's do-while body wrapper) only
-    // needs its then-branch to terminate.
-    bool CondConstTrue = S->Cond && S->Cond->K == PExprKind::Const &&
-                         S->Cond->ConstVal.kind() == ValueKind::Bool &&
-                         S->Cond->ConstVal.getBool();
-    if (CondConstTrue && alwaysReachesGoto(S->Then))
-      return true;
-    if (alwaysReachesGoto(S->Then) && alwaysReachesGoto(S->Else))
-      return true;
-  }
-  return false;
-}
-
-class Verifier {
-public:
-  explicit Verifier(const PregelProgram &P) : P(P) {}
-
-  std::string run() {
-    if (P.States.empty())
-      return "program has no states";
-    if (!P.States[0].VertexCode.empty())
-      return "entry state must have no vertex code";
-    for (size_t I = 0; I < P.States.size(); ++I)
-      if (P.States[I].Id != static_cast<int>(I))
-        return "state ids must be dense and ordered";
-    for (const MsgTypeDef &M : P.MsgTypes) {
-      if (M.Fields.size() > pregel::MaxMessagePayload)
-        return "message type '" + M.Name + "' exceeds the payload limit";
-      // The packed wire format needs every slot kind statically known
-      // (deriveMessageLayout maps fields to fixed record offsets).
-      for (const MsgFieldDef &F : M.Fields)
-        if (F.Ty != ValueKind::Bool && F.Ty != ValueKind::Int &&
-            F.Ty != ValueKind::Double)
-          return "message field '" + F.Name + "' of '" + M.Name +
-                 "' has no concrete scalar type";
-    }
-    for (const PState &S : P.States) {
-      StateName = "state " + std::to_string(S.Id) + " (" + S.Name + ")";
-      for (const VStmt *V : S.VertexCode)
-        if (std::string E = checkVStmt(V, /*InOnMessage=*/-1); !E.empty())
-          return E;
-      for (const MStmt *M : S.TransCode)
-        if (std::string E = checkMStmt(M); !E.empty())
-          return E;
-      if (!alwaysReachesGoto(S.TransCode))
-        return StateName + ": transition program can fall off the end "
-                           "without a goto";
-    }
-    return "";
-  }
-
-private:
-  std::string err(const std::string &Msg) { return StateName + ": " + Msg; }
-
-  std::string checkExpr(const PExpr *E, bool Vertex, int MsgType,
-                        bool InSendPayloadOut) {
-    if (!E)
-      return err("null expression");
-    switch (E->K) {
-    case PExprKind::Const:
-      return "";
-    case PExprKind::GlobalRead:
-      if (E->Index < 0 || E->Index >= static_cast<int>(P.Globals.size()))
-        return err("global index out of range");
-      return "";
-    case PExprKind::PropRead:
-      if (!Vertex)
-        return err("property read in master context");
-      if (E->Index < 0 || E->Index >= static_cast<int>(P.NodeProps.size()))
-        return err("property index out of range");
-      return "";
-    case PExprKind::MsgField: {
-      if (MsgType < 0)
-        return err("message field outside on_message");
-      const MsgTypeDef &M = P.MsgTypes[MsgType];
-      if (E->Index < 0 || E->Index >= static_cast<int>(M.Fields.size()))
-        return err("message field index out of range");
-      return "";
-    }
-    case PExprKind::EdgePropRead:
-      if (!InSendPayloadOut)
-        return err("edge property outside a send_out payload");
-      if (E->Index < 0 || E->Index >= static_cast<int>(P.EdgeProps.size()))
-        return err("edge property index out of range");
-      return "";
-    case PExprKind::VertexId:
-    case PExprKind::OutDegree:
-    case PExprKind::InDegree:
-      if (!Vertex)
-        return err("vertex expression in master context");
-      return "";
-    case PExprKind::NumNodes:
-    case PExprKind::NumEdges:
-    case PExprKind::RandomNode:
-      return "";
-    case PExprKind::Binary: {
-      if (std::string R = checkExpr(E->A, Vertex, MsgType, InSendPayloadOut);
-          !R.empty())
-        return R;
-      return checkExpr(E->B, Vertex, MsgType, InSendPayloadOut);
-    }
-    case PExprKind::Unary:
-    case PExprKind::Cast:
-      return checkExpr(E->A, Vertex, MsgType, InSendPayloadOut);
-    case PExprKind::Ternary: {
-      if (std::string R = checkExpr(E->A, Vertex, MsgType, InSendPayloadOut);
-          !R.empty())
-        return R;
-      if (std::string R = checkExpr(E->B, Vertex, MsgType, InSendPayloadOut);
-          !R.empty())
-        return R;
-      return checkExpr(E->C, Vertex, MsgType, InSendPayloadOut);
-    }
-    }
-    gm_unreachable("invalid expr kind");
-  }
-
-  std::string checkSend(const VStmt *V, int MsgType, bool OutPayload) {
-    if (V->Index < 0 || V->Index >= static_cast<int>(P.MsgTypes.size()))
-      return err("message type out of range");
-    if (V->Payload.size() != P.MsgTypes[V->Index].Fields.size())
-      return err("payload arity mismatch for '" + P.MsgTypes[V->Index].Name +
-                 "'");
-    for (const PExpr *E : V->Payload)
-      if (std::string R = checkExpr(E, true, MsgType, OutPayload); !R.empty())
-        return R;
-    return "";
-  }
-
-  std::string checkVStmt(const VStmt *V, int InOnMessage) {
-    if (!V)
-      return err("null vertex statement");
-    switch (V->K) {
-    case VStmtKind::Assign:
-      if (V->Index < 0 || V->Index >= static_cast<int>(P.NodeProps.size()))
-        return err("assign property index out of range");
-      return checkExpr(V->Value, true, InOnMessage, false);
-    case VStmtKind::GlobalPut:
-      if (V->Index < 0 || V->Index >= static_cast<int>(P.Globals.size()))
-        return err("global index out of range");
-      if (P.Globals[V->Index].VertexReduce == ReduceKind::None)
-        return err("vertex put to non-reduced global '" +
-                   P.Globals[V->Index].Name + "'");
-      return checkExpr(V->Value, true, InOnMessage, false);
-    case VStmtKind::If: {
-      if (std::string R = checkExpr(V->Cond, true, InOnMessage, false);
-          !R.empty())
-        return R;
-      for (const VStmt *S : V->Then)
-        if (std::string R = checkVStmt(S, InOnMessage); !R.empty())
-          return R;
-      for (const VStmt *S : V->Else)
-        if (std::string R = checkVStmt(S, InOnMessage); !R.empty())
-          return R;
-      return "";
-    }
-    case VStmtKind::SendToOutNbrs:
-      return checkSend(V, InOnMessage, /*OutPayload=*/true);
-    case VStmtKind::SendToInNbrs:
-      if (!P.UsesInNbrs)
-        return err("send_in without uses_in_nbrs");
-      return checkSend(V, InOnMessage, /*OutPayload=*/false);
-    case VStmtKind::SendToNode: {
-      if (std::string R = checkExpr(V->Value, true, InOnMessage, false);
-          !R.empty())
-        return R;
-      return checkSend(V, InOnMessage, /*OutPayload=*/false);
-    }
-    case VStmtKind::OnMessage: {
-      if (InOnMessage >= 0)
-        return err("nested on_message");
-      if (V->Index < 0 || V->Index >= static_cast<int>(P.MsgTypes.size()))
-        return err("on_message type out of range");
-      for (const VStmt *S : V->Then)
-        if (std::string R = checkVStmt(S, V->Index); !R.empty())
-          return R;
-      return "";
-    }
-    case VStmtKind::ForEachOutEdge: {
-      // Edge-property reads are in scope for the body; reuse the payload
-      // flag to permit them.
-      for (const VStmt *S : V->Then) {
-        if (S->K == VStmtKind::ForEachOutEdge)
-          return err("nested for_each_out_edge");
-        if (S->K == VStmtKind::Assign) {
-          if (S->Index < 0 ||
-              S->Index >= static_cast<int>(P.NodeProps.size()))
-            return err("assign property index out of range");
-          if (std::string R = checkExpr(S->Value, true, InOnMessage, true);
-              !R.empty())
-            return R;
-          continue;
-        }
-        if (S->K == VStmtKind::If) {
-          if (std::string R = checkExpr(S->Cond, true, InOnMessage, true);
-              !R.empty())
-            return R;
-          // Conservatively require flat bodies inside the edge loop.
-          for (const VStmt *C : S->Then)
-            if (C->K != VStmtKind::Assign && C->K != VStmtKind::GlobalPut)
-              return err("unsupported statement inside for_each_out_edge");
-          continue;
-        }
-        if (S->K == VStmtKind::GlobalPut)
-          continue;
-        return err("unsupported statement inside for_each_out_edge");
-      }
-      return "";
-    }
-    }
-    gm_unreachable("invalid vstmt kind");
-  }
-
-  std::string checkMStmt(const MStmt *M) {
-    if (!M)
-      return err("null master statement");
-    switch (M->K) {
-    case MStmtKind::Set:
-      if (M->Index < 0 || M->Index >= static_cast<int>(P.Globals.size()))
-        return err("master set index out of range");
-      return checkExpr(M->Value, false, -1, false);
-    case MStmtKind::If: {
-      if (std::string R = checkExpr(M->Cond, false, -1, false); !R.empty())
-        return R;
-      for (const MStmt *S : M->Then)
-        if (std::string R = checkMStmt(S); !R.empty())
-          return R;
-      for (const MStmt *S : M->Else)
-        if (std::string R = checkMStmt(S); !R.empty())
-          return R;
-      return "";
-    }
-    case MStmtKind::Goto:
-      if (M->Index != EndState &&
-          (M->Index < 0 || M->Index >= static_cast<int>(P.States.size())))
-        return err("goto target out of range");
-      return "";
-    }
-    gm_unreachable("invalid mstmt kind");
-  }
-
-  const PregelProgram &P;
-  std::string StateName;
-};
-
-} // namespace
-
-std::string pir::verifyProgram(const PregelProgram &P) {
-  return Verifier(P).run();
-}
+// pir::verifyProgram is defined in analysis/PIRVerifier.cpp (backed by the
+// strict verifier) so this library does not depend on gm_analysis.
 
 pregel::MessageLayout pir::deriveMessageLayout(const PregelProgram &P) {
   pregel::MessageLayout L;

@@ -41,6 +41,7 @@ void DiagnosticEngine::error(SourceLocation Loc, std::string Message) {
 
 void DiagnosticEngine::warning(SourceLocation Loc, std::string Message) {
   Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  ++NumWarnings;
 }
 
 void DiagnosticEngine::note(SourceLocation Loc, std::string Message) {

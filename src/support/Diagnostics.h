@@ -40,6 +40,7 @@ public:
 
   bool hasErrors() const { return NumErrors > 0; }
   unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
   /// True if any diagnostic message contains \p Substring (test helper).
@@ -51,11 +52,13 @@ public:
   void clear() {
     Diags.clear();
     NumErrors = 0;
+    NumWarnings = 0;
   }
 
 private:
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
 };
 
 } // namespace gm

@@ -24,6 +24,20 @@ std::string Value::toString() const {
   gm_unreachable("invalid value kind");
 }
 
+const char *gm::valueKindName(ValueKind K) {
+  switch (K) {
+  case ValueKind::Undef:
+    return "undef";
+  case ValueKind::Bool:
+    return "bool";
+  case ValueKind::Int:
+    return "int";
+  case ValueKind::Double:
+    return "double";
+  }
+  gm_unreachable("invalid value kind");
+}
+
 const char *gm::reduceKindName(ReduceKind K) {
   switch (K) {
   case ReduceKind::None:

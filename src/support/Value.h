@@ -146,6 +146,10 @@ enum class ReduceKind : uint8_t {
 
 const char *reduceKindName(ReduceKind K);
 
+/// "undef" / "bool" / "int" / "double" — shared by the IR printer and the
+/// verifier/lint diagnostics.
+const char *valueKindName(ValueKind K);
+
 /// Applies \p K in place: Target = Target (op) Operand.
 void applyReduce(ReduceKind K, Value &Target, const Value &Operand);
 

@@ -36,21 +36,57 @@ void flattenBlocks(Stmt *S) {
   F.walk(S);
 }
 
+/// The `--verify-each` AST analogue of the IR verifier: after a pass
+/// mutates the (type-checked) AST in place, every expression must still
+/// carry a type and every variable reference must still resolve to a
+/// declaration. A violation is a pass bug, reported as an internal error
+/// naming the pass.
+bool verifyASTAfterPass(ProcedureDecl *Proc, DiagnosticEngine &Diags,
+                        const char *PassName) {
+  struct Checker : ASTWalker {
+    std::string Problem;
+    bool visitExprPre(Expr *E) override {
+      if (!E->type()) {
+        Problem = "untyped expression";
+        return false;
+      }
+      if (auto *V = dyn_cast<VarRefExpr>(E); V && !V->decl()) {
+        Problem = "unresolved variable reference";
+        return false;
+      }
+      return true;
+    }
+  } C;
+  C.walk(Proc->body());
+  if (C.Problem.empty())
+    return true;
+  Diags.error(SourceLocation(),
+              "internal error: AST verification failed after pass '" +
+                  std::string(PassName) + "': " + C.Problem);
+  return false;
+}
+
 } // namespace
 
 bool gm::runTransformPipeline(
     ProcedureDecl *Proc, ASTContext &Context, DiagnosticEngine &Diags,
     const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings,
-    FeatureLog *Log, PassStatistics *Stats) {
+    FeatureLog *Log, PassStatistics *Stats, bool VerifyEach) {
   unsigned Before = Diags.errorCount();
   auto Failed = [&] { return Diags.errorCount() != Before; };
 
-  // Times one pass and counts whether it changed the program.
+  // Times one pass and counts whether it changed the program; with
+  // VerifyEach, re-checks AST invariants before the next pass runs.
   auto RunPass = [&](const char *Name, auto &&Pass) {
-    PassStatistics::ScopedTimer T(Stats, Name);
-    bool Changed = Pass();
+    bool Changed;
+    {
+      PassStatistics::ScopedTimer T(Stats, Name);
+      Changed = Pass();
+    }
     if (Stats && Changed)
       Stats->addCounter(std::string("transform.changed.") + Name);
+    if (VerifyEach && !Diags.hasErrors())
+      verifyASTAfterPass(Proc, Diags, Name);
     return Changed;
   };
 

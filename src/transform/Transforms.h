@@ -53,11 +53,15 @@ class PassStatistics;
 /// Runs the full §4.1 pipeline in order, recording applied transformations
 /// in \p Log. Returns false if any pass reported an error. When \p Stats is
 /// non-null, each pass's wall time and changed/unchanged outcome are
-/// recorded (gmpc --stats).
+/// recorded (gmpc --stats). With \p VerifyEach, an AST sanity check (every
+/// expression typed, every variable reference resolved) runs after each
+/// pass and a failure aborts the pipeline naming the offending pass
+/// (`gmpc --verify-each`).
 bool runTransformPipeline(
     ProcedureDecl *Proc, ASTContext &Context, DiagnosticEngine &Diags,
     const std::unordered_map<VarDecl *, VarDecl *> &EdgeBindings,
-    FeatureLog *Log = nullptr, PassStatistics *Stats = nullptr);
+    FeatureLog *Log = nullptr, PassStatistics *Stats = nullptr,
+    bool VerifyEach = false);
 
 } // namespace gm
 

@@ -174,6 +174,52 @@ TEST(Cli, StatsPrintsPassTable) {
   EXPECT_NE(R.Output.find("ir.states.post-opt"), std::string::npos);
 }
 
+//===----------------------------------------------------------------------===//
+// Static analysis flags (docs/analysis.md).
+//===----------------------------------------------------------------------===//
+
+TEST(Cli, LintCleanProgramIsQuiet) {
+  CliResult R = runGmpc(algo("pagerank.gm") + " --lint");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Output.find("warning"), std::string::npos) << R.Output;
+}
+
+TEST(Cli, VerifyEachPassesOnAllAlgorithms) {
+  for (const char *Name :
+       {"avg_teen.gm", "pagerank.gm", "conductance.gm", "sssp.gm",
+        "bipartite_matching.gm", "bc_approx.gm"}) {
+    CliResult R = runGmpc(algo(Name) + " --verify-each --lint");
+    EXPECT_EQ(R.ExitCode, 0) << Name << ":\n" << R.Output;
+    EXPECT_EQ(R.Output.find("error"), std::string::npos)
+        << Name << ":\n"
+        << R.Output;
+  }
+}
+
+TEST(Cli, LintReportsBipartiteRandomWriteRace) {
+  // The documented §3.1 caveat: warnings on stderr, but exit 0.
+  CliResult R = runGmpc(algo("bipartite_matching.gm") + " --lint");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("random-write-race"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("this.match"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("this.suitor"), std::string::npos) << R.Output;
+}
+
+TEST(Cli, WerrorTurnsLintWarningsIntoFailure) {
+  CliResult R = runGmpc(algo("bipartite_matching.gm") + " --lint --Werror");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("error"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("random-write-race"), std::string::npos) << R.Output;
+}
+
+TEST(Cli, StatsJsonCarriesLintCounters) {
+  CliResult R =
+      runGmpc(algo("bipartite_matching.gm") + " --lint --stats-json -");
+  ASSERT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("\"lint.random-write-race\": 2"), std::string::npos)
+      << R.Output;
+}
+
 TEST(Cli, TracePrintsSuperstepTable) {
   CliResult R = runGmpc(algo("pagerank.gm") +
                         " --run --graph-rmat 100 400"

@@ -256,6 +256,98 @@ TEST_P(ManualWorkerSweep, PageRankIndependentOfWorkers) {
 INSTANTIATE_TEST_SUITE_P(Workers, ManualWorkerSweep,
                          ::testing::Values(1, 2, 4, 8));
 
+//===----------------------------------------------------------------------===//
+// Declared message layouts: every hand-written messageLayout() must match
+// what the program actually sends (pregel::checkDeclaredMessageLayout replays
+// the run boxed and cross-checks each message against the declared schema).
+//===----------------------------------------------------------------------===//
+
+TEST(ManualLayouts, AllManualProgramsMatchTheirDeclaredLayout) {
+  Graph G = generateUniformRandom(200, 1500, 111);
+  std::vector<int64_t> Age = randomAges(200, 112);
+  std::vector<int64_t> Len = randomLens(G.numEdges(), 113);
+  std::vector<int64_t> Member(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Member[N] = N % 2;
+
+  {
+    AvgTeenProgram P(Age, 30);
+    EXPECT_EQ(pregel::checkDeclaredMessageLayout(P, G), "");
+  }
+  {
+    PageRankProgram P(0.85, 0.0, 5);
+    EXPECT_EQ(pregel::checkDeclaredMessageLayout(P, G), "");
+  }
+  {
+    ConductanceProgram P(Member, 1);
+    EXPECT_EQ(pregel::checkDeclaredMessageLayout(P, G), "");
+  }
+  {
+    SSSPProgram P(0, Len);
+    EXPECT_EQ(pregel::checkDeclaredMessageLayout(P, G), "");
+  }
+  {
+    SSSPVoteToHaltProgram P(0, Len);
+    EXPECT_EQ(pregel::checkDeclaredMessageLayout(P, G), "");
+  }
+  {
+    NodeId L = 40, R = 50;
+    Graph B = generateBipartite(L, R, 300, 114);
+    std::vector<uint8_t> Left(L + R, 0);
+    for (NodeId N = 0; N < L; ++N)
+      Left[N] = 1;
+    Config Cfg;
+    Cfg.TaggedMessages = true;
+    BipartiteMatchingProgram P(Left);
+    EXPECT_EQ(pregel::checkDeclaredMessageLayout(P, B, Cfg), "");
+  }
+}
+
+namespace drifted {
+
+/// PageRank with a deliberately wrong declared layout: the program sends a
+/// double rank contribution but declares an int slot.
+class WrongSlotKind : public PageRankProgram {
+public:
+  using PageRankProgram::PageRankProgram;
+  pregel::MessageLayout messageLayout() const override {
+    pregel::MessageLayout L;
+    L.addType(0, {ValueKind::Int});
+    return L;
+  }
+};
+
+/// Declares an empty payload for a message that carries one slot.
+class WrongArity : public PageRankProgram {
+public:
+  using PageRankProgram::PageRankProgram;
+  pregel::MessageLayout messageLayout() const override {
+    pregel::MessageLayout L;
+    L.addType(0, {});
+    return L;
+  }
+};
+
+} // namespace drifted
+
+TEST(ManualLayouts, DriftedLayoutIsReported) {
+  Graph G = generateRing(16);
+  {
+    drifted::WrongSlotKind P(0.85, 0.0, 2);
+    std::string Err = pregel::checkDeclaredMessageLayout(P, G);
+    EXPECT_NE(Err.find("payload slot 0"), std::string::npos) << Err;
+    EXPECT_NE(Err.find("'double'"), std::string::npos) << Err;
+    EXPECT_NE(Err.find("'int'"), std::string::npos) << Err;
+  }
+  {
+    drifted::WrongArity P(0.85, 0.0, 2);
+    std::string Err = pregel::checkDeclaredMessageLayout(P, G);
+    EXPECT_NE(Err.find("carries 1 payload slot(s) but the layout declares 0"),
+              std::string::npos)
+        << Err;
+  }
+}
+
 TEST(ManualThreaded, SSSPMatchesSequentialEngine) {
   Graph G = generateRMAT(1 << 9, 1 << 12, 99);
   std::vector<int64_t> Len = randomLens(G.numEdges(), 100);
