@@ -18,6 +18,13 @@
 /// BENCH_messages.json). --smoke shrinks the graph so the sweep doubles as
 /// a tier-1 smoke test of the bench pipeline.
 ///
+/// `bench_runtime_micro --partitioning [reps] [--smoke] [--json <path>]`
+/// runs the partitioning sweep: PageRank and SSSP across all four partition
+/// strategies with LALP mirroring off and on (default path
+/// BENCH_partitioning.json). It fails if message totals diverge across
+/// strategies (partitioning leaked into execution) or if LALP's
+/// network-byte saving on PageRank is absent or mis-accounted.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -358,6 +365,157 @@ int runMessageSweep(int Reps, const std::string &JsonPath, bool Smoke) {
   return Failures;
 }
 
+//===----------------------------------------------------------------------===//
+// Partitioning sweep (--partitioning)
+//===----------------------------------------------------------------------===//
+
+int runPartitioningSweep(int Reps, const std::string &JsonPath, bool Smoke) {
+  const NodeId Nodes = Smoke ? (1u << 10) : (1u << 16);
+  const EdgeId Edges = Smoke ? (1u << 13) : (1u << 20);
+  const uint64_t Seed = 13;
+  const uint32_t LalpThreshold = 32;
+  Graph G = generateRMAT(Nodes, Edges, Seed);
+  std::vector<int64_t> Len(G.numEdges());
+  {
+    std::mt19937_64 Rng(Seed);
+    std::uniform_int_distribution<int64_t> Dist(1, 10);
+    for (auto &L : Len)
+      L = Dist(Rng);
+  }
+
+  pregel::JsonSink Sink(JsonPath);
+  const unsigned W = 8;
+  const unsigned HostCores = std::thread::hardware_concurrency();
+  constexpr pregel::PartitionStrategy Strategies[] = {
+      pregel::PartitionStrategy::Hash, pregel::PartitionStrategy::Range,
+      pregel::PartitionStrategy::EdgeBalanced,
+      pregel::PartitionStrategy::DegreeAware};
+
+  std::printf("Partitioning sweep: rmat(%u,%llu), workers=%u, lalp "
+              "threshold=%u, %d reps, host cores: %u\n",
+              G.numNodes(), static_cast<unsigned long long>(G.numEdges()), W,
+              LalpThreshold, Reps, HostCores);
+  hr('=');
+  std::printf("%-10s %-14s %5s | %10s %9s | %12s %12s %12s\n", "algorithm",
+              "partition", "lalp", "median(s)", "vs hash", "messages",
+              "net-bytes", "saved");
+  hr();
+
+  int Failures = 0;
+  for (const char *Algo : {"pagerank", "sssp"}) {
+    double HashOffMedian = 0.0;
+    uint64_t OffMessages = 0;
+    bool FirstCell = true;
+    for (pregel::PartitionStrategy S : Strategies) {
+      // Per-worker ownership for the report (partition cost, not run cost).
+      pregel::Partition Part = pregel::makePartition(G, S, W);
+      std::vector<uint64_t> WorkerVertices(W);
+      for (unsigned Worker = 0; Worker < W; ++Worker)
+        WorkerVertices[Worker] = Part.ownedCount(Worker);
+      std::vector<uint64_t> WorkerEdges = Part.edgeCounts(G);
+
+      double OffMedian = 0.0;
+      uint64_t OffNetBytes = 0;
+      for (uint32_t Lalp : {0u, LalpThreshold}) {
+        std::vector<double> Times;
+        pregel::RunStats Last;
+        for (int R = 0; R < Reps; ++R) {
+          pregel::Config Cfg;
+          Cfg.NumWorkers = W;
+          Cfg.Threaded = true;
+          Cfg.Partition = S;
+          Cfg.LalpThreshold = Lalp;
+          Cfg.CollectMetrics = false;
+          pregel::RunStats Stats;
+          if (std::strcmp(Algo, "pagerank") == 0) {
+            manual::PageRankProgram P(0.85, 0.0, 5);
+            Stats = pregel::Engine(G, Cfg).run(P);
+          } else {
+            manual::SSSPProgram P(0, Len);
+            Stats = pregel::Engine(G, Cfg).run(P);
+          }
+          Times.push_back(Stats.WallSeconds);
+          Last = Stats;
+
+          pregel::RunMetadata Meta;
+          Meta.Program = Algo;
+          Meta.Graph = "rmat(" + std::to_string(Nodes) + "," +
+                       std::to_string(Edges) + ")";
+          Meta.NumNodes = G.numNodes();
+          Meta.NumEdges = G.numEdges();
+          Meta.Workers = W;
+          Meta.Threaded = true;
+          Meta.Seed = Seed;
+          Meta.HostCores = HostCores;
+          Meta.Partition = pregel::partitionStrategyName(S);
+          Meta.LalpThreshold = Lalp;
+          Meta.WorkerVertices = WorkerVertices;
+          Meta.WorkerEdges = WorkerEdges;
+          Sink.report(Meta, Stats);
+        }
+        std::sort(Times.begin(), Times.end());
+        double Median = Times[Times.size() / 2];
+        if (Lalp == 0) {
+          OffMedian = Median;
+          OffNetBytes = Last.NetworkBytes;
+          if (FirstCell) {
+            HashOffMedian = Median;
+            OffMessages = Last.TotalMessages;
+            FirstCell = false;
+          } else if (Last.TotalMessages != OffMessages) {
+            // Delivered work is partition-independent; a diverging total
+            // means the strategy leaked into execution.
+            std::fprintf(
+                stderr,
+                "FAIL: %s %s: messages diverge across strategies "
+                "(%llu vs %llu)\n",
+                Algo, pregel::partitionStrategyName(S),
+                static_cast<unsigned long long>(Last.TotalMessages),
+                static_cast<unsigned long long>(OffMessages));
+            ++Failures;
+          }
+        } else if (std::strcmp(Algo, "pagerank") == 0 && W > 1) {
+          // Neighborhood broadcasts must get cheaper, and exactly by the
+          // amount the mirror accounting claims.
+          if (Last.NetworkBytes >= OffNetBytes ||
+              Last.NetworkBytes + Last.MirrorBytesSaved != OffNetBytes) {
+            std::fprintf(
+                stderr,
+                "FAIL: %s %s: LALP byte accounting off "
+                "(on=%llu + saved=%llu vs off=%llu)\n",
+                Algo, pregel::partitionStrategyName(S),
+                static_cast<unsigned long long>(Last.NetworkBytes),
+                static_cast<unsigned long long>(Last.MirrorBytesSaved),
+                static_cast<unsigned long long>(OffNetBytes));
+            ++Failures;
+          }
+        } else if (Lalp != 0 && OffMedian > 0) {
+          // SSSP sends per-edge payloads, so LALP must stay a no-op; the
+          // wall delta is reported but not a failure (timing noise).
+          std::printf("%-10s %-14s       lalp-on wall delta: %+.1f%%\n", Algo,
+                      pregel::partitionStrategyName(S),
+                      (Median / OffMedian - 1.0) * 100.0);
+        }
+        std::printf("%-10s %-14s %5u | %10.4f %8.2fx | %12llu %12llu %12llu\n",
+                    Algo, pregel::partitionStrategyName(S), Lalp, Median,
+                    HashOffMedian > 0 ? HashOffMedian / Median : 1.0,
+                    static_cast<unsigned long long>(Last.TotalMessages),
+                    static_cast<unsigned long long>(Last.NetworkBytes),
+                    static_cast<unsigned long long>(Last.MirrorBytesSaved));
+      }
+    }
+    hr();
+  }
+
+  std::string Err;
+  if (!Sink.close(&Err)) {
+    std::fprintf(stderr, "bench_runtime_micro: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return Failures;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -389,6 +547,21 @@ int main(int argc, char **argv) {
                               argv[I + 1][0])))
         Reps = std::atoi(argv[I + 1]);
       return runMessageSweep(Reps, JsonPath, Smoke);
+    }
+    if (std::strcmp(argv[I], "--partitioning") == 0) {
+      std::string JsonPath = "BENCH_partitioning.json";
+      bool Smoke = false;
+      for (int J = 1; J < argc; ++J) {
+        if (std::strcmp(argv[J], "--json") == 0 && J + 1 < argc)
+          JsonPath = argv[J + 1];
+        if (std::strcmp(argv[J], "--smoke") == 0)
+          Smoke = true;
+      }
+      int Reps = 3;
+      if (I + 1 < argc && std::isdigit(static_cast<unsigned char>(
+                              argv[I + 1][0])))
+        Reps = std::atoi(argv[I + 1]);
+      return runPartitioningSweep(Reps, JsonPath, Smoke);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -58,6 +58,12 @@ Execution (interprets the compiled program on the bundled BSP runtime):
   --threaded                     run the workers as real threads
   --message-format <fmt>         mailbox wire format: packed (default) or
                                  boxed (tagged-union Message records)
+  --partition <strategy>         vertex partitioning: hash (default), range,
+                                 edge-balanced, or degree-aware
+                                 (docs/partitioning.md)
+  --lalp-threshold <n>           LALP mirroring: broadcast from vertices with
+                                 out-degree >= n as one record per worker
+                                 (0 = off, the default)
   --seed <n>                     runtime random seed
   --arg <name>=<value>           scalar procedure argument (repeatable)
   --rand-nprop <name> <lo> <hi>  fill an Int node property uniformly
@@ -96,6 +102,8 @@ int main(int argc, char **argv) {
   unsigned Workers = 4;
   bool Threaded = false;
   pregel::MessageFormat MsgFormat = pregel::MessageFormat::Packed;
+  pregel::PartitionStrategy Partition = pregel::PartitionStrategy::Hash;
+  uint32_t LalpThreshold = 0;
   uint64_t Seed = 1;
   std::vector<std::pair<std::string, std::string>> ScalarArgs;
   struct RandProp {
@@ -171,6 +179,18 @@ int main(int argc, char **argv) {
         return 2;
       }
     }
+    else if (A == "--partition" || A.rfind("--partition=", 0) == 0) {
+      std::string Name = A == "--partition" ? Next() : A.substr(12);
+      auto S = pregel::parsePartitionStrategy(Name);
+      if (!S) {
+        std::fprintf(stderr, "gmpc: --partition expects hash, range, "
+                             "edge-balanced, or degree-aware\n");
+        return 2;
+      }
+      Partition = *S;
+    } else if (A == "--lalp-threshold" || A.rfind("--lalp-threshold=", 0) == 0)
+      LalpThreshold = static_cast<uint32_t>(
+          parseInt(A == "--lalp-threshold" ? Next() : A.c_str() + 17));
     else if (A == "--seed")
       Seed = static_cast<uint64_t>(parseInt(Next()));
     else if (A == "--arg") {
@@ -314,6 +334,8 @@ int main(int argc, char **argv) {
   Cfg.NumWorkers = Workers;
   Cfg.Threaded = Threaded;
   Cfg.Format = MsgFormat;
+  Cfg.Partition = Partition;
+  Cfg.LalpThreshold = LalpThreshold;
   Cfg.RandomSeed = Seed;
   DiagnosticEngine RunDiags;
   Cfg.Diags = &RunDiags;
@@ -355,6 +377,13 @@ int main(int argc, char **argv) {
     Meta.MessageFormat = Layout.empty() ? "boxed" : "packed";
     Meta.MailboxRecordBytes =
         Layout.empty() ? unsigned(sizeof(pregel::Message)) : Layout.recordSize();
+    Meta.Partition = pregel::partitionStrategyName(Partition);
+    Meta.LalpThreshold = LalpThreshold;
+    pregel::Partition Part = pregel::makePartition(G, Partition, Workers);
+    Meta.WorkerEdges = Part.edgeCounts(G);
+    Meta.WorkerVertices.resize(Workers);
+    for (unsigned Worker = 0; Worker < Workers; ++Worker)
+      Meta.WorkerVertices[Worker] = Part.ownedCount(Worker);
 
     if (ShowStats || ShowTrace) {
       pregel::TableSink Sink(stdout, ShowTrace);

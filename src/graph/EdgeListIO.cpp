@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -17,6 +18,9 @@ namespace {
 struct LineParser {
   const char *Cur;
   const char *End;
+  size_t Line = 1;
+
+  enum class NodeResult { Ok, NotANumber, OutOfRange };
 
   explicit LineParser(const std::string &Text)
       : Cur(Text.data()), End(Text.data() + Text.size()) {}
@@ -26,6 +30,8 @@ struct LineParser {
   void skipSpacesAndComments() {
     while (Cur != End) {
       if (std::isspace(static_cast<unsigned char>(*Cur))) {
+        if (*Cur == '\n')
+          ++Line;
         ++Cur;
         continue;
       }
@@ -38,14 +44,26 @@ struct LineParser {
     }
   }
 
-  bool parseNode(NodeId &Out) {
+  NodeResult parseNode(NodeId &Out) {
     uint64_t V = 0;
     auto [Ptr, Ec] = std::from_chars(Cur, End, V);
+    if (Ec == std::errc::invalid_argument)
+      return NodeResult::NotANumber;
+    // from_chars overflow, or a value that collides with InvalidNode. Cur is
+    // left at the token so the error message can quote it.
     if (Ec != std::errc() || V > 0xFFFFFFFEull)
-      return false;
+      return NodeResult::OutOfRange;
     Cur = Ptr;
     Out = static_cast<NodeId>(V);
-    return true;
+    return NodeResult::Ok;
+  }
+
+  /// The offending token, for error messages. Never crosses whitespace.
+  std::string tokenHere() const {
+    const char *P = Cur;
+    while (P != End && !std::isspace(static_cast<unsigned char>(*P)))
+      ++P;
+    return std::string(Cur, P);
   }
 };
 
@@ -59,23 +77,36 @@ std::optional<Graph> gm::parseEdgeList(const std::string &Text,
   bool SawNode = false;
 
   LineParser P(Text);
+  auto Fail = [&](const std::string &What) -> std::optional<Graph> {
+    if (ErrorMessage)
+      *ErrorMessage = "line " + std::to_string(P.Line) + ": " + What;
+    return std::nullopt;
+  };
+  auto NodeError = [&](LineParser::NodeResult R, const char *Which,
+                       bool AtEnd) -> std::optional<Graph> {
+    if (AtEnd)
+      return Fail(std::string("truncated edge: expected ") + Which +
+                  " node id, got end of input");
+    if (R == LineParser::NodeResult::OutOfRange)
+      return Fail(std::string(Which) + " node id '" + P.tokenHere() +
+                  "' is out of range (node ids must be < 4294967295)");
+    return Fail(std::string("expected ") + Which + " node id, got '" +
+                P.tokenHere() + "'");
+  };
+
   while (true) {
     P.skipSpacesAndComments();
     if (P.atEnd())
       break;
     NodeId Src, Dst;
-    if (!P.parseNode(Src)) {
-      if (ErrorMessage)
-        *ErrorMessage = "expected source node id";
-      return std::nullopt;
-    }
+    if (auto R = P.parseNode(Src); R != LineParser::NodeResult::Ok)
+      return NodeError(R, "source", /*AtEnd=*/false);
     P.skipSpacesAndComments();
-    if (P.atEnd() || !P.parseNode(Dst)) {
-      if (ErrorMessage)
-        *ErrorMessage = "expected destination node id after source " +
-                        std::to_string(Src);
-      return std::nullopt;
-    }
+    if (P.atEnd())
+      return NodeError(LineParser::NodeResult::NotANumber, "destination",
+                       /*AtEnd=*/true);
+    if (auto R = P.parseNode(Dst); R != LineParser::NodeResult::Ok)
+      return NodeError(R, "destination", /*AtEnd=*/false);
     Edges.emplace_back(Src, Dst);
     MaxNode = std::max({MaxNode, Src, Dst});
     SawNode = true;
@@ -88,10 +119,20 @@ std::optional<Graph> gm::parseEdgeList(const std::string &Text,
     return std::nullopt;
   }
 
-  Graph::Builder Builder(NumNodes);
-  for (auto [Src, Dst] : Edges)
-    Builder.addEdge(Src, Dst);
-  return std::move(Builder).build();
+  // NumNodes covers MaxNode by construction, so build() cannot see an
+  // out-of-range endpoint here; the catch keeps malformed-input failures
+  // flowing through ErrorMessage instead of escaping as exceptions if that
+  // invariant ever changes.
+  try {
+    Graph::Builder Builder(NumNodes);
+    for (auto [Src, Dst] : Edges)
+      Builder.addEdge(Src, Dst);
+    return std::move(Builder).build();
+  } catch (const std::exception &E) {
+    if (ErrorMessage)
+      *ErrorMessage = E.what();
+    return std::nullopt;
+  }
 }
 
 std::optional<Graph> gm::loadEdgeListFile(const std::string &Path,

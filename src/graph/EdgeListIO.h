@@ -20,7 +20,9 @@ namespace gm {
 /// Parses an edge list from \p Text. Node ids may be sparse; they are kept
 /// as-is, and the node count is max-id + 1 (or \p NumNodesHint if larger).
 /// Returns std::nullopt (and fills \p ErrorMessage if non-null) on malformed
-/// input.
+/// input: truncated edges, non-numeric tokens, and ids that do not fit in a
+/// NodeId are all rejected with a line-numbered diagnostic, in release
+/// builds too.
 std::optional<Graph> parseEdgeList(const std::string &Text,
                                    NodeId NumNodesHint = 0,
                                    std::string *ErrorMessage = nullptr);

@@ -3,10 +3,25 @@
 #include "graph/Graph.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 using namespace gm;
 
 Graph Graph::Builder::build() && {
+  // Reject malformed edges before any CSR arithmetic: an endpoint >=
+  // NumNodes would index past the offset arrays and corrupt the graph
+  // silently in builds without asserts. Edge index = insertion order.
+  for (size_t I = 0; I < Edges.size(); ++I) {
+    const auto [Src, Dst] = Edges[I];
+    if (Src >= NumNodes || Dst >= NumNodes)
+      throw std::invalid_argument(
+          "Graph::Builder: edge " + std::to_string(I) + " (" +
+          std::to_string(Src) + " -> " + std::to_string(Dst) +
+          ") has an endpoint out of range for a graph with " +
+          std::to_string(NumNodes) + " nodes");
+  }
+
   Graph G;
   G.NodeCount = NumNodes;
 

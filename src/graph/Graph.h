@@ -38,14 +38,15 @@ public:
     explicit Builder(NodeId NumNodes) : NumNodes(NumNodes) {}
 
     /// Adds a directed edge Src -> Dst. Duplicates and self-loops are kept.
-    void addEdge(NodeId Src, NodeId Dst) {
-      assert(Src < NumNodes && Dst < NumNodes && "edge endpoint out of range");
-      Edges.emplace_back(Src, Dst);
-    }
+    /// Endpoints are validated at build() time, not here.
+    void addEdge(NodeId Src, NodeId Dst) { Edges.emplace_back(Src, Dst); }
 
     size_t edgeCount() const { return Edges.size(); }
 
-    /// Sorts edges into CSR order and produces the final graph.
+    /// Sorts edges into CSR order and produces the final graph. Throws
+    /// std::invalid_argument (naming the offending edge) when any endpoint
+    /// is >= NumNodes — an out-of-range endpoint would silently corrupt the
+    /// CSR offsets, so it is rejected in release builds too.
     Graph build() &&;
 
   private:

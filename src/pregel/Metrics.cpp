@@ -72,6 +72,8 @@ gm::pregel::aggregateWorkers(const std::vector<SuperstepMetrics> &Steps) {
       Out[I].MessagesReceived += W.MessagesReceived;
       Out[I].CombinerInput += W.CombinerInput;
       Out[I].CombinerOutput += W.CombinerOutput;
+      Out[I].MirrorHits += W.MirrorHits;
+      Out[I].MirrorBytesSaved += W.MirrorBytesSaved;
     }
   }
   return Out;

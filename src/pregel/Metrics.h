@@ -41,6 +41,10 @@ struct WorkerStepMetrics {
   uint64_t MessagesReceived = 0; ///< messages routed to this worker's inbox
   uint64_t CombinerInput = 0;  ///< outbox size before combining
   uint64_t CombinerOutput = 0; ///< outbox size after combining
+  /// LALP mirroring: deliveries this worker fanned out from broadcast
+  /// records, and network bytes its own broadcasts avoided. 0 without LALP.
+  uint64_t MirrorHits = 0;
+  uint64_t MirrorBytesSaved = 0;
 };
 
 /// One executed superstep: the trace entry plus aggregated totals and the
@@ -63,6 +67,8 @@ struct SuperstepMetrics {
   uint64_t NetworkBytes = 0;
   uint64_t CombinerInput = 0;
   uint64_t CombinerOutput = 0;
+  uint64_t MirrorHits = 0;       ///< LALP mirror deliveries this superstep
+  uint64_t MirrorBytesSaved = 0; ///< network bytes LALP broadcasts avoided
 
   std::vector<WorkerStepMetrics> Workers;
 

@@ -28,6 +28,10 @@ void TableSink::report(const RunMetadata &Meta, const RunStats &Stats,
                static_cast<unsigned long long>(Meta.Seed));
   if (!Meta.MessageFormat.empty())
     std::fprintf(Out, " | messages: %s", Meta.MessageFormat.c_str());
+  if (!Meta.Partition.empty())
+    std::fprintf(Out, " | partition: %s", Meta.Partition.c_str());
+  if (Meta.LalpThreshold)
+    std::fprintf(Out, " | lalp-threshold: %u", Meta.LalpThreshold);
   std::fprintf(Out, "\n");
   std::fprintf(Out, "%s\n", Stats.toString().c_str());
 
@@ -108,6 +112,23 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
   if (Meta.MailboxRecordBytes)
     W.field("mailbox_record_bytes",
             static_cast<uint64_t>(Meta.MailboxRecordBytes));
+  if (!Meta.Partition.empty())
+    W.field("partition", Meta.Partition);
+  if (Meta.LalpThreshold)
+    W.field("lalp_threshold", static_cast<uint64_t>(Meta.LalpThreshold));
+  if (!Meta.WorkerVertices.empty()) {
+    W.key("partition_workers");
+    W.beginArray();
+    for (size_t I = 0; I < Meta.WorkerVertices.size(); ++I) {
+      W.beginObject();
+      W.field("worker", static_cast<uint64_t>(I));
+      W.field("vertices", Meta.WorkerVertices[I]);
+      W.field("edges",
+              I < Meta.WorkerEdges.size() ? Meta.WorkerEdges[I] : 0);
+      W.endObject();
+    }
+    W.endArray();
+  }
   W.endObject();
 
   W.key("totals");
@@ -120,6 +141,10 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
   W.field("halt", haltReasonName(Stats.Halt));
   W.field("time_imbalance", runTimeImbalance(Stats.Steps));
   W.field("message_imbalance", runMessageImbalance(Stats.Steps));
+  if (Stats.MirrorHits || Stats.MirrorBytesSaved) {
+    W.field("mirror_hits", Stats.MirrorHits);
+    W.field("mirror_bytes_saved", Stats.MirrorBytesSaved);
+  }
   W.endObject();
 
   W.key("supersteps");
@@ -139,6 +164,10 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
     W.field("message_imbalance", S.messageImbalance());
     W.field("combiner_input", S.CombinerInput);
     W.field("combiner_output", S.CombinerOutput);
+    if (S.MirrorHits || S.MirrorBytesSaved) {
+      W.field("mirror_hits", S.MirrorHits);
+      W.field("mirror_bytes_saved", S.MirrorBytesSaved);
+    }
     W.key("workers");
     W.beginArray();
     for (size_t I = 0; I < S.Workers.size(); ++I) {
@@ -153,6 +182,10 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
       W.field("messages_received", WM.MessagesReceived);
       W.field("combiner_input", WM.CombinerInput);
       W.field("combiner_output", WM.CombinerOutput);
+      if (WM.MirrorHits || WM.MirrorBytesSaved) {
+        W.field("mirror_hits", WM.MirrorHits);
+        W.field("mirror_bytes_saved", WM.MirrorBytesSaved);
+      }
       W.endObject();
     }
     W.endArray();

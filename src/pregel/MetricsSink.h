@@ -46,6 +46,14 @@ struct RunMetadata {
   /// Bytes one message occupies in the engine's mailboxes — the packed
   /// record size, or sizeof(Message) on the boxed path (0 = not recorded).
   unsigned MailboxRecordBytes = 0;
+  /// Partition strategy ("hash", "range", ...; "" = not recorded) and the
+  /// LALP high-degree threshold (0 = LALP off).
+  std::string Partition;
+  uint32_t LalpThreshold = 0;
+  /// Per-worker owned vertex / out-edge counts under that partition
+  /// (empty = not recorded). Parallel vectors indexed by worker id.
+  std::vector<uint64_t> WorkerVertices;
+  std::vector<uint64_t> WorkerEdges;
 };
 
 /// Schema identity of the JSON run report.

@@ -1,0 +1,149 @@
+//===- pregel/Partitioner.h - Vertex-to-worker partitioning strategies ----===//
+///
+/// \file
+/// The partitioning subsystem of the simulated GPS runtime. GPS's headline
+/// runtime features beyond vanilla Pregel are smarter vertex partitioning
+/// and large-adjacency-list partitioning (LALP) for high-degree vertices;
+/// this header makes both first-class:
+///
+///  - a Partitioner interface with four strategies (hash — the classic
+///    Pregel default, contiguous range, edge-balanced greedy, degree-aware
+///    greedy) producing an immutable Partition map the engine routes every
+///    message through (with a fast path keeping hash partitioning at
+///    today's mod-W arithmetic);
+///  - a LalpPlan: per-worker mirror adjacency lists for vertices whose
+///    out-degree reaches a threshold, so a neighborhood broadcast ships one
+///    record per worker instead of one per out-edge and the receiving
+///    worker fans it out locally.
+///
+/// Partition choice must never leak into results: the engine delivers
+/// messages to each vertex in canonical ascending-source order regardless
+/// of the partition (see docs/partitioning.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_PREGEL_PARTITIONER_H
+#define GM_PREGEL_PARTITIONER_H
+
+#include "graph/Graph.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace gm::pregel {
+
+/// The bundled vertex-partitioning strategies.
+enum class PartitionStrategy : uint8_t {
+  Hash,         ///< worker(v) = v mod W (the Pregel/GPS default)
+  Range,        ///< contiguous id ranges with equal vertex counts
+  EdgeBalanced, ///< contiguous id ranges with balanced out-edge counts
+  DegreeAware,  ///< greedy: heaviest vertices first, least-loaded worker
+};
+
+/// Canonical CLI/report name of \p S ("hash", "range", "edge-balanced",
+/// "degree-aware").
+const char *partitionStrategyName(PartitionStrategy S);
+
+/// Inverse of partitionStrategyName; nullopt for unknown names.
+std::optional<PartitionStrategy> parsePartitionStrategy(std::string_view Name);
+
+/// An immutable vertex -> worker assignment. Hash partitions keep no map at
+/// all (isModulo), so the worker lookup stays one modulo, exactly as before
+/// the subsystem existed; every other strategy carries an explicit map plus
+/// per-worker owned-vertex lists in ascending id order.
+class Partition {
+public:
+  Partition() = default;
+
+  unsigned numWorkers() const { return W; }
+  NodeId numNodes() const { return N; }
+
+  /// True when worker lookup is plain mod-W arithmetic (no map load).
+  bool isModulo() const { return Modulo; }
+
+  unsigned workerOf(NodeId V) const {
+    assert(V < N && "vertex out of partition range");
+    return Modulo ? V % W : Map[V];
+  }
+
+  /// Vertices owned by \p Worker, ascending. Materialized for every
+  /// strategy (the engine's hot loops still use strided arithmetic on
+  /// modulo partitions; this is for map-driven iteration and reporting).
+  const std::vector<NodeId> &owned(unsigned Worker) const {
+    assert(Worker < W && "worker out of range");
+    return Owned[Worker];
+  }
+
+  size_t ownedCount(unsigned Worker) const { return Owned[Worker].size(); }
+
+  /// Out-edges owned by each worker (sum of owned vertices' out-degrees).
+  std::vector<uint64_t> edgeCounts(const Graph &G) const;
+
+  static Partition makeModulo(NodeId NumNodes, unsigned NumWorkers);
+  static Partition makeFromMap(std::vector<uint32_t> VertexToWorker,
+                               unsigned NumWorkers);
+
+private:
+  unsigned W = 1;
+  NodeId N = 0;
+  bool Modulo = true;
+  std::vector<uint32_t> Map;               ///< empty when Modulo
+  std::vector<std::vector<NodeId>> Owned;  ///< per worker, ascending ids
+};
+
+/// A partitioning strategy: turns a graph and a worker count into a
+/// Partition. Stateless; create via create().
+class Partitioner {
+public:
+  virtual ~Partitioner();
+
+  virtual Partition build(const Graph &G, unsigned NumWorkers) const = 0;
+  virtual PartitionStrategy strategy() const = 0;
+  const char *name() const { return partitionStrategyName(strategy()); }
+
+  static std::unique_ptr<Partitioner> create(PartitionStrategy S);
+};
+
+/// Convenience: create(S)->build(G, NumWorkers).
+Partition makePartition(const Graph &G, PartitionStrategy S,
+                        unsigned NumWorkers);
+
+/// Large-adjacency-list partitioning tables (GPS §LALP). For every
+/// high-degree vertex (out-degree >= Threshold) the plan holds, per worker,
+/// the slice of its out-neighbors that worker owns — in out-edge order, with
+/// duplicate edges kept — so a broadcast can be shipped once per worker and
+/// fanned out at the receiver with per-edge fidelity.
+struct LalpPlan {
+  uint32_t Threshold = 0; ///< 0 = LALP off (empty tables)
+  unsigned NumWorkers = 0;
+  /// Dense high-degree index per vertex; -1 = not high-degree.
+  std::vector<int32_t> HDIndex;
+  /// Fanout[hd * NumWorkers + w]: mirrors of high-degree vertex #hd on w.
+  std::vector<uint32_t> Fanout;
+  /// MirrorOff[hd * NumWorkers + w]: start of that mirror list in
+  /// MirrorNbrs (its length is the matching Fanout entry).
+  std::vector<uint32_t> MirrorOff;
+  /// All mirror lists, grouped by (hd, worker), each in out-edge order.
+  std::vector<NodeId> MirrorNbrs;
+
+  bool enabled() const { return Threshold != 0; }
+  bool isHighDegree(NodeId V) const { return HDIndex[V] >= 0; }
+
+  uint32_t fanout(int32_t HD, unsigned Worker) const {
+    return Fanout[size_t(HD) * NumWorkers + Worker];
+  }
+  const NodeId *mirrors(int32_t HD, unsigned Worker) const {
+    return MirrorNbrs.data() + MirrorOff[size_t(HD) * NumWorkers + Worker];
+  }
+};
+
+/// Builds the LALP tables for \p G under \p P. \p Threshold == 0 returns a
+/// disabled (empty) plan.
+LalpPlan buildLalpPlan(const Graph &G, const Partition &P, uint32_t Threshold);
+
+} // namespace gm::pregel
+
+#endif // GM_PREGEL_PARTITIONER_H

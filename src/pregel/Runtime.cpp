@@ -128,6 +128,9 @@ std::string RunStats::toString() const {
      << " network_messages=" << NetworkMessages
      << " network_bytes=" << NetworkBytes << " wall_seconds=" << WallSeconds
      << " halt=" << haltReasonName(Halt);
+  if (MirrorHits || MirrorBytesSaved)
+    OS << " mirror_hits=" << MirrorHits
+       << " mirror_bytes_saved=" << MirrorBytesSaved;
   return OS.str();
 }
 
@@ -141,6 +144,32 @@ NodeId MasterContext::pickRandomNode() {
 }
 
 void VertexContext::sendToAllOutNeighbors(const Message &M) {
+  if (Lalp && Lalp->isHighDegree(Id)) {
+    // LALP: ship one broadcast record per worker owning any out-neighbor;
+    // the receiver fans it out through the mirror lists (in out-edge order,
+    // so delivery matches the per-edge sends it replaces).
+    const int32_t HD = Lalp->HDIndex[Id];
+    if (Layout) {
+      std::array<std::byte, MaxPackedRecordBytes> Rec{};
+      packMessage(*Layout, Rec.data(), Id, M); // Dst rewritten per mirror
+      const size_t RS = Layout->recordSize();
+      for (unsigned Worker = 0; Worker < NumWorkers; ++Worker) {
+        if (Lalp->fanout(HD, Worker) == 0)
+          continue;
+        std::vector<std::byte> &S = BcastShards[Worker];
+        S.insert(S.end(), Rec.data(), Rec.data() + RS);
+        BcastSrcs[Worker].push_back(Id);
+      }
+      return;
+    }
+    Message C = M;
+    C.Src = Id;
+    C.Dst = Id; // rewritten per mirror at delivery
+    for (unsigned Worker = 0; Worker < NumWorkers; ++Worker)
+      if (Lalp->fanout(HD, Worker) != 0)
+        BcastBoxed[Worker].push_back(C);
+    return;
+  }
   if (Layout) {
     // Pack the payload once; only the 4-byte destination header differs per
     // neighbor. Zeroed scratch keeps record padding deterministic.
@@ -149,8 +178,10 @@ void VertexContext::sendToAllOutNeighbors(const Message &M) {
     const size_t RS = Layout->recordSize();
     for (NodeId Nbr : G.outNeighbors(Id)) {
       MessageLayout::writeDst(Rec.data(), Nbr);
-      std::vector<std::byte> &S = PackedShards[Nbr % NumWorkers];
+      const unsigned Worker = Part->workerOf(Nbr);
+      std::vector<std::byte> &S = PackedShards[Worker];
       S.insert(S.end(), Rec.data(), Rec.data() + RS);
+      ShardSrcs[Worker].push_back(Id);
     }
     return;
   }
@@ -158,23 +189,25 @@ void VertexContext::sendToAllOutNeighbors(const Message &M) {
   C.Src = Id;
   for (NodeId Nbr : G.outNeighbors(Id)) {
     C.Dst = Nbr;
-    Shards[Nbr % NumWorkers].push_back(C);
+    Shards[Part->workerOf(Nbr)].push_back(C);
   }
 }
 
 void VertexContext::sendTo(NodeId Target, const Message &M) {
   assert(Target < G.numNodes() && "sendTo target out of range");
+  const unsigned Worker = Part->workerOf(Target);
   if (Layout) {
     std::array<std::byte, MaxPackedRecordBytes> Rec{};
     packMessage(*Layout, Rec.data(), Target, M);
-    std::vector<std::byte> &S = PackedShards[Target % NumWorkers];
+    std::vector<std::byte> &S = PackedShards[Worker];
     S.insert(S.end(), Rec.data(), Rec.data() + Layout->recordSize());
+    ShardSrcs[Worker].push_back(Id);
     return;
   }
   Message C = M;
   C.Src = Id;
   C.Dst = Target;
-  Shards[Target % NumWorkers].push_back(C);
+  Shards[Worker].push_back(C);
 }
 
 /// Scratch state for one worker; lives for the whole run so that outbox
@@ -185,6 +218,16 @@ struct Engine::WorkerState {
   /// Cleared (capacity kept) by the receiving worker once delivered.
   std::vector<std::vector<Message>> Shards;
   std::vector<std::vector<std::byte>> PackedShards;
+  /// Source ids parallel to PackedShards, one per record: the canonical
+  /// ascending-source merge at delivery needs the sender, and packed
+  /// records don't carry it on the wire (boxed messages have Message::Src).
+  std::vector<std::vector<NodeId>> PackedSrcs;
+  /// LALP broadcast channel, per destination worker: one record per
+  /// high-degree broadcast (packed bytes + parallel sources, or boxed
+  /// messages), expanded via the mirror lists by the receiving worker.
+  std::vector<std::vector<std::byte>> BcastShards;
+  std::vector<std::vector<NodeId>> BcastSrcs;
+  std::vector<std::vector<Message>> BcastBoxed;
   GlobalObjects PrivateGlobals;
   uint64_t GlobalsRevision = ~0ull; ///< revision PrivateGlobals was cloned at
 
@@ -198,6 +241,7 @@ struct Engine::WorkerState {
   // says the entry is live for the current shard, so per-shard clearing is
   // one counter bump instead of an O(N) wipe.
   std::vector<std::byte> PackedKept;
+  std::vector<NodeId> KeptSrcs; ///< PackedSrcs compacted alongside PackedKept
   std::vector<uint32_t> DenseSlot;
   std::vector<uint32_t> DenseEpoch;
   uint32_t Epoch = 0;
@@ -207,6 +251,14 @@ struct Engine::WorkerState {
   uint64_t StepMessages = 0;
   uint64_t StepNetworkMessages = 0;
   uint64_t StepNetworkBytes = 0;
+  /// LALP tallies: BcastExpanded[w] is how many deliveries this worker's
+  /// broadcast records expand to on worker w (the inbox layout needs it
+  /// before delivery runs); StepMirrorSaved the network bytes the sender
+  /// avoided; StepMirrorHits the mirror deliveries this worker fanned out
+  /// as a receiver.
+  std::vector<uint64_t> BcastExpanded;
+  uint64_t StepMirrorSaved = 0;
+  uint64_t StepMirrorHits = 0;
 
   /// Number of this worker's vertices with Active set; maintained in the
   /// compute phase so quiescence needs an O(W) sum, not an O(N) scan.
@@ -216,7 +268,9 @@ struct Engine::WorkerState {
   uint32_t RegionStart = 0;
 };
 
-Engine::Engine(const Graph &G, Config Cfg) : G(G), Cfg(Cfg), Rng(Cfg.RandomSeed) {
+Engine::Engine(const Graph &G, Config Cfg)
+    : G(G), Cfg(Cfg), Part(makePartition(G, Cfg.Partition, Cfg.NumWorkers)),
+      Lalp(buildLalpPlan(G, Part, Cfg.LalpThreshold)), Rng(Cfg.RandomSeed) {
   assert(Cfg.NumWorkers > 0 && "need at least one worker");
 }
 
@@ -245,25 +299,30 @@ void Engine::combineShard(WorkerState &WS, std::vector<Message> &Shard) {
   Shard.swap(Kept); // Kept keeps the old buffer for reuse
 }
 
-void Engine::combineShardPacked(WorkerState &WS,
-                                std::vector<std::byte> &Shard) {
+void Engine::combineShardPacked(WorkerState &WS, std::vector<std::byte> &Shard,
+                                std::vector<NodeId> &Srcs) {
   const size_t RS = RecordBytes;
   const NodeId N = G.numNodes();
   std::vector<std::byte> &Kept = WS.PackedKept;
+  std::vector<NodeId> &KeptSrcs = WS.KeptSrcs;
   Kept.clear();
   Kept.reserve(Shard.size());
+  KeptSrcs.clear();
+  KeptSrcs.reserve(Srcs.size());
   if (++WS.Epoch == 0) {
     // Epoch counter wrapped: stale stamps could alias, wipe them once.
     std::fill(WS.DenseEpoch.begin(), WS.DenseEpoch.end(), 0u);
     WS.Epoch = 1;
   }
   const uint32_t Epoch = WS.Epoch;
+  size_t Idx = 0;
   for (const std::byte *P = Shard.data(), *E = P + Shard.size(); P != E;
-       P += RS) {
+       P += RS, ++Idx) {
     const int32_t Tag = Layout.recordTag(P);
     const int32_t Ord = CombineOrd[Tag];
     if (Ord < 0) {
       Kept.insert(Kept.end(), P, P + RS);
+      KeptSrcs.push_back(Srcs[Idx]);
       continue;
     }
     const size_t Key = size_t(Ord) * N + MessageLayout::recordDst(P);
@@ -273,6 +332,7 @@ void Engine::combineShardPacked(WorkerState &WS,
       WS.DenseEpoch[Key] = Epoch;
       WS.DenseSlot[Key] = static_cast<uint32_t>(Kept.size() / RS);
       Kept.insert(Kept.end(), P, P + RS);
+      KeptSrcs.push_back(Srcs[Idx]);
       continue;
     }
     const MsgTypeLayout &T = Layout.type(Tag);
@@ -280,6 +340,7 @@ void Engine::combineShardPacked(WorkerState &WS,
     applyReduceRaw(CombineOpByTag[Tag], T.Slots[0], Acc, P + T.Offset[0]);
   }
   Shard.swap(Kept); // Kept keeps the old buffer for reuse
+  Srcs.swap(KeptSrcs);
 }
 
 size_t Engine::shardCount(unsigned Sender, unsigned Dst) const {
@@ -290,7 +351,6 @@ size_t Engine::shardCount(unsigned Sender, unsigned Dst) const {
 void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
                           uint64_t Step, SuperstepMetrics *SM) {
   const unsigned W = Cfg.NumWorkers;
-  const NodeId N = G.numNodes();
   WorkerState &WS = Workers[WorkerId];
   WorkerStepMetrics *WM = SM ? &SM->Workers[WorkerId] : nullptr;
 
@@ -303,22 +363,30 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
   if (WM)
     T0 = Clock::now();
   uint64_t Ran = 0;
-  for (NodeId V = WorkerId; V < N; V += W) {
+  forEachOwned(WorkerId, [&](NodeId V) {
     const uint32_t InCount = InboxCount[V];
     if (!Active[V] && InCount == 0)
-      continue;
+      return;
     VertexContext Ctx(V, Step, G, Globals, WS.PrivateGlobals);
     if (UsePacked) {
       Ctx.PackedInbox =
           PackedInboxPool.data() + size_t(InboxOffset[V]) * RecordBytes;
       Ctx.InboxN = InCount;
       Ctx.PackedShards = WS.PackedShards.data();
+      Ctx.ShardSrcs = WS.PackedSrcs.data();
       Ctx.Layout = &Layout;
     } else {
       Ctx.Inbox =
           std::span<const Message>(InboxPool.data() + InboxOffset[V], InCount);
       Ctx.Shards = WS.Shards.data();
     }
+    if (Lalp.enabled()) {
+      Ctx.Lalp = &Lalp;
+      Ctx.BcastShards = WS.BcastShards.data();
+      Ctx.BcastSrcs = WS.BcastSrcs.data();
+      Ctx.BcastBoxed = WS.BcastBoxed.data();
+    }
+    Ctx.Part = &Part;
     Ctx.NumWorkers = W;
     Program.compute(Ctx);
     uint8_t NowActive = Ctx.VotedHalt ? 0 : 1;
@@ -326,7 +394,7 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
     WS.ActiveCount -= Active[V];
     Active[V] = NowActive;
     ++Ran;
-  }
+  });
   if (WM) {
     WM->ActiveVertices = Ran;
     WM->ComputeSeconds = secondsSince(T0);
@@ -336,13 +404,14 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
   // (dst, type) pair lives in exactly one shard, so per-shard combining
   // folds the same messages the old whole-outbox pass did.
   WS.StepMessages = WS.StepNetworkMessages = WS.StepNetworkBytes = 0;
+  WS.StepMirrorSaved = 0;
   uint64_t CombineIn = 0, CombineOut = 0;
   for (unsigned Dst = 0; Dst < W; ++Dst) {
     if (UsePacked) {
       std::vector<std::byte> &Shard = WS.PackedShards[Dst];
       if (!Cfg.Combiners.empty()) {
         CombineIn += Shard.size() / RecordBytes;
-        combineShardPacked(WS, Shard);
+        combineShardPacked(WS, Shard, WS.PackedSrcs[Dst]);
         CombineOut += Shard.size() / RecordBytes;
       }
       const uint64_t Count = Shard.size() / RecordBytes;
@@ -373,10 +442,57 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
         WS.StepNetworkBytes += M.wireSize(Cfg.TaggedMessages);
     }
   }
+
+  // LALP broadcast channel: each record counts as one sent message; the
+  // deliveries it expands to are tallied into BcastExpanded so the barrier
+  // can size inbox regions, and the per-edge sends it replaced are credited
+  // as saved network bytes on remote shards. Broadcast records are never
+  // combined at the sender — the receiver folds them after expansion.
+  if (Lalp.enabled()) {
+    WS.BcastExpanded.assign(W, 0);
+    for (unsigned Dst = 0; Dst < W; ++Dst) {
+      if (UsePacked) {
+        const std::vector<std::byte> &Shard = WS.BcastShards[Dst];
+        const std::vector<NodeId> &Srcs = WS.BcastSrcs[Dst];
+        const uint64_t Count = Shard.size() / RecordBytes;
+        WS.StepMessages += Count;
+        if (Dst != WorkerId)
+          WS.StepNetworkMessages += Count;
+        const std::byte *P = Shard.data();
+        for (uint64_t I = 0; I < Count; ++I, P += RecordBytes) {
+          const uint64_t F = Lalp.fanout(Lalp.HDIndex[Srcs[I]], Dst);
+          WS.BcastExpanded[Dst] += F;
+          if (Dst != WorkerId) {
+            const uint32_t WB = !Layout.storesTag()
+                                    ? WireBytesByTag[Layout.soleTag()]
+                                    : WireBytesByTag[Layout.recordTag(P)];
+            WS.StepNetworkBytes += WB;
+            WS.StepMirrorSaved += (F - 1) * WB;
+          }
+        }
+        continue;
+      }
+      const std::vector<Message> &Shard = WS.BcastBoxed[Dst];
+      WS.StepMessages += Shard.size();
+      if (Dst != WorkerId)
+        WS.StepNetworkMessages += Shard.size();
+      for (const Message &M : Shard) {
+        const uint64_t F = Lalp.fanout(Lalp.HDIndex[M.Src], Dst);
+        WS.BcastExpanded[Dst] += F;
+        if (Dst != WorkerId) {
+          const uint32_t WB = M.wireSize(Cfg.TaggedMessages);
+          WS.StepNetworkBytes += WB;
+          WS.StepMirrorSaved += (F - 1) * WB;
+        }
+      }
+    }
+  }
+
   if (WM) {
     WM->MessagesSent = WS.StepMessages;
     WM->NetworkMessagesSent = WS.StepNetworkMessages;
     WM->BytesSent = WS.StepNetworkBytes;
+    WM->MirrorBytesSaved = WS.StepMirrorSaved;
     if (!Cfg.Combiners.empty()) {
       WM->CombinerInput = CombineIn;
       WM->CombinerOutput = CombineOut;
@@ -388,78 +504,272 @@ void Engine::deliverPhase(unsigned WorkerId, SuperstepMetrics *SM) {
   const unsigned W = Cfg.NumWorkers;
   const NodeId N = G.numNodes();
   WorkerState &WS = Workers[WorkerId];
+  WS.StepMirrorHits = 0;
 
-  // Counting sort of this worker's inbound messages (shard WorkerId of
-  // every sender) into its region of InboxPool. Scanning senders in worker
-  // order keeps the delivery order of the old sequential merge: per
-  // destination vertex, messages arrive sender-worker-major, then in the
-  // sender's emission order.
-  for (NodeId V = WorkerId; V < N; V += W)
-    InboxCount[V] = 0;
+  // Merge of this worker's inbound shards (shard WorkerId of every sender —
+  // normal channel first, then the LALP broadcast channel) into its region
+  // of the inbox pool, in canonical order: per destination vertex, messages
+  // land in ascending source id, ties in the source's emission order (its
+  // normal sends before its broadcast). Every shard is already
+  // source-ascending because vertex loops walk owned vertices in ascending
+  // order, so a multi-run merge suffices — and because the order no longer
+  // depends on which worker sent what, delivery (and therefore every
+  // result) is invariant under the partition strategy and worker count.
+  forEachOwned(WorkerId, [&](NodeId V) { InboxCount[V] = 0; });
+
+  const bool HasLalp = Lalp.enabled();
+
   if (UsePacked) {
     const size_t RS = RecordBytes;
+    // Count deliveries per destination vertex (broadcasts count once per
+    // mirror).
     for (unsigned Sender = 0; Sender < W; ++Sender) {
       const std::vector<std::byte> &Shard =
           Workers[Sender].PackedShards[WorkerId];
       for (const std::byte *P = Shard.data(), *E = P + Shard.size(); P != E;
            P += RS)
         ++InboxCount[MessageLayout::recordDst(P)];
+      if (!HasLalp)
+        continue;
+      for (NodeId Src : Workers[Sender].BcastSrcs[WorkerId]) {
+        const int32_t HD = Lalp.HDIndex[Src];
+        const uint32_t F = Lalp.fanout(HD, WorkerId);
+        const NodeId *Mir = Lalp.mirrors(HD, WorkerId);
+        for (uint32_t J = 0; J < F; ++J)
+          ++InboxCount[Mir[J]];
+      }
     }
 
     uint32_t Base = WS.RegionStart;
-    for (NodeId V = WorkerId; V < N; V += W) {
+    forEachOwned(WorkerId, [&](NodeId V) {
       InboxOffset[V] = Base;
       Cursor[V] = Base;
       Base += InboxCount[V];
+    });
+
+    // Receive-side combining: with LALP on, a broadcast expands into many
+    // same-payload deliveries, so combiners must also fold after expansion
+    // to keep inboxes small. LALP-off runs skip this entirely and stay
+    // bit-identical to the historical sender-combined behaviour.
+    const bool RecvCombine = HasLalp && NumCombinable > 0;
+    if (RecvCombine && ++WS.Epoch == 0) {
+      std::fill(WS.DenseEpoch.begin(), WS.DenseEpoch.end(), 0u);
+      WS.Epoch = 1;
     }
+    const uint32_t Epoch = WS.Epoch;
+
+    auto Deliver = [&](const std::byte *P, NodeId Dst) {
+      if (RecvCombine) {
+        const int32_t Tag = Layout.recordTag(P);
+        const int32_t Ord = CombineOrd[Tag];
+        if (Ord >= 0) {
+          const size_t Key = size_t(Ord) * N + Dst;
+          if (WS.DenseEpoch[Key] == Epoch) {
+            const MsgTypeLayout &T = Layout.type(Tag);
+            std::byte *Acc = PackedInboxPool.data() +
+                             size_t(WS.DenseSlot[Key]) * RS + T.Offset[0];
+            applyReduceRaw(CombineOpByTag[Tag], T.Slots[0], Acc,
+                           P + T.Offset[0]);
+            return;
+          }
+          WS.DenseEpoch[Key] = Epoch;
+          WS.DenseSlot[Key] = Cursor[Dst];
+        }
+      }
+      std::byte *Out = PackedInboxPool.data() + size_t(Cursor[Dst]++) * RS;
+      std::memcpy(Out, P, RS);
+      MessageLayout::writeDst(Out, Dst);
+    };
+
+    // Merge runs in a fixed scan order (normal shards by sender, then
+    // broadcast shards by sender); the earliest run wins head ties, which
+    // is exactly the canonical tie-break since one source's normal sends
+    // live in a single run and its broadcasts in a single later run.
+    struct Run {
+      const std::byte *P, *E;
+      const NodeId *S;
+      bool Bcast;
+    };
+    std::vector<Run> Runs;
+    Runs.reserve(2 * W);
+    for (unsigned Sender = 0; Sender < W; ++Sender) {
+      const std::vector<std::byte> &Shard =
+          Workers[Sender].PackedShards[WorkerId];
+      if (!Shard.empty())
+        Runs.push_back({Shard.data(), Shard.data() + Shard.size(),
+                        Workers[Sender].PackedSrcs[WorkerId].data(), false});
+    }
+    if (HasLalp)
+      for (unsigned Sender = 0; Sender < W; ++Sender) {
+        const std::vector<std::byte> &Shard =
+            Workers[Sender].BcastShards[WorkerId];
+        if (!Shard.empty())
+          Runs.push_back({Shard.data(), Shard.data() + Shard.size(),
+                          Workers[Sender].BcastSrcs[WorkerId].data(), true});
+      }
 
     uint64_t Received = 0;
-    for (unsigned Sender = 0; Sender < W; ++Sender) {
-      std::vector<std::byte> &Shard = Workers[Sender].PackedShards[WorkerId];
-      for (const std::byte *P = Shard.data(), *E = P + Shard.size(); P != E;
-           P += RS) {
-        const NodeId Dst = MessageLayout::recordDst(P);
-        assert(Dst % W == WorkerId && "message in wrong shard");
-        std::memcpy(PackedInboxPool.data() + size_t(Cursor[Dst]++) * RS, P,
-                    RS);
-      }
-      Received += Shard.size() / RS;
-      Shard.clear(); // capacity kept; the sender refills it next superstep
+    while (!Runs.empty()) {
+      size_t Best = 0;
+      for (size_t R = 1; R < Runs.size(); ++R)
+        if (*Runs[R].S < *Runs[Best].S)
+          Best = R;
+      Run &Rn = Runs[Best];
+      const NodeId Src = *Rn.S;
+      do {
+        if (!Rn.Bcast) {
+          const NodeId Dst = MessageLayout::recordDst(Rn.P);
+          assert(Part.workerOf(Dst) == WorkerId && "message in wrong shard");
+          Deliver(Rn.P, Dst);
+          ++Received;
+        } else {
+          const int32_t HD = Lalp.HDIndex[Src];
+          const uint32_t F = Lalp.fanout(HD, WorkerId);
+          const NodeId *Mir = Lalp.mirrors(HD, WorkerId);
+          for (uint32_t J = 0; J < F; ++J)
+            Deliver(Rn.P, Mir[J]);
+          Received += F;
+          WS.StepMirrorHits += F;
+        }
+        Rn.P += RS;
+        ++Rn.S;
+      } while (Rn.P != Rn.E && *Rn.S == Src);
+      if (Rn.P == Rn.E)
+        Runs.erase(Runs.begin() + Best); // keep scan order for tie-breaks
     }
-    if (SM)
+
+    // Combining shortened some vertices' inboxes in place.
+    if (RecvCombine)
+      forEachOwned(WorkerId,
+                   [&](NodeId V) { InboxCount[V] = Cursor[V] - InboxOffset[V]; });
+
+    for (unsigned Sender = 0; Sender < W; ++Sender) {
+      // Capacity kept; the sender refills them next superstep.
+      Workers[Sender].PackedShards[WorkerId].clear();
+      Workers[Sender].PackedSrcs[WorkerId].clear();
+      if (HasLalp) {
+        Workers[Sender].BcastShards[WorkerId].clear();
+        Workers[Sender].BcastSrcs[WorkerId].clear();
+      }
+    }
+    if (SM) {
       SM->Workers[WorkerId].MessagesReceived = Received;
+      SM->Workers[WorkerId].MirrorHits = WS.StepMirrorHits;
+    }
     return;
   }
 
-  for (unsigned Sender = 0; Sender < W; ++Sender)
+  for (unsigned Sender = 0; Sender < W; ++Sender) {
     for (const Message &M : Workers[Sender].Shards[WorkerId])
       ++InboxCount[M.Dst];
+    if (!HasLalp)
+      continue;
+    for (const Message &M : Workers[Sender].BcastBoxed[WorkerId]) {
+      const int32_t HD = Lalp.HDIndex[M.Src];
+      const uint32_t F = Lalp.fanout(HD, WorkerId);
+      const NodeId *Mir = Lalp.mirrors(HD, WorkerId);
+      for (uint32_t J = 0; J < F; ++J)
+        ++InboxCount[Mir[J]];
+    }
+  }
 
   uint32_t Base = WS.RegionStart;
-  for (NodeId V = WorkerId; V < N; V += W) {
+  forEachOwned(WorkerId, [&](NodeId V) {
     InboxOffset[V] = Base;
     Cursor[V] = Base;
     Base += InboxCount[V];
-  }
+  });
 
   // Layout cross-check (sequential boxed runs only; threaded runs would
   // race on the shared error slot).
   const MessageLayout *Check = Cfg.Threaded ? nullptr : Cfg.ValidateLayout;
 
-  uint64_t Received = 0;
-  for (unsigned Sender = 0; Sender < W; ++Sender) {
-    std::vector<Message> &Shard = Workers[Sender].Shards[WorkerId];
-    for (const Message &M : Shard) {
-      assert(M.Dst % W == WorkerId && "message in wrong shard");
-      if (Check && LayoutCheckError.empty())
-        LayoutCheckError = schemaMismatch(*Check, M);
-      InboxPool[Cursor[M.Dst]++] = M;
+  const bool RecvCombine = HasLalp && !Cfg.Combiners.empty();
+  if (RecvCombine)
+    WS.CombineSlot.clear();
+
+  auto Deliver = [&](const Message &M, NodeId Dst) {
+    if (RecvCombine && M.Size == 1) {
+      auto It = Cfg.Combiners.find(M.Type);
+      if (It != Cfg.Combiners.end()) {
+        const uint64_t Key =
+            (uint64_t(Dst) << 32) | static_cast<uint32_t>(M.Type);
+        auto [SlotIt, Fresh] = WS.CombineSlot.try_emplace(Key, Cursor[Dst]);
+        if (!Fresh) {
+          applyReduce(It->second, InboxPool[SlotIt->second].Payload[0],
+                      M.Payload[0]);
+          return;
+        }
+      }
     }
-    Received += Shard.size();
-    Shard.clear(); // capacity kept; the sender refills it next superstep
+    Message &Out = InboxPool[Cursor[Dst]++];
+    Out = M;
+    Out.Dst = Dst;
+  };
+
+  struct Run {
+    const Message *P, *E;
+    bool Bcast;
+  };
+  std::vector<Run> Runs;
+  Runs.reserve(2 * W);
+  for (unsigned Sender = 0; Sender < W; ++Sender) {
+    const std::vector<Message> &Shard = Workers[Sender].Shards[WorkerId];
+    if (!Shard.empty())
+      Runs.push_back({Shard.data(), Shard.data() + Shard.size(), false});
   }
-  if (SM)
+  if (HasLalp)
+    for (unsigned Sender = 0; Sender < W; ++Sender) {
+      const std::vector<Message> &Shard = Workers[Sender].BcastBoxed[WorkerId];
+      if (!Shard.empty())
+        Runs.push_back({Shard.data(), Shard.data() + Shard.size(), true});
+    }
+
+  uint64_t Received = 0;
+  while (!Runs.empty()) {
+    size_t Best = 0;
+    for (size_t R = 1; R < Runs.size(); ++R)
+      if (Runs[R].P->Src < Runs[Best].P->Src)
+        Best = R;
+    Run &Rn = Runs[Best];
+    const NodeId Src = Rn.P->Src;
+    do {
+      if (Check && LayoutCheckError.empty())
+        LayoutCheckError = schemaMismatch(*Check, *Rn.P);
+      if (!Rn.Bcast) {
+        assert(Part.workerOf(Rn.P->Dst) == WorkerId &&
+               "message in wrong shard");
+        Deliver(*Rn.P, Rn.P->Dst);
+        ++Received;
+      } else {
+        const int32_t HD = Lalp.HDIndex[Src];
+        const uint32_t F = Lalp.fanout(HD, WorkerId);
+        const NodeId *Mir = Lalp.mirrors(HD, WorkerId);
+        for (uint32_t J = 0; J < F; ++J)
+          Deliver(*Rn.P, Mir[J]);
+        Received += F;
+        WS.StepMirrorHits += F;
+      }
+      ++Rn.P;
+    } while (Rn.P != Rn.E && Rn.P->Src == Src);
+    if (Rn.P == Rn.E)
+      Runs.erase(Runs.begin() + Best); // keep scan order for tie-breaks
+  }
+
+  if (RecvCombine)
+    forEachOwned(WorkerId,
+                 [&](NodeId V) { InboxCount[V] = Cursor[V] - InboxOffset[V]; });
+
+  for (unsigned Sender = 0; Sender < W; ++Sender) {
+    // Capacity kept; the sender refills them next superstep.
+    Workers[Sender].Shards[WorkerId].clear();
+    if (HasLalp)
+      Workers[Sender].BcastBoxed[WorkerId].clear();
+  }
+  if (SM) {
     SM->Workers[WorkerId].MessagesReceived = Received;
+    SM->Workers[WorkerId].MirrorHits = WS.StepMirrorHits;
+  }
 }
 
 RunStats Engine::run(VertexProgram &Program) {
@@ -526,7 +836,11 @@ RunStats Engine::run(VertexProgram &Program) {
       WS.PackedShards.resize(W);
       for (std::vector<std::byte> &S : WS.PackedShards)
         S.clear();
+      WS.PackedSrcs.resize(W);
+      for (std::vector<NodeId> &S : WS.PackedSrcs)
+        S.clear();
       WS.PackedKept.clear();
+      WS.KeptSrcs.clear();
       if (NumCombinable > 0) {
         WS.DenseEpoch.assign(size_t(NumCombinable) * N, 0);
         WS.DenseSlot.resize(size_t(NumCombinable) * N);
@@ -537,7 +851,22 @@ RunStats Engine::run(VertexProgram &Program) {
       for (std::vector<Message> &S : WS.Shards)
         S.clear();
     }
-    WS.ActiveCount = WorkerId < N ? (N - WorkerId - 1) / W + 1 : 0;
+    if (Lalp.enabled()) {
+      if (UsePacked) {
+        WS.BcastShards.resize(W);
+        for (std::vector<std::byte> &S : WS.BcastShards)
+          S.clear();
+        WS.BcastSrcs.resize(W);
+        for (std::vector<NodeId> &S : WS.BcastSrcs)
+          S.clear();
+      } else {
+        WS.BcastBoxed.resize(W);
+        for (std::vector<Message> &S : WS.BcastBoxed)
+          S.clear();
+      }
+    }
+    WS.BcastExpanded.assign(W, 0);
+    WS.ActiveCount = Part.ownedCount(WorkerId);
     WS.GlobalsRevision = ~0ull;
   }
 
@@ -619,48 +948,59 @@ RunStats Engine::run(VertexProgram &Program) {
     // Barrier, sequential part: merge worker-private global contributions
     // and sum the wire tallies in worker order (deterministic, identical to
     // the single-threaded accumulation), then lay out each worker's region
-    // of the next inbox.
-    uint64_t StepMessages = 0;
+    // of the next inbox. Sent counts (a LALP broadcast record counts once)
+    // feed the stats; delivered counts (broadcasts expanded per mirror)
+    // size the inbox regions. They coincide whenever LALP is off.
+    uint64_t StepSent = 0;
     for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId) {
       WorkerState &WS = Workers[WorkerId];
       Globals.mergePendingFrom(WS.PrivateGlobals);
       Stats.TotalMessages += WS.StepMessages;
       Stats.NetworkMessages += WS.StepNetworkMessages;
       Stats.NetworkBytes += WS.StepNetworkBytes;
+      Stats.MirrorBytesSaved += WS.StepMirrorSaved;
+      StepSent += WS.StepMessages;
     }
+    uint64_t StepDelivered = 0;
     for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId) {
       uint64_t Inbound = 0;
       for (unsigned Sender = 0; Sender < W; ++Sender)
-        Inbound += shardCount(Sender, WorkerId);
-      assert(StepMessages + Inbound <= UINT32_MAX &&
+        Inbound += shardCount(Sender, WorkerId) +
+                   Workers[Sender].BcastExpanded[WorkerId];
+      assert(StepDelivered + Inbound <= UINT32_MAX &&
              "inbox offsets overflow uint32");
-      Workers[WorkerId].RegionStart = static_cast<uint32_t>(StepMessages);
-      StepMessages += Inbound;
+      Workers[WorkerId].RegionStart = static_cast<uint32_t>(StepDelivered);
+      StepDelivered += Inbound;
     }
     Stats.Supersteps = Step + 1;
-    Stats.MessagesPerStep.push_back(StepMessages);
+    Stats.MessagesPerStep.push_back(StepSent);
     Globals.resolveBarrier();
     if (UsePacked)
-      PackedInboxPool.resize(size_t(StepMessages) * RecordBytes);
+      PackedInboxPool.resize(size_t(StepDelivered) * RecordBytes);
     else
-      InboxPool.resize(StepMessages);
+      InboxPool.resize(StepDelivered);
 
-    // Barrier, parallel part: every worker counting-sorts its own inbound
-    // messages into its inbox region.
+    // Barrier, parallel part: every worker merges its own inbound messages
+    // into its inbox region in canonical source order.
     ForEachWorker(DeliverTask);
-    PendingMessageCount = StepMessages;
+    PendingMessageCount = StepDelivered;
+    if (Lalp.enabled())
+      for (const WorkerState &WS : Workers)
+        Stats.MirrorHits += WS.StepMirrorHits;
 
     if (SMp) {
       SM.BarrierSeconds += secondsSince(BarrierT0);
       SM.Step = Step;
       SM.Label = MC.phaseLabel();
-      SM.Messages = StepMessages;
+      SM.Messages = StepSent;
       for (const WorkerStepMetrics &WM : SM.Workers) {
         SM.ActiveVertices += WM.ActiveVertices;
         SM.NetworkMessages += WM.NetworkMessagesSent;
         SM.NetworkBytes += WM.BytesSent;
         SM.CombinerInput += WM.CombinerInput;
         SM.CombinerOutput += WM.CombinerOutput;
+        SM.MirrorHits += WM.MirrorHits;
+        SM.MirrorBytesSaved += WM.MirrorBytesSaved;
       }
       Stats.Steps.push_back(std::move(SM));
     }

@@ -2,10 +2,16 @@
 ///
 /// \file
 /// A bulk-synchronous Pregel runtime in the style of GPS. The graph's
-/// vertices are hash-partitioned across W workers; each superstep the master
-/// runs first (GPS's `master.compute()`), then every active vertex runs
-/// `compute()`, and messages become visible at the next superstep. Messages
-/// crossing a worker boundary are accounted as network traffic.
+/// vertices are partitioned across W workers (hash by default; see
+/// Partitioner.h for the other strategies and LALP mirroring); each superstep
+/// the master runs first (GPS's `master.compute()`), then every active vertex
+/// runs `compute()`, and messages become visible at the next superstep.
+/// Messages crossing a worker boundary are accounted as network traffic.
+///
+/// Message delivery order is canonical: each vertex reads its inbox in
+/// ascending source-vertex id (ties in a source's emission order), so
+/// results are independent of the partition strategy, the worker count, and
+/// threaded vs. sequential execution.
 ///
 /// This is the substitution for the paper's cluster deployment: the same BSP
 /// semantics, timestep counts and message volumes, on simulated workers.
@@ -19,6 +25,7 @@
 #include "pregel/GlobalObjects.h"
 #include "pregel/Message.h"
 #include "pregel/Metrics.h"
+#include "pregel/Partitioner.h"
 
 #include <cstdint>
 #include <map>
@@ -46,6 +53,11 @@ struct RunStats {
   uint64_t TotalMessages = 0;
   uint64_t NetworkMessages = 0; ///< messages that crossed a worker boundary
   uint64_t NetworkBytes = 0;    ///< wire bytes of those messages
+  /// LALP mirroring (Config::LalpThreshold): deliveries fanned out from
+  /// broadcast records at the receiving worker, and the network bytes those
+  /// broadcasts avoided shipping. Both 0 when LALP is off.
+  uint64_t MirrorHits = 0;
+  uint64_t MirrorBytesSaved = 0;
   double WallSeconds = 0.0;
   /// Why the run stopped (master-halt / quiescence / max-supersteps).
   HaltReason Halt = HaltReason::None;
@@ -70,6 +82,14 @@ enum class MessageFormat : uint8_t {
 struct Config {
   unsigned NumWorkers = 4;
   bool Threaded = false;     ///< real std::thread workers vs. sequential sim
+  /// Vertex-to-worker assignment strategy (see Partitioner.h). Hash keeps
+  /// the historical v mod W placement; results are identical under every
+  /// strategy, only load balance and network traffic change.
+  PartitionStrategy Partition = PartitionStrategy::Hash;
+  /// LALP (large-adjacency-list partitioning) threshold: vertices with
+  /// out-degree >= this broadcast to out-neighbors as one record per worker,
+  /// fanned out from per-worker mirror lists at the receiver. 0 = off.
+  uint32_t LalpThreshold = 0;
   uint64_t RandomSeed = 1;   ///< seed for master-side PickRandom
   uint64_t MaxSupersteps = 1u << 20; ///< runaway guard
   bool TaggedMessages = false; ///< program uses >1 message type (adds 4B/msg)
@@ -206,7 +226,19 @@ private:
   const std::byte *PackedInbox = nullptr;
   size_t InboxN = 0;
   std::vector<std::byte> *PackedShards = nullptr;
+  /// Source ids parallel to PackedShards (one per record): the delivery
+  /// phase merges shards into canonical ascending-source order, and packed
+  /// records don't carry the sender on the wire.
+  std::vector<NodeId> *ShardSrcs = nullptr;
+  /// LALP broadcast channel: one record per (high-degree source, worker),
+  /// expanded via the mirror lists at the receiver. Boxed runs use
+  /// BcastBoxed instead of BcastShards/BcastSrcs.
+  std::vector<std::byte> *BcastShards = nullptr;
+  std::vector<NodeId> *BcastSrcs = nullptr;
+  std::vector<Message> *BcastBoxed = nullptr;
   const MessageLayout *Layout = nullptr;
+  const Partition *Part = nullptr;
+  const LalpPlan *Lalp = nullptr; ///< null when LALP is off
   unsigned NumWorkers = 0;
   bool VotedHalt = false;
 };
@@ -244,10 +276,13 @@ public:
 /// executes the vertex phase with destination-sharded outboxes (combining
 /// and wire accounting happen on the sending worker), a short sequential
 /// coordination step merges globals and sums per-worker tallies in worker
-/// order, and each worker then counting-sorts its own inbound messages into
-/// a private region of the shared inbox pool. Threaded and sequential modes
-/// execute the same per-worker functions, so RunStats counters, message
-/// delivery order, and vertex results are bit-identical between them.
+/// order, and each worker then merges its own inbound shards into a private
+/// region of the shared inbox pool in canonical ascending-source order
+/// (expanding LALP broadcast records through the mirror lists as it goes).
+/// Threaded and sequential modes execute the same per-worker functions, so
+/// RunStats counters, message delivery order, and vertex results are
+/// bit-identical between them — and the canonical order additionally makes
+/// them invariant under the partition strategy and worker count.
 class Engine {
 public:
   Engine(const Graph &G, Config Cfg);
@@ -260,21 +295,40 @@ public:
 
   const Config &config() const { return Cfg; }
 
-  unsigned workerOf(NodeId N) const { return N % Cfg.NumWorkers; }
+  unsigned workerOf(NodeId V) const { return Part.workerOf(V); }
+  const Partition &partition() const { return Part; }
+  const LalpPlan &lalpPlan() const { return Lalp; }
 
 private:
   struct WorkerState;
+
+  /// Applies \p Body to every vertex owned by \p WorkerId, ascending. Keeps
+  /// the historical strided loop (no map loads) on modulo partitions.
+  template <typename Fn> void forEachOwned(unsigned WorkerId, Fn Body) const {
+    if (Part.isModulo()) {
+      const NodeId N = G.numNodes();
+      for (NodeId V = WorkerId; V < N; V += Cfg.NumWorkers)
+        Body(V);
+      return;
+    }
+    for (NodeId V : Part.owned(WorkerId))
+      Body(V);
+  }
 
   void computePhase(unsigned WorkerId, VertexProgram &Program, uint64_t Step,
                     SuperstepMetrics *SM);
   void deliverPhase(unsigned WorkerId, SuperstepMetrics *SM);
   void combineShard(WorkerState &WS, std::vector<Message> &Shard);
-  void combineShardPacked(WorkerState &WS, std::vector<std::byte> &Shard);
-  /// Messages currently parked in Workers[Sender]'s shard for \p Dst.
+  void combineShardPacked(WorkerState &WS, std::vector<std::byte> &Shard,
+                          std::vector<NodeId> &Srcs);
+  /// Messages currently parked in Workers[Sender]'s shard for \p Dst
+  /// (normal channel; LALP broadcast records are tallied separately).
   size_t shardCount(unsigned Sender, unsigned Dst) const;
 
   const Graph &G;
   Config Cfg;
+  Partition Part;
+  LalpPlan Lalp;
   GlobalObjects Globals;
   std::mt19937_64 Rng;
 

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 
 namespace {
 
@@ -98,6 +100,35 @@ TEST(Graph, BuilderInsertionOrderIsStableWithinSource) {
   EXPECT_EQ(N0[1], 1u);
 }
 
+TEST(Graph, BuildRejectsOutOfRangeEndpoints) {
+  {
+    Graph::Builder B(3);
+    B.addEdge(0, 1);
+    B.addEdge(1, 3); // dst == NumNodes
+    EXPECT_THROW(std::move(B).build(), std::invalid_argument);
+  }
+  {
+    Graph::Builder B(3);
+    B.addEdge(7, 0); // src > NumNodes
+    EXPECT_THROW(std::move(B).build(), std::invalid_argument);
+  }
+}
+
+TEST(Graph, BuildDiagnosticNamesEdgeAndBound) {
+  Graph::Builder B(4);
+  B.addEdge(0, 1);
+  B.addEdge(2, 9);
+  try {
+    std::move(B).build();
+    FAIL() << "build() should have thrown";
+  } catch (const std::invalid_argument &E) {
+    std::string What = E.what();
+    EXPECT_NE(What.find("edge 1"), std::string::npos) << What;
+    EXPECT_NE(What.find("2 -> 9"), std::string::npos) << What;
+    EXPECT_NE(What.find("4 nodes"), std::string::npos) << What;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Generators
 //===----------------------------------------------------------------------===//
@@ -126,6 +157,26 @@ TEST(Generators, UniformRandomIsDeterministicPerSeed) {
   Graph C = generateUniformRandom(100, 500, 8);
   EXPECT_EQ(writeEdgeList(A), writeEdgeList(B));
   EXPECT_NE(writeEdgeList(A), writeEdgeList(C));
+}
+
+TEST(Generators, AllFamiliesAreDeterministicPerSeed) {
+  // Same seed -> identical edge list; different seed -> different edge list.
+  // This is what makes benchmark configs reproducible from (family, N, M,
+  // seed) tuples alone.
+  for (uint64_t Seed : {1ull, 42ull, 12345ull}) {
+    EXPECT_EQ(writeEdgeList(generateRMAT(1 << 8, 1 << 10, Seed)),
+              writeEdgeList(generateRMAT(1 << 8, 1 << 10, Seed)));
+    EXPECT_EQ(writeEdgeList(generateBipartite(64, 96, 512, Seed)),
+              writeEdgeList(generateBipartite(64, 96, 512, Seed)));
+    EXPECT_EQ(writeEdgeList(generateWebLike(200, 1000, Seed)),
+              writeEdgeList(generateWebLike(200, 1000, Seed)));
+  }
+  EXPECT_NE(writeEdgeList(generateRMAT(1 << 8, 1 << 10, 1)),
+            writeEdgeList(generateRMAT(1 << 8, 1 << 10, 2)));
+  EXPECT_NE(writeEdgeList(generateBipartite(64, 96, 512, 1)),
+            writeEdgeList(generateBipartite(64, 96, 512, 2)));
+  EXPECT_NE(writeEdgeList(generateWebLike(200, 1000, 1)),
+            writeEdgeList(generateWebLike(200, 1000, 2)));
 }
 
 TEST(Generators, RMATIsSkewed) {
@@ -208,6 +259,47 @@ TEST(EdgeListIO, RejectsMalformedInput) {
   EXPECT_FALSE(parseEdgeList("0 x\n", 0, &Err).has_value());
   EXPECT_FALSE(Err.empty());
   EXPECT_FALSE(parseEdgeList("5\n", 0, &Err).has_value());
+}
+
+TEST(EdgeListIO, RejectsNonNumericTokensWithLineNumber) {
+  std::string Err;
+  EXPECT_FALSE(parseEdgeList("0 1\n1 2\nfoo 3\n", 0, &Err).has_value());
+  EXPECT_NE(Err.find("line 3"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("'foo'"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("source"), std::string::npos) << Err;
+
+  EXPECT_FALSE(parseEdgeList("0 1\n2 bar\n", 0, &Err).has_value());
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("'bar'"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("destination"), std::string::npos) << Err;
+}
+
+TEST(EdgeListIO, RejectsTruncatedEdge) {
+  std::string Err;
+  EXPECT_FALSE(parseEdgeList("0 1\n7", 0, &Err).has_value());
+  EXPECT_NE(Err.find("truncated"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("destination"), std::string::npos) << Err;
+}
+
+TEST(EdgeListIO, RejectsOutOfRangeNodeIds) {
+  std::string Err;
+  // 2^32 - 1 collides with InvalidNode; anything larger overflows NodeId.
+  EXPECT_FALSE(parseEdgeList("0 4294967295\n", 0, &Err).has_value());
+  EXPECT_NE(Err.find("out of range"), std::string::npos) << Err;
+  EXPECT_FALSE(parseEdgeList("99999999999999999999 1\n", 0, &Err).has_value());
+  EXPECT_NE(Err.find("out of range"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("'99999999999999999999'"), std::string::npos) << Err;
+}
+
+TEST(EdgeListIO, TruncatedFileReportsError) {
+  std::string Path = ::testing::TempDir() + "/gm_truncated.el";
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << "0 1\n1 2\n2"; // file ends mid-edge
+  }
+  std::string Err;
+  EXPECT_FALSE(loadEdgeListFile(Path, 0, &Err).has_value());
+  EXPECT_NE(Err.find("truncated"), std::string::npos) << Err;
 }
 
 TEST(EdgeListIO, RejectsEmptyWithoutHint) {

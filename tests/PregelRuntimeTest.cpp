@@ -631,17 +631,36 @@ TEST(Determinism, RunsAreRepeatable) {
   EXPECT_EQ(A.SeenAtZero.size(), 200u);
 }
 
-TEST(Determinism, InboxGroupsByWorkerThenVertexOrder) {
+TEST(Determinism, InboxArrivesInAscendingSourceOrder) {
   Graph G = generateRing(8);
   Config Cfg;
   Cfg.NumWorkers = 3;
   CollectOrderProgram P;
   Engine(G, Cfg).run(P);
-  // Workers emit their outboxes in worker order (0,1,2), each scanning its
-  // vertices in increasing id: worker 0 owns {0,3,6}, worker 1 {1,4,7},
-  // worker 2 {2,5}.
-  std::vector<int64_t> Expected = {0, 3, 6, 1, 4, 7, 2, 5};
+  // Canonical delivery order: each vertex reads its inbox in ascending
+  // source id, independent of which worker owns the sender — so the order
+  // is the same for every partition strategy and worker count.
+  std::vector<int64_t> Expected = {0, 1, 2, 3, 4, 5, 6, 7};
   EXPECT_EQ(P.SeenAtZero, Expected);
+}
+
+TEST(Determinism, InboxOrderInvariantUnderWorkerCountAndPartition) {
+  Graph G = generateUniformRandom(64, 400, 7);
+  std::vector<int64_t> Baseline;
+  for (unsigned W : {1u, 3u, 8u})
+    for (PartitionStrategy S :
+         {PartitionStrategy::Hash, PartitionStrategy::Range,
+          PartitionStrategy::EdgeBalanced, PartitionStrategy::DegreeAware}) {
+      Config Cfg;
+      Cfg.NumWorkers = W;
+      Cfg.Partition = S;
+      CollectOrderProgram P;
+      Engine(G, Cfg).run(P);
+      if (Baseline.empty())
+        Baseline = P.SeenAtZero;
+      EXPECT_EQ(P.SeenAtZero, Baseline)
+          << "workers=" << W << " partition=" << partitionStrategyName(S);
+    }
 }
 
 } // namespace determinism

@@ -1,0 +1,98 @@
+# check_docs_links.cmake — fail if README.md or docs/*.md reference paths
+# that do not exist.
+#
+#   cmake -DREPO_ROOT=<repo> -P tools/check_docs_links.cmake
+#
+# Two kinds of references are checked:
+#   - markdown links/images `[text](target)` — resolved relative to the
+#     file containing them (http(s)/mailto URLs and pure #anchors skipped,
+#     #fragments stripped);
+#   - backtick-quoted repo paths like `src/pregel/Runtime.cpp` — resolved
+#     relative to the repo root, only for tokens under the known source
+#     roots (src/ docs/ tests/ bench/ algorithms/ examples/ tools/), with
+#     globs like `algorithms/*.gm` required to match at least one file.
+#
+# Registered as the tier-1 `docs_links` ctest so stale paths fail CI.
+#
+# Matches are consumed one at a time with REGEX MATCH + SUBSTRING (not
+# MATCHALL): match text containing parentheses breaks CMake list expansion.
+
+cmake_minimum_required(VERSION 3.16) # CMP0012: while(TRUE) is a constant
+
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "check_docs_links.cmake: pass -DREPO_ROOT=<repo>")
+endif()
+
+set(DOC_FILES ${REPO_ROOT}/README.md)
+file(GLOB DOCS_DIR_FILES ${REPO_ROOT}/docs/*.md)
+list(APPEND DOC_FILES ${DOCS_DIR_FILES})
+
+set(BROKEN 0)
+set(CHECKED 0)
+
+foreach(DOC ${DOC_FILES})
+  get_filename_component(DOC_DIR ${DOC} DIRECTORY)
+  file(READ ${DOC} CONTENT)
+
+  # Markdown link targets: ](target), resolved against the doc's directory.
+  set(REST "${CONTENT}")
+  while(TRUE)
+    string(REGEX MATCH "\\]\\(([^)]+)\\)" MATCHED "${REST}")
+    if(MATCHED STREQUAL "")
+      break()
+    endif()
+    set(TARGET_PATH "${CMAKE_MATCH_1}")
+    string(FIND "${REST}" "${MATCHED}" POS)
+    string(LENGTH "${MATCHED}" MATCH_LEN)
+    math(EXPR POS "${POS} + ${MATCH_LEN}")
+    string(SUBSTRING "${REST}" ${POS} -1 REST)
+
+    if(TARGET_PATH MATCHES "^(https?://|mailto:|#)")
+      continue()
+    endif()
+    string(REGEX REPLACE "#[^#]*$" "" TARGET_PATH "${TARGET_PATH}")
+    if(TARGET_PATH STREQUAL "")
+      continue()
+    endif()
+    math(EXPR CHECKED "${CHECKED} + 1")
+    if(NOT EXISTS "${DOC_DIR}/${TARGET_PATH}")
+      message(SEND_ERROR "${DOC}: broken link: ${TARGET_PATH}")
+      math(EXPR BROKEN "${BROKEN} + 1")
+    endif()
+  endwhile()
+
+  # Backtick-quoted repo paths, resolved against the repo root.
+  set(REST "${CONTENT}")
+  while(TRUE)
+    string(REGEX MATCH "`([A-Za-z0-9_.*/-]+)`" MATCHED "${REST}")
+    if(MATCHED STREQUAL "")
+      break()
+    endif()
+    set(TOKEN_PATH "${CMAKE_MATCH_1}")
+    string(FIND "${REST}" "${MATCHED}" POS)
+    string(LENGTH "${MATCHED}" MATCH_LEN)
+    math(EXPR POS "${POS} + ${MATCH_LEN}")
+    string(SUBSTRING "${REST}" ${POS} -1 REST)
+
+    if(NOT TOKEN_PATH MATCHES
+       "^(src|docs|tests|bench|algorithms|examples|tools)/")
+      continue()
+    endif()
+    math(EXPR CHECKED "${CHECKED} + 1")
+    if(TOKEN_PATH MATCHES "\\*")
+      file(GLOB GLOB_MATCHES ${REPO_ROOT}/${TOKEN_PATH})
+      if(GLOB_MATCHES STREQUAL "")
+        message(SEND_ERROR "${DOC}: glob matches nothing: ${TOKEN_PATH}")
+        math(EXPR BROKEN "${BROKEN} + 1")
+      endif()
+    elseif(NOT EXISTS "${REPO_ROOT}/${TOKEN_PATH}")
+      message(SEND_ERROR "${DOC}: path does not exist: ${TOKEN_PATH}")
+      math(EXPR BROKEN "${BROKEN} + 1")
+    endif()
+  endwhile()
+endforeach()
+
+if(BROKEN GREATER 0)
+  message(FATAL_ERROR "docs_links: ${BROKEN} broken reference(s)")
+endif()
+message(STATUS "docs_links: ${CHECKED} references OK")
