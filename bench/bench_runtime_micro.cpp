@@ -25,15 +25,27 @@
 /// strategies (partitioning leaked into execution) or if LALP's
 /// network-byte saving on PageRank is absent or mis-accounted.
 ///
+/// `bench_runtime_micro --compare <baseline.json> <fresh.json>
+/// [--max-regress <frac>]` is the regression gate: it matches run records
+/// between two gm.run-report documents by configuration, requires message
+/// and network-byte totals to agree exactly (the engine is deterministic),
+/// and fails when a fresh median wall-clock exceeds baseline by more than
+/// the allowed fraction (default 0.5). `--check-baseline <file>...`
+/// validates checked-in baselines without running anything.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
 #include "algorithms/manual/ManualPrograms.h"
+#include "support/JSON.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <thread>
 
 using namespace gm;
@@ -516,12 +528,219 @@ int runPartitioningSweep(int Reps, const std::string &JsonPath, bool Smoke) {
   return Failures;
 }
 
+//===----------------------------------------------------------------------===//
+// Baseline comparison (--compare / --check-baseline)
+//===----------------------------------------------------------------------===//
+
+/// Aggregate of every repetition of one sweep configuration.
+struct CompareCell {
+  std::vector<double> Walls;
+  int64_t Messages = -1;
+  int64_t NetworkBytes = -1;
+  bool Consistent = true; ///< reps agreed on messages/bytes
+
+  double medianWall() const {
+    std::vector<double> W = Walls;
+    std::sort(W.begin(), W.end());
+    return W.empty() ? 0.0 : W[W.size() / 2];
+  }
+};
+
+/// The identity a run record is matched under: everything that legitimately
+/// changes the workload. Host and schema version are deliberately excluded —
+/// baselines recorded on another machine still gate the byte totals.
+std::string cellKey(const json::Node &Run) {
+  const json::Node *Cfg = Run.find("config");
+  std::ostringstream Key;
+  Key << Run.strAt("program");
+  if (const json::Node *Gr = Run.find("graph"))
+    Key << '|' << Gr->strAt("name");
+  if (Cfg)
+    Key << "|w" << Cfg->intAt("workers")
+        << (Cfg->boolAt("threaded") ? "|threaded" : "|sequential")
+        << '|' << Cfg->strAt("message_format", "-") << '|'
+        << Cfg->strAt("partition", "-") << "|lalp"
+        << Cfg->intAt("lalp_threshold");
+  return Key.str();
+}
+
+/// Parses one gm.run-report document into per-configuration cells.
+bool loadReport(const std::string &Path,
+                std::map<std::string, CompareCell> &Cells, std::string *Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    *Err = "cannot read " + Path;
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  json::Node Doc;
+  if (!json::parse(Buf.str(), Doc, Err)) {
+    *Err = Path + ": " + *Err;
+    return false;
+  }
+  if (Doc.strAt("schema") != pregel::ReportSchemaName) {
+    *Err = Path + ": not a " + std::string(pregel::ReportSchemaName) +
+           " document";
+    return false;
+  }
+  const json::Node *Runs = Doc.find("runs");
+  if (!Runs || Runs->K != json::Node::Kind::Array) {
+    *Err = Path + ": no runs array";
+    return false;
+  }
+  for (const json::Node &Run : Runs->Elems) {
+    const json::Node *Totals = Run.find("totals");
+    if (!Totals)
+      continue;
+    // Compile-only records (halt == "none") carry no run to compare.
+    if (Totals->strAt("halt") == "none")
+      continue;
+    CompareCell &C = Cells[cellKey(Run)];
+    C.Walls.push_back(Totals->numAt("wall_seconds"));
+    const int64_t Msgs = Totals->intAt("messages");
+    const int64_t Bytes = Totals->intAt("network_bytes");
+    if (C.Messages < 0) {
+      C.Messages = Msgs;
+      C.NetworkBytes = Bytes;
+    } else if (C.Messages != Msgs || C.NetworkBytes != Bytes) {
+      C.Consistent = false;
+    }
+  }
+  return true;
+}
+
+int runCompare(const std::string &BasePath, const std::string &FreshPath,
+               double MaxRegress) {
+  std::map<std::string, CompareCell> Base, Fresh;
+  std::string Err;
+  if (!loadReport(BasePath, Base, &Err) ||
+      !loadReport(FreshPath, Fresh, &Err)) {
+    std::fprintf(stderr, "bench_runtime_micro: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::printf("Bench regression gate: %s (baseline) vs %s (fresh), "
+              "max wall regression %.0f%%\n",
+              BasePath.c_str(), FreshPath.c_str(), MaxRegress * 100.0);
+  hr('=');
+  std::printf("%-58s %10s %10s %7s\n", "configuration", "base(s)", "fresh(s)",
+              "ratio");
+  hr();
+
+  int Failures = 0;
+  size_t Matched = 0;
+  for (const auto &[Key, FreshCell] : Fresh) {
+    auto It = Base.find(Key);
+    if (It == Base.end())
+      continue;
+    const CompareCell &BaseCell = It->second;
+    ++Matched;
+    const double BaseWall = BaseCell.medianWall();
+    const double FreshWall = FreshCell.medianWall();
+    const double Ratio = BaseWall > 0 ? FreshWall / BaseWall : 1.0;
+    std::printf("%-58.58s %10.4f %10.4f %6.2fx\n", Key.c_str(), BaseWall,
+                FreshWall, Ratio);
+    if (!BaseCell.Consistent || !FreshCell.Consistent) {
+      std::fprintf(stderr,
+                   "FAIL: %s: repetitions disagree on message/byte totals — "
+                   "nondeterminism\n",
+                   Key.c_str());
+      ++Failures;
+      continue;
+    }
+    // The engine is deterministic: identical config must move identical
+    // work, byte for byte, no matter how the code changed.
+    if (FreshCell.Messages != BaseCell.Messages ||
+        FreshCell.NetworkBytes != BaseCell.NetworkBytes) {
+      std::fprintf(
+          stderr,
+          "FAIL: %s: totals diverge from baseline (messages %lld vs %lld, "
+          "network bytes %lld vs %lld)\n",
+          Key.c_str(), static_cast<long long>(FreshCell.Messages),
+          static_cast<long long>(BaseCell.Messages),
+          static_cast<long long>(FreshCell.NetworkBytes),
+          static_cast<long long>(BaseCell.NetworkBytes));
+      ++Failures;
+    }
+    if (BaseWall > 0 && FreshWall > BaseWall * (1.0 + MaxRegress)) {
+      std::fprintf(stderr,
+                   "FAIL: %s: wall regression %.2fx exceeds %.2fx budget\n",
+                   Key.c_str(), Ratio, 1.0 + MaxRegress);
+      ++Failures;
+    }
+  }
+  hr();
+  std::printf("%zu configurations matched (%zu baseline, %zu fresh), "
+              "%d failures\n",
+              Matched, Base.size(), Fresh.size(), Failures);
+  if (Matched == 0) {
+    std::fprintf(stderr, "FAIL: no configuration matched between %s and %s — "
+                         "wrong baseline for this sweep?\n",
+                 BasePath.c_str(), FreshPath.c_str());
+    return 1;
+  }
+  return Failures ? 1 : 0;
+}
+
+int runCheckBaseline(const std::vector<std::string> &Paths) {
+  int Failures = 0;
+  for (const std::string &Path : Paths) {
+    std::map<std::string, CompareCell> Cells;
+    std::string Err;
+    if (!loadReport(Path, Cells, &Err)) {
+      std::fprintf(stderr, "FAIL: %s\n", Err.c_str());
+      ++Failures;
+      continue;
+    }
+    size_t Reps = 0;
+    for (const auto &[Key, C] : Cells) {
+      Reps += C.Walls.size();
+      if (!C.Consistent) {
+        std::fprintf(stderr,
+                     "FAIL: %s: %s: repetitions disagree on totals\n",
+                     Path.c_str(), Key.c_str());
+        ++Failures;
+      }
+    }
+    if (Cells.empty()) {
+      std::fprintf(stderr, "FAIL: %s: no executed runs\n", Path.c_str());
+      ++Failures;
+      continue;
+    }
+    std::printf("%s: ok (%zu configurations, %zu runs)\n", Path.c_str(),
+                Cells.size(), Reps);
+  }
+  return Failures ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   // The scaling sweep is a plain mode of this binary (google-benchmark
   // rejects flags it does not know, so dispatch before initializing it).
   for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--compare") == 0) {
+      if (I + 2 >= argc) {
+        std::fprintf(stderr, "bench_runtime_micro: --compare needs "
+                             "<baseline.json> <fresh.json>\n");
+        return 2;
+      }
+      double MaxRegress = 0.5;
+      for (int J = 1; J + 1 < argc; ++J)
+        if (std::strcmp(argv[J], "--max-regress") == 0)
+          MaxRegress = std::atof(argv[J + 1]);
+      return runCompare(argv[I + 1], argv[I + 2], MaxRegress);
+    }
+    if (std::strcmp(argv[I], "--check-baseline") == 0) {
+      std::vector<std::string> Paths(argv + I + 1, argv + argc);
+      if (Paths.empty()) {
+        std::fprintf(stderr,
+                     "bench_runtime_micro: --check-baseline needs files\n");
+        return 2;
+      }
+      return runCheckBaseline(Paths);
+    }
     if (std::strcmp(argv[I], "--scaling") == 0) {
       std::string JsonPath = "BENCH_scaling.json";
       for (int J = 1; J + 1 < argc; ++J)

@@ -13,12 +13,17 @@
 #include "graph/EdgeListIO.h"
 #include "graph/Generators.h"
 #include "pregel/MetricsSink.h"
+#include "pregel/RuntimeTrace.h"
 #include "pregelir/JavaCodegen.h"
 #include "support/PassStatistics.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
@@ -75,6 +80,15 @@ Observability (see docs/observability.md):
                          --run, the run report with per-worker totals
   --trace                with --run, also print the per-superstep trace
   --stats-json <path>    write the versioned JSON run report ("-" = stdout)
+  --trace-json <path>    record a structured runtime trace (compiler passes,
+                         graph load, per-worker superstep phases, counter
+                         tracks) and write Chrome trace-event JSON, loadable
+                         in Perfetto / chrome://tracing ("-" = stdout);
+                         analyze with gmtrace
+
+When --stats-json or --trace-json target stdout ("-"), all human-readable
+run output (graph/run/return lines, property dumps, --stats/--trace tables)
+moves to stderr so the JSON document stays parseable.
 )");
 }
 
@@ -95,6 +109,7 @@ int main(int argc, char **argv) {
   bool ShowFeatures = false, ShowLoc = false, Run = false;
   bool ShowStats = false, ShowTrace = false;
   std::string StatsJsonPath;
+  std::string TraceJsonPath;
   std::string GraphFile;
   NodeId GenNodes = 0;
   EdgeId GenEdges = 0;
@@ -151,6 +166,8 @@ int main(int argc, char **argv) {
       ShowTrace = true;
     else if (A == "--stats-json")
       StatsJsonPath = Next();
+    else if (A == "--trace-json" || A.rfind("--trace-json=", 0) == 0)
+      TraceJsonPath = A == "--trace-json" ? Next() : A.substr(13);
     else if (A == "--run")
       Run = true;
     else if (A == "--graph-file")
@@ -220,12 +237,39 @@ int main(int argc, char **argv) {
   // diagnostics only), so they suppress the default IR dump too.
   if (!DumpCanonical && !EmitJava && !EmitGiraph && !ShowFeatures &&
       !ShowLoc && !Run && !ShowStats && StatsJsonPath.empty() &&
-      !Opts.Lint && !Opts.VerifyEach)
+      TraceJsonPath.empty() && !Opts.Lint && !Opts.VerifyEach)
     DumpIR = true;
 
+  // Human-readable output is re-routed to stderr whenever a machine-readable
+  // document targets stdout, so the JSON stays parseable on its own.
+  std::FILE *HumanOut =
+      (StatsJsonPath == "-" || TraceJsonPath == "-") ? stderr : stdout;
+
+  // The trace session spans the whole invocation (compiler passes, graph
+  // load, the run); published before the first pass so ScopedTimer's hook
+  // sees it. Zero overhead for every path that doesn't pass --trace-json.
+  std::optional<trace::ScopedSession> TraceSession;
+  if (!TraceJsonPath.empty())
+    TraceSession.emplace();
+  auto WriteTrace = [&]() -> bool {
+    if (!TraceSession)
+      return true;
+    if (TraceJsonPath == "-") {
+      TraceSession->session().writeChromeJson(std::cout);
+      return true;
+    }
+    std::ofstream Out(TraceJsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "gmpc: cannot write %s\n", TraceJsonPath.c_str());
+      return false;
+    }
+    TraceSession->session().writeChromeJson(Out);
+    return static_cast<bool>(Out);
+  };
+
   PassStatistics PassStats;
-  const bool CollectStats =
-      ShowStats || ShowTrace || !StatsJsonPath.empty();
+  const bool CollectStats = ShowStats || ShowTrace || !StatsJsonPath.empty() ||
+                            !TraceJsonPath.empty();
   if (CollectStats)
     Opts.Stats = &PassStats;
 
@@ -260,7 +304,7 @@ int main(int argc, char **argv) {
     // "runs" entry carries only compiler stats (halt == "none" marks it as
     // not executed).
     if (ShowStats)
-      std::printf("%s", PassStats.renderTable().c_str());
+      std::fprintf(HumanOut, "%s", PassStats.renderTable().c_str());
     if (!StatsJsonPath.empty()) {
       pregel::JsonSink Sink(StatsJsonPath);
       pregel::RunMetadata Meta;
@@ -273,11 +317,12 @@ int main(int argc, char **argv) {
         return 1;
       }
     }
-    return 0;
+    return WriteTrace() ? 0 : 1;
   }
 
   // Assemble the input graph.
   Graph G = [&]() -> Graph {
+    trace::ScopedSpan Span(0, "graph-load", pregel::tracecat::Setup);
     if (!GraphFile.empty()) {
       std::string Err;
       auto Loaded = loadEdgeListFile(GraphFile, 0, &Err);
@@ -339,25 +384,28 @@ int main(int argc, char **argv) {
   Cfg.RandomSeed = Seed;
   DiagnosticEngine RunDiags;
   Cfg.Diags = &RunDiags;
+  pregel::traceNameLanes(Workers);
   std::unique_ptr<exec::IRExecutor> Exec;
   pregel::RunStats Stats =
       exec::runProgram(*R.Program, G, std::move(Args), Cfg, &Exec);
   for (const Diagnostic &D : RunDiags.diagnostics())
     std::fprintf(stderr, "gmpc: %s\n", D.toString().c_str());
 
-  std::printf("graph: %u nodes, %llu edges\n", G.numNodes(),
-              static_cast<unsigned long long>(G.numEdges()));
-  std::printf("run: %s\n", Stats.toString().c_str());
+  std::fprintf(HumanOut, "graph: %u nodes, %llu edges\n", G.numNodes(),
+               static_cast<unsigned long long>(G.numEdges()));
+  std::fprintf(HumanOut, "run: %s\n", Stats.toString().c_str());
   if (Exec->returnValue())
-    std::printf("return: %s\n", Exec->returnValue()->toString().c_str());
+    std::fprintf(HumanOut, "return: %s\n",
+                 Exec->returnValue()->toString().c_str());
   for (const std::string &Name : PrintProps) {
-    std::printf("%s:", Name.c_str());
+    std::fprintf(HumanOut, "%s:", Name.c_str());
     NodeId Limit = std::min<NodeId>(G.numNodes(), 20);
     for (NodeId N = 0; N < Limit; ++N)
-      std::printf(" %s", Exec->nodeProp(Name).get(N).toString().c_str());
+      std::fprintf(HumanOut, " %s",
+                   Exec->nodeProp(Name).get(N).toString().c_str());
     if (G.numNodes() > Limit)
-      std::printf(" ...");
-    std::printf("\n");
+      std::fprintf(HumanOut, " ...");
+    std::fprintf(HumanOut, "\n");
   }
 
   if (CollectStats) {
@@ -386,7 +434,7 @@ int main(int argc, char **argv) {
       Meta.WorkerVertices[Worker] = Part.ownedCount(Worker);
 
     if (ShowStats || ShowTrace) {
-      pregel::TableSink Sink(stdout, ShowTrace);
+      pregel::TableSink Sink(HumanOut, ShowTrace);
       Sink.report(Meta, Stats, &PassStats);
     }
     if (!StatsJsonPath.empty()) {
@@ -399,5 +447,5 @@ int main(int argc, char **argv) {
       }
     }
   }
-  return 0;
+  return WriteTrace() ? 0 : 1;
 }

@@ -1,0 +1,291 @@
+//===- driver/gmtrace.cpp - Runtime trace analyzer ---------------------------===//
+///
+/// Offline analysis of the Chrome trace-event JSON written by
+/// `gmpc --trace-json` (docs/observability.md). Reads the document back
+/// through the bundled JSON parser and reports the things a timeline viewer
+/// makes you eyeball: per-phase wall-clock breakdown, per-worker compute
+/// load imbalance, barrier-wait skew, and the slowest supersteps.
+///
+/// Exits non-zero on malformed traces (parse failure, missing traceEvents,
+/// unbalanced B/E spans) so it doubles as a validator in the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using gm::json::Node;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr, R"(usage: gmtrace <trace.json> [options]
+
+Analyzes a Chrome trace-event file written by `gmpc --trace-json` ("-"
+reads the trace from stdin). Reports the phase breakdown, per-worker load
+imbalance, barrier-wait skew, and the slowest supersteps.
+
+Options:
+  --top <n>   how many slowest supersteps to list (default 5)
+)");
+}
+
+/// One closed span, reconstructed from a B/E pair or an X event.
+struct Span {
+  std::string Name;
+  int64_t Tid = 0;
+  double StartUs = 0;
+  double DurUs = 0;
+  int64_t Step = -1; ///< args.step when present (superstep spans)
+};
+
+struct CounterStats {
+  size_t Samples = 0;
+  double Max = 0;
+  double Sum = 0;
+};
+
+struct Analysis {
+  std::map<int64_t, std::string> LaneNames;     ///< tid -> thread_name
+  std::vector<Span> Spans;                      ///< closed B/E + X spans
+  std::map<std::string, CounterStats> Counters; ///< C events by name
+  size_t Events = 0;
+  size_t Unbalanced = 0; ///< E without B + B left open at end-of-trace
+};
+
+std::string laneLabel(const Analysis &A, int64_t Tid) {
+  auto It = A.LaneNames.find(Tid);
+  if (It != A.LaneNames.end())
+    return It->second;
+  return "tid " + std::to_string(Tid);
+}
+
+bool analyze(const Node &Doc, Analysis &A, std::string *Err) {
+  const Node *Events = Doc.find("traceEvents");
+  if (!Events || Events->K != Node::Kind::Array) {
+    *Err = "no traceEvents array (is this a gmpc --trace-json file?)";
+    return false;
+  }
+
+  // Open B spans per (tid, nesting): chrome B/E events match innermost-first
+  // on their own thread lane, so a per-tid stack reconstructs them exactly.
+  std::map<int64_t, std::vector<Span>> OpenByTid;
+
+  for (const Node &E : Events->Elems) {
+    if (E.K != Node::Kind::Object)
+      continue;
+    ++A.Events;
+    const std::string Ph = E.strAt("ph");
+    const int64_t Tid = E.intAt("tid");
+    if (Ph == "M") {
+      if (E.strAt("name") == "thread_name")
+        if (const Node *Args = E.find("args"))
+          A.LaneNames[Tid] = Args->strAt("name");
+      continue;
+    }
+    if (Ph == "C") {
+      CounterStats &C = A.Counters[E.strAt("name")];
+      double V = 0;
+      if (const Node *Args = E.find("args"))
+        V = Args->numAt("value");
+      ++C.Samples;
+      C.Sum += V;
+      C.Max = std::max(C.Max, V);
+      continue;
+    }
+    if (Ph == "B") {
+      Span S;
+      S.Name = E.strAt("name");
+      S.Tid = Tid;
+      S.StartUs = E.numAt("ts");
+      if (const Node *Args = E.find("args"))
+        S.Step = Args->intAt("step", -1);
+      OpenByTid[Tid].push_back(std::move(S));
+      continue;
+    }
+    if (Ph == "E") {
+      std::vector<Span> &Stack = OpenByTid[Tid];
+      if (Stack.empty()) {
+        ++A.Unbalanced;
+        continue;
+      }
+      Span S = std::move(Stack.back());
+      Stack.pop_back();
+      S.DurUs = E.numAt("ts") - S.StartUs;
+      A.Spans.push_back(std::move(S));
+      continue;
+    }
+    if (Ph == "X") {
+      Span S;
+      S.Name = E.strAt("name");
+      S.Tid = Tid;
+      S.StartUs = E.numAt("ts");
+      S.DurUs = E.numAt("dur");
+      A.Spans.push_back(std::move(S));
+      continue;
+    }
+    // "i" instants and anything else carry no duration; counted only.
+  }
+
+  for (const auto &[Tid, Stack] : OpenByTid)
+    A.Unbalanced += Stack.size();
+  return true;
+}
+
+void report(const Analysis &A, unsigned TopK) {
+  std::printf("=== gmtrace: %zu events, %zu spans, %zu lanes ===\n", A.Events,
+              A.Spans.size(), A.LaneNames.size());
+
+  // Phase breakdown: total wall per span name, across all lanes. Nested
+  // spans (e.g. combine inside compute) each report their own wall, so the
+  // column is a breakdown, not a partition of the run.
+  std::map<std::string, std::pair<double, size_t>> ByName;
+  for (const Span &S : A.Spans) {
+    auto &[Us, N] = ByName[S.Name];
+    Us += S.DurUs;
+    ++N;
+  }
+  std::vector<std::pair<std::string, std::pair<double, size_t>>> Phases(
+      ByName.begin(), ByName.end());
+  std::sort(Phases.begin(), Phases.end(), [](const auto &L, const auto &R) {
+    return L.second.first > R.second.first;
+  });
+  std::printf("\nphase breakdown (wall per span name):\n");
+  std::printf("%-18s %12s %8s %12s\n", "phase", "total(s)", "spans",
+              "mean(us)");
+  for (const auto &[Name, Tot] : Phases)
+    std::printf("%-18s %12.6f %8zu %12.1f\n", Name.c_str(),
+                Tot.first / 1e6, Tot.second,
+                Tot.second ? Tot.first / static_cast<double>(Tot.second) : 0.0);
+
+  // Per-worker load: compute wall per lane; imbalance = max/mean. The
+  // master lane carries no compute spans and drops out naturally.
+  std::map<int64_t, double> ComputeUs, BarrierUs;
+  for (const Span &S : A.Spans) {
+    if (S.Name == "compute")
+      ComputeUs[S.Tid] += S.DurUs;
+    else if (S.Name == "barrier-wait")
+      BarrierUs[S.Tid] += S.DurUs;
+  }
+  if (!ComputeUs.empty()) {
+    std::printf("\nper-worker compute:\n");
+    double Max = 0, Sum = 0;
+    for (const auto &[Tid, Us] : ComputeUs) {
+      std::printf("  %-10s %12.6f s\n", laneLabel(A, Tid).c_str(), Us / 1e6);
+      Max = std::max(Max, Us);
+      Sum += Us;
+    }
+    const double Mean = Sum / static_cast<double>(ComputeUs.size());
+    std::printf("compute imbalance (max/mean): %.2fx\n",
+                Mean > 0 ? Max / Mean : 1.0);
+  }
+
+  // Barrier skew: how long each worker sat waiting for the stragglers. A
+  // big spread means the partition (not the barrier) is the problem.
+  if (!BarrierUs.empty()) {
+    std::printf("\nbarrier-wait per worker:\n");
+    double Min = -1, Max = 0;
+    for (const auto &[Tid, Us] : BarrierUs) {
+      std::printf("  %-10s %12.6f s\n", laneLabel(A, Tid).c_str(), Us / 1e6);
+      Max = std::max(Max, Us);
+      Min = Min < 0 ? Us : std::min(Min, Us);
+    }
+    std::printf("barrier skew (max-min): %.6f s\n",
+                Min < 0 ? 0.0 : (Max - Min) / 1e6);
+  }
+
+  // Slowest supersteps, by the master lane's superstep span.
+  std::vector<Span> Steps;
+  for (const Span &S : A.Spans)
+    if (S.Name == "superstep")
+      Steps.push_back(S);
+  if (!Steps.empty()) {
+    std::sort(Steps.begin(), Steps.end(),
+              [](const Span &L, const Span &R) { return L.DurUs > R.DurUs; });
+    std::printf("\nslowest supersteps (top %u of %zu):\n",
+                std::min<unsigned>(TopK, Steps.size()), Steps.size());
+    for (size_t I = 0; I < Steps.size() && I < TopK; ++I)
+      std::printf("  step %-5lld %12.6f s\n",
+                  static_cast<long long>(Steps[I].Step),
+                  Steps[I].DurUs / 1e6);
+  }
+
+  if (!A.Counters.empty()) {
+    std::printf("\ncounters:\n");
+    std::printf("%-20s %8s %14s %14s\n", "counter", "samples", "max", "mean");
+    for (const auto &[Name, C] : A.Counters)
+      std::printf("%-20s %8zu %14.0f %14.1f\n", Name.c_str(), C.Samples,
+                  C.Max,
+                  C.Samples ? C.Sum / static_cast<double>(C.Samples) : 0.0);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  std::string Path = argv[1];
+  unsigned TopK = 5;
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--top" && I + 1 < argc)
+      TopK = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (A.rfind("--top=", 0) == 0)
+      TopK = static_cast<unsigned>(std::strtoul(A.c_str() + 6, nullptr, 10));
+    else {
+      std::fprintf(stderr, "gmtrace: unknown option %s\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  std::string Text;
+  if (Path == "-") {
+    std::ostringstream Buf;
+    Buf << std::cin.rdbuf();
+    Text = Buf.str();
+  } else {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "gmtrace: cannot read %s\n", Path.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Text = Buf.str();
+  }
+
+  Node Doc;
+  std::string Err;
+  if (!gm::json::parse(Text, Doc, &Err)) {
+    std::fprintf(stderr, "gmtrace: %s: %s\n", Path.c_str(), Err.c_str());
+    return 1;
+  }
+  Analysis A;
+  if (!analyze(Doc, A, &Err)) {
+    std::fprintf(stderr, "gmtrace: %s: %s\n", Path.c_str(), Err.c_str());
+    return 1;
+  }
+  report(A, TopK);
+  if (A.Unbalanced) {
+    std::fprintf(stderr,
+                 "gmtrace: %zu unbalanced begin/end events — truncated or "
+                 "corrupt trace\n",
+                 A.Unbalanced);
+    return 1;
+  }
+  return 0;
+}

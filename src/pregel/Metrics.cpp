@@ -66,6 +66,8 @@ gm::pregel::aggregateWorkers(const std::vector<SuperstepMetrics> &Steps) {
       const WorkerStepMetrics &W = S.Workers[I];
       Out[I].ActiveVertices += W.ActiveVertices;
       Out[I].ComputeSeconds += W.ComputeSeconds;
+      Out[I].CombineSeconds += W.CombineSeconds;
+      Out[I].DeliverSeconds += W.DeliverSeconds;
       Out[I].MessagesSent += W.MessagesSent;
       Out[I].NetworkMessagesSent += W.NetworkMessagesSent;
       Out[I].BytesSent += W.BytesSent;

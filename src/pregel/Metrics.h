@@ -35,6 +35,8 @@ const char *haltReasonName(HaltReason R);
 struct WorkerStepMetrics {
   uint64_t ActiveVertices = 0; ///< vertices whose compute() ran
   double ComputeSeconds = 0.0; ///< wall time of this worker's vertex loop
+  double CombineSeconds = 0.0; ///< sender-side combining + wire tally
+  double DeliverSeconds = 0.0; ///< this worker's inbox merge at delivery
   uint64_t MessagesSent = 0;   ///< messages leaving this worker's vertices
   uint64_t NetworkMessagesSent = 0; ///< ... of those, crossing a boundary
   uint64_t BytesSent = 0;           ///< wire bytes of the crossing ones
@@ -56,10 +58,18 @@ struct SuperstepMetrics {
   /// program does not annotate.
   std::string Label;
 
-  // The superstep trace: where the step's wall time went.
+  // The superstep trace: where the step's wall time went. Since report
+  // schema v2, BarrierSeconds covers only the sequential coordination slice
+  // (globals merge, tally summation, inbox layout) and the parallel delivery
+  // merge is reported separately as DeliverSeconds; v1 folded delivery into
+  // BarrierSeconds (docs/observability.md).
   double MasterSeconds = 0.0;  ///< master.compute()
-  double ComputeSeconds = 0.0; ///< vertex phase (all workers, wall)
-  double BarrierSeconds = 0.0; ///< combine + route + reductions + inbox build
+  double ComputeSeconds = 0.0; ///< vertex phase incl. combining (wall)
+  double BarrierSeconds = 0.0; ///< sequential coordination between phases
+  double DeliverSeconds = 0.0; ///< delivery phase (all workers, wall)
+  /// Slowest worker's sender-side combine slice; contained within
+  /// ComputeSeconds, broken out to show combining cost on the critical path.
+  double CombineSeconds = 0.0;
 
   uint64_t ActiveVertices = 0;
   uint64_t Messages = 0;

@@ -34,6 +34,9 @@ void TableSink::report(const RunMetadata &Meta, const RunStats &Stats,
     std::fprintf(Out, " | lalp-threshold: %u", Meta.LalpThreshold);
   std::fprintf(Out, "\n");
   std::fprintf(Out, "%s\n", Stats.toString().c_str());
+  if (Stats.PeakRssBytes)
+    std::fprintf(Out, "peak rss: %.1f MiB\n",
+                 static_cast<double>(Stats.PeakRssBytes) / (1024.0 * 1024.0));
 
   if (!Stats.Steps.empty()) {
     std::fprintf(Out, "load imbalance (max/mean): time %.2fx, messages %.2fx\n",
@@ -42,35 +45,37 @@ void TableSink::report(const RunMetadata &Meta, const RunStats &Stats,
 
     if (WithTrace) {
       std::fprintf(Out, "\nsuperstep trace:\n");
-      std::fprintf(Out,
-                   "%5s %-14s %10s %10s %10s %11s %11s %11s %6s %6s %6s\n",
-                   "step", "label", "active", "msgs", "net-bytes", "master(s)",
-                   "compute(s)", "barrier(s)", "t-imb", "m-imb", "comb");
+      std::fprintf(
+          Out, "%5s %-14s %10s %10s %10s %11s %11s %11s %11s %6s %6s %6s\n",
+          "step", "label", "active", "msgs", "net-bytes", "master(s)",
+          "compute(s)", "barrier(s)", "deliver(s)", "t-imb", "m-imb", "comb");
       for (const SuperstepMetrics &S : Stats.Steps) {
         std::fprintf(
             Out,
-            "%5llu %-14.14s %10llu %10llu %10llu %11.6f %11.6f %11.6f %5.2fx "
-            "%5.2fx %5.2f\n",
+            "%5llu %-14.14s %10llu %10llu %10llu %11.6f %11.6f %11.6f %11.6f "
+            "%5.2fx %5.2fx %5.2f\n",
             static_cast<unsigned long long>(S.Step),
             S.Label.empty() ? "-" : S.Label.c_str(),
             static_cast<unsigned long long>(S.ActiveVertices),
             static_cast<unsigned long long>(S.Messages),
             static_cast<unsigned long long>(S.NetworkBytes), S.MasterSeconds,
-            S.ComputeSeconds, S.BarrierSeconds, S.timeImbalance(),
-            S.messageImbalance(), S.combinerRatio());
+            S.ComputeSeconds, S.BarrierSeconds, S.DeliverSeconds,
+            S.timeImbalance(), S.messageImbalance(), S.combinerRatio());
       }
     }
 
     std::fprintf(Out, "\nper-worker totals:\n");
-    std::fprintf(Out, "%7s %10s %12s %10s %10s %12s %10s\n", "worker",
-                 "active", "compute(s)", "sent", "net-sent", "bytes-sent",
-                 "recv");
+    std::fprintf(Out, "%7s %10s %12s %12s %12s %10s %10s %12s %10s\n",
+                 "worker", "active", "compute(s)", "combine(s)", "deliver(s)",
+                 "sent", "net-sent", "bytes-sent", "recv");
     std::vector<WorkerStepMetrics> Totals = aggregateWorkers(Stats.Steps);
     for (size_t I = 0; I < Totals.size(); ++I) {
       const WorkerStepMetrics &W = Totals[I];
-      std::fprintf(Out, "%7zu %10llu %12.6f %10llu %10llu %12llu %10llu\n", I,
-                   static_cast<unsigned long long>(W.ActiveVertices),
-                   W.ComputeSeconds,
+      std::fprintf(Out,
+                   "%7zu %10llu %12.6f %12.6f %12.6f %10llu %10llu %12llu "
+                   "%10llu\n",
+                   I, static_cast<unsigned long long>(W.ActiveVertices),
+                   W.ComputeSeconds, W.CombineSeconds, W.DeliverSeconds,
                    static_cast<unsigned long long>(W.MessagesSent),
                    static_cast<unsigned long long>(W.NetworkMessagesSent),
                    static_cast<unsigned long long>(W.BytesSent),
@@ -141,6 +146,28 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
   W.field("halt", haltReasonName(Stats.Halt));
   W.field("time_imbalance", runTimeImbalance(Stats.Steps));
   W.field("message_imbalance", runMessageImbalance(Stats.Steps));
+  if (Stats.PeakRssBytes)
+    W.field("peak_rss_bytes", Stats.PeakRssBytes);
+  if (!Stats.Steps.empty()) {
+    // Per-phase wall-clock totals over all supersteps (schema v2). combine
+    // is the slowest worker's slice per step, contained within compute.
+    double Master = 0, Compute = 0, Combine = 0, Barrier = 0, Deliver = 0;
+    for (const SuperstepMetrics &S : Stats.Steps) {
+      Master += S.MasterSeconds;
+      Compute += S.ComputeSeconds;
+      Combine += S.CombineSeconds;
+      Barrier += S.BarrierSeconds;
+      Deliver += S.DeliverSeconds;
+    }
+    W.key("phase_seconds");
+    W.beginObject();
+    W.field("master", Master);
+    W.field("compute", Compute);
+    W.field("combine", Combine);
+    W.field("barrier", Barrier);
+    W.field("delivery", Deliver);
+    W.endObject();
+  }
   if (Stats.MirrorHits || Stats.MirrorBytesSaved) {
     W.field("mirror_hits", Stats.MirrorHits);
     W.field("mirror_bytes_saved", Stats.MirrorBytesSaved);
@@ -159,7 +186,9 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
     W.field("network_bytes", S.NetworkBytes);
     W.field("master_seconds", S.MasterSeconds);
     W.field("compute_seconds", S.ComputeSeconds);
+    W.field("combine_seconds", S.CombineSeconds);
     W.field("barrier_seconds", S.BarrierSeconds);
+    W.field("deliver_seconds", S.DeliverSeconds);
     W.field("time_imbalance", S.timeImbalance());
     W.field("message_imbalance", S.messageImbalance());
     W.field("combiner_input", S.CombinerInput);
@@ -176,6 +205,8 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
       W.field("worker", static_cast<uint64_t>(I));
       W.field("active_vertices", WM.ActiveVertices);
       W.field("compute_seconds", WM.ComputeSeconds);
+      W.field("combine_seconds", WM.CombineSeconds);
+      W.field("deliver_seconds", WM.DeliverSeconds);
       W.field("messages_sent", WM.MessagesSent);
       W.field("network_messages_sent", WM.NetworkMessagesSent);
       W.field("bytes_sent", WM.BytesSent);

@@ -57,8 +57,12 @@ struct RunMetadata {
 };
 
 /// Schema identity of the JSON run report.
+/// v2: totals gained peak_rss_bytes and a phase_seconds breakdown;
+/// superstep/worker records gained deliver_seconds (and combine_seconds per
+/// worker); barrier_seconds narrowed to the sequential coordination slice
+/// (v1 folded the delivery merge into it). See docs/observability.md.
 inline constexpr const char *ReportSchemaName = "gm.run-report";
-inline constexpr int ReportSchemaVersion = 1;
+inline constexpr int ReportSchemaVersion = 2;
 
 /// Where finished runs are reported. One sink may receive many runs (the
 /// benches report every repetition).

@@ -19,8 +19,10 @@
 
 #include "pregel/Runtime.h"
 
+#include "pregel/RuntimeTrace.h"
 #include "pregel/ThreadPool.h"
 #include "support/Diagnostics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -268,9 +270,38 @@ struct Engine::WorkerState {
   uint32_t RegionStart = 0;
 };
 
+namespace {
+
+/// makePartition / buildLalpPlan with setup spans on the main lane when a
+/// trace session is active (Engine's init list calls these, so the timing
+/// wraps member construction).
+Partition makePartitionTraced(const Graph &G, PartitionStrategy Strategy,
+                              unsigned NumWorkers) {
+  trace::Session *TS = trace::current();
+  const uint64_t T0 = TS ? TS->nowNs() : 0;
+  Partition P = makePartition(G, Strategy, NumWorkers);
+  if (TS)
+    trace::complete(0, "partition-build", tracecat::Setup, T0, TS->nowNs());
+  return P;
+}
+
+LalpPlan buildLalpPlanTraced(const Graph &G, const Partition &Part,
+                             uint32_t Threshold) {
+  trace::Session *TS = trace::current();
+  const uint64_t T0 = TS ? TS->nowNs() : 0;
+  LalpPlan Plan = buildLalpPlan(G, Part, Threshold);
+  if (TS)
+    trace::complete(0, "lalp-plan", tracecat::Setup, T0, TS->nowNs());
+  return Plan;
+}
+
+} // namespace
+
 Engine::Engine(const Graph &G, Config Cfg)
-    : G(G), Cfg(Cfg), Part(makePartition(G, Cfg.Partition, Cfg.NumWorkers)),
-      Lalp(buildLalpPlan(G, Part, Cfg.LalpThreshold)), Rng(Cfg.RandomSeed) {
+    : G(G), Cfg(Cfg),
+      Part(makePartitionTraced(G, Cfg.Partition, Cfg.NumWorkers)),
+      Lalp(buildLalpPlanTraced(G, Part, Cfg.LalpThreshold)),
+      Rng(Cfg.RandomSeed) {
   assert(Cfg.NumWorkers > 0 && "need at least one worker");
 }
 
@@ -362,6 +393,7 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
   Clock::time_point T0;
   if (WM)
     T0 = Clock::now();
+  trace::begin(traceLaneOf(WorkerId), "compute", tracecat::Phase);
   uint64_t Ran = 0;
   forEachOwned(WorkerId, [&](NodeId V) {
     const uint32_t InCount = InboxCount[V];
@@ -395,10 +427,14 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
     Active[V] = NowActive;
     ++Ran;
   });
+  trace::end(traceLaneOf(WorkerId), "compute", tracecat::Phase);
+  Clock::time_point CombineT0;
   if (WM) {
     WM->ActiveVertices = Ran;
     WM->ComputeSeconds = secondsSince(T0);
+    CombineT0 = Clock::now();
   }
+  trace::begin(traceLaneOf(WorkerId), "combine", tracecat::Phase);
 
   // Sender-side combining and wire accounting, per destination shard. A
   // (dst, type) pair lives in exactly one shard, so per-shard combining
@@ -488,7 +524,9 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
     }
   }
 
+  trace::end(traceLaneOf(WorkerId), "combine", tracecat::Phase);
   if (WM) {
+    WM->CombineSeconds = secondsSince(CombineT0);
     WM->MessagesSent = WS.StepMessages;
     WM->NetworkMessagesSent = WS.StepNetworkMessages;
     WM->BytesSent = WS.StepNetworkBytes;
@@ -501,6 +539,16 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
 }
 
 void Engine::deliverPhase(unsigned WorkerId, SuperstepMetrics *SM) {
+  trace::ScopedSpan Span(traceLaneOf(WorkerId), "deliver", tracecat::Phase);
+  Clock::time_point T0;
+  if (SM)
+    T0 = Clock::now();
+  deliverPhaseImpl(WorkerId, SM);
+  if (SM)
+    SM->Workers[WorkerId].DeliverSeconds = secondsSince(T0);
+}
+
+void Engine::deliverPhaseImpl(unsigned WorkerId, SuperstepMetrics *SM) {
   const unsigned W = Cfg.NumWorkers;
   const NodeId N = G.numNodes();
   WorkerState &WS = Workers[WorkerId];
@@ -901,12 +949,16 @@ RunStats Engine::run(VertexProgram &Program) {
   for (uint64_t Step = 0; Step < Cfg.MaxSupersteps; ++Step) {
     SuperstepMetrics SM;
     SuperstepMetrics *SMp = Cfg.CollectMetrics ? &SM : nullptr;
+    trace::ScopedSpan StepSpan(0, "superstep", tracecat::Superstep, Step);
 
     Clock::time_point MasterT0;
     if (SMp)
       MasterT0 = Clock::now();
     MasterContext MC(Step, G, Globals, Rng);
-    Program.masterCompute(MC);
+    {
+      trace::ScopedSpan MasterSpan(0, "master", tracecat::Phase);
+      Program.masterCompute(MC);
+    }
     if (SMp)
       SM.MasterSeconds = secondsSince(MasterT0);
     if (MC.halted()) {
@@ -981,15 +1033,33 @@ RunStats Engine::run(VertexProgram &Program) {
       InboxPool.resize(StepDelivered);
 
     // Barrier, parallel part: every worker merges its own inbound messages
-    // into its inbox region in canonical source order.
+    // into its inbox region in canonical source order. BarrierSeconds covers
+    // only the sequential coordination above (schema v2); the delivery merge
+    // is its own phase slice.
+    Clock::time_point DeliverT0;
+    if (SMp) {
+      SM.BarrierSeconds = secondsSince(BarrierT0);
+      DeliverT0 = Clock::now();
+    }
     ForEachWorker(DeliverTask);
+    if (SMp)
+      SM.DeliverSeconds = secondsSince(DeliverT0);
     PendingMessageCount = StepDelivered;
     if (Lalp.enabled())
       for (const WorkerState &WS : Workers)
         Stats.MirrorHits += WS.StepMirrorHits;
 
+    if (trace::enabled()) {
+      uint64_t ActiveNow = 0, StepNetBytes = 0, StepMirrorSaved = 0;
+      for (const WorkerState &WS : Workers) {
+        ActiveNow += WS.ActiveCount;
+        StepNetBytes += WS.StepNetworkBytes;
+        StepMirrorSaved += WS.StepMirrorSaved;
+      }
+      traceStepCounters(ActiveNow, StepSent, StepNetBytes, StepMirrorSaved);
+    }
+
     if (SMp) {
-      SM.BarrierSeconds += secondsSince(BarrierT0);
       SM.Step = Step;
       SM.Label = MC.phaseLabel();
       SM.Messages = StepSent;
@@ -1001,6 +1071,8 @@ RunStats Engine::run(VertexProgram &Program) {
         SM.CombinerOutput += WM.CombinerOutput;
         SM.MirrorHits += WM.MirrorHits;
         SM.MirrorBytesSaved += WM.MirrorBytesSaved;
+        if (WM.CombineSeconds > SM.CombineSeconds)
+          SM.CombineSeconds = WM.CombineSeconds;
       }
       Stats.Steps.push_back(std::move(SM));
     }
@@ -1024,6 +1096,7 @@ RunStats Engine::run(VertexProgram &Program) {
                      "message layout drift: " + LayoutCheckError);
 
   Stats.WallSeconds = secondsSince(Start);
+  Stats.PeakRssBytes = trace::peakRssBytes();
   return Stats;
 }
 

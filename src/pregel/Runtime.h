@@ -59,6 +59,10 @@ struct RunStats {
   uint64_t MirrorHits = 0;
   uint64_t MirrorBytesSaved = 0;
   double WallSeconds = 0.0;
+  /// Process peak RSS sampled when the run ended, in bytes (0 when the
+  /// platform offers no getrusage). A whole-process high-water mark, not a
+  /// per-run delta; reported as totals.peak_rss_bytes in the v2 run report.
+  uint64_t PeakRssBytes = 0;
   /// Why the run stopped (master-halt / quiescence / max-supersteps).
   HaltReason Halt = HaltReason::None;
 
@@ -317,7 +321,9 @@ private:
 
   void computePhase(unsigned WorkerId, VertexProgram &Program, uint64_t Step,
                     SuperstepMetrics *SM);
+  /// Timing/tracing wrapper around deliverPhaseImpl (the actual merge).
   void deliverPhase(unsigned WorkerId, SuperstepMetrics *SM);
+  void deliverPhaseImpl(unsigned WorkerId, SuperstepMetrics *SM);
   void combineShard(WorkerState &WS, std::vector<Message> &Shard);
   void combineShardPacked(WorkerState &WS, std::vector<std::byte> &Shard,
                           std::vector<NodeId> &Srcs);

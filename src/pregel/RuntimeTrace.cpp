@@ -1,0 +1,28 @@
+//===- pregel/RuntimeTrace.cpp ---------------------------------------------===//
+
+#include "pregel/RuntimeTrace.h"
+
+#include <string>
+
+using namespace gm;
+using namespace gm::pregel;
+
+void pregel::traceNameLanes(unsigned NumWorkers) {
+  trace::Session *S = trace::current();
+  if (!S)
+    return;
+  S->setLaneName(0, "master");
+  for (unsigned W = 0; W < NumWorkers; ++W)
+    S->setLaneName(traceLaneOf(W), "worker " + std::to_string(W));
+}
+
+void pregel::traceStepCounters(uint64_t ActiveVertices, uint64_t Messages,
+                               uint64_t NetworkBytes,
+                               uint64_t MirrorBytesSaved) {
+  if (!trace::enabled())
+    return;
+  trace::counter("active_vertices", ActiveVertices);
+  trace::counter("messages", Messages);
+  trace::counter("network_bytes", NetworkBytes);
+  trace::counter("mirror_bytes_saved", MirrorBytesSaved);
+}

@@ -1,0 +1,53 @@
+//===- pregel/RuntimeTrace.h - Engine lane/category conventions ------------===//
+///
+/// \file
+/// The engine side of the tracing subsystem (support/Trace.h): the lane
+/// convention, the category vocabulary, and the helpers that emit the
+/// engine's counter tracks and worker lane names. The instrumentation
+/// itself lives inline in Runtime.cpp / ThreadPool.cpp; everything here is
+/// a no-op when no trace session is published.
+///
+/// Lane convention (Chrome "tid" in the exported trace):
+///   lane 0      — the main thread: master phases, superstep spans, compiler
+///                 passes, graph load / partition setup, counter tracks
+///   lane w + 1  — engine worker w: compute / combine / deliver spans and
+///                 the barrier-wait complete events
+///
+/// Span names on worker lanes: "compute" (vertex loop), "combine"
+/// (sender-side combining + wire tally), "deliver" (inbox merge),
+/// "barrier-wait" (task end to barrier release; threaded runs only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_PREGEL_RUNTIMETRACE_H
+#define GM_PREGEL_RUNTIMETRACE_H
+
+#include "support/Trace.h"
+
+#include <cstdint>
+
+namespace gm::pregel {
+
+/// The trace lane of engine worker \p WorkerId (lane 0 is the main thread).
+inline unsigned traceLaneOf(unsigned WorkerId) { return WorkerId + 1; }
+
+/// Event categories used by the engine's instrumentation.
+namespace tracecat {
+inline constexpr const char *Phase = "phase";         ///< worker phase spans
+inline constexpr const char *Superstep = "superstep"; ///< lane-0 step spans
+inline constexpr const char *Setup = "setup"; ///< load / partition / plan
+} // namespace tracecat
+
+/// Names lane 0 "master" and lanes 1..NumWorkers "worker N" in the active
+/// session so Perfetto shows meaningful thread names. No-op when off.
+void traceNameLanes(unsigned NumWorkers);
+
+/// Emits the per-superstep counter tracks (active vertices, messages sent,
+/// network bytes, LALP-saved bytes) on lane 0. Call from the main thread at
+/// the end of a superstep. No-op when off.
+void traceStepCounters(uint64_t ActiveVertices, uint64_t Messages,
+                       uint64_t NetworkBytes, uint64_t MirrorBytesSaved);
+
+} // namespace gm::pregel
+
+#endif // GM_PREGEL_RUNTIMETRACE_H

@@ -2,12 +2,15 @@
 
 #include "pregel/ThreadPool.h"
 
+#include "pregel/RuntimeTrace.h"
+
 #include <cassert>
 
 using namespace gm::pregel;
 
 ThreadPool::ThreadPool(unsigned NumWorkers) : NumWorkers(NumWorkers) {
   assert(NumWorkers > 0 && "pool needs at least one worker");
+  TaskEndNs.assign(NumWorkers, 0);
   Threads.reserve(NumWorkers);
   for (unsigned Id = 0; Id < NumWorkers; ++Id)
     Threads.emplace_back([this, Id] { workerLoop(Id); });
@@ -24,6 +27,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::runOnWorkers(const std::function<void(unsigned)> &TaskFn) {
+  // Captured once so the emission below matches what the workers saw; the
+  // caller must not switch sessions while a task is in flight.
+  trace::Session *TS = trace::current();
   std::unique_lock<std::mutex> Lock(Mu);
   assert(Remaining == 0 && "runOnWorkers is not reentrant");
   Task = &TaskFn;
@@ -33,6 +39,15 @@ void ThreadPool::runOnWorkers(const std::function<void(unsigned)> &TaskFn) {
   StartCv.notify_all();
   DoneCv.wait(Lock, [this] { return Remaining == 0; });
   Task = nullptr;
+  if (TS) {
+    // Per-worker barrier-wait: from each worker's task end to the moment
+    // the last one finished. The workers are parked (they wait for the next
+    // generation under Mu), so writing their lanes here is race-free.
+    const uint64_t ReleaseNs = TS->nowNs();
+    for (unsigned Id = 0; Id < NumWorkers; ++Id)
+      trace::complete(traceLaneOf(Id), "barrier-wait", tracecat::Phase,
+                      TaskEndNs[Id], ReleaseNs);
+  }
   if (FirstError)
     std::rethrow_exception(FirstError);
 }
@@ -57,6 +72,8 @@ void ThreadPool::workerLoop(unsigned Id) {
     } catch (...) {
       Error = std::current_exception();
     }
+    if (trace::Session *TS = trace::current())
+      TaskEndNs[Id] = TS->nowNs();
     {
       std::lock_guard<std::mutex> Lock(Mu);
       if (Error && !FirstError)

@@ -56,6 +56,13 @@ private:
   unsigned Remaining = 0;
   bool ShuttingDown = false;
   std::exception_ptr FirstError;
+
+  /// Tracing support (support/Trace.h): when a session is active, each
+  /// worker stamps the time it finished its task into its own slot, and
+  /// runOnWorkers emits per-worker "barrier-wait" spans (task end to barrier
+  /// release) after the barrier completes. Slot writes happen-before the
+  /// read via the pool mutex; unused (and unwritten) when tracing is off.
+  std::vector<uint64_t> TaskEndNs;
 };
 
 } // namespace gm::pregel

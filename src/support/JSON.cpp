@@ -4,8 +4,10 @@
 
 #include <cassert>
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 using namespace gm;
@@ -170,15 +172,34 @@ void Writer::null() {
 
 namespace {
 
-/// Recursive-descent well-formedness checker. No values are materialized;
-/// it only walks the grammar.
+/// Appends \p Code as UTF-8 to \p Out.
+void appendUtf8(std::string &Out, uint32_t Code) {
+  if (Code < 0x80) {
+    Out += static_cast<char>(Code);
+  } else if (Code < 0x800) {
+    Out += static_cast<char>(0xC0 | (Code >> 6));
+    Out += static_cast<char>(0x80 | (Code & 0x3F));
+  } else if (Code < 0x10000) {
+    Out += static_cast<char>(0xE0 | (Code >> 12));
+    Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+    Out += static_cast<char>(0x80 | (Code & 0x3F));
+  } else {
+    Out += static_cast<char>(0xF0 | (Code >> 18));
+    Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+    Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+    Out += static_cast<char>(0x80 | (Code & 0x3F));
+  }
+}
+
+/// Recursive-descent parser shared by validate() and parse(): with a null
+/// output node it only walks the grammar; with one it materializes the DOM.
 class Parser {
 public:
   Parser(const std::string &Text, std::string *Err) : S(Text), Err(Err) {}
 
-  bool run() {
+  bool run(json::Node *Out) {
     skipWs();
-    if (!parseValue())
+    if (!parseValue(Out))
       return false;
     skipWs();
     if (Pos != S.size())
@@ -215,7 +236,7 @@ private:
     return true;
   }
 
-  bool parseString() {
+  bool parseString(std::string *Out) {
     if (!consume('"'))
       return fail("expected '\"'");
     while (Pos < S.size()) {
@@ -232,22 +253,86 @@ private:
           return fail("truncated escape");
         char E = S[Pos];
         if (E == 'u') {
-          for (int I = 1; I <= 4; ++I)
-            if (Pos + I >= S.size() || !std::isxdigit(
-                    static_cast<unsigned char>(S[Pos + I])))
+          uint32_t Code = 0;
+          for (int I = 1; I <= 4; ++I) {
+            if (Pos + I >= S.size() ||
+                !std::isxdigit(static_cast<unsigned char>(S[Pos + I])))
               return fail("bad \\u escape");
+            Code = Code * 16 + hexDigit(S[Pos + I]);
+          }
           Pos += 4;
-        } else if (!std::strchr("\"\\/bfnrt", E)) {
-          return fail("bad escape character");
+          if (Out) {
+            if (Code >= 0xD800 && Code <= 0xDBFF && Pos + 6 < S.size() &&
+                S[Pos + 1] == '\\' && S[Pos + 2] == 'u') {
+              // Try to pair with a low surrogate.
+              uint32_t Low = 0;
+              bool Ok = true;
+              for (int I = 3; I <= 6; ++I) {
+                if (!std::isxdigit(static_cast<unsigned char>(S[Pos + I]))) {
+                  Ok = false;
+                  break;
+                }
+                Low = Low * 16 + hexDigit(S[Pos + I]);
+              }
+              if (Ok && Low >= 0xDC00 && Low <= 0xDFFF) {
+                appendUtf8(*Out,
+                           0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00));
+                Pos += 6;
+                ++Pos;
+                continue;
+              }
+            }
+            if (Code >= 0xD800 && Code <= 0xDFFF)
+              Code = 0xFFFD; // unpaired surrogate
+            appendUtf8(*Out, Code);
+          }
+          ++Pos;
+          continue;
         }
+        if (!std::strchr("\"\\/bfnrt", E))
+          return fail("bad escape character");
+        if (Out) {
+          switch (E) {
+          case 'b':
+            *Out += '\b';
+            break;
+          case 'f':
+            *Out += '\f';
+            break;
+          case 'n':
+            *Out += '\n';
+            break;
+          case 'r':
+            *Out += '\r';
+            break;
+          case 't':
+            *Out += '\t';
+            break;
+          default:
+            *Out += E;
+          }
+        }
+        ++Pos;
+        continue;
       }
+      if (Out)
+        *Out += static_cast<char>(C);
       ++Pos;
     }
     return fail("unterminated string");
   }
 
-  bool parseNumber() {
+  static uint32_t hexDigit(char C) {
+    if (C >= '0' && C <= '9')
+      return static_cast<uint32_t>(C - '0');
+    if (C >= 'a' && C <= 'f')
+      return static_cast<uint32_t>(C - 'a' + 10);
+    return static_cast<uint32_t>(C - 'A' + 10);
+  }
+
+  bool parseNumber(json::Node *Out) {
     size_t Start = Pos;
+    bool Integral = true;
     consume('-');
     if (consume('0')) {
       // no leading zeros
@@ -258,12 +343,14 @@ private:
         ++Pos;
     }
     if (consume('.')) {
+      Integral = false;
       if (Pos >= S.size() || !std::isdigit(static_cast<unsigned char>(S[Pos])))
         return fail("expected fraction digits");
       while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
         ++Pos;
     }
     if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
+      Integral = false;
       ++Pos;
       if (Pos < S.size() && (S[Pos] == '+' || S[Pos] == '-'))
         ++Pos;
@@ -272,23 +359,51 @@ private:
       while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
         ++Pos;
     }
-    return Pos > Start;
+    if (Pos <= Start)
+      return false;
+    if (Out) {
+      std::string Text = S.substr(Start, Pos - Start);
+      if (Integral) {
+        errno = 0;
+        char *End = nullptr;
+        long long V = std::strtoll(Text.c_str(), &End, 10);
+        if (errno == 0 && End && *End == '\0') {
+          Out->K = json::Node::Kind::Int;
+          Out->I = static_cast<int64_t>(V);
+          Out->D = static_cast<double>(V);
+          return true;
+        }
+        // Out-of-range integer literal: fall back to double.
+      }
+      Out->K = json::Node::Kind::Double;
+      Out->D = std::strtod(Text.c_str(), nullptr);
+      Out->I = static_cast<int64_t>(Out->D);
+    }
+    return true;
   }
 
-  bool parseObject() {
+  bool parseObject(json::Node *Out) {
     ++Pos; // '{'
+    if (Out)
+      Out->K = json::Node::Kind::Object;
     skipWs();
     if (consume('}'))
       return true;
     while (true) {
       skipWs();
-      if (!parseString())
+      std::string Key;
+      if (!parseString(Out ? &Key : nullptr))
         return false;
       skipWs();
       if (!consume(':'))
         return fail("expected ':'");
       skipWs();
-      if (!parseValue())
+      json::Node *Child = nullptr;
+      if (Out) {
+        Out->Members.emplace_back(std::move(Key), json::Node());
+        Child = &Out->Members.back().second;
+      }
+      if (!parseValue(Child))
         return false;
       skipWs();
       if (consume('}'))
@@ -298,14 +413,21 @@ private:
     }
   }
 
-  bool parseArray() {
+  bool parseArray(json::Node *Out) {
     ++Pos; // '['
+    if (Out)
+      Out->K = json::Node::Kind::Array;
     skipWs();
     if (consume(']'))
       return true;
     while (true) {
       skipWs();
-      if (!parseValue())
+      json::Node *Child = nullptr;
+      if (Out) {
+        Out->Elems.emplace_back();
+        Child = &Out->Elems.back();
+      }
+      if (!parseValue(Child))
         return false;
       skipWs();
       if (consume(']'))
@@ -315,7 +437,7 @@ private:
     }
   }
 
-  bool parseValue() {
+  bool parseValue(json::Node *Out) {
     if (++Depth > MaxDepth)
       return fail("nesting too deep");
     struct DepthGuard {
@@ -326,19 +448,29 @@ private:
       return fail("unexpected end of input");
     switch (S[Pos]) {
     case '{':
-      return parseObject();
+      return parseObject(Out);
     case '[':
-      return parseArray();
+      return parseArray(Out);
     case '"':
-      return parseString();
+      if (Out)
+        Out->K = json::Node::Kind::String;
+      return parseString(Out ? &Out->S : nullptr);
     case 't':
+      if (Out) {
+        Out->K = json::Node::Kind::Bool;
+        Out->B = true;
+      }
       return parseLiteral("true");
     case 'f':
+      if (Out) {
+        Out->K = json::Node::Kind::Bool;
+        Out->B = false;
+      }
       return parseLiteral("false");
     case 'n':
       return parseLiteral("null");
     default:
-      return parseNumber();
+      return parseNumber(Out);
     }
   }
 
@@ -352,5 +484,13 @@ private:
 } // namespace
 
 bool json::validate(const std::string &Text, std::string *Err) {
-  return Parser(Text, Err).run();
+  return Parser(Text, Err).run(nullptr);
+}
+
+bool json::parse(const std::string &Text, Node &Out, std::string *Err) {
+  Out = Node();
+  if (Parser(Text, Err).run(&Out))
+    return true;
+  Out = Node();
+  return false;
 }

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gm::json {
@@ -78,6 +79,75 @@ private:
 /// trailing whitespace). On failure returns false and, when \p Err is
 /// non-null, stores a message with the byte offset of the problem.
 bool validate(const std::string &Text, std::string *Err = nullptr);
+
+/// A parsed JSON value (DOM). Used by the readers of our own reports —
+/// `gmtrace` over Chrome trace JSON and the bench `--compare` gate over
+/// gm.run-report baselines — so it favors exact int64 round-trips (byte and
+/// message totals compare exactly) over generality.
+struct Node {
+  enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;  ///< Kind::Int
+  double D = 0.0; ///< Kind::Double; mirrors I for Kind::Int
+  std::string S;  ///< Kind::String
+  std::vector<Node> Elems;                           ///< Kind::Array
+  std::vector<std::pair<std::string, Node>> Members; ///< Kind::Object, in order
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Object member lookup; null when absent or not an object.
+  const Node *find(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &[MemberKey, Value] : Members)
+      if (MemberKey == Key)
+        return &Value;
+    return nullptr;
+  }
+
+  /// Numeric value as double (0.0 for non-numbers).
+  double num() const {
+    return K == Kind::Int ? static_cast<double>(I)
+                          : (K == Kind::Double ? D : 0.0);
+  }
+
+  /// Numeric value as int64 (doubles truncate; 0 for non-numbers).
+  int64_t asInt() const {
+    return K == Kind::Int ? I
+                          : (K == Kind::Double ? static_cast<int64_t>(D) : 0);
+  }
+
+  /// Convenience typed accessors on object members, with defaults.
+  double numAt(const std::string &Key, double Default = 0.0) const {
+    const Node *N = find(Key);
+    return N && N->isNumber() ? N->num() : Default;
+  }
+  int64_t intAt(const std::string &Key, int64_t Default = 0) const {
+    const Node *N = find(Key);
+    return N && N->isNumber() ? N->asInt() : Default;
+  }
+  std::string strAt(const std::string &Key,
+                    const std::string &Default = "") const {
+    const Node *N = find(Key);
+    return N && N->isString() ? N->S : Default;
+  }
+  bool boolAt(const std::string &Key, bool Default = false) const {
+    const Node *N = find(Key);
+    return N && N->isBool() ? N->B : Default;
+  }
+};
+
+/// Parses one JSON document into a Node tree, with the same strictness and
+/// error reporting as validate(). String escapes are decoded (\uXXXX to
+/// UTF-8; unpaired surrogates become U+FFFD).
+bool parse(const std::string &Text, Node &Out, std::string *Err = nullptr);
 
 } // namespace gm::json
 

@@ -3,11 +3,24 @@
 #include "support/PassStatistics.h"
 
 #include "support/JSON.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <sstream>
 
 using namespace gm;
+
+void PassStatistics::tracePassTiming(const std::string &Pass, double Seconds) {
+  trace::Session *S = trace::current();
+  if (!S)
+    return;
+  // The timer fires at scope exit, so the span ends "now" and started
+  // Seconds earlier; pass names are dynamic, so intern them.
+  uint64_t EndNs = S->nowNs();
+  auto DurNs = static_cast<uint64_t>(Seconds * 1e9);
+  trace::complete(/*LaneId=*/0, S->intern(Pass), "compiler",
+                  EndNs > DurNs ? EndNs - DurNs : 0, EndNs);
+}
 
 std::string PassStatistics::renderTable() const {
   std::ostringstream OS;

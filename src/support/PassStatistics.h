@@ -63,7 +63,13 @@ public:
   /// report schema (docs/observability.md) into an already-open writer.
   void writeJson(json::Writer &W) const;
 
-  /// RAII timer: times its scope into \p Stats (no-op when null).
+  /// Mirrors one pass timing into the active trace session, if any, as a
+  /// complete span on the main lane (cat "compiler"). Out of line so this
+  /// header stays light; a no-op when tracing is off.
+  static void tracePassTiming(const std::string &Pass, double Seconds);
+
+  /// RAII timer: times its scope into \p Stats (no-op when null) and into
+  /// the active trace session (docs/observability.md).
   class ScopedTimer {
   public:
     ScopedTimer(PassStatistics *Stats, std::string Pass)
@@ -72,10 +78,12 @@ public:
     ~ScopedTimer() {
       if (!Stats)
         return;
-      Stats->addTiming(
-          Pass, std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                              Start)
-                    .count());
+      double Seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Start)
+              .count();
+      Stats->addTiming(Pass, Seconds);
+      tracePassTiming(Pass, Seconds);
     }
     ScopedTimer(const ScopedTimer &) = delete;
     ScopedTimer &operator=(const ScopedTimer &) = delete;

@@ -1,0 +1,199 @@
+//===- support/Trace.cpp ---------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/JSON.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+using namespace gm;
+using namespace gm::trace;
+
+std::atomic<Session *> trace::detail::Current{nullptr};
+
+void trace::setCurrent(Session *S) {
+  detail::Current.store(S, std::memory_order_release);
+}
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+Session::Session(size_t LaneCapacity)
+    : Epoch(std::chrono::steady_clock::now()),
+      LaneCapacity(LaneCapacity ? LaneCapacity : 1) {}
+
+Session::~Session() {
+  // Never leave a dangling published pointer behind.
+  Session *Expected = this;
+  detail::Current.compare_exchange_strong(Expected, nullptr,
+                                          std::memory_order_acq_rel);
+}
+
+Lane &Session::lane(unsigned Id) {
+  if (Id >= MaxLanes)
+    Id = MaxLanes - 1;
+  if (Lane *L = Lanes[Id].load(std::memory_order_acquire))
+    return *L;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Lane *L = Lanes[Id].load(std::memory_order_relaxed))
+    return *L;
+  LaneStore.emplace_back();
+  Lane &L = LaneStore.back();
+  L.Capacity = LaneCapacity;
+  L.Events.reserve(std::min<size_t>(LaneCapacity, 1024));
+  Lanes[Id].store(&L, std::memory_order_release);
+  return L;
+}
+
+void Session::setLaneName(unsigned Id, const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  LaneNames[Id >= MaxLanes ? MaxLanes - 1 : Id] = Name;
+}
+
+const char *Session::intern(const std::string &S) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Interned.insert(S).first->c_str();
+}
+
+size_t Session::eventCount() const {
+  size_t N = 0;
+  for (unsigned Id = 0; Id < MaxLanes; ++Id)
+    if (const Lane *L = Lanes[Id].load(std::memory_order_acquire))
+      N += L->events().size();
+  return N;
+}
+
+uint64_t Session::droppedEvents() const {
+  uint64_t N = 0;
+  for (unsigned Id = 0; Id < MaxLanes; ++Id)
+    if (const Lane *L = Lanes[Id].load(std::memory_order_acquire))
+      N += L->dropped();
+  return N;
+}
+
+unsigned Session::laneCount() const {
+  unsigned N = 0;
+  for (unsigned Id = 0; Id < MaxLanes; ++Id)
+    if (Lanes[Id].load(std::memory_order_acquire))
+      ++N;
+  return N;
+}
+
+void trace::detail::record(Session &S, unsigned LaneId, Phase Ph,
+                           const char *Name, const char *Cat, uint64_t Value,
+                           bool HasValue, uint64_t TsNs, uint64_t DurNs) {
+  Event E;
+  E.TsNs = TsNs;
+  E.DurNs = DurNs;
+  E.Value = Value;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Ph = Ph;
+  E.HasValue = HasValue;
+  S.record(LaneId, E);
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace-event JSON export
+//===----------------------------------------------------------------------===//
+
+static const char *phaseLetter(Phase Ph) {
+  switch (Ph) {
+  case Phase::Begin:
+    return "B";
+  case Phase::End:
+    return "E";
+  case Phase::Complete:
+    return "X";
+  case Phase::Counter:
+    return "C";
+  case Phase::Instant:
+    return "i";
+  }
+  return "i";
+}
+
+/// ts in the trace-event format is microseconds; emit with sub-µs precision
+/// so short spans survive the conversion.
+static double toMicros(uint64_t Ns) { return static_cast<double>(Ns) / 1e3; }
+
+void Session::writeChromeJson(std::ostream &OS) const {
+  // Export runs after recording has stopped; take the mutex so lane names
+  // and lane creation are settled.
+  std::lock_guard<std::mutex> Lock(Mu);
+  json::Writer W(OS, /*Pretty=*/false);
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+
+  // Lane display names first (Perfetto picks them up as thread names).
+  for (const auto &[Id, Name] : LaneNames) {
+    W.beginObject();
+    W.field("name", "thread_name");
+    W.field("ph", "M");
+    W.field("pid", 1);
+    W.field("tid", Id);
+    W.key("args");
+    W.beginObject();
+    W.field("name", Name);
+    W.endObject();
+    W.endObject();
+  }
+
+  for (unsigned Id = 0; Id < MaxLanes; ++Id) {
+    const Lane *L = Lanes[Id].load(std::memory_order_relaxed);
+    if (!L)
+      continue;
+    for (const Event &E : L->events()) {
+      W.beginObject();
+      W.field("name", E.Name ? E.Name : "?");
+      if (E.Cat)
+        W.field("cat", E.Cat);
+      W.field("ph", phaseLetter(E.Ph));
+      W.field("ts", toMicros(E.TsNs));
+      if (E.Ph == Phase::Complete)
+        W.field("dur", toMicros(E.DurNs));
+      if (E.Ph == Phase::Instant)
+        W.field("s", "t");
+      W.field("pid", 1);
+      W.field("tid", Id);
+      if (E.HasValue) {
+        W.key("args");
+        W.beginObject();
+        // Counter tracks plot their args members; spans carry the superstep.
+        W.field(E.Ph == Phase::Counter ? "value" : "step", E.Value);
+        W.endObject();
+      }
+      W.endObject();
+    }
+  }
+
+  W.endArray();
+  W.field("displayTimeUnit", "ms");
+  W.endObject();
+  OS << '\n';
+}
+
+//===----------------------------------------------------------------------===//
+// peakRssBytes
+//===----------------------------------------------------------------------===//
+
+uint64_t trace::peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(RU.ru_maxrss); // bytes on Darwin
+#else
+  return static_cast<uint64_t>(RU.ru_maxrss) * 1024; // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}

@@ -1,0 +1,291 @@
+//===- support/Trace.h - Low-overhead structured runtime tracing -----------===//
+///
+/// \file
+/// A process-wide tracing facility for the observability layer: a Session
+/// owns per-lane event buffers (lane 0 for the main/master thread, one lane
+/// per engine worker), each written by exactly one thread at a time, so
+/// recording takes no locks on the hot path. Events are span begin/end pairs,
+/// pre-timed complete spans, counter samples, and instants, exported as
+/// Chrome trace-event JSON (docs/observability.md "Structured runtime
+/// tracing") loadable in Perfetto or chrome://tracing.
+///
+/// Tracing is off by default and zero-cost when off: every emission helper
+/// starts with one relaxed-ish atomic load of the current session pointer and
+/// returns immediately when it is null. Activation is cooperative — callers
+/// construct a Session, publish it with setCurrent(), run the work, then
+/// unpublish before reading the buffers.
+///
+/// Single-writer rule: a lane may be written by at most one thread at any
+/// moment, with a happens-before edge between successive writers (the engine
+/// guarantees this via its ThreadPool barrier: worker w writes lane w+1 only
+/// inside parallel sections, the main thread writes worker lanes only between
+/// them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SUPPORT_TRACE_H
+#define GM_SUPPORT_TRACE_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gm::trace {
+
+class Session;
+
+namespace detail {
+extern std::atomic<Session *> Current;
+} // namespace detail
+
+/// The published session, or null when tracing is off.
+inline Session *current() {
+  return detail::Current.load(std::memory_order_acquire);
+}
+
+/// True when a session is published. The one-branch guard on every hot path.
+inline bool enabled() { return current() != nullptr; }
+
+/// Publishes \p S as the process-wide session (null to disable). The caller
+/// must guarantee no traced code is running concurrently with the switch.
+void setCurrent(Session *S);
+
+/// The kind of a recorded event, mirroring Chrome trace-event phases.
+enum class Phase : uint8_t {
+  Begin,    ///< span open ("ph":"B")
+  End,      ///< span close ("ph":"E")
+  Complete, ///< pre-timed span ("ph":"X", uses DurNs)
+  Counter,  ///< counter sample ("ph":"C", uses Value)
+  Instant,  ///< point event ("ph":"i")
+};
+
+/// One recorded trace event. Name/Cat must outlive the session: use string
+/// literals or Session::intern().
+struct Event {
+  uint64_t TsNs = 0;  ///< nanoseconds since session start
+  uint64_t DurNs = 0; ///< Complete only
+  uint64_t Value = 0; ///< Counter sample or span argument
+  const char *Name = nullptr;
+  const char *Cat = nullptr;
+  Phase Ph = Phase::Instant;
+  bool HasValue = false; ///< emit Value into the event's args
+};
+
+/// A single-writer event buffer with a fixed capacity. When full, new events
+/// are dropped newest-first, but span balance is preserved: a dropped Begin
+/// bumps SkipDepth so its matching End is swallowed too, and an End whose
+/// Begin was recorded is always recorded (the buffer may exceed capacity by
+/// the open-span depth). The B/E stream therefore always nests.
+class Lane {
+public:
+  const std::vector<Event> &events() const { return Events; }
+  uint64_t dropped() const { return Dropped; }
+
+private:
+  friend class Session;
+
+  void record(const Event &E) {
+    if (E.Ph == Phase::End) {
+      if (SkipDepth > 0) {
+        --SkipDepth;
+        ++Dropped;
+        return;
+      }
+      Events.push_back(E);
+      return;
+    }
+    if (Events.size() >= Capacity) {
+      ++Dropped;
+      if (E.Ph == Phase::Begin)
+        ++SkipDepth;
+      return;
+    }
+    Events.push_back(E);
+  }
+
+  std::vector<Event> Events;
+  size_t Capacity = 0;
+  uint64_t Dropped = 0;
+  uint32_t SkipDepth = 0;
+};
+
+/// One tracing run: the clock epoch, the lanes, the interned-name table, and
+/// the Chrome JSON exporter. Construction and export are cold paths; only
+/// Lane::record and nowNs() sit on the hot path.
+class Session {
+public:
+  static constexpr unsigned MaxLanes = 64;
+  static constexpr size_t DefaultLaneCapacity = 1u << 16;
+
+  explicit Session(size_t LaneCapacity = DefaultLaneCapacity);
+  ~Session();
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Nanoseconds since the session was constructed (steady clock).
+  uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  /// The lane for \p Id, created on first use (ids >= MaxLanes share the
+  /// last lane). Lookup is one acquire load; creation takes a mutex once.
+  Lane &lane(unsigned Id);
+
+  /// Records \p E into lane \p Id. Caller must be that lane's sole writer.
+  void record(unsigned Id, const Event &E) { lane(Id).record(E); }
+
+  /// Sets the display name of a lane ("master", "worker 3", ...).
+  void setLaneName(unsigned Id, const std::string &Name);
+
+  /// Copies \p S into session-owned storage and returns a stable pointer,
+  /// deduplicated. For dynamic names (compiler pass names); thread-safe.
+  const char *intern(const std::string &S);
+
+  /// Total events recorded across all lanes (cold; not thread-safe against
+  /// concurrent recording).
+  size_t eventCount() const;
+
+  /// Total events dropped to ring-capacity limits across all lanes.
+  uint64_t droppedEvents() const;
+
+  /// Number of lanes that have been touched.
+  unsigned laneCount() const;
+
+  /// Writes the whole session as one Chrome trace-event JSON document:
+  /// {"traceEvents":[...]} with thread_name metadata per lane, span and
+  /// counter events with ts in microseconds.
+  void writeChromeJson(std::ostream &OS) const;
+
+private:
+  std::chrono::steady_clock::time_point Epoch;
+  size_t LaneCapacity;
+  mutable std::mutex Mu; ///< lane creation, names, interning
+  std::array<std::atomic<Lane *>, MaxLanes> Lanes{};
+  std::deque<Lane> LaneStore;              ///< stable addresses
+  std::map<unsigned, std::string> LaneNames;
+  std::set<std::string> Interned;          ///< stable c_str()s
+};
+
+//===----------------------------------------------------------------------===//
+// Emission helpers — each is one branch when tracing is off.
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+void record(Session &S, unsigned LaneId, Phase Ph, const char *Name,
+            const char *Cat, uint64_t Value, bool HasValue, uint64_t TsNs,
+            uint64_t DurNs);
+} // namespace detail
+
+/// Opens a span on \p LaneId.
+inline void begin(unsigned LaneId, const char *Name, const char *Cat) {
+  if (Session *S = current())
+    detail::record(*S, LaneId, Phase::Begin, Name, Cat, 0, false, S->nowNs(),
+                   0);
+}
+
+/// Opens a span carrying one integer argument (e.g. the superstep number).
+inline void beginWithValue(unsigned LaneId, const char *Name, const char *Cat,
+                           uint64_t Value) {
+  if (Session *S = current())
+    detail::record(*S, LaneId, Phase::Begin, Name, Cat, Value, true, S->nowNs(),
+                   0);
+}
+
+/// Closes the innermost span on \p LaneId.
+inline void end(unsigned LaneId, const char *Name, const char *Cat) {
+  if (Session *S = current())
+    detail::record(*S, LaneId, Phase::End, Name, Cat, 0, false, S->nowNs(), 0);
+}
+
+/// Records a pre-timed span [StartNs, EndNs] on \p LaneId.
+inline void complete(unsigned LaneId, const char *Name, const char *Cat,
+                     uint64_t StartNs, uint64_t EndNs) {
+  if (Session *S = current())
+    if (EndNs >= StartNs)
+      detail::record(*S, LaneId, Phase::Complete, Name, Cat, 0, false, StartNs,
+                     EndNs - StartNs);
+}
+
+/// Records a counter sample (its own track in the viewer) on lane 0.
+inline void counter(const char *Name, uint64_t Value) {
+  if (Session *S = current())
+    detail::record(*S, 0, Phase::Counter, Name, "counter", Value, true,
+                   S->nowNs(), 0);
+}
+
+/// Records a point event on \p LaneId.
+inline void instant(unsigned LaneId, const char *Name, const char *Cat) {
+  if (Session *S = current())
+    detail::record(*S, LaneId, Phase::Instant, Name, Cat, 0, false, S->nowNs(),
+                   0);
+}
+
+/// RAII span. Captures the session at construction so a concurrent
+/// setCurrent() cannot unbalance the lane.
+class ScopedSpan {
+public:
+  ScopedSpan(unsigned LaneId, const char *Name, const char *Cat)
+      : S(current()), LaneId(LaneId), Name(Name), Cat(Cat) {
+    if (S)
+      detail::record(*S, LaneId, Phase::Begin, Name, Cat, 0, false, S->nowNs(),
+                     0);
+  }
+  ScopedSpan(unsigned LaneId, const char *Name, const char *Cat, uint64_t Value)
+      : S(current()), LaneId(LaneId), Name(Name), Cat(Cat) {
+    if (S)
+      detail::record(*S, LaneId, Phase::Begin, Name, Cat, Value, true,
+                     S->nowNs(), 0);
+  }
+  ~ScopedSpan() {
+    if (S)
+      detail::record(*S, LaneId, Phase::End, Name, Cat, 0, false, S->nowNs(),
+                     0);
+  }
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+private:
+  Session *S;
+  unsigned LaneId;
+  const char *Name;
+  const char *Cat;
+};
+
+/// RAII publish/unpublish of a session: constructs a Session, makes it
+/// current, and unpublishes it on destruction (the buffers stay readable).
+class ScopedSession {
+public:
+  explicit ScopedSession(size_t LaneCapacity = Session::DefaultLaneCapacity)
+      : S(LaneCapacity) {
+    setCurrent(&S);
+  }
+  ~ScopedSession() { setCurrent(nullptr); }
+  ScopedSession(const ScopedSession &) = delete;
+  ScopedSession &operator=(const ScopedSession &) = delete;
+
+  Session &session() { return S; }
+
+private:
+  Session S;
+};
+
+/// Peak resident set size of this process in bytes (0 when unavailable).
+/// Not tracing per se, but the same observability layer feeds it into the
+/// run report's totals (docs/observability.md, schema v2).
+uint64_t peakRssBytes();
+
+} // namespace gm::trace
+
+#endif // GM_SUPPORT_TRACE_H

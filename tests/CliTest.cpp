@@ -147,10 +147,16 @@ TEST(Cli, StatsJsonRunRoundTrip) {
   std::string Err;
   EXPECT_TRUE(gm::json::validate(Doc, &Err)) << Err;
   EXPECT_NE(Doc.find("\"schema\": \"gm.run-report\""), std::string::npos);
-  EXPECT_NE(Doc.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(Doc.find("\"version\": 2"), std::string::npos);
   EXPECT_NE(Doc.find("\"supersteps\""), std::string::npos);
   EXPECT_NE(Doc.find("\"workers\""), std::string::npos);
   EXPECT_NE(Doc.find("\"compute_seconds\""), std::string::npos);
+  // Schema v2 additions: per-phase totals, split combine/deliver timings,
+  // and the process peak RSS.
+  EXPECT_NE(Doc.find("\"phase_seconds\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"combine_seconds\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"deliver_seconds\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"peak_rss_bytes\""), std::string::npos);
   EXPECT_NE(Doc.find("\"halt\": \"master-halt\""), std::string::npos);
   EXPECT_NE(Doc.find("\"compiler\""), std::string::npos);
   EXPECT_NE(Doc.find("\"translate\""), std::string::npos);
@@ -228,6 +234,92 @@ TEST(Cli, TracePrintsSuperstepTable) {
   EXPECT_NE(R.Output.find("superstep trace:"), std::string::npos);
   EXPECT_NE(R.Output.find("per-worker totals:"), std::string::npos);
   EXPECT_NE(R.Output.find("halt="), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime tracing (--trace-json) and machine-output stream routing.
+//===----------------------------------------------------------------------===//
+
+/// Captures one stream only: stdout with stderr discarded, or vice versa.
+CliResult runGmpcOneStream(const std::string &ArgLine, bool StderrOnly) {
+  std::string Redirect =
+      StderrOnly ? " 2>&1 1>/dev/null" : " 2>/dev/null";
+  std::string Cmd = std::string(GMPC_PATH) + " " + ArgLine + Redirect;
+  std::array<char, 4096> Buffer;
+  CliResult R;
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  if (!Pipe)
+    return R;
+  while (size_t Got = fread(Buffer.data(), 1, Buffer.size(), Pipe))
+    R.Output.append(Buffer.data(), Got);
+  int Status = pclose(Pipe);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+TEST(Cli, StatsJsonToStdoutMovesHumanOutputToStderr) {
+  const std::string Args =
+      algo("pagerank.gm") +
+      " --run --graph-rmat 100 400"
+      " --arg e=0.0 --arg d=0.85 --arg max_iter=3 --trace --stats-json -";
+
+  // stdout must be the JSON document alone — parseable with nothing mixed in.
+  CliResult Out = runGmpcOneStream(Args, /*StderrOnly=*/false);
+  ASSERT_EQ(Out.ExitCode, 0);
+  std::string Err;
+  EXPECT_TRUE(gm::json::validate(Out.Output, &Err)) << Err << "\n"
+                                                    << Out.Output;
+  EXPECT_EQ(Out.Output.find("superstep trace:"), std::string::npos);
+
+  // The human-readable report (including the --trace table) moved to stderr.
+  CliResult ErrStream = runGmpcOneStream(Args, /*StderrOnly=*/true);
+  ASSERT_EQ(ErrStream.ExitCode, 0);
+  EXPECT_NE(ErrStream.Output.find("graph: 100 nodes"), std::string::npos);
+  EXPECT_NE(ErrStream.Output.find("superstep trace:"), std::string::npos);
+  EXPECT_NE(ErrStream.Output.find("per-worker totals:"), std::string::npos);
+}
+
+TEST(Cli, TraceJsonWritesChromeTrace) {
+  std::string Path = ::testing::TempDir() + "/cli_trace.json";
+  CliResult R = runGmpc(algo("pagerank.gm") +
+                        " --run --graph-rmat 100 400 --workers 2 --threaded"
+                        " --arg e=0.0 --arg d=0.85 --arg max_iter=3"
+                        " --trace-json " + Path);
+  ASSERT_EQ(R.ExitCode, 0);
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Doc = SS.str();
+
+  std::string Err;
+  EXPECT_TRUE(gm::json::validate(Doc, &Err)) << Err;
+  EXPECT_NE(Doc.find("\"traceEvents\""), std::string::npos);
+  // Compiler passes, engine phases, and counter tracks all land in one file.
+  EXPECT_NE(Doc.find("\"translate\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"superstep\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"compute\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"barrier-wait\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"active_vertices\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"worker 1\""), std::string::npos);
+}
+
+TEST(Cli, TraceJsonToStdoutIsPureJson) {
+  const std::string Args = algo("pagerank.gm") +
+                           " --run --graph-rmat 100 400"
+                           " --arg e=0.0 --arg d=0.85 --arg max_iter=3"
+                           " --trace-json -";
+  CliResult Out = runGmpcOneStream(Args, /*StderrOnly=*/false);
+  ASSERT_EQ(Out.ExitCode, 0);
+  std::string Err;
+  EXPECT_TRUE(gm::json::validate(Out.Output, &Err)) << Err;
+  EXPECT_NE(Out.Output.find("\"traceEvents\""), std::string::npos);
+
+  CliResult ErrStream = runGmpcOneStream(Args, /*StderrOnly=*/true);
+  ASSERT_EQ(ErrStream.ExitCode, 0);
+  EXPECT_NE(ErrStream.Output.find("run: supersteps="), std::string::npos);
 }
 
 } // namespace

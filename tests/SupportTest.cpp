@@ -274,6 +274,83 @@ TEST(Json, ValidateRejectsMalformedDocuments) {
   EXPECT_FALSE(Err.empty());
 }
 
+TEST(Json, ParseBuildsDomWithExactInts) {
+  json::Node N;
+  std::string Err;
+  ASSERT_TRUE(json::parse(
+      "{\"a\": 9007199254740993, \"b\": -2.5, \"c\": \"s\", \"d\": true,"
+      " \"e\": null, \"f\": [1, 2, 3]}",
+      N, &Err))
+      << Err;
+  ASSERT_EQ(N.K, json::Node::Kind::Object);
+  // 2^53 + 1 is not representable as a double: the Int kind must carry it
+  // exactly (bench byte totals compare with ==).
+  const json::Node *A = N.find("a");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->K, json::Node::Kind::Int);
+  EXPECT_EQ(A->I, 9007199254740993LL);
+  EXPECT_EQ(N.intAt("a"), 9007199254740993LL);
+  EXPECT_DOUBLE_EQ(N.numAt("b"), -2.5);
+  EXPECT_EQ(N.strAt("c"), "s");
+  EXPECT_TRUE(N.boolAt("d"));
+  const json::Node *E = N.find("e");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->K, json::Node::Kind::Null);
+  const json::Node *F = N.find("f");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(F->Elems.size(), 3u);
+  EXPECT_EQ(F->Elems[1].asInt(), 2);
+  EXPECT_EQ(N.find("missing"), nullptr);
+  EXPECT_EQ(N.intAt("missing", -7), -7);
+}
+
+TEST(Json, ParseDecodesStringEscapes) {
+  json::Node N;
+  std::string Err;
+  ASSERT_TRUE(json::parse(R"(["a\"b\\c", "x\n\t", "é", "😀"])",
+                          N, &Err))
+      << Err;
+  ASSERT_EQ(N.Elems.size(), 4u);
+  EXPECT_EQ(N.Elems[0].S, "a\"b\\c");
+  EXPECT_EQ(N.Elems[1].S, "x\n\t");
+  EXPECT_EQ(N.Elems[2].S, "\xc3\xa9");         // é in UTF-8
+  EXPECT_EQ(N.Elems[3].S, "\xf0\x9f\x98\x80"); // surrogate pair -> U+1F600
+}
+
+TEST(Json, ParseRoundTripsWriterOutput) {
+  std::ostringstream SS;
+  json::Writer W(SS);
+  W.beginObject();
+  W.field("name", "run");
+  W.field("count", uint64_t(42));
+  W.field("ratio", 0.5);
+  W.key("steps");
+  W.beginArray();
+  W.value(uint64_t(1));
+  W.value(uint64_t(2));
+  W.endArray();
+  W.endObject();
+
+  json::Node N;
+  std::string Err;
+  ASSERT_TRUE(json::parse(SS.str(), N, &Err)) << Err;
+  EXPECT_EQ(N.strAt("name"), "run");
+  EXPECT_EQ(N.intAt("count"), 42);
+  EXPECT_DOUBLE_EQ(N.numAt("ratio"), 0.5);
+  ASSERT_NE(N.find("steps"), nullptr);
+  EXPECT_EQ(N.find("steps")->Elems.size(), 2u);
+}
+
+TEST(Json, ParseFailsLikeValidate) {
+  json::Node N;
+  std::string Err;
+  EXPECT_FALSE(json::parse("{\"a\":}", N, &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(json::parse("[1,]", N, nullptr));
+  // A failed parse leaves the node reset, not half-filled.
+  EXPECT_EQ(N.K, json::Node::Kind::Null);
+}
+
 //===----------------------------------------------------------------------===//
 // PassStatistics
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,78 @@
+# check_bench_regression.cmake — smoke test of the bench regression gate
+# (docs/observability.md "Bench regression gate").
+#
+#   cmake -DBENCH=<bench_runtime_micro> -DREPO_ROOT=<repo>
+#         -DOUT_DIR=<scratch> -P tools/check_bench_regression.cmake
+#
+# Three checks, none of which need a quiet machine:
+#   1. a fresh smoke sweep compared against itself passes (`--compare` exit
+#      0: configurations match, totals are byte-identical, ratio 1.0);
+#   2. comparing that sweep against the checked-in scaling baseline fails
+#      (zero matching configurations must be an error, or a wrong-baseline
+#      mixup would silently "pass");
+#   3. every checked-in BENCH_*.json still parses and is internally
+#      consistent (`--check-baseline`).
+#
+# Registered as the tier-1 `bench_regression_smoke` ctest.
+
+cmake_minimum_required(VERSION 3.16)
+
+foreach(VAR BENCH REPO_ROOT OUT_DIR)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "check_bench_regression.cmake: pass -D${VAR}=...")
+  endif()
+endforeach()
+
+set(FRESH ${OUT_DIR}/bench_regression_fresh.json)
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+execute_process(
+  COMMAND ${BENCH} --messages 1 --smoke --json ${FRESH}
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "smoke sweep failed (${RC}):\n${OUT}\n${ERR}")
+endif()
+
+# 1. Self-comparison must pass: identical document, exact totals, ratio 1.
+execute_process(
+  COMMAND ${BENCH} --compare ${FRESH} ${FRESH}
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "self-compare should pass but failed:\n${OUT}\n${ERR}")
+endif()
+string(FIND "${OUT}" "0 failures" POS)
+if(POS EQUAL -1)
+  message(FATAL_ERROR "self-compare did not report 0 failures:\n${OUT}")
+endif()
+
+# 2. Comparing against the wrong baseline (different sweep, so zero matching
+#    configurations) must fail loudly.
+execute_process(
+  COMMAND ${BENCH} --compare ${REPO_ROOT}/BENCH_scaling.json ${FRESH}
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(RC EQUAL 0)
+  message(FATAL_ERROR
+    "compare against a non-matching baseline should fail but passed:\n${OUT}")
+endif()
+
+# 3. The checked-in baselines must stay loadable by the gate.
+file(GLOB BASELINES ${REPO_ROOT}/BENCH_*.json)
+if(BASELINES STREQUAL "")
+  message(FATAL_ERROR "no checked-in BENCH_*.json baselines under ${REPO_ROOT}")
+endif()
+execute_process(
+  COMMAND ${BENCH} --check-baseline ${BASELINES}
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "--check-baseline failed:\n${OUT}\n${ERR}")
+endif()
+
+message(STATUS "bench regression gate ok")

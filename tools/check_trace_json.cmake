@@ -1,0 +1,88 @@
+# check_trace_json.cmake — end-to-end validation of the runtime tracing
+# pipeline (docs/observability.md "Runtime tracing").
+#
+#   cmake -DGMPC=<gmpc> -DGMTRACE=<gmtrace> -DALGORITHMS_DIR=<dir>
+#         -DOUT_DIR=<scratch> -P tools/check_trace_json.cmake
+#
+# Runs a threaded multi-worker PageRank under --trace-json, then checks the
+# written Chrome trace-event document the way Perfetto would trip over it:
+#   - a traceEvents array with displayTimeUnit;
+#   - begin/end events balanced ("ph":"B" count == "ph":"E" count, > 0);
+#   - complete ("X"), counter ("C"), and metadata ("M") events present;
+#   - the span/track names the engine promises (superstep, compute, combine,
+#     deliver, barrier-wait, graph-load, thread_name, active_vertices).
+# Finally runs gmtrace over the file and requires its report sections.
+#
+# Registered as the tier-1 `trace_json_check` ctest.
+
+cmake_minimum_required(VERSION 3.16)
+
+foreach(VAR GMPC GMTRACE ALGORITHMS_DIR OUT_DIR)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "check_trace_json.cmake: pass -D${VAR}=...")
+  endif()
+endforeach()
+
+set(TRACE_FILE ${OUT_DIR}/check_trace.json)
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+execute_process(
+  COMMAND ${GMPC} ${ALGORITHMS_DIR}/pagerank.gm --run
+          --graph-rmat 200 800 --workers 3 --threaded
+          --arg e=0.0 --arg d=0.85 --arg max_iter=5
+          --trace-json ${TRACE_FILE}
+  RESULT_VARIABLE GMPC_RC
+  OUTPUT_VARIABLE GMPC_OUT
+  ERROR_VARIABLE GMPC_ERR)
+if(NOT GMPC_RC EQUAL 0)
+  message(FATAL_ERROR "gmpc --trace-json failed (${GMPC_RC}):\n${GMPC_ERR}")
+endif()
+
+file(READ ${TRACE_FILE} TRACE)
+
+foreach(NEEDLE
+    "\"traceEvents\"" "\"displayTimeUnit\""
+    "\"ph\":\"X\"" "\"ph\":\"C\"" "\"ph\":\"M\""
+    "\"superstep\"" "\"compute\"" "\"combine\"" "\"deliver\""
+    "\"barrier-wait\"" "\"graph-load\"" "\"thread_name\""
+    "\"active_vertices\"")
+  string(FIND "${TRACE}" "${NEEDLE}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "trace is missing ${NEEDLE}: ${TRACE_FILE}")
+  endif()
+endforeach()
+
+string(REGEX MATCHALL "\"ph\":\"B\"" BEGINS "${TRACE}")
+string(REGEX MATCHALL "\"ph\":\"E\"" ENDS "${TRACE}")
+list(LENGTH BEGINS NBEGIN)
+list(LENGTH ENDS NEND)
+if(NBEGIN EQUAL 0)
+  message(FATAL_ERROR "trace has no begin events: ${TRACE_FILE}")
+endif()
+if(NOT NBEGIN EQUAL NEND)
+  message(FATAL_ERROR
+    "unbalanced spans: ${NBEGIN} begin vs ${NEND} end events in "
+    "${TRACE_FILE}")
+endif()
+
+execute_process(
+  COMMAND ${GMTRACE} ${TRACE_FILE}
+  RESULT_VARIABLE GMTRACE_RC
+  OUTPUT_VARIABLE GMTRACE_OUT
+  ERROR_VARIABLE GMTRACE_ERR)
+if(NOT GMTRACE_RC EQUAL 0)
+  message(FATAL_ERROR "gmtrace failed (${GMTRACE_RC}):\n${GMTRACE_ERR}")
+endif()
+
+foreach(SECTION
+    "phase breakdown" "per-worker compute" "compute imbalance"
+    "barrier skew" "slowest supersteps" "counters")
+  string(FIND "${GMTRACE_OUT}" "${SECTION}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR
+      "gmtrace report is missing the '${SECTION}' section:\n${GMTRACE_OUT}")
+  endif()
+endforeach()
+
+message(STATUS
+  "trace ok: ${NBEGIN} spans balanced, gmtrace report complete")
