@@ -25,6 +25,14 @@
 /// strategies (partitioning leaked into execution) or if LALP's
 /// network-byte saving on PageRank is absent or mis-accounted.
 ///
+/// `bench_runtime_micro --backends [reps] [--smoke] [--json <path>]` runs
+/// the execution-backend sweep: compiled PageRank and SSSP under the IR
+/// interpreter and the native precompiled registry (default path
+/// BENCH_backends.json). It fails if the backends' message/byte totals
+/// diverge, if the native request misses the registry, or — outside
+/// --smoke — if native PageRank's compute phase is not at least 2x faster
+/// than the interpreter's (the codegen backend's reason to exist).
+///
 /// `bench_runtime_micro --compare <baseline.json> <fresh.json>
 /// [--max-regress <frac>]` is the regression gate: it matches run records
 /// between two gm.run-report documents by configuration, requires message
@@ -38,6 +46,7 @@
 #include "BenchCommon.h"
 
 #include "algorithms/manual/ManualPrograms.h"
+#include "exec/Backend.h"
 #include "support/JSON.h"
 
 #include <benchmark/benchmark.h>
@@ -529,6 +538,163 @@ int runPartitioningSweep(int Reps, const std::string &JsonPath, bool Smoke) {
 }
 
 //===----------------------------------------------------------------------===//
+// Execution-backend sweep (--backends)
+//===----------------------------------------------------------------------===//
+
+int runBackendSweep(int Reps, const std::string &JsonPath, bool Smoke) {
+  // Same scale as the BM_*PageRank microbenchmarks above: large enough to
+  // be stable, small enough that the engine's memory traffic (mailbox
+  // memcpy, cache misses — identical under every backend) does not drown
+  // the program-execution delta this sweep measures.
+  const NodeId Nodes = Smoke ? (1u << 10) : (1u << 14);
+  const EdgeId Edges = Smoke ? (1u << 13) : (1u << 17);
+  const uint64_t Seed = 13;
+  Graph G = generateRMAT(Nodes, Edges, Seed);
+  std::vector<Value> Len = randomIntValues(G.numEdges(), 1, 10, Seed);
+
+  CompileResult Compiled[2] = {compileAlgorithm("pagerank"),
+                               compileAlgorithm("sssp")};
+  const char *Names[2] = {"pagerank", "sssp"};
+
+  pregel::JsonSink Sink(JsonPath);
+  const unsigned WorkerCounts[] = {1, 8};
+  const unsigned HostCores = std::thread::hardware_concurrency();
+
+  std::printf("Execution-backend sweep: rmat(%u,%llu), %d reps, host cores: "
+              "%u\n",
+              G.numNodes(), static_cast<unsigned long long>(G.numEdges()),
+              Reps, HostCores);
+  hr('=');
+  std::printf("%-10s %-16s %8s | %10s %10s %9s | %12s\n", "algorithm",
+              "backend", "workers", "wall(s)", "compute(s)", "vs interp",
+              "messages");
+  hr();
+
+  int Failures = 0;
+  for (int A = 0; A < 2; ++A) {
+    const pir::PregelProgram &Prog = *Compiled[A].Program;
+    for (unsigned W : WorkerCounts) {
+      double InterpCompute = 0.0;
+      uint64_t InterpMessages = 0, InterpNetBytes = 0;
+      for (pregel::ExecBackend Backend :
+           {pregel::ExecBackend::Interp, pregel::ExecBackend::Native}) {
+        const bool Native = Backend == pregel::ExecBackend::Native;
+        std::vector<double> Walls, Computes;
+        pregel::RunStats Last;
+        std::string BackendName;
+        for (int R = 0; R < Reps; ++R) {
+          pregel::Config Cfg;
+          Cfg.NumWorkers = W;
+          Cfg.Threaded = W > 1;
+          Cfg.Backend = Backend;
+          // Per-superstep metrics on: the compute-phase split is the
+          // number this sweep exists to compare. No combiners — combining
+          // is backend-independent engine work (same cost both sides) that
+          // would dilute the program-execution delta; the message and
+          // partitioning sweeps cover it.
+          Cfg.CollectMetrics = true;
+
+          exec::ExecArgs Args;
+          if (A == 0) {
+            Args.Scalars["e"] = Value::makeDouble(0.0);
+            Args.Scalars["d"] = Value::makeDouble(0.85);
+            Args.Scalars["max_iter"] = Value::makeInt(5);
+          } else {
+            Args.Scalars["root"] = Value::makeInt(0);
+            Args.EdgeProps["len"] = Len;
+          }
+
+          exec::BackendRun Run =
+              exec::runProgramWithBackend(Prog, G, std::move(Args), Cfg);
+          if (Native && Run.Used != exec::BackendKind::NativeRegistry) {
+            // The sweep measures the precompiled path; landing anywhere
+            // else means a stale golden or a broken registry.
+            std::fprintf(stderr,
+                         "FAIL: %s workers=%u: native run used backend "
+                         "'%s', not the precompiled registry\n",
+                         Names[A], W, exec::backendKindName(Run.Used));
+            ++Failures;
+          }
+          BackendName = exec::backendKindName(Run.Used);
+          double Compute = 0.0;
+          for (const pregel::SuperstepMetrics &S : Run.Stats.Steps)
+            Compute += S.ComputeSeconds;
+          Walls.push_back(Run.Stats.WallSeconds);
+          Computes.push_back(Compute);
+          Last = Run.Stats;
+
+          pregel::RunMetadata Meta;
+          Meta.Program = Names[A];
+          Meta.Graph = "rmat(" + std::to_string(Nodes) + "," +
+                       std::to_string(Edges) + ")";
+          Meta.NumNodes = G.numNodes();
+          Meta.NumEdges = G.numEdges();
+          Meta.Workers = W;
+          Meta.Threaded = Cfg.Threaded;
+          Meta.Seed = Seed;
+          Meta.HostCores = HostCores;
+          Meta.Backend = BackendName;
+          Sink.report(Meta, Last);
+        }
+        std::sort(Walls.begin(), Walls.end());
+        std::sort(Computes.begin(), Computes.end());
+        double WallMedian = Walls[Walls.size() / 2];
+        double ComputeMedian = Computes[Computes.size() / 2];
+        if (!Native) {
+          InterpCompute = ComputeMedian;
+          InterpMessages = Last.TotalMessages;
+          InterpNetBytes = Last.NetworkBytes;
+        } else {
+          // Backends must move identical work: only hot-path cost changes.
+          if (Last.TotalMessages != InterpMessages ||
+              Last.NetworkBytes != InterpNetBytes) {
+            std::fprintf(
+                stderr,
+                "FAIL: %s workers=%u: native totals diverge from interp "
+                "(messages %llu vs %llu, bytes %llu vs %llu)\n",
+                Names[A], W,
+                static_cast<unsigned long long>(Last.TotalMessages),
+                static_cast<unsigned long long>(InterpMessages),
+                static_cast<unsigned long long>(Last.NetworkBytes),
+                static_cast<unsigned long long>(InterpNetBytes));
+            ++Failures;
+          }
+          // The acceptance bar: on PageRank, generated code must cut the
+          // compute phase at least in half. Smoke graphs are too small for
+          // stable timing, so only the full sweep enforces it.
+          if (!Smoke && A == 0 && ComputeMedian > 0 &&
+              InterpCompute < 2.0 * ComputeMedian) {
+            std::fprintf(stderr,
+                         "FAIL: pagerank workers=%u: native compute phase "
+                         "%.4fs is not 2x faster than interp %.4fs "
+                         "(%.2fx)\n",
+                         W, ComputeMedian, InterpCompute,
+                         InterpCompute / ComputeMedian);
+            ++Failures;
+          }
+        }
+        std::printf("%-10s %-16s %8u | %10.4f %10.4f %8.2fx | %12llu\n",
+                    Names[A], BackendName.c_str(), W, WallMedian,
+                    ComputeMedian,
+                    Native && ComputeMedian > 0
+                        ? InterpCompute / ComputeMedian
+                        : 1.0,
+                    static_cast<unsigned long long>(Last.TotalMessages));
+      }
+    }
+    hr();
+  }
+
+  std::string Err;
+  if (!Sink.close(&Err)) {
+    std::fprintf(stderr, "bench_runtime_micro: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return Failures;
+}
+
+//===----------------------------------------------------------------------===//
 // Baseline comparison (--compare / --check-baseline)
 //===----------------------------------------------------------------------===//
 
@@ -560,7 +726,8 @@ std::string cellKey(const json::Node &Run) {
         << (Cfg->boolAt("threaded") ? "|threaded" : "|sequential")
         << '|' << Cfg->strAt("message_format", "-") << '|'
         << Cfg->strAt("partition", "-") << "|lalp"
-        << Cfg->intAt("lalp_threshold");
+        << Cfg->intAt("lalp_threshold") << '|'
+        << Cfg->strAt("backend", "-");
   return Key.str();
 }
 
@@ -766,6 +933,21 @@ int main(int argc, char **argv) {
                               argv[I + 1][0])))
         Reps = std::atoi(argv[I + 1]);
       return runMessageSweep(Reps, JsonPath, Smoke);
+    }
+    if (std::strcmp(argv[I], "--backends") == 0) {
+      std::string JsonPath = "BENCH_backends.json";
+      bool Smoke = false;
+      for (int J = 1; J < argc; ++J) {
+        if (std::strcmp(argv[J], "--json") == 0 && J + 1 < argc)
+          JsonPath = argv[J + 1];
+        if (std::strcmp(argv[J], "--smoke") == 0)
+          Smoke = true;
+      }
+      int Reps = 3;
+      if (I + 1 < argc && std::isdigit(static_cast<unsigned char>(
+                              argv[I + 1][0])))
+        Reps = std::atoi(argv[I + 1]);
+      return runBackendSweep(Reps, JsonPath, Smoke);
     }
     if (std::strcmp(argv[I], "--partitioning") == 0) {
       std::string JsonPath = "BENCH_partitioning.json";

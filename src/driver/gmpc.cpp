@@ -8,15 +8,19 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compiler.h"
-#include "exec/IRExecutor.h"
+#include "exec/Backend.h"
 #include "frontend/ASTPrinter.h"
 #include "graph/EdgeListIO.h"
 #include "graph/Generators.h"
 #include "pregel/MetricsSink.h"
 #include "pregel/RuntimeTrace.h"
+#include "pregelir/CodegenEmitter.h"
+#include "pregelir/CppCodegen.h"
 #include "pregelir/JavaCodegen.h"
 #include "support/PassStatistics.h"
 #include "support/Trace.h"
+
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +44,9 @@ Compilation output:
   --dump-ir            print the Pregel state-machine IR (default)
   --emit-java          print the generated GPS Java source
   --emit-giraph        print the generated Giraph Java source
+  --emit-cpp <path>    write the generated native C++ VertexProgram source
+                       ("-" = stdout; a directory gets <program>.cpp — how
+                       the goldens under src/exec/generated/ are produced)
   --features           print the applied compiler steps (Table 3 row)
   --loc                print generated-Java line count
 
@@ -56,6 +63,12 @@ Static analysis (docs/analysis.md):
 
 Execution (interprets the compiled program on the bundled BSP runtime):
   --run                          run after compiling
+  --backend <which>              execution backend (docs/codegen.md):
+                                 interp (default) walks the IR; native runs
+                                 generated C++ — the precompiled registry
+                                 when this binary has the program, else JIT
+                                 via the host toolchain, else interp with a
+                                 warning. Results are bit-identical.
   --graph-file <path>            edge-list input
   --graph-rmat <nodes> <edges>   synthetic RMAT input
   --graph-uniform <nodes> <edges>
@@ -106,6 +119,8 @@ int main(int argc, char **argv) {
   CompileOptions Opts;
   bool DumpCanonical = false, DumpIR = false, EmitJava = false;
   bool EmitGiraph = false;
+  std::string EmitCppPath;
+  pregel::ExecBackend Backend = pregel::ExecBackend::Interp;
   bool ShowFeatures = false, ShowLoc = false, Run = false;
   bool ShowStats = false, ShowTrace = false;
   std::string StatsJsonPath;
@@ -146,6 +161,19 @@ int main(int argc, char **argv) {
       EmitJava = true;
     else if (A == "--emit-giraph")
       EmitGiraph = true;
+    else if (A == "--emit-cpp")
+      EmitCppPath = Next();
+    else if (A == "--backend" || A.rfind("--backend=", 0) == 0) {
+      std::string Name = A == "--backend" ? Next() : A.substr(10);
+      if (Name == "interp")
+        Backend = pregel::ExecBackend::Interp;
+      else if (Name == "native")
+        Backend = pregel::ExecBackend::Native;
+      else {
+        std::fprintf(stderr, "gmpc: --backend expects interp or native\n");
+        return 2;
+      }
+    }
     else if (A == "--features")
       ShowFeatures = true;
     else if (A == "--loc")
@@ -235,9 +263,10 @@ int main(int argc, char **argv) {
   }
   // --lint / --verify-each used alone act as quiet checkers (exit status +
   // diagnostics only), so they suppress the default IR dump too.
-  if (!DumpCanonical && !EmitJava && !EmitGiraph && !ShowFeatures &&
-      !ShowLoc && !Run && !ShowStats && StatsJsonPath.empty() &&
-      TraceJsonPath.empty() && !Opts.Lint && !Opts.VerifyEach)
+  if (!DumpCanonical && !EmitJava && !EmitGiraph && EmitCppPath.empty() &&
+      !ShowFeatures && !ShowLoc && !Run && !ShowStats &&
+      StatsJsonPath.empty() && TraceJsonPath.empty() && !Opts.Lint &&
+      !Opts.VerifyEach)
     DumpIR = true;
 
   // Human-readable output is re-routed to stderr whenever a machine-readable
@@ -298,6 +327,41 @@ int main(int argc, char **argv) {
       std::printf("%s\n", F.c_str());
   if (ShowLoc)
     std::printf("%u\n", pir::countCodeLines(pir::emitJava(*R.Program)));
+  if (!EmitCppPath.empty()) {
+    std::string Src;
+    {
+      trace::ScopedSpan Span(0, "cpp-codegen", pregel::tracecat::Setup);
+      Src = pir::emitCpp(*R.Program);
+    }
+    if (Src.empty()) {
+      std::fprintf(stderr,
+                   "gmpc: %s uses constructs outside the native backend's "
+                   "subset; no C++ emitted\n",
+                   R.Program->Name.c_str());
+      return 1;
+    }
+    if (EmitCppPath == "-") {
+      std::printf("%s", Src.c_str());
+    } else {
+      // A directory target names the file after the program, which is the
+      // layout the precompiled registry expects (file basename == factory
+      // symbol suffix).
+      std::string OutPath = EmitCppPath;
+      struct stat St;
+      if (!OutPath.empty() && OutPath.back() == '/')
+        OutPath.pop_back();
+      if (stat(OutPath.c_str(), &St) == 0 && S_ISDIR(St.st_mode))
+        OutPath += "/" + pir::CodegenEmitter::sanitize(R.Program->Name) +
+                   ".cpp";
+      std::ofstream Out(OutPath);
+      Out << Src;
+      if (!Out) {
+        std::fprintf(stderr, "gmpc: cannot write %s\n", OutPath.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "gmpc: wrote %s\n", OutPath.c_str());
+    }
+  }
 
   if (!Run) {
     // Compile-only observability: the pass table, and a JSON report whose
@@ -382,27 +446,29 @@ int main(int argc, char **argv) {
   Cfg.Partition = Partition;
   Cfg.LalpThreshold = LalpThreshold;
   Cfg.RandomSeed = Seed;
+  Cfg.Backend = Backend;
   DiagnosticEngine RunDiags;
   Cfg.Diags = &RunDiags;
   pregel::traceNameLanes(Workers);
-  std::unique_ptr<exec::IRExecutor> Exec;
-  pregel::RunStats Stats =
-      exec::runProgram(*R.Program, G, std::move(Args), Cfg, &Exec);
+  exec::BackendRun BRun =
+      exec::runProgramWithBackend(*R.Program, G, std::move(Args), Cfg);
+  pregel::RunStats &Stats = BRun.Stats;
   for (const Diagnostic &D : RunDiags.diagnostics())
     std::fprintf(stderr, "gmpc: %s\n", D.toString().c_str());
 
   std::fprintf(HumanOut, "graph: %u nodes, %llu edges\n", G.numNodes(),
                static_cast<unsigned long long>(G.numEdges()));
-  std::fprintf(HumanOut, "run: %s\n", Stats.toString().c_str());
-  if (Exec->returnValue())
+  std::fprintf(HumanOut, "run: %s [backend: %s]\n", Stats.toString().c_str(),
+               exec::backendKindName(BRun.Used));
+  if (BRun.returnValue())
     std::fprintf(HumanOut, "return: %s\n",
-                 Exec->returnValue()->toString().c_str());
+                 BRun.returnValue()->toString().c_str());
   for (const std::string &Name : PrintProps) {
     std::fprintf(HumanOut, "%s:", Name.c_str());
     NodeId Limit = std::min<NodeId>(G.numNodes(), 20);
     for (NodeId N = 0; N < Limit; ++N)
       std::fprintf(HumanOut, " %s",
-                   Exec->nodeProp(Name).get(N).toString().c_str());
+                   BRun.nodeValue(Name, N).toString().c_str());
     if (G.numNodes() > Limit)
       std::fprintf(HumanOut, " ...");
     std::fprintf(HumanOut, "\n");
@@ -427,6 +493,7 @@ int main(int argc, char **argv) {
         Layout.empty() ? unsigned(sizeof(pregel::Message)) : Layout.recordSize();
     Meta.Partition = pregel::partitionStrategyName(Partition);
     Meta.LalpThreshold = LalpThreshold;
+    Meta.Backend = exec::backendKindName(BRun.Used);
     pregel::Partition Part = pregel::makePartition(G, Partition, Workers);
     Meta.WorkerEdges = Part.edgeCounts(G);
     Meta.WorkerVertices.resize(Workers);

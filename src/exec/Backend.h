@@ -1,0 +1,61 @@
+//===- exec/Backend.h - Backend selection for compiled programs -------------===//
+///
+/// \file
+/// One entry point that runs a pir::PregelProgram under the backend the
+/// Config asks for and exposes results uniformly. Selection order for
+/// ExecBackend::Native:
+///
+///   1. precompiled registry (generated sources linked into this binary,
+///      matched by fingerprint) — zero extra cost,
+///   2. JIT: emit C++, compile it with the host toolchain into a .so,
+///      dlopen it (exec::NativeModule),
+///   3. fall back to the interpreter with a warning diagnostic.
+///
+/// Whatever runs, results are bit-identical; the equivalence tests hold the
+/// backends to that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_EXEC_BACKEND_H
+#define GM_EXEC_BACKEND_H
+
+#include "exec/CompiledRegistry.h"
+#include "exec/NativeLoader.h"
+
+namespace gm::exec {
+
+/// What actually executed (Config asks for interp/native; native resolves
+/// to one of the two native flavors or falls back).
+enum class BackendKind { Interp, NativeRegistry, NativeJit };
+
+/// Stable spelling for reports and run metadata.
+const char *backendKindName(BackendKind K);
+
+/// A finished run plus the live program object holding its results.
+struct BackendRun {
+  pregel::RunStats Stats;
+  BackendKind Used = BackendKind::Interp;
+
+  /// Declaration order matters: Module must outlive Compiled (a JIT'd
+  /// program's code lives in the mapped .so), so it is declared first and
+  /// destroyed last.
+  std::unique_ptr<NativeModule> Module;
+  std::unique_ptr<CompiledProgram> Compiled;
+  std::unique_ptr<IRExecutor> Interp;
+
+  /// Result accessors, uniform across backends (IRExecutor semantics).
+  Value nodeValue(const std::string &Prop, NodeId N) const;
+  Value globalValue(const std::string &Name) const;
+  std::optional<Value> returnValue() const;
+  bool finished() const;
+};
+
+/// Runs \p P on \p G under Cfg.Backend. Never fails on backend grounds: a
+/// native request that cannot be satisfied lands on the interpreter, with
+/// the reason reported through Cfg.Diags when present.
+BackendRun runProgramWithBackend(const pir::PregelProgram &P, const Graph &G,
+                                 ExecArgs Args, pregel::Config Cfg);
+
+} // namespace gm::exec
+
+#endif // GM_EXEC_BACKEND_H

@@ -1,0 +1,15 @@
+//===- exec/CompiledProgram.cpp ---------------------------------------------------===//
+
+#include "exec/CompiledProgram.h"
+
+using namespace gm;
+using namespace gm::exec;
+
+CompiledProgram::~CompiledProgram() = default;
+
+Value CompiledProgram::globalValue(const std::string &Name) const {
+  auto It = FinalGlobals.find(Name);
+  assert(It != FinalGlobals.end() &&
+         "global snapshot only available after the program halted itself");
+  return It->second;
+}

@@ -1,0 +1,47 @@
+//===- exec/CompiledRegistry.cpp --------------------------------------------------===//
+
+#include "exec/CompiledRegistry.h"
+
+#include "pregelir/CppCodegen.h"
+
+using namespace gm;
+using namespace gm::exec;
+
+// CompiledRegistryList.inc is written by src/exec/CMakeLists.txt from the
+// files present under generated/: one GM_COMPILED_PROGRAM(<basename>) line
+// per source. Golden files are named after the sanitized program name, so
+// the basename doubles as the factory-symbol suffix.
+#define GM_COMPILED_PROGRAM(name)                                              \
+  extern "C" gm::exec::CompiledProgram *gm_compiled_create_##name(             \
+      const gm::Graph *, gm::exec::ExecArgs *);                                \
+  extern "C" const char *gm_compiled_fingerprint_##name();
+#include "CompiledRegistryList.inc"
+#undef GM_COMPILED_PROGRAM
+
+const std::vector<CompiledProgramInfo> &gm::exec::compiledPrograms() {
+  static const std::vector<CompiledProgramInfo> Table = {
+#define GM_COMPILED_PROGRAM(name)                                              \
+  {#name, &gm_compiled_fingerprint_##name, &gm_compiled_create_##name},
+#include "CompiledRegistryList.inc"
+#undef GM_COMPILED_PROGRAM
+  };
+  return Table;
+}
+
+const CompiledProgramInfo *
+gm::exec::findCompiled(const std::string &Fingerprint) {
+  for (const CompiledProgramInfo &Info : compiledPrograms())
+    if (Fingerprint == Info.Fingerprint())
+      return &Info;
+  return nullptr;
+}
+
+std::unique_ptr<CompiledProgram>
+gm::exec::createCompiled(const pir::PregelProgram &P, const Graph &G,
+                         ExecArgs Args) {
+  const CompiledProgramInfo *Info =
+      findCompiled(pir::programFingerprint(P));
+  if (!Info)
+    return nullptr;
+  return std::unique_ptr<CompiledProgram>(Info->Create(&G, &Args));
+}

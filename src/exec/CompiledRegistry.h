@@ -1,0 +1,50 @@
+//===- exec/CompiledRegistry.h - Precompiled native programs ----------------===//
+///
+/// \file
+/// The precompiled path of the native backend: generated sources checked in
+/// under src/exec/generated/ are built into the tree (CMake globs them into
+/// an include list), and at runtime a program is matched to its compiled
+/// counterpart by fingerprint — pir::programFingerprint of the IR must equal
+/// the fingerprint baked into the generated translation unit. A stale golden
+/// therefore never runs: any drift in the IR changes the fingerprint and the
+/// lookup misses (and the codegen_golden_check test fails the build).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_EXEC_COMPILEDREGISTRY_H
+#define GM_EXEC_COMPILEDREGISTRY_H
+
+#include "exec/CompiledProgram.h"
+
+#include <memory>
+#include <vector>
+
+namespace gm::pir {
+class PregelProgram;
+}
+
+namespace gm::exec {
+
+/// One registered generated program (a row of the link-time table).
+struct CompiledProgramInfo {
+  const char *Name;                ///< sanitized program name
+  const char *(*Fingerprint)();    ///< fingerprint baked into the TU
+  CompiledProgram *(*Create)(const Graph *, ExecArgs *);
+};
+
+/// Every program linked into this binary.
+const std::vector<CompiledProgramInfo> &compiledPrograms();
+
+/// Finds the registry row whose baked fingerprint equals \p Fingerprint,
+/// or null.
+const CompiledProgramInfo *findCompiled(const std::string &Fingerprint);
+
+/// Instantiates the precompiled counterpart of \p P (matched by
+/// fingerprint), or returns null when this binary has none. \p Args is
+/// consumed on success.
+std::unique_ptr<CompiledProgram>
+createCompiled(const pir::PregelProgram &P, const Graph &G, ExecArgs Args);
+
+} // namespace gm::exec
+
+#endif // GM_EXEC_COMPILEDREGISTRY_H

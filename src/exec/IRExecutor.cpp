@@ -2,6 +2,9 @@
 
 #include "exec/IRExecutor.h"
 
+#include "exec/CompiledProgram.h"
+
+#include <algorithm>
 #include <cmath>
 #include <functional>
 
@@ -53,7 +56,24 @@ void IRExecutor::init(const Graph &G2, MasterContext &Master) {
     Master.declareGlobal(D.Name, D.VertexReduce, Init);
   }
 
+  // Hoist raw storage pointers out of the per-vertex hot path. Taken after
+  // every column is built: the backing vectors never resize again, so these
+  // stay valid for all supersteps.
+  PropRefs.clear();
+  for (Column &C : Props) {
+    ColRef Ref;
+    Ref.K = C.kind();
+    Ref.I = C.intData();
+    Ref.D = C.doubleData();
+    Ref.B = C.boolData();
+    PropRefs.push_back(Ref);
+  }
+  EdgePropRefs.clear();
+  for (const std::vector<Value> &E : EdgeProps)
+    EdgePropRefs.push_back(E.data());
+
   CurState = 0;
+  CurVertexCode = &Prog.States[0].VertexCode;
   SetupPhase = Prog.UsesInNbrs ? 0 : 2;
   Finished = false;
   ReturnVal.reset();
@@ -129,19 +149,6 @@ Value evalBinary(BinaryOpKind Op, const Value &L, const Value &R,
   }
   gm_unreachable("invalid binary op");
 }
-
-/// Deterministic per-(vertex, superstep) RNG for vertex-side randomness.
-NodeId vertexRandomNode(NodeId Id, uint64_t Step, NodeId NumNodes) {
-  uint64_t X = (uint64_t(Id) << 32) ^ (Step * 0x9E3779B97F4A7C15ull) ^
-               0xD1B54A32D192ED03ull;
-  X ^= X >> 33;
-  X *= 0xFF51AFD7ED558CCDull;
-  X ^= X >> 33;
-  X *= 0xC4CEB9FE1A85EC53ull;
-  X ^= X >> 33;
-  return static_cast<NodeId>(X % NumNodes);
-}
-
 } // namespace
 
 Value IRExecutor::eval(const PExpr *E, EvalCtx &C) {
@@ -152,15 +159,25 @@ Value IRExecutor::eval(const PExpr *E, EvalCtx &C) {
     if (C.Vertex)
       return GlobalCache[E->Index];
     return C.Master->getGlobal(Prog.Globals[E->Index].Name);
-  case PExprKind::PropRead:
+  case PExprKind::PropRead: {
     assert(C.Vertex && "property read outside vertex context");
-    return Props[E->Index].get(C.Vertex->id());
+    const ColRef &Ref = PropRefs[E->Index];
+    NodeId N = C.Vertex->id();
+    switch (Ref.K) {
+    case ValueKind::Bool:
+      return Value::makeBool(Ref.B[N] != 0);
+    case ValueKind::Double:
+      return Value::makeDouble(Ref.D[N]);
+    default:
+      return Value::makeInt(Ref.I[N]);
+    }
+  }
   case PExprKind::MsgField:
     assert(C.Msg.valid() && "message field outside on_message");
     return C.Msg[E->Index];
   case PExprKind::EdgePropRead:
     assert(C.Edge != ~EdgeId{0} && "edge property outside per-edge payload");
-    return EdgeProps[E->Index][C.Edge];
+    return EdgePropRefs[E->Index][C.Edge];
   case PExprKind::VertexId:
     assert(C.Vertex && "vertex id outside vertex context");
     return Value::makeInt(C.Vertex->id());
@@ -244,10 +261,80 @@ void IRExecutor::execVStmt(const VStmt *S, VertexContext &Ctx, EvalCtx &C) {
   switch (S->K) {
   case VStmtKind::Assign: {
     Value V = eval(S->Value, C);
-    if (S->Reduce == ReduceKind::None)
-      Props[S->Index].set(Ctx.id(), V);
-    else
-      Props[S->Index].reduce(Ctx.id(), S->Reduce, V);
+    const ColRef &Ref = PropRefs[S->Index];
+    NodeId N = Ctx.id();
+    if (S->Reduce == ReduceKind::None) {
+      // Column::set with one branch on the cached kind.
+      switch (Ref.K) {
+      case ValueKind::Bool:
+        Ref.B[N] = V.asBool() ? 1 : 0;
+        return;
+      case ValueKind::Double:
+        Ref.D[N] = V.asDouble();
+        return;
+      default:
+        Ref.I[N] = V.asInt();
+        return;
+      }
+    }
+    // Same-kind reduces run in place — exactly what applyReduce computes
+    // when target and operand kinds match. Mixed kinds (and Undef columns)
+    // fall through to the boxed Column::reduce path.
+    if (Ref.K == ValueKind::Double && V.kind() == ValueKind::Double) {
+      double &T = Ref.D[N];
+      double O = V.getDouble();
+      switch (S->Reduce) {
+      case ReduceKind::Sum:
+      case ReduceKind::Count:
+        T += O;
+        return;
+      case ReduceKind::Prod:
+        T *= O;
+        return;
+      case ReduceKind::Min:
+        T = std::min(T, O);
+        return;
+      case ReduceKind::Max:
+        T = std::max(T, O);
+        return;
+      default:
+        break;
+      }
+    } else if (Ref.K == ValueKind::Int && V.kind() == ValueKind::Int) {
+      int64_t &T = Ref.I[N];
+      int64_t O = V.getInt();
+      switch (S->Reduce) {
+      case ReduceKind::Sum:
+      case ReduceKind::Count:
+        T += O;
+        return;
+      case ReduceKind::Prod:
+        T *= O;
+        return;
+      case ReduceKind::Min:
+        T = std::min(T, O);
+        return;
+      case ReduceKind::Max:
+        T = std::max(T, O);
+        return;
+      default:
+        break;
+      }
+    } else if (Ref.K == ValueKind::Bool && V.kind() == ValueKind::Bool) {
+      uint8_t &T = Ref.B[N];
+      bool O = V.getBool();
+      switch (S->Reduce) {
+      case ReduceKind::And:
+        T = ((T != 0) && O) ? 1 : 0;
+        return;
+      case ReduceKind::Or:
+        T = ((T != 0) || O) ? 1 : 0;
+        return;
+      default:
+        break;
+      }
+    }
+    Props[S->Index].reduce(N, S->Reduce, V);
     return;
   }
   case VStmtKind::GlobalPut:
@@ -348,10 +435,9 @@ void IRExecutor::compute(VertexContext &Ctx) {
     return;
   }
 
-  const PState &S = Prog.States[CurState];
   EvalCtx C;
   C.Vertex = &Ctx;
-  for (const VStmt *Stmt : S.VertexCode)
+  for (const VStmt *Stmt : *CurVertexCode)
     execVStmt(Stmt, Ctx, C);
 }
 
@@ -403,6 +489,7 @@ void IRExecutor::runTransition(MasterContext &Master) {
     return;
   }
   CurState = Target;
+  CurVertexCode = &Prog.States[CurState].VertexCode;
 }
 
 void IRExecutor::masterCompute(MasterContext &Master) {

@@ -79,6 +79,13 @@ public:
     set(N, Cur);
   }
 
+  /// Raw storage pointers for the interpreter's hoisted hot path. Only the
+  /// vector matching kind() is populated; the backing vectors never resize
+  /// after construction, so the pointers stay valid for the whole run.
+  int64_t *intData() { return I.data(); }
+  double *doubleData() { return D.data(); }
+  uint8_t *boolData() { return B.data(); }
+
 private:
   ValueKind K = ValueKind::Int;
   std::vector<int64_t> I;
@@ -142,6 +149,24 @@ private:
   std::vector<Column> Props;
   std::unordered_map<std::string, int> PropIndex;
   std::vector<std::vector<Value>> EdgeProps; ///< by IR edge-prop index
+  /// Hoisted raw column pointers, rebuilt once per run at the end of
+  /// init(). The per-vertex hot path (PropRead, Assign) branches once on
+  /// the cached kind and hits the typed array directly instead of going
+  /// through the switch-dispatched Column accessors for every access —
+  /// the columns never resize after init, so the pointers stay valid for
+  /// every superstep.
+  struct ColRef {
+    ValueKind K = ValueKind::Int;
+    int64_t *I = nullptr;
+    double *D = nullptr;
+    uint8_t *B = nullptr;
+  };
+  std::vector<ColRef> PropRefs;
+  /// Hoisted EdgeProps[i].data() pointers (same lifetime argument).
+  std::vector<const Value *> EdgePropRefs;
+  /// The current state's vertex code, hoisted out of compute(): updated on
+  /// every state transition instead of being looked up per vertex.
+  const std::vector<pir::VStmt *> *CurVertexCode = nullptr;
   int CurState = 0;
   int SetupPhase; ///< 0,1 = in-nbr setup supersteps; 2 = normal execution
   /// Per-superstep snapshot of every global, indexed by IR global index.

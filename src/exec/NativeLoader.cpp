@@ -1,0 +1,158 @@
+//===- exec/NativeLoader.cpp ------------------------------------------------------===//
+
+#include "exec/NativeLoader.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#if __has_include(<dlfcn.h>) && __has_include(<unistd.h>)
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define GM_NATIVE_LOADER_AVAILABLE 1
+#else
+#define GM_NATIVE_LOADER_AVAILABLE 0
+#endif
+
+using namespace gm;
+using namespace gm::exec;
+
+// The include root the generated TU needs for "exec/CompiledProgram.h";
+// src/exec/CMakeLists.txt points this at the repository's src/ directory.
+#ifndef GM_NATIVE_INCLUDE_DIR
+#define GM_NATIVE_INCLUDE_DIR ""
+#endif
+
+#if GM_NATIVE_LOADER_AVAILABLE
+
+namespace {
+
+/// First usable C++ compiler: $GM_NATIVE_CXX if set, else c++/g++/clang++
+/// from PATH. Returns "" when none responds to --version.
+std::string findCompiler() {
+  if (const char *Env = std::getenv("GM_NATIVE_CXX"))
+    return Env;
+  for (const char *Cand : {"c++", "g++", "clang++"}) {
+    std::string Probe =
+        std::string(Cand) + " --version > /dev/null 2> /dev/null";
+    if (std::system(Probe.c_str()) == 0)
+      return Cand;
+  }
+  return "";
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+void removeTree(const std::string &Dir) {
+  if (const char *Keep = std::getenv("GM_NATIVE_KEEP_TEMP"))
+    if (Keep[0] == '1') {
+      std::fprintf(stderr, "gm-native: keeping scratch dir %s\n", Dir.c_str());
+      return;
+    }
+  std::string Cmd = "rm -rf '" + Dir + "'";
+  (void)std::system(Cmd.c_str());
+}
+
+} // namespace
+
+std::unique_ptr<NativeModule>
+NativeModule::compileAndLoad(const std::string &Source, std::string *Error) {
+  auto Fail = [&](const std::string &Msg) -> std::unique_ptr<NativeModule> {
+    if (Error)
+      *Error = Msg;
+    return nullptr;
+  };
+
+  std::string Compiler = findCompiler();
+  if (Compiler.empty())
+    return Fail("no C++ compiler found (set GM_NATIVE_CXX or install g++)");
+
+  char Template[] = "/tmp/gm-native-XXXXXX";
+  char *Dir = mkdtemp(Template);
+  if (!Dir)
+    return Fail("could not create scratch directory under /tmp");
+  std::string Scratch = Dir;
+  std::string Src = Scratch + "/program.cpp";
+  std::string Lib = Scratch + "/program.so";
+  std::string Err = Scratch + "/cc.err";
+
+  {
+    std::ofstream Out(Src);
+    Out << Source;
+    if (!Out) {
+      removeTree(Scratch);
+      return Fail("could not write generated source to " + Src);
+    }
+  }
+
+  // -ffp-contract=off keeps the JIT'd floating point bit-identical to the
+  // in-tree build (no fused multiply-adds the interpreter would not do).
+  std::string Cmd = Compiler + " -std=c++20 -O2 -g0 -fPIC -shared" +
+                    " -ffp-contract=off -DGM_COMPILED_SHARED_OBJECT" +
+                    " -I'" + std::string(GM_NATIVE_INCLUDE_DIR) + "'" +
+                    " -o '" + Lib + "' '" + Src + "' 2> '" + Err + "'";
+  if (std::system(Cmd.c_str()) != 0) {
+    std::string Log = readFile(Err);
+    removeTree(Scratch);
+    return Fail("native compilation failed (" + Compiler + "): " + Log);
+  }
+
+  void *Handle = dlopen(Lib.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *Why = dlerror();
+    std::string Msg = "dlopen failed: " + std::string(Why ? Why : "unknown");
+    removeTree(Scratch);
+    return Fail(Msg);
+  }
+
+  auto M = std::unique_ptr<NativeModule>(new NativeModule());
+  M->Handle = Handle;
+  M->CreateFn = reinterpret_cast<CompiledProgram *(*)(const Graph *,
+                                                      ExecArgs *)>(
+      dlsym(Handle, "gm_compiled_create"));
+  M->FingerprintFn = reinterpret_cast<const char *(*)()>(
+      dlsym(Handle, "gm_compiled_fingerprint"));
+  // The object stays mapped once loaded; the on-disk scratch can go.
+  removeTree(Scratch);
+  if (!M->CreateFn || !M->FingerprintFn)
+    return Fail("loaded object is missing the gm_compiled_create / "
+                "gm_compiled_fingerprint entry points");
+  return M;
+}
+
+NativeModule::~NativeModule() {
+  if (Handle)
+    dlclose(Handle);
+}
+
+#else // !GM_NATIVE_LOADER_AVAILABLE
+
+std::unique_ptr<NativeModule>
+NativeModule::compileAndLoad(const std::string &Source, std::string *Error) {
+  (void)Source;
+  if (Error)
+    *Error = "shared-object loading is not supported on this platform";
+  return nullptr;
+}
+
+NativeModule::~NativeModule() = default;
+
+#endif // GM_NATIVE_LOADER_AVAILABLE
+
+std::unique_ptr<CompiledProgram> NativeModule::create(const Graph &G,
+                                                      ExecArgs Args) const {
+  if (!CreateFn)
+    return nullptr;
+  return std::unique_ptr<CompiledProgram>(CreateFn(&G, &Args));
+}
+
+const char *NativeModule::fingerprint() const {
+  return FingerprintFn ? FingerprintFn() : "";
+}

@@ -1,0 +1,59 @@
+//===- exec/NativeLoader.h - JIT-via-shared-object program loading ----------===//
+///
+/// \file
+/// The on-the-fly path of the native backend: a generated C++ source is
+/// compiled with the host toolchain into a shared object, dlopen'd, and its
+/// fixed-name factory symbols resolved. Used by `gmpc --backend=native` for
+/// programs that have no precompiled registry entry; when no working
+/// toolchain (or dlopen) is available the caller falls back to the
+/// interpreter with a diagnostic — never an error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_EXEC_NATIVELOADER_H
+#define GM_EXEC_NATIVELOADER_H
+
+#include "exec/CompiledProgram.h"
+
+#include <memory>
+#include <string>
+
+namespace gm::exec {
+
+/// A loaded shared object holding one compiled program. Owns the dlopen
+/// handle; destroy every CompiledProgram created from this module *before*
+/// the module itself (the code it runs lives in the .so).
+class NativeModule {
+public:
+  /// Compiles \p Source (a TU emitted by pir::emitCpp) into a shared object
+  /// and loads it. Returns null on any failure with a human-readable
+  /// explanation in \p Error — compiler not found, compile error (including
+  /// the compiler's stderr), or missing symbols.
+  ///
+  /// Environment knobs: GM_NATIVE_CXX overrides the compiler (default: the
+  /// first of c++/g++/clang++ on PATH); GM_NATIVE_KEEP_TEMP=1 keeps the
+  /// scratch directory for debugging.
+  static std::unique_ptr<NativeModule> compileAndLoad(const std::string &Source,
+                                                      std::string *Error);
+
+  ~NativeModule();
+  NativeModule(const NativeModule &) = delete;
+  NativeModule &operator=(const NativeModule &) = delete;
+
+  /// Instantiates the program; \p Args is consumed.
+  std::unique_ptr<CompiledProgram> create(const Graph &G, ExecArgs Args) const;
+
+  /// Fingerprint baked into the loaded object.
+  const char *fingerprint() const;
+
+private:
+  NativeModule() = default;
+
+  void *Handle = nullptr;
+  CompiledProgram *(*CreateFn)(const Graph *, ExecArgs *) = nullptr;
+  const char *(*FingerprintFn)() = nullptr;
+};
+
+} // namespace gm::exec
+
+#endif // GM_EXEC_NATIVELOADER_H

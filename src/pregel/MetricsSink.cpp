@@ -32,6 +32,8 @@ void TableSink::report(const RunMetadata &Meta, const RunStats &Stats,
     std::fprintf(Out, " | partition: %s", Meta.Partition.c_str());
   if (Meta.LalpThreshold)
     std::fprintf(Out, " | lalp-threshold: %u", Meta.LalpThreshold);
+  if (!Meta.Backend.empty())
+    std::fprintf(Out, " | backend: %s", Meta.Backend.c_str());
   std::fprintf(Out, "\n");
   std::fprintf(Out, "%s\n", Stats.toString().c_str());
   if (Stats.PeakRssBytes)
@@ -121,6 +123,8 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
     W.field("partition", Meta.Partition);
   if (Meta.LalpThreshold)
     W.field("lalp_threshold", static_cast<uint64_t>(Meta.LalpThreshold));
+  if (!Meta.Backend.empty())
+    W.field("backend", Meta.Backend);
   if (!Meta.WorkerVertices.empty()) {
     W.key("partition_workers");
     W.beginArray();

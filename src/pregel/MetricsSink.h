@@ -50,6 +50,9 @@ struct RunMetadata {
   /// LALP high-degree threshold (0 = LALP off).
   std::string Partition;
   uint32_t LalpThreshold = 0;
+  /// Execution backend that actually ran ("interp", "native-registry",
+  /// "native-jit"; "" = not recorded). Perf comparisons hinge on it.
+  std::string Backend;
   /// Per-worker owned vertex / out-edge counts under that partition
   /// (empty = not recorded). Parallel vectors indexed by worker id.
   std::vector<uint64_t> WorkerVertices;

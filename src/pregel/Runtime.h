@@ -83,6 +83,14 @@ enum class MessageFormat : uint8_t {
 };
 
 /// Engine configuration.
+/// Which execution backend runs a compiled program (consumed by
+/// exec::runProgramWithBackend; the engine itself is backend-agnostic).
+enum class ExecBackend {
+  Interp, ///< walk the PregelIR in exec::IRExecutor
+  Native, ///< generated C++ (precompiled registry, else JIT via .so),
+          ///< falling back to the interpreter with a diagnostic
+};
+
 struct Config {
   unsigned NumWorkers = 4;
   bool Threaded = false;     ///< real std::thread workers vs. sequential sim
@@ -109,6 +117,9 @@ struct Config {
   /// a warning when the MaxSupersteps runaway guard halts a program that
   /// did not converge.
   DiagnosticEngine *Diags = nullptr;
+  /// Execution backend for compiled programs (see ExecBackend). Results are
+  /// bit-identical across backends; only hot-path cost changes.
+  ExecBackend Backend = ExecBackend::Interp;
   /// Pregel message combiners: messages of a listed type heading to the
   /// same destination are reduced at the sending worker before they hit
   /// the wire (single-field payloads only). Empty = no combining.

@@ -1,0 +1,144 @@
+//===- pregelir/CodegenEmitter.h --------------------------------------------------===//
+//
+// Shared source-emission utilities for the code generators. JavaCodegen and
+// CppCodegen both build their output through this class: an indentation-
+// tracking line writer with RAII scopes, the identifier sanitizer, and the
+// ValueKind -> type-name tables, so the two backends cannot drift on the
+// mechanical parts of emission.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_PREGELIR_CODEGENEMITTER_H
+#define GM_PREGELIR_CODEGENEMITTER_H
+
+#include "support/Value.h"
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+namespace gm {
+namespace pir {
+
+/// Indentation-tracking source writer. Emitters derive from (or hold) one of
+/// these and produce output exclusively through line()/Scope so indentation
+/// stays consistent by construction.
+class CodegenEmitter {
+public:
+  /// Writes one line at the current indentation (blank line by default).
+  void line(const std::string &S = "") { OS << Pad() << S << "\n"; }
+
+  /// Current indentation prefix (two spaces per level).
+  std::string Pad() const { return std::string(Indent * 2, ' '); }
+
+  /// RAII block scope: emits "<Open> {" on construction and the matching
+  /// closer on destruction, indenting everything in between.
+  struct Scope {
+    CodegenEmitter &E;
+    std::string Close;
+    explicit Scope(CodegenEmitter &E, const std::string &Open,
+                   const std::string &Close = "}")
+        : E(E), Close(Close) {
+      E.line(Open.empty() ? "{" : Open + " {");
+      ++E.Indent;
+    }
+    ~Scope() {
+      --E.Indent;
+      E.line(Close);
+    }
+  };
+
+  /// Rendered output so far.
+  std::string str() const { return OS.str(); }
+
+  /// Maps a source-level identifier to a safe target-language identifier
+  /// (every non-alphanumeric character becomes '_').
+  static std::string sanitize(const std::string &Name) {
+    std::string Out;
+    for (char C : Name)
+      Out += (std::isalnum(static_cast<unsigned char>(C)) ? C : '_');
+    return Out;
+  }
+
+protected:
+  std::ostringstream OS;
+  unsigned Indent = 0;
+};
+
+/// Java spelling of a value kind (Undef lowers to long like Int).
+inline const char *javaTypeName(ValueKind K) {
+  switch (K) {
+  case ValueKind::Bool:
+    return "boolean";
+  case ValueKind::Double:
+    return "double";
+  case ValueKind::Int:
+  case ValueKind::Undef:
+    return "long";
+  }
+  gm_unreachable("invalid value kind");
+}
+
+/// Capitalized spelling for Java read/write method suffixes (readLong etc.).
+inline const char *javaIoSuffix(ValueKind K) {
+  switch (K) {
+  case ValueKind::Bool:
+    return "Boolean";
+  case ValueKind::Double:
+    return "Double";
+  case ValueKind::Int:
+  case ValueKind::Undef:
+    return "Long";
+  }
+  gm_unreachable("invalid value kind");
+}
+
+/// C++ expression-level spelling of a value kind (what generated arithmetic
+/// computes in; Undef lowers to int64_t like Int).
+inline const char *cppTypeName(ValueKind K) {
+  switch (K) {
+  case ValueKind::Bool:
+    return "bool";
+  case ValueKind::Double:
+    return "double";
+  case ValueKind::Int:
+  case ValueKind::Undef:
+    return "int64_t";
+  }
+  gm_unreachable("invalid value kind");
+}
+
+/// C++ columnar-storage element type for a value kind. Bool columns store
+/// uint8_t, matching exec::Column, so threaded writes to neighboring
+/// elements stay race-free (std::vector<bool> packs bits).
+inline const char *cppColumnElem(ValueKind K) {
+  switch (K) {
+  case ValueKind::Bool:
+    return "uint8_t";
+  case ValueKind::Double:
+    return "double";
+  case ValueKind::Int:
+  case ValueKind::Undef:
+    return "int64_t";
+  }
+  gm_unreachable("invalid value kind");
+}
+
+/// Value::make* factory spelling for a value kind.
+inline const char *cppValueFactory(ValueKind K) {
+  switch (K) {
+  case ValueKind::Bool:
+    return "Value::makeBool";
+  case ValueKind::Double:
+    return "Value::makeDouble";
+  case ValueKind::Int:
+  case ValueKind::Undef:
+    return "Value::makeInt";
+  }
+  gm_unreachable("invalid value kind");
+}
+
+} // namespace pir
+} // namespace gm
+
+#endif // GM_PREGELIR_CODEGENEMITTER_H

@@ -1,0 +1,48 @@
+//===- pregelir/CppCodegen.h - PregelIR -> native C++ VertexProgram ---------===//
+///
+/// \file
+/// The native codegen backend: renders a pir::PregelProgram as one
+/// self-contained C++ translation unit implementing a gm::exec::
+/// CompiledProgram subclass — compute/receive/masterCompute as
+/// straight-line code over typed columnar state and the packed
+/// MessageLayout records, with no Value boxing and no IR walks on the hot
+/// path. Semantics mirror exec::IRExecutor bit-for-bit (same arithmetic
+/// widening, reduce identities, deterministic RNG, setup supersteps and
+/// phase labels); the equivalence tests enforce this.
+///
+/// Generated sources are consumed two ways (docs/codegen.md):
+///  - checked into src/exec/generated/ and linked into the tree, selected
+///    at runtime by fingerprint (exec::CompiledRegistry), or
+///  - compiled on the fly into a .so and dlopen'd (exec::NativeModule).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_PREGELIR_CPPCODEGEN_H
+#define GM_PREGELIR_CPPCODEGEN_H
+
+#include "pregelir/PregelIR.h"
+
+#include <string>
+
+namespace gm {
+namespace pir {
+
+/// Emits \p P as a C++ translation unit. Emission is deterministic: the
+/// same IR always produces the same bytes (the golden-file tests rely on
+/// this). Returns the empty string when the program uses a construct the
+/// native backend does not support — callers fall back to the interpreter.
+std::string emitCpp(const PregelProgram &P);
+
+/// Stable identity of a program: "gm0-" + the 64-bit FNV-1a hash of
+/// printProgram(P) in hex. Baked into every generated source; the
+/// precompiled registry and the .so loader match programs by this string.
+std::string programFingerprint(const PregelProgram &P);
+
+/// Name of the extern "C" factory symbol a generated TU exports
+/// ("gm_compiled_create_<sanitized program name>").
+std::string compiledFactorySymbol(const PregelProgram &P);
+
+} // namespace pir
+} // namespace gm
+
+#endif // GM_PREGELIR_CPPCODEGEN_H

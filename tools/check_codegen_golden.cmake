@@ -1,0 +1,93 @@
+# check_codegen_golden.cmake — golden-file gate for the native C++ codegen
+# backend (docs/codegen.md).
+#
+#   cmake -DGMPC=<gmpc> -DALGORITHMS_DIR=<dir> -DGENERATED_DIR=<dir>
+#         -DOUT_DIR=<scratch> -P tools/check_codegen_golden.cmake
+#
+# Re-emits every bundled algorithm with `gmpc --emit-cpp` and compares the
+# result byte-for-byte against the checked-in generated source under
+# src/exec/generated/. Any drift — an emitter change, an IR change, a stale
+# or orphaned golden — fails the build with a regeneration hint. This is
+# what keeps the precompiled registry honest: a golden that would not be
+# re-emitted identically today must not be linked into the tree.
+#
+# Registered as the tier-1 `codegen_golden_check` ctest.
+
+cmake_minimum_required(VERSION 3.16)
+
+foreach(VAR GMPC ALGORITHMS_DIR GENERATED_DIR OUT_DIR)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "check_codegen_golden.cmake: pass -D${VAR}=...")
+  endif()
+endforeach()
+
+set(WORK ${OUT_DIR}/codegen_golden)
+file(REMOVE_RECURSE ${WORK})
+
+file(GLOB GM_SOURCES "${ALGORITHMS_DIR}/*.gm")
+list(LENGTH GM_SOURCES NUM_SOURCES)
+if(NUM_SOURCES EQUAL 0)
+  message(FATAL_ERROR "no .gm sources under ${ALGORITHMS_DIR}")
+endif()
+
+set(EMITTED "")
+foreach(SRC ${GM_SOURCES})
+  get_filename_component(GM_NAME ${SRC} NAME_WE)
+  # Emit into an empty per-algorithm directory: gmpc names the file after
+  # the *program* (which may differ from the file name, e.g. avg_teen.gm
+  # defines avg_teen_cnt), so the single produced .cpp identifies its
+  # golden.
+  set(DIR ${WORK}/${GM_NAME})
+  file(MAKE_DIRECTORY ${DIR})
+  execute_process(
+    COMMAND ${GMPC} ${SRC} --emit-cpp ${DIR}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "gmpc --emit-cpp failed for ${GM_NAME} (${RC}):\n${ERR}")
+  endif()
+
+  file(GLOB PRODUCED "${DIR}/*.cpp")
+  list(LENGTH PRODUCED NUM_PRODUCED)
+  if(NOT NUM_PRODUCED EQUAL 1)
+    message(FATAL_ERROR
+      "expected exactly one emitted source for ${GM_NAME}, got "
+      "${NUM_PRODUCED}: ${PRODUCED}")
+  endif()
+  get_filename_component(BASE ${PRODUCED} NAME)
+  list(APPEND EMITTED ${BASE})
+
+  set(GOLDEN ${GENERATED_DIR}/${BASE})
+  if(NOT EXISTS ${GOLDEN})
+    message(FATAL_ERROR
+      "${GM_NAME} has no checked-in golden (${GOLDEN}); regenerate with:\n"
+      "  gmpc ${SRC} --emit-cpp ${GENERATED_DIR}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${PRODUCED} ${GOLDEN}
+    RESULT_VARIABLE DIFF)
+  if(NOT DIFF EQUAL 0)
+    message(FATAL_ERROR
+      "golden drift for ${GM_NAME}: ${GOLDEN} no longer matches what the "
+      "emitter produces. Regenerate every golden with:\n"
+      "  for f in ${ALGORITHMS_DIR}/*.gm; do "
+      "gmpc $f --emit-cpp ${GENERATED_DIR}; done")
+  endif()
+endforeach()
+
+# Orphan check: every checked-in golden must correspond to a bundled
+# algorithm, or the registry links dead weight nothing can ever match.
+file(GLOB GOLDENS "${GENERATED_DIR}/*.cpp")
+foreach(GOLDEN ${GOLDENS})
+  get_filename_component(BASE ${GOLDEN} NAME)
+  list(FIND EMITTED ${BASE} POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR
+      "orphaned golden ${GOLDEN}: no bundled .gm emits it; delete it or "
+      "restore its source")
+  endif()
+endforeach()
+
+message(STATUS
+  "codegen goldens ok: ${NUM_SOURCES} algorithms re-emitted byte-identical")
