@@ -33,6 +33,15 @@
 /// --smoke — if native PageRank's compute phase is not at least 2x faster
 /// than the interpreter's (the codegen backend's reason to exist).
 ///
+/// `bench_runtime_micro --schedule [reps] [--smoke] [--json <path>]` runs
+/// the traversal-schedule sweep: hand-written PageRank (always-dense
+/// frontier) and vote-to-halt SSSP (thinning frontier) under forced dense,
+/// forced sparse, and auto scheduling (default path BENCH_schedule.json).
+/// It fails if message/byte/superstep totals diverge across modes (the
+/// schedule leaked into semantics), if auto SSSP never goes sparse, or —
+/// outside --smoke — if auto SSSP is not at least 1.5x faster than forced
+/// dense, or auto PageRank regresses more than 5% against forced dense.
+///
 /// `bench_runtime_micro --compare <baseline.json> <fresh.json>
 /// [--max-regress <frac>]` is the regression gate: it matches run records
 /// between two gm.run-report documents by configuration, requires message
@@ -695,6 +704,215 @@ int runBackendSweep(int Reps, const std::string &JsonPath, bool Smoke) {
 }
 
 //===----------------------------------------------------------------------===//
+// Traversal-schedule sweep (--schedule)
+//===----------------------------------------------------------------------===//
+
+/// Directed 2D grid (right + down lattice edges): the high-diameter,
+/// bounded-degree shape of road networks — the workload class
+/// direction-optimizing schedulers exist for. SSSP's frontier here is one
+/// thin diagonal wave at a time, so almost every superstep is sparse.
+Graph makeGridGraph(NodeId Rows, NodeId Cols) {
+  Graph::Builder Builder(Rows * Cols);
+  for (NodeId R = 0; R < Rows; ++R)
+    for (NodeId C = 0; C < Cols; ++C) {
+      NodeId V = R * Cols + C;
+      if (C + 1 < Cols)
+        Builder.addEdge(V, V + 1);
+      if (R + 1 < Rows)
+        Builder.addEdge(V, V + Cols);
+    }
+  return std::move(Builder).build();
+}
+
+int runScheduleSweep(int Reps, const std::string &JsonPath, bool Smoke) {
+  // SSSP is the algorithm the sparse schedule exists for: vote-to-halt
+  // termination keeps the frontier to a thin wave of the grid, so the dense
+  // path's per-superstep O(N) scans (compute, stale-inbox reset, region
+  // layout) dominate its wall clock across the graph's ~Rows+Cols
+  // supersteps. PageRank is the control: every superstep fronts the whole
+  // graph, auto must stay dense, and any delta against forced dense is pure
+  // scheduling overhead.
+  const NodeId Rows = Smoke ? (1u << 5) : (1u << 8);
+  const NodeId Cols = Smoke ? (1u << 5) : (1u << 9);
+  const uint64_t Seed = 17;
+  Graph G = makeGridGraph(Rows, Cols);
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<int64_t> Dist(1, 10);
+  std::vector<int64_t> Len(G.numEdges());
+  for (auto &V : Len)
+    V = Dist(Rng);
+
+  pregel::JsonSink Sink(JsonPath);
+  const unsigned WorkerCounts[] = {1, 8};
+  const unsigned HostCores = std::thread::hardware_concurrency();
+
+  std::printf("Traversal-schedule sweep: grid(%u,%llu), %d reps, host "
+              "cores: %u\n",
+              G.numNodes(), static_cast<unsigned long long>(G.numEdges()),
+              Reps, HostCores);
+  hr('=');
+  std::printf("%-10s %-9s %8s | %10s %9s | %6s %7s | %12s\n", "algorithm",
+              "schedule", "workers", "wall(s)", "vs dense", "steps",
+              "sparse", "messages");
+  hr();
+
+  const char *Names[2] = {"pagerank", "sssp_vth"};
+  int Failures = 0;
+  for (int A = 0; A < 2; ++A) {
+    for (unsigned W : WorkerCounts) {
+      const pregel::ScheduleMode Modes[3] = {pregel::ScheduleMode::Dense,
+                                             pregel::ScheduleMode::Sparse,
+                                             pregel::ScheduleMode::Auto};
+      std::vector<double> Walls[3];
+      pregel::RunStats Stats[3];
+      // Modes interleaved inside the rep loop: host-speed drift between
+      // repetitions then hits every mode equally, and the best-of-reps
+      // comparison below cancels it.
+      for (int R = 0; R < Reps; ++R) {
+        for (int M = 0; M < 3; ++M) {
+          pregel::Config Cfg;
+          Cfg.NumWorkers = W;
+          Cfg.Threaded = W > 1;
+          Cfg.Schedule = Modes[M];
+          // Totals only: SSSP's ~770 supersteps would dwarf the checked-in
+          // artifact with per-step records (the wall/totals comparison is
+          // all this sweep gates on).
+          Cfg.CollectMetrics = false;
+          if (A == 0) {
+            manual::PageRankProgram P(0.85, 0.0, Smoke ? 5 : 20);
+            Stats[M] = pregel::Engine(G, Cfg).run(P);
+          } else {
+            manual::SSSPVoteToHaltProgram P(0, Len);
+            Cfg.Combiners[0] = ReduceKind::Min;
+            Stats[M] = pregel::Engine(G, Cfg).run(P);
+          }
+          Walls[M].push_back(Stats[M].WallSeconds);
+
+          pregel::RunMetadata Meta;
+          Meta.Program = Names[A];
+          Meta.Graph = "grid(" + std::to_string(Rows) + "x" +
+                       std::to_string(Cols) + ")";
+          Meta.NumNodes = G.numNodes();
+          Meta.NumEdges = G.numEdges();
+          Meta.Workers = W;
+          Meta.Threaded = Cfg.Threaded;
+          Meta.Seed = Seed;
+          Meta.HostCores = HostCores;
+          Meta.Schedule = pregel::scheduleModeName(Modes[M]);
+          Sink.report(Meta, Stats[M]);
+        }
+      }
+      double DenseBest = 0.0;
+      uint64_t DenseMessages = 0, DenseNetBytes = 0, DenseSteps = 0;
+      for (int M = 0; M < 3; ++M) {
+        const pregel::ScheduleMode Mode = Modes[M];
+        const pregel::RunStats &Last = Stats[M];
+        // Best-of-reps: the run closest to the code's actual cost, least
+        // polluted by whatever else the host was doing.
+        double WallBest =
+            *std::min_element(Walls[M].begin(), Walls[M].end());
+        const bool Dense = Mode == pregel::ScheduleMode::Dense;
+        if (Dense) {
+          DenseBest = WallBest;
+          DenseMessages = Last.TotalMessages;
+          DenseNetBytes = Last.NetworkBytes;
+          DenseSteps = Last.Supersteps;
+          if (Last.SparseSupersteps != 0) {
+            std::fprintf(stderr,
+                         "FAIL: %s workers=%u: forced dense ran %llu sparse "
+                         "supersteps\n",
+                         Names[A], W,
+                         static_cast<unsigned long long>(
+                             Last.SparseSupersteps));
+            ++Failures;
+          }
+        } else {
+          // The schedule changes iteration machinery, never semantics:
+          // every counter the engine reports must match the dense run.
+          if (Last.TotalMessages != DenseMessages ||
+              Last.NetworkBytes != DenseNetBytes ||
+              Last.Supersteps != DenseSteps) {
+            std::fprintf(
+                stderr,
+                "FAIL: %s workers=%u schedule=%s: totals diverge from dense "
+                "(messages %llu vs %llu, bytes %llu vs %llu, steps %llu vs "
+                "%llu)\n",
+                Names[A], W, pregel::scheduleModeName(Mode),
+                static_cast<unsigned long long>(Last.TotalMessages),
+                static_cast<unsigned long long>(DenseMessages),
+                static_cast<unsigned long long>(Last.NetworkBytes),
+                static_cast<unsigned long long>(DenseNetBytes),
+                static_cast<unsigned long long>(Last.Supersteps),
+                static_cast<unsigned long long>(DenseSteps));
+            ++Failures;
+          }
+          if (Mode == pregel::ScheduleMode::Auto) {
+            // Auto must actually engage on the frontier algorithm and must
+            // actually decline on the dense one.
+            if (A == 1 && Last.SparseSupersteps == 0) {
+              std::fprintf(stderr,
+                           "FAIL: sssp_vth workers=%u: auto never went "
+                           "sparse in %llu supersteps\n",
+                           W,
+                           static_cast<unsigned long long>(Last.Supersteps));
+              ++Failures;
+            }
+            if (A == 0 && Last.SparseSupersteps != 0) {
+              std::fprintf(stderr,
+                           "FAIL: pagerank workers=%u: auto ran %llu sparse "
+                           "supersteps on an always-dense frontier\n",
+                           W,
+                           static_cast<unsigned long long>(
+                               Last.SparseSupersteps));
+              ++Failures;
+            }
+            // The acceptance bars. Smoke graphs are too small for stable
+            // timing, so only the full sweep enforces them.
+            if (!Smoke && A == 1 && WallBest > 0 &&
+                DenseBest < 1.5 * WallBest) {
+              std::fprintf(stderr,
+                           "FAIL: sssp_vth workers=%u: auto wall %.4fs is "
+                           "not 1.5x faster than dense %.4fs (%.2fx)\n",
+                           W, WallBest, DenseBest,
+                           DenseBest / WallBest);
+              ++Failures;
+            }
+            // PageRank's auto and dense runs execute the identical dense
+            // path (one threshold comparison per superstep apart), so any
+            // wall delta is scheduling-decision overhead. Gated on the
+            // sequential leg only: threaded medians on oversubscribed hosts
+            // carry more scheduler noise than the 5% bar.
+            if (!Smoke && A == 0 && W == 1 &&
+                WallBest > 1.05 * DenseBest) {
+              std::fprintf(stderr,
+                           "FAIL: pagerank workers=%u: auto wall %.4fs "
+                           "regresses dense %.4fs by more than 5%%\n",
+                           W, WallBest, DenseBest);
+              ++Failures;
+            }
+          }
+        }
+        std::printf("%-10s %-9s %8u | %10.4f %8.2fx | %6llu %7llu | %12llu\n",
+                    Names[A], pregel::scheduleModeName(Mode), W, WallBest,
+                    !Dense && WallBest > 0 ? DenseBest / WallBest : 1.0,
+                    static_cast<unsigned long long>(Last.Supersteps),
+                    static_cast<unsigned long long>(Last.SparseSupersteps),
+                    static_cast<unsigned long long>(Last.TotalMessages));
+      }
+    }
+    hr();
+  }
+
+  std::string Err;
+  if (!Sink.close(&Err)) {
+    std::fprintf(stderr, "bench_runtime_micro: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return Failures;
+}
+
+//===----------------------------------------------------------------------===//
 // Baseline comparison (--compare / --check-baseline)
 //===----------------------------------------------------------------------===//
 
@@ -727,7 +945,8 @@ std::string cellKey(const json::Node &Run) {
         << '|' << Cfg->strAt("message_format", "-") << '|'
         << Cfg->strAt("partition", "-") << "|lalp"
         << Cfg->intAt("lalp_threshold") << '|'
-        << Cfg->strAt("backend", "-");
+        << Cfg->strAt("backend", "-") << '|'
+        << Cfg->strAt("schedule", "-");
   return Key.str();
 }
 
@@ -948,6 +1167,21 @@ int main(int argc, char **argv) {
                               argv[I + 1][0])))
         Reps = std::atoi(argv[I + 1]);
       return runBackendSweep(Reps, JsonPath, Smoke);
+    }
+    if (std::strcmp(argv[I], "--schedule") == 0) {
+      std::string JsonPath = "BENCH_schedule.json";
+      bool Smoke = false;
+      for (int J = 1; J < argc; ++J) {
+        if (std::strcmp(argv[J], "--json") == 0 && J + 1 < argc)
+          JsonPath = argv[J + 1];
+        if (std::strcmp(argv[J], "--smoke") == 0)
+          Smoke = true;
+      }
+      int Reps = 3;
+      if (I + 1 < argc && std::isdigit(static_cast<unsigned char>(
+                              argv[I + 1][0])))
+        Reps = std::atoi(argv[I + 1]);
+      return runScheduleSweep(Reps, JsonPath, Smoke);
     }
     if (std::strcmp(argv[I], "--partitioning") == 0) {
       std::string JsonPath = "BENCH_partitioning.json";

@@ -82,6 +82,11 @@ Execution (interprets the compiled program on the bundled BSP runtime):
   --lalp-threshold <n>           LALP mirroring: broadcast from vertices with
                                  out-degree >= n as one record per worker
                                  (0 = off, the default)
+  --schedule <mode>              per-superstep traversal schedule
+                                 (docs/scheduling.md): auto (default) picks
+                                 sparse frontier iteration or a dense full
+                                 scan per superstep; dense / sparse force one
+                                 path. Results are identical in every mode.
   --seed <n>                     runtime random seed
   --arg <name>=<value>           scalar procedure argument (repeatable)
   --rand-nprop <name> <lo> <hi>  fill an Int node property uniformly
@@ -134,6 +139,7 @@ int main(int argc, char **argv) {
   pregel::MessageFormat MsgFormat = pregel::MessageFormat::Packed;
   pregel::PartitionStrategy Partition = pregel::PartitionStrategy::Hash;
   uint32_t LalpThreshold = 0;
+  pregel::ScheduleMode Schedule = pregel::ScheduleMode::Auto;
   uint64_t Seed = 1;
   std::vector<std::pair<std::string, std::string>> ScalarArgs;
   struct RandProp {
@@ -236,6 +242,16 @@ int main(int argc, char **argv) {
     } else if (A == "--lalp-threshold" || A.rfind("--lalp-threshold=", 0) == 0)
       LalpThreshold = static_cast<uint32_t>(
           parseInt(A == "--lalp-threshold" ? Next() : A.c_str() + 17));
+    else if (A == "--schedule" || A.rfind("--schedule=", 0) == 0) {
+      std::string Name = A == "--schedule" ? Next() : A.substr(11);
+      auto S = pregel::parseScheduleMode(Name);
+      if (!S) {
+        std::fprintf(stderr, "gmpc: --schedule expects auto, dense, or "
+                             "sparse\n");
+        return 2;
+      }
+      Schedule = *S;
+    }
     else if (A == "--seed")
       Seed = static_cast<uint64_t>(parseInt(Next()));
     else if (A == "--arg") {
@@ -447,6 +463,7 @@ int main(int argc, char **argv) {
   Cfg.LalpThreshold = LalpThreshold;
   Cfg.RandomSeed = Seed;
   Cfg.Backend = Backend;
+  Cfg.Schedule = Schedule;
   DiagnosticEngine RunDiags;
   Cfg.Diags = &RunDiags;
   pregel::traceNameLanes(Workers);
@@ -494,6 +511,7 @@ int main(int argc, char **argv) {
     Meta.Partition = pregel::partitionStrategyName(Partition);
     Meta.LalpThreshold = LalpThreshold;
     Meta.Backend = exec::backendKindName(BRun.Used);
+    Meta.Schedule = pregel::scheduleModeName(Schedule);
     pregel::Partition Part = pregel::makePartition(G, Partition, Workers);
     Meta.WorkerEdges = Part.edgeCounts(G);
     Meta.WorkerVertices.resize(Workers);

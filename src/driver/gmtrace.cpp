@@ -168,11 +168,12 @@ void report(const Analysis &A, unsigned TopK) {
                 Tot.first / 1e6, Tot.second,
                 Tot.second ? Tot.first / static_cast<double>(Tot.second) : 0.0);
 
-  // Per-worker load: compute wall per lane; imbalance = max/mean. The
-  // master lane carries no compute spans and drops out naturally.
+  // Per-worker load: compute wall per lane ("compute" and "compute-sparse"
+  // spans together); imbalance = max/mean. The master lane carries no
+  // compute spans and drops out naturally.
   std::map<int64_t, double> ComputeUs, BarrierUs;
   for (const Span &S : A.Spans) {
-    if (S.Name == "compute")
+    if (S.Name.rfind("compute", 0) == 0)
       ComputeUs[S.Tid] += S.DurUs;
     else if (S.Name == "barrier-wait")
       BarrierUs[S.Tid] += S.DurUs;

@@ -64,7 +64,8 @@ gm::pregel::aggregateWorkers(const std::vector<SuperstepMetrics> &Steps) {
       Out.resize(S.Workers.size());
     for (size_t I = 0; I < S.Workers.size(); ++I) {
       const WorkerStepMetrics &W = S.Workers[I];
-      Out[I].ActiveVertices += W.ActiveVertices;
+      Out[I].RanVertices += W.RanVertices;
+      Out[I].ActiveAfter += W.ActiveAfter;
       Out[I].ComputeSeconds += W.ComputeSeconds;
       Out[I].CombineSeconds += W.CombineSeconds;
       Out[I].DeliverSeconds += W.DeliverSeconds;

@@ -33,7 +33,13 @@ const char *haltReasonName(HaltReason R);
 
 /// One worker's share of one superstep.
 struct WorkerStepMetrics {
-  uint64_t ActiveVertices = 0; ///< vertices whose compute() ran
+  /// Vertices whose compute() ran this superstep (they were active or had
+  /// messages). Distinct from ActiveAfter: a vertex can run and then vote to
+  /// halt, or run while already having voted in an earlier step.
+  uint64_t RanVertices = 0;
+  /// This worker's vertices still active once the step's voting settled —
+  /// the worker's contribution to the next superstep's frontier.
+  uint64_t ActiveAfter = 0;
   double ComputeSeconds = 0.0; ///< wall time of this worker's vertex loop
   double CombineSeconds = 0.0; ///< sender-side combining + wire tally
   double DeliverSeconds = 0.0; ///< this worker's inbox merge at delivery
@@ -71,7 +77,18 @@ struct SuperstepMetrics {
   /// ComputeSeconds, broken out to show combining cost on the critical path.
   double CombineSeconds = 0.0;
 
-  uint64_t ActiveVertices = 0;
+  /// Vertices whose compute() ran / vertices still active after voting,
+  /// summed over workers (see WorkerStepMetrics; report schema v3 splits the
+  /// old conflated active_vertices into these two).
+  uint64_t RanVertices = 0;
+  uint64_t ActiveAfter = 0;
+  /// Traversal schedule of this step's vertex phase (docs/scheduling.md):
+  /// true when compute iterated the explicit frontier, false on a full scan.
+  bool Sparse = false;
+  /// The frontier estimate (active after the previous step's voting + its
+  /// delivered messages) that selected this step's schedule mode; numNodes
+  /// for superstep 0, where every vertex starts active.
+  uint64_t FrontierSize = 0;
   uint64_t Messages = 0;
   uint64_t NetworkMessages = 0;
   uint64_t NetworkBytes = 0;

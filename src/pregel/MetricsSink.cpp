@@ -34,6 +34,8 @@ void TableSink::report(const RunMetadata &Meta, const RunStats &Stats,
     std::fprintf(Out, " | lalp-threshold: %u", Meta.LalpThreshold);
   if (!Meta.Backend.empty())
     std::fprintf(Out, " | backend: %s", Meta.Backend.c_str());
+  if (!Meta.Schedule.empty())
+    std::fprintf(Out, " | schedule: %s", Meta.Schedule.c_str());
   std::fprintf(Out, "\n");
   std::fprintf(Out, "%s\n", Stats.toString().c_str());
   if (Stats.PeakRssBytes)
@@ -48,17 +50,22 @@ void TableSink::report(const RunMetadata &Meta, const RunStats &Stats,
     if (WithTrace) {
       std::fprintf(Out, "\nsuperstep trace:\n");
       std::fprintf(
-          Out, "%5s %-14s %10s %10s %10s %11s %11s %11s %11s %6s %6s %6s\n",
-          "step", "label", "active", "msgs", "net-bytes", "master(s)",
-          "compute(s)", "barrier(s)", "deliver(s)", "t-imb", "m-imb", "comb");
+          Out,
+          "%5s %-14s %6s %10s %10s %10s %10s %11s %11s %11s %11s %6s %6s "
+          "%6s\n",
+          "step", "label", "mode", "ran", "act-after", "msgs", "net-bytes",
+          "master(s)", "compute(s)", "barrier(s)", "deliver(s)", "t-imb",
+          "m-imb", "comb");
       for (const SuperstepMetrics &S : Stats.Steps) {
         std::fprintf(
             Out,
-            "%5llu %-14.14s %10llu %10llu %10llu %11.6f %11.6f %11.6f %11.6f "
-            "%5.2fx %5.2fx %5.2f\n",
+            "%5llu %-14.14s %6s %10llu %10llu %10llu %10llu %11.6f %11.6f "
+            "%11.6f %11.6f %5.2fx %5.2fx %5.2f\n",
             static_cast<unsigned long long>(S.Step),
             S.Label.empty() ? "-" : S.Label.c_str(),
-            static_cast<unsigned long long>(S.ActiveVertices),
+            S.Sparse ? "sparse" : "dense",
+            static_cast<unsigned long long>(S.RanVertices),
+            static_cast<unsigned long long>(S.ActiveAfter),
             static_cast<unsigned long long>(S.Messages),
             static_cast<unsigned long long>(S.NetworkBytes), S.MasterSeconds,
             S.ComputeSeconds, S.BarrierSeconds, S.DeliverSeconds,
@@ -68,7 +75,7 @@ void TableSink::report(const RunMetadata &Meta, const RunStats &Stats,
 
     std::fprintf(Out, "\nper-worker totals:\n");
     std::fprintf(Out, "%7s %10s %12s %12s %12s %10s %10s %12s %10s\n",
-                 "worker", "active", "compute(s)", "combine(s)", "deliver(s)",
+                 "worker", "ran", "compute(s)", "combine(s)", "deliver(s)",
                  "sent", "net-sent", "bytes-sent", "recv");
     std::vector<WorkerStepMetrics> Totals = aggregateWorkers(Stats.Steps);
     for (size_t I = 0; I < Totals.size(); ++I) {
@@ -76,7 +83,7 @@ void TableSink::report(const RunMetadata &Meta, const RunStats &Stats,
       std::fprintf(Out,
                    "%7zu %10llu %12.6f %12.6f %12.6f %10llu %10llu %12llu "
                    "%10llu\n",
-                   I, static_cast<unsigned long long>(W.ActiveVertices),
+                   I, static_cast<unsigned long long>(W.RanVertices),
                    W.ComputeSeconds, W.CombineSeconds, W.DeliverSeconds,
                    static_cast<unsigned long long>(W.MessagesSent),
                    static_cast<unsigned long long>(W.NetworkMessagesSent),
@@ -125,6 +132,8 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
     W.field("lalp_threshold", static_cast<uint64_t>(Meta.LalpThreshold));
   if (!Meta.Backend.empty())
     W.field("backend", Meta.Backend);
+  if (!Meta.Schedule.empty())
+    W.field("schedule", Meta.Schedule);
   if (!Meta.WorkerVertices.empty()) {
     W.key("partition_workers");
     W.beginArray();
@@ -143,6 +152,7 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
   W.key("totals");
   W.beginObject();
   W.field("supersteps", Stats.Supersteps);
+  W.field("sparse_supersteps", Stats.SparseSupersteps);
   W.field("messages", Stats.TotalMessages);
   W.field("network_messages", Stats.NetworkMessages);
   W.field("network_bytes", Stats.NetworkBytes);
@@ -184,7 +194,10 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
     W.beginObject();
     W.field("step", S.Step);
     W.field("label", S.Label);
-    W.field("active_vertices", S.ActiveVertices);
+    W.field("schedule_mode", S.Sparse ? "sparse" : "dense");
+    W.field("frontier_size", S.FrontierSize);
+    W.field("ran_vertices", S.RanVertices);
+    W.field("active_after", S.ActiveAfter);
     W.field("messages", S.Messages);
     W.field("network_messages", S.NetworkMessages);
     W.field("network_bytes", S.NetworkBytes);
@@ -207,7 +220,8 @@ void gm::pregel::writeRunJson(json::Writer &W, const RunMetadata &Meta,
       const WorkerStepMetrics &WM = S.Workers[I];
       W.beginObject();
       W.field("worker", static_cast<uint64_t>(I));
-      W.field("active_vertices", WM.ActiveVertices);
+      W.field("ran_vertices", WM.RanVertices);
+      W.field("active_after", WM.ActiveAfter);
       W.field("compute_seconds", WM.ComputeSeconds);
       W.field("combine_seconds", WM.CombineSeconds);
       W.field("deliver_seconds", WM.DeliverSeconds);

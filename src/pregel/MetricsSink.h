@@ -53,6 +53,9 @@ struct RunMetadata {
   /// Execution backend that actually ran ("interp", "native-registry",
   /// "native-jit"; "" = not recorded). Perf comparisons hinge on it.
   std::string Backend;
+  /// Traversal schedule the run was configured with ("auto", "dense",
+  /// "sparse"; "" = not recorded). See docs/scheduling.md.
+  std::string Schedule;
   /// Per-worker owned vertex / out-edge counts under that partition
   /// (empty = not recorded). Parallel vectors indexed by worker id.
   std::vector<uint64_t> WorkerVertices;
@@ -63,9 +66,13 @@ struct RunMetadata {
 /// v2: totals gained peak_rss_bytes and a phase_seconds breakdown;
 /// superstep/worker records gained deliver_seconds (and combine_seconds per
 /// worker); barrier_seconds narrowed to the sequential coordination slice
-/// (v1 folded the delivery merge into it). See docs/observability.md.
+/// (v1 folded the delivery merge into it).
+/// v3: the conflated active_vertices split into ran_vertices /
+/// active_after (superstep and worker records); superstep records gained
+/// schedule_mode and frontier_size, totals gained sparse_supersteps, and
+/// config gained schedule. See docs/observability.md.
 inline constexpr const char *ReportSchemaName = "gm.run-report";
-inline constexpr int ReportSchemaVersion = 2;
+inline constexpr int ReportSchemaVersion = 3;
 
 /// Where finished runs are reported. One sink may receive many runs (the
 /// benches report every repetition).

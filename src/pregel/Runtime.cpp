@@ -136,6 +136,29 @@ std::string RunStats::toString() const {
   return OS.str();
 }
 
+const char *gm::pregel::scheduleModeName(ScheduleMode M) {
+  switch (M) {
+  case ScheduleMode::Auto:
+    return "auto";
+  case ScheduleMode::Dense:
+    return "dense";
+  case ScheduleMode::Sparse:
+    return "sparse";
+  }
+  return "auto";
+}
+
+std::optional<ScheduleMode>
+gm::pregel::parseScheduleMode(std::string_view Name) {
+  if (Name == "auto")
+    return ScheduleMode::Auto;
+  if (Name == "dense")
+    return ScheduleMode::Dense;
+  if (Name == "sparse")
+    return ScheduleMode::Sparse;
+  return std::nullopt;
+}
+
 NodeId MasterContext::pickRandomNode() {
   // uniform_int_distribution(0, numNodes()-1) would wrap to the full NodeId
   // range on an empty graph; there is nothing to pick, so say so.
@@ -268,6 +291,22 @@ struct Engine::WorkerState {
 
   /// Base of this worker's region in InboxPool for the upcoming superstep.
   uint32_t RegionStart = 0;
+
+  // Frontier bookkeeping for sparse supersteps (docs/scheduling.md). All
+  // lists hold owned vertices in ascending id, so a sparse vertex loop
+  // visits them in the same order forEachOwned would.
+  /// The vertices this worker's sparse compute iterates (active or received
+  /// a message last delivery). Rebuilt at each sparse-style delivery.
+  std::vector<NodeId> Frontier;
+  /// Vertices still active after this step's voting, collected when the
+  /// upcoming step is sparse (by the sparse vertex loop, or by a full scan
+  /// at delivery when this step's compute was dense).
+  std::vector<NodeId> Survivors;
+  /// Vertices that received >= 1 message in the latest delivery; valid only
+  /// while Engine::ReceivedTracked, used to reset stale InboxCount entries
+  /// without an O(owned) sweep. NewReceived is its under-construction twin.
+  std::vector<NodeId> Received;
+  std::vector<NodeId> NewReceived;
 };
 
 namespace {
@@ -374,6 +413,24 @@ void Engine::combineShardPacked(WorkerState &WS, std::vector<std::byte> &Shard,
   Srcs.swap(KeptSrcs);
 }
 
+bool Engine::decideSparse(uint64_t Estimate) const {
+  switch (Cfg.Schedule) {
+  case ScheduleMode::Dense:
+    return false;
+  case ScheduleMode::Sparse:
+    return true;
+  case ScheduleMode::Auto:
+    break;
+  }
+  // Ligra/GraphIt-style direction threshold: frontier iteration only pays
+  // when the step touches well under numNodes / divisor vertices; the
+  // estimate (active after voting + delivered messages) upper-bounds the
+  // vertices the step will run. Divisor 0 is treated as "never sparse".
+  if (Cfg.ScheduleSparseDivisor == 0)
+    return false;
+  return Estimate < uint64_t(G.numNodes()) / Cfg.ScheduleSparseDivisor;
+}
+
 size_t Engine::shardCount(unsigned Sender, unsigned Dst) const {
   return UsePacked ? Workers[Sender].PackedShards[Dst].size() / RecordBytes
                    : Workers[Sender].Shards[Dst].size();
@@ -393,23 +450,29 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
   Clock::time_point T0;
   if (WM)
     T0 = Clock::now();
-  trace::begin(traceLaneOf(WorkerId), "compute", tracecat::Phase);
+  const bool Sparse = CurSparse;
+  const char *SpanName = Sparse ? "compute-sparse" : "compute";
+  trace::begin(traceLaneOf(WorkerId), SpanName, tracecat::Phase);
   uint64_t Ran = 0;
-  forEachOwned(WorkerId, [&](NodeId V) {
+  auto RunVertex = [&](NodeId V) -> uint8_t {
     const uint32_t InCount = InboxCount[V];
-    if (!Active[V] && InCount == 0)
-      return;
     VertexContext Ctx(V, Step, G, Globals, WS.PrivateGlobals);
     if (UsePacked) {
-      Ctx.PackedInbox =
-          PackedInboxPool.data() + size_t(InboxOffset[V]) * RecordBytes;
-      Ctx.InboxN = InCount;
+      // Wire the inbox cursor up only when there is something to read: a
+      // vertex that received nothing can carry a stale offset after a
+      // sparse-style delivery (offsets are laid out per receiver only).
+      if (InCount > 0) {
+        Ctx.PackedInbox =
+            PackedInboxPool.data() + size_t(InboxOffset[V]) * RecordBytes;
+        Ctx.InboxN = InCount;
+      }
       Ctx.PackedShards = WS.PackedShards.data();
       Ctx.ShardSrcs = WS.PackedSrcs.data();
       Ctx.Layout = &Layout;
     } else {
-      Ctx.Inbox =
-          std::span<const Message>(InboxPool.data() + InboxOffset[V], InCount);
+      if (InCount > 0)
+        Ctx.Inbox = std::span<const Message>(InboxPool.data() + InboxOffset[V],
+                                             InCount);
       Ctx.Shards = WS.Shards.data();
     }
     if (Lalp.enabled()) {
@@ -426,11 +489,28 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
     WS.ActiveCount -= Active[V];
     Active[V] = NowActive;
     ++Ran;
-  });
-  trace::end(traceLaneOf(WorkerId), "compute", tracecat::Phase);
+    return NowActive;
+  };
+  if (Sparse) {
+    // The frontier holds exactly the owned vertices that are active or
+    // received a message, ascending — the same set, in the same order, the
+    // dense scan below would run. Survivors feed the next frontier.
+    WS.Survivors.clear();
+    for (NodeId V : WS.Frontier)
+      if (RunVertex(V))
+        WS.Survivors.push_back(V);
+  } else {
+    forEachOwned(WorkerId, [&](NodeId V) {
+      if (!Active[V] && InboxCount[V] == 0)
+        return;
+      RunVertex(V);
+    });
+  }
+  trace::end(traceLaneOf(WorkerId), SpanName, tracecat::Phase);
   Clock::time_point CombineT0;
   if (WM) {
-    WM->ActiveVertices = Ran;
+    WM->RanVertices = Ran;
+    WM->ActiveAfter = WS.ActiveCount;
     WM->ComputeSeconds = secondsSince(T0);
     CombineT0 = Clock::now();
   }
@@ -539,7 +619,9 @@ void Engine::computePhase(unsigned WorkerId, VertexProgram &Program,
 }
 
 void Engine::deliverPhase(unsigned WorkerId, SuperstepMetrics *SM) {
-  trace::ScopedSpan Span(traceLaneOf(WorkerId), "deliver", tracecat::Phase);
+  trace::ScopedSpan Span(traceLaneOf(WorkerId),
+                         NextSparse ? "deliver-sparse" : "deliver",
+                         tracecat::Phase);
   Clock::time_point T0;
   if (SM)
     T0 = Clock::now();
@@ -563,37 +645,118 @@ void Engine::deliverPhaseImpl(unsigned WorkerId, SuperstepMetrics *SM) {
   // order, so a multi-run merge suffices — and because the order no longer
   // depends on which worker sent what, delivery (and therefore every
   // result) is invariant under the partition strategy and worker count.
-  forEachOwned(WorkerId, [&](NodeId V) { InboxCount[V] = 0; });
+
+  // Reset stale inbox counts from the previous superstep. Nonzero entries
+  // are confined to the previous delivery's receiver list whenever that
+  // list was tracked, so resetting per receiver beats the O(owned) sweep
+  // regardless of this step's schedule.
+  if (ReceivedTracked) {
+    for (NodeId V : WS.Received)
+      InboxCount[V] = 0;
+  } else {
+    forEachOwned(WorkerId, [&](NodeId V) { InboxCount[V] = 0; });
+  }
+
+  // When the next superstep runs sparse, this delivery also builds its
+  // frontier: receivers tracked on each 0->1 count transition, unioned with
+  // the vertices still active after this step's voting. A sparse compute
+  // already collected its survivors; after a dense compute, collect them
+  // here with one owned scan.
+  const bool TrackNext = NextSparse;
+  WS.NewReceived.clear();
+  if (TrackNext && !CurSparse) {
+    WS.Survivors.clear();
+    forEachOwned(WorkerId, [&](NodeId V) {
+      if (Active[V])
+        WS.Survivors.push_back(V);
+    });
+  }
+  // Frontier = Survivors ∪ NewReceived (both ascending); swap in the new
+  // receiver list for the next step's stale reset. Runs on every exit path.
+  auto Finish = [&] {
+    if (TrackNext) {
+      WS.Frontier.clear();
+      std::set_union(WS.Survivors.begin(), WS.Survivors.end(),
+                     WS.NewReceived.begin(), WS.NewReceived.end(),
+                     std::back_inserter(WS.Frontier));
+    }
+    WS.Received.swap(WS.NewReceived);
+  };
 
   const bool HasLalp = Lalp.enabled();
+
+  // A worker with nothing inbound (common on thin frontiers) skips the
+  // counting sort, layout, and merge outright — its counts are already
+  // reset and its region is empty.
+  bool AnyInbound = false;
+  for (unsigned Sender = 0; Sender < W && !AnyInbound; ++Sender) {
+    const WorkerState &SS = Workers[Sender];
+    if (UsePacked)
+      AnyInbound = !SS.PackedShards[WorkerId].empty() ||
+                   (HasLalp && !SS.BcastSrcs[WorkerId].empty());
+    else
+      AnyInbound = !SS.Shards[WorkerId].empty() ||
+                   (HasLalp && !SS.BcastBoxed[WorkerId].empty());
+  }
+  if (!AnyInbound) {
+    Finish();
+    return;
+  }
 
   if (UsePacked) {
     const size_t RS = RecordBytes;
     // Count deliveries per destination vertex (broadcasts count once per
-    // mirror).
+    // mirror). The frontier-tracking variants are split out so the dense
+    // counting loop stays branch-free.
+    auto CountDst = [&](NodeId Dst) {
+      if (++InboxCount[Dst] == 1)
+        WS.NewReceived.push_back(Dst);
+    };
     for (unsigned Sender = 0; Sender < W; ++Sender) {
       const std::vector<std::byte> &Shard =
           Workers[Sender].PackedShards[WorkerId];
-      for (const std::byte *P = Shard.data(), *E = P + Shard.size(); P != E;
-           P += RS)
-        ++InboxCount[MessageLayout::recordDst(P)];
+      if (TrackNext)
+        for (const std::byte *P = Shard.data(), *E = P + Shard.size(); P != E;
+             P += RS)
+          CountDst(MessageLayout::recordDst(P));
+      else
+        for (const std::byte *P = Shard.data(), *E = P + Shard.size(); P != E;
+             P += RS)
+          ++InboxCount[MessageLayout::recordDst(P)];
       if (!HasLalp)
         continue;
       for (NodeId Src : Workers[Sender].BcastSrcs[WorkerId]) {
         const int32_t HD = Lalp.HDIndex[Src];
         const uint32_t F = Lalp.fanout(HD, WorkerId);
         const NodeId *Mir = Lalp.mirrors(HD, WorkerId);
-        for (uint32_t J = 0; J < F; ++J)
-          ++InboxCount[Mir[J]];
+        for (uint32_t J = 0; J < F; ++J) {
+          if (TrackNext)
+            CountDst(Mir[J]);
+          else
+            ++InboxCount[Mir[J]];
+        }
       }
     }
 
+    // Region layout. On a frontier-tracking delivery only the receivers get
+    // fresh offsets: laid out over the sorted receiver list, they come out
+    // identical to the full owned scan's, since zero-count vertices advance
+    // Base by nothing (compute reads offsets only when InboxCount > 0).
     uint32_t Base = WS.RegionStart;
-    forEachOwned(WorkerId, [&](NodeId V) {
-      InboxOffset[V] = Base;
-      Cursor[V] = Base;
-      Base += InboxCount[V];
-    });
+    if (TrackNext) {
+      std::sort(WS.NewReceived.begin(), WS.NewReceived.end());
+      for (NodeId V : WS.NewReceived) {
+        InboxOffset[V] = Base;
+        Cursor[V] = Base;
+        Base += InboxCount[V];
+      }
+    } else {
+      forEachOwned(WorkerId, [&](NodeId V) {
+        InboxOffset[V] = Base;
+        Cursor[V] = Base;
+        Base += InboxCount[V];
+      });
+    }
 
     // Receive-side combining: with LALP on, a broadcast expands into many
     // same-payload deliveries, so combiners must also fold after expansion
@@ -686,10 +849,17 @@ void Engine::deliverPhaseImpl(unsigned WorkerId, SuperstepMetrics *SM) {
         Runs.erase(Runs.begin() + Best); // keep scan order for tie-breaks
     }
 
-    // Combining shortened some vertices' inboxes in place.
-    if (RecvCombine)
-      forEachOwned(WorkerId,
-                   [&](NodeId V) { InboxCount[V] = Cursor[V] - InboxOffset[V]; });
+    // Combining shortened some vertices' inboxes in place (a combined
+    // vertex still holds >= 1 message, so receiver membership is unchanged).
+    if (RecvCombine) {
+      if (TrackNext)
+        for (NodeId V : WS.NewReceived)
+          InboxCount[V] = Cursor[V] - InboxOffset[V];
+      else
+        forEachOwned(
+            WorkerId,
+            [&](NodeId V) { InboxCount[V] = Cursor[V] - InboxOffset[V]; });
+    }
 
     for (unsigned Sender = 0; Sender < W; ++Sender) {
       // Capacity kept; the sender refills them next superstep.
@@ -704,29 +874,51 @@ void Engine::deliverPhaseImpl(unsigned WorkerId, SuperstepMetrics *SM) {
       SM->Workers[WorkerId].MessagesReceived = Received;
       SM->Workers[WorkerId].MirrorHits = WS.StepMirrorHits;
     }
+    Finish();
     return;
   }
 
+  auto CountDst = [&](NodeId Dst) {
+    if (++InboxCount[Dst] == 1)
+      WS.NewReceived.push_back(Dst);
+  };
   for (unsigned Sender = 0; Sender < W; ++Sender) {
-    for (const Message &M : Workers[Sender].Shards[WorkerId])
-      ++InboxCount[M.Dst];
+    if (TrackNext)
+      for (const Message &M : Workers[Sender].Shards[WorkerId])
+        CountDst(M.Dst);
+    else
+      for (const Message &M : Workers[Sender].Shards[WorkerId])
+        ++InboxCount[M.Dst];
     if (!HasLalp)
       continue;
     for (const Message &M : Workers[Sender].BcastBoxed[WorkerId]) {
       const int32_t HD = Lalp.HDIndex[M.Src];
       const uint32_t F = Lalp.fanout(HD, WorkerId);
       const NodeId *Mir = Lalp.mirrors(HD, WorkerId);
-      for (uint32_t J = 0; J < F; ++J)
-        ++InboxCount[Mir[J]];
+      for (uint32_t J = 0; J < F; ++J) {
+        if (TrackNext)
+          CountDst(Mir[J]);
+        else
+          ++InboxCount[Mir[J]];
+      }
     }
   }
 
   uint32_t Base = WS.RegionStart;
-  forEachOwned(WorkerId, [&](NodeId V) {
-    InboxOffset[V] = Base;
-    Cursor[V] = Base;
-    Base += InboxCount[V];
-  });
+  if (TrackNext) {
+    std::sort(WS.NewReceived.begin(), WS.NewReceived.end());
+    for (NodeId V : WS.NewReceived) {
+      InboxOffset[V] = Base;
+      Cursor[V] = Base;
+      Base += InboxCount[V];
+    }
+  } else {
+    forEachOwned(WorkerId, [&](NodeId V) {
+      InboxOffset[V] = Base;
+      Cursor[V] = Base;
+      Base += InboxCount[V];
+    });
+  }
 
   // Layout cross-check (sequential boxed runs only; threaded runs would
   // race on the shared error slot).
@@ -804,9 +996,15 @@ void Engine::deliverPhaseImpl(unsigned WorkerId, SuperstepMetrics *SM) {
       Runs.erase(Runs.begin() + Best); // keep scan order for tie-breaks
   }
 
-  if (RecvCombine)
-    forEachOwned(WorkerId,
-                 [&](NodeId V) { InboxCount[V] = Cursor[V] - InboxOffset[V]; });
+  if (RecvCombine) {
+    if (TrackNext)
+      for (NodeId V : WS.NewReceived)
+        InboxCount[V] = Cursor[V] - InboxOffset[V];
+    else
+      forEachOwned(
+          WorkerId,
+          [&](NodeId V) { InboxCount[V] = Cursor[V] - InboxOffset[V]; });
+  }
 
   for (unsigned Sender = 0; Sender < W; ++Sender) {
     // Capacity kept; the sender refills them next superstep.
@@ -818,6 +1016,7 @@ void Engine::deliverPhaseImpl(unsigned WorkerId, SuperstepMetrics *SM) {
     SM->Workers[WorkerId].MessagesReceived = Received;
     SM->Workers[WorkerId].MirrorHits = WS.StepMirrorHits;
   }
+  Finish();
 }
 
 RunStats Engine::run(VertexProgram &Program) {
@@ -916,7 +1115,25 @@ RunStats Engine::run(VertexProgram &Program) {
     WS.BcastExpanded.assign(W, 0);
     WS.ActiveCount = Part.ownedCount(WorkerId);
     WS.GlobalsRevision = ~0ull;
+    WS.Frontier.clear();
+    WS.Survivors.clear();
+    WS.Received.clear();
+    WS.NewReceived.clear();
   }
+
+  // Schedule state (docs/scheduling.md). Superstep 0 runs every vertex (all
+  // start active), so its frontier estimate is N and Auto starts dense; a
+  // forced-sparse run seeds each worker's frontier with its owned list.
+  // Received lists are empty and every InboxCount is zero, so the first
+  // delivery's per-receiver reset is vacuous and correct.
+  ReceivedTracked = true;
+  NextSparse = false;
+  CurSparse = decideSparse(N);
+  if (CurSparse)
+    for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId) {
+      WorkerState &WS = Workers[WorkerId];
+      forEachOwned(WorkerId, [&](NodeId V) { WS.Frontier.push_back(V); });
+    }
 
   const bool UseThreads = Cfg.Threaded && W > 1;
   if (UseThreads && (!Pool || Pool->size() != W))
@@ -946,9 +1163,15 @@ RunStats Engine::run(VertexProgram &Program) {
     deliverPhase(WorkerId, CurSM);
   };
 
+  // The frontier estimate that selected the in-flight step's schedule; N
+  // for superstep 0 (every vertex starts active).
+  uint64_t NextEstimate = N;
+
   for (uint64_t Step = 0; Step < Cfg.MaxSupersteps; ++Step) {
     SuperstepMetrics SM;
     SuperstepMetrics *SMp = Cfg.CollectMetrics ? &SM : nullptr;
+    const bool StepSparse = CurSparse;
+    const uint64_t StepEstimate = NextEstimate;
     trace::ScopedSpan StepSpan(0, "superstep", tracecat::Superstep, Step);
 
     Clock::time_point MasterT0;
@@ -1003,7 +1226,7 @@ RunStats Engine::run(VertexProgram &Program) {
     // of the next inbox. Sent counts (a LALP broadcast record counts once)
     // feed the stats; delivered counts (broadcasts expanded per mirror)
     // size the inbox regions. They coincide whenever LALP is off.
-    uint64_t StepSent = 0;
+    uint64_t StepSent = 0, ActiveAfterTotal = 0;
     for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId) {
       WorkerState &WS = Workers[WorkerId];
       Globals.mergePendingFrom(WS.PrivateGlobals);
@@ -1012,6 +1235,7 @@ RunStats Engine::run(VertexProgram &Program) {
       Stats.NetworkBytes += WS.StepNetworkBytes;
       Stats.MirrorBytesSaved += WS.StepMirrorSaved;
       StepSent += WS.StepMessages;
+      ActiveAfterTotal += WS.ActiveCount;
     }
     uint64_t StepDelivered = 0;
     for (unsigned WorkerId = 0; WorkerId < W; ++WorkerId) {
@@ -1025,7 +1249,19 @@ RunStats Engine::run(VertexProgram &Program) {
       StepDelivered += Inbound;
     }
     Stats.Supersteps = Step + 1;
+    if (StepSparse)
+      ++Stats.SparseSupersteps;
     Stats.MessagesPerStep.push_back(StepSent);
+
+    // Pick the next superstep's schedule from global sums only (active after
+    // this step's voting + deliveries about to land), so the choice — and
+    // therefore every downstream iteration order — is identical under any
+    // worker count, partition strategy, or threading mode. The upcoming
+    // delivery also builds the frontier when the choice is sparse
+    // (NextSparse is read by the parallel delivery tasks; written only
+    // here, in the sequential slice).
+    NextEstimate = ActiveAfterTotal + StepDelivered;
+    NextSparse = decideSparse(NextEstimate);
     Globals.resolveBarrier();
     if (UsePacked)
       PackedInboxPool.resize(size_t(StepDelivered) * RecordBytes);
@@ -1045,6 +1281,10 @@ RunStats Engine::run(VertexProgram &Program) {
     if (SMp)
       SM.DeliverSeconds = secondsSince(DeliverT0);
     PendingMessageCount = StepDelivered;
+    // The delivery that just ran tracked receivers (and built frontiers) iff
+    // it was sparse-style; the next compute follows the same choice.
+    ReceivedTracked = NextSparse;
+    CurSparse = NextSparse;
     if (Lalp.enabled())
       for (const WorkerState &WS : Workers)
         Stats.MirrorHits += WS.StepMirrorHits;
@@ -1056,15 +1296,19 @@ RunStats Engine::run(VertexProgram &Program) {
         StepNetBytes += WS.StepNetworkBytes;
         StepMirrorSaved += WS.StepMirrorSaved;
       }
-      traceStepCounters(ActiveNow, StepSent, StepNetBytes, StepMirrorSaved);
+      traceStepCounters(ActiveNow, StepSent, StepNetBytes, StepMirrorSaved,
+                        StepEstimate, StepSparse);
     }
 
     if (SMp) {
       SM.Step = Step;
       SM.Label = MC.phaseLabel();
       SM.Messages = StepSent;
+      SM.Sparse = StepSparse;
+      SM.FrontierSize = StepEstimate;
       for (const WorkerStepMetrics &WM : SM.Workers) {
-        SM.ActiveVertices += WM.ActiveVertices;
+        SM.RanVertices += WM.RanVertices;
+        SM.ActiveAfter += WM.ActiveAfter;
         SM.NetworkMessages += WM.NetworkMessagesSent;
         SM.NetworkBytes += WM.BytesSent;
         SM.CombinerInput += WM.CombinerInput;

@@ -30,9 +30,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <random>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace gm {
@@ -50,6 +52,10 @@ class ThreadPool;
 /// breakdown (see Metrics.h). Render with the sinks in MetricsSink.h.
 struct RunStats {
   uint64_t Supersteps = 0;
+  /// Supersteps whose vertex phase iterated the explicit frontier instead of
+  /// scanning all owned vertices (see Config::Schedule / docs/scheduling.md).
+  /// 0 on a forced-dense run; Supersteps on a forced-sparse one.
+  uint64_t SparseSupersteps = 0;
   uint64_t TotalMessages = 0;
   uint64_t NetworkMessages = 0; ///< messages that crossed a worker boundary
   uint64_t NetworkBytes = 0;    ///< wire bytes of those messages
@@ -91,6 +97,22 @@ enum class ExecBackend {
           ///< falling back to the interpreter with a diagnostic
 };
 
+/// Per-superstep traversal schedule (Ligra/GraphIt direction choice, see
+/// docs/scheduling.md). Dense scans every owned vertex; Sparse iterates the
+/// explicit frontier (vertices that are active or received messages). Auto
+/// picks per superstep by comparing the frontier estimate against the graph
+/// size. Results are bit-identical under every mode — only the iteration
+/// machinery changes.
+enum class ScheduleMode : uint8_t {
+  Auto,  ///< threshold-switch per superstep (the default)
+  Dense, ///< always full-scan (the historical behaviour)
+  Sparse ///< always frontier-iterate
+};
+
+const char *scheduleModeName(ScheduleMode M);
+/// Parses "auto" / "dense" / "sparse"; nullopt on anything else.
+std::optional<ScheduleMode> parseScheduleMode(std::string_view Name);
+
 struct Config {
   unsigned NumWorkers = 4;
   bool Threaded = false;     ///< real std::thread workers vs. sequential sim
@@ -120,6 +142,15 @@ struct Config {
   /// Execution backend for compiled programs (see ExecBackend). Results are
   /// bit-identical across backends; only hot-path cost changes.
   ExecBackend Backend = ExecBackend::Interp;
+  /// Per-superstep sparse/dense traversal schedule (docs/scheduling.md).
+  /// Auto switches to frontier iteration whenever
+  /// active_after + delivered_messages < numNodes / ScheduleSparseDivisor;
+  /// Dense / Sparse force one path. Results are bit-identical in all modes.
+  ScheduleMode Schedule = ScheduleMode::Auto;
+  /// The Auto threshold divisor: sparse when the frontier estimate is below
+  /// numNodes / this. Ligra-style default of 8 (sparse only when well under
+  /// an eighth of the graph fronts the step).
+  uint32_t ScheduleSparseDivisor = 8;
   /// Pregel message combiners: messages of a listed type heading to the
   /// same destination are reduced at the sending worker before they hit
   /// the wire (single-field payloads only). Empty = no combining.
@@ -369,6 +400,20 @@ private:
   std::vector<uint32_t> Cursor;      ///< scatter cursors (per vertex)
   std::vector<uint8_t> Active;
   uint64_t PendingMessageCount = 0;
+
+  /// Schedule state for the superstep in flight (docs/scheduling.md). All
+  /// three are written only in the sequential coordination slices of run(),
+  /// so workers may read them race-free during their parallel phases.
+  bool CurSparse = false;  ///< this step's compute iterates the frontier
+  bool NextSparse = false; ///< the upcoming delivery builds the next frontier
+  /// The previous delivery recorded exactly which vertices received messages
+  /// (WorkerState::Received), so stale InboxCount entries can be reset per
+  /// frontier vertex instead of per owned vertex. False after a dense-style
+  /// delivery; the next sparse delivery then falls back to one full reset.
+  bool ReceivedTracked = false;
+  /// Whether Config::Schedule (resolved against the graph size) selects the
+  /// sparse path for a step whose frontier estimate is \p Estimate.
+  bool decideSparse(uint64_t Estimate) const;
 
   /// Packed-format run state, derived once per run() from the program's
   /// MessageLayout (empty layout or Config::Format == Boxed => boxed path).

@@ -17,12 +17,14 @@ void pregel::traceNameLanes(unsigned NumWorkers) {
 }
 
 void pregel::traceStepCounters(uint64_t ActiveVertices, uint64_t Messages,
-                               uint64_t NetworkBytes,
-                               uint64_t MirrorBytesSaved) {
+                               uint64_t NetworkBytes, uint64_t MirrorBytesSaved,
+                               uint64_t FrontierSize, bool Sparse) {
   if (!trace::enabled())
     return;
   trace::counter("active_vertices", ActiveVertices);
   trace::counter("messages", Messages);
   trace::counter("network_bytes", NetworkBytes);
   trace::counter("mirror_bytes_saved", MirrorBytesSaved);
+  trace::counter("frontier_size", FrontierSize);
+  trace::counter("sparse_mode", Sparse ? 1 : 0);
 }

@@ -13,9 +13,12 @@
 ///   lane w + 1  — engine worker w: compute / combine / deliver spans and
 ///                 the barrier-wait complete events
 ///
-/// Span names on worker lanes: "compute" (vertex loop), "combine"
-/// (sender-side combining + wire tally), "deliver" (inbox merge),
-/// "barrier-wait" (task end to barrier release; threaded runs only).
+/// Span names on worker lanes: "compute" / "compute-sparse" (vertex loop;
+/// the -sparse variant iterated the explicit frontier, docs/scheduling.md),
+/// "combine" (sender-side combining + wire tally), "deliver" /
+/// "deliver-sparse" (inbox merge; the -sparse variant also built the next
+/// frontier), "barrier-wait" (task end to barrier release; threaded runs
+/// only).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,10 +46,12 @@ inline constexpr const char *Setup = "setup"; ///< load / partition / plan
 void traceNameLanes(unsigned NumWorkers);
 
 /// Emits the per-superstep counter tracks (active vertices, messages sent,
-/// network bytes, LALP-saved bytes) on lane 0. Call from the main thread at
-/// the end of a superstep. No-op when off.
+/// network bytes, LALP-saved bytes, the schedule's frontier estimate, and a
+/// 0/1 sparse-mode marker) on lane 0. Call from the main thread at the end
+/// of a superstep. No-op when off.
 void traceStepCounters(uint64_t ActiveVertices, uint64_t Messages,
-                       uint64_t NetworkBytes, uint64_t MirrorBytesSaved);
+                       uint64_t NetworkBytes, uint64_t MirrorBytesSaved,
+                       uint64_t FrontierSize, bool Sparse);
 
 } // namespace gm::pregel
 

@@ -147,7 +147,7 @@ TEST(Cli, StatsJsonRunRoundTrip) {
   std::string Err;
   EXPECT_TRUE(gm::json::validate(Doc, &Err)) << Err;
   EXPECT_NE(Doc.find("\"schema\": \"gm.run-report\""), std::string::npos);
-  EXPECT_NE(Doc.find("\"version\": 2"), std::string::npos);
+  EXPECT_NE(Doc.find("\"version\": 3"), std::string::npos);
   EXPECT_NE(Doc.find("\"supersteps\""), std::string::npos);
   EXPECT_NE(Doc.find("\"workers\""), std::string::npos);
   EXPECT_NE(Doc.find("\"compute_seconds\""), std::string::npos);
@@ -157,6 +157,14 @@ TEST(Cli, StatsJsonRunRoundTrip) {
   EXPECT_NE(Doc.find("\"combine_seconds\""), std::string::npos);
   EXPECT_NE(Doc.find("\"deliver_seconds\""), std::string::npos);
   EXPECT_NE(Doc.find("\"peak_rss_bytes\""), std::string::npos);
+  // Schema v3 additions: the ran/active-after split and the per-step
+  // traversal schedule (docs/scheduling.md).
+  EXPECT_NE(Doc.find("\"ran_vertices\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"active_after\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"schedule_mode\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"frontier_size\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"sparse_supersteps\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"schedule\": \"auto\""), std::string::npos);
   EXPECT_NE(Doc.find("\"halt\": \"master-halt\""), std::string::npos);
   EXPECT_NE(Doc.find("\"compiler\""), std::string::npos);
   EXPECT_NE(Doc.find("\"translate\""), std::string::npos);

@@ -442,8 +442,12 @@ TEST(PregelMetrics, PerSuperstepMessageCounts) {
   EXPECT_EQ(Stats.Steps[0].Messages, 4u);
   EXPECT_EQ(Stats.Steps[1].Messages, 0u);
   // Step 0 runs all 4 vertices; step 1 only the 4 message receivers.
-  EXPECT_EQ(Stats.Steps[0].ActiveVertices, 4u);
-  EXPECT_EQ(Stats.Steps[1].ActiveVertices, 4u);
+  EXPECT_EQ(Stats.Steps[0].RanVertices, 4u);
+  EXPECT_EQ(Stats.Steps[1].RanVertices, 4u);
+  // BroadcastOnceProgram never votes to halt (the master ends the run), so
+  // every vertex stays active after both steps.
+  EXPECT_EQ(Stats.Steps[0].ActiveAfter, 4u);
+  EXPECT_EQ(Stats.Steps[1].ActiveAfter, 4u);
   EXPECT_GE(Stats.Steps[0].timeImbalance(), 1.0);
 }
 
@@ -556,7 +560,7 @@ TEST(PregelMetrics, ThreadedWorkersFillOwnSlots) {
   ASSERT_EQ(Stats.Steps[0].Workers.size(), 4u);
   uint64_t Ran = 0;
   for (const WorkerStepMetrics &W : Stats.Steps[0].Workers)
-    Ran += W.ActiveVertices;
+    Ran += W.RanVertices;
   EXPECT_EQ(Ran, 500u);
 }
 
