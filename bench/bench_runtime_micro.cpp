@@ -386,6 +386,110 @@ int runMessageSweep(int Reps, const std::string &JsonPath, bool Smoke) {
     }
   }
 
+  // Compiled-IR leg: the wire schema of every bundled algorithm with the
+  // dataflow cleanup passes on vs off. Message-field pruning may only ever
+  // shrink the packed record (a program whose translator-emitted payloads
+  // are all live keeps its size bit for bit) — a growth here means the
+  // pruner re-indexed into a bigger layout, which the gate turns into a
+  // failure. Also runs two of them to pin that the optimized IR moves no
+  // more bytes than the unoptimized one.
+  hr('=');
+  std::printf("Compiled-IR dataflow passes: packed record pre/post prune\n");
+  std::printf("%-20s %12s %12s\n", "program", "pre-prune", "post-prune");
+  const char *CompiledAlgos[] = {
+      "pagerank",    "pagerank_weighted",  "sssp",
+      "comp_label",  "avg_teen",           "conductance",
+      "degree_stats", "bipartite_matching", "bc_approx"};
+  auto PackedRecordBytes = [](const pir::PregelProgram &P) -> unsigned {
+    pregel::MessageLayout Layout = pir::deriveMessageLayout(P);
+    return Layout.empty() ? static_cast<unsigned>(sizeof(pregel::Message))
+                          : Layout.recordSize();
+  };
+  CompileOptions NoDF;
+  NoDF.DataflowOpts = false;
+  for (const char *Name : CompiledAlgos) {
+    CompileResult Pre = compileAlgorithm(Name, NoDF);
+    CompileResult Post = compileAlgorithm(Name);
+    unsigned PreB = PackedRecordBytes(*Pre.Program);
+    unsigned PostB = PackedRecordBytes(*Post.Program);
+    std::printf("%-20s %12u %12u%s\n", Name, PreB, PostB,
+                PostB < PreB ? "  (pruned)" : "");
+    if (PostB > PreB) {
+      std::fprintf(stderr,
+                   "FAIL: %s: message-field pruning grew the packed record "
+                   "(%u B -> %u B)\n",
+                   Name, PreB, PostB);
+      ++Failures;
+    }
+  }
+  hr();
+
+  // Run leg: compiled PageRank and SSSP, optimized vs unoptimized IR, on
+  // the sweep's graph. The cleanup passes must be invisible on the wire:
+  // same message count, and never more network bytes.
+  for (const char *Algo : {"pagerank", "sssp"}) {
+    uint64_t PreBytes = 0, PreMsgs = 0;
+    for (bool Optimized : {false, true}) {
+      CompileResult C =
+          compileAlgorithm(Algo, Optimized ? CompileOptions{} : NoDF);
+      exec::ExecArgs Args;
+      if (std::strcmp(Algo, "pagerank") == 0) {
+        Args.Scalars["e"] = Value::makeDouble(0.0);
+        Args.Scalars["d"] = Value::makeDouble(0.85);
+        Args.Scalars["max_iter"] = Value::makeInt(5);
+      } else {
+        Args.Scalars["root"] = Value::makeInt(0);
+        std::vector<Value> LenVals(Len.size());
+        for (size_t I = 0; I < Len.size(); ++I)
+          LenVals[I] = Value::makeInt(Len[I]);
+        Args.EdgeProps["len"] = std::move(LenVals);
+      }
+      pregel::Config Cfg;
+      Cfg.NumWorkers = 8;
+      Cfg.Threaded = true;
+      Cfg.CollectMetrics = false;
+      pregel::RunStats Stats =
+          exec::runProgram(*C.Program, G, std::move(Args), Cfg);
+      unsigned RecB = PackedRecordBytes(*C.Program);
+      std::printf("%-10s %-10s rec-bytes %3u | messages %12llu net-bytes "
+                  "%12llu\n",
+                  Algo, Optimized ? "optimized" : "unoptimized", RecB,
+                  static_cast<unsigned long long>(Stats.TotalMessages),
+                  static_cast<unsigned long long>(Stats.NetworkBytes));
+      if (!Optimized) {
+        PreBytes = Stats.NetworkBytes;
+        PreMsgs = Stats.TotalMessages;
+      } else if (Stats.TotalMessages != PreMsgs ||
+                 Stats.NetworkBytes > PreBytes) {
+        std::fprintf(stderr,
+                     "FAIL: %s: optimized IR changed the wire (messages %llu "
+                     "vs %llu, bytes %llu vs %llu baseline)\n",
+                     Algo,
+                     static_cast<unsigned long long>(Stats.TotalMessages),
+                     static_cast<unsigned long long>(PreMsgs),
+                     static_cast<unsigned long long>(Stats.NetworkBytes),
+                     static_cast<unsigned long long>(PreBytes));
+        ++Failures;
+      }
+
+      pregel::RunMetadata Meta;
+      Meta.Program = std::string(Algo) +
+                     (Optimized ? "/compiled-opt" : "/compiled-noopt");
+      Meta.Graph = "rmat(" + std::to_string(Nodes) + "," +
+                   std::to_string(Edges) + ")";
+      Meta.NumNodes = G.numNodes();
+      Meta.NumEdges = G.numEdges();
+      Meta.Workers = 8;
+      Meta.Threaded = true;
+      Meta.Seed = Seed;
+      Meta.HostCores = HostCores;
+      Meta.MessageFormat = "packed";
+      Meta.MailboxRecordBytes = RecB;
+      Sink.report(Meta, Stats);
+    }
+  }
+  hr();
+
   std::string Err;
   if (!Sink.close(&Err)) {
     std::fprintf(stderr, "bench_runtime_micro: %s\n", Err.c_str());

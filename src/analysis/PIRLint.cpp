@@ -2,6 +2,8 @@
 
 #include "analysis/PIRLint.h"
 
+#include "analysis/DataFlow.h"
+
 #include <algorithm>
 #include <deque>
 #include <functional>
@@ -83,6 +85,7 @@ public:
     checkMessageProtocol();
     checkInNbrs();
     checkRandomWrites();
+    checkDeadData();
     return std::move(Findings);
   }
 
@@ -202,6 +205,29 @@ private:
                     "reduction");
         });
       });
+  }
+
+  void checkDeadData() {
+    // Dataflow-derived hygiene (docs/analysis.md "Dataflow analyses"). With
+    // the default pipeline these fire only on hand-built IR or under
+    // --no-dataflow-opts: the cleanup passes remove exactly what they flag.
+    DataFlowInfo DF = analyzeDataFlow(P);
+    for (size_t I = 0; I < P.NodeProps.size(); ++I)
+      if (DF.slotDead(P, static_cast<int>(I)))
+        add(CheckSeverity::Warning, "dead-slot", "",
+            "node property '" + P.NodeProps[I].Name +
+                "' is never read: every write to it is wasted memory "
+                "traffic (dead-slot elimination would remove it)");
+    for (size_t T = 0; T < P.MsgTypes.size(); ++T) {
+      const ChannelFacts &Ch = DF.Channels[T];
+      for (size_t F = 0; F < Ch.FieldRead.size(); ++F)
+        if (!Ch.FieldRead[F])
+          add(CheckSeverity::Warning, "dead-message-field", "",
+              "message '" + P.MsgTypes[T].Name + "' field " +
+                  std::to_string(F) + " ('" + P.MsgTypes[T].Fields[F].Name +
+                  "') is never read by any handler: it travels the network "
+                  "for nothing (message-field pruning would drop it)");
+    }
   }
 
   const PregelProgram &P;

@@ -3,10 +3,12 @@
 #include "driver/Compiler.h"
 
 #include "analysis/CanonicalChecker.h"
+#include "analysis/DataFlow.h"
 #include "analysis/PIRLint.h"
 #include "analysis/PIRVerifier.h"
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
+#include "opt/DataFlowOpt.h"
 #include "opt/Optimizer.h"
 #include "support/PassStatistics.h"
 #include "transform/Transforms.h"
@@ -117,8 +119,65 @@ CompileResult gm::compileGreenMarl(const std::string &Source,
     if (!VerifyAfter("intra-loop-merging"))
       return R;
   }
+  if (Options.DataflowOpts) {
+    // Fold -> prune -> eliminate, iterated: folding exposes dead message
+    // fields (constant payloads read nowhere) and copy-forwarding exposes
+    // write-only slots, so each pass can feed the next. Four rounds bound
+    // the fixpoint comfortably for every bundled program.
+    for (int Round = 0; Round < 4; ++Round) {
+      bool Changed = false;
+      {
+        Timer T(Stats, "const-fold-dataflow");
+        Changed |= constFoldDataflow(*R.Program, Stats);
+      }
+      if (!VerifyAfter("const-fold-dataflow"))
+        return R;
+      {
+        Timer T(Stats, "msg-field-prune");
+        Changed |= pruneMessageFields(*R.Program, Stats);
+      }
+      if (!VerifyAfter("msg-field-prune"))
+        return R;
+      {
+        Timer T(Stats, "dead-slot-elim");
+        Changed |= eliminateDeadSlots(*R.Program, Stats);
+      }
+      if (!VerifyAfter("dead-slot-elim"))
+        return R;
+      if (Changed)
+        R.Features.insert(feature::DataflowOpts);
+      else
+        break;
+    }
+  }
   if (Stats)
     Stats->setCounter("ir.states.post-opt", R.Program->States.size());
+
+  // Final analysis sweep: attach the static schedule hint to the program
+  // (consumed by the runtime under --schedule auto) and surface the
+  // analysis verdicts as counters.
+  {
+    Timer T(Stats, "dataflow-analysis");
+    pir::DataFlowInfo Info = pir::analyzeDataFlow(*R.Program);
+    R.Program->ScheduleHint = Info.Hint;
+    if (Stats) {
+      Stats->setCounter("analysis.dead-slots",
+                        Info.countDeadSlots(*R.Program));
+      Stats->setCounter("analysis.dead-msg-fields", Info.countDeadMsgFields());
+      size_t ConstGlobals = 0, ConstSlots = 0, ReachableStates = 0;
+      for (const pir::ConstVal &C : Info.GlobalVal)
+        ConstGlobals += C.isConst();
+      for (const pir::ConstVal &C : Info.SlotVal)
+        ConstSlots += C.isConst();
+      for (bool B : Info.Reachable)
+        ReachableStates += B;
+      Stats->setCounter("analysis.const-globals", ConstGlobals);
+      Stats->setCounter("analysis.const-slots", ConstSlots);
+      Stats->setCounter("analysis.reachable-states", ReachableStates);
+      Stats->setCounter("analysis.schedule-hint",
+                        static_cast<uint64_t>(Info.Hint));
+    }
+  }
 
   {
     Timer T(Stats, "verify-ir");

@@ -27,6 +27,10 @@ struct CompileOptions {
   bool StateMerging = true;
   /// §4.2 "Intra-Loop State Merging".
   bool IntraLoopMerging = true;
+  /// Dataflow-driven cleanup passes (opt/DataFlowOpt.h): constant folding,
+  /// message-field pruning and dead-slot elimination, iterated to a
+  /// fixpoint. Independent of the §4.2 passes (gmpc --no-dataflow-opts).
+  bool DataflowOpts = true;
   /// Procedure to compile; empty = the first one in the file.
   std::string ProcedureName;
   /// Run the strict verifier after translation and after every

@@ -7,6 +7,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/DataFlow.h"
 #include "driver/Compiler.h"
 #include "exec/Backend.h"
 #include "frontend/ASTPrinter.h"
@@ -50,9 +51,11 @@ Compilation output:
   --features           print the applied compiler steps (Table 3 row)
   --loc                print generated-Java line count
 
-Optimization toggles (both on by default):
+Optimization toggles (all on by default):
   --no-state-merging
   --no-intra-loop-merging
+  --no-dataflow-opts   disable the dataflow cleanup passes (constant folding,
+                       message-field pruning, dead-slot elimination)
 
 Static analysis (docs/analysis.md):
   --verify-each        re-run the strict IR verifier after translation and
@@ -60,6 +63,10 @@ Static analysis (docs/analysis.md):
   --lint               run the state-machine / message-protocol linter on the
                        optimized IR
   --Werror             treat lint warnings as errors
+  --analyze            print the dataflow-analysis report for the optimized
+                       IR: state CFG with frontier shapes, slot and
+                       message-field liveness, constant verdicts, and the
+                       static schedule hint
 
 Execution (interprets the compiled program on the bundled BSP runtime):
   --run                          run after compiling
@@ -126,7 +133,7 @@ int main(int argc, char **argv) {
   bool EmitGiraph = false;
   std::string EmitCppPath;
   pregel::ExecBackend Backend = pregel::ExecBackend::Interp;
-  bool ShowFeatures = false, ShowLoc = false, Run = false;
+  bool ShowFeatures = false, ShowLoc = false, Run = false, Analyze = false;
   bool ShowStats = false, ShowTrace = false;
   std::string StatsJsonPath;
   std::string TraceJsonPath;
@@ -188,6 +195,10 @@ int main(int argc, char **argv) {
       Opts.StateMerging = false;
     else if (A == "--no-intra-loop-merging")
       Opts.IntraLoopMerging = false;
+    else if (A == "--no-dataflow-opts")
+      Opts.DataflowOpts = false;
+    else if (A == "--analyze")
+      Analyze = true;
     else if (A == "--verify-each")
       Opts.VerifyEach = true;
     else if (A == "--lint")
@@ -282,7 +293,7 @@ int main(int argc, char **argv) {
   if (!DumpCanonical && !EmitJava && !EmitGiraph && EmitCppPath.empty() &&
       !ShowFeatures && !ShowLoc && !Run && !ShowStats &&
       StatsJsonPath.empty() && TraceJsonPath.empty() && !Opts.Lint &&
-      !Opts.VerifyEach)
+      !Opts.VerifyEach && !Analyze)
     DumpIR = true;
 
   // Human-readable output is re-routed to stderr whenever a machine-readable
@@ -333,6 +344,10 @@ int main(int argc, char **argv) {
     std::printf("%s", printProcedure(R.Proc).c_str());
   if (DumpIR)
     std::printf("%s", pir::printProgram(*R.Program).c_str());
+  if (Analyze)
+    std::printf("%s", pir::renderDataFlow(*R.Program,
+                                          pir::analyzeDataFlow(*R.Program))
+                          .c_str());
   if (EmitJava)
     std::printf("%s", pir::emitJava(*R.Program).c_str());
   if (EmitGiraph)

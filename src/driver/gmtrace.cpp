@@ -43,6 +43,7 @@ Options:
 /// One closed span, reconstructed from a B/E pair or an X event.
 struct Span {
   std::string Name;
+  std::string Cat; ///< trace-event category ("compiler", "phase", ...)
   int64_t Tid = 0;
   double StartUs = 0;
   double DurUs = 0;
@@ -106,6 +107,7 @@ bool analyze(const Node &Doc, Analysis &A, std::string *Err) {
     if (Ph == "B") {
       Span S;
       S.Name = E.strAt("name");
+      S.Cat = E.strAt("cat");
       S.Tid = Tid;
       S.StartUs = E.numAt("ts");
       if (const Node *Args = E.find("args"))
@@ -128,6 +130,7 @@ bool analyze(const Node &Doc, Analysis &A, std::string *Err) {
     if (Ph == "X") {
       Span S;
       S.Name = E.strAt("name");
+      S.Cat = E.strAt("cat");
       S.Tid = Tid;
       S.StartUs = E.numAt("ts");
       S.DurUs = E.numAt("dur");
@@ -167,6 +170,32 @@ void report(const Analysis &A, unsigned TopK) {
     std::printf("%-18s %12.6f %8zu %12.1f\n", Name.c_str(),
                 Tot.first / 1e6, Tot.second,
                 Tot.second ? Tot.first / static_cast<double>(Tot.second) : 0.0);
+
+  // Compiler-pass breakdown: PassStatistics mirrors every pass timing as a
+  // cat="compiler" X span on lane 0 (tracePassTiming), so a trace of a
+  // gmpc invocation carries the whole compile pipeline. Listed in
+  // execution order — the order the passes actually ran, repeats included
+  // (the dataflow cleanup passes iterate to a fixpoint).
+  std::vector<const Span *> CompilerSpans;
+  for (const Span &S : A.Spans)
+    if (S.Cat == "compiler")
+      CompilerSpans.push_back(&S);
+  if (!CompilerSpans.empty()) {
+    std::sort(CompilerSpans.begin(), CompilerSpans.end(),
+              [](const Span *L, const Span *R) {
+                return L->StartUs < R->StartUs;
+              });
+    double CompileUs = 0;
+    for (const Span *S : CompilerSpans)
+      CompileUs += S->DurUs;
+    std::printf("\ncompiler passes (%zu, total %.6f s, in execution "
+                "order):\n",
+                CompilerSpans.size(), CompileUs / 1e6);
+    std::printf("%-24s %12s %8s\n", "pass", "wall(us)", "share");
+    for (const Span *S : CompilerSpans)
+      std::printf("%-24s %12.1f %7.1f%%\n", S->Name.c_str(), S->DurUs,
+                  CompileUs > 0 ? 100.0 * S->DurUs / CompileUs : 0.0);
+  }
 
   // Per-worker load: compute wall per lane ("compute" and "compute-sparse"
   // spans together); imbalance = max/mean. The master lane carries no

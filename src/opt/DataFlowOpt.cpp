@@ -1,0 +1,583 @@
+//===- opt/DataFlowOpt.cpp --------------------------------------------------===//
+
+#include "opt/DataFlowOpt.h"
+
+#include "analysis/DataFlow.h"
+#include "opt/Optimizer.h"
+#include "support/PassStatistics.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace gm;
+using namespace gm::pir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared-node bookkeeping
+//===----------------------------------------------------------------------===//
+
+/// State merging can leave one VStmt subtree referenced from two states
+/// (e.g. the intra-loop `_is_first` wrapping). Context-dependent rewrites
+/// (copy forwarding, message-field substitution/reindexing) must skip such
+/// nodes: the same tree would need two different rewrites.
+std::set<const VStmt *> collectSharedVStmts(const PregelProgram &P) {
+  std::map<const VStmt *, int> Count;
+  std::function<void(const std::vector<VStmt *> &)> Walk =
+      [&](const std::vector<VStmt *> &Body) {
+        for (const VStmt *V : Body) {
+          if (!V)
+            continue;
+          if (++Count[V] > 1)
+            continue; // children already counted on the first visit
+          Walk(V->Then);
+          Walk(V->Else);
+        }
+      };
+  for (const PState &S : P.States)
+    Walk(S.VertexCode);
+  std::set<const VStmt *> Shared;
+  // A node under a shared parent is shared too; propagate by rewalking.
+  std::function<void(const std::vector<VStmt *> &, bool)> Mark =
+      [&](const std::vector<VStmt *> &Body, bool UnderShared) {
+        for (const VStmt *V : Body) {
+          if (!V)
+            continue;
+          bool S = UnderShared || Count[V] > 1;
+          if (S)
+            Shared.insert(V);
+          Mark(V->Then, S);
+          Mark(V->Else, S);
+        }
+      };
+  for (const PState &S : P.States)
+    Mark(S.VertexCode, false);
+  return Shared;
+}
+
+/// All node-prop slots assigned anywhere in a statement subtree.
+void collectWrites(const std::vector<VStmt *> &Body, std::set<int> &Out) {
+  for (const VStmt *V : Body) {
+    if (!V)
+      continue;
+    if (V->K == VStmtKind::Assign)
+      Out.insert(V->Index);
+    collectWrites(V->Then, Out);
+    collectWrites(V->Else, Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ConstFoldDataflow
+//===----------------------------------------------------------------------===//
+
+class ConstFolder {
+public:
+  ConstFolder(PregelProgram &P, PassStatistics *Stats)
+      : P(P), Stats(Stats), Info(analyzeDataFlow(P)),
+        Combinable(inferCombiners(P)), Shared(collectSharedVStmts(P)) {}
+
+  bool run() {
+    for (PState &S : P.States) {
+      foldMList(S.TransCode);
+      foldVList(S.VertexCode, /*MsgType=*/-1, /*InShared=*/false);
+      std::map<int, PExpr *> Fwd;
+      forwardList(S.VertexCode, Fwd);
+    }
+    if (Stats) {
+      Stats->addCounter("opt.const-folds", Folds);
+      Stats->addCounter("opt.copy-forwards", CopyForwards);
+      Stats->addCounter("opt.branches-elided", BranchesElided);
+    }
+    return Folds + CopyForwards + BranchesElided > 0;
+  }
+
+private:
+  PExpr *constExpr(Value V) {
+    ++Folds;
+    return P.constExpr(V);
+  }
+
+  bool isConst(const PExpr *E, bool Val) const {
+    return E->K == PExprKind::Const && E->ConstVal.kind() == ValueKind::Bool &&
+           E->ConstVal.getBool() == Val;
+  }
+
+  /// Rewrites one expression tree bottom-up; returns the replacement.
+  /// MsgType is the enclosing handler's message type (-1 outside);
+  /// InShared suppresses the context-dependent message-field substitution.
+  PExpr *foldExpr(PExpr *E, int MsgType, bool InShared) {
+    if (!E)
+      return E;
+    switch (E->K) {
+    case PExprKind::GlobalRead:
+      if (Info.GlobalVal[E->Index].isConst())
+        return constExpr(Info.GlobalVal[E->Index].V);
+      return E;
+    case PExprKind::PropRead:
+      if (Info.SlotVal[E->Index].isConst())
+        return constExpr(Info.SlotVal[E->Index].V);
+      return E;
+    case PExprKind::MsgField:
+      // Folding a combinable type's field would detach the handler from
+      // the payload and change what the combiner pre-reduces; keep those.
+      if (!InShared && MsgType >= 0 && !Combinable.count(MsgType) &&
+          Info.Channels[MsgType].FieldVal[E->Index].isConst())
+        return constExpr(Info.Channels[MsgType].FieldVal[E->Index].V);
+      return E;
+    case PExprKind::Binary: {
+      E->A = foldExpr(E->A, MsgType, InShared);
+      E->B = foldExpr(E->B, MsgType, InShared);
+      // Short-circuit identities (all operands are pure, so dropping one
+      // is unobservable).
+      if (E->BinOp == BinaryOpKind::And) {
+        if (isConst(E->A, false) || isConst(E->B, false))
+          return constExpr(Value::makeBool(false));
+        if (isConst(E->A, true))
+          return E->B;
+        if (isConst(E->B, true))
+          return E->A;
+      }
+      if (E->BinOp == BinaryOpKind::Or) {
+        if (isConst(E->A, true) || isConst(E->B, true))
+          return constExpr(Value::makeBool(true));
+        if (isConst(E->A, false))
+          return E->B;
+        if (isConst(E->B, false))
+          return E->A;
+      }
+      if (E->A->K == PExprKind::Const && E->B->K == PExprKind::Const)
+        if (std::optional<Value> V =
+                foldBinary(E->BinOp, E->A->ConstVal, E->B->ConstVal, E->Ty))
+          return constExpr(*V);
+      return E;
+    }
+    case PExprKind::Unary:
+      E->A = foldExpr(E->A, MsgType, InShared);
+      if (E->A->K == PExprKind::Const)
+        if (std::optional<Value> V = foldUnary(E->UnOp, E->A->ConstVal))
+          return constExpr(*V);
+      return E;
+    case PExprKind::Ternary:
+      E->A = foldExpr(E->A, MsgType, InShared);
+      E->B = foldExpr(E->B, MsgType, InShared);
+      E->C = foldExpr(E->C, MsgType, InShared);
+      if (E->A->K == PExprKind::Const) {
+        ++Folds;
+        return E->A->ConstVal.asBool() ? E->B : E->C;
+      }
+      return E;
+    case PExprKind::Cast:
+      E->A = foldExpr(E->A, MsgType, InShared);
+      if (E->A->K == PExprKind::Const)
+        if (std::optional<Value> V = foldCast(E->A->ConstVal, E->Ty))
+          return constExpr(*V);
+      return E;
+    default:
+      return E;
+    }
+  }
+
+  void foldVList(std::vector<VStmt *> &List, int MsgType, bool InShared) {
+    std::vector<VStmt *> Out;
+    Out.reserve(List.size());
+    for (VStmt *V : List) {
+      if (!V)
+        continue;
+      bool NodeShared = InShared || Shared.count(V) != 0;
+      V->Cond = foldExpr(V->Cond, MsgType, NodeShared);
+      V->Value = foldExpr(V->Value, MsgType, NodeShared);
+      for (PExpr *&Pay : V->Payload)
+        Pay = foldExpr(Pay, MsgType, NodeShared);
+      if (V->K == VStmtKind::If && V->Cond &&
+          V->Cond->K == PExprKind::Const) {
+        // Splice the taken branch in place of the If.
+        std::vector<VStmt *> &Taken =
+            V->Cond->ConstVal.asBool() ? V->Then : V->Else;
+        foldVList(Taken, MsgType, NodeShared);
+        Out.insert(Out.end(), Taken.begin(), Taken.end());
+        ++BranchesElided;
+        continue;
+      }
+      foldVList(V->Then, V->K == VStmtKind::OnMessage ? V->Index : MsgType,
+                NodeShared);
+      foldVList(V->Else, MsgType, NodeShared);
+      Out.push_back(V);
+    }
+    List = std::move(Out);
+  }
+
+  void foldMList(std::vector<MStmt *> &List) {
+    std::vector<MStmt *> Out;
+    Out.reserve(List.size());
+    for (MStmt *M : List) {
+      if (!M)
+        continue;
+      M->Cond = foldExpr(M->Cond, -1, false);
+      M->Value = foldExpr(M->Value, -1, false);
+      if (M->K == MStmtKind::If && M->Cond &&
+          M->Cond->K == PExprKind::Const) {
+        std::vector<MStmt *> &Taken =
+            M->Cond->ConstVal.asBool() ? M->Then : M->Else;
+        foldMList(Taken);
+        Out.insert(Out.end(), Taken.begin(), Taken.end());
+        ++BranchesElided;
+        continue;
+      }
+      foldMList(M->Then);
+      foldMList(M->Else);
+      Out.push_back(M);
+    }
+    List = std::move(Out);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Copy forwarding
+  //===--------------------------------------------------------------------===//
+
+  /// Replaces reads of forwarded slots inside one expression tree.
+  PExpr *substExpr(PExpr *E, const std::map<int, PExpr *> &Fwd) {
+    if (!E)
+      return E;
+    if (E->K == PExprKind::PropRead) {
+      auto It = Fwd.find(E->Index);
+      if (It != Fwd.end()) {
+        ++CopyForwards;
+        return It->second;
+      }
+      return E;
+    }
+    E->A = substExpr(E->A, Fwd);
+    E->B = substExpr(E->B, Fwd);
+    E->C = substExpr(E->C, Fwd);
+    return E;
+  }
+
+  /// Drops every forwarding invalidated by a write to \p Slot: the
+  /// forwarded slot itself and any forwarding whose source reads it.
+  static void invalidate(std::map<int, PExpr *> &Fwd, int Slot) {
+    Fwd.erase(Slot);
+    for (auto It = Fwd.begin(); It != Fwd.end();)
+      if (It->second->K == PExprKind::PropRead && It->second->Index == Slot)
+        It = Fwd.erase(It);
+      else
+        ++It;
+  }
+
+  /// Forward substitution of single-copy assignments within one statement
+  /// list, justified by statement-level reaching definitions: after
+  /// `this.a = this.b` (or a constant), reads of `a` may use the source
+  /// until either side is written again. Bodies that run conditionally
+  /// (If) or repeatedly (OnMessage, ForEachOutEdge) are entered with a
+  /// pruned map and invalidate their writes on exit.
+  void forwardList(std::vector<VStmt *> &List, std::map<int, PExpr *> &Fwd) {
+    for (VStmt *V : List) {
+      if (!V)
+        continue;
+      if (Shared.count(V)) {
+        // Two states reference this tree; a context-dependent rewrite
+        // would have to differ between them. Invalidate its writes and
+        // move on.
+        std::set<int> W;
+        collectWrites({V}, W);
+        for (int Slot : W)
+          invalidate(Fwd, Slot);
+        continue;
+      }
+      V->Cond = substExpr(V->Cond, Fwd);
+      V->Value = substExpr(V->Value, Fwd);
+      for (PExpr *&Pay : V->Payload)
+        Pay = substExpr(Pay, Fwd);
+      switch (V->K) {
+      case VStmtKind::Assign: {
+        invalidate(Fwd, V->Index);
+        PExpr *Src = V->Value;
+        bool Forwardable =
+            V->Reduce == ReduceKind::None && Src &&
+            (Src->K == PExprKind::Const ||
+             (Src->K == PExprKind::PropRead && Src->Index != V->Index)) &&
+            // The column store coerces to the declared kind; only forward
+            // when no coercion happens, so reads see identical values.
+            Src->Ty == P.NodeProps[V->Index].Ty;
+        if (Forwardable)
+          Fwd[V->Index] = Src;
+        break;
+      }
+      case VStmtKind::If: {
+        std::map<int, PExpr *> ThenFwd = Fwd, ElseFwd = Fwd;
+        forwardList(V->Then, ThenFwd);
+        forwardList(V->Else, ElseFwd);
+        std::set<int> W;
+        collectWrites(V->Then, W);
+        collectWrites(V->Else, W);
+        for (int Slot : W)
+          invalidate(Fwd, Slot);
+        break;
+      }
+      case VStmtKind::OnMessage:
+      case VStmtKind::ForEachOutEdge: {
+        // The body may run many times; a forwarding is only valid inside
+        // if the body never writes its target or source.
+        std::set<int> W;
+        collectWrites(V->Then, W);
+        std::map<int, PExpr *> BodyFwd = Fwd;
+        for (int Slot : W)
+          invalidate(BodyFwd, Slot);
+        forwardList(V->Then, BodyFwd);
+        for (int Slot : W)
+          invalidate(Fwd, Slot);
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  PregelProgram &P;
+  PassStatistics *Stats;
+  DataFlowInfo Info;
+  std::map<int, ReduceKind> Combinable;
+  std::set<const VStmt *> Shared;
+  uint64_t Folds = 0, CopyForwards = 0, BranchesElided = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// MessageFieldPrune
+//===----------------------------------------------------------------------===//
+
+/// Collects per-type field reads; returns false when a statement tree is
+/// reachable under two different message-type contexts (rewriting it would
+/// need two different reindexings — bail out of pruning entirely).
+bool collectFieldReads(const PregelProgram &P,
+                       std::vector<std::vector<bool>> &Read) {
+  std::map<const VStmt *, int> SeenUnder;
+  bool Ok = true;
+  std::function<void(const std::vector<VStmt *> &, int)> Walk =
+      [&](const std::vector<VStmt *> &Body, int MsgType) {
+        for (const VStmt *V : Body) {
+          if (!V || !Ok)
+            continue;
+          auto [It, Inserted] = SeenUnder.emplace(V, MsgType);
+          if (!Inserted && It->second != MsgType) {
+            Ok = false;
+            return;
+          }
+          std::function<void(const PExpr *)> Scan = [&](const PExpr *E) {
+            if (!E)
+              return;
+            if (E->K == PExprKind::MsgField && MsgType >= 0)
+              Read[MsgType][E->Index] = true;
+            Scan(E->A);
+            Scan(E->B);
+            Scan(E->C);
+          };
+          Scan(V->Cond);
+          Scan(V->Value);
+          for (const PExpr *E : V->Payload)
+            Scan(E);
+          Walk(V->Then,
+               V->K == VStmtKind::OnMessage ? V->Index : MsgType);
+          Walk(V->Else, MsgType);
+        }
+      };
+  for (const PState &S : P.States)
+    Walk(S.VertexCode, -1);
+  return Ok;
+}
+
+} // namespace
+
+bool gm::constFoldDataflow(PregelProgram &P, PassStatistics *Stats) {
+  return ConstFolder(P, Stats).run();
+}
+
+bool gm::pruneMessageFields(PregelProgram &P, PassStatistics *Stats) {
+  std::vector<std::vector<bool>> Read(P.MsgTypes.size());
+  for (size_t T = 0; T < P.MsgTypes.size(); ++T)
+    Read[T].assign(P.MsgTypes[T].Fields.size(), false);
+  if (!collectFieldReads(P, Read))
+    return false;
+
+  // Per type: keep-mask and old-field -> new-field reindex map.
+  std::vector<std::vector<int>> Remap(P.MsgTypes.size());
+  uint64_t Pruned = 0;
+  for (size_t T = 0; T < P.MsgTypes.size(); ++T) {
+    MsgTypeDef &M = P.MsgTypes[T];
+    Remap[T].assign(M.Fields.size(), -1);
+    std::vector<MsgFieldDef> Kept;
+    for (size_t F = 0; F < M.Fields.size(); ++F) {
+      if (!Read[T][F]) {
+        ++Pruned;
+        continue;
+      }
+      Remap[T][F] = static_cast<int>(Kept.size());
+      Kept.push_back(M.Fields[F]);
+    }
+    M.Fields = std::move(Kept);
+  }
+  if (Stats)
+    Stats->addCounter("opt.msg-fields-pruned", Pruned);
+  if (Pruned == 0)
+    return false;
+
+  // Rewrite sends (drop pruned payload positions) and handler reads
+  // (reindex). Visited sets keep shared/DAG nodes from double-remapping.
+  std::set<const PExpr *> VisitedE;
+  std::set<const VStmt *> VisitedV;
+  std::function<void(PExpr *, int)> Reindex = [&](PExpr *E, int MsgType) {
+    if (!E || !VisitedE.insert(E).second)
+      return;
+    if (E->K == PExprKind::MsgField && MsgType >= 0)
+      E->Index = Remap[MsgType][E->Index];
+    Reindex(E->A, MsgType);
+    Reindex(E->B, MsgType);
+    Reindex(E->C, MsgType);
+  };
+  std::function<void(std::vector<VStmt *> &, int)> Walk =
+      [&](std::vector<VStmt *> &Body, int MsgType) {
+        for (VStmt *V : Body) {
+          if (!V || !VisitedV.insert(V).second)
+            continue;
+          Reindex(V->Cond, MsgType);
+          Reindex(V->Value, MsgType);
+          switch (V->K) {
+          case VStmtKind::SendToOutNbrs:
+          case VStmtKind::SendToInNbrs:
+          case VStmtKind::SendToNode: {
+            std::vector<PExpr *> Kept;
+            for (size_t F = 0; F < V->Payload.size(); ++F) {
+              Reindex(V->Payload[F], MsgType);
+              if (Remap[V->Index][F] >= 0)
+                Kept.push_back(V->Payload[F]);
+            }
+            V->Payload = std::move(Kept);
+            break;
+          }
+          default:
+            for (PExpr *E : V->Payload)
+              Reindex(E, MsgType);
+            break;
+          }
+          Walk(V->Then,
+               V->K == VStmtKind::OnMessage ? V->Index : MsgType);
+          Walk(V->Else, MsgType);
+        }
+      };
+  for (PState &S : P.States)
+    Walk(S.VertexCode, -1);
+  return true;
+}
+
+bool gm::eliminateDeadSlots(PregelProgram &P, PassStatistics *Stats) {
+  std::vector<bool> Read(P.NodeProps.size(), false);
+  std::set<const PExpr *> Seen;
+  std::function<void(const PExpr *)> Scan = [&](const PExpr *E) {
+    if (!E || !Seen.insert(E).second)
+      return;
+    if (E->K == PExprKind::PropRead)
+      Read[E->Index] = true;
+    Scan(E->A);
+    Scan(E->B);
+    Scan(E->C);
+  };
+  std::function<void(const std::vector<VStmt *> &)> ScanBody =
+      [&](const std::vector<VStmt *> &Body) {
+        for (const VStmt *V : Body) {
+          if (!V)
+            continue;
+          Scan(V->Cond);
+          Scan(V->Value);
+          for (const PExpr *E : V->Payload)
+            Scan(E);
+          ScanBody(V->Then);
+          ScanBody(V->Else);
+        }
+      };
+  for (const PState &S : P.States)
+    ScanBody(S.VertexCode);
+
+  std::vector<bool> Dead(P.NodeProps.size(), false);
+  uint64_t Removed = 0;
+  for (size_t I = 0; I < P.NodeProps.size(); ++I)
+    if (!Read[I] && !P.NodeProps[I].Param) {
+      Dead[I] = true;
+      ++Removed;
+    }
+  if (Stats)
+    Stats->addCounter("opt.dead-slots-removed", Removed);
+  if (Removed == 0)
+    return false;
+
+  // Drop writes to dead slots; an If left with no statements goes with
+  // them (its condition is pure), as does an empty edge loop. An emptied
+  // OnMessage stays: it still consumes its tag, keeping the message
+  // protocol (and the linter's view of it) unchanged.
+  std::set<const VStmt *> VisitedV;
+  std::function<void(std::vector<VStmt *> &)> Strip =
+      [&](std::vector<VStmt *> &Body) {
+        std::vector<VStmt *> Out;
+        Out.reserve(Body.size());
+        for (VStmt *V : Body) {
+          if (!V)
+            continue;
+          if (V->K == VStmtKind::Assign && Dead[V->Index])
+            continue;
+          if (VisitedV.insert(V).second) {
+            Strip(V->Then);
+            Strip(V->Else);
+          }
+          if (V->K == VStmtKind::If && V->Then.empty() && V->Else.empty())
+            continue;
+          if (V->K == VStmtKind::ForEachOutEdge && V->Then.empty())
+            continue;
+          Out.push_back(V);
+        }
+        Body = std::move(Out);
+      };
+  for (PState &S : P.States)
+    Strip(S.VertexCode);
+
+  // Compact the slot table and reindex every remaining reference.
+  std::vector<int> Remap(P.NodeProps.size(), -1);
+  std::vector<PropDef> Kept;
+  for (size_t I = 0; I < P.NodeProps.size(); ++I) {
+    if (Dead[I])
+      continue;
+    Remap[I] = static_cast<int>(Kept.size());
+    Kept.push_back(P.NodeProps[I]);
+  }
+  P.NodeProps = std::move(Kept);
+
+  std::set<const PExpr *> VisitedE;
+  std::function<void(PExpr *)> ReindexE = [&](PExpr *E) {
+    if (!E || !VisitedE.insert(E).second)
+      return;
+    if (E->K == PExprKind::PropRead)
+      E->Index = Remap[E->Index];
+    ReindexE(E->A);
+    ReindexE(E->B);
+    ReindexE(E->C);
+  };
+  std::set<const VStmt *> VisitedV2;
+  std::function<void(std::vector<VStmt *> &)> ReindexBody =
+      [&](std::vector<VStmt *> &Body) {
+        for (VStmt *V : Body) {
+          if (!V || !VisitedV2.insert(V).second)
+            continue;
+          if (V->K == VStmtKind::Assign)
+            V->Index = Remap[V->Index];
+          ReindexE(V->Cond);
+          ReindexE(V->Value);
+          for (PExpr *E : V->Payload)
+            ReindexE(E);
+          ReindexBody(V->Then);
+          ReindexBody(V->Else);
+        }
+      };
+  for (PState &S : P.States)
+    ReindexBody(S.VertexCode);
+  return true;
+}

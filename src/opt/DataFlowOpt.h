@@ -1,0 +1,52 @@
+//===- opt/DataFlowOpt.h - Dataflow-driven PregelIR optimizations -----------===//
+///
+/// \file
+/// The optimization passes fueled by analysis/DataFlow.h (docs/analysis.md
+/// "Dataflow analyses"):
+///
+///  - ConstFoldDataflow: folds SCCP-proven constants (globals, slots,
+///    message fields), elides branches on constant conditions, and forwards
+///    single-copy assignments within a vertex block (reaching-definitions
+///    justified), which is what exposes write-only temporaries like
+///    pagerank's next-rank buffer.
+///  - MessageFieldPrune: drops payload fields no handler reads, so
+///    pir::deriveMessageLayout emits smaller packed wire records; a send
+///    whose every field went dead degrades to a zero-byte signal message
+///    (the send itself stays — it still activates receivers).
+///  - DeadSlotElim: removes node-property slots no expression ever reads
+///    (parameter props excluded — they are observable outputs), including
+///    their writes, and compacts the remaining slot indices.
+///
+/// All three are rewrites over a verified program and leave it verified
+/// (`--verify-each` re-checks after each). They never change observable
+/// results: parameter columns, the return global, message counts and
+/// supersteps are all preserved — only dead weight goes. Run via
+/// runDataflowOpts in pipeline order (fold -> prune -> eliminate), repeated
+/// until a fixpoint, since each pass can expose work for the next.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_OPT_DATAFLOWOPT_H
+#define GM_OPT_DATAFLOWOPT_H
+
+#include "pregelir/PregelIR.h"
+
+namespace gm {
+
+class PassStatistics;
+
+/// SCCP-driven constant folding + intra-block copy forwarding. Counters:
+/// "opt.const-folds", "opt.copy-forwards", "opt.branches-elided".
+bool constFoldDataflow(pir::PregelProgram &P, PassStatistics *Stats = nullptr);
+
+/// Drops message-payload fields no handler reads and reindexes the rest.
+/// Counter: "opt.msg-fields-pruned".
+bool pruneMessageFields(pir::PregelProgram &P, PassStatistics *Stats = nullptr);
+
+/// Removes never-read non-parameter node-property slots (and their writes)
+/// and compacts slot indices. Counter: "opt.dead-slots-removed".
+bool eliminateDeadSlots(pir::PregelProgram &P, PassStatistics *Stats = nullptr);
+
+} // namespace gm
+
+#endif // GM_OPT_DATAFLOWOPT_H

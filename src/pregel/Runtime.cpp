@@ -148,6 +148,18 @@ const char *gm::pregel::scheduleModeName(ScheduleMode M) {
   return "auto";
 }
 
+const char *gm::pregel::scheduleHintName(ScheduleHint H) {
+  switch (H) {
+  case ScheduleHint::None:
+    return "none";
+  case ScheduleHint::Dense:
+    return "dense";
+  case ScheduleHint::Sparse:
+    return "sparse";
+  }
+  return "none";
+}
+
 std::optional<ScheduleMode>
 gm::pregel::parseScheduleMode(std::string_view Name) {
   if (Name == "auto")
@@ -422,6 +434,13 @@ bool Engine::decideSparse(uint64_t Estimate) const {
   case ScheduleMode::Auto:
     break;
   }
+  // Compile-time frontier-shape advice settles the question without an
+  // estimate: a program whose vertex states all flood (or all strictly
+  // follow messages) never benefits from per-step guessing.
+  if (Cfg.Hint == ScheduleHint::Dense)
+    return false;
+  if (Cfg.Hint == ScheduleHint::Sparse)
+    return true;
   // Ligra/GraphIt-style direction threshold: frontier iteration only pays
   // when the step touches well under numNodes / divisor vertices; the
   // estimate (active after voting + delivered messages) upper-bounds the

@@ -113,6 +113,16 @@ const char *scheduleModeName(ScheduleMode M);
 /// Parses "auto" / "dense" / "sparse"; nullopt on anything else.
 std::optional<ScheduleMode> parseScheduleMode(std::string_view Name);
 
+/// Compile-time schedule advice from the frontier-shape analysis
+/// (pir::ScheduleClass, docs/analysis.md). Consulted only under
+/// ScheduleMode::Auto: Dense pins the full-scan path, Sparse pins frontier
+/// iteration, None keeps the per-superstep estimate heuristic. Explicit
+/// --schedule dense/sparse always wins. Results are bit-identical either
+/// way — the hint only removes per-step guessing.
+enum class ScheduleHint : uint8_t { None, Dense, Sparse };
+
+const char *scheduleHintName(ScheduleHint H);
+
 struct Config {
   unsigned NumWorkers = 4;
   bool Threaded = false;     ///< real std::thread workers vs. sequential sim
@@ -151,6 +161,10 @@ struct Config {
   /// numNodes / this. Ligra-style default of 8 (sparse only when well under
   /// an eighth of the graph fronts the step).
   uint32_t ScheduleSparseDivisor = 8;
+  /// Static schedule advice consulted under ScheduleMode::Auto (see
+  /// ScheduleHint). Backends fill this from the compiled program's
+  /// frontier-shape classification.
+  ScheduleHint Hint = ScheduleHint::None;
   /// Pregel message combiners: messages of a listed type heading to the
   /// same destination are reduced at the sending worker before they hit
   /// the wire (single-field payloads only). Empty = no combining.

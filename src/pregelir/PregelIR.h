@@ -123,9 +123,27 @@ struct MStmt {
 // Program
 //===----------------------------------------------------------------------===//
 
+/// Static schedule advice derived by frontier-shape analysis
+/// (analysis/DataFlow.h) and consumed by the runtime when `--schedule auto`
+/// is active. None means "no static opinion — keep the runtime heuristic".
+enum class ScheduleClass : uint8_t {
+  None,  ///< mixed shapes; let the runtime estimate per superstep
+  Dense, ///< every vertex state floods all vertices; frontier bookkeeping
+         ///< can never pay off
+  Sparse ///< every vertex state only activates message receivers; the
+         ///< active set is exactly the frontier
+};
+
+const char *scheduleClassName(ScheduleClass C);
+
 struct PropDef {
   std::string Name;
   ValueKind Ty = ValueKind::Int;
+  /// True for props backing a procedure parameter (user-visible output);
+  /// false for compiler-introduced temporaries. Only non-Param props are
+  /// candidates for dead-slot elimination: a parameter prop is observable
+  /// after the run even if the program itself never reads it.
+  bool Param = false;
 };
 
 struct GlobalDef {
@@ -134,6 +152,10 @@ struct GlobalDef {
   /// Reduction applied to vertex-side puts (None = master-only variable).
   ReduceKind VertexReduce = ReduceKind::None;
   Value Init;
+  /// True when the global backs a scalar procedure parameter: the runtime
+  /// seeds it from the invocation arguments, so its value is opaque to
+  /// constant propagation.
+  bool Param = false;
 };
 
 struct MsgFieldDef {
@@ -171,6 +193,9 @@ public:
   bool UsesInNbrs = false;
   /// Name of the global holding the procedure's return value ("" = void).
   std::string ReturnGlobal;
+  /// Frontier-shape classification (analysis/DataFlow.h); the runtime's
+  /// default when `--schedule auto` is active.
+  ScheduleClass ScheduleHint = ScheduleClass::None;
 
   PExpr *newExpr() {
     Exprs.push_back(std::make_unique<PExpr>());

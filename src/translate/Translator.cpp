@@ -1444,6 +1444,16 @@ std::unique_ptr<PregelProgram> Translator::translate(ProcedureDecl *ProcIn) {
     }
     globalFor(Param);
   }
+  // Everything declared so far backs a procedure parameter: those columns
+  // are observable outputs and must survive dead-slot elimination, and the
+  // runtime seeds those globals from the invocation arguments, so constant
+  // propagation must treat them as opaque.
+  for (PropDef &D : P->NodeProps)
+    D.Param = true;
+  for (PropDef &D : P->EdgeProps)
+    D.Param = true;
+  for (GlobalDef &D : P->Globals)
+    D.Param = true;
 
   if (!Proc->returnType()->isVoid()) {
     ReturnGlobal = P->addGlobal(uniqueName("_ret", UsedGlobalNames),

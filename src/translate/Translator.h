@@ -44,6 +44,9 @@ inline constexpr const char *IncomingNeighbors = "Incoming Neighbors";
 inline constexpr const char *MessageClassGen = "Message Class Gen";
 /// Extension beyond the paper: sender-local out-edge iteration.
 inline constexpr const char *LocalEdgeIteration = "Local Edge Iteration";
+/// Extension beyond the paper: dataflow-driven const folding / message-field
+/// pruning / dead-slot elimination changed the program.
+inline constexpr const char *DataflowOpts = "Dataflow Opt.";
 } // namespace feature
 
 using FeatureLog = std::set<std::string>;

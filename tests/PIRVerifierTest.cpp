@@ -47,15 +47,17 @@ testing::AssertionResult hasFinding(const std::vector<CheckFinding> &Fs,
 /// The known-good fixture every negative test mutates:
 ///   state 0 'entry'  -> goto 1
 ///   state 1 'send':  if (age >= 13) send_out m(1);          -> goto 2
-///   state 2 'recv':  cnt = 0; on_message m { cnt += msg.0 } -> goto END
+///   state 2 'recv':  cnt = 0; on_message m { cnt += msg.0 };
+///                    $S += cnt + (flag ? 1 : 0)             -> goto END
 /// Props: age:int cnt:int flag:bool. Globals: K(none,int) S(sum,int)
-/// done(none,bool). Message m(f:int).
+/// done(none,bool). Message m(f:int). Every prop is read somewhere, so the
+/// dead-data lints stay quiet on the unmutated program.
 std::unique_ptr<PregelProgram> buildBase() {
   auto P = std::make_unique<PregelProgram>();
   P->Name = "fixture";
   int Age = P->addNodeProp("age", ValueKind::Int);
   int Cnt = P->addNodeProp("cnt", ValueKind::Int);
-  P->addNodeProp("flag", ValueKind::Bool);
+  int Flag = P->addNodeProp("flag", ValueKind::Bool);
   P->addGlobal("K", ValueKind::Int, ReduceKind::None, Value::makeInt(0));
   P->addGlobal("S", ValueKind::Int, ReduceKind::Sum, Value::makeInt(0));
   P->addGlobal("done", ValueKind::Bool, ReduceKind::None,
@@ -96,6 +98,19 @@ std::unique_ptr<PregelProgram> buildBase() {
   On->Then.push_back(Acc);
   P->state(Recv).VertexCode.push_back(Reset);
   P->state(Recv).VertexCode.push_back(On);
+
+  PExpr *FlagBit = P->newExpr();
+  FlagBit->K = PExprKind::Ternary;
+  FlagBit->Ty = ValueKind::Int;
+  FlagBit->A = P->propRead(Flag);
+  FlagBit->B = P->constExpr(Value::makeInt(1));
+  FlagBit->C = P->constExpr(Value::makeInt(0));
+  VStmt *Fold = P->newVStmt(VStmtKind::GlobalPut);
+  Fold->Index = 1; // S reduce=sum
+  Fold->Reduce = ReduceKind::Sum;
+  Fold->Value =
+      P->binary(BinaryOpKind::Add, P->propRead(Cnt), FlagBit, ValueKind::Int);
+  P->state(Recv).VertexCode.push_back(Fold);
   P->state(Recv).TransCode.push_back(P->makeGoto(EndState));
   return P;
 }
@@ -417,6 +432,66 @@ TEST(PIRLint, RandomWritePlainAssignmentWarned) {
   // Reducing the write silences the warning.
   Store->Reduce = ReduceKind::Max;
   EXPECT_FALSE(hasFinding(lintProgram(*P), "random-write-race", ""));
+}
+
+TEST(PIRLint, DeadSlotWarned) {
+  auto P = buildBase();
+  // Drop the fold that reads cnt and flag: both become write-only (cnt) or
+  // entirely unused (flag), i.e. dead slots.
+  P->States[2].VertexCode.pop_back();
+  ASSERT_TRUE(verifyProgramStrict(*P).empty());
+  std::vector<CheckFinding> Ls = lintProgram(*P);
+  EXPECT_TRUE(hasFinding(Ls, "dead-slot", "node property 'cnt'"));
+  EXPECT_TRUE(hasFinding(Ls, "dead-slot", "node property 'flag'"));
+  EXPECT_FALSE(hasFinding(Ls, "dead-slot", "node property 'age'"));
+  for (const CheckFinding &F : Ls)
+    if (F.Rule == "dead-slot")
+      EXPECT_FALSE(F.isError());
+}
+
+TEST(PIRLint, ParamSlotIsNeverDead) {
+  // An externally observable slot (Param) is live by contract even when no
+  // statement reads it — it is the program's output.
+  auto P = buildBase();
+  P->States[2].VertexCode.pop_back();
+  P->NodeProps[1].Param = true; // cnt becomes an output column
+  std::vector<CheckFinding> Ls = lintProgram(*P);
+  EXPECT_FALSE(hasFinding(Ls, "dead-slot", "node property 'cnt'"));
+  EXPECT_TRUE(hasFinding(Ls, "dead-slot", "node property 'flag'"));
+}
+
+TEST(PIRLint, DeadMessageFieldWarned) {
+  auto P = buildBase();
+  // The handler stops reading msg.f: the field still travels the wire.
+  accStmt(*P)->Value = P->constExpr(Value::makeInt(1));
+  ASSERT_TRUE(verifyProgramStrict(*P).empty());
+  EXPECT_TRUE(hasFinding(lintProgram(*P), "dead-message-field",
+                         "message 'm' field 0 ('f')"));
+}
+
+//===----------------------------------------------------------------------===//
+// Broken pass output: what the strict verifier catches if a dataflow
+// cleanup pass mis-rewrites the program (docs/analysis.md).
+//===----------------------------------------------------------------------===//
+
+TEST(PIRVerifier, BadSlotCompactionCaught) {
+  // A buggy dead-slot elimination that shrinks the slot table without
+  // reindexing the surviving reads: the fold's flag read (slot 2) now
+  // indexes past the end.
+  auto P = buildBase();
+  P->NodeProps.pop_back();
+  EXPECT_TRUE(hasFinding(verifyProgramStrict(*P), "slot-range",
+                         "property index out of range"));
+}
+
+TEST(PIRVerifier, BadFieldPruneCaught) {
+  // A buggy message-field prune that drops the field declaration but keeps
+  // the send payload and the handler's field read.
+  auto P = buildBase();
+  P->MsgTypes[0].Fields.clear();
+  std::vector<CheckFinding> Fs = verifyProgramStrict(*P);
+  EXPECT_TRUE(hasFinding(Fs, "payload-arity", "payload arity mismatch"));
+  EXPECT_TRUE(hasFinding(Fs, "slot-range", "message field index out of range"));
 }
 
 //===----------------------------------------------------------------------===//
