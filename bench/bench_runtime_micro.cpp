@@ -42,6 +42,17 @@
 /// outside --smoke — if auto SSSP is not at least 1.5x faster than forced
 /// dense, or auto PageRank regresses more than 5% against forced dense.
 ///
+/// `bench_runtime_micro --serving [reps] [--smoke] [--json <path>]` runs
+/// the gmd serving sweep (docs/serving.md): PageRank jobs against the
+/// in-process Service under three regimes — one-shot (load + compile + run
+/// per job, the gmpc cost model), resident (graph loaded once, jobs reuse
+/// the snapshot), and cache-hit (identical resubmission served from the
+/// result cache). It fails if the three regimes' reports are not
+/// bit-identical after canonicalization, if a resubmission misses the
+/// cache, or — outside --smoke — if the resident regime's amortized
+/// per-job wall time is not at least 3x better than one-shot (default path
+/// BENCH_serving.json).
+///
 /// `bench_runtime_micro --compare <baseline.json> <fresh.json>
 /// [--max-regress <frac>]` is the regression gate: it matches run records
 /// between two gm.run-report documents by configuration, requires message
@@ -56,6 +67,7 @@
 
 #include "algorithms/manual/ManualPrograms.h"
 #include "exec/Backend.h"
+#include "service/Service.h"
 #include "support/JSON.h"
 
 #include <benchmark/benchmark.h>
@@ -1017,6 +1029,258 @@ int runScheduleSweep(int Reps, const std::string &JsonPath, bool Smoke) {
 }
 
 //===----------------------------------------------------------------------===//
+// Serving sweep (--serving)
+//===----------------------------------------------------------------------===//
+
+/// Re-emits a parsed JSON node through \p W (used to copy run records out of
+/// service responses into the artifact with the sink's formatting).
+void emitJsonNode(json::Writer &W, const json::Node &N) {
+  switch (N.K) {
+  case json::Node::Kind::Null:
+    W.null();
+    return;
+  case json::Node::Kind::Bool:
+    W.value(N.B);
+    return;
+  case json::Node::Kind::Int:
+    W.value(static_cast<int64_t>(N.I));
+    return;
+  case json::Node::Kind::Double:
+    W.value(N.D);
+    return;
+  case json::Node::Kind::String:
+    W.value(N.S);
+    return;
+  case json::Node::Kind::Array:
+    W.beginArray();
+    for (const json::Node &E : N.Elems)
+      emitJsonNode(W, E);
+    W.endArray();
+    return;
+  case json::Node::Kind::Object:
+    W.beginObject();
+    for (const auto &[Key, V] : N.Members) {
+      W.key(Key);
+      emitJsonNode(W, V);
+    }
+    W.endObject();
+    return;
+  }
+}
+
+/// One submit round-trip through the Service; returns the parsed response.
+json::Node servingCall(service::Service &Svc, const std::string &Request) {
+  json::Node Resp;
+  std::string Err;
+  if (!json::parse(Svc.handle(Request), Resp, &Err)) {
+    std::fprintf(stderr, "bench_runtime_micro: bad service response: %s\n",
+                 Err.c_str());
+    std::abort();
+  }
+  return Resp;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+int runServingSweep(int Reps, const std::string &JsonPath, bool Smoke) {
+  // Large graph + cheap program: the regime where residency pays. One
+  // PageRank iteration moves one message wave over the edges, while a load
+  // re-generates and CSR-builds the whole graph — the cost the daemon
+  // amortizes across jobs (docs/serving.md "When the daemon pays off").
+  const unsigned Nodes = Smoke ? (1u << 12) : (1u << 16);
+  const unsigned Edges = Smoke ? (1u << 15) : (1u << 19);
+  const int JobsPerRep = 12;
+
+  const std::string LoadReq =
+      "{\"op\":\"load\",\"graph\":\"g\",\"generator\":\"rmat\",\"nodes\":" +
+      std::to_string(Nodes) + ",\"edges\":" + std::to_string(Edges) +
+      ",\"seed\":21}";
+  const std::string SubmitReq =
+      "{\"op\":\"submit\",\"graph\":\"g\",\"source_file\":\"" +
+      algorithmPath("pagerank") +
+      "\",\"args\":{\"e\":0.0,\"d\":0.85,\"max_iter\":1},"
+      "\"workers\":4,\"threaded\":true}";
+
+  std::printf("Serving sweep: rmat(%u,%u), %d reps x %d jobs\n", Nodes,
+              Edges, Reps, JobsPerRep);
+  hr('=');
+  std::printf("%-10s %14s %20s\n", "regime", "per-job(s)", "vs one-shot");
+  hr();
+
+  int Failures = 0;
+  double OneShotPerJob = 0, ResidentPerJob = 0, CacheHitPerJob = 0;
+  std::string CanonicalRef; // canonicalized report every regime must match
+  std::vector<std::string> ArtifactReports;
+
+  /// Extracts the embedded report document from a submit response, checks
+  /// the cache flag, and folds the canonicalized form into the cross-regime
+  /// equality gate.
+  auto takeReport = [&](const json::Node &Resp, const char *Regime,
+                        const char *WantCache) -> std::string {
+    if (!Resp.boolAt("ok") || Resp.strAt("state") != "done") {
+      std::fprintf(stderr, "FAIL: %s job did not complete: %s\n", Regime,
+                   Resp.strAt("error", "?").c_str());
+      ++Failures;
+      return std::string();
+    }
+    if (Resp.strAt("cache") != WantCache) {
+      std::fprintf(stderr, "FAIL: %s job expected cache %s, got %s\n",
+                   Regime, WantCache, Resp.strAt("cache", "?").c_str());
+      ++Failures;
+    }
+    const json::Node *Report = Resp.find("report");
+    if (!Report)
+      return std::string();
+    std::ostringstream OS;
+    json::Writer W(OS, /*Pretty=*/false);
+    emitJsonNode(W, *Report);
+    const std::string Doc = OS.str();
+    const std::string Canon = service::canonicalizeReport(Doc);
+    if (CanonicalRef.empty())
+      CanonicalRef = Canon;
+    else if (Canon != CanonicalRef) {
+      std::fprintf(stderr,
+                   "FAIL: %s report diverges from the reference after "
+                   "canonicalization — serving regime leaked into results\n",
+                   Regime);
+      ++Failures;
+    }
+    return Doc;
+  };
+
+  for (int R = 0; R < Reps; ++R) {
+    // One-shot: every job pays load + compile + run, like invoking gmpc.
+    {
+      service::ServiceConfig Cfg;
+      Cfg.MaxRunningJobs = 1;
+      Cfg.CacheCapacity = 0;
+      double Total = 0;
+      std::string LastReport;
+      for (int J = 0; J < JobsPerRep; ++J) {
+        service::Service Svc(Cfg);
+        const auto T0 = std::chrono::steady_clock::now();
+        servingCall(Svc, LoadReq);
+        json::Node Resp = servingCall(Svc, SubmitReq);
+        Total += secondsSince(T0);
+        LastReport = takeReport(Resp, "one-shot", "miss");
+      }
+      OneShotPerJob += Total / JobsPerRep;
+      if (!LastReport.empty())
+        ArtifactReports.push_back(std::move(LastReport));
+    }
+    // Resident: load once, then every job reuses the snapshot. The load is
+    // amortized into the per-job figure.
+    {
+      service::ServiceConfig Cfg;
+      Cfg.MaxRunningJobs = 1;
+      Cfg.CacheCapacity = 0;
+      service::Service Svc(Cfg);
+      const auto T0 = std::chrono::steady_clock::now();
+      servingCall(Svc, LoadReq);
+      std::string FirstReport;
+      for (int J = 0; J < JobsPerRep; ++J) {
+        json::Node Resp = servingCall(Svc, SubmitReq);
+        if (J == 0)
+          FirstReport = takeReport(Resp, "resident", "miss");
+        else
+          takeReport(Resp, "resident", "miss");
+      }
+      ResidentPerJob += secondsSince(T0) / JobsPerRep;
+      if (!FirstReport.empty())
+        ArtifactReports.push_back(std::move(FirstReport));
+    }
+    // Cache-hit: one real run, then identical resubmissions replay it.
+    {
+      service::Service Svc; // cache on (default capacity)
+      servingCall(Svc, LoadReq);
+      json::Node Miss = servingCall(Svc, SubmitReq);
+      const std::string MissReport = takeReport(Miss, "cache-miss", "miss");
+      const auto T0 = std::chrono::steady_clock::now();
+      for (int J = 0; J < JobsPerRep; ++J) {
+        json::Node Hit = servingCall(Svc, SubmitReq);
+        const std::string HitReport = takeReport(Hit, "cache-hit", "hit");
+        // A hit is a byte-identical replay, volatile fields included.
+        if (!HitReport.empty() && HitReport != MissReport) {
+          std::fprintf(stderr, "FAIL: cache hit report is not a verbatim "
+                               "replay of the miss\n");
+          ++Failures;
+        }
+      }
+      CacheHitPerJob += secondsSince(T0) / JobsPerRep;
+      if (!MissReport.empty())
+        ArtifactReports.push_back(std::move(MissReport));
+    }
+  }
+  OneShotPerJob /= Reps;
+  ResidentPerJob /= Reps;
+  CacheHitPerJob /= Reps;
+
+  std::printf("%-10s %14.4f %19.2fx\n", "one-shot", OneShotPerJob, 1.0);
+  std::printf("%-10s %14.4f %19.2fx\n", "resident", ResidentPerJob,
+              ResidentPerJob > 0 ? OneShotPerJob / ResidentPerJob : 0.0);
+  std::printf("%-10s %14.6f %19.0fx\n", "cache-hit", CacheHitPerJob,
+              CacheHitPerJob > 0 ? OneShotPerJob / CacheHitPerJob : 0.0);
+  hr();
+
+  // The acceptance bar: residency must amortize the load at least 3x.
+  // Smoke graphs are too small for stable timing, so only the full sweep
+  // enforces it.
+  if (!Smoke && ResidentPerJob > 0 &&
+      OneShotPerJob < 3.0 * ResidentPerJob) {
+    std::fprintf(stderr,
+                 "FAIL: resident per-job %.4fs is not 3x better than "
+                 "one-shot %.4fs (%.2fx)\n",
+                 ResidentPerJob, OneShotPerJob,
+                 OneShotPerJob / ResidentPerJob);
+    ++Failures;
+  }
+
+  // The artifact: one gm.run-report document holding a record per regime
+  // per rep (identical engine totals — that is the point) plus a serving
+  // summary, loadable by --compare / --check-baseline like every other
+  // checked-in BENCH_*.json.
+  std::ofstream Out(JsonPath);
+  json::Writer W(Out);
+  W.beginObject();
+  W.field("schema", pregel::ReportSchemaName);
+  W.field("version", static_cast<uint64_t>(pregel::ReportSchemaVersion));
+  W.key("runs");
+  W.beginArray();
+  for (const std::string &Doc : ArtifactReports) {
+    json::Node Report;
+    std::string Err;
+    if (json::parse(Doc, Report, &Err))
+      if (const json::Node *Runs = Report.find("runs"))
+        for (const json::Node &Run : Runs->Elems)
+          emitJsonNode(W, Run);
+  }
+  W.endArray();
+  W.key("serving");
+  W.beginObject();
+  W.field("jobs_per_rep", static_cast<int64_t>(JobsPerRep));
+  W.field("reps", static_cast<int64_t>(Reps));
+  W.field("oneshot_seconds_per_job", OneShotPerJob);
+  W.field("resident_seconds_per_job", ResidentPerJob);
+  W.field("cache_hit_seconds_per_job", CacheHitPerJob);
+  W.field("resident_speedup",
+          ResidentPerJob > 0 ? OneShotPerJob / ResidentPerJob : 0.0);
+  W.endObject();
+  W.endObject();
+  Out << '\n';
+  Out.flush();
+  if (!Out) {
+    std::fprintf(stderr, "bench_runtime_micro: error writing %s\n",
+                 JsonPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return Failures;
+}
+
+//===----------------------------------------------------------------------===//
 // Baseline comparison (--compare / --check-baseline)
 //===----------------------------------------------------------------------===//
 
@@ -1286,6 +1550,21 @@ int main(int argc, char **argv) {
                               argv[I + 1][0])))
         Reps = std::atoi(argv[I + 1]);
       return runScheduleSweep(Reps, JsonPath, Smoke);
+    }
+    if (std::strcmp(argv[I], "--serving") == 0) {
+      std::string JsonPath = "BENCH_serving.json";
+      bool Smoke = false;
+      for (int J = 1; J < argc; ++J) {
+        if (std::strcmp(argv[J], "--json") == 0 && J + 1 < argc)
+          JsonPath = argv[J + 1];
+        if (std::strcmp(argv[J], "--smoke") == 0)
+          Smoke = true;
+      }
+      int Reps = 3;
+      if (I + 1 < argc && std::isdigit(static_cast<unsigned char>(
+                              argv[I + 1][0])))
+        Reps = std::atoi(argv[I + 1]);
+      return runServingSweep(Reps, JsonPath, Smoke);
     }
     if (std::strcmp(argv[I], "--partitioning") == 0) {
       std::string JsonPath = "BENCH_partitioning.json";

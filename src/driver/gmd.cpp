@@ -1,0 +1,109 @@
+//===- driver/gmd.cpp - Green-Marl graph service daemon ---------------------===//
+///
+/// The long-lived serving twin of gmpc: loads and partitions graphs once,
+/// keeps them resident, and serves concurrent compile-and-run jobs over a
+/// unix-domain socket speaking the length-prefixed JSON protocol
+/// (docs/serving.md). Submit/status/list/load/unload from the command line
+/// with gmdctl.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+#include "service/Service.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace gm;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr, R"(usage: gmd --socket <path> [options]
+
+Serve graphs loaded once to many concurrent Pregel jobs (docs/serving.md).
+
+  --socket <path>       unix-domain socket to listen on (required)
+  --max-jobs <n>        jobs running concurrently (default 4)
+  --max-queue <n>       backlog bound; submits beyond it are rejected
+                        (default 64)
+  --max-supersteps <n>  per-job superstep ceiling; job requests clamp to it
+                        (default 1048576)
+  --job-mem-mb <n>      per-job mailbox budget in MiB, enforced against the
+                        worst-case estimate before a run starts (0 = off)
+  --cache-capacity <n>  result-cache entries (default 128, 0 = off)
+  --workers <n>         default per-job worker count (default 4)
+
+Clients: gmdctl --socket <path> ping|load|unload|list|submit|status|result|
+stats|shutdown. A clean shutdown drains running jobs and removes the
+socket file.
+)");
+}
+
+int64_t parseInt(const char *S) { return std::strtoll(S, nullptr, 10); }
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath;
+  service::ServiceConfig Config;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "gmd: missing value after %s\n", A.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--socket")
+      SocketPath = Next();
+    else if (A == "--max-jobs")
+      Config.MaxRunningJobs = static_cast<unsigned>(parseInt(Next()));
+    else if (A == "--max-queue")
+      Config.MaxQueuedJobs = static_cast<size_t>(parseInt(Next()));
+    else if (A == "--max-supersteps")
+      Config.MaxSupersteps = static_cast<uint64_t>(parseInt(Next()));
+    else if (A == "--job-mem-mb")
+      Config.JobMailboxBudgetBytes =
+          static_cast<uint64_t>(parseInt(Next())) * 1024 * 1024;
+    else if (A == "--cache-capacity")
+      Config.CacheCapacity = static_cast<size_t>(parseInt(Next()));
+    else if (A == "--workers")
+      Config.DefaultWorkers = static_cast<unsigned>(parseInt(Next()));
+    else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "gmd: unknown option %s\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (SocketPath.empty()) {
+    std::fprintf(stderr, "gmd: --socket is required\n");
+    usage();
+    return 2;
+  }
+  if (Config.MaxRunningJobs == 0) {
+    std::fprintf(stderr, "gmd: --max-jobs must be >= 1\n");
+    return 2;
+  }
+
+  service::Service Svc(Config);
+  service::Server Srv(Svc, SocketPath);
+  std::string Err;
+  if (!Srv.start(&Err)) {
+    std::fprintf(stderr, "gmd: %s\n", Err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "gmd: serving on %s (max-jobs %u, queue %zu)\n",
+               SocketPath.c_str(), Config.MaxRunningJobs,
+               Config.MaxQueuedJobs);
+  int Rc = Srv.run();
+  std::fprintf(stderr, "gmd: shut down\n");
+  return Rc;
+}

@@ -320,7 +320,14 @@ int main(int argc, char **argv) {
       return false;
     }
     TraceSession->session().writeChromeJson(Out);
-    return static_cast<bool>(Out);
+    // Write errors (full device, revoked permissions) surface only after a
+    // flush; without this the process would exit 0 with a truncated trace.
+    Out.flush();
+    if (!Out) {
+      std::fprintf(stderr, "gmpc: error writing %s\n", TraceJsonPath.c_str());
+      return false;
+    }
+    return true;
   };
 
   PassStatistics PassStats;
@@ -386,6 +393,7 @@ int main(int argc, char **argv) {
                    ".cpp";
       std::ofstream Out(OutPath);
       Out << Src;
+      Out.flush();
       if (!Out) {
         std::fprintf(stderr, "gmpc: cannot write %s\n", OutPath.c_str());
         return 1;

@@ -291,5 +291,14 @@ bool JsonSink::close(std::string *Err) {
     return false;
   }
   Out << Buf.str();
+  // A failed write (full disk, /dev/full, revoked permissions) only shows
+  // up in the stream state after a flush — check it, or the caller exits 0
+  // with a truncated report on disk.
+  Out.flush();
+  if (!Out) {
+    if (Err)
+      *Err = "error writing " + Path;
+    return false;
+  }
   return true;
 }

@@ -33,6 +33,7 @@ void ThreadPool::runOnWorkers(const std::function<void(unsigned)> &TaskFn) {
   std::unique_lock<std::mutex> Lock(Mu);
   assert(Remaining == 0 && "runOnWorkers is not reentrant");
   Task = &TaskFn;
+  TaskSession = TS;
   Remaining = NumWorkers;
   FirstError = nullptr;
   ++Generation;
@@ -56,6 +57,7 @@ void ThreadPool::workerLoop(unsigned Id) {
   uint64_t SeenGeneration = 0;
   for (;;) {
     const std::function<void(unsigned)> *TaskFn;
+    trace::Session *TS;
     {
       std::unique_lock<std::mutex> Lock(Mu);
       StartCv.wait(Lock, [&] {
@@ -65,15 +67,21 @@ void ThreadPool::workerLoop(unsigned Id) {
         return;
       SeenGeneration = Generation;
       TaskFn = Task;
+      TS = TaskSession;
     }
+    // Adopt the dispatcher's session for the task so trace emission inside
+    // worker code lands in the right (possibly thread-scoped) session even
+    // when several engines run concurrently in this process.
+    trace::setThreadSession(TS);
     std::exception_ptr Error;
     try {
       (*TaskFn)(Id);
     } catch (...) {
       Error = std::current_exception();
     }
-    if (trace::Session *TS = trace::current())
+    if (TS)
       TaskEndNs[Id] = TS->nowNs();
+    trace::setThreadSession(nullptr);
     {
       std::lock_guard<std::mutex> Lock(Mu);
       if (Error && !FirstError)

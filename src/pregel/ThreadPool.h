@@ -22,6 +22,10 @@
 #include <thread>
 #include <vector>
 
+namespace gm::trace {
+class Session;
+} // namespace gm::trace
+
 namespace gm::pregel {
 
 /// A persistent pool of N threads executing one task-per-worker at a time.
@@ -52,6 +56,12 @@ private:
   std::condition_variable StartCv; ///< signals a new generation (or shutdown)
   std::condition_variable DoneCv;  ///< signals the last worker finishing
   const std::function<void(unsigned)> *Task = nullptr;
+  /// The dispatching thread's trace session, adopted by every worker for
+  /// the duration of the task. Sessions may be thread-scoped (one per
+  /// concurrent job, see support/Trace.h), so the pool threads cannot rely
+  /// on the process-wide pointer: they bind this one thread-locally around
+  /// each task instead. Null when the dispatcher is untraced.
+  trace::Session *TaskSession = nullptr;
   uint64_t Generation = 0;
   unsigned Remaining = 0;
   bool ShuttingDown = false;

@@ -1,0 +1,48 @@
+//===- service/GraphStore.cpp ----------------------------------------------===//
+
+#include "service/GraphStore.h"
+
+using namespace gm;
+using namespace gm::service;
+
+GraphInfo GraphStore::install(const std::string &Name, Graph G,
+                              std::string Source, double LoadSeconds) {
+  auto Shared = std::make_shared<const Graph>(std::move(G));
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &E = Entries[Name];
+  E.G = std::move(Shared);
+  E.Info.Name = Name;
+  E.Info.Epoch = NextEpoch++;
+  E.Info.NumNodes = E.G->numNodes();
+  E.Info.NumEdges = E.G->numEdges();
+  E.Info.Source = std::move(Source);
+  E.Info.LoadSeconds = LoadSeconds;
+  return E.Info;
+}
+
+ResidentGraph GraphStore::get(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Name);
+  if (It == Entries.end())
+    return {};
+  return {It->second.G, It->second.Info};
+}
+
+bool GraphStore::unload(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.erase(Name) > 0;
+}
+
+std::vector<GraphInfo> GraphStore::list() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<GraphInfo> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[Name, E] : Entries)
+    Out.push_back(E.Info);
+  return Out;
+}
+
+size_t GraphStore::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.size();
+}

@@ -1,0 +1,79 @@
+//===- service/GraphStore.h - Resident graphs keyed by name and epoch ------===//
+///
+/// \file
+/// The daemon's graph catalogue: immutable, shared, partition-ready graphs
+/// loaded once and served to many concurrent jobs. Each install (first load
+/// or reload under an existing name) stamps the entry with a fresh epoch
+/// drawn from one monotonic counter, so "name@epoch" uniquely identifies a
+/// graph snapshot for the whole daemon lifetime — the property the result
+/// cache keys on (a reload can never alias a cached report of the data it
+/// replaced). Jobs hold the graph through a shared_ptr, so an unload or
+/// reload never pulls memory out from under a run already in flight; the
+/// old snapshot is freed when its last job finishes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SERVICE_GRAPHSTORE_H
+#define GM_SERVICE_GRAPHSTORE_H
+
+#include "graph/Graph.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gm::service {
+
+/// Catalogue row describing one resident graph snapshot.
+struct GraphInfo {
+  std::string Name;
+  uint64_t Epoch = 0;
+  uint32_t NumNodes = 0;
+  uint64_t NumEdges = 0;
+  /// Where the data came from — a file path or "rmat(n,m)"-style generator
+  /// description. Reported verbatim as the run report's "graph" field so
+  /// daemon reports line up with one-shot gmpc runs on the same input.
+  std::string Source;
+  double LoadSeconds = 0; ///< wall time of the load+build that produced it
+};
+
+/// A resolved lookup: the shared snapshot plus its identity.
+struct ResidentGraph {
+  std::shared_ptr<const Graph> G;
+  GraphInfo Info;
+};
+
+class GraphStore {
+public:
+  /// Installs \p G under \p Name with a fresh epoch, replacing any previous
+  /// snapshot of that name (jobs holding the old shared_ptr are unaffected).
+  /// Returns the new catalogue row.
+  GraphInfo install(const std::string &Name, Graph G, std::string Source,
+                    double LoadSeconds);
+
+  /// Looks up \p Name; G is null when absent.
+  ResidentGraph get(const std::string &Name) const;
+
+  /// Drops \p Name from the catalogue. False when absent.
+  bool unload(const std::string &Name);
+
+  std::vector<GraphInfo> list() const;
+  size_t size() const;
+
+private:
+  struct Entry {
+    std::shared_ptr<const Graph> G;
+    GraphInfo Info;
+  };
+
+  mutable std::mutex Mu;
+  std::map<std::string, Entry> Entries;
+  uint64_t NextEpoch = 1;
+};
+
+} // namespace gm::service
+
+#endif // GM_SERVICE_GRAPHSTORE_H

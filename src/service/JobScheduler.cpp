@@ -1,0 +1,150 @@
+//===- service/JobScheduler.cpp --------------------------------------------===//
+
+#include "service/JobScheduler.h"
+
+#include <exception>
+
+using namespace gm;
+using namespace gm::service;
+
+const char *service::jobStateName(JobState S) {
+  switch (S) {
+  case JobState::Queued:
+    return "queued";
+  case JobState::Running:
+    return "running";
+  case JobState::Done:
+    return "done";
+  case JobState::Failed:
+    return "failed";
+  }
+  return "?";
+}
+
+JobScheduler::JobScheduler(unsigned MaxRunning, size_t MaxQueued)
+    : NumExecutors(MaxRunning ? MaxRunning : 1), MaxQueued(MaxQueued) {
+  Executors.reserve(NumExecutors);
+  for (unsigned I = 0; I < NumExecutors; ++I)
+    Executors.emplace_back([this] { executorLoop(); });
+}
+
+JobScheduler::~JobScheduler() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Executors)
+    T.join();
+}
+
+uint64_t JobScheduler::submit(const std::string &Program,
+                              const std::string &GraphName,
+                              uint64_t GraphEpoch, Work W, std::string *Err) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Backlog.size() >= MaxQueued) {
+    ++Counts.Rejected;
+    if (Err)
+      *Err = "queue full (" + std::to_string(Backlog.size()) +
+             " jobs waiting, --max-queue " + std::to_string(MaxQueued) + ")";
+    return 0;
+  }
+  const uint64_t Id = NextId++;
+  JobRecord R;
+  R.Id = Id;
+  R.Program = Program;
+  R.GraphName = GraphName;
+  R.GraphEpoch = GraphEpoch;
+  Records[Id] = std::move(R);
+  Pending[Id] = std::move(W);
+  EnqueuedAt[Id] = std::chrono::steady_clock::now();
+  Backlog.push_back(Id);
+  ++Counts.Submitted;
+  WorkCv.notify_one();
+  return Id;
+}
+
+bool JobScheduler::wait(uint64_t Id) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  auto It = Records.find(Id);
+  if (It == Records.end())
+    return false;
+  DoneCv.wait(Lock, [&] {
+    JobState S = Records[Id].State;
+    return S == JobState::Done || S == JobState::Failed;
+  });
+  return true;
+}
+
+std::optional<JobRecord> JobScheduler::info(uint64_t Id) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Records.find(Id);
+  if (It == Records.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::vector<JobRecord> JobScheduler::listJobs() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<JobRecord> Out;
+  Out.reserve(Records.size());
+  for (const auto &[Id, R] : Records)
+    Out.push_back(R);
+  return Out;
+}
+
+JobScheduler::Counters JobScheduler::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counts;
+}
+
+void JobScheduler::executorLoop() {
+  for (;;) {
+    uint64_t Id;
+    Work W;
+    JobRecord R;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkCv.wait(Lock, [&] { return ShuttingDown || !Backlog.empty(); });
+      // Drain the backlog even on shutdown: a submitted job always reaches
+      // a terminal state, so waiters can never hang on daemon exit.
+      if (Backlog.empty())
+        return;
+      Id = Backlog.front();
+      Backlog.pop_front();
+      const auto Now = std::chrono::steady_clock::now();
+      JobRecord &Stored = Records[Id];
+      Stored.State = JobState::Running;
+      Stored.QueueSeconds =
+          std::chrono::duration<double>(Now - EnqueuedAt[Id]).count();
+      EnqueuedAt.erase(Id);
+      W = std::move(Pending[Id]);
+      Pending.erase(Id);
+      R = Stored; // run against a private copy; publish on completion
+    }
+    const auto Start = std::chrono::steady_clock::now();
+    std::string Error;
+    try {
+      W(R);
+      R.State = JobState::Done;
+    } catch (const std::exception &E) {
+      R.State = JobState::Failed;
+      R.Error = E.what();
+    } catch (...) {
+      R.State = JobState::Failed;
+      R.Error = "unknown error";
+    }
+    R.RunSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+            .count();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (R.State == JobState::Done)
+        ++Counts.Completed;
+      else
+        ++Counts.Failed;
+      Records[Id] = std::move(R);
+    }
+    DoneCv.notify_all();
+  }
+}

@@ -1,0 +1,112 @@
+//===- service/JobScheduler.h - Bounded job executor with admission control -===//
+///
+/// \file
+/// The daemon's job lane: a fixed pool of executor threads (one engine run
+/// each — the engine parallelizes internally via its own ThreadPool) over a
+/// bounded FIFO backlog. Admission control is the bound: a submit that
+/// arrives with MaxQueued jobs already waiting is rejected immediately with
+/// a "queue full" error instead of being buffered without limit, so
+/// overload surfaces at the protocol layer as back-pressure rather than as
+/// unbounded daemon memory (docs/serving.md "Admission control & budgets").
+///
+/// Each job's record tracks queue wait and run time separately; completed
+/// records stay addressable by id for status/result queries until the
+/// scheduler is destroyed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SERVICE_JOBSCHEDULER_H
+#define GM_SERVICE_JOBSCHEDULER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gm::service {
+
+enum class JobState { Queued, Running, Done, Failed };
+
+const char *jobStateName(JobState S);
+
+/// One job's public record. The Work callback fills the result fields.
+struct JobRecord {
+  uint64_t Id = 0;
+  JobState State = JobState::Queued;
+  std::string Program;   ///< program name or source path (display only)
+  std::string GraphName; ///< resident graph the job targets
+  uint64_t GraphEpoch = 0;
+  std::string Error;  ///< Failed only
+  std::string Report; ///< Done only: the gm.run-report JSON document
+  bool CacheHit = false;
+  uint64_t TraceEvents = 0; ///< events recorded by the job's trace session
+  double QueueSeconds = 0;  ///< admission to execution start
+  double RunSeconds = 0;    ///< execution start to completion
+};
+
+class JobScheduler {
+public:
+  /// A job body: compile + run + report. Runs on an executor thread; a
+  /// thrown std::exception marks the job Failed with the what() text.
+  using Work = std::function<void(JobRecord &)>;
+
+  struct Counters {
+    uint64_t Submitted = 0;
+    uint64_t Completed = 0;
+    uint64_t Failed = 0;
+    uint64_t Rejected = 0; ///< admission-control refusals
+  };
+
+  JobScheduler(unsigned MaxRunning, size_t MaxQueued);
+  ~JobScheduler(); ///< drains the backlog and joins the executors
+
+  JobScheduler(const JobScheduler &) = delete;
+  JobScheduler &operator=(const JobScheduler &) = delete;
+
+  /// Admits a job or rejects it. Returns the job id, or 0 with \p Err set
+  /// when the backlog is full.
+  uint64_t submit(const std::string &Program, const std::string &GraphName,
+                  uint64_t GraphEpoch, Work W, std::string *Err);
+
+  /// Blocks until job \p Id reaches Done or Failed. False when unknown.
+  bool wait(uint64_t Id);
+
+  /// Snapshot of one job's record (without blocking).
+  std::optional<JobRecord> info(uint64_t Id) const;
+
+  /// Snapshot of every known job, id-ascending.
+  std::vector<JobRecord> listJobs() const;
+
+  Counters counters() const;
+  unsigned maxRunning() const { return NumExecutors; }
+  size_t maxQueued() const { return MaxQueued; }
+
+private:
+  void executorLoop();
+
+  const unsigned NumExecutors;
+  const size_t MaxQueued;
+
+  mutable std::mutex Mu;
+  std::condition_variable WorkCv; ///< executors: backlog non-empty/shutdown
+  std::condition_variable DoneCv; ///< waiters: some job finished
+  std::deque<uint64_t> Backlog;
+  std::map<uint64_t, JobRecord> Records;
+  std::map<uint64_t, Work> Pending; ///< work of not-yet-started jobs
+  std::map<uint64_t, std::chrono::steady_clock::time_point> EnqueuedAt;
+  Counters Counts;
+  uint64_t NextId = 1;
+  bool ShuttingDown = false;
+  std::vector<std::thread> Executors;
+};
+
+} // namespace gm::service
+
+#endif // GM_SERVICE_JOBSCHEDULER_H

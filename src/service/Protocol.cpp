@@ -1,0 +1,103 @@
+//===- service/Protocol.cpp ------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "support/Framing.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace gm;
+using namespace gm::service;
+
+namespace {
+
+void setErr(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+}
+
+bool fillAddr(const std::string &Path, sockaddr_un &Addr, std::string *Err) {
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    setErr(Err, "socket path too long (" + std::to_string(Path.size()) +
+                    " bytes, limit " +
+                    std::to_string(sizeof(Addr.sun_path) - 1) + ")");
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+int service::listenUnix(const std::string &Path, int Backlog,
+                        std::string *Err) {
+  sockaddr_un Addr;
+  if (!fillAddr(Path, Addr, Err))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setErr(Err, std::string("socket: ") + std::strerror(errno));
+    return -1;
+  }
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    setErr(Err, "bind " + Path + ": " + std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, Backlog) != 0) {
+    setErr(Err, "listen " + Path + ": " + std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int service::connectUnix(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr;
+  if (!fillAddr(Path, Addr, Err))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setErr(Err, std::string("socket: ") + std::strerror(errno));
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    setErr(Err, "connect " + Path + ": " + std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string &SocketPath, std::string *Err) {
+  close();
+  Fd = connectUnix(SocketPath, Err);
+  return Fd >= 0;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::call(const std::string &RequestJson, std::string &ResponseJson,
+                  std::string *Err) {
+  if (Fd < 0) {
+    setErr(Err, "not connected");
+    return false;
+  }
+  return wire::writeFrame(Fd, RequestJson, Err) &&
+         wire::readFrame(Fd, ResponseJson, Err);
+}

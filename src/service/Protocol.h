@@ -1,0 +1,60 @@
+//===- service/Protocol.h - gmd wire protocol over unix sockets ------------===//
+///
+/// \file
+/// Transport and conventions of the gmd serving protocol (docs/serving.md
+/// "Wire protocol"): a unix-domain stream socket carrying length-prefixed
+/// JSON frames (support/Framing.h). Every request is one JSON object with an
+/// "op" member (ping / load / unload / list / submit / status / result /
+/// stats / shutdown); every response is one JSON object with "ok": true
+/// plus op-specific members, or "ok": false with "error". The protocol is
+/// strictly request-response per frame — no pipelining state — so a client
+/// is a loop of writeFrame/readFrame and the daemon can serve each
+/// connection from one thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SERVICE_PROTOCOL_H
+#define GM_SERVICE_PROTOCOL_H
+
+#include <string>
+
+namespace gm::service {
+
+/// Protocol identity, reported by the ping op; bump on breaking changes.
+inline constexpr const char *ProtocolName = "gmd.v1";
+inline constexpr int ProtocolVersion = 1;
+
+/// Creates, binds and listens on a unix-domain socket at \p Path (an
+/// existing socket file is replaced — the daemon owns its path). Returns
+/// the listening fd, or -1 with \p Err set.
+int listenUnix(const std::string &Path, int Backlog, std::string *Err);
+
+/// Connects to the daemon at \p Path. Returns the fd, or -1 with \p Err.
+int connectUnix(const std::string &Path, std::string *Err);
+
+/// One client connection: connect once, then call() per request. Used by
+/// gmdctl, the smoke test, and the serving bench.
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  bool connect(const std::string &SocketPath, std::string *Err = nullptr);
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Sends \p RequestJson and blocks for the response frame. Returns the
+  /// response text, or std::nullopt with \p Err set on transport failure.
+  bool call(const std::string &RequestJson, std::string &ResponseJson,
+            std::string *Err = nullptr);
+
+private:
+  int Fd = -1;
+};
+
+} // namespace gm::service
+
+#endif // GM_SERVICE_PROTOCOL_H

@@ -1,0 +1,66 @@
+//===- service/ResultCache.cpp ---------------------------------------------===//
+
+#include "service/ResultCache.h"
+
+using namespace gm;
+using namespace gm::service;
+
+std::optional<std::string> ResultCache::lookup(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    ++Counts.Misses;
+    return std::nullopt;
+  }
+  ++Counts.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+  return It->second.Report;
+}
+
+void ResultCache::insert(const std::string &Key, const std::string &GraphName,
+                         std::string Report) {
+  if (Capacity == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Key);
+  if (It != Entries.end()) {
+    // A racing job computed the same key first; keep the original report
+    // (both are bit-identical by the determinism contract anyway).
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return;
+  }
+  while (Entries.size() >= Capacity) {
+    Entries.erase(Lru.back());
+    Lru.pop_back();
+    ++Counts.Evictions;
+  }
+  Lru.push_front(Key);
+  Entries[Key] = Entry{std::move(Report), GraphName, Lru.begin()};
+  ++Counts.Insertions;
+}
+
+size_t ResultCache::invalidateGraph(const std::string &GraphName) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t Removed = 0;
+  for (auto It = Entries.begin(); It != Entries.end();) {
+    if (It->second.GraphName == GraphName) {
+      Lru.erase(It->second.LruIt);
+      It = Entries.erase(It);
+      ++Removed;
+    } else {
+      ++It;
+    }
+  }
+  Counts.Invalidations += Removed;
+  return Removed;
+}
+
+CacheCounters ResultCache::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counts;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.size();
+}

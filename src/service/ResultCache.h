@@ -1,0 +1,78 @@
+//===- service/ResultCache.h - LRU cache of finished run reports -----------===//
+///
+/// \file
+/// Deterministic engine + immutable graph snapshots means a finished run
+/// report is a pure function of (program fingerprint, scalar args, graph
+/// name@epoch, engine knobs). The daemon therefore caches the verbatim
+/// gm.run-report document of every completed job under that composite key
+/// and serves repeats without touching the engine. Semantics
+/// (docs/serving.md "Result-cache semantics"):
+///
+///   - hit  = byte-identical replay of the first run's report (including
+///     its wall/phase timings — the report describes the run that computed
+///     the result, not the lookup);
+///   - a graph reload bumps the epoch, so stale entries simply stop being
+///     reachable; an unload additionally purges them (invalidations);
+///   - capacity is bounded, eviction is least-recently-used.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SERVICE_RESULTCACHE_H
+#define GM_SERVICE_RESULTCACHE_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace gm::service {
+
+struct CacheCounters {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+  uint64_t Invalidations = 0;
+};
+
+class ResultCache {
+public:
+  /// \p Capacity 0 disables caching (every lookup misses, inserts drop).
+  explicit ResultCache(size_t Capacity) : Capacity(Capacity) {}
+
+  /// Returns the cached report for \p Key and refreshes its recency;
+  /// counts a hit or miss either way.
+  std::optional<std::string> lookup(const std::string &Key);
+
+  /// Inserts \p Report under \p Key (\p GraphName tags it for
+  /// invalidation), evicting the least-recently-used entry when full.
+  void insert(const std::string &Key, const std::string &GraphName,
+              std::string Report);
+
+  /// Purges every entry computed against any epoch of \p GraphName.
+  /// Returns how many were removed.
+  size_t invalidateGraph(const std::string &GraphName);
+
+  CacheCounters counters() const;
+  size_t size() const;
+  size_t capacity() const { return Capacity; }
+
+private:
+  struct Entry {
+    std::string Report;
+    std::string GraphName;
+    std::list<std::string>::iterator LruIt; ///< position in Lru
+  };
+
+  const size_t Capacity;
+  mutable std::mutex Mu;
+  std::map<std::string, Entry> Entries;
+  std::list<std::string> Lru; ///< most recent at front, holds keys
+  CacheCounters Counts;
+};
+
+} // namespace gm::service
+
+#endif // GM_SERVICE_RESULTCACHE_H

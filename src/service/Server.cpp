@@ -1,0 +1,112 @@
+//===- service/Server.cpp --------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "service/Protocol.h"
+#include "service/Service.h"
+#include "support/Framing.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace gm;
+using namespace gm::service;
+
+Server::Server(Service &Svc, std::string SocketPath)
+    : Svc(Svc), Path(std::move(SocketPath)) {}
+
+Server::~Server() {
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ::unlink(Path.c_str());
+  }
+  for (std::thread &T : Connections)
+    if (T.joinable())
+      T.join();
+}
+
+bool Server::start(std::string *Err) {
+  // A client hanging up mid-response must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+  ListenFd = listenUnix(Path, /*Backlog=*/64, Err);
+  return ListenFd >= 0;
+}
+
+int Server::run() {
+  if (ListenFd < 0)
+    return 1;
+  while (!Svc.shutdownRequested()) {
+    // Poll with a timeout so a shutdown handled on a connection thread is
+    // noticed within a beat even when no new client ever connects.
+    pollfd P{ListenFd, POLLIN, 0};
+    int Ready = ::poll(&P, 1, /*timeout_ms=*/100);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      std::fprintf(stderr, "gmd: poll: %s\n", std::strerror(errno));
+      return 1;
+    }
+    if (Ready == 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      std::fprintf(stderr, "gmd: accept: %s\n", std::strerror(errno));
+      return 1;
+    }
+    std::lock_guard<std::mutex> Lock(Mu);
+    ActiveFds.push_back(Fd);
+    Connections.emplace_back([this, Fd] { serveConnection(Fd); });
+  }
+  ::close(ListenFd);
+  ::unlink(Path.c_str());
+  ListenFd = -1;
+  {
+    // Kick idle clients out of their blocking reads so every connection
+    // thread reaches its exit path; then reap them.
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (int Fd : ActiveFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  for (;;) {
+    std::thread T;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Connections.empty())
+        break;
+      T = std::move(Connections.back());
+      Connections.pop_back();
+    }
+    if (T.joinable())
+      T.join();
+  }
+  return 0;
+}
+
+void Server::serveConnection(int Fd) {
+  std::string Request;
+  for (;;) {
+    std::string Err;
+    if (!wire::readFrame(Fd, Request, &Err))
+      break; // client hung up (or sent a torn frame) — drop the connection
+    const std::string Response = Svc.handle(Request);
+    if (!wire::writeFrame(Fd, Response, &Err))
+      break;
+    if (Svc.shutdownRequested())
+      break; // let the client's shutdown ack be the last frame
+  }
+  ::close(Fd);
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (size_t I = 0; I < ActiveFds.size(); ++I)
+    if (ActiveFds[I] == Fd) {
+      ActiveFds.erase(ActiveFds.begin() + static_cast<long>(I));
+      break;
+    }
+}

@@ -1,0 +1,55 @@
+//===- service/Server.h - Unix-socket front end for a Service --------------===//
+///
+/// \file
+/// The daemon's transport loop: listens on a unix-domain socket, serves
+/// each connection from its own thread (a connection is a sequence of
+/// request/response frames — see Protocol.h), and exits its accept loop
+/// once the Service has handled a shutdown request and the in-flight jobs
+/// have drained. Connection threads are joined and the socket file removed
+/// before run() returns, so a clean shutdown leaves nothing behind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SERVICE_SERVER_H
+#define GM_SERVICE_SERVER_H
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gm::service {
+
+class Service;
+
+class Server {
+public:
+  Server(Service &Svc, std::string SocketPath);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens. False with \p Err set on failure.
+  bool start(std::string *Err = nullptr);
+
+  /// Accepts and serves connections until shutdown is requested. Returns 0
+  /// on clean shutdown, 1 if the accept loop died on an error.
+  int run();
+
+  const std::string &socketPath() const { return Path; }
+
+private:
+  void serveConnection(int Fd);
+
+  Service &Svc;
+  std::string Path;
+  int ListenFd = -1;
+  std::mutex Mu; ///< guards Connections/ActiveFds
+  std::vector<std::thread> Connections;
+  std::vector<int> ActiveFds; ///< open connection fds, for shutdown kicks
+};
+
+} // namespace gm::service
+
+#endif // GM_SERVICE_SERVER_H

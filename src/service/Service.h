@@ -1,0 +1,105 @@
+//===- service/Service.h - The gmd request brain (transport-free) ----------===//
+///
+/// \file
+/// Everything gmd does except the socket: a Service owns the resident graph
+/// catalogue (GraphStore), the bounded job executor (JobScheduler), and the
+/// result cache (ResultCache), and maps protocol requests to responses as
+/// JSON text via handle(). The Server pumps frames into handle(); tests
+/// drive it in-process with plain strings, which is how the concurrency and
+/// determinism properties are exercised without a daemon.
+///
+/// A submitted job compiles its Green-Marl source (the compiler is
+/// instance-based and re-entrant), resolves the resident graph snapshot,
+/// consults the result cache under (program fingerprint, canonical args,
+/// graph name@epoch, engine knobs), and otherwise runs the program through
+/// exec::runProgramWithBackend on a private engine instance — many jobs run
+/// concurrently against one shared immutable Graph. Per-job superstep and
+/// mailbox-memory budgets clamp what any single job may consume
+/// (docs/serving.md "Admission control & budgets"). The finished report is
+/// the same versioned gm.run-report document gmpc emits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SERVICE_SERVICE_H
+#define GM_SERVICE_SERVICE_H
+
+#include "service/GraphStore.h"
+#include "service/JobScheduler.h"
+#include "service/ResultCache.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace gm::json {
+struct Node;
+} // namespace gm::json
+
+namespace gm::service {
+
+/// Daemon-wide knobs, fixed at startup (gmd flags in parentheses).
+struct ServiceConfig {
+  /// Executor threads = jobs running at once (--max-jobs).
+  unsigned MaxRunningJobs = 4;
+  /// Backlog bound; submits beyond it are rejected (--max-queue).
+  size_t MaxQueuedJobs = 64;
+  /// Per-job superstep ceiling; a job's own max_supersteps is clamped to
+  /// this (--max-supersteps).
+  uint64_t MaxSupersteps = 1u << 20;
+  /// Per-job mailbox budget in bytes, enforced against the worst-case
+  /// estimate edges x record-size x 2 before the engine starts; 0 = off
+  /// (--job-mem-mb, stored in bytes).
+  uint64_t JobMailboxBudgetBytes = 0;
+  /// Result-cache capacity in entries; 0 disables caching
+  /// (--cache-capacity).
+  size_t CacheCapacity = 128;
+  /// Worker count for jobs that do not specify one (--workers).
+  unsigned DefaultWorkers = 4;
+};
+
+class Service {
+public:
+  explicit Service(ServiceConfig Config = {});
+  ~Service();
+
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+  /// Maps one protocol request (a JSON object with "op") to its response
+  /// JSON. Thread-safe; submit with "wait": true blocks until the job
+  /// finishes. Never throws — every failure becomes {"ok": false, ...}.
+  std::string handle(const std::string &RequestJson);
+
+  /// Set once a shutdown request has been handled; the Server's accept
+  /// loop watches this.
+  bool shutdownRequested() const {
+    return Shutdown.load(std::memory_order_acquire);
+  }
+
+  const ServiceConfig &config() const { return Config; }
+  GraphStore &graphs() { return Store; }
+  ResultCache &cache() { return Cache; }
+  JobScheduler &scheduler() { return Sched; }
+
+private:
+  std::string handleParsed(const json::Node &Req);
+
+  ServiceConfig Config;
+  GraphStore Store;
+  ResultCache Cache;
+  JobScheduler Sched;
+  std::atomic<bool> Shutdown{false};
+  std::chrono::steady_clock::time_point StartedAt;
+};
+
+/// Strips the volatile (timing/host) fields from a gm.run-report document:
+/// every member whose key names seconds, peak_rss_bytes and host_cores is
+/// zeroed, recursively. Two runs of the same job are byte-identical after
+/// canonicalization — the determinism contract the serving tests and the
+/// result cache rest on (docs/serving.md "Result-cache semantics").
+std::string canonicalizeReport(const std::string &ReportJson);
+
+} // namespace gm::service
+
+#endif // GM_SERVICE_SERVICE_H

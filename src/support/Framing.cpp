@@ -1,0 +1,110 @@
+//===- support/Framing.cpp -------------------------------------------------===//
+
+#include "support/Framing.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define GM_HAVE_POSIX_IO 1
+#endif
+
+using namespace gm;
+
+#ifdef GM_HAVE_POSIX_IO
+
+namespace {
+
+void setErr(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+}
+
+bool writeAll(int Fd, const char *Data, size_t Len, std::string *Err) {
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      setErr(Err, std::string("write: ") + std::strerror(errno));
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Reads exactly \p Len bytes. \p SawAny reports whether any byte arrived
+/// before a premature EOF, distinguishing a clean hang-up from a torn frame.
+bool readAll(int Fd, char *Data, size_t Len, bool &SawAny, std::string *Err) {
+  while (Len > 0) {
+    ssize_t N = ::read(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      setErr(Err, std::string("read: ") + std::strerror(errno));
+      return false;
+    }
+    if (N == 0) {
+      setErr(Err, SawAny ? "unexpected eof mid-frame" : "eof");
+      return false;
+    }
+    SawAny = true;
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+bool wire::writeFrame(int Fd, std::string_view Payload, std::string *Err) {
+  if (Payload.size() > MaxFrameBytes) {
+    setErr(Err, "frame exceeds " + std::to_string(MaxFrameBytes) + " bytes");
+    return false;
+  }
+  const uint32_t Len = static_cast<uint32_t>(Payload.size());
+  const unsigned char Header[4] = {
+      static_cast<unsigned char>(Len >> 24),
+      static_cast<unsigned char>(Len >> 16),
+      static_cast<unsigned char>(Len >> 8),
+      static_cast<unsigned char>(Len),
+  };
+  return writeAll(Fd, reinterpret_cast<const char *>(Header), 4, Err) &&
+         writeAll(Fd, Payload.data(), Payload.size(), Err);
+}
+
+bool wire::readFrame(int Fd, std::string &Out, std::string *Err) {
+  unsigned char Header[4];
+  bool SawAny = false;
+  if (!readAll(Fd, reinterpret_cast<char *>(Header), 4, SawAny, Err))
+    return false;
+  const uint32_t Len = (static_cast<uint32_t>(Header[0]) << 24) |
+                       (static_cast<uint32_t>(Header[1]) << 16) |
+                       (static_cast<uint32_t>(Header[2]) << 8) |
+                       static_cast<uint32_t>(Header[3]);
+  if (Len > MaxFrameBytes) {
+    setErr(Err, "frame length " + std::to_string(Len) + " exceeds limit");
+    return false;
+  }
+  Out.assign(Len, '\0');
+  return Len == 0 || readAll(Fd, Out.data(), Len, SawAny, Err);
+}
+
+#else // !GM_HAVE_POSIX_IO
+
+bool wire::writeFrame(int, std::string_view, std::string *Err) {
+  if (Err)
+    *Err = "framing unavailable on this platform";
+  return false;
+}
+
+bool wire::readFrame(int, std::string &, std::string *Err) {
+  if (Err)
+    *Err = "framing unavailable on this platform";
+  return false;
+}
+
+#endif

@@ -1,0 +1,41 @@
+//===- support/Framing.h - Length-prefixed message framing over an fd ------===//
+///
+/// \file
+/// The byte-level transport of the gmd serving protocol (docs/serving.md):
+/// each message is one 4-byte big-endian length header followed by that many
+/// payload bytes (a UTF-8 JSON document at the layer above — this layer does
+/// not care). Framing is what lets both sides read whole requests/responses
+/// off a stream socket without scanning for delimiters, and the length cap
+/// bounds what a misbehaving peer can make the daemon buffer.
+///
+/// Both helpers retry EINTR and loop over short reads/writes, so a frame is
+/// delivered entirely or not at all from the caller's point of view.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GM_SUPPORT_FRAMING_H
+#define GM_SUPPORT_FRAMING_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gm::wire {
+
+/// The largest frame either side will accept (64 MiB): generous for run
+/// reports, small enough that a corrupt length header cannot OOM the daemon.
+inline constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// Writes one frame (header + payload) to \p Fd. Returns false with \p Err
+/// set on any write error or if \p Payload exceeds MaxFrameBytes.
+bool writeFrame(int Fd, std::string_view Payload, std::string *Err = nullptr);
+
+/// Reads one frame from \p Fd into \p Out. Returns false with \p Err set on
+/// error, on an over-limit length header, or at end-of-stream (a clean EOF
+/// before the first header byte sets \p Err to "eof" — the normal way a
+/// client hangs up between requests).
+bool readFrame(int Fd, std::string &Out, std::string *Err = nullptr);
+
+} // namespace gm::wire
+
+#endif // GM_SUPPORT_FRAMING_H

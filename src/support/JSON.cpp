@@ -166,6 +166,11 @@ void Writer::null() {
   OS << "null";
 }
 
+void Writer::rawValue(const std::string &Json) {
+  beforeValue();
+  OS << Json;
+}
+
 //===----------------------------------------------------------------------===//
 // Validator
 //===----------------------------------------------------------------------===//

@@ -52,6 +52,11 @@ public:
   void value(bool V);
   void null();
 
+  /// Emits \p Json verbatim in value position. For embedding an
+  /// already-serialized document (e.g. a cached run report) without
+  /// re-parsing it; the caller guarantees \p Json is one well-formed value.
+  void rawValue(const std::string &Json);
+
   /// key(K) + value(V) in one call.
   template <typename T> void field(const std::string &K, const T &V) {
     key(K);

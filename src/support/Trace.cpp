@@ -14,10 +14,13 @@ using namespace gm;
 using namespace gm::trace;
 
 std::atomic<Session *> trace::detail::Current{nullptr};
+thread_local Session *trace::detail::ThreadSession = nullptr;
 
 void trace::setCurrent(Session *S) {
   detail::Current.store(S, std::memory_order_release);
 }
+
+void trace::setThreadSession(Session *S) { detail::ThreadSession = S; }
 
 //===----------------------------------------------------------------------===//
 // Session

@@ -10,10 +10,13 @@
 /// tracing") loadable in Perfetto or chrome://tracing.
 ///
 /// Tracing is off by default and zero-cost when off: every emission helper
-/// starts with one relaxed-ish atomic load of the current session pointer and
-/// returns immediately when it is null. Activation is cooperative — callers
-/// construct a Session, publish it with setCurrent(), run the work, then
-/// unpublish before reading the buffers.
+/// starts with one thread-local read plus one atomic load of the current
+/// session pointer and returns immediately when both are null. Activation is
+/// cooperative — callers construct a Session and either publish it
+/// process-wide with setCurrent() (the one-shot CLI path) or bind it to the
+/// current thread with setThreadSession() / ScopedThreadSession (the serving
+/// path, where concurrent jobs each need an isolated session), run the work,
+/// then unpublish before reading the buffers.
 ///
 /// Single-writer rule: a lane may be written by at most one thread at any
 /// moment, with a happens-before edge between successive writers (the engine
@@ -44,19 +47,34 @@ class Session;
 
 namespace detail {
 extern std::atomic<Session *> Current;
+extern thread_local Session *ThreadSession;
 } // namespace detail
 
-/// The published session, or null when tracing is off.
+/// The session visible to this thread, or null when tracing is off. A
+/// thread-scoped session (setThreadSession / ScopedThreadSession) shadows
+/// the process-wide one, which is what lets several engine instances run
+/// concurrently in one process, each with its own isolated trace: every
+/// job thread binds its own session, and the engine's ThreadPool workers
+/// adopt the dispatching thread's session for the duration of each task.
 inline Session *current() {
+  if (Session *S = detail::ThreadSession)
+    return S;
   return detail::Current.load(std::memory_order_acquire);
 }
 
-/// True when a session is published. The one-branch guard on every hot path.
+/// True when a session is visible. The one-branch guard on every hot path.
 inline bool enabled() { return current() != nullptr; }
 
 /// Publishes \p S as the process-wide session (null to disable). The caller
 /// must guarantee no traced code is running concurrently with the switch.
 void setCurrent(Session *S);
+
+/// Binds \p S to the calling thread only (null to unbind). Shadows the
+/// process-wide session on this thread; other threads are unaffected.
+void setThreadSession(Session *S);
+
+/// The calling thread's bound session (null when none).
+inline Session *threadSession() { return detail::ThreadSession; }
 
 /// The kind of a recorded event, mirroring Chrome trace-event phases.
 enum class Phase : uint8_t {
@@ -279,6 +297,28 @@ public:
 
 private:
   Session S;
+};
+
+/// RAII thread-scoped session: constructs a Session and binds it to the
+/// calling thread only, restoring the previous binding on destruction. The
+/// building block for running many traced engine instances concurrently
+/// (one per job thread) without cross-talk — see docs/serving.md.
+class ScopedThreadSession {
+public:
+  explicit ScopedThreadSession(
+      size_t LaneCapacity = Session::DefaultLaneCapacity)
+      : S(LaneCapacity), Prev(threadSession()) {
+    setThreadSession(&S);
+  }
+  ~ScopedThreadSession() { setThreadSession(Prev); }
+  ScopedThreadSession(const ScopedThreadSession &) = delete;
+  ScopedThreadSession &operator=(const ScopedThreadSession &) = delete;
+
+  Session &session() { return S; }
+
+private:
+  Session S;
+  Session *Prev;
 };
 
 /// Peak resident set size of this process in bytes (0 when unavailable).

@@ -314,6 +314,55 @@ TEST(Cli, TraceJsonWritesChromeTrace) {
   EXPECT_NE(Doc.find("\"worker 1\""), std::string::npos);
 }
 
+TEST(Cli, StatsJsonUnwritablePathFailsLoudly) {
+  // A machine-output flag pointed at a path that cannot be opened must not
+  // exit 0 — CI consuming the report would read stale or missing data.
+  CliResult R = runGmpc(algo("pagerank.gm") +
+                        " --run --graph-rmat 50 200"
+                        " --arg e=0.0 --arg d=0.85 --arg max_iter=2"
+                        " --stats-json /nonexistent-dir/stats.json");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("/nonexistent-dir/stats.json"), std::string::npos)
+      << R.Output;
+}
+
+TEST(Cli, TraceJsonUnwritablePathFailsLoudly) {
+  CliResult R = runGmpc(algo("pagerank.gm") +
+                        " --run --graph-rmat 50 200"
+                        " --arg e=0.0 --arg d=0.85 --arg max_iter=2"
+                        " --trace-json /nonexistent-dir/trace.json");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("/nonexistent-dir/trace.json"), std::string::npos)
+      << R.Output;
+}
+
+TEST(Cli, StatsJsonFullDeviceFailsLoudly) {
+  // The open succeeds on /dev/full but every write fails at flush time; the
+  // stream-state check after flushing must catch it (satellite fix: gmpc
+  // previously exited 0 here).
+  std::ifstream Dev("/dev/full");
+  if (!Dev.good())
+    GTEST_SKIP() << "/dev/full not available";
+  CliResult R = runGmpc(algo("pagerank.gm") +
+                        " --run --graph-rmat 50 200"
+                        " --arg e=0.0 --arg d=0.85 --arg max_iter=2"
+                        " --stats-json /dev/full");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("/dev/full"), std::string::npos) << R.Output;
+}
+
+TEST(Cli, TraceJsonFullDeviceFailsLoudly) {
+  std::ifstream Dev("/dev/full");
+  if (!Dev.good())
+    GTEST_SKIP() << "/dev/full not available";
+  CliResult R = runGmpc(algo("pagerank.gm") +
+                        " --run --graph-rmat 50 200"
+                        " --arg e=0.0 --arg d=0.85 --arg max_iter=2"
+                        " --trace-json /dev/full");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("/dev/full"), std::string::npos) << R.Output;
+}
+
 TEST(Cli, TraceJsonToStdoutIsPureJson) {
   const std::string Args = algo("pagerank.gm") +
                            " --run --graph-rmat 100 400"

@@ -1,0 +1,124 @@
+//===- tests/GmdSmokeTest.cpp - gmd daemon end-to-end smoke test -------------===//
+///
+/// The tier-1 serving gate (docs/serving.md): forks the real gmd binary on a
+/// temp socket, loads a graph, submits the same job twice (the second must
+/// be a cache hit with a byte-identical report), checks the stats counters
+/// surface the hit, and shuts the daemon down cleanly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+#include "support/JSON.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace gm;
+
+namespace {
+
+std::string algo(const char *Name) {
+  return std::string(GM_ALGORITHMS_DIR) + "/" + Name;
+}
+
+json::Node parsed(const std::string &Text) {
+  json::Node N;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Text, N, &Err)) << Err << "\n" << Text;
+  return N;
+}
+
+/// Forks gmd on \p SocketPath; returns the child pid (or -1).
+pid_t spawnDaemon(const std::string &SocketPath) {
+  pid_t Pid = fork();
+  if (Pid == 0) {
+    // Quiet the child's chatter; the test asserts through the protocol.
+    freopen("/dev/null", "w", stderr);
+    execl(GMD_PATH, "gmd", "--socket", SocketPath.c_str(), "--max-jobs", "2",
+          static_cast<char *>(nullptr));
+    _exit(127);
+  }
+  return Pid;
+}
+
+/// Polls until the daemon's socket accepts a connection (it needs a beat to
+/// bind after exec).
+bool connectWithRetry(service::Client &C, const std::string &SocketPath) {
+  for (int Attempt = 0; Attempt < 100; ++Attempt) {
+    std::string Err;
+    if (C.connect(SocketPath, &Err))
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+json::Node call(service::Client &C, const std::string &Request) {
+  std::string Response, Err;
+  EXPECT_TRUE(C.call(Request, Response, &Err)) << Err;
+  return parsed(Response);
+}
+
+TEST(GmdSmoke, LoadServeCacheShutdown) {
+  const std::string SocketPath = ::testing::TempDir() + "/gmd_smoke.sock";
+  unlink(SocketPath.c_str());
+
+  pid_t Pid = spawnDaemon(SocketPath);
+  ASSERT_GT(Pid, 0);
+
+  service::Client C;
+  ASSERT_TRUE(connectWithRetry(C, SocketPath)) << "daemon never came up";
+
+  json::Node Pong = call(C, "{\"op\":\"ping\"}");
+  EXPECT_TRUE(Pong.boolAt("ok"));
+  EXPECT_EQ(Pong.strAt("protocol"), "gmd.v1");
+
+  json::Node Load = call(C, "{\"op\":\"load\",\"graph\":\"g\","
+                            "\"generator\":\"rmat\",\"nodes\":300,"
+                            "\"edges\":1200,\"seed\":9}");
+  ASSERT_TRUE(Load.boolAt("ok"));
+  EXPECT_EQ(Load.find("graph")->intAt("epoch"), 1);
+
+  const std::string Submit =
+      "{\"op\":\"submit\",\"graph\":\"g\",\"source_file\":\"" +
+      algo("pagerank.gm") +
+      "\",\"args\":{\"e\":0.001,\"d\":0.85,\"max_iter\":6}}";
+
+  json::Node First = call(C, Submit);
+  ASSERT_TRUE(First.boolAt("ok"));
+  EXPECT_EQ(First.strAt("state"), "done");
+  EXPECT_EQ(First.strAt("cache"), "miss");
+  ASSERT_NE(First.find("report"), nullptr);
+
+  // Second identical submission: a cache hit replaying the same report.
+  json::Node Second = call(C, Submit);
+  ASSERT_TRUE(Second.boolAt("ok"));
+  EXPECT_EQ(Second.strAt("cache"), "hit");
+
+  json::Node Stats = call(C, "{\"op\":\"stats\"}");
+  ASSERT_TRUE(Stats.boolAt("ok"));
+  const json::Node *Cache = Stats.find("cache");
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_EQ(Cache->intAt("hits"), 1);
+  EXPECT_EQ(Cache->intAt("misses"), 1);
+  EXPECT_EQ(Stats.find("jobs")->intAt("completed"), 2);
+
+  json::Node Bye = call(C, "{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(Bye.boolAt("ok"));
+
+  int Status = 0;
+  ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+  EXPECT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+  // A clean shutdown removes the socket file.
+  EXPECT_NE(access(SocketPath.c_str(), F_OK), 0);
+}
+
+} // namespace

@@ -1,12 +1,16 @@
 # check_docs_links.cmake — fail if README.md or docs/*.md reference paths
-# that do not exist.
+# or heading anchors that do not exist.
 #
 #   cmake -DREPO_ROOT=<repo> -P tools/check_docs_links.cmake
 #
-# Two kinds of references are checked:
+# Three kinds of references are checked:
 #   - markdown links/images `[text](target)` — resolved relative to the
-#     file containing them (http(s)/mailto URLs and pure #anchors skipped,
-#     #fragments stripped);
+#     file containing them (http(s)/mailto URLs skipped);
+#   - `#fragment` parts of those links — both same-file `#anchor` links and
+#     `other.md#anchor` cross-file links must name a real heading in the
+#     target file, using GitHub's slug rules (lowercase, punctuation
+#     stripped, spaces to hyphens, `-1`/`-2` suffixes on duplicates);
+#     headings inside ``` code fences do not count;
 #   - backtick-quoted repo paths like `src/pregel/Runtime.cpp` — resolved
 #     relative to the repo root, only for tokens under the known source
 #     roots (src/ docs/ tests/ bench/ algorithms/ examples/ tools/), with
@@ -22,6 +26,66 @@ cmake_minimum_required(VERSION 3.16) # CMP0012: while(TRUE) is a constant
 if(NOT DEFINED REPO_ROOT)
   message(FATAL_ERROR "check_docs_links.cmake: pass -DREPO_ROOT=<repo>")
 endif()
+
+# Collects the GitHub-style heading anchors of ${MD_FILE} into ${OUT_VAR}
+# (cached per file in a global property). Fence-aware: a line starting
+# "```" toggles code-block state and headings inside fences are ignored.
+function(collect_anchors MD_FILE OUT_VAR)
+  string(MAKE_C_IDENTIFIER "${MD_FILE}" KEY)
+  get_property(HAVE GLOBAL PROPERTY ANCHORS_${KEY} SET)
+  if(HAVE)
+    get_property(CACHED GLOBAL PROPERTY ANCHORS_${KEY})
+    set(${OUT_VAR} "${CACHED}" PARENT_SCOPE)
+    return()
+  endif()
+
+  file(READ ${MD_FILE} MD_CONTENT)
+  # Protect list separators in the content, then split into lines.
+  string(REPLACE ";" "\t<SEMI>" MD_CONTENT "${MD_CONTENT}")
+  string(REPLACE "\n" ";" MD_LINES "${MD_CONTENT}")
+
+  set(SLUGS "")
+  set(IN_FENCE FALSE)
+  foreach(LINE ${MD_LINES})
+    if(LINE MATCHES "^```")
+      if(IN_FENCE)
+        set(IN_FENCE FALSE)
+      else()
+        set(IN_FENCE TRUE)
+      endif()
+      continue()
+    endif()
+    if(IN_FENCE OR NOT LINE MATCHES "^#+ ")
+      continue()
+    endif()
+    string(REGEX REPLACE "^#+ +" "" HEADING "${LINE}")
+    string(REPLACE "\t<SEMI>" ";" HEADING "${HEADING}")
+    # GitHub slugification: link syntax keeps its text, backticks vanish,
+    # everything outside [a-z0-9 _-] is dropped, spaces become hyphens.
+    string(REGEX REPLACE "\\[([^]]*)\\]\\([^)]*\\)" "\\1" HEADING
+           "${HEADING}")
+    string(TOLOWER "${HEADING}" HEADING)
+    string(REPLACE "`" "" HEADING "${HEADING}")
+    string(REGEX REPLACE "[^a-z0-9 _-]" "" HEADING "${HEADING}")
+    string(REGEX REPLACE " +$" "" HEADING "${HEADING}")
+    string(REPLACE " " "-" SLUG "${HEADING}")
+    # Duplicate headings get -1, -2, ... suffixes, in document order.
+    set(FINAL "${SLUG}")
+    set(N 0)
+    while(TRUE)
+      list(FIND SLUGS "${FINAL}" DUP_IDX)
+      if(DUP_IDX EQUAL -1)
+        break()
+      endif()
+      math(EXPR N "${N} + 1")
+      set(FINAL "${SLUG}-${N}")
+    endwhile()
+    list(APPEND SLUGS "${FINAL}")
+  endforeach()
+
+  set_property(GLOBAL PROPERTY ANCHORS_${KEY} "${SLUGS}")
+  set(${OUT_VAR} "${SLUGS}" PARENT_SCOPE)
+endfunction()
 
 set(DOC_FILES ${REPO_ROOT}/README.md)
 file(GLOB DOCS_DIR_FILES ${REPO_ROOT}/docs/*.md)
@@ -47,10 +111,28 @@ foreach(DOC ${DOC_FILES})
     math(EXPR POS "${POS} + ${MATCH_LEN}")
     string(SUBSTRING "${REST}" ${POS} -1 REST)
 
-    if(TARGET_PATH MATCHES "^(https?://|mailto:|#)")
+    if(TARGET_PATH MATCHES "^(https?://|mailto:)")
       continue()
     endif()
-    string(REGEX REPLACE "#[^#]*$" "" TARGET_PATH "${TARGET_PATH}")
+
+    # Same-file anchor: the fragment must name one of this doc's headings.
+    if(TARGET_PATH MATCHES "^#(.+)$")
+      set(FRAG "${CMAKE_MATCH_1}")
+      math(EXPR CHECKED "${CHECKED} + 1")
+      collect_anchors(${DOC} DOC_ANCHORS)
+      list(FIND DOC_ANCHORS "${FRAG}" ANCHOR_IDX)
+      if(ANCHOR_IDX EQUAL -1)
+        message(SEND_ERROR "${DOC}: broken anchor: #${FRAG}")
+        math(EXPR BROKEN "${BROKEN} + 1")
+      endif()
+      continue()
+    endif()
+
+    set(FRAG "")
+    if(TARGET_PATH MATCHES "^([^#]+)#(.+)$")
+      set(FRAG "${CMAKE_MATCH_2}")
+      set(TARGET_PATH "${CMAKE_MATCH_1}")
+    endif()
     if(TARGET_PATH STREQUAL "")
       continue()
     endif()
@@ -58,6 +140,19 @@ foreach(DOC ${DOC_FILES})
     if(NOT EXISTS "${DOC_DIR}/${TARGET_PATH}")
       message(SEND_ERROR "${DOC}: broken link: ${TARGET_PATH}")
       math(EXPR BROKEN "${BROKEN} + 1")
+      continue()
+    endif()
+    # Cross-file anchor: the fragment must name a heading in the target.
+    if(NOT FRAG STREQUAL "" AND TARGET_PATH MATCHES "\\.md$")
+      get_filename_component(TARGET_ABS "${DOC_DIR}/${TARGET_PATH}" ABSOLUTE)
+      math(EXPR CHECKED "${CHECKED} + 1")
+      collect_anchors(${TARGET_ABS} TARGET_ANCHORS)
+      list(FIND TARGET_ANCHORS "${FRAG}" ANCHOR_IDX)
+      if(ANCHOR_IDX EQUAL -1)
+        message(SEND_ERROR
+                "${DOC}: broken anchor: ${TARGET_PATH}#${FRAG}")
+        math(EXPR BROKEN "${BROKEN} + 1")
+      endif()
     endif()
   endwhile()
 
